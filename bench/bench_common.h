@@ -1,0 +1,119 @@
+// Shared setup for the figure-reproduction benches.
+//
+// Scale note (see DESIGN.md §2): the paper measures terabyte models on 128
+// GPUs; these benches run a laptop-scale DLRM with the same structure. All
+// figure reproductions report *relative* quantities (fractions of model
+// size, error ratios, reduction factors), which is what transfers across
+// scale — absolute byte counts and latencies do not.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "core/checknrun.h"
+#include "data/synthetic.h"
+#include "dlrm/model.h"
+#include "tensor/embedding.h"
+#include "util/rng.h"
+
+namespace cnr::bench {
+
+// Standard benchmark model: ~400K parameters, >99% embeddings, Zipf access.
+inline dlrm::ModelConfig BenchModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 8;
+  cfg.embedding_dim = 16;
+  cfg.table_rows = {16384, 8192, 4096};
+  cfg.bottom_hidden = {32};
+  cfg.top_hidden = {32};
+  cfg.num_shards = 4;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+inline data::DatasetConfig BenchDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 4321;
+  cfg.num_dense = 8;
+  cfg.tables = {{16384, 3, 1.1}, {8192, 2, 1.1}, {4096, 1, 1.05}};
+  return cfg;
+}
+
+inline data::ReaderConfig BenchReader() {
+  data::ReaderConfig cfg;
+  cfg.batch_size = 64;
+  cfg.num_workers = 4;
+  cfg.queue_capacity = 8;
+  return cfg;
+}
+
+// Trains the bench model for `batches` batches and returns it — the stand-in
+// for "a representative checkpoint created after training a production
+// dataset" used by the quantization figures.
+inline dlrm::DlrmModel TrainedBenchModel(int batches) {
+  dlrm::DlrmModel model(BenchModel());
+  data::SyntheticDataset ds(BenchDataset());
+  for (int b = 0; b < batches; ++b) {
+    model.TrainBatch(ds.GetBatch(b, static_cast<std::uint64_t>(b) * 64, 64));
+  }
+  return model;
+}
+
+// Wider variant for the quantization figures (9-13): embedding dim 64, as in
+// the paper's models. With narrow rows (dim <= 2^bits) per-vector k-means is
+// trivially exact and the comparison degenerates.
+inline dlrm::ModelConfig QuantBenchModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 8;
+  cfg.embedding_dim = 64;
+  cfg.table_rows = {6144, 3072};
+  cfg.bottom_hidden = {32};
+  cfg.top_hidden = {32};
+  cfg.num_shards = 4;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+inline data::DatasetConfig QuantBenchDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 4321;
+  cfg.num_dense = 8;
+  cfg.tables = {{6144, 3, 1.1}, {3072, 1, 1.05}};
+  return cfg;
+}
+
+// "A representative checkpoint created after training a production dataset"
+// (paper Fig 9 setup), at quant-bench scale.
+inline dlrm::DlrmModel TrainedQuantModel(int batches) {
+  dlrm::DlrmModel model(QuantBenchModel());
+  data::SyntheticDataset ds(QuantBenchDataset());
+  for (int b = 0; b < batches; ++b) {
+    model.TrainBatch(ds.GetBatch(b, static_cast<std::uint64_t>(b) * 64, 64));
+  }
+  return model;
+}
+
+// Collects all embedding rows of `model` into one flat table for row-wise
+// quantization experiments.
+inline tensor::EmbeddingTable FlattenEmbeddings(const dlrm::DlrmModel& model) {
+  std::size_t rows = 0;
+  const std::size_t dim = model.table(0).dim();
+  for (std::size_t t = 0; t < model.num_tables(); ++t) rows += model.table(t).num_rows();
+  tensor::EmbeddingTable flat("checkpoint", rows, dim);
+  std::size_t out = 0;
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    for (std::size_t r = 0; r < model.table(t).num_rows(); ++r) {
+      flat.RestoreRow(out++, model.table(t).LookupRow(r), 0.0f);
+    }
+  }
+  return flat;
+}
+
+inline void PrintHeader(const char* fig, const char* description, const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", fig, description);
+  std::printf("paper shape: %s\n", expectation);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cnr::bench

@@ -1,0 +1,66 @@
+// Fig 5 reproduction: fraction of model modified vs number of training
+// samples, observed from three different starting points.
+//
+// The paper's observation (on one of Facebook's largest models): even after
+// 11B training records only ~52% of the model has been touched, and the
+// growth curve has the same shape no matter where observation starts. That
+// behaviour comes from Zipf-skewed embedding accesses, which our synthetic
+// dataset reproduces; sample counts are scaled to the bench model.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/tracking.h"
+
+using namespace cnr;
+
+int main() {
+  bench::PrintHeader(
+      "Fig 5", "% of model modified vs training samples, 3 observation origins",
+      "slow sub-linear growth reaching ~50% at the right edge; same slope "
+      "from every starting point");
+
+  constexpr int kTotalBatches = 900;
+  constexpr int kReportEvery = 60;
+  const int kStarts[3] = {0, kTotalBatches / 3, 2 * kTotalBatches / 3};
+
+  dlrm::DlrmModel model(bench::BenchModel());
+  data::SyntheticDataset ds(bench::BenchDataset());
+  core::ModifiedRowTracker tracker(model);
+  const double total_rows = static_cast<double>(core::CountTotalRows(model));
+
+  // Three cumulative views, each opened at its starting batch.
+  core::DirtySets views[3] = {core::MakeEmptyDirtySets(model),
+                              core::MakeEmptyDirtySets(model),
+                              core::MakeEmptyDirtySets(model)};
+  bool open[3] = {false, false, false};
+
+  std::printf("%10s %16s %16s %16s\n", "samples", "from start", "from 1/3", "from 2/3");
+  for (int b = 0; b < kTotalBatches; ++b) {
+    for (int v = 0; v < 3; ++v) {
+      if (b == kStarts[v]) open[v] = true;
+    }
+    model.TrainBatch(ds.GetBatch(b, static_cast<std::uint64_t>(b) * 64, 64));
+    const auto interval = tracker.HarvestInterval();
+    for (int v = 0; v < 3; ++v) {
+      if (open[v]) core::MergeDirtySets(views[v], interval);
+    }
+    if ((b + 1) % kReportEvery == 0) {
+      std::printf("%10d", (b + 1) * 64);
+      for (int v = 0; v < 3; ++v) {
+        if (open[v]) {
+          std::printf(" %15.1f%%",
+                      100.0 * static_cast<double>(core::CountDirtyRows(views[v])) /
+                          total_rows);
+        } else {
+          std::printf(" %16s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nfinal modified fraction from start: %.1f%% (paper: ~52%% after 11B "
+              "records at production scale)\n",
+              100.0 * static_cast<double>(core::CountDirtyRows(views[0])) / total_rows);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig 9 reproduction: mean L2 error of a quantized checkpoint for the four
+// quantization approaches at 2/3/4/8 bits.
+//
+// The checkpoint is a trained bench model (the paper used a checkpoint of a
+// production model trained ~18 hours). Expected ordering:
+//   symmetric > asymmetric > adaptive asymmetric ~= k-means,
+// with k-means occasionally worse at some widths due to init randomness —
+// and orders of magnitude slower (see Figs 12/13 and bench/micro_overheads).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "quant/error.h"
+
+using namespace cnr;
+
+int main() {
+  bench::PrintHeader("Fig 9",
+                     "mean L2 error per quantization approach and bit-width",
+                     "asym < sym everywhere; adaptive ~= k-means <= asym; error "
+                     "falls steeply with bit-width");
+
+  const dlrm::DlrmModel model = bench::TrainedQuantModel(200);
+  const tensor::EmbeddingTable checkpoint = bench::FlattenEmbeddings(model);
+
+  struct Approach {
+    const char* name;
+    quant::Method method;
+  };
+  const Approach approaches[] = {
+      {"symmetric", quant::Method::kSymmetric},
+      {"asymmetric", quant::Method::kAsymmetric},
+      {"kmeans-per-vector", quant::Method::kKMeans},
+      {"adaptive-asym", quant::Method::kAdaptiveAsymmetric},
+  };
+
+  std::printf("%6s %18s %14s\n", "bits", "approach", "mean L2 error");
+  for (const int bits : {2, 3, 4, 8}) {
+    for (const auto& a : approaches) {
+      util::Rng rng(77);
+      quant::QuantConfig cfg;
+      cfg.method = a.method;
+      cfg.bits = bits;
+      cfg.num_bins = bits >= 4 ? 45 : 25;  // Fig 10's optimal settings
+      cfg.ratio = 1.0;
+      cfg.kmeans_iters = 15;
+      const double err = quant::MeanL2Error(checkpoint, cfg, rng);
+      std::printf("%6d %18s %14.6f\n", bits, a.name, err);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

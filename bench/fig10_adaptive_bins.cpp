@@ -1,0 +1,48 @@
+// Fig 10 reproduction: mean L2 error improvement of adaptive asymmetric over
+// naive asymmetric quantization, as a function of the number of bins.
+//
+// Expected shape: improvement rises with bins and tapers off (the paper
+// selects 25 bins for 2/3-bit and 45 bins for 4-bit); lower bit-widths gain
+// more.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "quant/error.h"
+
+using namespace cnr;
+
+int main() {
+  bench::PrintHeader("Fig 10",
+                     "adaptive-vs-naive L2 improvement vs num_bins (ratio = 1.0)",
+                     "improvement grows then tapers with bins; 2-bit gains most");
+
+  const dlrm::DlrmModel model = bench::TrainedQuantModel(200);
+  const tensor::EmbeddingTable checkpoint = bench::FlattenEmbeddings(model);
+
+  // Naive asymmetric reference per bit-width.
+  double naive[9] = {};
+  for (const int bits : {2, 3, 4}) {
+    util::Rng rng(7);
+    quant::QuantConfig cfg;
+    cfg.method = quant::Method::kAsymmetric;
+    cfg.bits = bits;
+    naive[bits] = quant::MeanL2Error(checkpoint, cfg, rng);
+  }
+
+  std::printf("%6s %12s %12s %12s\n", "bins", "2 bits", "3 bits", "4 bits");
+  for (const int bins : {5, 10, 15, 20, 25, 30, 35, 40, 45, 50}) {
+    std::printf("%6d", bins);
+    for (const int bits : {2, 3, 4}) {
+      util::Rng rng(7);
+      quant::QuantConfig cfg;
+      cfg.method = quant::Method::kAdaptiveAsymmetric;
+      cfg.bits = bits;
+      cfg.num_bins = bins;
+      cfg.ratio = 1.0;
+      const double err = quant::MeanL2Error(checkpoint, cfg, rng);
+      std::printf(" %11.1f%%", 100.0 * (naive[bits] - err) / naive[bits]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 11 reproduction: mean L2 error improvement of adaptive asymmetric over
+// naive asymmetric, as a function of the search ratio, using each
+// bit-width's optimal bin count from Fig 10 (25/25/45 for 2/3/4 bits).
+//
+// Expected shape: improvement grows with ratio and saturates; lower
+// bit-widths are more sensitive to the ratio.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "quant/error.h"
+
+using namespace cnr;
+
+int main() {
+  bench::PrintHeader("Fig 11",
+                     "adaptive-vs-naive L2 improvement vs search ratio",
+                     "grows with ratio then saturates; 2-bit most sensitive");
+
+  const dlrm::DlrmModel model = bench::TrainedQuantModel(200);
+  const tensor::EmbeddingTable checkpoint = bench::FlattenEmbeddings(model);
+
+  const int optimal_bins[9] = {0, 0, 25, 25, 45, 0, 0, 0, 0};
+
+  double naive[9] = {};
+  for (const int bits : {2, 3, 4}) {
+    util::Rng rng(7);
+    quant::QuantConfig cfg;
+    cfg.method = quant::Method::kAsymmetric;
+    cfg.bits = bits;
+    naive[bits] = quant::MeanL2Error(checkpoint, cfg, rng);
+  }
+
+  std::printf("%8s %12s %12s %12s\n", "ratio", "2 bits", "3 bits", "4 bits");
+  for (const double ratio : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    std::printf("%8.1f", ratio);
+    for (const int bits : {2, 3, 4}) {
+      util::Rng rng(7);
+      quant::QuantConfig cfg;
+      cfg.method = quant::Method::kAdaptiveAsymmetric;
+      cfg.bits = bits;
+      cfg.num_bins = optimal_bins[bits];
+      cfg.ratio = ratio;
+      const double err = quant::MeanL2Error(checkpoint, cfg, rng);
+      std::printf(" %11.1f%%", 100.0 * (naive[bits] - err) / naive[bits]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

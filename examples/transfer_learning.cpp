@@ -1,0 +1,90 @@
+// Transfer learning: use an intermediate checkpoint of one training job as
+// the seed for a different objective (paper §1: "checkpoints are also used
+// for performing transfer learning, where an intermediate model state is
+// used as a seed, which is then trained for a different goal").
+//
+// Note that transfer checkpoints do not need reader state (§4.1) — the new
+// job reads its own dataset from the beginning.
+#include <cstdio>
+#include <memory>
+
+#include "core/checknrun.h"
+
+using namespace cnr;
+
+namespace {
+
+dlrm::ModelConfig ModelCfg() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 8;
+  cfg.embedding_dim = 16;
+  cfg.table_rows = {8192, 4096};
+  cfg.bottom_hidden = {32};
+  cfg.top_hidden = {32};
+  cfg.num_shards = 4;
+  return cfg;
+}
+
+data::DatasetConfig DataCfg(std::uint64_t seed) {
+  data::DatasetConfig cfg;
+  cfg.seed = seed;  // different seed => different teacher => different task
+  cfg.num_dense = 8;
+  cfg.tables = {{8192, 2, 1.1}, {4096, 1, 1.05}};
+  return cfg;
+}
+
+// Trains `model` on `dataset` for `batches` batches; returns final probe loss.
+double TrainAndProbe(dlrm::DlrmModel& model, const data::SyntheticDataset& dataset,
+                     int batches) {
+  for (int b = 0; b < batches; ++b) {
+    model.TrainBatch(dataset.GetBatch(b, static_cast<std::uint64_t>(b) * 64, 64));
+  }
+  return model.EvalBatch(dataset.GetBatch(0, 9000000, 512)).MeanLoss();
+}
+
+}  // namespace
+
+int main() {
+  // --- Source task: train and checkpoint. ---
+  data::SyntheticDataset source_data(DataCfg(42));
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    dlrm::DlrmModel source_model(ModelCfg());
+    data::ReaderConfig rcfg;
+    rcfg.batch_size = 64;
+    data::ReaderMaster reader(source_data, rcfg);
+    core::CheckNRunConfig ccfg;
+    ccfg.job = "source-task";
+    ccfg.interval_batches = 25;
+    ccfg.quantize = true;
+    ccfg.expected_restarts = 10;  // 4-bit checkpoints
+    core::CheckNRun cnr(source_model, reader, store, ccfg);
+    cnr.Run(4);
+    std::printf("source task: trained %llu batches, checkpointed\n",
+                static_cast<unsigned long long>(cnr.batches_trained()));
+  }
+
+  // --- Target task: same feature space, different objective (new teacher). ---
+  data::SyntheticDataset target_data(DataCfg(4242));
+  const int kBudget = 60;  // fine-tuning budget in batches
+
+  // (a) From scratch.
+  dlrm::DlrmModel scratch(ModelCfg());
+  const double scratch_loss = TrainAndProbe(scratch, target_data, kBudget);
+
+  // (b) Seeded from the source checkpoint (reader state intentionally unused).
+  dlrm::DlrmModel seeded(ModelCfg());
+  const auto rr = core::RestoreModel(*store, "source-task", seeded);
+  std::printf("seed checkpoint %llu loaded (%zu checkpoints in chain)\n",
+              static_cast<unsigned long long>(rr.checkpoint_id), rr.checkpoints_applied);
+  const double seeded_loss = TrainAndProbe(seeded, target_data, kBudget);
+
+  std::printf("\nafter %d fine-tuning batches on the target task:\n", kBudget);
+  std::printf("  from scratch:    loss %.4f\n", scratch_loss);
+  std::printf("  from checkpoint: loss %.4f\n", seeded_loss);
+  std::printf("\n(the seeded run reuses the source task's embedding structure; how much\n"
+              " that helps depends on how related the two objectives are — here the\n"
+              " target teacher is independent, so the seed mainly demonstrates the\n"
+              " mechanics: checkpoint as seed, no reader state carried over)\n");
+  return 0;
+}

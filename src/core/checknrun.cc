@@ -1,0 +1,146 @@
+#include "core/checknrun.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace cnr::core {
+
+CheckNRun::CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader,
+                     std::shared_ptr<storage::ObjectStore> store, CheckNRunConfig config)
+    : model_(model),
+      reader_(reader),
+      store_(std::move(store)),
+      cfg_(std::move(config)),
+      tracker_(model),
+      policy_(cfg_.policy, CountTotalRows(model), cfg_.policy_options),
+      pool_(cfg_.pipeline_threads) {
+  if (!store_) throw std::invalid_argument("CheckNRun: null store");
+  if (cfg_.interval_batches == 0) throw std::invalid_argument("CheckNRun: empty interval");
+}
+
+CheckNRun::~CheckNRun() {
+  try {
+    Drain();
+  } catch (...) {
+    // Destructor must not throw; a failed background write is already the
+    // caller's problem if they Drain() explicitly.
+  }
+}
+
+quant::QuantConfig CheckNRun::EffectiveQuantConfig() const {
+  if (!cfg_.quantize) {
+    quant::QuantConfig cfg;
+    cfg.method = quant::Method::kNone;
+    return cfg;
+  }
+  if (!cfg_.dynamic_bitwidth) return cfg_.quant;
+  if (observed_restarts_ > cfg_.expected_restarts) {
+    // Failure estimate exceeded: fall back to 8-bit asymmetric (§6.2.1).
+    quant::QuantConfig cfg;
+    cfg.method = quant::Method::kAsymmetric;
+    cfg.bits = 8;
+    return cfg;
+  }
+  return quant::ConfigForRestarts(cfg_.expected_restarts);
+}
+
+void CheckNRun::OnRestartObserved() { ++observed_restarts_; }
+
+void CheckNRun::SetProgress(std::uint64_t batches, std::uint64_t samples) {
+  batches_trained_ = batches;
+  samples_trained_ = samples;
+}
+
+void CheckNRun::SetNextCheckpointId(std::uint64_t next_id) {
+  if (next_id <= next_checkpoint_id_ && next_checkpoint_id_ != 1) {
+    throw std::invalid_argument("SetNextCheckpointId: ids must move forward");
+  }
+  next_checkpoint_id_ = next_id;
+}
+
+void CheckNRun::Drain() {
+  if (!pending_write_.valid()) return;
+  const WriteResult result = pending_write_.get();
+  IntervalStats stats = *pending_stats_;
+  pending_stats_.reset();
+  stats.bytes_written = result.bytes_written;
+  stats.rows_written = result.rows_written;
+  stats.encode_wall = result.encode_wall;
+  stats.store_bytes = store_->TotalBytes();  // occupancy after GC
+  completed_.push_back(stats);
+}
+
+void CheckNRun::Step() {
+  // Step 1: reader coordination — produce exactly interval_batches batches.
+  reader_.AllowBatches(cfg_.interval_batches);
+
+  const auto train_start = std::chrono::steady_clock::now();
+  dlrm::BatchMetrics interval_metrics;
+  while (auto batch = reader_.NextBatch()) {
+    const auto m = model_.TrainBatch(*batch);
+    interval_metrics.Merge(m);
+    metrics_.Add(m);
+    ++batches_trained_;
+    samples_trained_ += batch->size();
+  }
+  const auto train_wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - train_start);
+
+  auto interval_dirty = tracker_.HarvestInterval();
+  const double dirty_fraction = static_cast<double>(CountDirtyRows(interval_dirty)) /
+                                static_cast<double>(CountTotalRows(model_));
+
+  // Non-overlap rule (§4.3): finish the previous background write (and
+  // finalize its stats) before creating a new snapshot.
+  Drain();
+
+  // Gap-free reader state: the trainer consumed every allowed batch, so the
+  // reader is quiescent and its state matches the trainer exactly (§4.1).
+  const data::ReaderState reader_state = reader_.CollectState();
+
+  // Stall training only for the in-memory snapshot (§4.2).
+  ModelSnapshot snap = CreateSnapshot(model_, batches_trained_, samples_trained_, &pool_);
+
+  const std::uint64_t id = next_checkpoint_id_++;
+  CheckpointPlan plan = policy_.Plan(id, std::move(interval_dirty));
+
+  WriterConfig wcfg;
+  wcfg.job = cfg_.job;
+  wcfg.chunk_rows = cfg_.chunk_rows;
+  wcfg.quant = EffectiveQuantConfig();
+  wcfg.put_attempts = cfg_.put_attempts;
+
+  IntervalStats stats;
+  stats.checkpoint_id = id;
+  stats.kind = plan.kind;
+  stats.dirty_fraction = dirty_fraction;
+  stats.mean_loss = interval_metrics.MeanLoss();
+  stats.stall_wall = snap.stall_wall;
+  stats.train_wall = train_wall;
+  pending_stats_ = stats;
+
+  // Steps 2-3 run in the background; training the next interval overlaps.
+  pending_write_ = std::async(
+      std::launch::async,
+      [this, snap = std::move(snap), plan = std::move(plan), wcfg, id,
+       rs = reader_state.Encode()]() mutable {
+        auto result = WriteCheckpoint(*store_, snap, plan, wcfg, id, rs, &pool_);
+        if (cfg_.gc) GarbageCollectJob(*store_, cfg_.job, cfg_.keep_checkpoints);
+        return result;
+      });
+}
+
+std::vector<IntervalStats> CheckNRun::Run(std::size_t intervals) {
+  const std::size_t first = completed_.size();
+  for (std::size_t i = 0; i < intervals; ++i) Step();
+  Drain();
+  return {completed_.begin() + static_cast<std::ptrdiff_t>(first), completed_.end()};
+}
+
+void CheckNRun::GarbageCollect(storage::ObjectStore& store, const std::string& job) {
+  GarbageCollectJob(store, job);
+}
+
+}  // namespace cnr::core

@@ -1,0 +1,157 @@
+// Check-N-Run controller — the public facade of the checkpointing system
+// (paper §4, Fig 7).
+//
+// The controller owns the checkpoint workflow:
+//   1. tell the reader master exactly how many batches to produce this
+//      interval (gap-free reader/trainer coordination, §4.1),
+//   2. train those batches while tracking modified embedding rows (§5.1.1),
+//   3. at interval end: collect reader state, stall training just long
+//      enough to snapshot the model into host memory (§4.2),
+//   4. hand the snapshot to the incremental policy + quantizing writer
+//      running on background threads (§5), pipelined chunk-by-chunk to the
+//      object store — while the next interval trains,
+//   5. once the manifest is stored, declare the checkpoint valid and
+//      garbage-collect checkpoints no longer needed for recovery (§4.4).
+//
+// Two consecutive checkpoints never overlap: a new snapshot waits for the
+// previous background write to finish (§4.3). Training, however, continues
+// during the background write — that is the decoupling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/recovery.h"
+#include "core/snapshot.h"
+#include "core/tracking.h"
+#include "core/writer.h"
+#include "data/reader.h"
+#include "dlrm/metrics.h"
+#include "dlrm/model.h"
+#include "quant/selector.h"
+#include "storage/object_store.h"
+#include "util/threadpool.h"
+
+namespace cnr::core {
+
+struct CheckNRunConfig {
+  std::string job = "job0";
+  // Batches per checkpoint interval (the paper's default interval is 30
+  // minutes of training; here it is expressed in batches, which is the unit
+  // the reader-coordination protocol uses anyway).
+  std::uint64_t interval_batches = 50;
+
+  PolicyKind policy = PolicyKind::kIntermittent;
+  PolicyOptions policy_options;
+
+  // Quantization. With dynamic_bitwidth, bit-width/method come from the
+  // expected restart count (§6.2.1); otherwise `quant` is used as given.
+  bool quantize = true;
+  bool dynamic_bitwidth = true;
+  std::uint64_t expected_restarts = 1;
+  quant::QuantConfig quant;
+
+  std::size_t chunk_rows = 512;
+  std::size_t pipeline_threads = 4;
+  // Attempts per object write before a checkpoint is abandoned (transient
+  // storage failures are retried; the manifest-last protocol guarantees an
+  // abandoned checkpoint is never considered valid).
+  int put_attempts = 3;
+  // Delete checkpoints that are not part of the newest checkpoints' recovery
+  // chains after each successful checkpoint; `keep_checkpoints` recent
+  // lineages are retained (debugging / transfer-learning retention, §1).
+  bool gc = true;
+  std::size_t keep_checkpoints = 1;
+};
+
+// Per-interval outcome, the raw material for Figs 15-17.
+struct IntervalStats {
+  std::uint64_t checkpoint_id = 0;
+  storage::CheckpointKind kind = storage::CheckpointKind::kFull;
+  std::uint64_t bytes_written = 0;   // this checkpoint (bandwidth proxy)
+  std::uint64_t rows_written = 0;
+  std::uint64_t store_bytes = 0;     // store occupancy after GC (capacity)
+  double dirty_fraction = 0.0;       // interval-dirty rows / total rows
+  double mean_loss = 0.0;            // training loss over the interval
+  std::chrono::microseconds stall_wall{0};   // trainer stalled (snapshot)
+  std::chrono::microseconds train_wall{0};   // trainer busy (the interval)
+  std::chrono::microseconds encode_wall{0};  // background quantization cpu
+};
+
+class CheckNRun {
+ public:
+  // The controller drives `model` with batches from `reader` and checkpoints
+  // into `store`. All three must outlive the controller.
+  CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader,
+            std::shared_ptr<storage::ObjectStore> store, CheckNRunConfig config);
+  ~CheckNRun();
+
+  CheckNRun(const CheckNRun&) = delete;
+  CheckNRun& operator=(const CheckNRun&) = delete;
+
+  // Trains one checkpoint interval and *initiates* its checkpoint in the
+  // background. The write of interval k completes no later than the snapshot
+  // of interval k+1 (non-overlap rule) or Drain().
+  void Step();
+
+  // Waits for any in-flight checkpoint write, finalizing its stats.
+  void Drain();
+
+  // Runs `intervals` intervals (decoupled) and returns per-interval stats.
+  std::vector<IntervalStats> Run(std::size_t intervals);
+
+  // Stats of all checkpoints whose writes have completed, in interval order.
+  const std::vector<IntervalStats>& completed() const { return completed_; }
+
+  // Registers that the job resumed from a quantized checkpoint. Once observed
+  // restarts exceed the configured expectation, subsequent checkpoints fall
+  // back to 8-bit asymmetric quantization (paper §6.2.1).
+  void OnRestartObserved();
+
+  // Effective quantization config the next checkpoint will use.
+  quant::QuantConfig EffectiveQuantConfig() const;
+
+  std::uint64_t batches_trained() const { return batches_trained_; }
+  std::uint64_t samples_trained() const { return samples_trained_; }
+  std::uint64_t observed_restarts() const { return observed_restarts_; }
+  const dlrm::MetricTracker& metrics() const { return metrics_; }
+
+  // Sets progress counters when resuming from a checkpoint.
+  void SetProgress(std::uint64_t batches, std::uint64_t samples);
+
+  // Continues checkpoint numbering after `last_id` so a resumed job never
+  // overwrites surviving checkpoints. The first checkpoint after a resume is
+  // always a fresh full baseline (the policy starts with no baseline).
+  void SetNextCheckpointId(std::uint64_t next_id);
+
+  // Deletes every checkpoint of `job` that is not on the recovery chain of
+  // the newest one. Exposed for tests; Step() applies it when cfg.gc is set.
+  static void GarbageCollect(storage::ObjectStore& store, const std::string& job);
+
+ private:
+  dlrm::DlrmModel& model_;
+  data::ReaderMaster& reader_;
+  std::shared_ptr<storage::ObjectStore> store_;
+  CheckNRunConfig cfg_;
+
+  ModifiedRowTracker tracker_;
+  IncrementalPolicy policy_;
+  util::ThreadPool pool_;
+  dlrm::MetricTracker metrics_;
+
+  std::uint64_t next_checkpoint_id_ = 1;
+  std::uint64_t batches_trained_ = 0;
+  std::uint64_t samples_trained_ = 0;
+  std::uint64_t observed_restarts_ = 0;
+
+  std::future<WriteResult> pending_write_;
+  std::optional<IntervalStats> pending_stats_;
+  std::vector<IntervalStats> completed_;
+};
+
+}  // namespace cnr::core

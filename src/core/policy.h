@@ -1,0 +1,104 @@
+// Incremental checkpointing policies (paper §5.1).
+//
+// Three policies decide, at each checkpoint interval, what a checkpoint
+// contains and which earlier checkpoints recovery needs:
+//
+//  - One-shot baseline: interval 0 stores the full model; every later
+//    checkpoint stores all rows modified *since the baseline*. Recovery reads
+//    the baseline plus the most recent incremental.
+//  - Consecutive increment: every checkpoint stores only the rows modified
+//    *during the last interval*. Cheapest writes (flat per-interval size) but
+//    recovery must replay the entire chain, and every checkpoint must be
+//    retained (capacity grows without bound; paper Fig 16 shows ~4x model
+//    size after 11 intervals).
+//  - Intermittent baseline: like one-shot, but a history-based predictor
+//    re-baselines when a new full checkpoint is expected to be cheaper going
+//    forward. With past incremental sizes S1..Si (fractions of a full
+//    checkpoint, S0 = 1), at interval i+1:
+//        Fc = 1 + S1 + ... + Si     (cost of the next i+1 intervals after a
+//                                    fresh baseline, assuming history repeats)
+//        Ic = (i+1) * Si            (lower bound if we keep growing the
+//                                    current incremental)
+//    Take a full checkpoint iff Fc <= Ic. This is the paper's default.
+//
+// A plain full-checkpoint-every-interval policy is included as the baseline
+// the paper's reductions are measured against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tracking.h"
+#include "storage/manifest.h"
+
+namespace cnr::core {
+
+enum class PolicyKind : std::uint8_t {
+  kAlwaysFull = 0,    // baseline: full checkpoint every interval
+  kOneShot = 1,
+  kConsecutive = 2,
+  kIntermittent = 3,
+};
+
+std::string PolicyName(PolicyKind kind);
+
+// What the writer should store for one checkpoint.
+struct CheckpointPlan {
+  storage::CheckpointKind kind = storage::CheckpointKind::kFull;
+  // Rows to store; meaningful only for incremental checkpoints.
+  DirtySets rows;
+  // Checkpoint id this one extends (0 if full).
+  std::uint64_t parent_id = 0;
+};
+
+// Tuning knobs for the intermittent predictor.
+struct PolicyOptions {
+  // Replace the paper's "next incremental >= last incremental" lower bound
+  // with an EWMA-smoothed growth forecast (the paper's future-work note:
+  // "this approach can be improved with more accurate prediction models").
+  // The EWMA extrapolates the recent per-interval growth of the incremental
+  // size instead of assuming it stays flat, so re-baselining fires slightly
+  // earlier on convex growth curves and later on concave ones.
+  bool ewma_predictor = false;
+  double ewma_alpha = 0.5;  // weight of the most recent growth observation
+};
+
+// Stateful policy fed one interval's dirty sets at a time.
+class IncrementalPolicy {
+ public:
+  IncrementalPolicy(PolicyKind kind, std::uint64_t total_rows, PolicyOptions options = {});
+
+  PolicyKind kind() const { return kind_; }
+
+  // Decides the plan for the checkpoint with id `checkpoint_id`, given the
+  // dirty rows of the just-finished interval. Ids must be handed in
+  // increasing order; the first call always yields a full checkpoint.
+  CheckpointPlan Plan(std::uint64_t checkpoint_id, DirtySets interval_dirty);
+
+  // Fractions (of total rows) of past incremental checkpoints since the last
+  // baseline — the S_i history driving the intermittent predictor.
+  const std::vector<double>& history() const { return history_; }
+
+  // True if the predictor would re-baseline now, exposed for tests/ablation:
+  // Fc = 1 + sum(S_1..S_i), Ic = (i+1) * S_i, full iff Fc <= Ic.
+  static bool ShouldRebaseline(const std::vector<double>& history);
+
+  // EWMA variant: forecasts the next incremental size from the smoothed
+  // growth of the history and compares the same Fc/Ic costs against it.
+  static bool ShouldRebaselineEwma(const std::vector<double>& history, double alpha);
+
+ private:
+  PolicyKind kind_;
+  std::uint64_t total_rows_;
+  PolicyOptions options_;
+  bool have_baseline_ = false;
+  std::uint64_t last_checkpoint_id_ = 0;
+  std::uint64_t baseline_id_ = 0;
+  // One-shot / intermittent: union of dirty rows since the current baseline.
+  std::optional<DirtySets> since_baseline_;
+  std::vector<double> history_;
+};
+
+}  // namespace cnr::core

@@ -1,0 +1,192 @@
+#include "core/recovery.h"
+
+#include "util/crc32.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+namespace cnr::core {
+
+namespace {
+
+// Applies every chunk of `manifest` to `model`, de-quantizing with the
+// manifest's own quantization config. Returns rows applied.
+std::uint64_t ApplyManifest(storage::ObjectStore& store, const storage::Manifest& manifest,
+                            dlrm::DlrmModel& model, std::uint64_t& bytes_read) {
+  std::uint64_t rows_applied = 0;
+  std::vector<float> row;
+  for (const auto& info : manifest.chunks) {
+    auto blob = store.Get(info.key);
+    if (!blob) {
+      throw std::runtime_error("recovery: missing chunk object " + info.key);
+    }
+    bytes_read += blob->size();
+    // Verify the trailing CRC-32C before trusting any field.
+    if (blob->size() < sizeof(std::uint32_t)) {
+      throw std::runtime_error("recovery: chunk too small " + info.key);
+    }
+    const std::size_t payload = blob->size() - sizeof(std::uint32_t);
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, blob->data() + payload, sizeof(stored_crc));
+    if (util::Crc32c(blob->data(), payload) != stored_crc) {
+      throw std::runtime_error("recovery: checksum mismatch in chunk " + info.key);
+    }
+    util::Reader r(std::span<const std::uint8_t>(blob->data(), payload));
+    const auto table_id = r.Get<std::uint32_t>();
+    const auto shard_id = r.Get<std::uint32_t>();
+    const auto num_rows = r.Get<std::uint64_t>();
+    const auto dim = r.Get<std::uint64_t>();
+    const bool explicit_indices = r.Get<std::uint8_t>() != 0;
+    if (table_id >= model.num_tables()) throw std::runtime_error("recovery: bad table id");
+    auto& table = model.table(table_id);
+    if (shard_id >= table.num_shards()) throw std::runtime_error("recovery: bad shard id");
+    auto& shard = table.Shard(shard_id);
+    if (dim != shard.dim()) throw std::runtime_error("recovery: dim mismatch");
+
+    std::vector<std::uint32_t> indices;
+    std::uint64_t start_row = 0;
+    if (explicit_indices) {
+      indices.resize(num_rows);
+      std::uint32_t prev = 0;
+      for (std::uint64_t i = 0; i < num_rows; ++i) {
+        const auto delta = static_cast<std::uint32_t>(r.GetVarint());
+        prev = (i == 0) ? delta : prev + delta;
+        indices[i] = prev;
+      }
+    } else {
+      start_row = r.Get<std::uint64_t>();
+    }
+    std::vector<float> adagrad(num_rows);
+    r.GetBytes(adagrad.data(), num_rows * sizeof(float));
+
+    row.resize(dim);
+    for (std::uint64_t i = 0; i < num_rows; ++i) {
+      quant::DecodeRow(r, manifest.quant, row);
+      const std::size_t local =
+          explicit_indices ? indices[i] : static_cast<std::size_t>(start_row + i);
+      shard.RestoreRow(local, row, adagrad[i]);
+      ++rows_applied;
+    }
+  }
+  return rows_applied;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> LatestCheckpointId(storage::ObjectStore& store,
+                                                const std::string& job) {
+  const auto keys = store.List(storage::Manifest::JobPrefix(job) + "ckpt/");
+  std::optional<std::uint64_t> latest;
+  for (const auto& key : keys) {
+    if (key.size() < 8 || key.substr(key.size() - 8) != "MANIFEST") continue;
+    // Key shape: jobs/<job>/ckpt/<%012llu id>/MANIFEST
+    const auto tail = key.substr(0, key.size() - 9);
+    const auto slash = tail.find_last_of('/');
+    const std::uint64_t id = std::stoull(tail.substr(slash + 1));
+    if (!latest || id > *latest) latest = id;
+  }
+  return latest;
+}
+
+storage::Manifest LoadManifest(storage::ObjectStore& store, const std::string& job,
+                               std::uint64_t id) {
+  auto blob = store.Get(storage::Manifest::ManifestKey(job, id));
+  if (!blob) throw std::runtime_error("recovery: no manifest for checkpoint " + std::to_string(id));
+  return storage::Manifest::Decode(*blob);
+}
+
+std::vector<std::uint64_t> ResolveChain(storage::ObjectStore& store, const std::string& job,
+                                        std::uint64_t id) {
+  std::vector<std::uint64_t> chain;
+  std::uint64_t cur = id;
+  while (true) {
+    const auto manifest = LoadManifest(store, job, cur);
+    chain.push_back(cur);
+    if (manifest.kind == storage::CheckpointKind::kFull) break;
+    if (manifest.parent_id == cur) throw std::runtime_error("recovery: self-referencing chain");
+    cur = manifest.parent_id;
+    if (chain.size() > 100000) throw std::runtime_error("recovery: chain too long");
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+void GarbageCollectJob(storage::ObjectStore& store, const std::string& job,
+                       std::size_t keep_lineages) {
+  if (keep_lineages == 0) keep_lineages = 1;  // the newest lineage is sacred
+  const auto keys = store.List(storage::Manifest::JobPrefix(job) + "ckpt/");
+  std::set<std::uint64_t> all_ids;
+  for (const auto& key : keys) {
+    if (key.size() < 8 || key.substr(key.size() - 8) != "MANIFEST") continue;
+    const auto tail = key.substr(0, key.size() - 9);
+    all_ids.insert(std::stoull(tail.substr(tail.find_last_of('/') + 1)));
+  }
+  if (all_ids.empty()) return;
+
+  // Retain the chains of the `keep_lineages` newest checkpoints.
+  std::set<std::uint64_t> keep;
+  std::size_t kept = 0;
+  for (auto it = all_ids.rbegin(); it != all_ids.rend() && kept < keep_lineages;
+       ++it, ++kept) {
+    const auto chain = ResolveChain(store, job, *it);
+    keep.insert(chain.begin(), chain.end());
+  }
+
+  for (const auto id : all_ids) {
+    if (keep.contains(id)) continue;
+    for (const auto& key : store.List(storage::Manifest::CheckpointPrefix(job, id))) {
+      store.Delete(key);
+    }
+  }
+}
+
+RestoreResult ApplyCheckpointDelta(storage::ObjectStore& store, const std::string& job,
+                                   std::uint64_t id, dlrm::DlrmModel& model) {
+  RestoreResult result;
+  const auto manifest = LoadManifest(store, job, id);
+  result.rows_applied = ApplyManifest(store, manifest, model, result.bytes_read);
+  result.checkpoints_applied = 1;
+  auto dense = store.Get(manifest.dense_key);
+  if (!dense) throw std::runtime_error("recovery: missing dense blob");
+  result.bytes_read += dense->size();
+  util::Reader r(*dense);
+  model.RestoreDense(r);
+  result.reader_state = data::ReaderState::Decode(manifest.reader_state);
+  result.batches_trained = manifest.batches_trained;
+  result.samples_trained = manifest.samples_trained;
+  result.checkpoint_id = id;
+  return result;
+}
+
+RestoreResult RestoreModel(storage::ObjectStore& store, const std::string& job,
+                           dlrm::DlrmModel& model, std::optional<std::uint64_t> id) {
+  if (!id) {
+    id = LatestCheckpointId(store, job);
+    if (!id) throw std::runtime_error("recovery: job has no checkpoints: " + job);
+  }
+
+  RestoreResult result;
+  const auto chain = ResolveChain(store, job, *id);
+  for (const auto cid : chain) {
+    const auto manifest = LoadManifest(store, job, cid);
+    result.rows_applied += ApplyManifest(store, manifest, model, result.bytes_read);
+    ++result.checkpoints_applied;
+    if (cid == *id) {
+      // Newest manifest carries the authoritative dense/reader/progress state.
+      auto dense = store.Get(manifest.dense_key);
+      if (!dense) throw std::runtime_error("recovery: missing dense blob");
+      result.bytes_read += dense->size();
+      util::Reader r(*dense);
+      model.RestoreDense(r);
+      result.reader_state = data::ReaderState::Decode(manifest.reader_state);
+      result.batches_trained = manifest.batches_trained;
+      result.samples_trained = manifest.samples_trained;
+      result.checkpoint_id = cid;
+    }
+  }
+  return result;
+}
+
+}  // namespace cnr::core

@@ -1,0 +1,70 @@
+// Checkpoint recovery (paper §5.1).
+//
+// Recovery resolves the checkpoint chain required by the policy that wrote
+// it — for one-shot/intermittent incrementals that is {baseline, newest};
+// for consecutive incrementals it is the whole chain back to the baseline —
+// then applies the checkpoints oldest-first so newer rows overwrite older
+// ones, de-quantizing each row with the quantization configuration recorded
+// in its own manifest (checkpoints in one chain may differ, e.g. after an
+// 8-bit fallback). Dense state, reader state, and trainer progress come from
+// the newest manifest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/reader.h"
+#include "dlrm/model.h"
+#include "storage/manifest.h"
+#include "storage/object_store.h"
+
+namespace cnr::core {
+
+struct RestoreResult {
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t batches_trained = 0;
+  std::uint64_t samples_trained = 0;
+  data::ReaderState reader_state;
+  std::size_t checkpoints_applied = 0;  // chain length (1 for a full ckpt)
+  std::uint64_t rows_applied = 0;
+  std::uint64_t bytes_read = 0;
+};
+
+// Id of the newest valid checkpoint of `job`, or nullopt if none exists.
+std::optional<std::uint64_t> LatestCheckpointId(storage::ObjectStore& store,
+                                                const std::string& job);
+
+// Loads the manifest of checkpoint `id`; throws if absent or corrupt.
+storage::Manifest LoadManifest(storage::ObjectStore& store, const std::string& job,
+                               std::uint64_t id);
+
+// Checkpoint ids needed to reconstruct checkpoint `id`, oldest first
+// (starts at a full checkpoint, ends at `id`).
+std::vector<std::uint64_t> ResolveChain(storage::ObjectStore& store, const std::string& job,
+                                        std::uint64_t id);
+
+// Restores `model` from checkpoint `id` (or the newest, if nullopt).
+// The model must have been constructed with the same shape configuration.
+RestoreResult RestoreModel(storage::ObjectStore& store, const std::string& job,
+                           dlrm::DlrmModel& model,
+                           std::optional<std::uint64_t> id = std::nullopt);
+
+// Deletes every checkpoint of `job` that is not on the recovery chain of
+// one of the `keep_lineages` newest checkpoints (the controller's GC step
+// after declaring a checkpoint valid). Keeping more than one lineage serves
+// the paper's "several recent checkpoints for debugging and transfer
+// learning" retention use case (§1 criterion 4).
+void GarbageCollectJob(storage::ObjectStore& store, const std::string& job,
+                       std::size_t keep_lineages = 1);
+
+// Applies only checkpoint `id`'s own rows and dense state to `model`,
+// without resolving its parent chain. This is the online-training path
+// (paper §5.1): a serving replica that has already absorbed checkpoints
+// 1..id-1 keeps itself fresh by applying each consecutive-incremental delta
+// as it is published.
+RestoreResult ApplyCheckpointDelta(storage::ObjectStore& store, const std::string& job,
+                                   std::uint64_t id, dlrm::DlrmModel& model);
+
+}  // namespace cnr::core

@@ -1,0 +1,68 @@
+#include "core/tracking.h"
+
+namespace cnr::core {
+
+DirtySets MakeEmptyDirtySets(const dlrm::DlrmModel& model) {
+  DirtySets sets(model.num_tables());
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    const auto& table = model.table(t);
+    sets[t].reserve(table.num_shards());
+    for (std::size_t s = 0; s < table.num_shards(); ++s) {
+      sets[t].emplace_back(table.Shard(s).num_rows());
+    }
+  }
+  return sets;
+}
+
+std::uint64_t CountDirtyRows(const DirtySets& sets) {
+  std::uint64_t n = 0;
+  for (const auto& table : sets) {
+    for (const auto& shard : table) n += shard.Count();
+  }
+  return n;
+}
+
+std::uint64_t CountTotalRows(const dlrm::DlrmModel& model) {
+  std::uint64_t n = 0;
+  for (std::size_t t = 0; t < model.num_tables(); ++t) n += model.table(t).num_rows();
+  return n;
+}
+
+void MergeDirtySets(DirtySets& dst, const DirtySets& src) {
+  for (std::size_t t = 0; t < dst.size(); ++t) {
+    for (std::size_t s = 0; s < dst[t].size(); ++s) dst[t][s] |= src[t][s];
+  }
+}
+
+ModifiedRowTracker::ModifiedRowTracker(dlrm::DlrmModel& model)
+    : model_(model), bits_(MakeEmptyDirtySets(model)) {
+  for (std::size_t t = 0; t < model_.num_tables(); ++t) {
+    auto& table = model_.table(t);
+    for (std::size_t s = 0; s < table.num_shards(); ++s) {
+      table.Shard(s).SetTracker([this, t, s](std::size_t row) {
+        bits_[t][s].Set(row);
+        ++hook_calls_;
+      });
+    }
+  }
+  attached_ = true;
+}
+
+ModifiedRowTracker::~ModifiedRowTracker() { Detach(); }
+
+void ModifiedRowTracker::Detach() {
+  if (!attached_) return;
+  for (std::size_t t = 0; t < model_.num_tables(); ++t) {
+    auto& table = model_.table(t);
+    for (std::size_t s = 0; s < table.num_shards(); ++s) table.Shard(s).ClearTracker();
+  }
+  attached_ = false;
+}
+
+DirtySets ModifiedRowTracker::HarvestInterval() {
+  DirtySets out = std::move(bits_);
+  bits_ = MakeEmptyDirtySets(model_);
+  return out;
+}
+
+}  // namespace cnr::core

@@ -1,0 +1,69 @@
+// Checkpoint construction and storage (paper §4.4 steps 2-3, §5.2).
+//
+// The writer turns an immutable ModelSnapshot plus a CheckpointPlan into
+// chunk objects in the store and a manifest. Work proceeds chunk-by-chunk:
+// each chunk (a bounded run of embedding rows from one shard) is quantized
+// and *immediately* stored, so quantization and storage overlap — the
+// paper's pipelining, which hides quantization latency behind the (slower)
+// remote-storage writes. Chunks are processed concurrently on the background
+// thread pool, never on the trainer's critical path.
+//
+// Chunk layout (binary, little-endian):
+//   u32 table_id, u32 shard_id
+//   u64 num_rows, u64 dim
+//   u8  explicit_indices          (1 for incremental chunks)
+//   if explicit_indices: varint-delta row indices (ascending; first index,
+//                        then gaps — the paper's "metadata structure can be
+//                        further optimized" future-work item)
+//   else:                u64 start_row (rows are contiguous)
+//   f32 adagrad state per row     (optimizer state stays fp32)
+//   EncodeRow(quant) per row      (per-row params + packed codes)
+//   u32 CRC-32C over everything above (recovery rejects corrupt chunks)
+//
+// The row indices and per-row quantization parameters are the metadata the
+// paper cites as the reason overall savings are sub-linear in bit-width
+// (§6.3.2); delta+varint coding shrinks the index portion to ~1 byte/row.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/policy.h"
+#include "core/snapshot.h"
+#include "quant/quantizer.h"
+#include "storage/manifest.h"
+#include "storage/object_store.h"
+#include "util/threadpool.h"
+
+namespace cnr::core {
+
+struct WriterConfig {
+  std::string job = "job0";
+  std::size_t chunk_rows = 512;  // rows per pipelined chunk
+  quant::QuantConfig quant;
+  std::uint64_t rng_seed = 7;  // k-means init stream
+  // Attempts per object Put before giving up (transient storage failures,
+  // storage::StoreUnavailable, are retried; anything else propagates).
+  int put_attempts = 3;
+};
+
+struct WriteResult {
+  storage::Manifest manifest;
+  std::uint64_t bytes_written = 0;       // chunks + dense + manifest
+  std::uint64_t rows_written = 0;
+  std::chrono::microseconds encode_wall{0};  // summed per-chunk encode time
+};
+
+// Builds and stores the checkpoint described by `plan` from `snap`.
+// The manifest is stored last; a checkpoint is valid iff its manifest exists
+// (paper: the controller declares validity after all nodes finish storing).
+// If `pool` is non-null, chunks are encoded+stored concurrently.
+WriteResult WriteCheckpoint(storage::ObjectStore& store, const ModelSnapshot& snap,
+                            const CheckpointPlan& plan, const WriterConfig& cfg,
+                            std::uint64_t checkpoint_id,
+                            std::span<const std::uint8_t> reader_state,
+                            util::ThreadPool* pool);
+
+}  // namespace cnr::core

@@ -1,0 +1,28 @@
+// Training sample and batch types shared by the reader tier and the trainer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cnr::data {
+
+// One training record: dense features, one multi-hot index list per embedding
+// table, and a binary click label.
+struct Sample {
+  std::vector<float> dense;
+  std::vector<std::vector<std::uint32_t>> sparse;  // indices per table
+  float label = 0.0f;
+};
+
+// A batch of consecutive records. `batch_id` is the global sequence number
+// assigned by the reader master; `first_sample` is the global index of the
+// first record, so trainer progress maps 1:1 to dataset position.
+struct Batch {
+  std::uint64_t batch_id = 0;
+  std::uint64_t first_sample = 0;
+  std::vector<Sample> samples;
+
+  std::size_t size() const { return samples.size(); }
+};
+
+}  // namespace cnr::data

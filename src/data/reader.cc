@@ -1,0 +1,102 @@
+#include "data/reader.h"
+
+#include <stdexcept>
+
+namespace cnr::data {
+
+ReaderMaster::ReaderMaster(const SyntheticDataset& dataset, ReaderConfig config,
+                           ReaderState initial)
+    : dataset_(dataset), config_(config) {
+  if (config_.batch_size == 0) throw std::invalid_argument("ReaderMaster: batch_size == 0");
+  if (config_.num_workers == 0) throw std::invalid_argument("ReaderMaster: no workers");
+  if (config_.queue_capacity == 0) throw std::invalid_argument("ReaderMaster: zero capacity");
+  allowed_until_ = initial.next_batch_id;
+  next_claim_ = initial.next_batch_id;
+  next_deliver_ = initial.next_batch_id;
+  base_batch_ = initial.next_batch_id;
+  base_sample_ = initial.next_sample;
+  workers_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ReaderMaster::~ReaderMaster() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  claim_cv_.notify_all();
+  deliver_cv_.notify_all();
+  quiesce_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ReaderMaster::AllowBatches(std::uint64_t n) {
+  {
+    std::lock_guard lock(mu_);
+    allowed_until_ += n;
+  }
+  claim_cv_.notify_all();
+}
+
+void ReaderMaster::WorkerLoop() {
+  while (true) {
+    std::uint64_t id = 0;
+    {
+      std::unique_lock lock(mu_);
+      claim_cv_.wait(lock, [this] {
+        return stopping_ || (next_claim_ < allowed_until_ &&
+                             next_claim_ < next_deliver_ + config_.queue_capacity);
+      });
+      if (stopping_) return;
+      id = next_claim_++;
+      ++in_flight_;
+    }
+    const std::uint64_t first = base_sample_ + (id - base_batch_) * config_.batch_size;
+    Batch batch = dataset_.GetBatch(id, first, config_.batch_size);
+    {
+      std::lock_guard lock(mu_);
+      reorder_.emplace(id, std::move(batch));
+      --in_flight_;
+    }
+    deliver_cv_.notify_all();
+  }
+}
+
+std::optional<Batch> ReaderMaster::NextBatch() {
+  std::unique_lock lock(mu_);
+  deliver_cv_.wait(lock, [this] {
+    return stopping_ || next_deliver_ >= allowed_until_ || reorder_.contains(next_deliver_);
+  });
+  if (stopping_) return std::nullopt;
+  if (next_deliver_ >= allowed_until_) return std::nullopt;  // budget exhausted
+  auto node = reorder_.extract(next_deliver_);
+  ++next_deliver_;
+  lock.unlock();
+  // Consuming a batch frees reorder-buffer space and may unblock claims; a
+  // fully drained queue may also satisfy CollectState.
+  claim_cv_.notify_all();
+  quiesce_cv_.notify_all();
+  return std::move(node.mapped());
+}
+
+bool ReaderMaster::ExhaustedLocked() const {
+  return next_deliver_ >= allowed_until_ && reorder_.empty() && in_flight_ == 0;
+}
+
+ReaderState ReaderMaster::CollectState() {
+  std::unique_lock lock(mu_);
+  quiesce_cv_.wait(lock, [this] { return stopping_ || ExhaustedLocked(); });
+  ReaderState s;
+  s.next_batch_id = next_deliver_;
+  s.next_sample = base_sample_ + (next_deliver_ - base_batch_) * config_.batch_size;
+  return s;
+}
+
+std::uint64_t ReaderMaster::DeliveredBatches() {
+  std::lock_guard lock(mu_);
+  return next_deliver_ - base_batch_;
+}
+
+}  // namespace cnr::data

@@ -1,0 +1,122 @@
+// Distributed reader tier simulation.
+//
+// The paper's training system uses a separate reader cluster that feeds
+// trainers with batches (§2.2). Checkpointing a distributed reader is subtle:
+// batches that have been read but not yet trained would create a gap between
+// reader state and trainer state. Check-N-Run closes the gap by telling the
+// reader master *exactly how many batches* to produce per checkpoint interval
+// (§4.1): when the trainer finishes the last allowed batch there are no
+// in-flight records, and the reader state can be collected exactly.
+//
+// ReaderMaster reproduces that protocol with real worker threads:
+//   - AllowBatches(n) extends the production budget by n batches.
+//   - Workers claim batch ids within the budget, materialize records from the
+//     indexable dataset, and insert them into a bounded reorder buffer.
+//   - NextBatch() delivers batches strictly in id order (training is
+//     synchronous and deterministic).
+//   - CollectState() blocks until the budget is exhausted and every produced
+//     batch has been consumed, then returns the exact ReaderState.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/batch.h"
+#include "data/synthetic.h"
+#include "util/serialize.h"
+
+namespace cnr::data {
+
+// Exact position of the reader in the dataset. Stored inside every
+// checkpoint manifest so a resumed run continues on the same records.
+struct ReaderState {
+  std::uint64_t next_batch_id = 0;
+  std::uint64_t next_sample = 0;
+
+  void Serialize(util::Writer& w) const {
+    w.Put<std::uint64_t>(next_batch_id);
+    w.Put<std::uint64_t>(next_sample);
+  }
+  static ReaderState Deserialize(util::Reader& r) {
+    ReaderState s;
+    s.next_batch_id = r.Get<std::uint64_t>();
+    s.next_sample = r.Get<std::uint64_t>();
+    return s;
+  }
+  std::vector<std::uint8_t> Encode() const {
+    util::Writer w;
+    Serialize(w);
+    return w.TakeBytes();
+  }
+  static ReaderState Decode(std::span<const std::uint8_t> bytes) {
+    util::Reader r(bytes);
+    return Deserialize(r);
+  }
+
+  bool operator==(const ReaderState&) const = default;
+};
+
+struct ReaderConfig {
+  std::size_t batch_size = 128;
+  std::size_t num_workers = 4;
+  // Max produced-but-unconsumed batches (reorder buffer bound).
+  std::size_t queue_capacity = 8;
+};
+
+class ReaderMaster {
+ public:
+  ReaderMaster(const SyntheticDataset& dataset, ReaderConfig config,
+               ReaderState initial = {});
+  ~ReaderMaster();
+
+  ReaderMaster(const ReaderMaster&) = delete;
+  ReaderMaster& operator=(const ReaderMaster&) = delete;
+
+  const ReaderConfig& config() const { return config_; }
+
+  // Extends the production budget by `n` batches (checkpoint-interval
+  // coordination, paper §4.1).
+  void AllowBatches(std::uint64_t n);
+
+  // Next batch in id order. Blocks while production is in flight; returns
+  // nullopt once the budget is exhausted and everything was delivered.
+  std::optional<Batch> NextBatch();
+
+  // Blocks until quiescent (budget exhausted and all batches consumed) and
+  // returns the exact reader position. With no in-flight batches this is
+  // gap-free by construction.
+  ReaderState CollectState();
+
+  // Batches delivered to the trainer so far (this incarnation).
+  std::uint64_t DeliveredBatches();
+
+ private:
+  void WorkerLoop();
+  bool ExhaustedLocked() const;
+
+  const SyntheticDataset& dataset_;
+  ReaderConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable claim_cv_;    // workers wait for budget/backpressure
+  std::condition_variable deliver_cv_;  // consumer waits for the next batch
+  std::condition_variable quiesce_cv_;  // CollectState waits for drain
+
+  std::uint64_t allowed_until_ = 0;  // absolute batch-id budget (exclusive)
+  std::uint64_t next_claim_ = 0;     // next batch id a worker may claim
+  std::uint64_t next_deliver_ = 0;   // next batch id to hand to the trainer
+  std::uint64_t base_sample_ = 0;    // dataset index of batch id 0's first record
+  std::uint64_t base_batch_ = 0;     // first batch id of this incarnation
+  std::map<std::uint64_t, Batch> reorder_;
+  std::uint64_t in_flight_ = 0;  // claimed but not yet inserted
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cnr::data

@@ -1,0 +1,64 @@
+// Synthetic click-through dataset.
+//
+// Substitutes the paper's production training data (see DESIGN.md §2). Two
+// properties matter for reproducing the paper's behaviour and are preserved:
+//
+//  1. Zipf-skewed categorical features — embedding rows are accessed with a
+//     heavy-tailed distribution, so only a fraction of the model is modified
+//     per interval (drives Figs 5/6/15/16).
+//  2. Learnable labels — labels come from a fixed random "teacher" logistic
+//     model over the same features plus noise, so log-loss improves with
+//     training and degrades measurably when a lossy checkpoint is restored
+//     (drives Fig 14).
+//
+// The dataset is *indexable*: record i is a pure function of (seed, i). That
+// gives the reader tier exact replay semantics — resuming from reader state
+// `next_sample = k` regenerates precisely the records a real reader would
+// re-read from its dataset offset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/batch.h"
+#include "util/rng.h"
+
+namespace cnr::data {
+
+struct TableSpec {
+  std::uint64_t num_rows = 0;
+  int multi_hot = 1;      // lookups per sample for this table
+  double zipf_s = 1.05;   // skew of the categorical distribution
+};
+
+struct DatasetConfig {
+  std::uint64_t seed = 42;
+  int num_dense = 8;
+  std::vector<TableSpec> tables;
+
+  // Teacher model: label = Bernoulli(sigmoid(dense·w + sparse effects + b)).
+  double label_noise = 0.25;  // scales an additive Gaussian logit perturbation
+  double teacher_bias = -0.3;
+};
+
+class SyntheticDataset {
+ public:
+  explicit SyntheticDataset(DatasetConfig config);
+
+  const DatasetConfig& config() const { return config_; }
+  std::size_t num_tables() const { return config_.tables.size(); }
+
+  // Deterministically materializes record `index`.
+  Sample Get(std::uint64_t index) const;
+
+  // Convenience: materializes records [first, first + count).
+  Batch GetBatch(std::uint64_t batch_id, std::uint64_t first, std::size_t count) const;
+
+ private:
+  DatasetConfig config_;
+  std::vector<util::ZipfSampler> samplers_;
+  std::vector<float> teacher_dense_;               // teacher weight per dense feature
+  std::vector<std::uint64_t> teacher_table_seed_;  // per-table hash seed for sparse effects
+};
+
+}  // namespace cnr::data

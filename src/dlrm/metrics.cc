@@ -1,0 +1,64 @@
+#include "dlrm/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cnr::dlrm {
+
+void MetricTracker::Add(const BatchMetrics& m) {
+  lifetime_.Merge(m);
+  recent_.push_back(m);
+  recent_sum_.Merge(m);
+  while (recent_.size() > window_) {
+    const auto& old = recent_.front();
+    recent_sum_.loss_sum -= old.loss_sum;
+    recent_sum_.samples -= old.samples;
+    recent_.pop_front();
+  }
+}
+
+double MetricTracker::WindowLoss() const { return recent_sum_.MeanLoss(); }
+
+double Auc(const DlrmModel& model, const data::Batch& batch) {
+  if (batch.samples.empty()) throw std::invalid_argument("Auc: empty batch");
+  struct Scored {
+    float score;
+    bool positive;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(batch.samples.size());
+  std::size_t positives = 0;
+  for (const auto& sample : batch.samples) {
+    const bool pos = sample.label > 0.5f;
+    positives += pos ? 1 : 0;
+    scored.push_back({model.Predict(sample), pos});
+  }
+  const std::size_t negatives = scored.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("Auc: batch needs both classes");
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.score < b.score; });
+  // Mann-Whitney U with mid-ranks for ties.
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < scored.size()) {
+    std::size_t j = i;
+    while (j < scored.size() && scored[j].score == scored[i].score) ++j;
+    const double mid_rank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based mid rank
+    for (std::size_t k = i; k < j; ++k) {
+      if (scored[k].positive) rank_sum_pos += mid_rank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos - static_cast<double>(positives) *
+                                      (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double RelativeDegradationPct(double baseline_loss, double run_loss) {
+  if (baseline_loss == 0.0) return 0.0;
+  return (run_loss - baseline_loss) / baseline_loss * 100.0;
+}
+
+}  // namespace cnr::dlrm

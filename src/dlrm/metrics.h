@@ -1,0 +1,46 @@
+// Training-quality metrics.
+//
+// The paper's accuracy criterion is a relative one: restarting from a
+// checkpoint must not degrade training accuracy by more than 0.01% versus an
+// uninterrupted run (§1, §6.2). MetricTracker accumulates log-loss over the
+// training stream; RelativeDegradation compares a run against its lossless
+// baseline the way Fig 14 does.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "dlrm/model.h"
+
+namespace cnr::dlrm {
+
+// Accumulates per-batch metrics with both lifetime and sliding-window views.
+class MetricTracker {
+ public:
+  explicit MetricTracker(std::size_t window_batches = 64) : window_(window_batches) {}
+
+  void Add(const BatchMetrics& m);
+
+  std::uint64_t samples() const { return lifetime_.samples; }
+  double LifetimeLoss() const { return lifetime_.MeanLoss(); }
+  double WindowLoss() const;
+
+ private:
+  std::size_t window_;
+  BatchMetrics lifetime_;
+  std::deque<BatchMetrics> recent_;
+  BatchMetrics recent_sum_;
+};
+
+// Relative loss degradation of `run` vs `baseline`, in percent. Positive
+// values mean `run` is worse. This is the Y axis of Fig 14 (the paper's
+// business threshold is 0.01%).
+double RelativeDegradationPct(double baseline_loss, double run_loss);
+
+// Area under the ROC curve of `model` over `batch` (Mann-Whitney U
+// statistic; ties share rank). 0.5 = chance, 1.0 = perfect ranking. The CTR
+// metric production recommendation systems actually report alongside
+// log-loss.
+double Auc(const DlrmModel& model, const data::Batch& batch);
+
+}  // namespace cnr::dlrm

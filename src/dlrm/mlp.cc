@@ -1,0 +1,114 @@
+#include "dlrm/mlp.h"
+
+#include <stdexcept>
+
+namespace cnr::dlrm {
+
+void MlpGrads::Zero() {
+  for (auto& m : dw) m.Fill(0.0f);
+  for (auto& b : db) std::fill(b.begin(), b.end(), 0.0f);
+}
+
+Mlp::Mlp(std::vector<std::size_t> dims, bool final_relu, util::Rng& rng)
+    : dims_(std::move(dims)), final_relu_(final_relu) {
+  if (dims_.size() < 2) throw std::invalid_argument("Mlp: need at least in/out dims");
+  for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+    tensor::Matrix w(dims_[l + 1], dims_[l]);
+    w.InitKaiming(rng, dims_[l]);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(dims_[l + 1], 0.0f);
+  }
+}
+
+std::size_t Mlp::ParameterCount() const {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    n += weights_[l].size() + biases_[l].size();
+  }
+  return n;
+}
+
+MlpGrads Mlp::MakeGrads() const {
+  MlpGrads g;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    g.dw.emplace_back(weights_[l].rows(), weights_[l].cols());
+    g.db.emplace_back(biases_[l].size(), 0.0f);
+  }
+  return g;
+}
+
+std::span<const float> Mlp::Forward(std::span<const float> input, MlpCache& cache) const {
+  if (input.size() != in_dim()) throw std::invalid_argument("Mlp::Forward: input dim");
+  cache.activations.resize(weights_.size() + 1);
+  cache.activations[0].assign(input.begin(), input.end());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    auto& out = cache.activations[l + 1];
+    out.resize(weights_[l].rows());
+    tensor::MatVec(weights_[l], cache.activations[l], biases_[l], out);
+    if (l + 1 < weights_.size() || final_relu_) tensor::ReluForward(out);
+  }
+  return cache.activations.back();
+}
+
+void Mlp::Backward(const MlpCache& cache, std::span<const float> doutput, MlpGrads& grads,
+                   std::span<float> dinput) const {
+  if (cache.activations.size() != weights_.size() + 1) {
+    throw std::invalid_argument("Mlp::Backward: stale cache");
+  }
+  std::vector<float> dy(doutput.begin(), doutput.end());
+  for (std::size_t l = weights_.size(); l-- > 0;) {
+    const bool had_relu = (l + 1 < weights_.size()) || final_relu_;
+    if (had_relu) tensor::ReluBackward(cache.activations[l + 1], dy);
+    std::vector<float> dx;
+    std::span<float> dx_span;
+    if (l > 0) {
+      dx.resize(dims_[l]);
+      dx_span = dx;
+    } else {
+      dx_span = dinput;  // may be empty -> skip input gradient
+    }
+    tensor::MatVecBackward(weights_[l], cache.activations[l], dy, dx_span, grads.dw[l],
+                           grads.db[l]);
+    if (l > 0) dy = std::move(dx);
+  }
+}
+
+void Mlp::Step(const MlpGrads& grads, float lr, float batch_scale) {
+  const float step = lr * batch_scale;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    auto flat = weights_[l].Flat();
+    const auto gflat = grads.dw[l].Flat();
+    for (std::size_t i = 0; i < flat.size(); ++i) flat[i] -= step * gflat[i];
+    for (std::size_t i = 0; i < biases_[l].size(); ++i) biases_[l][i] -= step * grads.db[l][i];
+  }
+}
+
+void Mlp::Serialize(util::Writer& w) const {
+  w.Put<std::uint8_t>(final_relu_ ? 1 : 0);
+  w.Put<std::uint64_t>(dims_.size());
+  for (const auto d : dims_) w.Put<std::uint64_t>(d);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    weights_[l].Serialize(w);
+    w.PutVector(biases_[l]);
+  }
+}
+
+Mlp Mlp::Deserialize(util::Reader& r) {
+  Mlp m;
+  m.final_relu_ = r.Get<std::uint8_t>() != 0;
+  const auto ndims = r.Get<std::uint64_t>();
+  m.dims_.resize(ndims);
+  for (auto& d : m.dims_) d = static_cast<std::size_t>(r.Get<std::uint64_t>());
+  for (std::size_t l = 0; l + 1 < m.dims_.size(); ++l) {
+    m.weights_.push_back(tensor::Matrix::Deserialize(r));
+    m.biases_.push_back(r.GetVector<float>());
+  }
+  return m;
+}
+
+bool Mlp::operator==(const Mlp& other) const {
+  return dims_ == other.dims_ && final_relu_ == other.final_relu_ &&
+         weights_ == other.weights_ && biases_ == other.biases_;
+}
+
+}  // namespace cnr::dlrm

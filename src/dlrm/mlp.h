@@ -1,0 +1,70 @@
+// Multi-layer perceptron with ReLU activations.
+//
+// DLRMs use a bottom MLP over dense features and a top MLP over the feature
+// interactions (paper §2.1, Fig 1). MLPs are data-parallel in the paper's
+// training system (replicated, AllReduce gradients); in this simulation a
+// single replica is trained and logically replicated — synchronous data
+// parallelism with summed gradients is numerically equivalent.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/dense.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace cnr::dlrm {
+
+// Gradient buffers matching an Mlp's parameters.
+struct MlpGrads {
+  std::vector<tensor::Matrix> dw;
+  std::vector<std::vector<float>> db;
+
+  void Zero();
+};
+
+// Per-sample forward cache (layer inputs/outputs) for backprop.
+struct MlpCache {
+  std::vector<std::vector<float>> activations;  // activations[0] = input
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+  // `dims` = {in, hidden..., out}. `final_relu` controls whether the last
+  // layer applies ReLU (top MLP outputs a raw logit, so false there).
+  Mlp(std::vector<std::size_t> dims, bool final_relu, util::Rng& rng);
+
+  std::size_t in_dim() const { return dims_.empty() ? 0 : dims_.front(); }
+  std::size_t out_dim() const { return dims_.empty() ? 0 : dims_.back(); }
+  std::size_t num_layers() const { return weights_.size(); }
+  std::size_t ParameterCount() const;
+
+  MlpGrads MakeGrads() const;
+
+  // Forward pass; fills `cache` and returns the output activation.
+  std::span<const float> Forward(std::span<const float> input, MlpCache& cache) const;
+
+  // Backward from dL/d(output); accumulates into `grads` and, if `dinput` is
+  // non-empty, writes dL/d(input).
+  void Backward(const MlpCache& cache, std::span<const float> doutput, MlpGrads& grads,
+                std::span<float> dinput) const;
+
+  // SGD step: w -= lr/batch * dw.
+  void Step(const MlpGrads& grads, float lr, float batch_scale);
+
+  void Serialize(util::Writer& w) const;
+  static Mlp Deserialize(util::Reader& r);
+
+  bool operator==(const Mlp& other) const;
+
+ private:
+  std::vector<std::size_t> dims_;
+  bool final_relu_ = true;
+  std::vector<tensor::Matrix> weights_;       // layer l: [dims_{l+1} x dims_l]
+  std::vector<std::vector<float>> biases_;
+};
+
+}  // namespace cnr::dlrm

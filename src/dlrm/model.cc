@@ -1,0 +1,194 @@
+#include "dlrm/model.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "tensor/dense.h"
+
+namespace cnr::dlrm {
+
+namespace {
+
+// Numerically stable BCE-with-logits.
+double BceLoss(float logit, float label) {
+  const double z = logit;
+  const double y = label;
+  // log(1 + e^-|z|) + max(z,0) - z*y
+  return std::log1p(std::exp(-std::fabs(z))) + std::max(z, 0.0) - z * y;
+}
+
+}  // namespace
+
+DlrmModel::DlrmModel(ModelConfig config) : config_(std::move(config)) {
+  if (config_.table_rows.empty()) throw std::invalid_argument("DlrmModel: no tables");
+  util::Rng rng(config_.seed);
+
+  std::vector<std::size_t> bottom_dims;
+  bottom_dims.push_back(static_cast<std::size_t>(config_.num_dense));
+  for (const auto h : config_.bottom_hidden) bottom_dims.push_back(h);
+  bottom_dims.push_back(config_.embedding_dim);
+  bottom_ = Mlp(bottom_dims, /*final_relu=*/true, rng);
+
+  const std::size_t nf = config_.table_rows.size() + 1;  // features incl. bottom
+  const std::size_t top_in = config_.embedding_dim + nf * (nf - 1) / 2;
+  std::vector<std::size_t> top_dims;
+  top_dims.push_back(top_in);
+  for (const auto h : config_.top_hidden) top_dims.push_back(h);
+  top_dims.push_back(1);
+  top_ = Mlp(top_dims, /*final_relu=*/false, rng);
+
+  tables_.reserve(config_.table_rows.size());
+  for (std::size_t t = 0; t < config_.table_rows.size(); ++t) {
+    tables_.push_back(std::make_unique<tensor::ShardedEmbedding>(
+        "emb" + std::to_string(t), config_.table_rows[t], config_.embedding_dim,
+        config_.num_shards));
+    tables_.back()->InitUniform(rng);
+  }
+}
+
+float DlrmModel::ForwardSample(const data::Sample& sample, SampleCache& cache) const {
+  if (sample.sparse.size() != tables_.size()) {
+    throw std::invalid_argument("DlrmModel: sample table count mismatch");
+  }
+  const std::size_t d = config_.embedding_dim;
+  const std::size_t nf = tables_.size() + 1;
+
+  cache.features.assign(nf, {});
+  const auto bottom_out = bottom_.Forward(sample.dense, cache.bottom);
+  cache.features[0].assign(bottom_out.begin(), bottom_out.end());
+
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    auto& pooled = cache.features[t + 1];
+    pooled.assign(d, 0.0f);
+    for (const auto id : sample.sparse[t]) {
+      const auto row = tables_[t]->LookupRow(id);
+      tensor::Axpy(1.0f, row, pooled);
+    }
+  }
+
+  // Interaction: pairwise dots in a fixed (i<j) order, appended to bottom out.
+  cache.top_in.assign(cache.features[0].begin(), cache.features[0].end());
+  for (std::size_t i = 0; i < nf; ++i) {
+    for (std::size_t j = i + 1; j < nf; ++j) {
+      cache.top_in.push_back(tensor::Dot(cache.features[i], cache.features[j]));
+    }
+  }
+
+  const auto out = top_.Forward(cache.top_in, cache.top);
+  cache.prob = tensor::Sigmoid(out[0]);
+  return out[0];
+}
+
+void DlrmModel::BackwardSample(
+    const data::Sample& sample, const SampleCache& cache, MlpGrads& bottom_grads,
+    MlpGrads& top_grads,
+    std::vector<std::unordered_map<std::uint64_t, std::vector<float>>>& sparse_grads) const {
+  const std::size_t d = config_.embedding_dim;
+  const std::size_t nf = tables_.size() + 1;
+
+  // dL/dlogit for BCE+sigmoid.
+  const float dlogit = cache.prob - sample.label;
+  std::vector<float> dtop_in(cache.top_in.size(), 0.0f);
+  const float dout[1] = {dlogit};
+  top_.Backward(cache.top, dout, top_grads, dtop_in);
+
+  // Split d(top_in) into the direct bottom-out part and the dot-product part.
+  std::vector<std::vector<float>> dfeat(nf, std::vector<float>(d, 0.0f));
+  for (std::size_t k = 0; k < d; ++k) dfeat[0][k] = dtop_in[k];
+  std::size_t z = d;
+  for (std::size_t i = 0; i < nf; ++i) {
+    for (std::size_t j = i + 1; j < nf; ++j, ++z) {
+      const float g = dtop_in[z];
+      if (g != 0.0f) {
+        tensor::Axpy(g, cache.features[j], dfeat[i]);
+        tensor::Axpy(g, cache.features[i], dfeat[j]);
+      }
+    }
+  }
+
+  bottom_.Backward(cache.bottom, dfeat[0], bottom_grads, {});
+
+  // Sum-pooled lookups: every looked-up row receives the pooled gradient;
+  // repeated ids accumulate.
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    for (const auto id : sample.sparse[t]) {
+      auto& g = sparse_grads[t][id];
+      if (g.empty()) g.assign(d, 0.0f);
+      tensor::Axpy(1.0f, dfeat[t + 1], g);
+    }
+  }
+}
+
+BatchMetrics DlrmModel::TrainBatch(const data::Batch& batch) {
+  BatchMetrics metrics;
+  if (batch.samples.empty()) return metrics;
+
+  MlpGrads bottom_grads = bottom_.MakeGrads();
+  MlpGrads top_grads = top_.MakeGrads();
+  std::vector<std::unordered_map<std::uint64_t, std::vector<float>>> sparse_grads(
+      tables_.size());
+
+  SampleCache cache;
+  for (const auto& sample : batch.samples) {
+    const float logit = ForwardSample(sample, cache);
+    metrics.loss_sum += BceLoss(logit, sample.label);
+    ++metrics.samples;
+    BackwardSample(sample, cache, bottom_grads, top_grads, sparse_grads);
+  }
+
+  const float inv_batch = 1.0f / static_cast<float>(batch.samples.size());
+  bottom_.Step(bottom_grads, config_.dense_lr, inv_batch);
+  top_.Step(top_grads, config_.dense_lr, inv_batch);
+
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    for (auto& [row, grad] : sparse_grads[t]) {
+      tensor::Scale(grad, inv_batch);
+      tables_[t]->ApplySparseAdagrad(row, grad, config_.sparse_lr, config_.adagrad_eps);
+    }
+  }
+  return metrics;
+}
+
+BatchMetrics DlrmModel::EvalBatch(const data::Batch& batch) const {
+  BatchMetrics metrics;
+  SampleCache cache;
+  for (const auto& sample : batch.samples) {
+    const float logit = ForwardSample(sample, cache);
+    metrics.loss_sum += BceLoss(logit, sample.label);
+    ++metrics.samples;
+  }
+  return metrics;
+}
+
+float DlrmModel::Predict(const data::Sample& sample) const {
+  SampleCache cache;
+  ForwardSample(sample, cache);
+  return cache.prob;
+}
+
+std::size_t DlrmModel::ParameterCount() const {
+  return bottom_.ParameterCount() + top_.ParameterCount() + EmbeddingParameterCount();
+}
+
+std::size_t DlrmModel::EmbeddingParameterCount() const {
+  std::size_t n = 0;
+  for (const auto& t : tables_) n += t->ParameterCount();
+  return n;
+}
+
+void DlrmModel::SerializeDense(util::Writer& w) const {
+  bottom_.Serialize(w);
+  top_.Serialize(w);
+}
+
+void DlrmModel::RestoreDense(util::Reader& r) {
+  bottom_ = Mlp::Deserialize(r);
+  top_ = Mlp::Deserialize(r);
+}
+
+bool DlrmModel::DenseEquals(const DlrmModel& other) const {
+  return bottom_ == other.bottom_ && top_ == other.top_;
+}
+
+}  // namespace cnr::dlrm

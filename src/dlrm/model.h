@@ -1,0 +1,114 @@
+// Deep Learning Recommendation Model (paper §2.1, Fig 1).
+//
+// Architecture, matching the open-source DLRM reference the paper builds on:
+//   - bottom MLP maps dense features to a `embedding_dim` vector,
+//   - each sparse feature does a multi-hot embedding lookup, sum-pooled into
+//     one vector per table,
+//   - dot-product interaction over all feature vectors (bottom output plus
+//     one per table),
+//   - top MLP maps [bottom output, pairwise dots] to a click logit,
+//   - binary cross-entropy loss.
+//
+// Parallelism, matching the paper: embedding tables are model-parallel
+// (row-wise sharded across devices; see tensor::ShardedEmbedding) and MLPs
+// are data-parallel (replicated). The simulation trains one MLP replica —
+// synchronous AllReduce data parallelism with summed gradients is
+// numerically identical to a single replica processing the whole batch.
+//
+// Optimizers, matching DLRM practice: plain SGD for dense parameters and
+// row-wise sparse AdaGrad for embeddings (whose accumulator is the optimizer
+// state the checkpoint must include, paper §4.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "data/batch.h"
+#include "dlrm/mlp.h"
+#include "tensor/sharding.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace cnr::dlrm {
+
+struct ModelConfig {
+  int num_dense = 8;
+  std::size_t embedding_dim = 16;
+  std::vector<std::uint64_t> table_rows = {4096, 4096, 2048, 2048};
+  std::vector<std::size_t> bottom_hidden = {32};
+  std::vector<std::size_t> top_hidden = {32};
+  std::size_t num_shards = 4;  // simulated devices holding embedding shards
+  float dense_lr = 0.05f;
+  float sparse_lr = 0.05f;
+  float adagrad_eps = 1e-6f;
+  std::uint64_t seed = 1234;
+};
+
+// Loss/accuracy accumulators for a set of processed samples.
+struct BatchMetrics {
+  double loss_sum = 0.0;  // summed BCE
+  std::uint64_t samples = 0;
+
+  double MeanLoss() const { return samples == 0 ? 0.0 : loss_sum / static_cast<double>(samples); }
+  void Merge(const BatchMetrics& o) {
+    loss_sum += o.loss_sum;
+    samples += o.samples;
+  }
+};
+
+class DlrmModel {
+ public:
+  explicit DlrmModel(ModelConfig config);
+
+  const ModelConfig& config() const { return config_; }
+  std::size_t num_tables() const { return tables_.size(); }
+  tensor::ShardedEmbedding& table(std::size_t t) { return *tables_[t]; }
+  const tensor::ShardedEmbedding& table(std::size_t t) const { return *tables_[t]; }
+
+  // Trains one batch (forward + backward + optimizer step) and returns the
+  // batch loss. Embedding updates go through EmbeddingTable::ApplySparseAdagrad,
+  // so any installed tracking hooks observe every modified row.
+  BatchMetrics TrainBatch(const data::Batch& batch);
+
+  // Forward-only evaluation (no state change).
+  BatchMetrics EvalBatch(const data::Batch& batch) const;
+
+  // Predicted click probability for one sample (forward only).
+  float Predict(const data::Sample& sample) const;
+
+  // Total fp32 parameters; embeddings dominate (>99% at paper scale).
+  std::size_t ParameterCount() const;
+  // Embedding parameters only.
+  std::size_t EmbeddingParameterCount() const;
+
+  // Dense (replicated) state: both MLPs. Serialized into the checkpoint as a
+  // single blob read from one device (paper §4.1).
+  void SerializeDense(util::Writer& w) const;
+  void RestoreDense(util::Reader& r);
+
+  bool DenseEquals(const DlrmModel& other) const;
+
+ private:
+  struct SampleCache {
+    MlpCache bottom;
+    MlpCache top;
+    std::vector<std::vector<float>> features;  // [0]=bottom out, [1..T]=pooled
+    std::vector<float> top_in;
+    float prob = 0.0f;
+  };
+
+  float ForwardSample(const data::Sample& sample, SampleCache& cache) const;
+  void BackwardSample(const data::Sample& sample, const SampleCache& cache,
+                      MlpGrads& bottom_grads, MlpGrads& top_grads,
+                      std::vector<std::unordered_map<std::uint64_t, std::vector<float>>>&
+                          sparse_grads) const;
+
+  ModelConfig config_;
+  Mlp bottom_;
+  Mlp top_;
+  std::vector<std::unique_ptr<tensor::ShardedEmbedding>> tables_;
+};
+
+}  // namespace cnr::dlrm

@@ -1,0 +1,45 @@
+#include "quant/adaptive.h"
+
+#include <stdexcept>
+
+namespace cnr::quant {
+
+RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num_bins,
+                                   double ratio) {
+  if (num_bins < 1) throw std::invalid_argument("adaptive: num_bins must be >= 1");
+  if (ratio < 0.0 || ratio > 1.0) throw std::invalid_argument("adaptive: ratio in [0,1]");
+
+  const RowParams full = AsymmetricParams(row);
+  const float range = full.xmax - full.xmin;
+  if (range <= 0.0f) return full;  // constant row; nothing to search
+  const float step = range / static_cast<float>(num_bins);
+
+  RowParams best = full;
+  double best_err = UniformRowL2Error(row, bits, full);
+
+  RowParams cur = full;
+  // Iterate while the portion of the range removed so far is below
+  // ratio * range (paper: "stop once it covered ratio of the original range").
+  while ((cur.xmax - cur.xmin) > range * (1.0 - ratio) + step) {
+    const RowParams lo_shrunk{cur.xmin + step, cur.xmax};
+    const RowParams hi_shrunk{cur.xmin, cur.xmax - step};
+    const double err_lo = UniformRowL2Error(row, bits, lo_shrunk);
+    const double err_hi = UniformRowL2Error(row, bits, hi_shrunk);
+    if (err_lo <= err_hi) {
+      cur = lo_shrunk;
+      if (err_lo < best_err) {
+        best_err = err_lo;
+        best = cur;
+      }
+    } else {
+      cur = hi_shrunk;
+      if (err_hi < best_err) {
+        best_err = err_hi;
+        best = cur;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cnr::quant

@@ -1,0 +1,25 @@
+// Adaptive asymmetric quantization, paper §5.2 Approach 3.
+//
+// Naive asymmetric quantization sets (xmin, xmax) to the row's actual
+// min/max; one outlier then inflates the scale for every other element.
+// The adaptive variant greedily shrinks the range: with
+//   step_size = (Xmax - Xmin) / num_bins
+// each iteration evaluates FQ(x, xmin + step, xmax) and FQ(x, xmin,
+// xmax - step) and keeps whichever has lower L2 error, stopping once the
+// shrunk portion of the range reaches `ratio * (Xmax - Xmin)`. The best
+// (xmin, xmax) seen across all iterations (including the unshrunk range)
+// wins. Cost is ~2 quantization passes per iteration, i.e. linear in
+// num_bins * ratio — reproduced by Figs 12/13.
+#pragma once
+
+#include <span>
+
+#include "quant/quantizer.h"
+
+namespace cnr::quant {
+
+// Runs the greedy search and returns the best clipping range for `row`.
+RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num_bins,
+                                   double ratio);
+
+}  // namespace cnr::quant

@@ -1,0 +1,39 @@
+#include "quant/bitpack.h"
+
+namespace cnr::quant {
+
+void BitPacker::Append(std::uint32_t code) {
+  const std::uint32_t mask = (bits_ == 32) ? ~0u : ((1u << bits_) - 1);
+  if ((code & ~mask) != 0) throw std::invalid_argument("BitPacker: code exceeds bit-width");
+  acc_ |= code << acc_bits_;
+  acc_bits_ += bits_;
+  while (acc_bits_ >= 8) {
+    out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+    acc_ >>= 8;
+    acc_bits_ -= 8;
+  }
+}
+
+std::vector<std::uint8_t> BitPacker::Finish() {
+  if (acc_bits_ > 0) {
+    out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  return std::move(out_);
+}
+
+std::uint32_t BitUnpacker::Next() {
+  while (acc_bits_ < bits_) {
+    if (pos_ >= data_.size()) throw std::out_of_range("BitUnpacker: exhausted");
+    acc_ |= static_cast<std::uint32_t>(data_[pos_++]) << acc_bits_;
+    acc_bits_ += 8;
+  }
+  const std::uint32_t mask = (1u << bits_) - 1;
+  const std::uint32_t code = acc_ & mask;
+  acc_ >>= bits_;
+  acc_bits_ -= bits_;
+  return code;
+}
+
+}  // namespace cnr::quant

@@ -1,0 +1,59 @@
+// N-bit code packing.
+//
+// Quantized checkpoints store one integer code per embedding element using
+// 2-8 bits (paper §5.2). BitPacker/BitUnpacker lay codes out LSB-first in a
+// contiguous byte stream with no per-code padding, which is what produces the
+// 4-13x checkpoint size reduction the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cnr::quant {
+
+// Number of bytes needed to hold `count` codes of `bits` bits each.
+constexpr std::size_t PackedBytes(std::size_t count, int bits) {
+  return (count * static_cast<std::size_t>(bits) + 7) / 8;
+}
+
+// Packs codes of `bits` (1..8) bits into a byte buffer, LSB-first.
+class BitPacker {
+ public:
+  explicit BitPacker(int bits) : bits_(bits) {
+    if (bits < 1 || bits > 8) throw std::invalid_argument("BitPacker: bits must be in [1,8]");
+  }
+
+  void Append(std::uint32_t code);
+  // Flushes any partial byte and returns the buffer.
+  std::vector<std::uint8_t> Finish();
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+  std::vector<std::uint8_t> out_;
+  std::uint32_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+// Reads back codes written by BitPacker.
+class BitUnpacker {
+ public:
+  BitUnpacker(std::span<const std::uint8_t> data, int bits) : data_(data), bits_(bits) {
+    if (bits < 1 || bits > 8) throw std::invalid_argument("BitUnpacker: bits must be in [1,8]");
+  }
+
+  std::uint32_t Next();
+
+ private:
+  std::span<const std::uint8_t> data_;
+  int bits_;
+  std::size_t pos_ = 0;
+  std::uint32_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+}  // namespace cnr::quant

@@ -1,0 +1,59 @@
+#include "quant/error.h"
+
+#include <cmath>
+
+#include "quant/adaptive.h"
+#include "quant/kmeans.h"
+
+namespace cnr::quant {
+
+namespace {
+
+double RowError(std::span<const float> row, const QuantConfig& cfg, util::Rng& rng) {
+  switch (cfg.method) {
+    case Method::kNone:
+      return 0.0;
+    case Method::kSymmetric:
+      return UniformRowL2Error(row, cfg.bits, SymmetricParams(row));
+    case Method::kAsymmetric:
+      return UniformRowL2Error(row, cfg.bits, AsymmetricParams(row));
+    case Method::kAdaptiveAsymmetric:
+      return UniformRowL2Error(
+          row, cfg.bits, AdaptiveAsymmetricParams(row, cfg.bits, cfg.num_bins, cfg.ratio));
+    case Method::kKMeans: {
+      const auto km = KMeansQuantizeRow(row, cfg.bits, cfg.kmeans_iters, rng);
+      return KMeansRowL2Error(row, km);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double MeanL2ErrorGeneric(std::size_t num_rows,
+                          const std::function<std::span<const float>(std::size_t)>& row_at,
+                          const QuantConfig& cfg, util::Rng& rng) {
+  if (num_rows == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < num_rows; ++i) acc += RowError(row_at(i), cfg, rng);
+  return acc / static_cast<double>(num_rows);
+}
+
+double MeanL2Error(const tensor::EmbeddingTable& table, const QuantConfig& cfg,
+                   util::Rng& rng) {
+  return MeanL2ErrorGeneric(
+      table.num_rows(), [&](std::size_t i) { return table.Row(i); }, cfg, rng);
+}
+
+double MeanL2ErrorOnRows(const tensor::EmbeddingTable& table,
+                         std::span<const std::uint64_t> rows, const QuantConfig& cfg,
+                         util::Rng& rng) {
+  if (rows.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto r : rows) {
+    acc += RowError(table.Row(static_cast<std::size_t>(r)), cfg, rng);
+  }
+  return acc / static_cast<double>(rows.size());
+}
+
+}  // namespace cnr::quant

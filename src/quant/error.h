@@ -1,0 +1,33 @@
+// Mean L2 error metric (paper §5.2).
+//
+// The paper compares quantization schemes by mean L2 error over a
+// checkpoint: (1/m) * sum_i ||X_i - Q_i||_2 where m is the number of
+// embedding vectors. It is the first-order proxy for accuracy loss.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "quant/quantizer.h"
+#include "tensor/embedding.h"
+#include "util/rng.h"
+
+namespace cnr::quant {
+
+// Mean L2 error of quantizing every row of `table` under `cfg`.
+double MeanL2Error(const tensor::EmbeddingTable& table, const QuantConfig& cfg,
+                   util::Rng& rng);
+
+// Mean L2 error over an explicit subset of rows (used by sampled profiling).
+double MeanL2ErrorOnRows(const tensor::EmbeddingTable& table,
+                         std::span<const std::uint64_t> rows, const QuantConfig& cfg,
+                         util::Rng& rng);
+
+// Mean L2 error over rows exposed through a generic accessor; lets callers
+// evaluate snapshots or raw buffers without building an EmbeddingTable.
+double MeanL2ErrorGeneric(std::size_t num_rows,
+                          const std::function<std::span<const float>(std::size_t)>& row_at,
+                          const QuantConfig& cfg, util::Rng& rng);
+
+}  // namespace cnr::quant

@@ -1,0 +1,95 @@
+#include "quant/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cnr::quant {
+
+KMeansRow KMeansQuantizeRow(std::span<const float> row, int bits, int iters, util::Rng& rng) {
+  if (bits < 1 || bits > 8) throw std::invalid_argument("kmeans: bits must be in [1,8]");
+  if (row.empty()) return {};
+  const std::size_t k_max = std::size_t{1} << bits;
+
+  // Distinct values; if there are no more distinct values than clusters the
+  // codebook is exact.
+  std::vector<float> distinct(row.begin(), row.end());
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  const std::size_t k = std::min(k_max, distinct.size());
+
+  KMeansRow out;
+  out.codes.resize(row.size());
+  out.codebook.resize(k);
+
+  if (k == distinct.size()) {
+    // Exact: one centroid per distinct value.
+    out.codebook = distinct;
+  } else {
+    // Random init from distinct values (uniform k-subset).
+    auto picks = util::SampleWithoutReplacement(rng, distinct.size(), k);
+    std::sort(picks.begin(), picks.end());
+    for (std::size_t i = 0; i < k; ++i) out.codebook[i] = distinct[picks[i]];
+
+    std::vector<double> sum(k);
+    std::vector<std::size_t> count(k);
+    for (int it = 0; it < iters; ++it) {
+      std::fill(sum.begin(), sum.end(), 0.0);
+      std::fill(count.begin(), count.end(), std::size_t{0});
+      // Assignment step. Codebook is kept sorted, so binary search finds the
+      // nearest centroid in O(log k).
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        const float x = row[i];
+        const auto it2 =
+            std::lower_bound(out.codebook.begin(), out.codebook.end(), x);
+        std::size_t best = static_cast<std::size_t>(it2 - out.codebook.begin());
+        if (best == k) {
+          best = k - 1;
+        } else if (best > 0 &&
+                   std::fabs(x - out.codebook[best - 1]) <= std::fabs(out.codebook[best] - x)) {
+          best = best - 1;
+        }
+        out.codes[i] = static_cast<std::uint32_t>(best);
+        sum[best] += x;
+        ++count[best];
+      }
+      // Update step; empty clusters keep their centroid.
+      bool moved = false;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (count[c] == 0) continue;
+        const auto next = static_cast<float>(sum[c] / static_cast<double>(count[c]));
+        if (next != out.codebook[c]) moved = true;
+        out.codebook[c] = next;
+      }
+      std::sort(out.codebook.begin(), out.codebook.end());
+      if (!moved) break;
+    }
+  }
+
+  // Final assignment against the final codebook.
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const float x = row[i];
+    const auto it2 = std::lower_bound(out.codebook.begin(), out.codebook.end(), x);
+    std::size_t best = static_cast<std::size_t>(it2 - out.codebook.begin());
+    if (best == out.codebook.size()) {
+      best = out.codebook.size() - 1;
+    } else if (best > 0 &&
+               std::fabs(x - out.codebook[best - 1]) <= std::fabs(out.codebook[best] - x)) {
+      best = best - 1;
+    }
+    out.codes[i] = static_cast<std::uint32_t>(best);
+  }
+  return out;
+}
+
+double KMeansRowL2Error(std::span<const float> row, const KMeansRow& km) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const double d = static_cast<double>(row[i]) - km.codebook[km.codes[i]];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace cnr::quant

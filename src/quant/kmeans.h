@@ -1,0 +1,33 @@
+// Per-vector k-means (non-uniform) quantization, paper §5.2 Approach 2.
+//
+// For N-bit k-means quantization of a row X in R^n, the n elements are
+// clustered into 2^N 1-D clusters with Lloyd's algorithm; the code of an
+// element is its cluster index and the codebook stores the centroids.
+// The paper runs 15 iterations and found the quality gain over adaptive
+// asymmetric marginal relative to its orders-of-magnitude higher cost —
+// we implement it both as a comparison point (Fig 9) and to reproduce the
+// latency argument.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cnr::quant {
+
+struct KMeansRow {
+  std::vector<float> codebook;       // centroid per cluster (size <= 2^bits)
+  std::vector<std::uint32_t> codes;  // cluster index per element
+};
+
+// Clusters `row` into at most 2^bits clusters with `iters` Lloyd iterations.
+// Initialization picks random distinct elements (the paper notes the
+// randomness occasionally makes 4-bit k-means worse than asymmetric).
+KMeansRow KMeansQuantizeRow(std::span<const float> row, int bits, int iters, util::Rng& rng);
+
+// L2 (Euclidean) reconstruction error of a clustered row.
+double KMeansRowL2Error(std::span<const float> row, const KMeansRow& km);
+
+}  // namespace cnr::quant

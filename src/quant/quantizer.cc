@@ -1,0 +1,215 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "quant/adaptive.h"
+#include "quant/kmeans.h"
+
+namespace cnr::quant {
+
+std::string MethodName(Method m) {
+  switch (m) {
+    case Method::kNone: return "none";
+    case Method::kSymmetric: return "symmetric";
+    case Method::kAsymmetric: return "asymmetric";
+    case Method::kAdaptiveAsymmetric: return "adaptive-asymmetric";
+    case Method::kKMeans: return "kmeans";
+  }
+  return "?";
+}
+
+void QuantConfig::Serialize(util::Writer& w) const {
+  w.Put<std::uint8_t>(static_cast<std::uint8_t>(method));
+  w.Put<std::int32_t>(bits);
+  w.Put<std::int32_t>(num_bins);
+  w.Put<double>(ratio);
+  w.Put<std::int32_t>(kmeans_iters);
+}
+
+QuantConfig QuantConfig::Deserialize(util::Reader& r) {
+  QuantConfig cfg;
+  cfg.method = static_cast<Method>(r.Get<std::uint8_t>());
+  cfg.bits = r.Get<std::int32_t>();
+  cfg.num_bins = r.Get<std::int32_t>();
+  cfg.ratio = r.Get<double>();
+  cfg.kmeans_iters = r.Get<std::int32_t>();
+  return cfg;
+}
+
+RowParams SymmetricParams(std::span<const float> row) {
+  float amax = 0.0f;
+  for (const float v : row) amax = std::max(amax, std::fabs(v));
+  return {-amax, amax};
+}
+
+RowParams AsymmetricParams(std::span<const float> row) {
+  if (row.empty()) return {0.0f, 0.0f};
+  float lo = row[0], hi = row[0];
+  for (const float v : row) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return {lo, hi};
+}
+
+namespace {
+
+inline std::uint32_t QuantizeOne(float x, float zero_point, float inv_scale,
+                                 std::uint32_t qmax) {
+  const float q = std::round((x - zero_point) * inv_scale);
+  if (q <= 0.0f) return 0;
+  if (q >= static_cast<float>(qmax)) return qmax;
+  return static_cast<std::uint32_t>(q);
+}
+
+struct UniformScale {
+  float scale;
+  float inv_scale;
+  std::uint32_t qmax;
+};
+
+UniformScale MakeScale(int bits, const RowParams& p) {
+  if (bits < 1 || bits > 8) throw std::invalid_argument("quantize: bits must be in [1,8]");
+  const auto qmax = static_cast<std::uint32_t>((1u << bits) - 1);
+  float scale = (p.xmax - p.xmin) / static_cast<float>(qmax);
+  if (scale <= 0.0f || !std::isfinite(scale)) scale = 1.0f;  // degenerate (constant) row
+  return {scale, 1.0f / scale, qmax};
+}
+
+}  // namespace
+
+void UniformQuantize(std::span<const float> row, int bits, const RowParams& p,
+                     BitPacker& packer) {
+  const auto s = MakeScale(bits, p);
+  for (const float x : row) packer.Append(QuantizeOne(x, p.xmin, s.inv_scale, s.qmax));
+}
+
+void UniformDequantize(BitUnpacker& unpacker, int bits, const RowParams& p,
+                       std::span<float> out) {
+  const auto s = MakeScale(bits, p);
+  for (auto& v : out) v = s.scale * static_cast<float>(unpacker.Next()) + p.xmin;
+}
+
+std::vector<float> UniformRoundTrip(std::span<const float> row, int bits, const RowParams& p) {
+  const auto s = MakeScale(bits, p);
+  std::vector<float> out(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const std::uint32_t q = QuantizeOne(row[i], p.xmin, s.inv_scale, s.qmax);
+    out[i] = s.scale * static_cast<float>(q) + p.xmin;
+  }
+  return out;
+}
+
+double UniformRowL2Error(std::span<const float> row, int bits, const RowParams& p) {
+  const auto s = MakeScale(bits, p);
+  double acc = 0.0;
+  for (const float x : row) {
+    const std::uint32_t q = QuantizeOne(x, p.xmin, s.inv_scale, s.qmax);
+    const double d = static_cast<double>(x) -
+                     (static_cast<double>(s.scale) * q + static_cast<double>(p.xmin));
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& cfg,
+               util::Rng& rng) {
+  switch (cfg.method) {
+    case Method::kNone:
+      w.PutBytes(row.data(), row.size() * sizeof(float));
+      return;
+    case Method::kSymmetric:
+    case Method::kAsymmetric:
+    case Method::kAdaptiveAsymmetric: {
+      RowParams p;
+      if (cfg.method == Method::kSymmetric) {
+        p = SymmetricParams(row);
+      } else if (cfg.method == Method::kAsymmetric) {
+        p = AsymmetricParams(row);
+      } else {
+        p = AdaptiveAsymmetricParams(row, cfg.bits, cfg.num_bins, cfg.ratio);
+      }
+      w.Put<float>(p.xmin);
+      w.Put<float>(p.xmax);
+      BitPacker packer(cfg.bits);
+      UniformQuantize(row, cfg.bits, p, packer);
+      const auto bytes = packer.Finish();
+      w.PutBytes(bytes.data(), bytes.size());
+      return;
+    }
+    case Method::kKMeans: {
+      const KMeansRow km = KMeansQuantizeRow(row, cfg.bits, cfg.kmeans_iters, rng);
+      // Codebook is fixed-size (2^bits entries, zero-padded) so decoding can
+      // compute offsets without a length prefix.
+      const std::size_t k = std::size_t{1} << cfg.bits;
+      for (std::size_t i = 0; i < k; ++i) {
+        w.Put<float>(i < km.codebook.size() ? km.codebook[i] : 0.0f);
+      }
+      BitPacker packer(cfg.bits);
+      for (const auto code : km.codes) packer.Append(code);
+      const auto bytes = packer.Finish();
+      w.PutBytes(bytes.data(), bytes.size());
+      return;
+    }
+  }
+  throw std::invalid_argument("EncodeRow: unknown method");
+}
+
+void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out) {
+  switch (cfg.method) {
+    case Method::kNone:
+      r.GetBytes(out.data(), out.size() * sizeof(float));
+      return;
+    case Method::kSymmetric:
+    case Method::kAsymmetric:
+    case Method::kAdaptiveAsymmetric: {
+      RowParams p;
+      p.xmin = r.Get<float>();
+      p.xmax = r.Get<float>();
+      std::vector<std::uint8_t> packed(PackedBytes(out.size(), cfg.bits));
+      r.GetBytes(packed.data(), packed.size());
+      BitUnpacker unpacker(packed, cfg.bits);
+      UniformDequantize(unpacker, cfg.bits, p, out);
+      return;
+    }
+    case Method::kKMeans: {
+      const std::size_t k = std::size_t{1} << cfg.bits;
+      std::vector<float> codebook(k);
+      r.GetBytes(codebook.data(), k * sizeof(float));
+      std::vector<std::uint8_t> packed(PackedBytes(out.size(), cfg.bits));
+      r.GetBytes(packed.data(), packed.size());
+      BitUnpacker unpacker(packed, cfg.bits);
+      for (auto& v : out) v = codebook[unpacker.Next()];
+      return;
+    }
+  }
+  throw std::invalid_argument("DecodeRow: unknown method");
+}
+
+std::size_t EncodedRowBytes(const QuantConfig& cfg, std::size_t dim) {
+  switch (cfg.method) {
+    case Method::kNone:
+      return dim * sizeof(float);
+    case Method::kSymmetric:
+    case Method::kAsymmetric:
+    case Method::kAdaptiveAsymmetric:
+      return 2 * sizeof(float) + PackedBytes(dim, cfg.bits);
+    case Method::kKMeans:
+      return (std::size_t{1} << cfg.bits) * sizeof(float) + PackedBytes(dim, cfg.bits);
+  }
+  throw std::invalid_argument("EncodedRowBytes: unknown method");
+}
+
+std::vector<float> RoundTrip(std::span<const float> row, const QuantConfig& cfg,
+                             util::Rng& rng) {
+  util::Writer w;
+  EncodeRow(w, row, cfg, rng);
+  util::Reader r(w.bytes());
+  std::vector<float> out(row.size());
+  DecodeRow(r, cfg, out);
+  return out;
+}
+
+}  // namespace cnr::quant

@@ -1,0 +1,105 @@
+// Checkpoint quantization schemes (paper §5.2).
+//
+// All schemes quantize at the granularity of one embedding vector (row),
+// matching the paper. Training always stays fp32; quantization applies only
+// when a checkpoint is built, and de-quantization only when training resumes
+// from one.
+//
+//   - Symmetric uniform:    xmax = max|x|, xmin = -xmax.
+//   - Asymmetric uniform:   xmin/xmax = actual min/max of the row.
+//   - Adaptive asymmetric:  greedy range-shrinking search over per-row
+//                           (xmin, xmax), parameterized by num_bins / ratio
+//                           (see adaptive.h).
+//   - K-means per vector:   1-D Lloyd clustering with a per-row codebook
+//                           (see kmeans.h).
+//
+// The uniform mapping FQ(x, xmin, xmax) with N bits is
+//   scale      = (xmax - xmin) / (2^N - 1)
+//   zero_point = xmin
+//   xq         = round((x - zero_point) / scale), clipped to [0, 2^N - 1]
+//   x'         = scale * xq + zero_point
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quant/bitpack.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace cnr::quant {
+
+enum class Method : std::uint8_t {
+  kNone = 0,        // fp32 passthrough (baseline checkpoints)
+  kSymmetric = 1,
+  kAsymmetric = 2,
+  kAdaptiveAsymmetric = 3,
+  kKMeans = 4,
+};
+
+std::string MethodName(Method m);
+
+// Per-row uniform quantization parameters.
+struct RowParams {
+  float xmin = 0.0f;
+  float xmax = 0.0f;
+};
+
+// Full configuration of a quantization pass over a checkpoint.
+struct QuantConfig {
+  Method method = Method::kAsymmetric;
+  int bits = 4;          // 2..8 (ignored for kNone)
+  int num_bins = 25;     // adaptive only: greedy step granularity
+  double ratio = 1.0;    // adaptive only: fraction of the range to search
+  int kmeans_iters = 15; // kmeans only
+
+  // Serialized so recovery can decode without out-of-band knowledge.
+  void Serialize(util::Writer& w) const;
+  static QuantConfig Deserialize(util::Reader& r);
+};
+
+// ---- Uniform quantization primitives ----
+
+// Chooses symmetric row parameters: [-max|x|, +max|x|].
+RowParams SymmetricParams(std::span<const float> row);
+// Chooses asymmetric row parameters: [min(x), max(x)].
+RowParams AsymmetricParams(std::span<const float> row);
+
+// Quantizes `row` with `bits` and `p`, appending packed codes to `packer`.
+void UniformQuantize(std::span<const float> row, int bits, const RowParams& p,
+                     BitPacker& packer);
+
+// Reconstructs `out.size()` values from `unpacker`.
+void UniformDequantize(BitUnpacker& unpacker, int bits, const RowParams& p,
+                       std::span<float> out);
+
+// Quantize-then-dequantize round trip into a fresh vector (for error
+// evaluation without materializing packed bytes).
+std::vector<float> UniformRoundTrip(std::span<const float> row, int bits, const RowParams& p);
+
+// L2 (Euclidean) distance between a row and its uniform reconstruction,
+// without materializing the reconstruction.
+double UniformRowL2Error(std::span<const float> row, int bits, const RowParams& p);
+
+// ---- Whole-row encode/decode used by the checkpoint writer ----
+
+// Encodes one row under `cfg` into `w`: per-row parameters (or codebook)
+// followed by packed codes. `rng` is used only by k-means initialization.
+void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& cfg,
+               util::Rng& rng);
+
+// Decodes one row encoded by EncodeRow.
+void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out);
+
+// Bytes EncodeRow will emit for a row of `dim` elements under `cfg`.
+// (K-means rows include a 2^bits-entry codebook; uniform rows include two
+// fp32 parameters. kNone rows are raw fp32.)
+std::size_t EncodedRowBytes(const QuantConfig& cfg, std::size_t dim);
+
+// Round-trips a row through EncodeRow/DecodeRow (for error measurements).
+std::vector<float> RoundTrip(std::span<const float> row, const QuantConfig& cfg,
+                             util::Rng& rng);
+
+}  // namespace cnr::quant

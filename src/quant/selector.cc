@@ -1,0 +1,63 @@
+#include "quant/selector.h"
+
+#include <algorithm>
+
+namespace cnr::quant {
+
+std::vector<std::uint64_t> SampleRows(const tensor::EmbeddingTable& table,
+                                      double sample_fraction, util::Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(table.num_rows());
+  auto k = static_cast<std::uint64_t>(static_cast<double>(n) * sample_fraction);
+  k = std::clamp<std::uint64_t>(k, 1, n);
+  auto rows = util::SampleWithoutReplacement(rng, n, k);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+BinsSelection SelectNumBins(const tensor::EmbeddingTable& table, int bits,
+                            const SelectorConfig& cfg, util::Rng& rng) {
+  BinsSelection out;
+  const auto rows = SampleRows(table, cfg.sample_fraction, rng);
+
+  QuantConfig qc;
+  qc.method = Method::kAdaptiveAsymmetric;
+  qc.bits = bits;
+  qc.ratio = 1.0;
+
+  double prev = -1.0;
+  for (const int bins : cfg.bins_candidates) {
+    qc.num_bins = bins;
+    const double err = MeanL2ErrorOnRows(table, rows, qc, rng);
+    out.profile.push_back({bins, err});
+    if (out.selected_bins == 0 && prev >= 0.0) {
+      // Relative improvement over the previous candidate.
+      const double improvement = prev > 0.0 ? (prev - err) / prev : 0.0;
+      if (improvement < cfg.taper_threshold) out.selected_bins = bins;
+    }
+    prev = err;
+  }
+  if (out.selected_bins == 0 && !out.profile.empty()) {
+    out.selected_bins = out.profile.back().num_bins;
+  }
+  return out;
+}
+
+int SelectBitWidth(std::uint64_t expected_restarts, const BitWidthPolicy& policy) {
+  if (expected_restarts <= policy.max_restarts_2bit) return 2;
+  if (expected_restarts <= policy.max_restarts_3bit) return 3;
+  if (expected_restarts <= policy.max_restarts_4bit) return 4;
+  return 8;
+}
+
+QuantConfig ConfigForRestarts(std::uint64_t expected_restarts, const BitWidthPolicy& policy) {
+  QuantConfig cfg;
+  cfg.bits = SelectBitWidth(expected_restarts, policy);
+  // Adaptive asymmetric pays off at 4 bits and below; at 8 bits naive
+  // asymmetric is already within tolerance (paper §5.2 summary).
+  cfg.method = cfg.bits <= 4 ? Method::kAdaptiveAsymmetric : Method::kAsymmetric;
+  cfg.num_bins = cfg.bits >= 4 ? 45 : 25;  // Fig 10's optimal bins per width
+  cfg.ratio = 1.0;
+  return cfg;
+}
+
+}  // namespace cnr::quant

@@ -1,0 +1,68 @@
+// Quantization parameter and bit-width selection (paper §5.2 "Parameter
+// selection" and §6.2.1 "Dynamic Bit-width Selection").
+//
+// Parameter selection: mean L2 error can be estimated from a small uniform
+// sample of checkpoint rows (0.001% in production; configurable here since
+// our models are smaller). Check-N-Run sweeps candidate num_bins values on
+// the sample and picks the value where the error improvement tapers off.
+//
+// Bit-width selection: the number of times a job is expected to resume from
+// a quantized checkpoint bounds the usable bit-width (Fig 14): up to 1
+// restart tolerates 2-bit, up to 3 restarts 3-bit, up to 20 restarts 4-bit,
+// beyond that 8-bit. If observed failures exceed the estimate mid-run,
+// Check-N-Run falls back to 8-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/error.h"
+#include "quant/quantizer.h"
+#include "tensor/embedding.h"
+#include "util/rng.h"
+
+namespace cnr::quant {
+
+struct BinsProfile {
+  int num_bins = 0;
+  double mean_l2 = 0.0;
+};
+
+struct SelectorConfig {
+  double sample_fraction = 1e-5;  // fraction of rows profiled (>=1 row)
+  // Stop increasing num_bins once relative improvement drops below this.
+  double taper_threshold = 0.02;
+  std::vector<int> bins_candidates = {5, 10, 15, 20, 25, 30, 35, 40, 45, 50};
+};
+
+// Uniformly samples rows of `table` (at least one).
+std::vector<std::uint64_t> SampleRows(const tensor::EmbeddingTable& table,
+                                      double sample_fraction, util::Rng& rng);
+
+// Profiles candidate num_bins values on a sampled subset and returns the full
+// profile plus the selected value (where improvement tapers off).
+struct BinsSelection {
+  int selected_bins = 0;
+  std::vector<BinsProfile> profile;
+};
+BinsSelection SelectNumBins(const tensor::EmbeddingTable& table, int bits,
+                            const SelectorConfig& cfg, util::Rng& rng);
+
+// Restart-count thresholds measured in Fig 14 (accuracy threshold 0.01%).
+struct BitWidthPolicy {
+  std::uint64_t max_restarts_2bit = 1;
+  std::uint64_t max_restarts_3bit = 3;
+  std::uint64_t max_restarts_4bit = 19;  // "3 < L < 20"
+};
+
+// Picks the narrowest bit-width whose restart budget covers
+// `expected_restarts`; anything beyond the 4-bit budget gets 8 bits.
+int SelectBitWidth(std::uint64_t expected_restarts, const BitWidthPolicy& policy = {});
+
+// Builds the QuantConfig Check-N-Run uses for a given expected restart count:
+// adaptive asymmetric for <= 4 bits, plain asymmetric for 8 bits (paper
+// "Summary of various approaches").
+QuantConfig ConfigForRestarts(std::uint64_t expected_restarts,
+                              const BitWidthPolicy& policy = {});
+
+}  // namespace cnr::quant

@@ -1,0 +1,71 @@
+// Analytic training-cluster model (paper §2.2, §6.1).
+//
+// The paper's numbers come from HGX-class clusters: 16 nodes x 8 GPUs,
+// embedding shards bounded by HBM capacity, host DRAM snapshots over PCIe.
+// ClusterModel reproduces the *overhead arithmetic* of §6.1 for arbitrary
+// model sizes and intervals:
+//   - snapshot stall = per-device state / HBM->DRAM copy bandwidth
+//     (constant in node count because all devices copy concurrently,
+//     which is why larger models do not imply longer stalls),
+//   - stall fraction  = stall / checkpoint interval (paper: <0.4% at 30 min),
+//   - tracking overhead is a fixed fraction of iteration time (~1%) hidden
+//     under AlltoAll,
+//   - checkpoint write time = stored bytes / per-job storage bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/sim_clock.h"
+
+namespace cnr::sim {
+
+struct ClusterConfig {
+  std::size_t nodes = 16;
+  std::size_t gpus_per_node = 8;
+  double hbm_to_dram_bytes_per_sec = 12.0e9;  // effective per-GPU copy rate
+  double storage_write_bytes_per_sec = 2.0e9; // per-job share to remote storage
+  double tracking_overhead_fraction = 0.01;   // paper: ~1% of iteration time
+};
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(ClusterConfig cfg) : cfg_(cfg) {
+    if (cfg.nodes == 0 || cfg.gpus_per_node == 0) {
+      throw std::invalid_argument("ClusterModel: empty cluster");
+    }
+    if (cfg.hbm_to_dram_bytes_per_sec <= 0 || cfg.storage_write_bytes_per_sec <= 0) {
+      throw std::invalid_argument("ClusterModel: bandwidth must be > 0");
+    }
+  }
+
+  const ClusterConfig& config() const { return cfg_; }
+  std::size_t total_gpus() const { return cfg_.nodes * cfg_.gpus_per_node; }
+
+  // Training stall to snapshot `model_bytes` of device state: every GPU
+  // copies its local slice concurrently.
+  util::SimTime SnapshotStall(std::uint64_t model_bytes) const {
+    const double per_gpu = static_cast<double>(model_bytes) / static_cast<double>(total_gpus());
+    return static_cast<util::SimTime>(per_gpu / cfg_.hbm_to_dram_bytes_per_sec *
+                                      util::kSecond);
+  }
+
+  // Fraction of training time lost to snapshot stalls at a given interval.
+  double StallFraction(std::uint64_t model_bytes, util::SimTime interval) const {
+    if (interval <= 0) throw std::invalid_argument("StallFraction: interval must be > 0");
+    return static_cast<double>(SnapshotStall(model_bytes)) / static_cast<double>(interval);
+  }
+
+  // Time to push `bytes` of checkpoint to remote storage.
+  util::SimTime CheckpointWriteTime(std::uint64_t bytes) const {
+    return static_cast<util::SimTime>(static_cast<double>(bytes) /
+                                      cfg_.storage_write_bytes_per_sec * util::kSecond);
+  }
+
+  double tracking_overhead_fraction() const { return cfg_.tracking_overhead_fraction; }
+
+ private:
+  ClusterConfig cfg_;
+};
+
+}  // namespace cnr::sim

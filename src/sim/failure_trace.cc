@@ -1,0 +1,77 @@
+#include "sim/failure_trace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnr::sim {
+
+FailureTimeModel::FailureTimeModel(double mu, double sigma, double min_hours)
+    : mu_(mu), sigma_(sigma), min_hours_(min_hours) {
+  if (sigma <= 0) throw std::invalid_argument("FailureTimeModel: sigma must be > 0");
+}
+
+double FailureTimeModel::SampleHours(util::Rng& rng) const {
+  double x = 0.0;
+  do {
+    x = std::exp(mu_ + sigma_ * rng.NextGaussian());
+  } while (x < min_hours_);
+  return x;
+}
+
+double FailureTimeModel::Cdf(double hours) const {
+  if (hours <= 0) return 0.0;
+  const double z = (std::log(hours) - mu_) / (sigma_ * std::sqrt(2.0));
+  return 0.5 * (1.0 + std::erf(z));
+}
+
+std::uint64_t FailureRateModel::SampleFailures(util::Rng& rng, std::size_t nodes,
+                                               double training_hours) const {
+  const double lambda = ExpectedFailures(nodes, training_hours);
+  // Knuth's method is fine for the small lambdas involved here.
+  if (lambda > 50.0) {
+    // Normal approximation for large rates.
+    const double x = lambda + std::sqrt(lambda) * rng.NextGaussian();
+    return x < 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  double p = 1.0;
+  std::uint64_t k = 0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+RecoveryOutcome SimulateRecovery(util::Rng& rng, double work_hours,
+                                 double ckpt_interval_hours, double failure_rate_per_hour,
+                                 double restore_hours) {
+  if (work_hours <= 0 || ckpt_interval_hours <= 0) {
+    throw std::invalid_argument("SimulateRecovery: non-positive duration");
+  }
+  RecoveryOutcome out;
+  double progress = 0.0;  // useful work completed (hours)
+  while (progress < work_hours) {
+    // Time until the next failure (exponential inter-arrival).
+    double u = rng.NextDouble();
+    while (u <= 0.0) u = rng.NextDouble();
+    const double until_failure =
+        failure_rate_per_hour > 0 ? -std::log(u) / failure_rate_per_hour : 1e18;
+    const double remaining = work_hours - progress;
+    if (until_failure >= remaining) {
+      out.total_hours += remaining;
+      progress = work_hours;
+      break;
+    }
+    // Failure strikes mid-run: work since the last checkpoint is lost.
+    ++out.failures;
+    out.total_hours += until_failure + restore_hours;
+    const double done_since_ckpt = std::fmod(progress + until_failure, ckpt_interval_hours);
+    out.wasted_hours += done_since_ckpt;
+    progress += until_failure - done_since_ckpt;
+    if (progress < 0) progress = 0;
+  }
+  return out;
+}
+
+}  // namespace cnr::sim

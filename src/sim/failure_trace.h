@@ -1,0 +1,68 @@
+// Training-failure modeling (paper §3.1, Fig 3; §6.2.1).
+//
+// The paper motivates Check-N-Run with one month of failure logs from 21
+// training clusters: jobs failing under 5 minutes are discarded as setup
+// errors; of the rest, the longest-running 10% of failed jobs ran >= 13.5
+// hours before failing and the top 1% >= 53.9 hours. Those quantiles pin a
+// log-normal time-to-failure distribution, which FailureTimeModel samples to
+// regenerate the Fig 3 CDF and to drive restart-count experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cnr::sim {
+
+// Log-normal time-to-failure (hours), truncated below at `min_hours`.
+class FailureTimeModel {
+ public:
+  // Defaults are fit to the paper's two reported quantiles:
+  //   P(X <= 13.5h) = 0.90, P(X <= 53.9h) = 0.99  =>  mu ~= 0.904, sigma ~= 1.325.
+  explicit FailureTimeModel(double mu = 0.9041, double sigma = 1.3252,
+                            double min_hours = 5.0 / 60.0);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  // One failure time in hours (>= min_hours).
+  double SampleHours(util::Rng& rng) const;
+
+  // Analytic CDF P(X <= hours) of the (untruncated) log-normal.
+  double Cdf(double hours) const;
+
+ private:
+  double mu_, sigma_, min_hours_;
+};
+
+// Poisson failure process for estimating restart counts (paper §6.2.1:
+// per-node failure probability is measured from logs and fed to
+// Check-N-Run, which derives the expected number of failures).
+struct FailureRateModel {
+  double failures_per_node_hour = 0.001;
+
+  double ExpectedFailures(std::size_t nodes, double training_hours) const {
+    return failures_per_node_hour * static_cast<double>(nodes) * training_hours;
+  }
+
+  // Number of failures in a window (Poisson sample).
+  std::uint64_t SampleFailures(util::Rng& rng, std::size_t nodes, double training_hours) const;
+};
+
+// Outcome of simulating a training run with failures and checkpoints.
+struct RecoveryOutcome {
+  double total_hours = 0.0;       // wall time including re-training
+  double wasted_hours = 0.0;      // re-trained work (failure - last ckpt)
+  std::uint64_t failures = 0;     // restarts that occurred
+};
+
+// Simulates a job needing `work_hours` of training with checkpoint interval
+// `ckpt_interval_hours` under Poisson failures at `rate` per hour (whole
+// job). `restore_hours` is the fixed cost of loading a checkpoint.
+RecoveryOutcome SimulateRecovery(util::Rng& rng, double work_hours,
+                                 double ckpt_interval_hours, double failure_rate_per_hour,
+                                 double restore_hours);
+
+}  // namespace cnr::sim

@@ -1,0 +1,91 @@
+#include "storage/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cnr::storage {
+
+namespace {
+
+// Gathers byte plane `k`: bytes at positions i with i % 4 == k.
+void GatherPlanes(std::span<const std::uint8_t> in, std::vector<std::uint8_t>& out) {
+  out.resize(in.size());
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t i = k; i < in.size(); i += 4) out[pos++] = in[i];
+  }
+}
+
+void ScatterPlanes(std::span<const std::uint8_t> in, std::vector<std::uint8_t>& out) {
+  out.resize(in.size());
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t i = k; i < out.size(); i += 4) out[i] = in[pos++];
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BytePlaneCodec::Compress(std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 16);
+  const std::uint64_t size = data.size();
+  out.resize(sizeof(size));
+  std::memcpy(out.data(), &size, sizeof(size));
+
+  std::vector<std::uint8_t> planes;
+  GatherPlanes(data, planes);
+
+  // Delta within the plane buffer, then RLE zero runs.
+  std::uint8_t prev = 0;
+  std::size_t i = 0;
+  while (i < planes.size()) {
+    const std::uint8_t d = static_cast<std::uint8_t>(planes[i] - prev);
+    prev = planes[i];
+    if (d != 0) {
+      out.push_back(d);
+      ++i;
+      continue;
+    }
+    // Count the zero run (in delta space).
+    std::size_t run = 1;
+    while (i + run < planes.size() && run < 255 &&
+           static_cast<std::uint8_t>(planes[i + run] - planes[i + run - 1]) == 0) {
+      ++run;
+    }
+    out.push_back(0x00);
+    out.push_back(static_cast<std::uint8_t>(run));
+    prev = planes[i + run - 1];
+    i += run;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BytePlaneCodec::Decompress(std::span<const std::uint8_t> data) const {
+  if (data.size() < sizeof(std::uint64_t)) throw std::invalid_argument("codec: truncated header");
+  std::uint64_t size = 0;
+  std::memcpy(&size, data.data(), sizeof(size));
+
+  std::vector<std::uint8_t> planes;
+  planes.reserve(size);
+  std::uint8_t prev = 0;
+  std::size_t i = sizeof(size);
+  while (i < data.size()) {
+    const std::uint8_t b = data[i++];
+    if (b != 0) {
+      prev = static_cast<std::uint8_t>(prev + b);
+      planes.push_back(prev);
+      continue;
+    }
+    if (i >= data.size()) throw std::invalid_argument("codec: truncated zero run");
+    const std::uint8_t run = data[i++];
+    for (std::uint8_t r = 0; r < run; ++r) planes.push_back(prev);
+  }
+  if (planes.size() != size) throw std::invalid_argument("codec: size mismatch");
+
+  std::vector<std::uint8_t> out;
+  ScatterPlanes(planes, out);
+  return out;
+}
+
+}  // namespace cnr::storage

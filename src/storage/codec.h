@@ -1,0 +1,69 @@
+// Generic lossless compression baseline.
+//
+// The paper reports that standard compression (Zstandard) reduced checkpoint
+// size by at most 7% on recommendation checkpoints — fp32 embedding weights
+// are high-entropy in their mantissa bits, so byte-oriented compressors find
+// little to exploit. Zstandard itself is not available offline, so we provide
+// an honest stand-in: a delta+RLE byte codec that captures the same class of
+// redundancy (repeated byte patterns, runs of zeros in exponent/sign bytes)
+// and exhibits the same behaviour on embedding data: single-digit-percent
+// reduction. It exists purely as the "generic compression" comparison point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cnr::storage {
+
+// Lossless byte codec interface.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::vector<std::uint8_t> Compress(std::span<const std::uint8_t> data) const = 0;
+  virtual std::vector<std::uint8_t> Decompress(std::span<const std::uint8_t> data) const = 0;
+  virtual const char* Name() const = 0;
+};
+
+// Byte-plane delta + run-length codec:
+//  1. Split the input into 4 byte planes (byte k of every 4-byte word), so
+//     the low-entropy sign/exponent bytes of fp32 values group together.
+//  2. Delta-encode each plane.
+//  3. RLE-encode zero runs (escape byte 0x00 followed by run length).
+// Lossless, deterministic, no allocation surprises. On trained embedding
+// checkpoints it achieves a few percent, mirroring the paper's Zstandard
+// observation.
+class BytePlaneCodec : public Codec {
+ public:
+  std::vector<std::uint8_t> Compress(std::span<const std::uint8_t> data) const override;
+  std::vector<std::uint8_t> Decompress(std::span<const std::uint8_t> data) const override;
+  const char* Name() const override { return "byteplane-delta-rle"; }
+};
+
+// Byte-plane canonical-Huffman codec: splits the input into the 4 byte
+// planes of fp32 words and entropy-codes each plane with a canonical Huffman
+// code (per-plane raw fallback when coding would expand). This captures the
+// entropy-coding stage that gives Zstandard its single-digit-percent gains on
+// fp32 embeddings — sign/exponent bytes are low-entropy, mantissa bytes are
+// incompressible — making it the closest offline stand-in for the paper's
+// Zstandard baseline.
+class HuffmanPlaneCodec : public Codec {
+ public:
+  std::vector<std::uint8_t> Compress(std::span<const std::uint8_t> data) const override;
+  std::vector<std::uint8_t> Decompress(std::span<const std::uint8_t> data) const override;
+  const char* Name() const override { return "byteplane-huffman"; }
+};
+
+// Identity codec (the no-compression baseline).
+class IdentityCodec : public Codec {
+ public:
+  std::vector<std::uint8_t> Compress(std::span<const std::uint8_t> data) const override {
+    return {data.begin(), data.end()};
+  }
+  std::vector<std::uint8_t> Decompress(std::span<const std::uint8_t> data) const override {
+    return {data.begin(), data.end()};
+  }
+  const char* Name() const override { return "identity"; }
+};
+
+}  // namespace cnr::storage

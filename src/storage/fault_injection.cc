@@ -1,0 +1,50 @@
+#include "storage/fault_injection.h"
+
+#include <stdexcept>
+
+namespace cnr::storage {
+
+FaultInjectionStore::FaultInjectionStore(std::shared_ptr<ObjectStore> backing,
+                                         FaultConfig config)
+    : backing_(std::move(backing)), cfg_(config), rng_(config.seed) {
+  if (!backing_) throw std::invalid_argument("FaultInjectionStore: null backing store");
+}
+
+void FaultInjectionStore::SetConfig(const FaultConfig& config) {
+  std::lock_guard lock(mu_);
+  cfg_ = config;
+}
+
+void FaultInjectionStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  {
+    std::lock_guard lock(mu_);
+    if (rng_.NextBool(cfg_.put_failure_probability)) {
+      ++put_failures_;
+      throw StoreUnavailable("injected put failure for " + key);
+    }
+  }
+  backing_->Put(key, std::move(data));
+}
+
+std::optional<std::vector<std::uint8_t>> FaultInjectionStore::Get(const std::string& key) {
+  auto result = backing_->Get(key);
+  if (result && !result->empty()) {
+    std::lock_guard lock(mu_);
+    if (rng_.NextBool(cfg_.read_corruption_probability)) {
+      ++corruptions_;
+      const auto byte = rng_.NextBounded(result->size());
+      (*result)[byte] ^= static_cast<std::uint8_t>(1u << rng_.NextBounded(8));
+    }
+  }
+  return result;
+}
+
+bool FaultInjectionStore::Exists(const std::string& key) { return backing_->Exists(key); }
+bool FaultInjectionStore::Delete(const std::string& key) { return backing_->Delete(key); }
+std::vector<std::string> FaultInjectionStore::List(const std::string& prefix) {
+  return backing_->List(prefix);
+}
+std::uint64_t FaultInjectionStore::TotalBytes() { return backing_->TotalBytes(); }
+StoreStats FaultInjectionStore::Stats() { return backing_->Stats(); }
+
+}  // namespace cnr::storage

@@ -1,0 +1,54 @@
+// Fault-injecting object store wrapper for robustness testing.
+//
+// Wraps any ObjectStore and injects the failure modes a remote storage tier
+// exhibits in practice: transient write failures (timeouts, throttling) and
+// silent read corruption (bit rot that replication missed). Used by tests to
+// verify two system-level guarantees:
+//   - a checkpoint whose write fails is never declared valid (its manifest
+//     is written last, so recovery falls back to the previous checkpoint),
+//   - corrupted chunks are rejected by the CRC check instead of being
+//     silently restored into the model.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "storage/object_store.h"
+#include "util/rng.h"
+
+namespace cnr::storage {
+
+struct FaultConfig {
+  double put_failure_probability = 0.0;   // Put throws StoreUnavailable
+  double read_corruption_probability = 0.0;  // Get flips one bit
+  std::uint64_t seed = 1;
+};
+
+class FaultInjectionStore : public ObjectStore {
+ public:
+  FaultInjectionStore(std::shared_ptr<ObjectStore> backing, FaultConfig config);
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override;
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  bool Delete(const std::string& key) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+  std::uint64_t TotalBytes() override;
+  StoreStats Stats() override;
+
+  std::uint64_t injected_put_failures() const { return put_failures_; }
+  std::uint64_t injected_corruptions() const { return corruptions_; }
+
+  // Runtime adjustment (e.g. heal the store mid-test).
+  void SetConfig(const FaultConfig& config);
+
+ private:
+  std::shared_ptr<ObjectStore> backing_;
+  std::mutex mu_;
+  FaultConfig cfg_;
+  util::Rng rng_;
+  std::uint64_t put_failures_ = 0;
+  std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace cnr::storage

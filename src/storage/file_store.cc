@@ -1,0 +1,110 @@
+#include "storage/file_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace cnr::storage {
+
+namespace fs = std::filesystem;
+
+FileStore::FileStore(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+void FileStore::ValidateKey(const std::string& key) {
+  if (key.empty() || key.front() == '/' || key.find("..") != std::string::npos) {
+    throw std::invalid_argument("FileStore: invalid key: " + key);
+  }
+}
+
+fs::path FileStore::PathFor(const std::string& key) const { return root_ / key; }
+
+void FileStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  ValidateKey(key);
+  std::lock_guard lock(mu_);
+  const fs::path path = PathFor(key);
+  fs::create_directories(path.parent_path());
+  // Temp file + rename: an interrupted Put never leaves a torn object, so
+  // "manifest exists" remains a sound validity criterion.
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("FileStore: cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) throw std::runtime_error("FileStore: short write to " + tmp.string());
+  }
+  fs::rename(tmp, path);
+  ++stats_.puts;
+  stats_.bytes_written += data.size();
+}
+
+std::optional<std::vector<std::uint8_t>> FileStore::Get(const std::string& key) {
+  ValidateKey(key);
+  std::lock_guard lock(mu_);
+  const fs::path path = PathFor(key);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::uint8_t> data(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("FileStore: short read from " + path.string());
+  ++stats_.gets;
+  stats_.bytes_read += size;
+  return data;
+}
+
+bool FileStore::Exists(const std::string& key) {
+  ValidateKey(key);
+  std::error_code ec;
+  return fs::is_regular_file(PathFor(key), ec);
+}
+
+bool FileStore::Delete(const std::string& key) {
+  ValidateKey(key);
+  std::lock_guard lock(mu_);
+  std::error_code ec;
+  const bool removed = fs::remove(PathFor(key), ec);
+  if (removed) ++stats_.deletes;
+  return removed && !ec;
+}
+
+std::vector<std::string> FileStore::List(const std::string& prefix) {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    std::string key = fs::relative(it->path(), root_).generic_string();
+    if (key.size() >= 4 && key.ends_with(".tmp")) continue;
+    if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::uint64_t FileStore::TotalBytes() {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file() && !it->path().string().ends_with(".tmp")) {
+      total += it->file_size(ec);
+    }
+  }
+  return total;
+}
+
+StoreStats FileStore::Stats() {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace cnr::storage

@@ -1,0 +1,41 @@
+// Filesystem-backed object store.
+//
+// Persists checkpoints to a directory tree so they survive process restarts —
+// what the paper's remote checkpoint cluster provides, minus the network.
+// Keys map to files under the root ('/' in keys becomes a directory level);
+// writes go through a temp-file + atomic rename so a crashed writer never
+// leaves a torn object, which preserves the manifest-last validity protocol.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "storage/object_store.h"
+
+namespace cnr::storage {
+
+class FileStore : public ObjectStore {
+ public:
+  // Creates (if needed) and uses `root` as the store directory.
+  explicit FileStore(std::filesystem::path root);
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override;
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  bool Delete(const std::string& key) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+  std::uint64_t TotalBytes() override;
+  StoreStats Stats() override;
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path PathFor(const std::string& key) const;
+  static void ValidateKey(const std::string& key);
+
+  std::filesystem::path root_;
+  std::mutex mu_;  // guards stats_ and multi-step filesystem ops
+  StoreStats stats_;
+};
+
+}  // namespace cnr::storage

@@ -1,0 +1,275 @@
+// Canonical Huffman coding over fp32 byte planes (HuffmanPlaneCodec).
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+
+#include "storage/codec.h"
+
+namespace cnr::storage {
+
+namespace {
+
+constexpr int kMaxCodeLen = 15;
+constexpr std::size_t kSymbols = 256;
+
+// Builds length-limited Huffman code lengths for `freq`. Uses the classic
+// heap construction; if the tree exceeds kMaxCodeLen, frequencies are
+// repeatedly halved (floor at 1) and the tree rebuilt — a standard, slightly
+// suboptimal but simple limiting strategy.
+std::array<std::uint8_t, kSymbols> BuildCodeLengths(std::array<std::uint64_t, kSymbols> freq) {
+  std::array<std::uint8_t, kSymbols> lengths{};
+  while (true) {
+    struct Node {
+      std::uint64_t weight;
+      int index;  // < kSymbols: leaf; else internal
+    };
+    const auto cmp = [](const Node& a, const Node& b) { return a.weight > b.weight; };
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+
+    struct Internal {
+      int left, right;
+    };
+    std::vector<Internal> internals;
+    int present = 0;
+    for (std::size_t s = 0; s < kSymbols; ++s) {
+      if (freq[s] > 0) {
+        heap.push({freq[s], static_cast<int>(s)});
+        ++present;
+      }
+    }
+    lengths.fill(0);
+    if (present == 0) return lengths;
+    if (present == 1) {
+      lengths[static_cast<std::size_t>(heap.top().index)] = 1;
+      return lengths;
+    }
+    while (heap.size() > 1) {
+      const Node a = heap.top();
+      heap.pop();
+      const Node b = heap.top();
+      heap.pop();
+      internals.push_back({a.index, b.index});
+      heap.push({a.weight + b.weight,
+                 static_cast<int>(kSymbols) + static_cast<int>(internals.size()) - 1});
+    }
+    // Depth-first walk assigning depths.
+    struct Item {
+      int index;
+      int depth;
+    };
+    std::vector<Item> stack{{heap.top().index, 0}};
+    int max_len = 0;
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      if (item.index < static_cast<int>(kSymbols)) {
+        lengths[static_cast<std::size_t>(item.index)] = static_cast<std::uint8_t>(item.depth);
+        max_len = std::max(max_len, item.depth);
+      } else {
+        const auto& node = internals[static_cast<std::size_t>(item.index) - kSymbols];
+        stack.push_back({node.left, item.depth + 1});
+        stack.push_back({node.right, item.depth + 1});
+      }
+    }
+    if (max_len <= kMaxCodeLen) return lengths;
+    for (auto& f : freq) {
+      if (f > 0) f = std::max<std::uint64_t>(1, f >> 1);
+    }
+  }
+}
+
+// Canonical code assignment from lengths: symbols sorted by (length, value).
+std::array<std::uint16_t, kSymbols> CanonicalCodes(
+    const std::array<std::uint8_t, kSymbols>& lengths) {
+  std::array<std::uint16_t, kSymbols> codes{};
+  std::uint16_t code = 0;
+  for (int len = 1; len <= kMaxCodeLen; ++len) {
+    for (std::size_t s = 0; s < kSymbols; ++s) {
+      if (lengths[s] == len) codes[s] = code++;
+    }
+    code <<= 1;
+  }
+  return codes;
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+  void Write(std::uint32_t code, int bits) {
+    // MSB-first within the code, appended LSB-first into the stream buffer.
+    for (int b = bits - 1; b >= 0; --b) {
+      acc_ |= ((code >> b) & 1u) << acc_bits_;
+      if (++acc_bits_ == 8) Flush();
+    }
+  }
+  void Finish() {
+    if (acc_bits_ > 0) Flush();
+  }
+
+ private:
+  void Flush() {
+    out_.push_back(static_cast<std::uint8_t>(acc_));
+    acc_ = 0;
+    acc_bits_ = 0;
+  }
+  std::vector<std::uint8_t>& out_;
+  std::uint32_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  int ReadBit() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= size_) throw std::invalid_argument("huffman: bitstream underrun");
+    const int bit = (data_[byte] >> (pos_ & 7)) & 1;
+    ++pos_;
+    return bit;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void GatherPlane(std::span<const std::uint8_t> in, std::size_t k,
+                 std::vector<std::uint8_t>& plane) {
+  plane.clear();
+  for (std::size_t i = k; i < in.size(); i += 4) plane.push_back(in[i]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> HuffmanPlaneCodec::Compress(
+    std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() + 16);
+  const std::uint64_t size = data.size();
+  out.resize(sizeof(size));
+  std::memcpy(out.data(), &size, sizeof(size));
+
+  std::vector<std::uint8_t> plane;
+  for (std::size_t k = 0; k < 4; ++k) {
+    GatherPlane(data, k, plane);
+
+    std::array<std::uint64_t, kSymbols> freq{};
+    for (const auto b : plane) ++freq[b];
+    const auto lengths = BuildCodeLengths(freq);
+    const auto codes = CanonicalCodes(lengths);
+
+    // Estimated coded size: bitstream + 256-byte length table.
+    std::uint64_t bits = 0;
+    for (std::size_t s = 0; s < kSymbols; ++s) bits += freq[s] * lengths[s];
+    const std::uint64_t coded_bytes = (bits + 7) / 8 + kSymbols;
+
+    if (plane.empty() || coded_bytes >= plane.size()) {
+      out.push_back(0);  // raw plane
+      out.insert(out.end(), plane.begin(), plane.end());
+      continue;
+    }
+    out.push_back(1);  // huffman plane
+    out.insert(out.end(), lengths.begin(), lengths.end());
+    BitWriter writer(out);
+    for (const auto b : plane) writer.Write(codes[b], lengths[b]);
+    writer.Finish();
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> HuffmanPlaneCodec::Decompress(
+    std::span<const std::uint8_t> data) const {
+  if (data.size() < sizeof(std::uint64_t)) {
+    throw std::invalid_argument("huffman: truncated header");
+  }
+  std::uint64_t size = 0;
+  std::memcpy(&size, data.data(), sizeof(size));
+  std::size_t pos = sizeof(size);
+
+  std::vector<std::uint8_t> out(size);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::size_t plane_len = size >= k ? (size - k + 3) / 4 : 0;
+    if (pos >= data.size() && plane_len > 0) {
+      throw std::invalid_argument("huffman: truncated plane header");
+    }
+    if (plane_len == 0) {
+      if (pos < data.size()) ++pos;  // mode byte of an empty plane
+      continue;
+    }
+    const std::uint8_t mode = data[pos++];
+    if (mode == 0) {
+      if (pos + plane_len > data.size()) {
+        throw std::invalid_argument("huffman: truncated raw plane");
+      }
+      for (std::size_t i = 0; i < plane_len; ++i) out[k + 4 * i] = data[pos + i];
+      pos += plane_len;
+      continue;
+    }
+    if (mode != 1 || pos + kSymbols > data.size()) {
+      throw std::invalid_argument("huffman: bad plane mode");
+    }
+    std::array<std::uint8_t, kSymbols> lengths{};
+    std::memcpy(lengths.data(), data.data() + pos, kSymbols);
+    pos += kSymbols;
+
+    // Canonical decode tables: for each length, the first code value and the
+    // symbols sorted by (length, value).
+    std::array<std::uint16_t, kMaxCodeLen + 2> first_code{};
+    std::array<std::uint16_t, kMaxCodeLen + 2> first_index{};
+    std::vector<std::uint8_t> sorted_symbols;
+    {
+      std::uint16_t code = 0;
+      std::uint16_t index = 0;
+      for (int len = 1; len <= kMaxCodeLen; ++len) {
+        first_code[static_cast<std::size_t>(len)] = code;
+        first_index[static_cast<std::size_t>(len)] = index;
+        for (std::size_t s = 0; s < kSymbols; ++s) {
+          if (lengths[s] == len) {
+            sorted_symbols.push_back(static_cast<std::uint8_t>(s));
+            ++code;
+            ++index;
+          }
+        }
+        code <<= 1;
+      }
+      first_code[kMaxCodeLen + 1] = code;
+      first_index[kMaxCodeLen + 1] = index;
+    }
+    if (sorted_symbols.empty()) throw std::invalid_argument("huffman: empty code table");
+
+    // Count of codes per length, for the walk below.
+    std::array<std::uint16_t, kMaxCodeLen + 1> count{};
+    for (std::size_t s = 0; s < kSymbols; ++s) {
+      if (lengths[s] > 0) ++count[lengths[s]];
+    }
+
+    BitReader reader(data.data() + pos, data.size() - pos);
+    for (std::size_t i = 0; i < plane_len; ++i) {
+      std::uint32_t code = 0;
+      for (int len = 1; len <= kMaxCodeLen; ++len) {
+        code = (code << 1) | static_cast<std::uint32_t>(reader.ReadBit());
+        if (count[static_cast<std::size_t>(len)] != 0 &&
+            code < static_cast<std::uint32_t>(first_code[static_cast<std::size_t>(len)]) +
+                       count[static_cast<std::size_t>(len)]) {
+          const std::size_t idx =
+              first_index[static_cast<std::size_t>(len)] +
+              (code - first_code[static_cast<std::size_t>(len)]);
+          out[k + 4 * i] = sorted_symbols[idx];
+          break;
+        }
+        if (len == kMaxCodeLen) throw std::invalid_argument("huffman: bad code");
+      }
+    }
+    // Advance past this plane's bitstream: total bits consumed is the sum of
+    // the decoded symbols' code lengths, rounded up to whole bytes.
+    std::uint64_t consumed = 0;
+    for (std::size_t i = 0; i < plane_len; ++i) consumed += lengths[out[k + 4 * i]];
+    pos += (consumed + 7) / 8;
+  }
+  return out;
+}
+
+}  // namespace cnr::storage

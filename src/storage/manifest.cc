@@ -1,0 +1,93 @@
+#include "storage/manifest.h"
+
+#include <stdexcept>
+
+namespace cnr::storage {
+
+void ChunkInfo::Serialize(util::Writer& w) const {
+  w.PutString(key);
+  w.Put<std::uint32_t>(table_id);
+  w.Put<std::uint32_t>(shard_id);
+  w.Put<std::uint64_t>(num_rows);
+  w.Put<std::uint64_t>(bytes);
+}
+
+ChunkInfo ChunkInfo::Deserialize(util::Reader& r) {
+  ChunkInfo c;
+  c.key = r.GetString();
+  c.table_id = r.Get<std::uint32_t>();
+  c.shard_id = r.Get<std::uint32_t>();
+  c.num_rows = r.Get<std::uint64_t>();
+  c.bytes = r.Get<std::uint64_t>();
+  return c;
+}
+
+std::uint64_t Manifest::TotalBytes() const {
+  std::uint64_t total = dense_bytes;
+  for (const auto& c : chunks) total += c.bytes;
+  return total;
+}
+
+std::vector<std::uint8_t> Manifest::Encode() const {
+  util::Writer w;
+  w.Put<std::uint32_t>(kFormatVersion);
+  w.Put<std::uint64_t>(checkpoint_id);
+  w.Put<std::uint8_t>(static_cast<std::uint8_t>(kind));
+  w.Put<std::uint64_t>(parent_id);
+  w.Put<std::uint64_t>(batches_trained);
+  w.Put<std::uint64_t>(samples_trained);
+  quant.Serialize(w);
+  w.PutVector(reader_state);
+  w.PutString(dense_key);
+  w.Put<std::uint64_t>(dense_bytes);
+  w.Put<std::uint64_t>(chunks.size());
+  for (const auto& c : chunks) c.Serialize(w);
+  return w.TakeBytes();
+}
+
+Manifest Manifest::Decode(std::span<const std::uint8_t> data) {
+  util::Reader r(data);
+  const auto version = r.Get<std::uint32_t>();
+  if (version != kFormatVersion) {
+    throw util::SerializeError("manifest: unsupported format version " + std::to_string(version));
+  }
+  Manifest m;
+  m.checkpoint_id = r.Get<std::uint64_t>();
+  m.kind = static_cast<CheckpointKind>(r.Get<std::uint8_t>());
+  m.parent_id = r.Get<std::uint64_t>();
+  m.batches_trained = r.Get<std::uint64_t>();
+  m.samples_trained = r.Get<std::uint64_t>();
+  m.quant = quant::QuantConfig::Deserialize(r);
+  m.reader_state = r.GetVector<std::uint8_t>();
+  m.dense_key = r.GetString();
+  m.dense_bytes = r.Get<std::uint64_t>();
+  const auto n = r.Get<std::uint64_t>();
+  m.chunks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) m.chunks.push_back(ChunkInfo::Deserialize(r));
+  return m;
+}
+
+std::string Manifest::JobPrefix(const std::string& job) { return "jobs/" + job + "/"; }
+
+std::string Manifest::CheckpointPrefix(const std::string& job, std::uint64_t checkpoint_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(checkpoint_id));
+  return JobPrefix(job) + "ckpt/" + buf + "/";
+}
+
+std::string Manifest::ManifestKey(const std::string& job, std::uint64_t checkpoint_id) {
+  return CheckpointPrefix(job, checkpoint_id) + "MANIFEST";
+}
+
+std::string Manifest::ChunkKey(const std::string& job, std::uint64_t checkpoint_id,
+                               std::uint32_t table_id, std::uint32_t shard_id,
+                               std::uint32_t chunk_index) {
+  return CheckpointPrefix(job, checkpoint_id) + "t" + std::to_string(table_id) + "/s" +
+         std::to_string(shard_id) + "/c" + std::to_string(chunk_index);
+}
+
+std::string Manifest::DenseKey(const std::string& job, std::uint64_t checkpoint_id) {
+  return CheckpointPrefix(job, checkpoint_id) + "dense";
+}
+
+}  // namespace cnr::storage

@@ -1,0 +1,80 @@
+// Checkpoint manifest format.
+//
+// A checkpoint in the object store is a manifest object plus a set of chunk
+// objects. The manifest records everything recovery needs: which chunks to
+// fetch, the quantization configuration used to encode them, whether the
+// checkpoint is a full baseline or an incremental view (and over which
+// parent), the trainer progress, and the serialized reader state.
+// Check-N-Run's controller declares a checkpoint valid only after every
+// chunk and the manifest have been stored (paper §4.4 step 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/quantizer.h"
+#include "util/serialize.h"
+
+namespace cnr::storage {
+
+enum class CheckpointKind : std::uint8_t {
+  kFull = 0,         // complete model state
+  kIncremental = 1,  // modified rows only, relative to `parent_id` lineage
+};
+
+// One stored chunk of embedding rows for a particular table shard.
+struct ChunkInfo {
+  std::string key;            // object store key
+  std::uint32_t table_id = 0; // logical embedding table
+  std::uint32_t shard_id = 0; // device shard within the table
+  std::uint64_t num_rows = 0; // rows encoded in this chunk
+  std::uint64_t bytes = 0;    // stored size (payload + row index)
+
+  void Serialize(util::Writer& w) const;
+  static ChunkInfo Deserialize(util::Reader& r);
+};
+
+struct Manifest {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint64_t checkpoint_id = 0;
+  CheckpointKind kind = CheckpointKind::kFull;
+  // For incremental checkpoints: the checkpoint this one extends. One-shot
+  // and intermittent incrementals point at their baseline; consecutive
+  // incrementals point at the immediately preceding checkpoint.
+  std::uint64_t parent_id = 0;
+
+  // Trainer progress at snapshot time.
+  std::uint64_t batches_trained = 0;
+  std::uint64_t samples_trained = 0;
+
+  quant::QuantConfig quant;
+
+  // Serialized reader state (opaque here; data::ReaderState owns the format).
+  std::vector<std::uint8_t> reader_state;
+
+  // Serialized dense state (MLPs + dense optimizer): replicated across
+  // devices, so a single blob read from one device suffices (paper §4.1).
+  std::string dense_key;
+  std::uint64_t dense_bytes = 0;
+
+  std::vector<ChunkInfo> chunks;
+
+  // Total stored bytes of this checkpoint (chunks + dense + manifest approx).
+  std::uint64_t TotalBytes() const;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Manifest Decode(std::span<const std::uint8_t> data);
+
+  // Object-store key conventions.
+  static std::string ManifestKey(const std::string& job, std::uint64_t checkpoint_id);
+  static std::string ChunkKey(const std::string& job, std::uint64_t checkpoint_id,
+                              std::uint32_t table_id, std::uint32_t shard_id,
+                              std::uint32_t chunk_index);
+  static std::string DenseKey(const std::string& job, std::uint64_t checkpoint_id);
+  static std::string JobPrefix(const std::string& job);
+  static std::string CheckpointPrefix(const std::string& job, std::uint64_t checkpoint_id);
+};
+
+}  // namespace cnr::storage

@@ -1,0 +1,64 @@
+#include "storage/object_store.h"
+
+namespace cnr::storage {
+
+void InMemoryStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  std::lock_guard lock(mu_);
+  ++stats_.puts;
+  stats_.bytes_written += data.size();
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.size();
+    it->second = std::move(data);
+    total_bytes_ += it->second.size();
+  } else {
+    total_bytes_ += data.size();
+    objects_.emplace(key, std::move(data));
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> InMemoryStore::Get(const std::string& key) {
+  std::lock_guard lock(mu_);
+  ++stats_.gets;
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+bool InMemoryStore::Exists(const std::string& key) {
+  std::lock_guard lock(mu_);
+  return objects_.contains(key);
+}
+
+bool InMemoryStore::Delete(const std::string& key) {
+  std::lock_guard lock(mu_);
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  ++stats_.deletes;
+  total_bytes_ -= it->second.size();
+  objects_.erase(it);
+  return true;
+}
+
+std::vector<std::string> InMemoryStore::List(const std::string& prefix) {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::uint64_t InMemoryStore::TotalBytes() {
+  std::lock_guard lock(mu_);
+  return total_bytes_;
+}
+
+StoreStats InMemoryStore::Stats() {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace cnr::storage

@@ -1,0 +1,85 @@
+#include "storage/rate_limited_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cnr::storage {
+
+RateLimitedStore::RateLimitedStore(std::shared_ptr<ObjectStore> backing, LinkConfig config)
+    : backing_(std::move(backing)), config_(config) {
+  if (!backing_) throw std::invalid_argument("RateLimitedStore: null backing store");
+  if (config_.write_bandwidth_bytes_per_sec <= 0 || config_.read_bandwidth_bytes_per_sec <= 0) {
+    throw std::invalid_argument("RateLimitedStore: bandwidth must be > 0");
+  }
+  if (config_.replication < 1) throw std::invalid_argument("RateLimitedStore: replication < 1");
+}
+
+util::SimTime RateLimitedStore::WriteDuration(std::uint64_t bytes) const {
+  const double wire_bytes = static_cast<double>(bytes) * config_.replication;
+  return config_.per_op_latency +
+         static_cast<util::SimTime>(wire_bytes / config_.write_bandwidth_bytes_per_sec *
+                                    util::kSecond);
+}
+
+util::SimTime RateLimitedStore::ReadDuration(std::uint64_t bytes) const {
+  return config_.per_op_latency +
+         static_cast<util::SimTime>(static_cast<double>(bytes) /
+                                    config_.read_bandwidth_bytes_per_sec * util::kSecond);
+}
+
+void RateLimitedStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  const util::SimTime duration = WriteDuration(data.size());
+  {
+    std::lock_guard lock(mu_);
+    const util::SimTime start = std::max(now_, link_free_);
+    link_free_ = start + duration;
+    write_busy_ += duration;
+  }
+  backing_->Put(key, std::move(data));
+}
+
+std::optional<std::vector<std::uint8_t>> RateLimitedStore::Get(const std::string& key) {
+  auto result = backing_->Get(key);
+  if (result) {
+    const util::SimTime duration = ReadDuration(result->size());
+    std::lock_guard lock(mu_);
+    const util::SimTime start = std::max(now_, link_free_);
+    link_free_ = start + duration;
+    read_busy_ += duration;
+  }
+  return result;
+}
+
+bool RateLimitedStore::Exists(const std::string& key) { return backing_->Exists(key); }
+
+bool RateLimitedStore::Delete(const std::string& key) { return backing_->Delete(key); }
+
+std::vector<std::string> RateLimitedStore::List(const std::string& prefix) {
+  return backing_->List(prefix);
+}
+
+std::uint64_t RateLimitedStore::TotalBytes() { return backing_->TotalBytes(); }
+
+StoreStats RateLimitedStore::Stats() { return backing_->Stats(); }
+
+util::SimTime RateLimitedStore::LinkIdleAt() {
+  std::lock_guard lock(mu_);
+  return std::max(now_, link_free_);
+}
+
+util::SimTime RateLimitedStore::WriteBusyTime() {
+  std::lock_guard lock(mu_);
+  return write_busy_;
+}
+
+util::SimTime RateLimitedStore::ReadBusyTime() {
+  std::lock_guard lock(mu_);
+  return read_busy_;
+}
+
+void RateLimitedStore::AdvanceTo(util::SimTime t) {
+  std::lock_guard lock(mu_);
+  now_ = std::max(now_, t);
+}
+
+}  // namespace cnr::storage

@@ -1,0 +1,72 @@
+// Bandwidth/latency model over an ObjectStore.
+//
+// Remote checkpoint storage is bandwidth-bound (paper §4.3: "the checkpoint
+// frequency is bounded by the available write bandwidth to remote storage").
+// RateLimitedStore wraps a backing store and maintains a simulated transfer
+// timeline: each operation occupies the (single, shared) link for
+//   latency + bytes / bandwidth
+// simulated time. The timeline is internal so background pipeline workers can
+// issue writes concurrently; callers can query when the store last becomes
+// idle (the checkpoint's "valid and ready to use" timestamp) and how long a
+// given write took.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "storage/object_store.h"
+#include "util/sim_clock.h"
+
+namespace cnr::storage {
+
+struct LinkConfig {
+  double write_bandwidth_bytes_per_sec = 1.0e9;  // per-job share of the NIC
+  double read_bandwidth_bytes_per_sec = 2.0e9;
+  util::SimTime per_op_latency = 2 * util::kMillisecond;
+  // Replication multiplies the bytes that cross the link on writes
+  // (checkpoint storage is replicated for availability, paper §4).
+  int replication = 1;
+};
+
+class RateLimitedStore : public ObjectStore {
+ public:
+  RateLimitedStore(std::shared_ptr<ObjectStore> backing, LinkConfig config);
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override;
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  bool Delete(const std::string& key) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+  std::uint64_t TotalBytes() override;
+  StoreStats Stats() override;
+
+  const LinkConfig& config() const { return config_; }
+
+  // Simulated time at which the link finishes all issued transfers.
+  util::SimTime LinkIdleAt();
+
+  // Total simulated time the link has spent busy on writes / reads.
+  util::SimTime WriteBusyTime();
+  util::SimTime ReadBusyTime();
+
+  // Duration a hypothetical write of `bytes` would occupy the link.
+  util::SimTime WriteDuration(std::uint64_t bytes) const;
+  util::SimTime ReadDuration(std::uint64_t bytes) const;
+
+  // Advances the link's notion of "now"; transfers issued after this start no
+  // earlier than `t`. Used to model the training timeline driving I/O.
+  void AdvanceTo(util::SimTime t);
+
+ private:
+  std::shared_ptr<ObjectStore> backing_;
+  LinkConfig config_;
+
+  std::mutex mu_;
+  util::SimTime now_ = 0;        // externally driven lower bound
+  util::SimTime link_free_ = 0;  // when the link finishes queued transfers
+  util::SimTime write_busy_ = 0;
+  util::SimTime read_busy_ = 0;
+};
+
+}  // namespace cnr::storage

@@ -1,0 +1,95 @@
+#include "tensor/dense.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cnr::tensor {
+
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::InitKaiming(util::Rng& rng, std::size_t fan_in) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in == 0 ? 1 : fan_in));
+  for (auto& v : data_) v = rng.NextFloat(-bound, bound);
+}
+
+void Matrix::Serialize(util::Writer& w) const {
+  w.Put<std::uint64_t>(rows_);
+  w.Put<std::uint64_t>(cols_);
+  w.PutBytes(data_.data(), data_.size() * sizeof(float));
+}
+
+Matrix Matrix::Deserialize(util::Reader& r) {
+  const auto rows = r.Get<std::uint64_t>();
+  const auto cols = r.Get<std::uint64_t>();
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  r.GetBytes(m.data_.data(), m.data_.size() * sizeof(float));
+  return m;
+}
+
+void MatVec(const Matrix& w, std::span<const float> x, std::span<const float> b,
+            std::span<float> y) {
+  if (x.size() != w.cols() || y.size() != w.rows() || b.size() != w.rows()) {
+    throw std::invalid_argument("MatVec: shape mismatch");
+  }
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const auto row = w.Row(r);
+    float acc = b[r];
+    for (std::size_t c = 0; c < row.size(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void MatVecBackward(const Matrix& w, std::span<const float> x, std::span<const float> dy,
+                    std::span<float> dx, Matrix& dw, std::span<float> db) {
+  if (dy.size() != w.rows() || x.size() != w.cols() || dw.rows() != w.rows() ||
+      dw.cols() != w.cols() || db.size() != w.rows()) {
+    throw std::invalid_argument("MatVecBackward: shape mismatch");
+  }
+  if (!dx.empty()) {
+    if (dx.size() != w.cols()) throw std::invalid_argument("MatVecBackward: dx shape");
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      const auto row = w.Row(r);
+      const float g = dy[r];
+      for (std::size_t c = 0; c < row.size(); ++c) dx[c] += row[c] * g;
+    }
+  }
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    auto grow = dw.Row(r);
+    const float g = dy[r];
+    for (std::size_t c = 0; c < grow.size(); ++c) grow[c] += g * x[c];
+    db[r] += g;
+  }
+}
+
+void ReluForward(std::span<float> x) {
+  for (auto& v : x) v = v > 0.0f ? v : 0.0f;
+}
+
+void ReluBackward(std::span<const float> post, std::span<float> dy) {
+  assert(post.size() == dy.size());
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    if (post[i] <= 0.0f) dy[i] = 0.0f;
+  }
+}
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace cnr::tensor

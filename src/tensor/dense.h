@@ -1,0 +1,71 @@
+// Dense row-major matrix/vector math for the MLP substrate.
+//
+// This is a deliberately small BLAS subset: the DLRM MLPs in this repo are
+// narrow (tens to hundreds of units), so a clean scalar implementation is
+// both fast enough and easy to verify in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace cnr::tensor {
+
+// Row-major matrix of float32.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> Row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const float> Row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<float> Flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> Flat() const { return {data_.data(), data_.size()}; }
+
+  void Fill(float v);
+  // Kaiming-uniform init scaled by fan-in; standard for ReLU MLPs.
+  void InitKaiming(util::Rng& rng, std::size_t fan_in);
+
+  void Serialize(util::Writer& w) const;
+  static Matrix Deserialize(util::Reader& r);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+// y = W x + b. W: [out x in], x: [in], b,y: [out].
+void MatVec(const Matrix& w, std::span<const float> x, std::span<const float> b,
+            std::span<float> y);
+
+// Backward for y = W x + b given dL/dy:
+//   dx = W^T dy        (skipped when dx is empty)
+//   dW += dy x^T, db += dy
+void MatVecBackward(const Matrix& w, std::span<const float> x, std::span<const float> dy,
+                    std::span<float> dx, Matrix& dw, std::span<float> db);
+
+// Elementwise helpers.
+void ReluForward(std::span<float> x);
+// dx = dy * 1[x_pre > 0], where `post` is the post-activation value (ReLU lets
+// us reconstruct the mask from the output).
+void ReluBackward(std::span<const float> post, std::span<float> dy);
+float Dot(std::span<const float> a, std::span<const float> b);
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);  // y += alpha*x
+void Scale(std::span<float> x, float alpha);
+
+float Sigmoid(float x);
+
+}  // namespace cnr::tensor

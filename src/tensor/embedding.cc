@@ -1,0 +1,66 @@
+#include "tensor/embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnr::tensor {
+
+EmbeddingTable::EmbeddingTable(std::string name, std::size_t num_rows, std::size_t dim)
+    : name_(std::move(name)),
+      num_rows_(num_rows),
+      dim_(dim),
+      weights_(num_rows * dim, 0.0f),
+      adagrad_(num_rows, 0.0f) {
+  if (num_rows == 0 || dim == 0) throw std::invalid_argument("EmbeddingTable: empty shape");
+}
+
+void EmbeddingTable::InitUniform(util::Rng& rng, float bound) {
+  if (bound <= 0.0f) bound = 1.0f / static_cast<float>(num_rows_);
+  for (auto& v : weights_) v = rng.NextFloat(-bound, bound);
+}
+
+void EmbeddingTable::ApplySparseAdagrad(std::size_t r, std::span<const float> grad, float lr,
+                                        float eps) {
+  if (r >= num_rows_) throw std::out_of_range("EmbeddingTable row");
+  if (grad.size() != dim_) throw std::invalid_argument("EmbeddingTable gradient dim");
+  float sq = 0.0f;
+  for (const float g : grad) sq += g * g;
+  adagrad_[r] += sq / static_cast<float>(dim_);
+  const float step = lr / (std::sqrt(adagrad_[r]) + eps);
+  auto row = Row(r);
+  for (std::size_t i = 0; i < dim_; ++i) row[i] -= step * grad[i];
+  if (tracker_) tracker_(r);
+}
+
+void EmbeddingTable::RestoreRow(std::size_t r, std::span<const float> weights, float adagrad) {
+  if (r >= num_rows_) throw std::out_of_range("EmbeddingTable row");
+  if (weights.size() != dim_) throw std::invalid_argument("EmbeddingTable restore dim");
+  auto row = Row(r);
+  std::copy(weights.begin(), weights.end(), row.begin());
+  adagrad_[r] = adagrad;
+}
+
+void EmbeddingTable::Serialize(util::Writer& w) const {
+  w.PutString(name_);
+  w.Put<std::uint64_t>(num_rows_);
+  w.Put<std::uint64_t>(dim_);
+  w.PutBytes(weights_.data(), weights_.size() * sizeof(float));
+  w.PutBytes(adagrad_.data(), adagrad_.size() * sizeof(float));
+}
+
+EmbeddingTable EmbeddingTable::Deserialize(util::Reader& r) {
+  const std::string name = r.GetString();
+  const auto rows = r.Get<std::uint64_t>();
+  const auto dim = r.Get<std::uint64_t>();
+  EmbeddingTable t(name, static_cast<std::size_t>(rows), static_cast<std::size_t>(dim));
+  r.GetBytes(t.weights_.data(), t.weights_.size() * sizeof(float));
+  r.GetBytes(t.adagrad_.data(), t.adagrad_.size() * sizeof(float));
+  return t;
+}
+
+bool EmbeddingTable::operator==(const EmbeddingTable& other) const {
+  return name_ == other.name_ && num_rows_ == other.num_rows_ && dim_ == other.dim_ &&
+         weights_ == other.weights_ && adagrad_ == other.adagrad_;
+}
+
+}  // namespace cnr::tensor

@@ -1,0 +1,86 @@
+// Embedding tables — the sparse layer of a recommendation model.
+//
+// Embedding tables hold one dense vector per categorical value and account
+// for >99% of a DLRM's footprint (paper §2.1). A training sample looks up a
+// small set of rows per table; only those rows (and their optimizer state)
+// are modified by the backward pass. Check-N-Run's incremental checkpointing
+// exploits exactly this: EmbeddingTable exposes an access-tracking hook that
+// records modified rows into a util::BitVector (paper §5.1.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace cnr::tensor {
+
+// One embedding table: `num_rows` rows of dimension `dim`, fp32 during
+// training (quantization only ever applies to checkpoints, never here).
+// Optimizer state (one AdaGrad accumulator per row, rowwise) lives alongside
+// the weights because the paper checkpoints the optimizer state too (§4.1).
+class EmbeddingTable {
+ public:
+  EmbeddingTable() = default;
+  EmbeddingTable(std::string name, std::size_t num_rows, std::size_t dim);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t dim() const { return dim_; }
+  // Total fp32 parameter count (weights only, excluding optimizer state).
+  std::size_t ParameterCount() const { return num_rows_ * dim_; }
+  // Checkpointable bytes: weights + rowwise optimizer accumulator.
+  std::size_t StateBytes() const {
+    return ParameterCount() * sizeof(float) + num_rows_ * sizeof(float);
+  }
+
+  // Uniform init in [-bound, bound]; bound defaults to 1/num_rows, matching
+  // open-source DLRM. Sharded tables pass the *logical* table's bound so that
+  // initialization is invariant to the shard count.
+  void InitUniform(util::Rng& rng, float bound = 0.0f);
+
+  std::span<float> Row(std::size_t r) { return {weights_.data() + r * dim_, dim_}; }
+  std::span<const float> Row(std::size_t r) const { return {weights_.data() + r * dim_, dim_}; }
+
+  float& AdagradState(std::size_t r) { return adagrad_[r]; }
+  float AdagradState(std::size_t r) const { return adagrad_[r]; }
+
+  std::span<const float> Weights() const { return {weights_.data(), weights_.size()}; }
+  std::span<float> MutableWeights() { return {weights_.data(), weights_.size()}; }
+  std::span<const float> AdagradStates() const { return {adagrad_.data(), adagrad_.size()}; }
+
+  // Applies a row-wise sparse AdaGrad update to row `r` with gradient `grad`:
+  //   G_r += mean(grad^2);  w_r -= lr * grad / (sqrt(G_r) + eps)
+  // Marks the row modified (the tracking hook, if installed, observes it).
+  void ApplySparseAdagrad(std::size_t r, std::span<const float> grad, float lr, float eps);
+
+  // Overwrites row `r` and its optimizer state; used by checkpoint recovery.
+  void RestoreRow(std::size_t r, std::span<const float> weights, float adagrad);
+
+  // ---- Modified-row tracking hook (paper §5.1.1) ----
+  // When a tracker is installed, every modified row index is reported to it.
+  // The trainer installs the per-shard tracker; recovery installs none.
+  using TrackFn = std::function<void(std::size_t row)>;
+  void SetTracker(TrackFn fn) { tracker_ = std::move(fn); }
+  void ClearTracker() { tracker_ = nullptr; }
+
+  void Serialize(util::Writer& w) const;
+  static EmbeddingTable Deserialize(util::Reader& r);
+
+  bool operator==(const EmbeddingTable& other) const;
+
+ private:
+  std::string name_;
+  std::size_t num_rows_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> weights_;
+  std::vector<float> adagrad_;  // rowwise accumulator
+  TrackFn tracker_;
+};
+
+}  // namespace cnr::tensor

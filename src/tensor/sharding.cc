@@ -1,0 +1,50 @@
+#include "tensor/sharding.h"
+
+#include <stdexcept>
+
+namespace cnr::tensor {
+
+ShardedEmbedding::ShardedEmbedding(std::string name, std::size_t num_rows, std::size_t dim,
+                                   std::size_t num_shards)
+    : name_(std::move(name)), num_rows_(num_rows), dim_(dim) {
+  if (num_shards == 0) throw std::invalid_argument("ShardedEmbedding: zero shards");
+  if (num_rows < num_shards) num_shards = num_rows;  // avoid empty shards
+  rows_per_shard_ = (num_rows + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t begin = s * rows_per_shard_;
+    const std::size_t end = std::min(begin + rows_per_shard_, num_rows);
+    if (begin >= end) break;
+    shards_.push_back(std::make_unique<EmbeddingTable>(
+        name_ + "/shard" + std::to_string(s), end - begin, dim));
+  }
+}
+
+ShardLocation ShardedEmbedding::Locate(std::size_t logical_row) const {
+  if (logical_row >= num_rows_) throw std::out_of_range("ShardedEmbedding row");
+  return {logical_row / rows_per_shard_, logical_row % rows_per_shard_};
+}
+
+std::size_t ShardedEmbedding::LogicalRow(std::size_t shard, std::size_t local_row) const {
+  return shard * rows_per_shard_ + local_row;
+}
+
+void ShardedEmbedding::InitUniform(util::Rng& rng) {
+  // The bound comes from the logical table size so that initialization (and
+  // therefore training) is bit-identical across shard counts.
+  const float bound = 1.0f / static_cast<float>(num_rows_);
+  for (auto& shard : shards_) shard->InitUniform(rng, bound);
+}
+
+std::span<const float> ShardedEmbedding::LookupRow(std::size_t logical_row) const {
+  const auto loc = Locate(logical_row);
+  return shards_[loc.shard]->Row(loc.local_row);
+}
+
+void ShardedEmbedding::ApplySparseAdagrad(std::size_t logical_row, std::span<const float> grad,
+                                          float lr, float eps) {
+  const auto loc = Locate(logical_row);
+  shards_[loc.shard]->ApplySparseAdagrad(loc.local_row, grad, lr, eps);
+}
+
+}  // namespace cnr::tensor

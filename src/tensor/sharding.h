@@ -1,0 +1,66 @@
+// Row-wise sharding of embedding tables across simulated devices.
+//
+// The paper trains with model parallelism for the sparse layer: embedding
+// tables are partitioned across GPUs, and each GPU snapshots / tracks only
+// its local shard (§2.1, §4.2). ShardedEmbedding reproduces that layout:
+// a logical table is split row-wise into `num_shards` contiguous ranges, and
+// each shard owns an EmbeddingTable for its range plus a local modified-row
+// bit-vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/embedding.h"
+#include "util/bitvector.h"
+
+namespace cnr::tensor {
+
+// Identifies where a logical row lives after sharding.
+struct ShardLocation {
+  std::size_t shard;      // device index
+  std::size_t local_row;  // row within the shard's local table
+};
+
+// A logical embedding table partitioned row-wise across `num_shards` devices.
+//
+// Shard s owns logical rows [s*rows_per_shard, min((s+1)*rows_per_shard, n)).
+// Lookups and updates address logical rows; the class routes them to the
+// owning shard. Each shard's local table carries its own tracking hook so the
+// per-device bit-vectors match the paper's per-GPU tracking.
+class ShardedEmbedding {
+ public:
+  ShardedEmbedding(std::string name, std::size_t num_rows, std::size_t dim,
+                   std::size_t num_shards);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  ShardLocation Locate(std::size_t logical_row) const;
+  std::size_t LogicalRow(std::size_t shard, std::size_t local_row) const;
+
+  EmbeddingTable& Shard(std::size_t s) { return *shards_[s]; }
+  const EmbeddingTable& Shard(std::size_t s) const { return *shards_[s]; }
+
+  void InitUniform(util::Rng& rng);
+
+  std::span<const float> LookupRow(std::size_t logical_row) const;
+  void ApplySparseAdagrad(std::size_t logical_row, std::span<const float> grad, float lr,
+                          float eps);
+
+  std::size_t ParameterCount() const { return num_rows_ * dim_; }
+
+ private:
+  std::string name_;
+  std::size_t num_rows_;
+  std::size_t dim_;
+  std::size_t rows_per_shard_;
+  std::vector<std::unique_ptr<EmbeddingTable>> shards_;
+};
+
+}  // namespace cnr::tensor

@@ -1,0 +1,114 @@
+#include "util/bitvector.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace cnr::util {
+
+void BitVector::Resize(std::size_t size) {
+  size_ = size;
+  words_.resize(WordCount(size), 0);
+  TrimTail();
+}
+
+void BitVector::Set(std::size_t i) {
+  if (i >= size_) throw std::out_of_range("BitVector::Set");
+  words_[i / 64] |= (std::uint64_t{1} << (i % 64));
+}
+
+void BitVector::Clear(std::size_t i) {
+  if (i >= size_) throw std::out_of_range("BitVector::Clear");
+  words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+}
+
+void BitVector::Assign(std::size_t i, bool value) {
+  if (value) {
+    Set(i);
+  } else {
+    Clear(i);
+  }
+}
+
+bool BitVector::Test(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitVector::Test");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BitVector::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  TrimTail();
+}
+
+void BitVector::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::size_t BitVector::Count() const {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  if (other.size_ != size_) throw std::invalid_argument("BitVector size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  if (other.size_ != size_) throw std::invalid_argument("BitVector size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::Subtract(const BitVector& other) {
+  if (other.size_ != size_) throw std::invalid_argument("BitVector size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::size_t BitVector::FindNext(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t w = from / 64;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from % 64));
+  while (true) {
+    if (word != 0) {
+      const std::size_t idx = w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      return idx < size_ ? idx : npos;
+    }
+    if (++w >= words_.size()) return npos;
+    word = words_[w];
+  }
+}
+
+std::vector<std::uint32_t> BitVector::ToIndices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(Count());
+  ForEachSet([&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+  return out;
+}
+
+void BitVector::Serialize(Writer& w) const {
+  w.Put<std::uint64_t>(size_);
+  w.PutBytes(words_.data(), words_.size() * sizeof(std::uint64_t));
+}
+
+BitVector BitVector::Deserialize(Reader& r) {
+  const auto size = r.Get<std::uint64_t>();
+  BitVector bv(static_cast<std::size_t>(size));
+  r.GetBytes(bv.words_.data(), bv.words_.size() * sizeof(std::uint64_t));
+  bv.TrimTail();
+  return bv;
+}
+
+void BitVector::TrimTail() {
+  const std::size_t tail = size_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace cnr::util

@@ -1,0 +1,90 @@
+// Dynamic bit-vector used by Check-N-Run to track modified embedding rows.
+//
+// The paper (§5.1.1) tracks modified vectors with a per-GPU bit-vector whose
+// footprint is < 0.05% of the model. This implementation provides the
+// operations that tracking and incremental-checkpoint construction need:
+// set/test, popcount, union/intersection/difference, iteration over set bits,
+// and compact binary serialization (the bit-vector ships with the checkpoint
+// manifest so recovery knows which rows an incremental checkpoint contains).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.h"
+
+namespace cnr::util {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  // Creates a vector of `size` bits, all cleared.
+  explicit BitVector(std::size_t size) : size_(size), words_(WordCount(size), 0) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Resizes to `size` bits. New bits are cleared; existing bits kept.
+  void Resize(std::size_t size);
+
+  void Set(std::size_t i);
+  void Clear(std::size_t i);
+  void Assign(std::size_t i, bool value);
+  bool Test(std::size_t i) const;
+
+  // Sets all bits / clears all bits.
+  void SetAll();
+  void ClearAll();
+
+  // Number of set bits.
+  std::size_t Count() const;
+  // True iff no bit is set.
+  bool None() const { return Count() == 0; }
+  // Fraction of set bits in [0,1]; 0 for an empty vector.
+  double Density() const { return size_ == 0 ? 0.0 : static_cast<double>(Count()) / size_; }
+
+  // In-place set algebra. All require equal sizes.
+  BitVector& operator|=(const BitVector& other);
+  BitVector& operator&=(const BitVector& other);
+  // Removes from this vector every bit set in `other` (set difference).
+  BitVector& Subtract(const BitVector& other);
+
+  bool operator==(const BitVector& other) const;
+
+  // Index of the first set bit at or after `from`, or `npos` if none.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t FindNext(std::size_t from) const;
+
+  // Calls `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Collects all set-bit indices in ascending order.
+  std::vector<std::uint32_t> ToIndices() const;
+
+  // Serialized size in bytes (word-granular payload plus header).
+  std::size_t ByteSize() const { return sizeof(std::uint64_t) + words_.size() * sizeof(std::uint64_t); }
+
+  void Serialize(Writer& w) const;
+  static BitVector Deserialize(Reader& r);
+
+ private:
+  static std::size_t WordCount(std::size_t bits) { return (bits + 63) / 64; }
+  // Clears bits beyond size_ in the last word so Count() stays exact.
+  void TrimTail();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cnr::util

@@ -1,0 +1,34 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace cnr::util {
+
+namespace {
+
+// CRC-32C polynomial (reflected): 0x82F63B78.
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace cnr::util

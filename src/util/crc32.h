@@ -1,0 +1,25 @@
+// CRC-32C (Castagnoli) checksums.
+//
+// Every checkpoint chunk carries a checksum so recovery detects corruption
+// in the storage tier (bit rot, truncated replication) instead of silently
+// restoring a damaged model — production checkpoint systems treat this as
+// table stakes. Software slice-by-one implementation; fast enough since
+// checksumming is off the training critical path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cnr::util {
+
+// CRC-32C of `data`, with `seed` allowing incremental computation
+// (pass a previous Crc32c result to continue it).
+std::uint32_t Crc32c(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed = 0) {
+  return Crc32c(std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(data), n),
+                seed);
+}
+
+}  // namespace cnr::util

@@ -1,0 +1,32 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace cnr::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_emit_mu);
+  std::cerr << "[" << LevelName(level) << "] " << msg << "\n";
+}
+}  // namespace internal
+
+}  // namespace cnr::util

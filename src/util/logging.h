@@ -1,0 +1,44 @@
+// Minimal leveled logging. Off-by-default below kWarn so benches stay quiet;
+// tests and examples can raise the level for debugging.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cnr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void Emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) Emit(level_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace cnr::util
+
+#define CNR_LOG_DEBUG ::cnr::util::internal::LogLine(::cnr::util::LogLevel::kDebug)
+#define CNR_LOG_INFO ::cnr::util::internal::LogLine(::cnr::util::LogLevel::kInfo)
+#define CNR_LOG_WARN ::cnr::util::internal::LogLine(::cnr::util::LogLevel::kWarn)
+#define CNR_LOG_ERROR ::cnr::util::internal::LogLine(::cnr::util::LogLevel::kError)

@@ -1,0 +1,121 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cnr::util {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("NextBounded(0)");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(Next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+float Rng::NextFloat(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xA3C59AC2F1EDD65BULL); }
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s <= 0.0 || s == 1.0) {
+    // The H() closed form below has a pole at s == 1; nudge it, the
+    // distribution is indistinguishable for workload-generation purposes.
+    s_ = (s == 1.0) ? 1.0 + 1e-9 : std::max(s, 1e-9);
+  }
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  dd_ = 1.0 - HInv(H(1.5) - std::pow(1.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of x^-s: (x^(1-s) - 1) / (1-s), shifted for the rejection method.
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInv(double x) const {
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    k = std::clamp<std::uint64_t>(k, 1, n_);
+    if (static_cast<double>(k) - x <= dd_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k - 1;  // zero-based
+    }
+  }
+}
+
+std::vector<std::uint64_t> SampleWithoutReplacement(Rng& rng, std::uint64_t n, std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("SampleWithoutReplacement: k > n");
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  // Floyd's algorithm: k iterations, uniform over all k-subsets.
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.NextBounded(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace cnr::util

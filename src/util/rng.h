@@ -1,0 +1,82 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Everything in this repo that needs randomness (synthetic click data, Zipf
+// categorical features, failure traces, quantization sampling) goes through
+// Rng so experiments are reproducible from a single seed. The core generator
+// is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cnr::util {
+
+// splitmix64 step; used for seeding and cheap hashing.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  // Uniform integer in [0, bound) using Lemire's method. bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi);
+
+  // Standard normal via Box-Muller (no cached spare; stateless per call pair).
+  double NextGaussian();
+
+  // Bernoulli(p).
+  bool NextBool(double p);
+
+  // Creates an independent child generator (for per-thread streams).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipf(s) sampler over {0, ..., n-1} with exponent `s`, using the rejection
+// method of Hörmann & Derflinger, which is O(1) per sample and exact.
+//
+// Recommendation-model embedding accesses are heavily skewed; Zipf-distributed
+// categorical IDs are what make only a fraction of embedding rows get modified
+// per checkpoint interval (paper Figs 5/6).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  std::uint64_t Sample(Rng& rng) const;
+
+ private:
+  double H(double x) const;
+  double HInv(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dd_;
+};
+
+// Draws `k` distinct uniform indices from [0, n) (floyd's algorithm).
+std::vector<std::uint64_t> SampleWithoutReplacement(Rng& rng, std::uint64_t n, std::uint64_t k);
+
+}  // namespace cnr::util

@@ -1,0 +1,143 @@
+// Minimal binary serialization primitives.
+//
+// Checkpoint payloads (quantized embedding chunks, manifests, reader state)
+// are encoded with these little-endian Writer/Reader helpers. The format is
+// deliberately simple and versioned at the manifest level (storage/manifest.h)
+// rather than per-primitive.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace cnr::util {
+
+// Error thrown when a Reader runs past the end of its buffer or decodes an
+// out-of-range value. Recovery code treats this as a corrupt checkpoint.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Appends primitive values to a growable byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void Put(T value) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &value, sizeof(T));
+  }
+
+  void PutBytes(const void* data, std::size_t n) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + n);
+    if (n != 0) std::memcpy(buf_.data() + off, data, n);
+  }
+
+  void PutString(std::string_view s) {
+    Put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void PutVector(const std::vector<T>& v) {
+    Put<std::uint64_t>(v.size());
+    PutBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  // Unsigned LEB128; compact for small counts embedded in chunk headers.
+  void PutVarint(std::uint64_t value) {
+    while (value >= 0x80) {
+      Put<std::uint8_t>(static_cast<std::uint8_t>(value) | 0x80);
+      value >>= 7;
+    }
+    Put<std::uint8_t>(static_cast<std::uint8_t>(value));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Reads primitive values from a byte span; throws SerializeError on underrun.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  Reader(const void* data, std::size_t n)
+      : data_(static_cast<const std::uint8_t*>(data), n) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T Get() {
+    Require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  void GetBytes(void* out, std::size_t n) {
+    Require(n);
+    if (n != 0) std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string GetString() {
+    const auto n = Get<std::uint32_t>();
+    Require(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> GetVector() {
+    const auto n = Get<std::uint64_t>();
+    if (n > data_.size() / sizeof(T) + 1) throw SerializeError("vector length corrupt");
+    std::vector<T> v(n);
+    GetBytes(v.data(), n * sizeof(T));
+    return v;
+  }
+
+  std::uint64_t GetVarint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      const auto byte = Get<std::uint8_t>();
+      if (shift >= 64) throw SerializeError("varint overflow");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return value;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void Require(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw SerializeError("buffer underrun");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cnr::util

@@ -1,0 +1,66 @@
+// Simulated wall clock for interval-based experiments.
+//
+// The paper's interval figures (Figs 6, 15, 16) are expressed in minutes of
+// training at a fixed throughput (e.g. 500K QPS). We reproduce them by mapping
+// trained samples to simulated time through a configurable throughput, so the
+// experiments are deterministic and run in seconds of real time.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace cnr::util {
+
+// Simulated time in microseconds since the start of a training run.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime now() const { return now_; }
+
+  void Advance(SimTime delta) {
+    if (delta < 0) throw std::invalid_argument("SimClock::Advance negative");
+    now_ += delta;
+  }
+
+  void AdvanceTo(SimTime t) {
+    if (t < now_) throw std::invalid_argument("SimClock::AdvanceTo backwards");
+    now_ = t;
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+// Converts trained samples to simulated time at `qps` samples/second.
+class ThroughputModel {
+ public:
+  explicit ThroughputModel(double qps) : qps_(qps) {
+    if (qps <= 0) throw std::invalid_argument("ThroughputModel: qps must be > 0");
+  }
+
+  double qps() const { return qps_; }
+
+  SimTime TimeForSamples(std::uint64_t samples) const {
+    return static_cast<SimTime>(static_cast<double>(samples) / qps_ * kSecond);
+  }
+
+  std::uint64_t SamplesForTime(SimTime t) const {
+    return static_cast<std::uint64_t>(static_cast<double>(t) / kSecond * qps_);
+  }
+
+ private:
+  double qps_;
+};
+
+}  // namespace cnr::util

@@ -1,0 +1,72 @@
+// Streaming statistics helpers used by metrics, benches, and failure traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cnr::util {
+
+// Welford's online algorithm: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Collects samples and answers quantile queries (exact; sorts on demand).
+class QuantileSketch {
+ public:
+  void Add(double x) { samples_.push_back(x); sorted_ = false; }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const { return samples_.size(); }
+
+  // Quantile q in [0, 1] with linear interpolation; requires count() > 0.
+  double Quantile(double q);
+
+  // Empirical CDF value P(X <= x); requires count() > 0.
+  double Cdf(double x);
+
+ private:
+  void EnsureSorted();
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+// Fixed-bucket histogram over [lo, hi) with `buckets` equal-width bins plus
+// overflow/underflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::uint64_t BucketCount(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+  double BucketLow(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace cnr::util

@@ -1,0 +1,64 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cnr::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t shards = std::min(n, num_threads());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    futures.push_back(Submit([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+}  // namespace cnr::util

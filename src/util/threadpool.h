@@ -1,0 +1,64 @@
+// Fixed-size thread pool used for the background checkpoint pipeline.
+//
+// The paper decouples checkpointing from training: dedicated CPU processes
+// quantize and store chunks while GPUs keep training (§4.2, §5.2). Here those
+// "dedicated CPU processes" are pool workers; the trainer thread never blocks
+// on them except at the snapshot barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cnr::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues `fn`; returns a future for its result. Exceptions thrown by `fn`
+  // propagate through the future.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    auto future = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool stopped");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void Drain();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace cnr::util

@@ -1,0 +1,132 @@
+#include "core/checkfreq.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/recovery.h"
+#include "data/synthetic.h"
+
+namespace cnr::core {
+namespace {
+
+dlrm::ModelConfig SmallModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {256, 128};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 22;
+  cfg.num_dense = 4;
+  cfg.tables = {{256, 2, 1.1}, {128, 1, 1.05}};
+  return cfg;
+}
+
+data::ReaderConfig SmallReader() {
+  data::ReaderConfig cfg;
+  cfg.batch_size = 32;
+  cfg.num_workers = 2;
+  cfg.queue_capacity = 4;
+  return cfg;
+}
+
+TEST(CheckFreq, TuneProducesPositiveInterval) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  CheckFreqConfig cfg;
+  CheckFreqBaseline cf(model, reader, std::make_shared<storage::InMemoryStore>(), cfg);
+  const auto interval = cf.Tune();
+  EXPECT_GE(interval, cfg.min_interval_batches);
+  EXPECT_LE(interval, cfg.max_interval_batches);
+  EXPECT_EQ(interval, cf.tuned_interval_batches());
+  EXPECT_EQ(cf.batches_trained(), cfg.profile_batches);
+}
+
+TEST(CheckFreq, RunBeforeTuneThrows) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  CheckFreqBaseline cf(model, reader, std::make_shared<storage::InMemoryStore>(),
+                       CheckFreqConfig{});
+  EXPECT_THROW(cf.Run(1), std::logic_error);
+}
+
+TEST(CheckFreq, TighterBudgetMeansLongerInterval) {
+  // interval = stall / (budget * batch_time): halving the budget must at
+  // least not shorten the interval (same costs, same clamping).
+  std::uint64_t loose_interval = 0, tight_interval = 0;
+  {
+    dlrm::DlrmModel model(SmallModel());
+    data::SyntheticDataset ds(MatchingDataset());
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckFreqConfig cfg;
+    cfg.overhead_budget = 0.2;
+    CheckFreqBaseline cf(model, reader, std::make_shared<storage::InMemoryStore>(), cfg);
+    loose_interval = cf.Tune();
+  }
+  {
+    dlrm::DlrmModel model(SmallModel());
+    data::SyntheticDataset ds(MatchingDataset());
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckFreqConfig cfg;
+    cfg.overhead_budget = 0.0001;
+    CheckFreqBaseline cf(model, reader, std::make_shared<storage::InMemoryStore>(), cfg);
+    tight_interval = cf.Tune();
+  }
+  EXPECT_GE(tight_interval, loose_interval);
+}
+
+TEST(CheckFreq, WritesFullFp32CheckpointsThatRestore) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+  CheckFreqConfig cfg;
+  cfg.max_interval_batches = 4;  // keep the test fast
+  CheckFreqBaseline cf(model, reader, store, cfg);
+  cf.Tune();
+  const auto stats = cf.Run(3);
+  ASSERT_EQ(stats.size(), 3u);
+  // Every checkpoint is a full model; sizes are flat (no incremental decay).
+  EXPECT_NEAR(static_cast<double>(stats[1].bytes_written),
+              static_cast<double>(stats[0].bytes_written),
+              static_cast<double>(stats[0].bytes_written) * 0.01);
+
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*store, "checkfreq", restored);
+  EXPECT_EQ(rr.checkpoints_applied, 1u);  // full checkpoints never chain
+  EXPECT_TRUE(restored.DenseEquals(model));
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    for (std::size_t s = 0; s < model.table(t).num_shards(); ++s) {
+      EXPECT_EQ(restored.table(t).Shard(s), model.table(t).Shard(s));
+    }
+  }
+}
+
+TEST(CheckFreq, InvalidConfigThrows) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  CheckFreqConfig bad;
+  bad.overhead_budget = 0.0;
+  EXPECT_THROW(CheckFreqBaseline(model, reader, std::make_shared<storage::InMemoryStore>(), bad),
+               std::invalid_argument);
+  bad = CheckFreqConfig{};
+  bad.profile_batches = 0;
+  EXPECT_THROW(CheckFreqBaseline(model, reader, std::make_shared<storage::InMemoryStore>(), bad),
+               std::invalid_argument);
+  EXPECT_THROW(CheckFreqBaseline(model, reader, nullptr, CheckFreqConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::core

@@ -1,0 +1,303 @@
+#include "core/checknrun.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cnr::core {
+namespace {
+
+dlrm::ModelConfig SmallModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {256, 128};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 22;
+  cfg.num_dense = 4;
+  cfg.tables = {{256, 2, 1.1}, {128, 1, 1.05}};
+  return cfg;
+}
+
+data::ReaderConfig SmallReader() {
+  data::ReaderConfig cfg;
+  cfg.batch_size = 32;
+  cfg.num_workers = 2;
+  cfg.queue_capacity = 4;
+  return cfg;
+}
+
+CheckNRunConfig BaseConfig() {
+  CheckNRunConfig cfg;
+  cfg.job = "job0";
+  cfg.interval_batches = 5;
+  cfg.policy = PolicyKind::kIntermittent;
+  cfg.quantize = false;  // exactness by default; quantized cases opt in
+  cfg.chunk_rows = 32;
+  cfg.pipeline_threads = 2;
+  return cfg;
+}
+
+TEST(CheckNRun, RunProducesOneCheckpointPerInterval) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  CheckNRun cnr(model, reader, store, BaseConfig());
+  const auto stats = cnr.Run(4);
+
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_EQ(stats[0].kind, storage::CheckpointKind::kFull);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].checkpoint_id, i + 1);
+    EXPECT_GT(stats[i].bytes_written, 0u);
+  }
+  EXPECT_EQ(cnr.batches_trained(), 20u);
+  EXPECT_EQ(cnr.samples_trained(), 20u * 32u);
+}
+
+TEST(CheckNRun, IncrementalsAreSmallerThanFull) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  CheckNRun cnr(model, reader, store, BaseConfig());
+  const auto stats = cnr.Run(3);
+  ASSERT_EQ(stats[1].kind, storage::CheckpointKind::kIncremental);
+  EXPECT_LT(stats[1].bytes_written, stats[0].bytes_written);
+  EXPECT_LT(stats[1].rows_written, stats[0].rows_written);
+}
+
+TEST(CheckNRun, DirtyFractionPositiveAndBounded) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  CheckNRun cnr(model, reader, store, BaseConfig());
+  for (const auto& s : cnr.Run(3)) {
+    EXPECT_GT(s.dirty_fraction, 0.0);
+    EXPECT_LE(s.dirty_fraction, 1.0);
+    EXPECT_GT(s.mean_loss, 0.0);
+  }
+}
+
+TEST(CheckNRun, RestoreResumesExactly) {
+  data::SyntheticDataset ds(MatchingDataset());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  // Uninterrupted reference run: 6 intervals.
+  dlrm::DlrmModel reference(SmallModel());
+  {
+    data::ReaderMaster reader(ds, SmallReader());
+    auto ref_store = std::make_shared<storage::InMemoryStore>();
+    CheckNRun cnr(reference, reader, ref_store, BaseConfig());
+    cnr.Run(6);
+  }
+
+  // Interrupted run: 3 intervals, "crash", restore, 3 more.
+  dlrm::DlrmModel model(SmallModel());
+  {
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckNRun cnr(model, reader, store, BaseConfig());
+    cnr.Run(3);
+  }
+
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*store, "job0", restored);
+  EXPECT_EQ(rr.batches_trained, 15u);
+  {
+    data::ReaderMaster reader(ds, SmallReader(), rr.reader_state);
+    CheckNRun cnr(restored, reader, store, BaseConfig());
+    cnr.SetProgress(rr.batches_trained, rr.samples_trained);
+    cnr.SetNextCheckpointId(rr.checkpoint_id + 1);
+    cnr.Run(3);
+    EXPECT_EQ(cnr.batches_trained(), 30u);
+  }
+
+  // Unquantized checkpoints + deterministic replay => bit-identical models.
+  EXPECT_TRUE(restored.DenseEquals(reference));
+  for (std::size_t t = 0; t < reference.num_tables(); ++t) {
+    for (std::size_t s = 0; s < reference.table(t).num_shards(); ++s) {
+      EXPECT_EQ(restored.table(t).Shard(s), reference.table(t).Shard(s));
+    }
+  }
+}
+
+TEST(CheckNRun, GcKeepsOnlyRecoveryChain) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kOneShot;
+  CheckNRun cnr(model, reader, store, cfg);
+  cnr.Run(5);
+
+  // One-shot chain = {baseline, newest}; ids 2..4 must be gone.
+  std::set<std::uint64_t> present;
+  for (const auto& key : store->List("jobs/job0/ckpt/")) {
+    if (key.ends_with("MANIFEST")) {
+      const auto tail = key.substr(0, key.size() - 9);
+      present.insert(std::stoull(tail.substr(tail.find_last_of('/') + 1)));
+    }
+  }
+  EXPECT_EQ(present, (std::set<std::uint64_t>{1, 5}));
+}
+
+TEST(CheckNRun, ConsecutivePolicyKeepsWholeChain) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kConsecutive;
+  CheckNRun cnr(model, reader, store, cfg);
+  cnr.Run(4);
+
+  int manifests = 0;
+  for (const auto& key : store->List("jobs/job0/ckpt/")) {
+    if (key.ends_with("MANIFEST")) ++manifests;
+  }
+  EXPECT_EQ(manifests, 4);  // every checkpoint needed for recovery
+}
+
+TEST(CheckNRun, RetentionKeepsRequestedLineages) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kOneShot;
+  cfg.keep_checkpoints = 3;  // debugging/transfer retention (paper §1)
+  CheckNRun cnr(model, reader, store, cfg);
+  cnr.Run(5);
+
+  std::set<std::uint64_t> present;
+  for (const auto& key : store->List("jobs/job0/ckpt/")) {
+    if (key.ends_with("MANIFEST")) {
+      const auto tail = key.substr(0, key.size() - 9);
+      present.insert(std::stoull(tail.substr(tail.find_last_of('/') + 1)));
+    }
+  }
+  // Lineages of 5, 4, 3 => {1,5}, {1,4}, {1,3}.
+  EXPECT_EQ(present, (std::set<std::uint64_t>{1, 3, 4, 5}));
+
+  // All three retained checkpoints are independently restorable.
+  for (const std::uint64_t id : {3ull, 4ull, 5ull}) {
+    dlrm::DlrmModel restored(SmallModel());
+    const auto rr = RestoreModel(*store, "job0", restored, id);
+    EXPECT_EQ(rr.checkpoint_id, id);
+  }
+}
+
+TEST(CheckNRun, GcDisabledKeepsEverything) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kOneShot;
+  cfg.gc = false;
+  CheckNRun cnr(model, reader, store, cfg);
+  cnr.Run(5);
+
+  int manifests = 0;
+  for (const auto& key : store->List("jobs/job0/ckpt/")) {
+    if (key.ends_with("MANIFEST")) ++manifests;
+  }
+  EXPECT_EQ(manifests, 5);
+}
+
+TEST(CheckNRun, DynamicBitWidthFollowsExpectedRestarts) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  auto cfg = BaseConfig();
+  cfg.quantize = true;
+  cfg.dynamic_bitwidth = true;
+  cfg.expected_restarts = 1;
+  CheckNRun cnr(model, reader, store, cfg);
+  EXPECT_EQ(cnr.EffectiveQuantConfig().bits, 2);
+
+  // Observed restarts within expectation keep the selected width.
+  cnr.OnRestartObserved();
+  EXPECT_EQ(cnr.EffectiveQuantConfig().bits, 2);
+  // Exceeding the estimate falls back to 8-bit asymmetric.
+  cnr.OnRestartObserved();
+  EXPECT_EQ(cnr.EffectiveQuantConfig().bits, 8);
+  EXPECT_EQ(cnr.EffectiveQuantConfig().method, quant::Method::kAsymmetric);
+}
+
+TEST(CheckNRun, QuantizedRunRestoresApproximately) {
+  data::SyntheticDataset ds(MatchingDataset());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  dlrm::DlrmModel model(SmallModel());
+  auto cfg = BaseConfig();
+  cfg.quantize = true;
+  cfg.dynamic_bitwidth = false;
+  cfg.quant.method = quant::Method::kAsymmetric;
+  cfg.quant.bits = 8;
+  {
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckNRun cnr(model, reader, store, cfg);
+    cnr.Run(2);
+  }
+
+  dlrm::DlrmModel restored(SmallModel());
+  RestoreModel(*store, "job0", restored);
+  // 8-bit restore: close but not identical.
+  const data::Batch probe = ds.GetBatch(0, 500000, 256);
+  const double orig_loss = model.EvalBatch(probe).MeanLoss();
+  const double rest_loss = restored.EvalBatch(probe).MeanLoss();
+  EXPECT_NEAR(rest_loss, orig_loss, orig_loss * 0.02);
+  EXPECT_FALSE(restored.DenseEquals(model) &&
+               restored.table(0).Shard(0) == model.table(0).Shard(0))
+      << "8-bit quantization should not be bit-exact";
+}
+
+TEST(CheckNRun, InvalidConfigThrows) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto cfg = BaseConfig();
+  cfg.interval_batches = 0;
+  EXPECT_THROW(CheckNRun(model, reader, std::make_shared<storage::InMemoryStore>(), cfg),
+               std::invalid_argument);
+  EXPECT_THROW(CheckNRun(model, reader, nullptr, BaseConfig()), std::invalid_argument);
+}
+
+TEST(CheckNRun, StepWithoutDrainLeavesPendingWrite) {
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  CheckNRun cnr(model, reader, store, BaseConfig());
+  cnr.Step();
+  // completed() may or may not contain the first checkpoint yet; after
+  // Drain() it must.
+  cnr.Drain();
+  ASSERT_EQ(cnr.completed().size(), 1u);
+  EXPECT_EQ(cnr.completed()[0].checkpoint_id, 1u);
+}
+
+}  // namespace
+}  // namespace cnr::core

@@ -1,0 +1,139 @@
+#include "core/tracking.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace cnr::core {
+namespace {
+
+dlrm::ModelConfig SmallModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {256, 128};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 22;
+  cfg.num_dense = 4;
+  cfg.tables = {{256, 2, 1.1}, {128, 1, 1.05}};
+  return cfg;
+}
+
+TEST(DirtySets, ShapeMatchesModel) {
+  dlrm::DlrmModel model(SmallModel());
+  const DirtySets sets = MakeEmptyDirtySets(model);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].size(), model.table(0).num_shards());
+  EXPECT_EQ(sets[0][0].size(), model.table(0).Shard(0).num_rows());
+  EXPECT_EQ(CountDirtyRows(sets), 0u);
+  EXPECT_EQ(CountTotalRows(model), 256u + 128u);
+}
+
+TEST(DirtySets, MergeUnions) {
+  dlrm::DlrmModel model(SmallModel());
+  DirtySets a = MakeEmptyDirtySets(model);
+  DirtySets b = MakeEmptyDirtySets(model);
+  a[0][0].Set(1);
+  b[0][0].Set(2);
+  b[1][0].Set(3);
+  MergeDirtySets(a, b);
+  EXPECT_EQ(CountDirtyRows(a), 3u);
+  EXPECT_TRUE(a[0][0].Test(1));
+  EXPECT_TRUE(a[0][0].Test(2));
+  EXPECT_TRUE(a[1][0].Test(3));
+}
+
+TEST(Tracker, TrackedEqualsActuallyModified) {
+  dlrm::DlrmModel model(SmallModel());
+  dlrm::DlrmModel pristine(SmallModel());
+  ModifiedRowTracker tracker(model);
+
+  data::SyntheticDataset ds(MatchingDataset());
+  for (std::uint64_t b = 0; b < 10; ++b) model.TrainBatch(ds.GetBatch(b, b * 32, 32));
+
+  const DirtySets dirty = tracker.HarvestInterval();
+
+  // Ground truth: rows whose state differs from the pristine twin. Tracking
+  // must have no false negatives (every changed row is marked). The converse
+  // may not hold: a row whose gradient was exactly zero (dead ReLU path) is
+  // updated-but-unchanged, and tracking it is conservative and harmless.
+  std::uint64_t changed_rows = 0;
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    for (std::size_t s = 0; s < model.table(t).num_shards(); ++s) {
+      const auto& shard = model.table(t).Shard(s);
+      const auto& ref = pristine.table(t).Shard(s);
+      for (std::size_t r = 0; r < shard.num_rows(); ++r) {
+        const bool changed = shard.AdagradState(r) != ref.AdagradState(r);
+        if (changed) {
+          ++changed_rows;
+          EXPECT_TRUE(dirty[t][s].Test(r))
+              << "table " << t << " shard " << s << " row " << r << " changed but untracked";
+        }
+      }
+    }
+  }
+  EXPECT_GT(changed_rows, 0u);
+  EXPECT_GE(CountDirtyRows(dirty), changed_rows);
+}
+
+TEST(Tracker, HarvestResetsAccumulator) {
+  dlrm::DlrmModel model(SmallModel());
+  ModifiedRowTracker tracker(model);
+  data::SyntheticDataset ds(MatchingDataset());
+
+  model.TrainBatch(ds.GetBatch(0, 0, 32));
+  EXPECT_GT(tracker.DirtyRowCount(), 0u);
+  (void)tracker.HarvestInterval();
+  EXPECT_EQ(tracker.DirtyRowCount(), 0u);
+
+  model.TrainBatch(ds.GetBatch(1, 32, 32));
+  EXPECT_GT(tracker.DirtyRowCount(), 0u);
+}
+
+TEST(Tracker, DetachStopsObserving) {
+  dlrm::DlrmModel model(SmallModel());
+  ModifiedRowTracker tracker(model);
+  data::SyntheticDataset ds(MatchingDataset());
+  tracker.Detach();
+  model.TrainBatch(ds.GetBatch(0, 0, 32));
+  EXPECT_EQ(tracker.DirtyRowCount(), 0u);
+}
+
+TEST(Tracker, HookCallsCounted) {
+  dlrm::DlrmModel model(SmallModel());
+  ModifiedRowTracker tracker(model);
+  data::SyntheticDataset ds(MatchingDataset());
+  model.TrainBatch(ds.GetBatch(0, 0, 16));
+  EXPECT_GT(tracker.hook_calls(), 0u);
+  // One hook call per (table, distinct row) per batch.
+  EXPECT_EQ(tracker.hook_calls(), tracker.DirtyRowCount());
+}
+
+TEST(Tracker, DirtyFractionGrowsSublinearly) {
+  // The Fig 5 property: with Zipf-skewed accesses, the cumulative modified
+  // fraction grows much slower than the number of samples.
+  dlrm::DlrmModel model(SmallModel());
+  ModifiedRowTracker tracker(model);
+  data::SyntheticDataset ds(MatchingDataset());
+
+  std::uint64_t after10 = 0;
+  for (std::uint64_t b = 0; b < 40; ++b) {
+    model.TrainBatch(ds.GetBatch(b, b * 32, 32));
+    if (b == 9) after10 = tracker.DirtyRowCount();
+  }
+  const std::uint64_t after40 = tracker.DirtyRowCount();
+  EXPECT_GT(after40, after10);
+  // 4x the samples must touch far less than 4x the rows.
+  EXPECT_LT(static_cast<double>(after40), 2.5 * static_cast<double>(after10));
+}
+
+}  // namespace
+}  // namespace cnr::core

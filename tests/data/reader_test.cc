@@ -1,0 +1,178 @@
+#include "data/reader.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cnr::data {
+namespace {
+
+DatasetConfig SmallConfig() {
+  DatasetConfig cfg;
+  cfg.seed = 7;
+  cfg.num_dense = 2;
+  cfg.tables = {{100, 1, 1.1}};
+  return cfg;
+}
+
+ReaderConfig SmallReader() {
+  ReaderConfig cfg;
+  cfg.batch_size = 16;
+  cfg.num_workers = 3;
+  cfg.queue_capacity = 4;
+  return cfg;
+}
+
+TEST(ReaderState, EncodeDecode) {
+  ReaderState s;
+  s.next_batch_id = 17;
+  s.next_sample = 17 * 16;
+  const auto bytes = s.Encode();
+  EXPECT_EQ(ReaderState::Decode(bytes), s);
+}
+
+TEST(ReaderMaster, DeliversExactBudgetInOrder) {
+  SyntheticDataset ds(SmallConfig());
+  ReaderMaster reader(ds, SmallReader());
+  reader.AllowBatches(10);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto batch = reader.NextBatch();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->batch_id, i);
+    EXPECT_EQ(batch->first_sample, i * 16);
+    EXPECT_EQ(batch->size(), 16u);
+  }
+  // Budget exhausted: no more batches.
+  EXPECT_FALSE(reader.NextBatch().has_value());
+  EXPECT_EQ(reader.DeliveredBatches(), 10u);
+}
+
+TEST(ReaderMaster, BatchesMatchDataset) {
+  SyntheticDataset ds(SmallConfig());
+  ReaderMaster reader(ds, SmallReader());
+  reader.AllowBatches(3);
+  while (auto batch = reader.NextBatch()) {
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      const Sample want = ds.Get(batch->first_sample + i);
+      EXPECT_EQ(batch->samples[i].dense, want.dense);
+      EXPECT_EQ(batch->samples[i].sparse, want.sparse);
+    }
+  }
+}
+
+TEST(ReaderMaster, CollectStateIsGapFree) {
+  SyntheticDataset ds(SmallConfig());
+  ReaderMaster reader(ds, SmallReader());
+  reader.AllowBatches(5);
+  while (reader.NextBatch()) {
+  }
+  const ReaderState state = reader.CollectState();
+  EXPECT_EQ(state.next_batch_id, 5u);
+  EXPECT_EQ(state.next_sample, 5u * 16u);
+}
+
+TEST(ReaderMaster, MultipleBudgetExtensions) {
+  SyntheticDataset ds(SmallConfig());
+  ReaderMaster reader(ds, SmallReader());
+  reader.AllowBatches(2);
+  EXPECT_TRUE(reader.NextBatch().has_value());
+  EXPECT_TRUE(reader.NextBatch().has_value());
+  EXPECT_FALSE(reader.NextBatch().has_value());
+
+  reader.AllowBatches(3);
+  int extra = 0;
+  while (reader.NextBatch()) ++extra;
+  EXPECT_EQ(extra, 3);
+  EXPECT_EQ(reader.CollectState().next_batch_id, 5u);
+}
+
+TEST(ReaderMaster, ResumeFromStateContinuesExactly) {
+  SyntheticDataset ds(SmallConfig());
+  std::vector<Batch> uninterrupted;
+  {
+    ReaderMaster reader(ds, SmallReader());
+    reader.AllowBatches(8);
+    while (auto b = reader.NextBatch()) uninterrupted.push_back(std::move(*b));
+  }
+
+  // Split run: 3 batches, collect state, new reader resumes with 5 more.
+  ReaderState mid;
+  std::vector<Batch> split;
+  {
+    ReaderMaster reader(ds, SmallReader());
+    reader.AllowBatches(3);
+    while (auto b = reader.NextBatch()) split.push_back(std::move(*b));
+    mid = reader.CollectState();
+  }
+  {
+    ReaderMaster reader(ds, SmallReader(), mid);
+    reader.AllowBatches(5);
+    while (auto b = reader.NextBatch()) split.push_back(std::move(*b));
+  }
+
+  ASSERT_EQ(split.size(), uninterrupted.size());
+  for (std::size_t i = 0; i < split.size(); ++i) {
+    EXPECT_EQ(split[i].batch_id, uninterrupted[i].batch_id);
+    EXPECT_EQ(split[i].first_sample, uninterrupted[i].first_sample);
+    for (std::size_t j = 0; j < split[i].size(); ++j) {
+      EXPECT_EQ(split[i].samples[j].dense, uninterrupted[i].samples[j].dense);
+      EXPECT_EQ(split[i].samples[j].sparse, uninterrupted[i].samples[j].sparse);
+      EXPECT_EQ(split[i].samples[j].label, uninterrupted[i].samples[j].label);
+    }
+  }
+}
+
+TEST(ReaderMaster, LargeBudgetStress) {
+  SyntheticDataset ds(SmallConfig());
+  ReaderConfig cfg;
+  cfg.batch_size = 8;
+  cfg.num_workers = 8;
+  cfg.queue_capacity = 3;  // heavy backpressure
+  ReaderMaster reader(ds, cfg);
+  reader.AllowBatches(200);
+  std::uint64_t expect_id = 0;
+  while (auto b = reader.NextBatch()) {
+    EXPECT_EQ(b->batch_id, expect_id++);
+  }
+  EXPECT_EQ(expect_id, 200u);
+  EXPECT_EQ(reader.CollectState().next_batch_id, 200u);
+}
+
+TEST(ReaderMaster, ConsumerOnAnotherThread) {
+  SyntheticDataset ds(SmallConfig());
+  ReaderMaster reader(ds, SmallReader());
+  reader.AllowBatches(25);
+  std::atomic<int> consumed{0};
+  std::thread consumer([&] {
+    while (reader.NextBatch()) consumed.fetch_add(1);
+  });
+  // CollectState on this thread must wait until the consumer drains.
+  const ReaderState state = reader.CollectState();
+  EXPECT_EQ(state.next_batch_id, 25u);
+  consumer.join();
+  EXPECT_EQ(consumed.load(), 25);
+}
+
+TEST(ReaderMaster, DestructorUnblocksCleanly) {
+  SyntheticDataset ds(SmallConfig());
+  auto reader = std::make_unique<ReaderMaster>(ds, SmallReader());
+  reader->AllowBatches(1000);
+  (void)reader->NextBatch();
+  reader.reset();  // workers mid-production must exit without hanging
+}
+
+TEST(ReaderMaster, InvalidConfigThrows) {
+  SyntheticDataset ds(SmallConfig());
+  ReaderConfig bad = SmallReader();
+  bad.batch_size = 0;
+  EXPECT_THROW(ReaderMaster(ds, bad), std::invalid_argument);
+  bad = SmallReader();
+  bad.num_workers = 0;
+  EXPECT_THROW(ReaderMaster(ds, bad), std::invalid_argument);
+  bad = SmallReader();
+  bad.queue_capacity = 0;
+  EXPECT_THROW(ReaderMaster(ds, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::data

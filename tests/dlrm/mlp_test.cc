@@ -1,0 +1,173 @@
+#include "dlrm/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cnr::dlrm {
+namespace {
+
+TEST(Mlp, ShapeAndParameterCount) {
+  util::Rng rng(1);
+  Mlp mlp({4, 8, 2}, true, rng);
+  EXPECT_EQ(mlp.in_dim(), 4u);
+  EXPECT_EQ(mlp.out_dim(), 2u);
+  EXPECT_EQ(mlp.num_layers(), 2u);
+  EXPECT_EQ(mlp.ParameterCount(), 4u * 8 + 8 + 8u * 2 + 2);
+}
+
+TEST(Mlp, TooFewDimsThrows) {
+  util::Rng rng(1);
+  EXPECT_THROW(Mlp({4}, true, rng), std::invalid_argument);
+}
+
+TEST(Mlp, ForwardShapes) {
+  util::Rng rng(2);
+  Mlp mlp({3, 5, 1}, false, rng);
+  MlpCache cache;
+  const std::vector<float> x = {1.0f, -1.0f, 0.5f};
+  const auto y = mlp.Forward(x, cache);
+  EXPECT_EQ(y.size(), 1u);
+  EXPECT_EQ(cache.activations.size(), 3u);
+  EXPECT_THROW(mlp.Forward(std::vector<float>{1.0f}, cache), std::invalid_argument);
+}
+
+TEST(Mlp, ReluClampsHiddenActivations) {
+  util::Rng rng(3);
+  Mlp mlp({2, 16, 1}, true, rng);
+  MlpCache cache;
+  (void)mlp.Forward(std::vector<float>{1.0f, 1.0f}, cache);
+  for (const float v : cache.activations[1]) EXPECT_GE(v, 0.0f);
+  for (const float v : cache.activations[2]) EXPECT_GE(v, 0.0f);  // final_relu
+}
+
+TEST(Mlp, FinalLayerUnclampedWhenRequested) {
+  // With a deterministic negative-output construction: a zero-initialized MLP
+  // can't prove it, so probe many random ones — at least one logit < 0.
+  bool saw_negative = false;
+  for (int seed = 0; seed < 20 && !saw_negative; ++seed) {
+    util::Rng rng(seed);
+    Mlp mlp({2, 4, 1}, false, rng);
+    MlpCache cache;
+    const auto y = mlp.Forward(std::vector<float>{1.0f, -1.0f}, cache);
+    saw_negative = y[0] < 0.0f;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+// Full backprop gradient check against numerical differentiation on a scalar
+// loss L = output[0].
+TEST(Mlp, BackwardMatchesNumericalGradient) {
+  util::Rng rng(5);
+  Mlp mlp({3, 4, 1}, false, rng);
+  const std::vector<float> x = {0.3f, -0.7f, 1.1f};
+
+  MlpCache cache;
+  (void)mlp.Forward(x, cache);
+  MlpGrads grads = mlp.MakeGrads();
+  std::vector<float> dx(3, 0.0f);
+  mlp.Backward(cache, std::vector<float>{1.0f}, grads, dx);
+
+  const float eps = 1e-3f;
+  for (std::size_t c = 0; c < 3; ++c) {
+    auto xp = x, xm = x;
+    xp[c] += eps;
+    xm[c] -= eps;
+    MlpCache cp, cm;
+    const float num = (mlp.Forward(xp, cp)[0] - mlp.Forward(xm, cm)[0]) / (2 * eps);
+    EXPECT_NEAR(dx[c], num, 2e-2) << "dx[" << c << "]";
+  }
+}
+
+TEST(Mlp, StepMovesAgainstGradient) {
+  util::Rng rng(6);
+  Mlp mlp({2, 2, 1}, false, rng);
+  const std::vector<float> x = {1.0f, 1.0f};
+  MlpCache cache;
+  const float before = mlp.Forward(x, cache)[0];
+
+  MlpGrads grads = mlp.MakeGrads();
+  mlp.Backward(cache, std::vector<float>{1.0f}, grads, {});
+  mlp.Step(grads, /*lr=*/0.1f, /*batch_scale=*/1.0f);
+
+  MlpCache cache2;
+  const float after = mlp.Forward(x, cache2)[0];
+  EXPECT_LT(after, before);  // gradient step on dL/dout=+1 lowers the output
+}
+
+TEST(Mlp, StaleCacheThrows) {
+  util::Rng rng(7);
+  Mlp mlp({2, 2, 1}, false, rng);
+  MlpCache cache;  // never filled
+  MlpGrads grads = mlp.MakeGrads();
+  EXPECT_THROW(mlp.Backward(cache, std::vector<float>{1.0f}, grads, {}),
+               std::invalid_argument);
+}
+
+TEST(Mlp, SerializeRoundTrip) {
+  util::Rng rng(8);
+  Mlp mlp({4, 6, 3}, true, rng);
+  util::Writer w;
+  mlp.Serialize(w);
+  util::Reader r(w.bytes());
+  const Mlp back = Mlp::Deserialize(r);
+  EXPECT_EQ(back, mlp);
+  // Behavioural equality too.
+  MlpCache c1, c2;
+  const std::vector<float> x = {1, 2, 3, 4};
+  const auto y1 = mlp.Forward(x, c1);
+  const auto y2 = back.Forward(x, c2);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(Mlp, GradsZero) {
+  util::Rng rng(9);
+  Mlp mlp({2, 3, 1}, false, rng);
+  MlpGrads grads = mlp.MakeGrads();
+  MlpCache cache;
+  (void)mlp.Forward(std::vector<float>{1.0f, 2.0f}, cache);
+  mlp.Backward(cache, std::vector<float>{1.0f}, grads, {});
+  grads.Zero();
+  for (const auto& m : grads.dw) {
+    for (const float v : m.Flat()) EXPECT_EQ(v, 0.0f);
+  }
+  for (const auto& b : grads.db) {
+    for (const float v : b) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+// Deep MLP gradient check, parameterized over depth.
+class MlpDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlpDepthTest, GradientCheckAtDepth) {
+  const int depth = GetParam();
+  util::Rng rng(depth * 100 + 3);
+  std::vector<std::size_t> dims = {3};
+  for (int i = 0; i < depth; ++i) dims.push_back(4);
+  dims.push_back(1);
+  Mlp mlp(dims, false, rng);
+
+  const std::vector<float> x = {0.5f, -0.5f, 0.25f};
+  MlpCache cache;
+  (void)mlp.Forward(x, cache);
+  MlpGrads grads = mlp.MakeGrads();
+  std::vector<float> dx(3, 0.0f);
+  mlp.Backward(cache, std::vector<float>{1.0f}, grads, dx);
+
+  const float eps = 1e-3f;
+  for (std::size_t c = 0; c < 3; ++c) {
+    auto xp = x, xm = x;
+    xp[c] += eps;
+    xm[c] -= eps;
+    MlpCache cp, cm;
+    const float num = (mlp.Forward(xp, cp)[0] - mlp.Forward(xm, cm)[0]) / (2 * eps);
+    EXPECT_NEAR(dx[c], num, 5e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, MlpDepthTest, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace cnr::dlrm

@@ -1,0 +1,185 @@
+#include "dlrm/model.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace cnr::dlrm {
+namespace {
+
+ModelConfig SmallModel() {
+  ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {256, 128};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 22;
+  cfg.num_dense = 4;
+  cfg.tables = {{256, 2, 1.1}, {128, 1, 1.05}};
+  return cfg;
+}
+
+TEST(DlrmModel, ConstructionShape) {
+  DlrmModel model(SmallModel());
+  EXPECT_EQ(model.num_tables(), 2u);
+  EXPECT_EQ(model.table(0).num_rows(), 256u);
+  EXPECT_EQ(model.table(1).num_rows(), 128u);
+  EXPECT_EQ(model.EmbeddingParameterCount(), 256u * 8 + 128u * 8);
+  EXPECT_GT(model.ParameterCount(), model.EmbeddingParameterCount());
+}
+
+TEST(DlrmModel, NoTablesThrows) {
+  ModelConfig cfg = SmallModel();
+  cfg.table_rows.clear();
+  EXPECT_THROW(DlrmModel{cfg}, std::invalid_argument);
+}
+
+TEST(DlrmModel, PredictIsAProbability) {
+  DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const float p = model.Predict(ds.Get(i));
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(DlrmModel, MismatchedSampleThrows) {
+  DlrmModel model(SmallModel());
+  data::Sample s;
+  s.dense = {1, 2, 3, 4};
+  s.sparse = {{0}};  // one table instead of two
+  EXPECT_THROW(model.Predict(s), std::invalid_argument);
+}
+
+TEST(DlrmModel, TrainingReducesLoss) {
+  DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+
+  // Loss over a held-out slice before and after training.
+  const data::Batch holdout = ds.GetBatch(0, 100000, 512);
+  const double before = model.EvalBatch(holdout).MeanLoss();
+  for (std::uint64_t b = 0; b < 150; ++b) {
+    model.TrainBatch(ds.GetBatch(b, b * 64, 64));
+  }
+  const double after = model.EvalBatch(holdout).MeanLoss();
+  EXPECT_LT(after, before * 0.995);
+}
+
+TEST(DlrmModel, EvalDoesNotChangeState) {
+  DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  const data::Batch batch = ds.GetBatch(0, 0, 32);
+  const double first = model.EvalBatch(batch).MeanLoss();
+  const double second = model.EvalBatch(batch).MeanLoss();
+  EXPECT_EQ(first, second);
+}
+
+TEST(DlrmModel, TrainBatchReturnsSampleCount) {
+  DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  const auto m = model.TrainBatch(ds.GetBatch(0, 0, 48));
+  EXPECT_EQ(m.samples, 48u);
+  EXPECT_GT(m.loss_sum, 0.0);
+}
+
+TEST(DlrmModel, EmptyBatchIsNoop) {
+  DlrmModel model(SmallModel());
+  data::Batch empty;
+  const auto m = model.TrainBatch(empty);
+  EXPECT_EQ(m.samples, 0u);
+  EXPECT_EQ(m.MeanLoss(), 0.0);
+}
+
+TEST(DlrmModel, DeterministicTraining) {
+  DlrmModel a(SmallModel()), b(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const data::Batch batch = ds.GetBatch(i, i * 32, 32);
+    const auto ma = a.TrainBatch(batch);
+    const auto mb = b.TrainBatch(batch);
+    EXPECT_EQ(ma.loss_sum, mb.loss_sum) << "batch " << i;
+  }
+  // Embedding state identical after identical training.
+  for (std::size_t t = 0; t < a.num_tables(); ++t) {
+    for (std::size_t s = 0; s < a.table(t).num_shards(); ++s) {
+      EXPECT_EQ(a.table(t).Shard(s), b.table(t).Shard(s));
+    }
+  }
+  EXPECT_TRUE(a.DenseEquals(b));
+}
+
+TEST(DlrmModel, OnlyLookedUpRowsChange) {
+  DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+
+  // Record which logical rows each table looks up in one batch.
+  const data::Batch batch = ds.GetBatch(0, 0, 16);
+  std::vector<std::set<std::uint32_t>> touched(model.num_tables());
+  for (const auto& s : batch.samples) {
+    for (std::size_t t = 0; t < s.sparse.size(); ++t) {
+      for (const auto id : s.sparse[t]) touched[t].insert(id);
+    }
+  }
+
+  // Snapshot weights, train, compare.
+  DlrmModel pristine(SmallModel());
+  model.TrainBatch(batch);
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    for (std::size_t row = 0; row < model.table(t).num_rows(); ++row) {
+      const auto got = model.table(t).LookupRow(row);
+      const auto want = pristine.table(t).LookupRow(row);
+      const bool same = std::equal(got.begin(), got.end(), want.begin());
+      if (!touched[t].contains(static_cast<std::uint32_t>(row))) {
+        EXPECT_TRUE(same) << "untouched row " << row << " of table " << t << " changed";
+      }
+    }
+  }
+}
+
+TEST(DlrmModel, DenseSerializeRoundTrip) {
+  DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  for (std::uint64_t i = 0; i < 5; ++i) model.TrainBatch(ds.GetBatch(i, i * 32, 32));
+
+  util::Writer w;
+  model.SerializeDense(w);
+
+  DlrmModel fresh(SmallModel());
+  EXPECT_FALSE(fresh.DenseEquals(model));
+  util::Reader r(w.bytes());
+  fresh.RestoreDense(r);
+  EXPECT_TRUE(fresh.DenseEquals(model));
+}
+
+// Different shard counts must not change training results (sharding is an
+// implementation detail of model parallelism).
+class ShardCountInvarianceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardCountInvarianceTest, LossIndependentOfSharding) {
+  ModelConfig base = SmallModel();
+  base.num_shards = 1;
+  ModelConfig alt = SmallModel();
+  alt.num_shards = GetParam();
+
+  DlrmModel a(base), b(alt);
+  data::SyntheticDataset ds(MatchingDataset());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const data::Batch batch = ds.GetBatch(i, i * 32, 32);
+    EXPECT_EQ(a.TrainBatch(batch).loss_sum, b.TrainBatch(batch).loss_sum) << "batch " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardCountInvarianceTest, ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace cnr::dlrm

@@ -1,0 +1,206 @@
+// End-to-end lifecycle tests: train -> checkpoint -> crash -> restore ->
+// continue, across policies and quantization settings. These are the
+// system-level guarantees the paper's design rests on:
+//   * unquantized checkpoints + deterministic replay give bit-exact recovery
+//     under every incremental policy;
+//   * quantized checkpoints keep accuracy degradation bounded across
+//     multiple restarts;
+//   * reader state recorded in a checkpoint is exactly consistent with the
+//     trainer progress (no sample trained twice or skipped).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checknrun.h"
+
+namespace cnr::core {
+namespace {
+
+dlrm::ModelConfig SmallModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {512, 256};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 4;
+  cfg.seed = 31;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 32;
+  cfg.num_dense = 4;
+  cfg.tables = {{512, 2, 1.1}, {256, 1, 1.05}};
+  return cfg;
+}
+
+data::ReaderConfig SmallReader() {
+  data::ReaderConfig cfg;
+  cfg.batch_size = 32;
+  cfg.num_workers = 3;
+  cfg.queue_capacity = 4;
+  return cfg;
+}
+
+CheckNRunConfig ConfigFor(PolicyKind policy, bool quantize) {
+  CheckNRunConfig cfg;
+  cfg.job = "e2e";
+  cfg.interval_batches = 4;
+  cfg.policy = policy;
+  cfg.quantize = quantize;
+  cfg.dynamic_bitwidth = false;
+  cfg.quant.method = quant::Method::kAsymmetric;
+  cfg.quant.bits = 8;
+  cfg.chunk_rows = 64;
+  cfg.pipeline_threads = 2;
+  return cfg;
+}
+
+void ExpectModelsEqual(const dlrm::DlrmModel& a, const dlrm::DlrmModel& b) {
+  EXPECT_TRUE(a.DenseEquals(b));
+  for (std::size_t t = 0; t < a.num_tables(); ++t) {
+    for (std::size_t s = 0; s < a.table(t).num_shards(); ++s) {
+      EXPECT_EQ(a.table(t).Shard(s), b.table(t).Shard(s));
+    }
+  }
+}
+
+class PolicyRecoveryTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyRecoveryTest, CrashRestoreBitExactUnquantized) {
+  const PolicyKind policy = GetParam();
+  data::SyntheticDataset ds(MatchingDataset());
+
+  // Reference: uninterrupted 7 intervals.
+  dlrm::DlrmModel reference(SmallModel());
+  {
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckNRun cnr(reference, reader, std::make_shared<storage::InMemoryStore>(),
+                  ConfigFor(policy, false));
+    cnr.Run(7);
+  }
+
+  // Crash run: 4 intervals, crash (model discarded), restore, 3 more.
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    dlrm::DlrmModel doomed(SmallModel());
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckNRun cnr(doomed, reader, store, ConfigFor(policy, false));
+    cnr.Run(4);
+    // Simulate additional progress lost to the crash: train a partial
+    // interval that never reaches a checkpoint.
+    reader.AllowBatches(2);
+    while (auto b = reader.NextBatch()) doomed.TrainBatch(*b);
+  }
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*store, "e2e", restored);
+  EXPECT_EQ(rr.batches_trained, 16u);  // partial interval was lost, as designed
+  {
+    data::ReaderMaster reader(ds, SmallReader(), rr.reader_state);
+    CheckNRun cnr(restored, reader, store, ConfigFor(policy, false));
+    cnr.SetProgress(rr.batches_trained, rr.samples_trained);
+    cnr.SetNextCheckpointId(rr.checkpoint_id + 1);
+    cnr.Run(3);
+  }
+
+  ExpectModelsEqual(reference, restored);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyRecoveryTest,
+                         ::testing::Values(PolicyKind::kAlwaysFull, PolicyKind::kOneShot,
+                                           PolicyKind::kConsecutive,
+                                           PolicyKind::kIntermittent),
+                         [](const auto& info) {
+                           std::string name = PolicyName(info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(EndToEnd, ReaderStateConsistentWithTrainerProgress) {
+  data::SyntheticDataset ds(MatchingDataset());
+  auto store = std::make_shared<storage::InMemoryStore>();
+  dlrm::DlrmModel model(SmallModel());
+  data::ReaderMaster reader(ds, SmallReader());
+  CheckNRun cnr(model, reader, store, ConfigFor(PolicyKind::kIntermittent, false));
+  cnr.Run(5);
+
+  const auto manifest = LoadManifest(*store, "e2e", *LatestCheckpointId(*store, "e2e"));
+  const auto rs = data::ReaderState::Decode(manifest.reader_state);
+  // Gap-free coordination: reader position == trainer progress exactly.
+  EXPECT_EQ(rs.next_batch_id, manifest.batches_trained);
+  EXPECT_EQ(rs.next_sample, manifest.samples_trained);
+}
+
+TEST(EndToEnd, RepeatedFailuresWithQuantizedCheckpointsStayClose) {
+  data::SyntheticDataset ds(MatchingDataset());
+
+  // Unquantized uninterrupted reference.
+  dlrm::DlrmModel reference(SmallModel());
+  {
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckNRun cnr(reference, reader, std::make_shared<storage::InMemoryStore>(),
+                  ConfigFor(PolicyKind::kIntermittent, false));
+    cnr.Run(9);
+  }
+
+  // Quantized run with two mid-training restarts (after intervals 3 and 6).
+  auto store = std::make_shared<storage::InMemoryStore>();
+  dlrm::DlrmModel model(SmallModel());
+  std::uint64_t next_id = 1;
+  data::ReaderState rstate;
+  std::uint64_t batches = 0, samples = 0;
+  for (const int legs : {3, 3, 3}) {
+    dlrm::DlrmModel leg_model(SmallModel());
+    if (next_id > 1) {
+      const auto rr = RestoreModel(*store, "e2e", leg_model);
+      rstate = rr.reader_state;
+      batches = rr.batches_trained;
+      samples = rr.samples_trained;
+    }
+    data::ReaderMaster reader(ds, SmallReader(), rstate);
+    CheckNRun cnr(leg_model, reader, store, ConfigFor(PolicyKind::kIntermittent, true));
+    cnr.SetProgress(batches, samples);
+    cnr.SetNextCheckpointId(next_id);
+    cnr.Run(legs);
+    next_id += legs;
+    model = std::move(leg_model);
+  }
+
+  // Accuracy degradation on a held-out probe must stay small (8-bit).
+  const data::Batch probe = ds.GetBatch(0, 1000000, 512);
+  const double ref_loss = reference.EvalBatch(probe).MeanLoss();
+  const double run_loss = model.EvalBatch(probe).MeanLoss();
+  EXPECT_NEAR(run_loss, ref_loss, ref_loss * 0.02)
+      << "ref=" << ref_loss << " run=" << run_loss;
+}
+
+TEST(EndToEnd, StoreContainsOnlyWhatRecoveryNeeds) {
+  data::SyntheticDataset ds(MatchingDataset());
+  auto store = std::make_shared<storage::InMemoryStore>();
+  dlrm::DlrmModel model(SmallModel());
+  data::ReaderMaster reader(ds, SmallReader());
+  CheckNRun cnr(model, reader, store, ConfigFor(PolicyKind::kIntermittent, false));
+  cnr.Run(8);
+  cnr.Drain();
+
+  // Every object in the store belongs to a checkpoint on the recovery chain.
+  const auto latest = *LatestCheckpointId(*store, "e2e");
+  const auto chain = ResolveChain(*store, "e2e", latest);
+  for (const auto& key : store->List("")) {
+    bool on_chain = false;
+    for (const auto id : chain) {
+      if (key.starts_with(storage::Manifest::CheckpointPrefix("e2e", id))) {
+        on_chain = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(on_chain) << "orphaned object: " << key;
+  }
+}
+
+}  // namespace
+}  // namespace cnr::core

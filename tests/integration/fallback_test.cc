@@ -1,0 +1,126 @@
+// End-to-end test of the dynamic bit-width fallback (paper §6.2.1): a job
+// sized for `expected_restarts` failures uses an aggressive bit-width; once
+// observed restarts exceed the estimate, every subsequent checkpoint is
+// written with 8-bit asymmetric quantization — verified here through the
+// actual manifests in the store, across a restore boundary.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checknrun.h"
+
+namespace cnr::core {
+namespace {
+
+dlrm::ModelConfig SmallModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {256, 128};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 2;
+  cfg.seed = 17;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 18;
+  cfg.num_dense = 4;
+  cfg.tables = {{256, 2, 1.1}, {128, 1, 1.05}};
+  return cfg;
+}
+
+data::ReaderConfig SmallReader() {
+  data::ReaderConfig cfg;
+  cfg.batch_size = 32;
+  cfg.num_workers = 2;
+  cfg.queue_capacity = 4;
+  return cfg;
+}
+
+CheckNRunConfig Config() {
+  CheckNRunConfig cfg;
+  cfg.job = "fallback";
+  cfg.interval_batches = 4;
+  cfg.policy = PolicyKind::kIntermittent;
+  cfg.quantize = true;
+  cfg.dynamic_bitwidth = true;
+  cfg.expected_restarts = 1;  // 2-bit operating point
+  cfg.chunk_rows = 64;
+  return cfg;
+}
+
+TEST(FallbackIntegration, ExceedingRestartEstimateSwitchesTo8Bit) {
+  data::SyntheticDataset ds(MatchingDataset());
+  auto store = std::make_shared<storage::InMemoryStore>();
+
+  // Leg 1: healthy training at the 2-bit operating point.
+  {
+    dlrm::DlrmModel model(SmallModel());
+    data::ReaderMaster reader(ds, SmallReader());
+    CheckNRun cnr(model, reader, store, Config());
+    cnr.Run(2);
+  }
+  {
+    const auto m = LoadManifest(*store, "fallback", *LatestCheckpointId(*store, "fallback"));
+    EXPECT_EQ(m.quant.bits, 2);
+    EXPECT_EQ(m.quant.method, quant::Method::kAdaptiveAsymmetric);
+  }
+
+  // Legs 2 and 3: two restarts. The second exceeds expected_restarts = 1,
+  // so checkpoints written after it must be 8-bit asymmetric.
+  std::uint64_t observed = 0;
+  for (int leg = 0; leg < 2; ++leg) {
+    dlrm::DlrmModel model(SmallModel());
+    const auto rr = RestoreModel(*store, "fallback", model);
+    ++observed;
+
+    data::ReaderMaster reader(ds, SmallReader(), rr.reader_state);
+    CheckNRun cnr(model, reader, store, Config());
+    cnr.SetProgress(rr.batches_trained, rr.samples_trained);
+    cnr.SetNextCheckpointId(rr.checkpoint_id + 1);
+    for (std::uint64_t i = 0; i < observed; ++i) cnr.OnRestartObserved();
+
+    const int expected_bits = observed > Config().expected_restarts ? 8 : 2;
+    EXPECT_EQ(cnr.EffectiveQuantConfig().bits, expected_bits) << "leg " << leg;
+    cnr.Run(2);
+
+    const auto m =
+        LoadManifest(*store, "fallback", *LatestCheckpointId(*store, "fallback"));
+    EXPECT_EQ(m.quant.bits, expected_bits) << "leg " << leg;
+    if (expected_bits == 8) {
+      EXPECT_EQ(m.quant.method, quant::Method::kAsymmetric);
+    }
+  }
+
+  // The mixed-precision lineage must still restore.
+  dlrm::DlrmModel final_model(SmallModel());
+  const auto rr = RestoreModel(*store, "fallback", final_model);
+  EXPECT_EQ(rr.batches_trained, 6u * 4u);  // 3 legs x 2 intervals x 4 batches
+}
+
+TEST(FallbackIntegration, StaticConfigIgnoresRestarts) {
+  data::SyntheticDataset ds(MatchingDataset());
+  auto store = std::make_shared<storage::InMemoryStore>();
+  dlrm::DlrmModel model(SmallModel());
+  data::ReaderMaster reader(ds, SmallReader());
+
+  auto cfg = Config();
+  cfg.dynamic_bitwidth = false;
+  cfg.quant.method = quant::Method::kKMeans;
+  cfg.quant.bits = 3;
+  cfg.quant.kmeans_iters = 5;
+  CheckNRun cnr(model, reader, store, cfg);
+  for (int i = 0; i < 5; ++i) cnr.OnRestartObserved();
+  EXPECT_EQ(cnr.EffectiveQuantConfig().method, quant::Method::kKMeans);
+  EXPECT_EQ(cnr.EffectiveQuantConfig().bits, 3);
+  cnr.Run(1);
+  const auto m = LoadManifest(*store, "fallback", 1);
+  EXPECT_EQ(m.quant.method, quant::Method::kKMeans);
+  EXPECT_EQ(m.quant.bits, 3);
+}
+
+}  // namespace
+}  // namespace cnr::core

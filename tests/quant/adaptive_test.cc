@@ -1,0 +1,133 @@
+#include "quant/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cnr::quant {
+namespace {
+
+// A spread-out bulk plus one outlier. The bulk's standard deviation must be
+// comparable to the quantization step for range clipping to pay off: if the
+// bulk is extremely tight, every bulk value already snaps to the grid point
+// at xmin and clipping only adds outlier error (the greedy search correctly
+// keeps the full range in that regime).
+std::vector<float> RowWithOutlier(util::Rng& rng, std::size_t n, float outlier) {
+  std::vector<float> row(n);
+  for (auto& v : row) v = 0.4f * static_cast<float>(rng.NextGaussian());
+  row[n / 2] = outlier;
+  return row;
+}
+
+TEST(Adaptive, NeverWorseThanNaiveAsymmetric) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<float> row(64);
+    for (auto& v : row) v = static_cast<float>(rng.NextGaussian()) * 0.1f;
+    for (const int bits : {2, 3, 4}) {
+      const auto naive = AsymmetricParams(row);
+      const auto adaptive = AdaptiveAsymmetricParams(row, bits, 25, 1.0);
+      EXPECT_LE(UniformRowL2Error(row, bits, adaptive),
+                UniformRowL2Error(row, bits, naive) + 1e-9)
+          << "trial=" << trial << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Adaptive, ClipsOutliers) {
+  util::Rng rng(2);
+  const auto row = RowWithOutlier(rng, 64, 2.0f);
+  const auto p = AdaptiveAsymmetricParams(row, 2, 25, 1.0);
+  // The optimal clipping range should exclude most of the outlier's reach.
+  EXPECT_LT(p.xmax, 2.0f);
+  const double adaptive_err = UniformRowL2Error(row, 2, p);
+  const double naive_err = UniformRowL2Error(row, 2, AsymmetricParams(row));
+  EXPECT_LT(adaptive_err, naive_err * 0.9);
+}
+
+TEST(Adaptive, ConstantRowReturnsFullRange) {
+  const std::vector<float> row(16, 2.0f);
+  const auto p = AdaptiveAsymmetricParams(row, 4, 25, 1.0);
+  EXPECT_FLOAT_EQ(p.xmin, 2.0f);
+  EXPECT_FLOAT_EQ(p.xmax, 2.0f);
+}
+
+TEST(Adaptive, RatioZeroEqualsNaive) {
+  util::Rng rng(3);
+  std::vector<float> row(32);
+  for (auto& v : row) v = static_cast<float>(rng.NextGaussian());
+  const auto p0 = AdaptiveAsymmetricParams(row, 4, 25, 0.0);
+  const auto naive = AsymmetricParams(row);
+  EXPECT_FLOAT_EQ(p0.xmin, naive.xmin);
+  EXPECT_FLOAT_EQ(p0.xmax, naive.xmax);
+}
+
+TEST(Adaptive, LargerRatioNeverWorse) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto row = RowWithOutlier(rng, 64, 2.0f);
+    double prev = 1e18;
+    for (const double ratio : {0.0, 0.3, 0.6, 1.0}) {
+      const auto p = AdaptiveAsymmetricParams(row, 3, 30, ratio);
+      const double err = UniformRowL2Error(row, 3, p);
+      EXPECT_LE(err, prev + 1e-9) << "ratio=" << ratio;
+      prev = err;
+    }
+  }
+}
+
+TEST(Adaptive, InvalidArgsThrow) {
+  const std::vector<float> row = {1.0f, 2.0f};
+  EXPECT_THROW(AdaptiveAsymmetricParams(row, 4, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveAsymmetricParams(row, 4, 10, -0.1), std::invalid_argument);
+  EXPECT_THROW(AdaptiveAsymmetricParams(row, 4, 10, 1.1), std::invalid_argument);
+}
+
+TEST(Adaptive, RangeStaysWithinOriginal) {
+  util::Rng rng(5);
+  std::vector<float> row(48);
+  for (auto& v : row) v = static_cast<float>(rng.NextGaussian());
+  const auto naive = AsymmetricParams(row);
+  const auto p = AdaptiveAsymmetricParams(row, 2, 20, 1.0);
+  EXPECT_GE(p.xmin, naive.xmin);
+  EXPECT_LE(p.xmax, naive.xmax);
+  EXPECT_LE(p.xmin, p.xmax);
+}
+
+// Property sweep (paper Fig 10 shape): improvement over naive asymmetric is
+// larger for lower bit-widths on outlier-heavy rows.
+TEST(Adaptive, LowerBitsGainMore) {
+  util::Rng rng(6);
+  double improvements[3] = {0, 0, 0};
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto row = RowWithOutlier(rng, 64, 3.0f);
+    const int bit_list[3] = {2, 3, 4};
+    for (int b = 0; b < 3; ++b) {
+      const double naive = UniformRowL2Error(row, bit_list[b], AsymmetricParams(row));
+      const double adapt = UniformRowL2Error(
+          row, bit_list[b], AdaptiveAsymmetricParams(row, bit_list[b], 25, 1.0));
+      improvements[b] += (naive - adapt) / naive;
+    }
+  }
+  EXPECT_GT(improvements[0], improvements[2]);  // 2-bit gains more than 4-bit
+}
+
+class AdaptiveBinsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptiveBinsTest, MoreBinsRefineOrMatch) {
+  const int bins = GetParam();
+  util::Rng rng(bins);
+  const auto row = RowWithOutlier(rng, 64, 4.0f);
+  const auto coarse = AdaptiveAsymmetricParams(row, 2, bins, 1.0);
+  const auto fine = AdaptiveAsymmetricParams(row, 2, bins * 4, 1.0);
+  // Finer steps can only find equal-or-better clipping (same search family).
+  EXPECT_LE(UniformRowL2Error(row, 2, fine), UniformRowL2Error(row, 2, coarse) * 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, AdaptiveBinsTest, ::testing::Values(5, 10, 25));
+
+}  // namespace
+}  // namespace cnr::quant

@@ -1,0 +1,95 @@
+#include "quant/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cnr::quant {
+namespace {
+
+TEST(BitPack, PackedBytesMath) {
+  EXPECT_EQ(PackedBytes(0, 4), 0u);
+  EXPECT_EQ(PackedBytes(1, 4), 1u);
+  EXPECT_EQ(PackedBytes(2, 4), 1u);
+  EXPECT_EQ(PackedBytes(3, 4), 2u);
+  EXPECT_EQ(PackedBytes(8, 1), 1u);
+  EXPECT_EQ(PackedBytes(9, 1), 2u);
+  EXPECT_EQ(PackedBytes(5, 8), 5u);
+  EXPECT_EQ(PackedBytes(3, 3), 2u);  // 9 bits -> 2 bytes
+}
+
+TEST(BitPack, InvalidBitsThrow) {
+  EXPECT_THROW(BitPacker(0), std::invalid_argument);
+  EXPECT_THROW(BitPacker(9), std::invalid_argument);
+  std::vector<std::uint8_t> buf(1);
+  EXPECT_THROW(BitUnpacker(buf, 0), std::invalid_argument);
+  EXPECT_THROW(BitUnpacker(buf, 9), std::invalid_argument);
+}
+
+TEST(BitPack, CodeExceedingWidthThrows) {
+  BitPacker p(2);
+  EXPECT_THROW(p.Append(4), std::invalid_argument);
+  p.Append(3);  // max for 2 bits
+}
+
+TEST(BitPack, KnownLayout4Bit) {
+  BitPacker p(4);
+  p.Append(0x1);
+  p.Append(0x2);
+  p.Append(0xF);
+  const auto bytes = p.Finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x21);  // LSB-first: first code in low nibble
+  EXPECT_EQ(bytes[1], 0x0F);
+}
+
+TEST(BitPack, ExhaustedUnpackerThrows) {
+  BitPacker p(8);
+  p.Append(7);
+  const auto bytes = p.Finish();
+  BitUnpacker u(bytes, 8);
+  EXPECT_EQ(u.Next(), 7u);
+  EXPECT_THROW(u.Next(), std::out_of_range);
+}
+
+TEST(BitPack, EmptyFinish) {
+  BitPacker p(3);
+  EXPECT_TRUE(p.Finish().empty());
+}
+
+class BitPackRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackRoundTripTest, RandomCodesRoundTrip) {
+  const int bits = GetParam();
+  util::Rng rng(bits * 101);
+  const std::uint32_t max_code = (1u << bits) - 1;
+  for (const std::size_t count : {1u, 2u, 7u, 8u, 63u, 64u, 1000u}) {
+    std::vector<std::uint32_t> codes(count);
+    BitPacker p(bits);
+    for (auto& c : codes) {
+      c = static_cast<std::uint32_t>(rng.NextBounded(max_code + 1));
+      p.Append(c);
+    }
+    const auto bytes = p.Finish();
+    EXPECT_EQ(bytes.size(), PackedBytes(count, bits));
+    BitUnpacker u(bytes, bits);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(u.Next(), codes[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BitPackRoundTripTest, AllMaxCodes) {
+  const int bits = GetParam();
+  const std::uint32_t max_code = (1u << bits) - 1;
+  BitPacker p(bits);
+  for (int i = 0; i < 100; ++i) p.Append(max_code);
+  const auto bytes = p.Finish();
+  BitUnpacker u(bytes, bits);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(u.Next(), max_code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitPackRoundTripTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cnr::quant

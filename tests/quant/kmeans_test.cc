@@ -1,0 +1,114 @@
+#include "quant/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "quant/quantizer.h"
+#include "util/rng.h"
+
+namespace cnr::quant {
+namespace {
+
+TEST(KMeans, ExactWhenFewDistinctValues) {
+  util::Rng rng(1);
+  // 4 distinct values, 2-bit quantization (4 clusters) -> zero error.
+  std::vector<float> row;
+  for (int i = 0; i < 32; ++i) row.push_back(static_cast<float>(i % 4) * 0.25f);
+  const auto km = KMeansQuantizeRow(row, 2, 15, rng);
+  EXPECT_DOUBLE_EQ(KMeansRowL2Error(row, km), 0.0);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_FLOAT_EQ(km.codebook[km.codes[i]], row[i]);
+  }
+}
+
+TEST(KMeans, CodesWithinCodebook) {
+  util::Rng rng(2);
+  std::vector<float> row(100);
+  for (auto& v : row) v = static_cast<float>(rng.NextGaussian());
+  const auto km = KMeansQuantizeRow(row, 3, 15, rng);
+  EXPECT_LE(km.codebook.size(), 8u);
+  for (const auto c : km.codes) EXPECT_LT(c, km.codebook.size());
+}
+
+TEST(KMeans, AssignsNearestCentroid) {
+  util::Rng rng(3);
+  std::vector<float> row(64);
+  for (auto& v : row) v = static_cast<float>(rng.NextGaussian());
+  const auto km = KMeansQuantizeRow(row, 4, 15, rng);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const float assigned = std::fabs(row[i] - km.codebook[km.codes[i]]);
+    for (const float c : km.codebook) {
+      EXPECT_LE(assigned, std::fabs(row[i] - c) + 1e-5f);
+    }
+  }
+}
+
+TEST(KMeans, CodebookSorted) {
+  util::Rng rng(4);
+  std::vector<float> row(128);
+  for (auto& v : row) v = static_cast<float>(rng.NextGaussian());
+  const auto km = KMeansQuantizeRow(row, 4, 15, rng);
+  EXPECT_TRUE(std::is_sorted(km.codebook.begin(), km.codebook.end()));
+}
+
+TEST(KMeans, BeatsUniformOnClusteredData) {
+  util::Rng rng(5);
+  // Bimodal data: two tight clusters far apart. Uniform quantization wastes
+  // levels on the empty middle; k-means does not.
+  std::vector<float> row;
+  for (int i = 0; i < 32; ++i) {
+    row.push_back(-1.0f + 0.01f * static_cast<float>(rng.NextGaussian()));
+    row.push_back(1.0f + 0.01f * static_cast<float>(rng.NextGaussian()));
+  }
+  const auto km = KMeansQuantizeRow(row, 2, 15, rng);
+  const double km_err = KMeansRowL2Error(row, km);
+  const double uni_err = UniformRowL2Error(row, 2, AsymmetricParams(row));
+  EXPECT_LT(km_err, uni_err);
+}
+
+TEST(KMeans, EmptyRow) {
+  util::Rng rng(6);
+  const std::vector<float> row;
+  const auto km = KMeansQuantizeRow(row, 2, 5, rng);
+  EXPECT_TRUE(km.codes.empty());
+}
+
+TEST(KMeans, BadBitsThrows) {
+  util::Rng rng(7);
+  const std::vector<float> row = {1.0f};
+  EXPECT_THROW(KMeansQuantizeRow(row, 0, 5, rng), std::invalid_argument);
+  EXPECT_THROW(KMeansQuantizeRow(row, 9, 5, rng), std::invalid_argument);
+}
+
+TEST(KMeans, MoreIterationsDoNotHurt) {
+  util::Rng rng1(8), rng2(8);
+  std::vector<float> row(200);
+  util::Rng data_rng(9);
+  for (auto& v : row) v = static_cast<float>(data_rng.NextGaussian());
+  const auto km1 = KMeansQuantizeRow(row, 3, 1, rng1);
+  const auto km15 = KMeansQuantizeRow(row, 3, 15, rng2);
+  EXPECT_LE(KMeansRowL2Error(row, km15), KMeansRowL2Error(row, km1) + 1e-9);
+}
+
+class KMeansBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansBitsTest, ErrorDecreasesWithBits) {
+  const int bits = GetParam();
+  util::Rng rng(bits * 17);
+  std::vector<float> row(256);
+  util::Rng data_rng(10);
+  for (auto& v : row) v = static_cast<float>(data_rng.NextGaussian()) * 0.05f;
+
+  util::Rng rng_a(11), rng_b(11);
+  const auto low = KMeansQuantizeRow(row, bits, 15, rng_a);
+  const auto high = KMeansQuantizeRow(row, bits + 1, 15, rng_b);
+  EXPECT_LE(KMeansRowL2Error(row, high), KMeansRowL2Error(row, low) * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, KMeansBitsTest, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace cnr::quant

@@ -1,0 +1,190 @@
+// Cross-cutting property sweeps over the quantization stack: every
+// (method, bits, dim) combination must round-trip within its analytic error
+// bound, shrink monotonically with bit-width, and agree byte-for-byte with
+// its declared encoded size. These are the invariants the checkpoint format
+// relies on regardless of model configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/adaptive.h"
+#include "quant/error.h"
+#include "quant/quantizer.h"
+#include "util/rng.h"
+
+namespace cnr::quant {
+namespace {
+
+struct Case {
+  Method method;
+  int bits;
+  std::size_t dim;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = MethodName(info.param.method) + "_" +
+                     std::to_string(info.param.bits) + "b_d" +
+                     std::to_string(info.param.dim);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class QuantSweepTest : public ::testing::TestWithParam<Case> {
+ protected:
+  QuantConfig Config() const {
+    QuantConfig cfg;
+    cfg.method = GetParam().method;
+    cfg.bits = GetParam().bits;
+    cfg.num_bins = 15;
+    cfg.ratio = 1.0;
+    cfg.kmeans_iters = 8;
+    return cfg;
+  }
+
+  std::vector<float> MakeRow(util::Rng& rng, std::size_t dim) const {
+    std::vector<float> row(dim);
+    for (auto& v : row) v = 0.1f * static_cast<float>(rng.NextGaussian());
+    if (dim > 2 && rng.NextBool(0.5)) row[dim / 2] = rng.NextFloat(-1.0f, 1.0f);
+    return row;
+  }
+};
+
+TEST_P(QuantSweepTest, RoundTripWithinRange) {
+  util::Rng rng(GetParam().bits * 1000 + GetParam().dim);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto row = MakeRow(rng, GetParam().dim);
+    const auto rec = RoundTrip(row, Config(), rng);
+    ASSERT_EQ(rec.size(), row.size());
+    const auto p = AsymmetricParams(row);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (GetParam().method == Method::kNone) {
+        EXPECT_EQ(rec[i], row[i]);
+      } else {
+        // Reconstruction never exceeds the row's value range by more than
+        // a rounding step (clipping methods pull inward, never outward
+        // beyond symmetric's mirrored bound).
+        const float slack = (p.xmax - p.xmin) + 1e-6f;
+        EXPECT_GE(rec[i], -std::fabs(p.xmin) - std::fabs(p.xmax) - slack);
+        EXPECT_LE(std::fabs(rec[i] - row[i]), slack);
+      }
+    }
+  }
+}
+
+TEST_P(QuantSweepTest, EncodedSizeExact) {
+  util::Rng rng(GetParam().bits * 77 + GetParam().dim);
+  const auto row = MakeRow(rng, GetParam().dim);
+  util::Writer w;
+  EncodeRow(w, row, Config(), rng);
+  EXPECT_EQ(w.size(), EncodedRowBytes(Config(), row.size()));
+}
+
+TEST_P(QuantSweepTest, DecodeConsumesExactlyEncodedBytes) {
+  util::Rng rng(GetParam().bits * 31 + GetParam().dim);
+  const auto row = MakeRow(rng, GetParam().dim);
+  // Encode two rows back to back; decoding the first must position the
+  // reader exactly at the second (chunk decoding depends on this).
+  util::Writer w;
+  EncodeRow(w, row, Config(), rng);
+  const auto second = MakeRow(rng, GetParam().dim);
+  EncodeRow(w, second, Config(), rng);
+
+  util::Reader r(w.bytes());
+  std::vector<float> out(row.size());
+  DecodeRow(r, Config(), out);
+  EXPECT_EQ(r.position(), EncodedRowBytes(Config(), row.size()));
+  DecodeRow(r, Config(), out);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantSweepTest,
+    ::testing::Values(
+        Case{Method::kNone, 4, 16}, Case{Method::kSymmetric, 2, 8},
+        Case{Method::kSymmetric, 8, 64}, Case{Method::kAsymmetric, 2, 1},
+        Case{Method::kAsymmetric, 3, 16}, Case{Method::kAsymmetric, 8, 128},
+        Case{Method::kAdaptiveAsymmetric, 2, 16}, Case{Method::kAdaptiveAsymmetric, 4, 64},
+        Case{Method::kKMeans, 2, 16}, Case{Method::kKMeans, 4, 64},
+        Case{Method::kKMeans, 8, 8}),
+    CaseName);
+
+// Error monotonicity in bit-width holds for every method on the same data.
+class BitsMonotoneTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(BitsMonotoneTest, ErrorNonIncreasingInBits) {
+  util::Rng data_rng(5);
+  tensor::EmbeddingTable table("t", 64, 32);
+  for (std::size_t r = 0; r < 64; ++r) {
+    std::vector<float> row(32);
+    for (auto& v : row) v = 0.1f * static_cast<float>(data_rng.NextGaussian());
+    table.RestoreRow(r, row, 0.0f);
+  }
+  double prev = 1e18;
+  for (const int bits : {2, 3, 4, 6, 8}) {
+    util::Rng rng(9);
+    QuantConfig cfg;
+    cfg.method = GetParam();
+    cfg.bits = bits;
+    cfg.num_bins = 15;
+    cfg.kmeans_iters = 8;
+    const double err = MeanL2Error(table, cfg, rng);
+    EXPECT_LE(err, prev * 1.02) << "bits=" << bits;  // small tolerance: kmeans init noise
+    prev = err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, BitsMonotoneTest,
+                         ::testing::Values(Method::kSymmetric, Method::kAsymmetric,
+                                           Method::kAdaptiveAsymmetric, Method::kKMeans),
+                         [](const auto& info) {
+                           std::string n = MethodName(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// Special-value robustness: rows containing exact zeros, duplicated values,
+// negatives only, and denormal-scale magnitudes must all round-trip without
+// NaN/Inf.
+TEST(QuantEdgeCases, SpecialRowsStayFinite) {
+  const std::vector<std::vector<float>> rows = {
+      {0.0f, 0.0f, 0.0f, 0.0f},
+      {-1.0f, -1.0f, -0.5f, -0.25f},
+      {1e-30f, -1e-30f, 2e-30f, 0.0f},
+      {5.0f, 5.0f, 5.0f, 5.0f},
+      {-3.0f, 3.0f, -3.0f, 3.0f},
+  };
+  util::Rng rng(1);
+  for (const auto method : {Method::kSymmetric, Method::kAsymmetric,
+                            Method::kAdaptiveAsymmetric, Method::kKMeans}) {
+    for (const auto& row : rows) {
+      QuantConfig cfg;
+      cfg.method = method;
+      cfg.bits = 2;
+      cfg.num_bins = 10;
+      const auto rec = RoundTrip(row, cfg, rng);
+      for (const float v : rec) {
+        EXPECT_TRUE(std::isfinite(v)) << MethodName(method);
+      }
+    }
+  }
+}
+
+TEST(QuantEdgeCases, EmptyRowRoundTrips) {
+  util::Rng rng(2);
+  const std::vector<float> empty;
+  for (const auto method :
+       {Method::kNone, Method::kAsymmetric, Method::kAdaptiveAsymmetric, Method::kKMeans}) {
+    QuantConfig cfg;
+    cfg.method = method;
+    cfg.bits = 4;
+    const auto rec = RoundTrip(empty, cfg, rng);
+    EXPECT_TRUE(rec.empty()) << MethodName(method);
+  }
+}
+
+}  // namespace
+}  // namespace cnr::quant

@@ -1,0 +1,193 @@
+#include "quant/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/adaptive.h"
+#include "util/rng.h"
+
+namespace cnr::quant {
+namespace {
+
+std::vector<float> GaussianRow(util::Rng& rng, std::size_t n, float scale = 0.1f) {
+  std::vector<float> row(n);
+  for (auto& v : row) v = static_cast<float>(rng.NextGaussian()) * scale;
+  return row;
+}
+
+TEST(Params, SymmetricIsSignSymmetric) {
+  const std::vector<float> row = {-0.5f, 0.1f, 0.3f};
+  const auto p = SymmetricParams(row);
+  EXPECT_FLOAT_EQ(p.xmax, 0.5f);
+  EXPECT_FLOAT_EQ(p.xmin, -0.5f);
+}
+
+TEST(Params, AsymmetricIsTight) {
+  const std::vector<float> row = {-0.5f, 0.1f, 0.3f};
+  const auto p = AsymmetricParams(row);
+  EXPECT_FLOAT_EQ(p.xmin, -0.5f);
+  EXPECT_FLOAT_EQ(p.xmax, 0.3f);
+}
+
+TEST(Uniform, RoundTripWithinOneStep) {
+  util::Rng rng(1);
+  const auto row = GaussianRow(rng, 64);
+  for (const int bits : {2, 3, 4, 8}) {
+    const auto p = AsymmetricParams(row);
+    const auto rec = UniformRoundTrip(row, bits, p);
+    const float step = (p.xmax - p.xmin) / static_cast<float>((1 << bits) - 1);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_LE(std::fabs(rec[i] - row[i]), step * 0.5f + 1e-6f) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Uniform, EndpointsExact) {
+  const std::vector<float> row = {-1.0f, 0.25f, 1.0f};
+  const auto p = AsymmetricParams(row);
+  const auto rec = UniformRoundTrip(row, 4, p);
+  EXPECT_FLOAT_EQ(rec[0], -1.0f);
+  EXPECT_FLOAT_EQ(rec[2], 1.0f);
+}
+
+TEST(Uniform, ConstantRowIsExact) {
+  const std::vector<float> row(16, 0.7f);
+  const auto p = AsymmetricParams(row);  // degenerate range
+  const auto rec = UniformRoundTrip(row, 2, p);
+  for (const float v : rec) EXPECT_FLOAT_EQ(v, 0.7f);
+}
+
+TEST(Uniform, MoreBitsLowerError) {
+  util::Rng rng(2);
+  const auto row = GaussianRow(rng, 256);
+  const auto p = AsymmetricParams(row);
+  double prev = 1e9;
+  for (const int bits : {2, 3, 4, 8}) {
+    const double err = UniformRowL2Error(row, bits, p);
+    EXPECT_LT(err, prev) << "bits=" << bits;
+    prev = err;
+  }
+}
+
+TEST(Uniform, AsymmetricBeatsSymmetricOnShiftedData) {
+  util::Rng rng(3);
+  // Shifted distribution: all positive values.
+  std::vector<float> row(128);
+  for (auto& v : row) v = 0.5f + 0.1f * static_cast<float>(rng.NextGaussian());
+  for (const int bits : {2, 3, 4, 8}) {
+    const double sym = UniformRowL2Error(row, bits, SymmetricParams(row));
+    const double asym = UniformRowL2Error(row, bits, AsymmetricParams(row));
+    EXPECT_LT(asym, sym) << "bits=" << bits;
+  }
+}
+
+TEST(Uniform, L2ErrorMatchesExplicitReconstruction) {
+  util::Rng rng(4);
+  const auto row = GaussianRow(rng, 100);
+  const auto p = AsymmetricParams(row);
+  const auto rec = UniformRoundTrip(row, 4, p);
+  double acc = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const double d = row[i] - rec[i];
+    acc += d * d;
+  }
+  EXPECT_NEAR(UniformRowL2Error(row, 4, p), std::sqrt(acc), 1e-5);
+}
+
+TEST(QuantConfig, SerializeRoundTrip) {
+  QuantConfig cfg;
+  cfg.method = Method::kAdaptiveAsymmetric;
+  cfg.bits = 3;
+  cfg.num_bins = 25;
+  cfg.ratio = 0.6;
+  cfg.kmeans_iters = 10;
+  util::Writer w;
+  cfg.Serialize(w);
+  util::Reader r(w.bytes());
+  const auto back = QuantConfig::Deserialize(r);
+  EXPECT_EQ(back.method, cfg.method);
+  EXPECT_EQ(back.bits, cfg.bits);
+  EXPECT_EQ(back.num_bins, cfg.num_bins);
+  EXPECT_EQ(back.ratio, cfg.ratio);
+  EXPECT_EQ(back.kmeans_iters, cfg.kmeans_iters);
+}
+
+TEST(MethodNames, AllNamed) {
+  EXPECT_EQ(MethodName(Method::kNone), "none");
+  EXPECT_EQ(MethodName(Method::kSymmetric), "symmetric");
+  EXPECT_EQ(MethodName(Method::kAsymmetric), "asymmetric");
+  EXPECT_EQ(MethodName(Method::kAdaptiveAsymmetric), "adaptive-asymmetric");
+  EXPECT_EQ(MethodName(Method::kKMeans), "kmeans");
+}
+
+TEST(EncodeRow, NonePassthroughIsExact) {
+  util::Rng rng(5);
+  const auto row = GaussianRow(rng, 32);
+  QuantConfig cfg;
+  cfg.method = Method::kNone;
+  const auto rec = RoundTrip(row, cfg, rng);
+  EXPECT_EQ(rec, row);
+}
+
+TEST(EncodeRow, EncodedRowBytesMatchesActual) {
+  util::Rng rng(6);
+  const auto row = GaussianRow(rng, 48);
+  for (const auto method : {Method::kNone, Method::kSymmetric, Method::kAsymmetric,
+                            Method::kAdaptiveAsymmetric, Method::kKMeans}) {
+    for (const int bits : {2, 4, 8}) {
+      QuantConfig cfg;
+      cfg.method = method;
+      cfg.bits = bits;
+      cfg.num_bins = 10;
+      cfg.kmeans_iters = 3;
+      util::Writer w;
+      EncodeRow(w, row, cfg, rng);
+      EXPECT_EQ(w.size(), EncodedRowBytes(cfg, row.size()))
+          << MethodName(method) << " bits=" << bits;
+    }
+  }
+}
+
+// Round-trip every method; reconstruction must be within the worst-case grid
+// error of the row's value range.
+class EncodeDecodeTest : public ::testing::TestWithParam<std::tuple<Method, int>> {};
+
+TEST_P(EncodeDecodeTest, ReconstructionBounded) {
+  const auto [method, bits] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(bits) * 31 + 7);
+  const auto row = GaussianRow(rng, 64);
+  QuantConfig cfg;
+  cfg.method = method;
+  cfg.bits = bits;
+  cfg.num_bins = 20;
+  cfg.ratio = 1.0;
+  cfg.kmeans_iters = 15;
+
+  const auto rec = RoundTrip(row, cfg, rng);
+  ASSERT_EQ(rec.size(), row.size());
+
+  const auto p = AsymmetricParams(row);
+  const float range = p.xmax - p.xmin;
+  // Symmetric can double the range; clipping methods can clip outliers but
+  // never by more than the full range.
+  const float tol = (method == Method::kNone) ? 1e-7f : range;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_LE(std::fabs(rec[i] - row[i]), tol) << MethodName(method) << " i=" << i;
+  }
+  // And the mean elementwise error must beat a degenerate all-midpoint code.
+  double err = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) err += std::fabs(rec[i] - row[i]);
+  err /= static_cast<double>(row.size());
+  if (method != Method::kNone) EXPECT_LT(err, range / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, EncodeDecodeTest,
+    ::testing::Combine(::testing::Values(Method::kNone, Method::kSymmetric,
+                                         Method::kAsymmetric, Method::kAdaptiveAsymmetric,
+                                         Method::kKMeans),
+                       ::testing::Values(2, 3, 4, 8)));
+
+}  // namespace
+}  // namespace cnr::quant

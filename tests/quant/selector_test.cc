@@ -1,0 +1,129 @@
+#include "quant/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cnr::quant {
+namespace {
+
+tensor::EmbeddingTable MakeTable(std::size_t rows, std::size_t dim, std::uint64_t seed) {
+  tensor::EmbeddingTable t("emb", rows, dim);
+  util::Rng rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<float> row(dim);
+    for (auto& v : row) v = static_cast<float>(rng.NextGaussian()) * 0.05f;
+    // Sprinkle outliers so adaptive quantization matters.
+    if (rng.NextBool(0.3)) row[rng.NextBounded(dim)] = rng.NextFloat(-1.0f, 1.0f);
+    t.RestoreRow(r, row, 0.0f);
+  }
+  return t;
+}
+
+TEST(SampleRows, FractionClampedToAtLeastOne) {
+  util::Rng rng(1);
+  const auto table = MakeTable(100, 4, 2);
+  const auto rows = SampleRows(table, 1e-9, rng);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST(SampleRows, FullFractionCoversAll) {
+  util::Rng rng(1);
+  const auto table = MakeTable(50, 4, 2);
+  const auto rows = SampleRows(table, 1.0, rng);
+  EXPECT_EQ(rows.size(), 50u);
+}
+
+TEST(SampleRows, DistinctSorted) {
+  util::Rng rng(3);
+  const auto table = MakeTable(1000, 4, 4);
+  const auto rows = SampleRows(table, 0.1, rng);
+  EXPECT_EQ(rows.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+  for (std::size_t i = 1; i < rows.size(); ++i) EXPECT_NE(rows[i], rows[i - 1]);
+}
+
+TEST(SelectBitWidth, PaperThresholds) {
+  // Fig 14: <=1 restart -> 2 bits; <=3 -> 3 bits; <20 -> 4 bits; else 8.
+  EXPECT_EQ(SelectBitWidth(0), 2);
+  EXPECT_EQ(SelectBitWidth(1), 2);
+  EXPECT_EQ(SelectBitWidth(2), 3);
+  EXPECT_EQ(SelectBitWidth(3), 3);
+  EXPECT_EQ(SelectBitWidth(4), 4);
+  EXPECT_EQ(SelectBitWidth(19), 4);
+  EXPECT_EQ(SelectBitWidth(20), 8);
+  EXPECT_EQ(SelectBitWidth(1000), 8);
+}
+
+TEST(SelectBitWidth, CustomPolicy) {
+  BitWidthPolicy policy;
+  policy.max_restarts_2bit = 0;
+  policy.max_restarts_3bit = 10;
+  policy.max_restarts_4bit = 100;
+  EXPECT_EQ(SelectBitWidth(0, policy), 2);
+  EXPECT_EQ(SelectBitWidth(5, policy), 3);
+  EXPECT_EQ(SelectBitWidth(50, policy), 4);
+  EXPECT_EQ(SelectBitWidth(101, policy), 8);
+}
+
+TEST(ConfigForRestarts, MethodMatchesBitWidth) {
+  // Adaptive asymmetric at <=4 bits, plain asymmetric at 8 (paper §5.2).
+  EXPECT_EQ(ConfigForRestarts(1).method, Method::kAdaptiveAsymmetric);
+  EXPECT_EQ(ConfigForRestarts(1).bits, 2);
+  EXPECT_EQ(ConfigForRestarts(3).method, Method::kAdaptiveAsymmetric);
+  EXPECT_EQ(ConfigForRestarts(10).bits, 4);
+  EXPECT_EQ(ConfigForRestarts(100).method, Method::kAsymmetric);
+  EXPECT_EQ(ConfigForRestarts(100).bits, 8);
+}
+
+TEST(SelectNumBins, ProfilesAllCandidates) {
+  util::Rng rng(5);
+  const auto table = MakeTable(200, 16, 6);
+  SelectorConfig cfg;
+  cfg.sample_fraction = 0.5;
+  cfg.bins_candidates = {5, 15, 30};
+  const auto sel = SelectNumBins(table, 2, cfg, rng);
+  ASSERT_EQ(sel.profile.size(), 3u);
+  EXPECT_EQ(sel.profile[0].num_bins, 5);
+  EXPECT_EQ(sel.profile[2].num_bins, 30);
+  EXPECT_GT(sel.selected_bins, 0);
+}
+
+TEST(SelectNumBins, ErrorNonIncreasingInBins) {
+  util::Rng rng(7);
+  const auto table = MakeTable(300, 16, 8);
+  SelectorConfig cfg;
+  cfg.sample_fraction = 1.0;
+  const auto sel = SelectNumBins(table, 2, cfg, rng);
+  for (std::size_t i = 1; i < sel.profile.size(); ++i) {
+    EXPECT_LE(sel.profile[i].mean_l2, sel.profile[i - 1].mean_l2 * 1.05)
+        << "bins=" << sel.profile[i].num_bins;
+  }
+}
+
+// The paper's key claim for parameter selection: a small uniform sample
+// selects (nearly) the same num_bins as profiling the full checkpoint. With
+// a 10% sample on a small table, we allow the selection to land on an
+// adjacent candidate — the improvement curve is flat near its taper point.
+TEST(SelectNumBins, SampledSelectionMatchesFull) {
+  util::Rng rng_full(9), rng_sample(9);
+  const auto table = MakeTable(2000, 16, 10);
+
+  SelectorConfig full_cfg;
+  full_cfg.sample_fraction = 1.0;
+  const auto full = SelectNumBins(table, 2, full_cfg, rng_full);
+
+  SelectorConfig sample_cfg;
+  sample_cfg.sample_fraction = 0.1;  // 200 of 2000 rows
+  const auto sampled = SelectNumBins(table, 2, sample_cfg, rng_sample);
+
+  auto index_of = [&](int bins) {
+    const auto& cands = full_cfg.bins_candidates;
+    return std::find(cands.begin(), cands.end(), bins) - cands.begin();
+  };
+  EXPECT_LE(std::abs(index_of(sampled.selected_bins) - index_of(full.selected_bins)), 1)
+      << "sampled=" << sampled.selected_bins << " full=" << full.selected_bins;
+}
+
+}  // namespace
+}  // namespace cnr::quant

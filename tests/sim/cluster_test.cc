@@ -1,0 +1,77 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace cnr::sim {
+namespace {
+
+ClusterConfig PaperCluster() {
+  // 16 nodes x 8 GPUs as in §2.2.
+  return ClusterConfig{};
+}
+
+TEST(ClusterModel, GpuCount) {
+  ClusterModel cluster(PaperCluster());
+  EXPECT_EQ(cluster.total_gpus(), 128u);
+}
+
+TEST(ClusterModel, SnapshotStallMatchesPaperScale) {
+  // A ~10 TB model across 128 GPUs at ~12 GB/s HBM->DRAM is ~6.5 s,
+  // consistent with the paper's "< 7 seconds" (§4.2).
+  ClusterModel cluster(PaperCluster());
+  const std::uint64_t model_bytes = 10ull << 40;  // 10 TB
+  const auto stall = cluster.SnapshotStall(model_bytes);
+  EXPECT_GT(stall, 5 * util::kSecond);
+  EXPECT_LT(stall, 8 * util::kSecond);
+}
+
+TEST(ClusterModel, StallFractionUnderHalfPercentAtThirtyMinutes) {
+  // Paper §6.1: checkpointing every 30 minutes -> stall < 0.4%.
+  ClusterModel cluster(PaperCluster());
+  const std::uint64_t model_bytes = 10ull << 40;
+  const double frac = cluster.StallFraction(model_bytes, 30 * util::kMinute);
+  EXPECT_LT(frac, 0.004);
+  EXPECT_GT(frac, 0.0);
+}
+
+TEST(ClusterModel, StallConstantInNodeCount) {
+  // Doubling nodes while doubling model size keeps the stall flat — the
+  // paper's scaling argument (§6.1): per-GPU data is bounded by HBM.
+  ClusterConfig small = PaperCluster();
+  ClusterConfig big = PaperCluster();
+  big.nodes = 32;
+  const std::uint64_t per_gpu = 80ull << 30;  // 80 GB per GPU
+  ClusterModel a(small), b(big);
+  EXPECT_EQ(a.SnapshotStall(per_gpu * a.total_gpus()),
+            b.SnapshotStall(per_gpu * b.total_gpus()));
+}
+
+TEST(ClusterModel, CheckpointWriteTimeScalesWithBytes) {
+  ClusterModel cluster(PaperCluster());
+  const auto t1 = cluster.CheckpointWriteTime(1ull << 30);
+  const auto t2 = cluster.CheckpointWriteTime(2ull << 30);
+  EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1),
+              static_cast<double>(t1) * 0.01);
+}
+
+TEST(ClusterModel, InvalidConfigThrows) {
+  ClusterConfig bad = PaperCluster();
+  bad.nodes = 0;
+  EXPECT_THROW(ClusterModel{bad}, std::invalid_argument);
+  bad = PaperCluster();
+  bad.hbm_to_dram_bytes_per_sec = 0;
+  EXPECT_THROW(ClusterModel{bad}, std::invalid_argument);
+}
+
+TEST(ClusterModel, StallFractionRejectsBadInterval) {
+  ClusterModel cluster(PaperCluster());
+  EXPECT_THROW(cluster.StallFraction(1000, 0), std::invalid_argument);
+}
+
+TEST(ClusterModel, TrackingOverheadDefault) {
+  ClusterModel cluster(PaperCluster());
+  EXPECT_LE(cluster.tracking_overhead_fraction(), 0.01);
+}
+
+}  // namespace
+}  // namespace cnr::sim

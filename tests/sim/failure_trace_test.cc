@@ -1,0 +1,122 @@
+#include "sim/failure_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace cnr::sim {
+namespace {
+
+TEST(FailureTimeModel, DefaultFitMatchesPaperQuantiles) {
+  // Fig 3 anchors: 10% of failed jobs ran >= 13.5 h, 1% ran >= 53.9 h.
+  FailureTimeModel model;
+  EXPECT_NEAR(model.Cdf(13.5), 0.90, 0.01);
+  EXPECT_NEAR(model.Cdf(53.9), 0.99, 0.005);
+}
+
+TEST(FailureTimeModel, CdfMonotone) {
+  FailureTimeModel model;
+  double prev = -1;
+  for (double h = 0.1; h < 100; h *= 1.5) {
+    const double c = model.Cdf(h);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_EQ(model.Cdf(0.0), 0.0);
+  EXPECT_EQ(model.Cdf(-5.0), 0.0);
+}
+
+TEST(FailureTimeModel, SamplesRespectTruncation) {
+  FailureTimeModel model;
+  util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(model.SampleHours(rng), 5.0 / 60.0);  // sub-5-min jobs removed
+  }
+}
+
+TEST(FailureTimeModel, EmpiricalQuantilesMatchAnalytic) {
+  FailureTimeModel model;
+  util::Rng rng(2);
+  util::QuantileSketch sketch;
+  for (int i = 0; i < 50000; ++i) sketch.Add(model.SampleHours(rng));
+  // Truncation at 5 minutes barely moves the upper quantiles.
+  EXPECT_NEAR(sketch.Quantile(0.90), 13.5, 1.5);
+  EXPECT_NEAR(sketch.Quantile(0.99), 53.9, 8.0);
+}
+
+TEST(FailureTimeModel, BadSigmaThrows) {
+  EXPECT_THROW(FailureTimeModel(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(FailureTimeModel(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(FailureRateModel, ExpectedFailuresLinear) {
+  FailureRateModel rate;
+  rate.failures_per_node_hour = 0.002;
+  EXPECT_DOUBLE_EQ(rate.ExpectedFailures(16, 100.0), 3.2);
+  EXPECT_DOUBLE_EQ(rate.ExpectedFailures(0, 100.0), 0.0);
+}
+
+TEST(FailureRateModel, PoissonMeanMatches) {
+  FailureRateModel rate;
+  rate.failures_per_node_hour = 0.01;
+  util::Rng rng(3);
+  double total = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(rate.SampleFailures(rng, 16, 10.0));
+  }
+  EXPECT_NEAR(total / kTrials, 1.6, 0.05);
+}
+
+TEST(FailureRateModel, LargeLambdaApproximation) {
+  FailureRateModel rate;
+  rate.failures_per_node_hour = 1.0;
+  util::Rng rng(4);
+  double total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    total += static_cast<double>(rate.SampleFailures(rng, 16, 10.0));  // lambda=160
+  }
+  EXPECT_NEAR(total / 2000, 160.0, 2.0);
+}
+
+TEST(SimulateRecovery, NoFailuresNoWaste) {
+  util::Rng rng(5);
+  const auto out = SimulateRecovery(rng, 100.0, 0.5, 0.0, 0.1);
+  EXPECT_EQ(out.failures, 0u);
+  EXPECT_DOUBLE_EQ(out.wasted_hours, 0.0);
+  EXPECT_DOUBLE_EQ(out.total_hours, 100.0);
+}
+
+TEST(SimulateRecovery, WastePerFailureBoundedByInterval) {
+  util::Rng rng(6);
+  const double interval = 0.5;
+  const auto out = SimulateRecovery(rng, 50.0, interval, 0.2, 0.05);
+  EXPECT_GT(out.failures, 0u);
+  EXPECT_LE(out.wasted_hours, static_cast<double>(out.failures) * interval);
+  EXPECT_GE(out.total_hours, 50.0);
+}
+
+TEST(SimulateRecovery, ShorterIntervalWastesLess) {
+  // The paper's frequency argument: a 5x longer checkpoint interval wastes
+  // ~5x more work per failure on average.
+  util::Rng rng1(7), rng2(7);
+  const auto frequent = SimulateRecovery(rng1, 200.0, 0.25, 0.1, 0.0);
+  const auto rare = SimulateRecovery(rng2, 200.0, 1.25, 0.1, 0.0);
+  EXPECT_LT(frequent.wasted_hours, rare.wasted_hours);
+}
+
+TEST(SimulateRecovery, HigherRateMoreFailures) {
+  util::Rng rng1(8), rng2(8);
+  const auto low = SimulateRecovery(rng1, 100.0, 0.5, 0.05, 0.0);
+  const auto high = SimulateRecovery(rng2, 100.0, 0.5, 0.5, 0.0);
+  EXPECT_LT(low.failures, high.failures);
+}
+
+TEST(SimulateRecovery, InvalidArgsThrow) {
+  util::Rng rng(9);
+  EXPECT_THROW(SimulateRecovery(rng, 0.0, 0.5, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(SimulateRecovery(rng, 10.0, 0.0, 0.1, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::sim

@@ -1,0 +1,171 @@
+#include "storage/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/checknrun.h"
+#include "data/synthetic.h"
+
+namespace cnr::storage {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(FaultInjectionStore, NoFaultsIsTransparent) {
+  auto store = FaultInjectionStore(std::make_shared<InMemoryStore>(), FaultConfig{});
+  store.Put("k", Bytes("v"));
+  EXPECT_EQ(*store.Get("k"), Bytes("v"));
+  EXPECT_EQ(store.injected_put_failures(), 0u);
+  EXPECT_EQ(store.injected_corruptions(), 0u);
+}
+
+TEST(FaultInjectionStore, PutFailuresThrow) {
+  FaultConfig cfg;
+  cfg.put_failure_probability = 1.0;
+  FaultInjectionStore store(std::make_shared<InMemoryStore>(), cfg);
+  EXPECT_THROW(store.Put("k", Bytes("v")), StoreUnavailable);
+  EXPECT_EQ(store.injected_put_failures(), 1u);
+  EXPECT_FALSE(store.Exists("k"));
+}
+
+TEST(FaultInjectionStore, ReadCorruptionFlipsOneBit) {
+  FaultConfig cfg;
+  cfg.read_corruption_probability = 1.0;
+  FaultInjectionStore store(std::make_shared<InMemoryStore>(), cfg);
+  store.Put("k", Bytes("abcdefgh"));
+  const auto got = *store.Get("k");
+  EXPECT_EQ(got.size(), 8u);
+  int differing_bits = 0;
+  const std::string original = "abcdefgh";
+  for (std::size_t i = 0; i < 8; ++i) {
+    differing_bits += __builtin_popcount(static_cast<unsigned>(
+        got[i] ^ static_cast<std::uint8_t>(original[i])));
+  }
+  EXPECT_EQ(differing_bits, 1);
+  EXPECT_EQ(store.injected_corruptions(), 1u);
+}
+
+TEST(FaultInjectionStore, NullBackingThrows) {
+  EXPECT_THROW(FaultInjectionStore(nullptr, FaultConfig{}), std::invalid_argument);
+}
+
+// --- system-level guarantees under faults ---
+
+dlrm::ModelConfig SmallModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {128, 64};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 2;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.num_dense = 4;
+  cfg.tables = {{128, 2, 1.1}, {64, 1, 1.05}};
+  return cfg;
+}
+
+TEST(FaultTolerance, TransientPutFailuresAreRetried) {
+  // ~20% of puts fail transiently; with 3 attempts every object lands and
+  // the checkpoint completes.
+  FaultConfig fc;
+  fc.put_failure_probability = 0.2;
+  fc.seed = 7;
+  auto store = std::make_shared<FaultInjectionStore>(std::make_shared<InMemoryStore>(), fc);
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderConfig rcfg;
+  rcfg.batch_size = 16;
+  rcfg.num_workers = 2;
+  data::ReaderMaster reader(ds, rcfg);
+
+  core::CheckNRunConfig ccfg;
+  ccfg.job = "flaky";
+  ccfg.interval_batches = 4;
+  ccfg.quantize = false;
+  ccfg.chunk_rows = 16;
+  // P(one put exhausts all attempts) = 0.2^10 ~ 1e-7: effectively never.
+  ccfg.put_attempts = 10;
+  core::CheckNRun cnr(model, reader, store, ccfg);
+  cnr.Run(4);
+
+  EXPECT_GT(store->injected_put_failures(), 0u) << "fault injection never fired";
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = core::RestoreModel(*store, "flaky", restored);
+  EXPECT_EQ(rr.batches_trained, 16u);
+  EXPECT_TRUE(restored.DenseEquals(model));
+}
+
+TEST(FaultTolerance, FailedCheckpointIsNeverDeclaredValid) {
+  // A permanently unavailable store mid-run: the failed checkpoint's
+  // manifest must not exist, and the previous checkpoint stays restorable.
+  auto inner = std::make_shared<InMemoryStore>();
+  auto store = std::make_shared<FaultInjectionStore>(inner, FaultConfig{});
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderConfig rcfg;
+  rcfg.batch_size = 16;
+  rcfg.num_workers = 2;
+  data::ReaderMaster reader(ds, rcfg);
+
+  core::CheckNRunConfig ccfg;
+  ccfg.job = "dying";
+  ccfg.interval_batches = 4;
+  ccfg.quantize = false;
+  ccfg.chunk_rows = 16;
+  core::CheckNRun cnr(model, reader, store, ccfg);
+  cnr.Run(2);  // two good checkpoints
+
+  dlrm::DlrmModel after_two(SmallModel());
+  core::RestoreModel(*store, "dying", after_two);  // snapshot of good state
+
+  // Storage tier goes down hard: every put fails, retries exhausted.
+  FaultConfig dead;
+  dead.put_failure_probability = 1.0;
+  store->SetConfig(dead);
+  cnr.Step();
+  EXPECT_THROW(cnr.Drain(), StoreUnavailable);
+
+  // Validity invariant: checkpoint 3's manifest never appeared.
+  EXPECT_EQ(*core::LatestCheckpointId(*inner, "dying"), 2u);
+  store->SetConfig(FaultConfig{});  // heal for reads
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = core::RestoreModel(*store, "dying", restored);
+  EXPECT_EQ(rr.checkpoint_id, 2u);
+  EXPECT_EQ(rr.batches_trained, 8u);
+}
+
+TEST(FaultTolerance, BitRotRejectedAtRestore) {
+  FaultConfig fc;  // clean during write
+  auto store = std::make_shared<FaultInjectionStore>(std::make_shared<InMemoryStore>(), fc);
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderConfig rcfg;
+  rcfg.batch_size = 16;
+  rcfg.num_workers = 2;
+  data::ReaderMaster reader(ds, rcfg);
+  core::CheckNRunConfig ccfg;
+  ccfg.job = "rot";
+  ccfg.interval_batches = 4;
+  ccfg.quantize = false;
+  core::CheckNRun cnr(model, reader, store, ccfg);
+  cnr.Run(1);
+
+  // All reads now corrupt one bit; chunk CRCs must catch it.
+  FaultConfig rotten;
+  rotten.read_corruption_probability = 1.0;
+  store->SetConfig(rotten);
+  dlrm::DlrmModel restored(SmallModel());
+  EXPECT_THROW(core::RestoreModel(*store, "rot", restored), std::exception);
+}
+
+}  // namespace
+}  // namespace cnr::storage

@@ -1,0 +1,141 @@
+#include "storage/file_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/checknrun.h"
+#include "data/synthetic.h"
+
+namespace cnr::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("cnr_filestore_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+  fs::path root_;
+};
+
+std::vector<std::uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST_F(FileStoreTest, PutGetRoundTrip) {
+  FileStore store(root_);
+  store.Put("jobs/a/ckpt/000000000001/MANIFEST", Bytes("hello"));
+  const auto got = store.Get("jobs/a/ckpt/000000000001/MANIFEST");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Bytes("hello"));
+}
+
+TEST_F(FileStoreTest, GetMissing) {
+  FileStore store(root_);
+  EXPECT_FALSE(store.Get("nope").has_value());
+  EXPECT_FALSE(store.Exists("nope"));
+}
+
+TEST_F(FileStoreTest, OverwriteAndDelete) {
+  FileStore store(root_);
+  store.Put("k", Bytes("one"));
+  store.Put("k", Bytes("two"));
+  EXPECT_EQ(*store.Get("k"), Bytes("two"));
+  EXPECT_TRUE(store.Delete("k"));
+  EXPECT_FALSE(store.Delete("k"));
+  EXPECT_FALSE(store.Exists("k"));
+}
+
+TEST_F(FileStoreTest, ListByPrefixSorted) {
+  FileStore store(root_);
+  store.Put("jobs/a/2", Bytes("x"));
+  store.Put("jobs/a/1", Bytes("x"));
+  store.Put("jobs/b/1", Bytes("x"));
+  const auto keys = store.List("jobs/a/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "jobs/a/1");
+  EXPECT_EQ(keys[1], "jobs/a/2");
+  EXPECT_EQ(store.List("").size(), 3u);
+}
+
+TEST_F(FileStoreTest, TotalBytes) {
+  FileStore store(root_);
+  store.Put("a", Bytes("1234"));
+  store.Put("b/c", Bytes("56"));
+  EXPECT_EQ(store.TotalBytes(), 6u);
+}
+
+TEST_F(FileStoreTest, RejectsTraversalKeys) {
+  FileStore store(root_);
+  EXPECT_THROW(store.Put("../evil", Bytes("x")), std::invalid_argument);
+  EXPECT_THROW(store.Put("/abs", Bytes("x")), std::invalid_argument);
+  EXPECT_THROW(store.Put("", Bytes("x")), std::invalid_argument);
+  EXPECT_THROW(store.Get("a/../b"), std::invalid_argument);
+}
+
+TEST_F(FileStoreTest, PersistsAcrossInstances) {
+  {
+    FileStore store(root_);
+    store.Put("durable", Bytes("still here"));
+  }
+  FileStore reopened(root_);
+  const auto got = reopened.Get("durable");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Bytes("still here"));
+}
+
+TEST_F(FileStoreTest, EmptyObjectAllowed) {
+  FileStore store(root_);
+  store.Put("empty", {});
+  ASSERT_TRUE(store.Get("empty").has_value());
+  EXPECT_TRUE(store.Get("empty")->empty());
+}
+
+// The integration that matters: a full checkpoint lifecycle against the
+// filesystem, surviving a "process restart" (new store instance).
+TEST_F(FileStoreTest, CheckpointLifecycleSurvivesRestart) {
+  dlrm::ModelConfig mcfg;
+  mcfg.num_dense = 4;
+  mcfg.embedding_dim = 8;
+  mcfg.table_rows = {128, 64};
+  mcfg.bottom_hidden = {16};
+  mcfg.top_hidden = {16};
+  mcfg.num_shards = 2;
+  data::DatasetConfig dcfg;
+  dcfg.num_dense = 4;
+  dcfg.tables = {{128, 2, 1.1}, {64, 1, 1.05}};
+  data::SyntheticDataset ds(dcfg);
+  data::ReaderConfig rcfg;
+  rcfg.batch_size = 16;
+  rcfg.num_workers = 2;
+
+  dlrm::DlrmModel model(mcfg);
+  {
+    data::ReaderMaster reader(ds, rcfg);
+    core::CheckNRunConfig ccfg;
+    ccfg.job = "filejob";
+    ccfg.interval_batches = 4;
+    ccfg.quantize = false;
+    core::CheckNRun cnr(model, reader, std::make_shared<FileStore>(root_), ccfg);
+    cnr.Run(3);
+  }
+
+  // "Restart": fresh store instance over the same directory.
+  auto store = std::make_shared<FileStore>(root_);
+  dlrm::DlrmModel restored(mcfg);
+  const auto rr = core::RestoreModel(*store, "filejob", restored);
+  EXPECT_EQ(rr.batches_trained, 12u);
+  EXPECT_TRUE(restored.DenseEquals(model));
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    for (std::size_t s = 0; s < model.table(t).num_shards(); ++s) {
+      EXPECT_EQ(restored.table(t).Shard(s), model.table(t).Shard(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnr::storage

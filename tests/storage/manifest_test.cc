@@ -1,0 +1,105 @@
+#include "storage/manifest.h"
+
+#include <gtest/gtest.h>
+
+namespace cnr::storage {
+namespace {
+
+Manifest SampleManifest() {
+  Manifest m;
+  m.checkpoint_id = 42;
+  m.kind = CheckpointKind::kIncremental;
+  m.parent_id = 40;
+  m.batches_trained = 1000;
+  m.samples_trained = 128000;
+  m.quant.method = quant::Method::kAdaptiveAsymmetric;
+  m.quant.bits = 4;
+  m.quant.num_bins = 45;
+  m.quant.ratio = 0.8;
+  m.reader_state = {1, 2, 3, 4};
+  m.dense_key = "jobs/j/ckpt/000000000042/dense";
+  m.dense_bytes = 5555;
+  ChunkInfo c1;
+  c1.key = "jobs/j/ckpt/000000000042/t0/s1/c0";
+  c1.table_id = 0;
+  c1.shard_id = 1;
+  c1.num_rows = 100;
+  c1.bytes = 2048;
+  ChunkInfo c2;
+  c2.key = "jobs/j/ckpt/000000000042/t3/s0/c7";
+  c2.table_id = 3;
+  c2.shard_id = 0;
+  c2.num_rows = 7;
+  c2.bytes = 99;
+  m.chunks = {c1, c2};
+  return m;
+}
+
+TEST(Manifest, EncodeDecodeRoundTrip) {
+  const Manifest m = SampleManifest();
+  const auto bytes = m.Encode();
+  const Manifest back = Manifest::Decode(bytes);
+
+  EXPECT_EQ(back.checkpoint_id, m.checkpoint_id);
+  EXPECT_EQ(back.kind, m.kind);
+  EXPECT_EQ(back.parent_id, m.parent_id);
+  EXPECT_EQ(back.batches_trained, m.batches_trained);
+  EXPECT_EQ(back.samples_trained, m.samples_trained);
+  EXPECT_EQ(back.quant.method, m.quant.method);
+  EXPECT_EQ(back.quant.bits, m.quant.bits);
+  EXPECT_EQ(back.quant.num_bins, m.quant.num_bins);
+  EXPECT_EQ(back.quant.ratio, m.quant.ratio);
+  EXPECT_EQ(back.reader_state, m.reader_state);
+  EXPECT_EQ(back.dense_key, m.dense_key);
+  EXPECT_EQ(back.dense_bytes, m.dense_bytes);
+  ASSERT_EQ(back.chunks.size(), 2u);
+  EXPECT_EQ(back.chunks[0].key, m.chunks[0].key);
+  EXPECT_EQ(back.chunks[1].num_rows, m.chunks[1].num_rows);
+  EXPECT_EQ(back.chunks[1].bytes, m.chunks[1].bytes);
+}
+
+TEST(Manifest, TotalBytesSumsChunksAndDense) {
+  const Manifest m = SampleManifest();
+  EXPECT_EQ(m.TotalBytes(), 5555u + 2048u + 99u);
+}
+
+TEST(Manifest, BadVersionRejected) {
+  auto bytes = SampleManifest().Encode();
+  bytes[0] = 0xFF;  // corrupt the version field
+  EXPECT_THROW(Manifest::Decode(bytes), util::SerializeError);
+}
+
+TEST(Manifest, TruncatedRejected) {
+  auto bytes = SampleManifest().Encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(Manifest::Decode(bytes), util::SerializeError);
+}
+
+TEST(ManifestKeys, StableAndSortable) {
+  EXPECT_EQ(Manifest::JobPrefix("j1"), "jobs/j1/");
+  EXPECT_EQ(Manifest::ManifestKey("j1", 5), "jobs/j1/ckpt/000000000005/MANIFEST");
+  EXPECT_EQ(Manifest::DenseKey("j1", 5), "jobs/j1/ckpt/000000000005/dense");
+  EXPECT_EQ(Manifest::ChunkKey("j1", 5, 2, 3, 4), "jobs/j1/ckpt/000000000005/t2/s3/c4");
+  // Zero-padded ids sort lexicographically in numeric order.
+  EXPECT_LT(Manifest::ManifestKey("j1", 9), Manifest::ManifestKey("j1", 10));
+  EXPECT_LT(Manifest::ManifestKey("j1", 99), Manifest::ManifestKey("j1", 100));
+}
+
+TEST(ManifestKeys, CheckpointPrefixCoversItsObjects) {
+  const auto prefix = Manifest::CheckpointPrefix("job", 7);
+  EXPECT_EQ(Manifest::ManifestKey("job", 7).find(prefix), 0u);
+  EXPECT_EQ(Manifest::DenseKey("job", 7).find(prefix), 0u);
+  EXPECT_EQ(Manifest::ChunkKey("job", 7, 0, 0, 0).find(prefix), 0u);
+}
+
+TEST(Manifest, EmptyManifestRoundTrips) {
+  Manifest m;
+  const Manifest back = Manifest::Decode(m.Encode());
+  EXPECT_EQ(back.checkpoint_id, 0u);
+  EXPECT_EQ(back.kind, CheckpointKind::kFull);
+  EXPECT_TRUE(back.chunks.empty());
+  EXPECT_TRUE(back.reader_state.empty());
+}
+
+}  // namespace
+}  // namespace cnr::storage

@@ -1,0 +1,103 @@
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cnr::storage {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(InMemoryStore, PutGet) {
+  InMemoryStore store;
+  store.Put("a", Bytes("hello"));
+  const auto got = store.Get("a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Bytes("hello"));
+}
+
+TEST(InMemoryStore, GetMissing) {
+  InMemoryStore store;
+  EXPECT_FALSE(store.Get("nope").has_value());
+}
+
+TEST(InMemoryStore, OverwriteReplacesAndAccountsBytes) {
+  InMemoryStore store;
+  store.Put("k", Bytes("aaaa"));
+  EXPECT_EQ(store.TotalBytes(), 4u);
+  store.Put("k", Bytes("bb"));
+  EXPECT_EQ(store.TotalBytes(), 2u);
+  EXPECT_EQ(*store.Get("k"), Bytes("bb"));
+}
+
+TEST(InMemoryStore, DeleteAccountsBytes) {
+  InMemoryStore store;
+  store.Put("k", Bytes("abc"));
+  EXPECT_TRUE(store.Delete("k"));
+  EXPECT_EQ(store.TotalBytes(), 0u);
+  EXPECT_FALSE(store.Delete("k"));
+  EXPECT_FALSE(store.Exists("k"));
+}
+
+TEST(InMemoryStore, ExistsDoesNotCountAsGet) {
+  InMemoryStore store;
+  store.Put("k", Bytes("abc"));
+  EXPECT_TRUE(store.Exists("k"));
+  EXPECT_EQ(store.Stats().gets, 0u);
+}
+
+TEST(InMemoryStore, ListByPrefix) {
+  InMemoryStore store;
+  store.Put("jobs/a/1", Bytes("x"));
+  store.Put("jobs/a/2", Bytes("x"));
+  store.Put("jobs/b/1", Bytes("x"));
+  store.Put("other", Bytes("x"));
+  const auto keys = store.List("jobs/a/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "jobs/a/1");
+  EXPECT_EQ(keys[1], "jobs/a/2");
+  EXPECT_EQ(store.List("").size(), 4u);
+  EXPECT_TRUE(store.List("zzz").empty());
+}
+
+TEST(InMemoryStore, StatsAccumulate) {
+  InMemoryStore store;
+  store.Put("a", Bytes("12345"));
+  store.Put("b", Bytes("678"));
+  (void)store.Get("a");
+  (void)store.Get("missing");
+  store.Delete("b");
+  const auto stats = store.Stats();
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.gets, 2u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.bytes_written, 8u);
+  EXPECT_EQ(stats.bytes_read, 5u);
+}
+
+TEST(InMemoryStore, EmptyValueAllowed) {
+  InMemoryStore store;
+  store.Put("empty", {});
+  ASSERT_TRUE(store.Get("empty").has_value());
+  EXPECT_TRUE(store.Get("empty")->empty());
+}
+
+TEST(InMemoryStore, ConcurrentPutsAllLand) {
+  InMemoryStore store;
+  constexpr int kThreads = 8, kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.Put("t" + std::to_string(t) + "/k" + std::to_string(i), Bytes("v"));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.List("").size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(store.TotalBytes(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace cnr::storage

@@ -1,0 +1,92 @@
+#include "storage/rate_limited_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cnr::storage {
+namespace {
+
+std::vector<std::uint8_t> Zeros(std::size_t n) { return std::vector<std::uint8_t>(n, 0); }
+
+LinkConfig SimpleLink() {
+  LinkConfig cfg;
+  cfg.write_bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s
+  cfg.read_bandwidth_bytes_per_sec = 2000.0;
+  cfg.per_op_latency = util::kMillisecond;
+  cfg.replication = 1;
+  return cfg;
+}
+
+TEST(RateLimitedStore, WriteDurationMath) {
+  RateLimitedStore store(std::make_shared<InMemoryStore>(), SimpleLink());
+  // 1000 bytes at 1000 B/s = 1 s, plus 1 ms latency.
+  EXPECT_EQ(store.WriteDuration(1000), util::kSecond + util::kMillisecond);
+  EXPECT_EQ(store.ReadDuration(1000), util::kSecond / 2 + util::kMillisecond);
+}
+
+TEST(RateLimitedStore, ReplicationMultipliesWireBytes) {
+  auto cfg = SimpleLink();
+  cfg.replication = 3;
+  RateLimitedStore store(std::make_shared<InMemoryStore>(), cfg);
+  EXPECT_EQ(store.WriteDuration(1000), 3 * util::kSecond + util::kMillisecond);
+}
+
+TEST(RateLimitedStore, PutAdvancesLink) {
+  RateLimitedStore store(std::make_shared<InMemoryStore>(), SimpleLink());
+  store.Put("a", Zeros(500));
+  EXPECT_EQ(store.LinkIdleAt(), util::kSecond / 2 + util::kMillisecond);
+  EXPECT_EQ(store.WriteBusyTime(), util::kSecond / 2 + util::kMillisecond);
+  // Data actually lands in the backing store.
+  ASSERT_TRUE(store.Get("a").has_value());
+}
+
+TEST(RateLimitedStore, SequentialPutsQueue) {
+  RateLimitedStore store(std::make_shared<InMemoryStore>(), SimpleLink());
+  store.Put("a", Zeros(1000));
+  store.Put("b", Zeros(1000));
+  EXPECT_EQ(store.LinkIdleAt(), 2 * (util::kSecond + util::kMillisecond));
+}
+
+TEST(RateLimitedStore, AdvanceToDefersTransfers) {
+  RateLimitedStore store(std::make_shared<InMemoryStore>(), SimpleLink());
+  store.AdvanceTo(10 * util::kSecond);
+  store.Put("a", Zeros(1000));
+  EXPECT_EQ(store.LinkIdleAt(), 11 * util::kSecond + util::kMillisecond);
+}
+
+TEST(RateLimitedStore, ReadBusyTracked) {
+  RateLimitedStore store(std::make_shared<InMemoryStore>(), SimpleLink());
+  store.Put("a", Zeros(2000));
+  (void)store.Get("a");
+  EXPECT_EQ(store.ReadBusyTime(), util::kSecond + util::kMillisecond);
+  // Missing objects consume no link time.
+  (void)store.Get("missing");
+  EXPECT_EQ(store.ReadBusyTime(), util::kSecond + util::kMillisecond);
+}
+
+TEST(RateLimitedStore, DelegatesMetadataOps) {
+  auto backing = std::make_shared<InMemoryStore>();
+  RateLimitedStore store(backing, SimpleLink());
+  store.Put("x/1", Zeros(10));
+  store.Put("x/2", Zeros(10));
+  EXPECT_EQ(store.List("x/").size(), 2u);
+  EXPECT_TRUE(store.Exists("x/1"));
+  EXPECT_EQ(store.TotalBytes(), 20u);
+  EXPECT_TRUE(store.Delete("x/1"));
+  EXPECT_EQ(backing->TotalBytes(), 10u);
+}
+
+TEST(RateLimitedStore, InvalidConfigThrows) {
+  auto backing = std::make_shared<InMemoryStore>();
+  LinkConfig bad = SimpleLink();
+  bad.write_bandwidth_bytes_per_sec = 0;
+  EXPECT_THROW(RateLimitedStore(backing, bad), std::invalid_argument);
+  bad = SimpleLink();
+  bad.replication = 0;
+  EXPECT_THROW(RateLimitedStore(backing, bad), std::invalid_argument);
+  EXPECT_THROW(RateLimitedStore(nullptr, SimpleLink()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::storage

@@ -1,0 +1,154 @@
+#include "tensor/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace cnr::tensor {
+namespace {
+
+TEST(Matrix, ShapeAndAccess) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  m.at(2, 3) = 5.0f;
+  EXPECT_EQ(m.at(2, 3), 5.0f);
+  EXPECT_EQ(m.Row(2)[3], 5.0f);
+}
+
+TEST(Matrix, FillAndFlat) {
+  Matrix m(2, 2);
+  m.Fill(1.5f);
+  for (const float v : m.Flat()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(Matrix, KaimingInitBounded) {
+  util::Rng rng(1);
+  Matrix m(16, 64);
+  m.InitKaiming(rng, 64);
+  const float bound = std::sqrt(6.0f / 64.0f);
+  bool any_nonzero = false;
+  for (const float v : m.Flat()) {
+    EXPECT_LE(std::fabs(v), bound);
+    any_nonzero |= (v != 0.0f);
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Matrix, SerializeRoundTrip) {
+  util::Rng rng(2);
+  Matrix m(5, 7);
+  m.InitKaiming(rng, 7);
+  util::Writer w;
+  m.Serialize(w);
+  util::Reader r(w.bytes());
+  EXPECT_EQ(Matrix::Deserialize(r), m);
+}
+
+TEST(MatVec, KnownValues) {
+  Matrix w(2, 3);
+  // w = [[1,2,3],[4,5,6]]
+  float v = 1.0f;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) w.at(r, c) = v++;
+  }
+  const std::vector<float> x = {1.0f, 0.0f, -1.0f};
+  const std::vector<float> b = {0.5f, -0.5f};
+  std::vector<float> y(2);
+  MatVec(w, x, b, y);
+  EXPECT_FLOAT_EQ(y[0], 1.0f - 3.0f + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f - 6.0f - 0.5f);
+}
+
+TEST(MatVec, ShapeMismatchThrows) {
+  Matrix w(2, 3);
+  std::vector<float> x(2), b(2), y(2);
+  EXPECT_THROW(MatVec(w, x, b, y), std::invalid_argument);
+}
+
+// Numerical gradient check for MatVecBackward.
+TEST(MatVecBackward, MatchesNumericalGradient) {
+  util::Rng rng(3);
+  Matrix w(4, 5);
+  w.InitKaiming(rng, 5);
+  std::vector<float> x(5), b(4, 0.0f);
+  for (auto& v : x) v = rng.NextFloat(-1, 1);
+
+  // Scalar loss L = sum(y). dL/dy = ones.
+  const auto loss = [&](const Matrix& wm, const std::vector<float>& xv) {
+    std::vector<float> y(4);
+    MatVec(wm, xv, b, y);
+    float acc = 0;
+    for (const float v : y) acc += v;
+    return acc;
+  };
+
+  Matrix dw(4, 5);
+  std::vector<float> db(4, 0.0f), dx(5, 0.0f);
+  const std::vector<float> dy(4, 1.0f);
+  MatVecBackward(w, x, dy, dx, dw, db);
+
+  const float eps = 1e-3f;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      Matrix wp = w;
+      wp.at(r, c) += eps;
+      Matrix wm = w;
+      wm.at(r, c) -= eps;
+      const float num = (loss(wp, x) - loss(wm, x)) / (2 * eps);
+      EXPECT_NEAR(dw.at(r, c), num, 5e-2) << "dw[" << r << "," << c << "]";
+    }
+  }
+  for (std::size_t c = 0; c < 5; ++c) {
+    auto xp = x, xm = x;
+    xp[c] += eps;
+    xm[c] -= eps;
+    const float num = (loss(w, xp) - loss(w, xm)) / (2 * eps);
+    EXPECT_NEAR(dx[c], num, 5e-2) << "dx[" << c << "]";
+  }
+  for (const float g : db) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+TEST(MatVecBackward, AccumulatesAcrossCalls) {
+  Matrix w(1, 1);
+  w.at(0, 0) = 2.0f;
+  Matrix dw(1, 1);
+  std::vector<float> db(1, 0.0f);
+  const std::vector<float> x = {3.0f}, dy = {1.0f};
+  MatVecBackward(w, x, dy, {}, dw, db);
+  MatVecBackward(w, x, dy, {}, dw, db);
+  EXPECT_FLOAT_EQ(dw.at(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(db[0], 2.0f);
+}
+
+TEST(Relu, ForwardBackward) {
+  std::vector<float> x = {-1.0f, 0.0f, 2.0f};
+  ReluForward(x);
+  EXPECT_EQ(x, (std::vector<float>{0.0f, 0.0f, 2.0f}));
+  std::vector<float> dy = {5.0f, 5.0f, 5.0f};
+  ReluBackward(x, dy);
+  EXPECT_EQ(dy, (std::vector<float>{0.0f, 0.0f, 5.0f}));
+}
+
+TEST(VectorOps, DotAxpyScale) {
+  const std::vector<float> a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 32.0f);
+  std::vector<float> y = {1, 1, 1};
+  Axpy(2.0f, a, y);
+  EXPECT_EQ(y, (std::vector<float>{3, 5, 7}));
+  Scale(y, 0.5f);
+  EXPECT_EQ(y, (std::vector<float>{1.5f, 2.5f, 3.5f}));
+}
+
+TEST(SigmoidFn, KnownValues) {
+  EXPECT_FLOAT_EQ(Sigmoid(0.0f), 0.5f);
+  EXPECT_GT(Sigmoid(10.0f), 0.9999f);
+  EXPECT_LT(Sigmoid(-10.0f), 0.0001f);
+}
+
+}  // namespace
+}  // namespace cnr::tensor

@@ -1,0 +1,156 @@
+#include "tensor/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cnr::tensor {
+namespace {
+
+TEST(EmbeddingTable, ConstructionAndShape) {
+  EmbeddingTable t("emb", 100, 16);
+  EXPECT_EQ(t.name(), "emb");
+  EXPECT_EQ(t.num_rows(), 100u);
+  EXPECT_EQ(t.dim(), 16u);
+  EXPECT_EQ(t.ParameterCount(), 1600u);
+  EXPECT_EQ(t.StateBytes(), 1600u * 4 + 100u * 4);
+}
+
+TEST(EmbeddingTable, EmptyShapeThrows) {
+  EXPECT_THROW(EmbeddingTable("x", 0, 4), std::invalid_argument);
+  EXPECT_THROW(EmbeddingTable("x", 4, 0), std::invalid_argument);
+}
+
+TEST(EmbeddingTable, InitUniformBounded) {
+  util::Rng rng(1);
+  EmbeddingTable t("emb", 50, 8);
+  t.InitUniform(rng);
+  const float bound = 1.0f / 50.0f;
+  for (std::size_t r = 0; r < 50; ++r) {
+    for (const float v : t.Row(r)) EXPECT_LE(std::fabs(v), bound);
+  }
+}
+
+TEST(EmbeddingTable, AdagradUpdateMath) {
+  EmbeddingTable t("emb", 4, 2);
+  // Row starts at zero; adagrad accumulator starts at zero.
+  const std::vector<float> grad = {3.0f, 4.0f};  // mean square = 12.5
+  t.ApplySparseAdagrad(1, grad, /*lr=*/0.1f, /*eps=*/0.0f);
+  EXPECT_FLOAT_EQ(t.AdagradState(1), 12.5f);
+  const float step = 0.1f / std::sqrt(12.5f);
+  EXPECT_FLOAT_EQ(t.Row(1)[0], -step * 3.0f);
+  EXPECT_FLOAT_EQ(t.Row(1)[1], -step * 4.0f);
+
+  // Second update accumulates into the same state.
+  t.ApplySparseAdagrad(1, grad, 0.1f, 0.0f);
+  EXPECT_FLOAT_EQ(t.AdagradState(1), 25.0f);
+}
+
+TEST(EmbeddingTable, AdagradShrinksEffectiveStep) {
+  EmbeddingTable t("emb", 1, 1);
+  const std::vector<float> grad = {1.0f};
+  t.ApplySparseAdagrad(0, grad, 1.0f, 0.0f);
+  const float first_step = -t.Row(0)[0];
+  const float before = t.Row(0)[0];
+  t.ApplySparseAdagrad(0, grad, 1.0f, 0.0f);
+  const float second_step = before - t.Row(0)[0];
+  EXPECT_LT(second_step, first_step);
+}
+
+TEST(EmbeddingTable, UpdateValidation) {
+  EmbeddingTable t("emb", 4, 2);
+  const std::vector<float> good = {1.0f, 1.0f};
+  const std::vector<float> bad = {1.0f};
+  EXPECT_THROW(t.ApplySparseAdagrad(4, good, 0.1f, 0.0f), std::out_of_range);
+  EXPECT_THROW(t.ApplySparseAdagrad(0, bad, 0.1f, 0.0f), std::invalid_argument);
+}
+
+TEST(EmbeddingTable, TrackerObservesModifiedRows) {
+  EmbeddingTable t("emb", 10, 2);
+  std::vector<std::size_t> tracked;
+  t.SetTracker([&](std::size_t r) { tracked.push_back(r); });
+  const std::vector<float> grad = {1.0f, 1.0f};
+  t.ApplySparseAdagrad(3, grad, 0.1f, 0.0f);
+  t.ApplySparseAdagrad(7, grad, 0.1f, 0.0f);
+  t.ApplySparseAdagrad(3, grad, 0.1f, 0.0f);
+  EXPECT_EQ(tracked, (std::vector<std::size_t>{3, 7, 3}));
+
+  t.ClearTracker();
+  t.ApplySparseAdagrad(5, grad, 0.1f, 0.0f);
+  EXPECT_EQ(tracked.size(), 3u);  // no longer observed
+}
+
+TEST(EmbeddingTable, RestoreRowDoesNotTrack) {
+  EmbeddingTable t("emb", 4, 2);
+  int tracked = 0;
+  t.SetTracker([&](std::size_t) { ++tracked; });
+  const std::vector<float> w = {1.0f, 2.0f};
+  t.RestoreRow(2, w, 9.0f);
+  EXPECT_EQ(tracked, 0);  // recovery writes are not "modifications"
+  EXPECT_EQ(t.Row(2)[0], 1.0f);
+  EXPECT_EQ(t.Row(2)[1], 2.0f);
+  EXPECT_EQ(t.AdagradState(2), 9.0f);
+}
+
+TEST(EmbeddingTable, RestoreValidation) {
+  EmbeddingTable t("emb", 4, 2);
+  const std::vector<float> w = {1.0f, 2.0f};
+  const std::vector<float> bad = {1.0f};
+  EXPECT_THROW(t.RestoreRow(4, w, 0.0f), std::out_of_range);
+  EXPECT_THROW(t.RestoreRow(0, bad, 0.0f), std::invalid_argument);
+}
+
+TEST(EmbeddingTable, SerializeRoundTrip) {
+  util::Rng rng(5);
+  EmbeddingTable t("emb/shard3", 33, 7);
+  t.InitUniform(rng);
+  const std::vector<float> grad = {1, 2, 3, 4, 5, 6, 7};
+  t.ApplySparseAdagrad(11, grad, 0.1f, 1e-6f);
+
+  util::Writer w;
+  t.Serialize(w);
+  util::Reader r(w.bytes());
+  const EmbeddingTable back = EmbeddingTable::Deserialize(r);
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.name(), "emb/shard3");
+  EXPECT_EQ(back.AdagradState(11), t.AdagradState(11));
+}
+
+// Property: after K random updates, exactly the touched rows differ from a
+// pristine copy and all others are bit-identical.
+class EmbeddingUpdateSparsityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmbeddingUpdateSparsityTest, OnlyTouchedRowsChange) {
+  const int updates = GetParam();
+  util::Rng rng(updates * 7 + 1);
+  EmbeddingTable t("emb", 64, 4);
+  t.InitUniform(rng);
+  const EmbeddingTable pristine = t;
+
+  std::set<std::size_t> touched;
+  for (int i = 0; i < updates; ++i) {
+    const auto row = rng.NextBounded(64);
+    std::vector<float> grad(4);
+    for (auto& g : grad) g = rng.NextFloat(-1, 1);
+    t.ApplySparseAdagrad(row, grad, 0.05f, 1e-6f);
+    touched.insert(row);
+  }
+  for (std::size_t r = 0; r < 64; ++r) {
+    const bool same_weights =
+        std::equal(t.Row(r).begin(), t.Row(r).end(), pristine.Row(r).begin());
+    const bool same_state = t.AdagradState(r) == pristine.AdagradState(r);
+    if (touched.contains(r)) {
+      EXPECT_FALSE(same_state) << "row " << r;
+    } else {
+      EXPECT_TRUE(same_weights && same_state) << "row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Updates, EmbeddingUpdateSparsityTest,
+                         ::testing::Values(1, 5, 20, 64, 200));
+
+}  // namespace
+}  // namespace cnr::tensor

@@ -1,0 +1,129 @@
+#include "tensor/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cnr::tensor {
+namespace {
+
+TEST(ShardedEmbedding, EvenSplit) {
+  ShardedEmbedding e("emb", 100, 4, 4);
+  EXPECT_EQ(e.num_shards(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(e.Shard(s).num_rows(), 25u);
+  EXPECT_EQ(e.ParameterCount(), 400u);
+}
+
+TEST(ShardedEmbedding, UnevenSplitCoversAllRows) {
+  ShardedEmbedding e("emb", 10, 2, 3);  // 4+4+2
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < e.num_shards(); ++s) total += e.Shard(s).num_rows();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ShardedEmbedding, FewerRowsThanShards) {
+  ShardedEmbedding e("emb", 2, 4, 8);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < e.num_shards(); ++s) total += e.Shard(s).num_rows();
+  EXPECT_EQ(total, 2u);
+  EXPECT_LE(e.num_shards(), 2u);
+}
+
+TEST(ShardedEmbedding, ZeroShardsThrows) {
+  EXPECT_THROW(ShardedEmbedding("emb", 10, 2, 0), std::invalid_argument);
+}
+
+TEST(ShardedEmbedding, LocateRoundTrips) {
+  ShardedEmbedding e("emb", 103, 2, 4);
+  for (std::size_t row = 0; row < 103; ++row) {
+    const auto loc = e.Locate(row);
+    EXPECT_LT(loc.shard, e.num_shards());
+    EXPECT_LT(loc.local_row, e.Shard(loc.shard).num_rows());
+    EXPECT_EQ(e.LogicalRow(loc.shard, loc.local_row), row);
+  }
+}
+
+TEST(ShardedEmbedding, LocateOutOfRangeThrows) {
+  ShardedEmbedding e("emb", 10, 2, 2);
+  EXPECT_THROW(e.Locate(10), std::out_of_range);
+}
+
+TEST(ShardedEmbedding, UpdateRoutesToOwningShard) {
+  util::Rng rng(1);
+  ShardedEmbedding e("emb", 40, 2, 4);
+  e.InitUniform(rng);
+
+  // Track per-shard updates.
+  std::vector<std::vector<std::size_t>> tracked(e.num_shards());
+  for (std::size_t s = 0; s < e.num_shards(); ++s) {
+    e.Shard(s).SetTracker([&tracked, s](std::size_t r) { tracked[s].push_back(r); });
+  }
+
+  const std::vector<float> grad = {1.0f, -1.0f};
+  e.ApplySparseAdagrad(0, grad, 0.1f, 1e-6f);   // shard 0, local 0
+  e.ApplySparseAdagrad(39, grad, 0.1f, 1e-6f);  // last shard, last local
+
+  EXPECT_EQ(tracked[0], (std::vector<std::size_t>{0}));
+  const auto last = e.Locate(39);
+  EXPECT_EQ(tracked[last.shard], (std::vector<std::size_t>{last.local_row}));
+}
+
+TEST(ShardedEmbedding, LookupSeesUpdates) {
+  util::Rng rng(2);
+  ShardedEmbedding e("emb", 16, 4, 4);
+  e.InitUniform(rng);
+  const auto before = std::vector<float>(e.LookupRow(9).begin(), e.LookupRow(9).end());
+  const std::vector<float> grad = {1, 1, 1, 1};
+  e.ApplySparseAdagrad(9, grad, 0.5f, 1e-6f);
+  const auto after = e.LookupRow(9);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LT(after[i], before[i]);
+}
+
+TEST(ShardedEmbedding, ShardNamesAreDistinct) {
+  ShardedEmbedding e("tbl", 20, 2, 4);
+  std::set<std::string> names;
+  for (std::size_t s = 0; s < e.num_shards(); ++s) names.insert(e.Shard(s).name());
+  EXPECT_EQ(names.size(), e.num_shards());
+}
+
+// Property: logical view through shards equals a monolithic table given the
+// same update sequence.
+class ShardingEquivalenceTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardingEquivalenceTest, MatchesMonolithicTable) {
+  const std::size_t num_shards = GetParam();
+  constexpr std::size_t kRows = 57, kDim = 3;
+  util::Rng rng(num_shards * 13 + 5);
+
+  ShardedEmbedding sharded("emb", kRows, kDim, num_shards);
+  EmbeddingTable mono("mono", kRows, kDim);
+  // Identical initial contents.
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::vector<float> row(kDim);
+    for (auto& v : row) v = rng.NextFloat(-0.1f, 0.1f);
+    mono.RestoreRow(r, row, 0.0f);
+    const auto loc = sharded.Locate(r);
+    sharded.Shard(loc.shard).RestoreRow(loc.local_row, row, 0.0f);
+  }
+
+  for (int i = 0; i < 300; ++i) {
+    const auto row = rng.NextBounded(kRows);
+    std::vector<float> grad(kDim);
+    for (auto& g : grad) g = rng.NextFloat(-1, 1);
+    mono.ApplySparseAdagrad(row, grad, 0.05f, 1e-6f);
+    sharded.ApplySparseAdagrad(row, grad, 0.05f, 1e-6f);
+  }
+
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const auto got = sharded.LookupRow(r);
+    const auto want = mono.Row(r);
+    for (std::size_t d = 0; d < kDim; ++d) EXPECT_EQ(got[d], want[d]) << "row " << r;
+    const auto loc = sharded.Locate(r);
+    EXPECT_EQ(sharded.Shard(loc.shard).AdagradState(loc.local_row), mono.AdagradState(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardingEquivalenceTest, ::testing::Values(1, 2, 3, 8, 57));
+
+}  // namespace
+}  // namespace cnr::tensor

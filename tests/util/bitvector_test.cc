@@ -1,0 +1,211 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cnr::util {
+namespace {
+
+TEST(BitVector, StartsCleared) {
+  BitVector bv(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_TRUE(bv.None());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bv.Test(i));
+}
+
+TEST(BitVector, SetAndTest) {
+  BitVector bv(130);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(63));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(129));
+  EXPECT_FALSE(bv.Test(1));
+  EXPECT_FALSE(bv.Test(128));
+  EXPECT_EQ(bv.Count(), 4u);
+}
+
+TEST(BitVector, ClearAndAssign) {
+  BitVector bv(10);
+  bv.Set(3);
+  bv.Clear(3);
+  EXPECT_FALSE(bv.Test(3));
+  bv.Assign(5, true);
+  EXPECT_TRUE(bv.Test(5));
+  bv.Assign(5, false);
+  EXPECT_FALSE(bv.Test(5));
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector bv(64);
+  EXPECT_THROW(bv.Set(64), std::out_of_range);
+  EXPECT_THROW(bv.Test(64), std::out_of_range);
+  EXPECT_THROW(bv.Clear(100), std::out_of_range);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector bv(70);  // partial last word
+  bv.SetAll();
+  EXPECT_EQ(bv.Count(), 70u);
+  bv.ClearAll();
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitVector, Density) {
+  BitVector bv(200);
+  for (std::size_t i = 0; i < 50; ++i) bv.Set(i);
+  EXPECT_DOUBLE_EQ(bv.Density(), 0.25);
+  EXPECT_DOUBLE_EQ(BitVector().Density(), 0.0);
+}
+
+TEST(BitVector, UnionIntersectionSubtract) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  b.Set(127);
+
+  BitVector u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3u);
+  EXPECT_TRUE(u.Test(1) && u.Test(70) && u.Test(127));
+
+  BitVector n = a;
+  n &= b;
+  EXPECT_EQ(n.Count(), 1u);
+  EXPECT_TRUE(n.Test(70));
+
+  BitVector d = a;
+  d.Subtract(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a.Subtract(b), std::invalid_argument);
+}
+
+TEST(BitVector, FindNext) {
+  BitVector bv(200);
+  bv.Set(5);
+  bv.Set(64);
+  bv.Set(199);
+  EXPECT_EQ(bv.FindNext(0), 5u);
+  EXPECT_EQ(bv.FindNext(5), 5u);
+  EXPECT_EQ(bv.FindNext(6), 64u);
+  EXPECT_EQ(bv.FindNext(65), 199u);
+  EXPECT_EQ(bv.FindNext(200), BitVector::npos);
+  BitVector empty(64);
+  EXPECT_EQ(empty.FindNext(0), BitVector::npos);
+}
+
+TEST(BitVector, ForEachSetAscending) {
+  BitVector bv(300);
+  const std::vector<std::size_t> expected = {0, 63, 64, 65, 128, 299};
+  for (const auto i : expected) bv.Set(i);
+  std::vector<std::size_t> seen;
+  bv.ForEachSet([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVector, ToIndicesMatchesForEach) {
+  Rng rng(7);
+  BitVector bv(1000);
+  for (int i = 0; i < 100; ++i) bv.Set(rng.NextBounded(1000));
+  const auto idx = bv.ToIndices();
+  EXPECT_EQ(idx.size(), bv.Count());
+  for (const auto i : idx) EXPECT_TRUE(bv.Test(i));
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+}
+
+TEST(BitVector, Resize) {
+  BitVector bv(10);
+  bv.Set(9);
+  bv.Resize(100);
+  EXPECT_TRUE(bv.Test(9));
+  EXPECT_EQ(bv.Count(), 1u);
+  bv.Set(99);
+  bv.Resize(50);
+  EXPECT_EQ(bv.Count(), 1u);  // bit 99 trimmed
+}
+
+TEST(BitVector, SerializeRoundTrip) {
+  Rng rng(11);
+  BitVector bv(777);
+  for (int i = 0; i < 200; ++i) bv.Set(rng.NextBounded(777));
+  Writer w;
+  bv.Serialize(w);
+  EXPECT_EQ(w.size(), bv.ByteSize());
+  Reader r(w.bytes());
+  const BitVector back = BitVector::Deserialize(r);
+  EXPECT_EQ(back, bv);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BitVector, EqualityIgnoresNothing) {
+  BitVector a(65), b(65);
+  EXPECT_EQ(a, b);
+  a.Set(64);
+  EXPECT_FALSE(a == b);
+  b.Set(64);
+  EXPECT_EQ(a, b);
+}
+
+// Property sweep: Count() equals a reference scalar count across sizes and
+// densities, including word-boundary sizes.
+class BitVectorPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorPropertyTest, CountMatchesReference) {
+  const std::size_t size = GetParam();
+  Rng rng(size * 2654435761u + 1);
+  BitVector bv(size);
+  std::vector<bool> ref(size, false);
+  const std::size_t flips = size / 2 + 1;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto pos = rng.NextBounded(size);
+    if (rng.NextBool(0.3)) {
+      bv.Clear(pos);
+      ref[pos] = false;
+    } else {
+      bv.Set(pos);
+      ref[pos] = true;
+    }
+  }
+  std::size_t expected = 0;
+  for (const bool b : ref) expected += b ? 1 : 0;
+  EXPECT_EQ(bv.Count(), expected);
+  // ForEachSet visits exactly the reference-set bits.
+  std::size_t visited = 0;
+  bv.ForEachSet([&](std::size_t i) {
+    EXPECT_TRUE(ref[i]);
+    ++visited;
+  });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST_P(BitVectorPropertyTest, SerializePreservesAllBits) {
+  const std::size_t size = GetParam();
+  Rng rng(size + 99);
+  BitVector bv(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.NextBool(0.37)) bv.Set(i);
+  }
+  Writer w;
+  bv.Serialize(w);
+  Reader r(w.bytes());
+  EXPECT_EQ(BitVector::Deserialize(r), bv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorPropertyTest,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129, 1000, 4096));
+
+}  // namespace
+}  // namespace cnr::util

@@ -1,0 +1,56 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace cnr::util {
+namespace {
+
+std::uint32_t CrcOf(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+TEST(Crc32c, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(CrcOf(""), 0x00000000u);
+  EXPECT_EQ(CrcOf("123456789"), 0xE3069283u);
+  EXPECT_EQ(CrcOf("a"), 0xC1D04330u);
+  // 32 bytes of zeros (RFC 3720 appendix B.4).
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  // 32 bytes of 0xFF.
+  const std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32c, SensitiveToEveryBit) {
+  Rng rng(1);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  const std::uint32_t base = Crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupted = data;
+      corrupted[i] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(Crc32c(corrupted), base) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  const std::uint32_t whole = Crc32c(data);
+  const std::uint32_t first = Crc32c(std::span(data).subspan(0, 400));
+  const std::uint32_t chained = Crc32c(std::span(data).subspan(400), first);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32c, OrderMatters) {
+  EXPECT_NE(CrcOf("ab"), CrcOf("ba"));
+}
+
+}  // namespace
+}  // namespace cnr::util

@@ -1,0 +1,170 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace cnr::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBoundedInRange) {
+  Rng rng(5);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(Rng, NextBoundedZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.NextBounded(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBoundedRoughlyUniform) {
+  Rng rng(17);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(77);
+  Rng child = parent.Fork();
+  // Child continues differently from parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, SamplesInRange) {
+  Rng rng(3);
+  ZipfSampler zipf(1000, 1.1);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+TEST(Zipf, SkewFavorsSmallIds) {
+  Rng rng(13);
+  ZipfSampler zipf(100000, 1.2);
+  constexpr int kDraws = 50000;
+  int head = 0;  // draws landing in the first 1% of ids
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(rng) < 1000) ++head;
+  }
+  // With s=1.2 the head carries well over half the mass.
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.5);
+}
+
+TEST(Zipf, HigherSkewConcentratesMore) {
+  Rng rng1(21), rng2(21);
+  ZipfSampler mild(10000, 0.8), heavy(10000, 1.5);
+  constexpr int kDraws = 30000;
+  int mild_head = 0, heavy_head = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (mild.Sample(rng1) < 100) ++mild_head;
+    if (heavy.Sample(rng2) < 100) ++heavy_head;
+  }
+  EXPECT_GT(heavy_head, mild_head);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Rng rng(1);
+  ZipfSampler zipf(1, 1.1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(Zipf, ExponentOneHandled) {
+  Rng rng(2);
+  ZipfSampler zipf(1000, 1.0);  // pole nudged internally
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 1000u);
+}
+
+TEST(SampleWithoutReplacement, DistinctAndInRange) {
+  Rng rng(8);
+  const auto picks = SampleWithoutReplacement(rng, 100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(SampleWithoutReplacement, FullRange) {
+  Rng rng(8);
+  const auto picks = SampleWithoutReplacement(rng, 10, 10);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SampleWithoutReplacement, KGreaterThanNThrows) {
+  Rng rng(8);
+  EXPECT_THROW(SampleWithoutReplacement(rng, 5, 6), std::invalid_argument);
+}
+
+// Parameterized distribution check: every element appears with roughly equal
+// probability across repeated draws.
+class SwrUniformityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwrUniformityTest, MarginalsUniform) {
+  const std::uint64_t k = GetParam();
+  constexpr std::uint64_t kN = 20;
+  constexpr int kTrials = 8000;
+  Rng rng(k * 31 + 5);
+  std::vector<int> counts(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (const auto p : SampleWithoutReplacement(rng, kN, k)) ++counts[p];
+  }
+  const double expected = static_cast<double>(kTrials) * k / kN;
+  for (const int c : counts) EXPECT_NEAR(c, expected, expected * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SwrUniformityTest, ::testing::Values(1, 5, 10, 19));
+
+}  // namespace
+}  // namespace cnr::util

@@ -1,0 +1,119 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace cnr::util {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  Writer w;
+  w.Put<std::uint8_t>(0xAB);
+  w.Put<std::int32_t>(-12345);
+  w.Put<std::uint64_t>(0xDEADBEEFCAFEBABEull);
+  w.Put<float>(3.25f);
+  w.Put<double>(-2.5);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.Get<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(r.Get<std::int32_t>(), -12345);
+  EXPECT_EQ(r.Get<std::uint64_t>(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(r.Get<float>(), 3.25f);
+  EXPECT_EQ(r.Get<double>(), -2.5);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Writer w;
+  w.PutString("");
+  w.PutString("hello world");
+  std::string with_nul("a\0b", 3);
+  w.PutString(with_nul);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_EQ(r.GetString(), "hello world");
+  EXPECT_EQ(r.GetString(), with_nul);
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  Writer w;
+  const std::vector<float> floats = {1.0f, -2.5f, 3.75f};
+  const std::vector<std::uint32_t> empty;
+  w.PutVector(floats);
+  w.PutVector(empty);
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.GetVector<float>(), floats);
+  EXPECT_TRUE(r.GetVector<std::uint32_t>().empty());
+}
+
+TEST(Serialize, VarintRoundTrip) {
+  Writer w;
+  const std::vector<std::uint64_t> values = {0,    1,    127,        128,
+                                             300,  16384, 1ull << 32, ~0ull};
+  for (const auto v : values) w.PutVarint(v);
+  Reader r(w.bytes());
+  for (const auto v : values) EXPECT_EQ(r.GetVarint(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, VarintCompactForSmallValues) {
+  Writer w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarint(300);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(Serialize, UnderrunThrows) {
+  Writer w;
+  w.Put<std::uint32_t>(7);
+  Reader r(w.bytes());
+  (void)r.Get<std::uint32_t>();
+  EXPECT_THROW(r.Get<std::uint8_t>(), SerializeError);
+}
+
+TEST(Serialize, CorruptStringLengthThrows) {
+  Writer w;
+  w.Put<std::uint32_t>(1000);  // claims 1000 bytes, provides none
+  Reader r(w.bytes());
+  EXPECT_THROW(r.GetString(), SerializeError);
+}
+
+TEST(Serialize, CorruptVectorLengthThrows) {
+  Writer w;
+  w.Put<std::uint64_t>(~0ull);  // absurd element count
+  Reader r(w.bytes());
+  EXPECT_THROW(r.GetVector<double>(), SerializeError);
+}
+
+TEST(Serialize, BytesAndPosition) {
+  Writer w;
+  w.PutBytes("abc", 3);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 3u);
+  char buf[3];
+  r.GetBytes(buf, 3);
+  EXPECT_EQ(std::memcmp(buf, "abc", 3), 0);
+  EXPECT_EQ(r.position(), 3u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serialize, TakeBytesMoves) {
+  Writer w;
+  w.Put<std::uint32_t>(1);
+  auto bytes = w.TakeBytes();
+  EXPECT_EQ(bytes.size(), 4u);
+}
+
+TEST(Serialize, ReserveConstructor) {
+  Writer w(1024);
+  EXPECT_EQ(w.size(), 0u);
+  w.Put<std::uint64_t>(1);
+  EXPECT_EQ(w.size(), 8u);
+}
+
+}  // namespace
+}  // namespace cnr::util

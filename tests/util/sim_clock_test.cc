@@ -1,0 +1,64 @@
+#include "util/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace cnr::util {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(5 * kSecond);
+  clock.Advance(30 * kMinute);
+  EXPECT_EQ(clock.now(), 5 * kSecond + 30 * kMinute);
+}
+
+TEST(SimClock, AdvanceToMonotonic) {
+  SimClock clock;
+  clock.AdvanceTo(kHour);
+  EXPECT_EQ(clock.now(), kHour);
+  EXPECT_THROW(clock.AdvanceTo(kMinute), std::invalid_argument);
+  EXPECT_THROW(clock.Advance(-1), std::invalid_argument);
+}
+
+TEST(SimClock, Reset) {
+  SimClock clock;
+  clock.Advance(kHour);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(SimClock, UnitRelations) {
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+}
+
+TEST(ThroughputModel, SamplesToTime) {
+  ThroughputModel model(500000.0);  // paper's 500K QPS
+  EXPECT_EQ(model.TimeForSamples(500000), kSecond);
+  EXPECT_EQ(model.TimeForSamples(0), 0);
+  // 30 minutes of training at 500K QPS = 900M samples.
+  EXPECT_EQ(model.SamplesForTime(30 * kMinute), 900000000ull);
+}
+
+TEST(ThroughputModel, RoundTripApprox) {
+  ThroughputModel model(12345.0);
+  const std::uint64_t samples = 999999;
+  const auto t = model.TimeForSamples(samples);
+  EXPECT_NEAR(static_cast<double>(model.SamplesForTime(t)), static_cast<double>(samples),
+              2.0);
+}
+
+TEST(ThroughputModel, RejectsBadQps) {
+  EXPECT_THROW(ThroughputModel(0.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputModel(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::util

@@ -1,0 +1,125 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cnr::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (const double x : xs) s.Add(x);
+  double mean = 0;
+  for (const double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream) {
+  Rng rng(4);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian() * 3 + 1;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 5.0);
+}
+
+TEST(QuantileSketch, ExactQuantiles) {
+  QuantileSketch q;
+  for (int i = 1; i <= 100; ++i) q.Add(i);
+  EXPECT_NEAR(q.Quantile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(q.Quantile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(q.Quantile(0.5), 50.5, 1e-12);
+  EXPECT_NEAR(q.Quantile(0.9), 90.1, 1e-9);
+}
+
+TEST(QuantileSketch, CdfMatchesRank) {
+  QuantileSketch q;
+  for (int i = 1; i <= 10; ++i) q.Add(i);
+  EXPECT_DOUBLE_EQ(q.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(q.Cdf(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(q.Cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Cdf(100.0), 1.0);
+}
+
+TEST(QuantileSketch, EmptyThrows) {
+  QuantileSketch q;
+  EXPECT_THROW(q.Quantile(0.5), std::logic_error);
+  EXPECT_THROW(q.Cdf(1.0), std::logic_error);
+}
+
+TEST(QuantileSketch, BadQuantileThrows) {
+  QuantileSketch q;
+  q.Add(1.0);
+  EXPECT_THROW(q.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(q.Quantile(1.1), std::invalid_argument);
+}
+
+TEST(QuantileSketch, InterleavedAddAndQuery) {
+  QuantileSketch q;
+  q.Add(3.0);
+  q.Add(1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  q.Add(0.0);  // re-sorts lazily
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 0.0);
+}
+
+TEST(Histogram, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.0);
+  h.Add(9.999);
+  h.Add(5.0);
+  h.Add(-1.0);   // underflow
+  h.Add(10.0);   // overflow (hi is exclusive)
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(9), 1u);
+  EXPECT_EQ(h.BucketCount(5), 1u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(5), 5.0);
+}
+
+TEST(Histogram, BadRangeThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::util

@@ -1,0 +1,87 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace cnr::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.Submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.Submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "should not run"; });
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> n{0};
+  pool.ParallelFor(3, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 3);
+}
+
+TEST(ThreadPool, DrainWaitsForQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, SubmitReturnsValueTypes) {
+  ThreadPool pool(2);
+  auto fs = pool.Submit([] { return std::string("hello"); });
+  EXPECT_EQ(fs.get(), "hello");
+  auto fv = pool.Submit([] { return std::vector<int>{1, 2, 3}; });
+  EXPECT_EQ(fv.get().size(), 3u);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorker) {
+  ThreadPool pool(4);
+  auto outer = pool.Submit([&] {
+    auto inner = pool.Submit([] { return 7; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 8);
+}
+
+}  // namespace
+}  // namespace cnr::util

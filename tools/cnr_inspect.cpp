@@ -1,0 +1,138 @@
+// cnr_inspect — inspect a Check-N-Run checkpoint store on disk.
+//
+// Usage:
+//   cnr_inspect <store-dir>                  list jobs and their checkpoints
+//   cnr_inspect <store-dir> <job>            describe a job's checkpoints
+//   cnr_inspect <store-dir> <job> <ckpt-id>  dump one manifest in detail
+//
+// Works on any directory written through storage::FileStore (see
+// examples/durable_checkpoints.cpp). Read-only.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/recovery.h"
+#include "storage/file_store.h"
+#include "storage/manifest.h"
+
+using namespace cnr;
+
+namespace {
+
+const char* KindName(storage::CheckpointKind kind) {
+  return kind == storage::CheckpointKind::kFull ? "full" : "incremental";
+}
+
+std::set<std::string> ListJobs(storage::ObjectStore& store) {
+  std::set<std::string> jobs;
+  for (const auto& key : store.List("jobs/")) {
+    const auto rest = key.substr(5);
+    const auto slash = rest.find('/');
+    if (slash != std::string::npos) jobs.insert(rest.substr(0, slash));
+  }
+  return jobs;
+}
+
+std::set<std::uint64_t> ListCheckpoints(storage::ObjectStore& store, const std::string& job) {
+  std::set<std::uint64_t> ids;
+  for (const auto& key : store.List(storage::Manifest::JobPrefix(job) + "ckpt/")) {
+    if (key.ends_with("MANIFEST")) {
+      const auto tail = key.substr(0, key.size() - 9);
+      ids.insert(std::stoull(tail.substr(tail.find_last_of('/') + 1)));
+    }
+  }
+  return ids;
+}
+
+void DescribeJob(storage::ObjectStore& store, const std::string& job) {
+  const auto ids = ListCheckpoints(store, job);
+  if (ids.empty()) {
+    std::printf("job %s: no checkpoints\n", job.c_str());
+    return;
+  }
+  std::printf("job %s: %zu checkpoint(s)\n", job.c_str(), ids.size());
+  std::printf("%8s %-12s %8s %10s %12s %10s %8s\n", "id", "kind", "parent", "batches",
+              "bytes", "chunks", "quant");
+  for (const auto id : ids) {
+    const auto m = core::LoadManifest(store, job, id);
+    std::printf("%8llu %-12s %8llu %10llu %12llu %10zu %5db/%s\n",
+                static_cast<unsigned long long>(m.checkpoint_id), KindName(m.kind),
+                static_cast<unsigned long long>(m.parent_id),
+                static_cast<unsigned long long>(m.batches_trained),
+                static_cast<unsigned long long>(m.TotalBytes()), m.chunks.size(),
+                m.quant.method == quant::Method::kNone ? 32 : m.quant.bits,
+                quant::MethodName(m.quant.method).c_str());
+  }
+  const auto latest = *core::LatestCheckpointId(store, job);
+  const auto chain = core::ResolveChain(store, job, latest);
+  std::printf("recovery chain for latest (%llu):", static_cast<unsigned long long>(latest));
+  for (const auto id : chain) std::printf(" %llu", static_cast<unsigned long long>(id));
+  std::printf("\n");
+}
+
+void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
+                        std::uint64_t id) {
+  const auto m = core::LoadManifest(store, job, id);
+  std::printf("checkpoint %llu of job %s\n", static_cast<unsigned long long>(id),
+              job.c_str());
+  std::printf("  kind:            %s\n", KindName(m.kind));
+  if (m.kind == storage::CheckpointKind::kIncremental) {
+    std::printf("  parent:          %llu\n", static_cast<unsigned long long>(m.parent_id));
+  }
+  std::printf("  trainer:         %llu batches / %llu samples\n",
+              static_cast<unsigned long long>(m.batches_trained),
+              static_cast<unsigned long long>(m.samples_trained));
+  std::printf("  quantization:    %s, %d bits (bins=%d ratio=%.2f)\n",
+              quant::MethodName(m.quant.method).c_str(), m.quant.bits, m.quant.num_bins,
+              m.quant.ratio);
+  std::printf("  dense blob:      %llu bytes (%s)\n",
+              static_cast<unsigned long long>(m.dense_bytes), m.dense_key.c_str());
+  std::printf("  reader state:    %zu bytes\n", m.reader_state.size());
+
+  // Per (table, shard) chunk breakdown.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<std::uint64_t, std::uint64_t>>
+      per_shard;  // (table,shard) -> (rows, bytes)
+  for (const auto& c : m.chunks) {
+    auto& [rows, bytes] = per_shard[{c.table_id, c.shard_id}];
+    rows += c.num_rows;
+    bytes += c.bytes;
+  }
+  std::printf("  chunks:          %zu across %zu shard(s)\n", m.chunks.size(),
+              per_shard.size());
+  for (const auto& [key, val] : per_shard) {
+    std::printf("    table %u shard %u: %llu rows, %llu bytes\n", key.first, key.second,
+                static_cast<unsigned long long>(val.first),
+                static_cast<unsigned long long>(val.second));
+  }
+  std::printf("  total bytes:     %llu\n", static_cast<unsigned long long>(m.TotalBytes()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 4) {
+    std::fprintf(stderr, "usage: %s <store-dir> [job] [checkpoint-id]\n", argv[0]);
+    return 2;
+  }
+  try {
+    storage::FileStore store(argv[1]);
+    if (argc == 2) {
+      const auto jobs = ListJobs(store);
+      if (jobs.empty()) {
+        std::printf("no jobs under %s\n", argv[1]);
+        return 0;
+      }
+      for (const auto& job : jobs) DescribeJob(store, job);
+    } else if (argc == 3) {
+      DescribeJob(store, argv[2]);
+    } else {
+      DescribeCheckpoint(store, argv[2], std::strtoull(argv[3], nullptr, 10));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
