@@ -1,11 +1,19 @@
 #include "core/checknrun.h"
 
-#include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace cnr::core {
+
+namespace {
+
+std::chrono::microseconds Us(std::uint64_t us) {
+  return std::chrono::microseconds(static_cast<std::int64_t>(us));
+}
+
+}  // namespace
 
 CheckNRun::CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader,
                      std::shared_ptr<storage::ObjectStore> store, CheckNRunConfig config)
@@ -18,14 +26,31 @@ CheckNRun::CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader,
       pool_(cfg_.pipeline_threads) {
   if (!store_) throw std::invalid_argument("CheckNRun: null store");
   if (cfg_.interval_batches == 0) throw std::invalid_argument("CheckNRun: empty interval");
+  if (cfg_.max_inflight_checkpoints == 0) {
+    throw std::invalid_argument("CheckNRun: max_inflight_checkpoints == 0");
+  }
+
+  storage::RetryPolicy retry_policy;
+  retry_policy.max_attempts = cfg_.put_attempts;
+  retry_store_ = std::make_shared<storage::RetryingStore>(store_, retry_policy);
+
+  pipeline::PipelineConfig pcfg;
+  pcfg.encode_threads = cfg_.encode_threads ? cfg_.encode_threads : cfg_.pipeline_threads;
+  pcfg.store_threads = cfg_.store_threads ? cfg_.store_threads : cfg_.pipeline_threads;
+  pcfg.queue_capacity = cfg_.queue_capacity;
+  pcfg.max_inflight_checkpoints = cfg_.max_inflight_checkpoints;
+  pipeline_ = std::make_unique<pipeline::CheckpointPipeline>(retry_store_, pcfg);
 }
 
 CheckNRun::~CheckNRun() {
-  try {
-    Drain();
-  } catch (...) {
-    // Destructor must not throw; a failed background write is already the
-    // caller's problem if they Drain() explicitly.
+  // Consume every outstanding ticket; a failed background write is already
+  // the caller's problem if they Drain() explicitly, and the destructor must
+  // not throw.
+  while (!tickets_.empty()) {
+    try {
+      Drain();
+    } catch (...) {
+    }
   }
 }
 
@@ -60,16 +85,45 @@ void CheckNRun::SetNextCheckpointId(std::uint64_t next_id) {
   next_checkpoint_id_ = next_id;
 }
 
-void CheckNRun::Drain() {
-  if (!pending_write_.valid()) return;
-  const WriteResult result = pending_write_.get();
-  IntervalStats stats = *pending_stats_;
-  pending_stats_.reset();
+void CheckNRun::FinalizeFrontTicket() {
+  // Pop before get(): if the write failed, the ticket is already retired and
+  // the failure cannot poison the next interval's stats.
+  PendingTicket ticket = std::move(tickets_.front());
+  tickets_.pop_front();
+  WriteResult result;
+  try {
+    result = ticket.future.get();
+  } catch (...) {
+    // The failed checkpoint may be a parent of future incrementals; force
+    // the policy to re-baseline so checkpointing recovers on its own.
+    policy_.OnCheckpointFailed();
+    throw;
+  }
+
+  IntervalStats stats = ticket.stats;
   stats.bytes_written = result.bytes_written;
   stats.rows_written = result.rows_written;
-  stats.encode_wall = result.encode_wall;
+  stats.stall_wall = Us(result.timings.snapshot_us);
+  stats.encode_wall = Us(result.timings.encode_us);
+  stats.plan_wall = Us(result.timings.plan_us);
+  stats.store_wall = Us(result.timings.store_us);
+  stats.commit_wall = Us(result.timings.commit_us);
+  stats.encode_queue_wall = Us(result.timings.encode_queue_us);
+  stats.store_queue_wall = Us(result.timings.store_queue_us);
+  stats.write_wall = result.write_wall;
   stats.store_bytes = store_->TotalBytes();  // occupancy after GC
   completed_.push_back(stats);
+}
+
+void CheckNRun::ReapCompletedTickets() {
+  while (!tickets_.empty() && tickets_.front().future.wait_for(std::chrono::seconds(0)) ==
+                                  std::future_status::ready) {
+    FinalizeFrontTicket();
+  }
+}
+
+void CheckNRun::Drain() {
+  while (!tickets_.empty()) FinalizeFrontTicket();
 }
 
 void CheckNRun::Step() {
@@ -88,48 +142,52 @@ void CheckNRun::Step() {
   const auto train_wall = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - train_start);
 
+  // Finalize whatever already finished so completed() stays fresh without
+  // blocking; the §4.3 non-overlap wait (if any) happens inside the
+  // pipeline's admission gate during Submit below. Reaping happens BEFORE
+  // the dirty harvest: a failed write rethrows from here, and the interval's
+  // dirty bits must stay accumulated in the tracker (not be lost in an
+  // unwound local) so no modified row ever goes missing from a later plan.
+  ReapCompletedTickets();
+
   auto interval_dirty = tracker_.HarvestInterval();
   const double dirty_fraction = static_cast<double>(CountDirtyRows(interval_dirty)) /
                                 static_cast<double>(CountTotalRows(model_));
-
-  // Non-overlap rule (§4.3): finish the previous background write (and
-  // finalize its stats) before creating a new snapshot.
-  Drain();
 
   // Gap-free reader state: the trainer consumed every allowed batch, so the
   // reader is quiescent and its state matches the trainer exactly (§4.1).
   const data::ReaderState reader_state = reader_.CollectState();
 
-  // Stall training only for the in-memory snapshot (§4.2).
-  ModelSnapshot snap = CreateSnapshot(model_, batches_trained_, samples_trained_, &pool_);
-
   const std::uint64_t id = next_checkpoint_id_++;
   CheckpointPlan plan = policy_.Plan(id, std::move(interval_dirty));
-
-  WriterConfig wcfg;
-  wcfg.job = cfg_.job;
-  wcfg.chunk_rows = cfg_.chunk_rows;
-  wcfg.quant = EffectiveQuantConfig();
-  wcfg.put_attempts = cfg_.put_attempts;
 
   IntervalStats stats;
   stats.checkpoint_id = id;
   stats.kind = plan.kind;
   stats.dirty_fraction = dirty_fraction;
   stats.mean_loss = interval_metrics.MeanLoss();
-  stats.stall_wall = snap.stall_wall;
   stats.train_wall = train_wall;
-  pending_stats_ = stats;
 
-  // Steps 2-3 run in the background; training the next interval overlaps.
-  pending_write_ = std::async(
-      std::launch::async,
-      [this, snap = std::move(snap), plan = std::move(plan), wcfg, id,
-       rs = reader_state.Encode()]() mutable {
-        auto result = WriteCheckpoint(*store_, snap, plan, wcfg, id, rs, &pool_);
-        if (cfg_.gc) GarbageCollectJob(*store_, cfg_.job, cfg_.keep_checkpoints);
-        return result;
-      });
+  pipeline::CheckpointRequest req;
+  req.checkpoint_id = id;
+  req.writer.job = cfg_.job;
+  req.writer.chunk_rows = cfg_.chunk_rows;
+  req.writer.quant = EffectiveQuantConfig();
+  req.plan = std::move(plan);
+  req.reader_state = reader_state.Encode();
+  req.snapshot_fn = [this] {
+    // Stall training only for the in-memory snapshot (§4.2); runs on this
+    // (trainer) thread once the pipeline admits the checkpoint.
+    return CreateSnapshot(model_, batches_trained_, samples_trained_, &pool_);
+  };
+  if (cfg_.gc) {
+    req.post_commit = [this] {
+      GarbageCollectJob(*retry_store_, cfg_.job, cfg_.keep_checkpoints);
+    };
+  }
+
+  auto future = pipeline_->Submit(std::move(req));
+  tickets_.push_back(PendingTicket{stats, std::move(future)});
 }
 
 std::vector<IntervalStats> CheckNRun::Run(std::size_t intervals) {

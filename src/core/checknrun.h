@@ -1,30 +1,37 @@
 // Check-N-Run controller — the public facade of the checkpointing system
 // (paper §4, Fig 7).
 //
-// The controller owns the checkpoint workflow:
-//   1. tell the reader master exactly how many batches to produce this
+// The controller is a thin coordinator around the staged checkpoint pipeline
+// (core/pipeline/pipeline.h). Per interval it:
+//   1. tells the reader master exactly how many batches to produce this
 //      interval (gap-free reader/trainer coordination, §4.1),
-//   2. train those batches while tracking modified embedding rows (§5.1.1),
-//   3. at interval end: collect reader state, stall training just long
-//      enough to snapshot the model into host memory (§4.2),
-//   4. hand the snapshot to the incremental policy + quantizing writer
-//      running on background threads (§5), pipelined chunk-by-chunk to the
-//      object store — while the next interval trains,
-//   5. once the manifest is stored, declare the checkpoint valid and
-//      garbage-collect checkpoints no longer needed for recovery (§4.4).
+//   2. trains those batches while tracking modified embedding rows (§5.1.1),
+//   3. asks the incremental policy what the checkpoint should contain (§5.1),
+//   4. submits the interval to the pipeline, which stalls training only for
+//      the in-memory snapshot (§4.2) and then quantizes, stores, and commits
+//      on background stage workers while the next interval trains,
+//   5. when a checkpoint's future resolves, finalizes its IntervalStats and
+//      lets the pipeline's commit stage garbage-collect checkpoints no longer
+//      needed for recovery (§4.4).
 //
-// Two consecutive checkpoints never overlap: a new snapshot waits for the
-// previous background write to finish (§4.3). Training, however, continues
-// during the background write — that is the decoupling.
+// Overlap policy: by default two consecutive checkpoints never overlap — the
+// pipeline admits a new snapshot only after the previous write committed
+// (§4.3). Setting max_inflight_checkpoints > 1 relaxes this to a bounded
+// number of concurrent checkpoint writes; commits still land in submission
+// order, so recovery semantics are unchanged.
+//
+// Transient storage faults are absorbed by a storage::RetryingStore decorator
+// the controller wraps around the caller's store (put_attempts deep).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "core/pipeline/pipeline.h"
 #include "core/policy.h"
 #include "core/recovery.h"
 #include "core/snapshot.h"
@@ -35,6 +42,7 @@
 #include "dlrm/model.h"
 #include "quant/selector.h"
 #include "storage/object_store.h"
+#include "storage/retrying_store.h"
 #include "util/threadpool.h"
 
 namespace cnr::core {
@@ -57,7 +65,18 @@ struct CheckNRunConfig {
   quant::QuantConfig quant;
 
   std::size_t chunk_rows = 512;
+  // Parallelism of the snapshot copy, and the default for the pipeline's
+  // encode/store stages when the per-stage knobs below are 0.
   std::size_t pipeline_threads = 4;
+  std::size_t encode_threads = 0;  // 0 = pipeline_threads
+  std::size_t store_threads = 0;   // 0 = pipeline_threads
+  // Capacity (in chunks) of the encode and store stage queues; the bound is
+  // what propagates store backpressure to the encoders.
+  std::size_t queue_capacity = 16;
+  // Checkpoint overlap policy. 1 (default) = strict §4.3 non-overlap: the
+  // snapshot of interval k+1 waits for checkpoint k to commit. Values > 1
+  // allow that many checkpoint writes in flight at once.
+  std::size_t max_inflight_checkpoints = 1;
   // Attempts per object write before a checkpoint is abandoned (transient
   // storage failures are retried; the manifest-last protocol guarantees an
   // abandoned checkpoint is never considered valid).
@@ -69,7 +88,8 @@ struct CheckNRunConfig {
   std::size_t keep_checkpoints = 1;
 };
 
-// Per-interval outcome, the raw material for Figs 15-17.
+// Per-interval outcome, the raw material for Figs 15-17 plus the per-stage
+// write-path breakdown.
 struct IntervalStats {
   std::uint64_t checkpoint_id = 0;
   storage::CheckpointKind kind = storage::CheckpointKind::kFull;
@@ -81,6 +101,13 @@ struct IntervalStats {
   std::chrono::microseconds stall_wall{0};   // trainer stalled (snapshot)
   std::chrono::microseconds train_wall{0};   // trainer busy (the interval)
   std::chrono::microseconds encode_wall{0};  // background quantization cpu
+  // Per-stage pipeline breakdown (background, off the trainer's path).
+  std::chrono::microseconds plan_wall{0};          // chunk planning
+  std::chrono::microseconds store_wall{0};         // summed chunk Put wall
+  std::chrono::microseconds commit_wall{0};        // dense + manifest publication
+  std::chrono::microseconds encode_queue_wall{0};  // chunks waiting for encoders
+  std::chrono::microseconds store_queue_wall{0};   // encoded chunks waiting for link
+  std::chrono::microseconds write_wall{0};         // snapshot -> valid
 };
 
 class CheckNRun {
@@ -94,12 +121,15 @@ class CheckNRun {
   CheckNRun(const CheckNRun&) = delete;
   CheckNRun& operator=(const CheckNRun&) = delete;
 
-  // Trains one checkpoint interval and *initiates* its checkpoint in the
-  // background. The write of interval k completes no later than the snapshot
-  // of interval k+1 (non-overlap rule) or Drain().
+  // Trains one checkpoint interval and submits its checkpoint to the
+  // pipeline. Under the default overlap policy the submission blocks until
+  // the previous checkpoint committed (§4.3); with
+  // max_inflight_checkpoints > 1 up to that many writes proceed in parallel.
   void Step();
 
-  // Waits for any in-flight checkpoint write, finalizing its stats.
+  // Waits for every in-flight checkpoint write, finalizing stats in interval
+  // order. If a write failed, the failed interval is discarded and its error
+  // rethrown; calling Drain() again continues with the remaining intervals.
   void Drain();
 
   // Runs `intervals` intervals (decoupled) and returns per-interval stats.
@@ -121,6 +151,10 @@ class CheckNRun {
   std::uint64_t observed_restarts() const { return observed_restarts_; }
   const dlrm::MetricTracker& metrics() const { return metrics_; }
 
+  // Checkpoint writes currently in flight (0 outside Step unless overlap is
+  // enabled).
+  std::size_t inflight_checkpoints() const { return tickets_.size(); }
+
   // Sets progress counters when resuming from a checkpoint.
   void SetProgress(std::uint64_t batches, std::uint64_t samples);
 
@@ -130,10 +164,21 @@ class CheckNRun {
   void SetNextCheckpointId(std::uint64_t next_id);
 
   // Deletes every checkpoint of `job` that is not on the recovery chain of
-  // the newest one. Exposed for tests; Step() applies it when cfg.gc is set.
+  // the newest one. Exposed for tests; the pipeline applies it after each
+  // commit when cfg.gc is set.
   static void GarbageCollect(storage::ObjectStore& store, const std::string& job);
 
  private:
+  // A submitted-but-not-finalized interval: stats known at submission plus
+  // the pipeline's future for the rest.
+  struct PendingTicket {
+    IntervalStats stats;
+    std::future<WriteResult> future;
+  };
+
+  void FinalizeFrontTicket();   // blocking; rethrows a failed write
+  void ReapCompletedTickets();  // non-blocking
+
   dlrm::DlrmModel& model_;
   data::ReaderMaster& reader_;
   std::shared_ptr<storage::ObjectStore> store_;
@@ -141,7 +186,7 @@ class CheckNRun {
 
   ModifiedRowTracker tracker_;
   IncrementalPolicy policy_;
-  util::ThreadPool pool_;
+  util::ThreadPool pool_;  // snapshot-copy concurrency
   dlrm::MetricTracker metrics_;
 
   std::uint64_t next_checkpoint_id_ = 1;
@@ -149,9 +194,14 @@ class CheckNRun {
   std::uint64_t samples_trained_ = 0;
   std::uint64_t observed_restarts_ = 0;
 
-  std::future<WriteResult> pending_write_;
-  std::optional<IntervalStats> pending_stats_;
+  std::deque<PendingTicket> tickets_;
   std::vector<IntervalStats> completed_;
+
+  // Declared after everything their background work touches: the pipeline's
+  // commit thread runs GC against retry_store_, so the pipeline must be
+  // destroyed first (members destruct in reverse declaration order).
+  std::shared_ptr<storage::RetryingStore> retry_store_;
+  std::unique_ptr<pipeline::CheckpointPipeline> pipeline_;
 };
 
 }  // namespace cnr::core

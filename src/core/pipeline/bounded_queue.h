@@ -1,0 +1,93 @@
+// Bounded MPMC queue connecting checkpoint pipeline stages.
+//
+// Each stage of the checkpoint pipeline (core/pipeline/pipeline.h) pulls work
+// from one of these queues and pushes results into the next one. The bound is
+// the backpressure mechanism: a fast encoder cannot run arbitrarily far ahead
+// of a slow store link — once the downstream queue is full, Push blocks, the
+// stage's workers stall, and the pressure propagates upstream until it reaches
+// the admission gate in CheckpointPipeline::Submit.
+//
+// Close() is the shutdown protocol: producers stop pushing, consumers drain
+// whatever is queued and then observe end-of-stream (Pop returns nullopt).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace cnr::core::pipeline {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw std::invalid_argument("BoundedQueue: capacity == 0");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full (backpressure). Throws std::runtime_error
+  // if the queue was closed — a producer must never outlive the shutdown.
+  void Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) throw std::runtime_error("BoundedQueue: push after close");
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+  }
+
+  // Non-blocking push; returns false when the queue is full or closed.
+  bool TryPush(T item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available. Returns nullopt only once the queue is
+  // closed *and* fully drained, so no queued work is ever dropped.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void Close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cnr::core::pipeline

@@ -1,0 +1,84 @@
+// Chunk planning and encoding — the pure kernels behind the pipeline's Plan
+// and Encode stages (paper §5.2).
+//
+// A checkpoint is stored as chunk objects, each a bounded run of embedding
+// rows from one shard snapshot. BuildChunkTasks turns a snapshot plus the
+// policy's CheckpointPlan into the chunk work-list; EncodeChunkTask turns one
+// task into its stored byte representation. Both are side-effect-free so the
+// staged pipeline (pipeline.h) and the synchronous writer facade (writer.h)
+// share them, and so they unit-test without any threads or stores.
+//
+// Chunk layout (binary, little-endian):
+//   u32 table_id, u32 shard_id
+//   u64 num_rows, u64 dim
+//   u8  explicit_indices          (1 for incremental chunks)
+//   if explicit_indices: varint-delta row indices (ascending; first index,
+//                        then gaps)
+//   else:                u64 start_row (rows are contiguous)
+//   f32 adagrad state per row     (optimizer state stays fp32)
+//   EncodeRow(quant) per row      (per-row params + packed codes)
+//   u32 CRC-32C over everything above (recovery rejects corrupt chunks)
+//
+// The row indices and per-row quantization parameters are the metadata the
+// paper cites as the reason overall savings are sub-linear in bit-width
+// (§6.3.2); delta+varint coding shrinks the index portion to ~1 byte/row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/snapshot.h"
+#include "quant/quantizer.h"
+#include "storage/manifest.h"
+#include "util/rng.h"
+
+namespace cnr::core::pipeline {
+
+// Work descriptor for one chunk: a run of rows from one shard snapshot. The
+// shard pointer aliases the snapshot the task was built from, which must stay
+// alive (and immutable) until the chunk is encoded.
+struct ChunkTask {
+  const ShardSnapshot* shard = nullptr;
+  std::uint32_t chunk_index = 0;  // per-shard ordinal, names the chunk object
+  bool explicit_indices = false;
+  std::uint64_t start_row = 0;      // when contiguous
+  std::vector<std::uint32_t> rows;  // when explicit
+  std::size_t rows_count = 0;       // contiguous count
+
+  std::size_t NumRows() const { return explicit_indices ? rows.size() : rows_count; }
+};
+
+// Splits the rows selected by `plan` into chunk tasks of at most `chunk_rows`
+// rows each, shard by shard. Full checkpoints chunk every row contiguously;
+// incremental checkpoints chunk the plan's explicit dirty-row indices.
+std::vector<ChunkTask> BuildChunkTasks(const ModelSnapshot& snap, const CheckpointPlan& plan,
+                                       std::size_t chunk_rows);
+
+// Quantizes and serializes one chunk. `rng` seeds the k-means initialization
+// stream for adaptive quantization; fork a deterministic per-chunk stream so
+// results do not depend on worker scheduling (see ChunkRng).
+std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::QuantConfig& qc,
+                                          util::Rng& rng);
+
+// Deterministic per-chunk rng stream, independent of which worker encodes the
+// chunk and in what order.
+util::Rng ChunkRng(std::uint64_t seed, std::uint64_t checkpoint_id, std::size_t chunk_ordinal);
+
+// Manifest entry (including the object-store key) for one encoded chunk.
+// Both write paths assemble chunk metadata through this, so the key format
+// and ChunkInfo fields cannot drift between them.
+storage::ChunkInfo MakeChunkInfo(const ChunkTask& task, const std::string& job,
+                                 std::uint64_t checkpoint_id, std::size_t encoded_bytes);
+
+// Manifest skeleton for a checkpoint about to be written: identity, lineage,
+// trainer progress, quantization config and reader state filled in; chunk
+// slots sized to `num_chunks` for the store stage to populate.
+storage::Manifest MakeManifestSkeleton(std::uint64_t checkpoint_id, const CheckpointPlan& plan,
+                                       const ModelSnapshot& snap,
+                                       const quant::QuantConfig& quant,
+                                       std::vector<std::uint8_t> reader_state,
+                                       std::size_t num_chunks);
+
+}  // namespace cnr::core::pipeline

@@ -1,0 +1,31 @@
+#include "core/pipeline/commit.h"
+
+#include <chrono>
+
+namespace cnr::core::pipeline {
+
+CommitResult CommitCheckpoint(storage::ObjectStore& store, const std::string& job,
+                              storage::Manifest& manifest,
+                              const std::vector<std::uint8_t>& dense_blob) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Dense blob (replicated MLPs; written once, from "one device").
+  manifest.dense_key = storage::Manifest::DenseKey(job, manifest.checkpoint_id);
+  manifest.dense_bytes = dense_blob.size();
+  store.Put(manifest.dense_key, dense_blob);
+
+  manifest.timings.commit_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            t0)
+          .count());
+
+  // Manifest last: its presence declares the checkpoint valid.
+  auto manifest_bytes = manifest.Encode();
+  CommitResult result;
+  result.manifest_bytes = manifest_bytes.size();
+  store.Put(storage::Manifest::ManifestKey(job, manifest.checkpoint_id),
+            std::move(manifest_bytes));
+  return result;
+}
+
+}  // namespace cnr::core::pipeline

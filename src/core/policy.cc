@@ -49,6 +49,13 @@ bool IncrementalPolicy::ShouldRebaselineEwma(const std::vector<double>& history,
   return fc <= ic;
 }
 
+void IncrementalPolicy::OnCheckpointFailed() {
+  have_baseline_ = false;
+  baseline_id_ = 0;
+  since_baseline_.reset();
+  history_.clear();
+}
+
 CheckpointPlan IncrementalPolicy::Plan(std::uint64_t checkpoint_id, DirtySets interval_dirty) {
   if (have_baseline_ && checkpoint_id <= last_checkpoint_id_) {
     throw std::invalid_argument("IncrementalPolicy: checkpoint ids must increase");

@@ -77,6 +77,14 @@ class IncrementalPolicy {
   // increasing order; the first call always yields a full checkpoint.
   CheckpointPlan Plan(std::uint64_t checkpoint_id, DirtySets interval_dirty);
 
+  // Tells the policy that a planned checkpoint never became valid. The
+  // failed checkpoint may be the baseline or a chain link future
+  // incrementals would parent on, so the policy forgets its baseline and
+  // plans a fresh full checkpoint next — without this, one-shot and
+  // consecutive policies would keep planning incrementals over a lineage
+  // that can no longer commit, failing every checkpoint from then on.
+  void OnCheckpointFailed();
+
   // Fractions (of total rows) of past incremental checkpoints since the last
   // baseline — the S_i history driving the intermittent predictor.
   const std::vector<double>& history() const { return history_; }

@@ -1,147 +1,58 @@
 #include "core/writer.h"
 
-#include "util/crc32.h"
-
 #include <atomic>
-#include <future>
-#include <mutex>
 #include <vector>
 
+#include "core/pipeline/chunk_codec.h"
+#include "core/pipeline/commit.h"
+#include "storage/retrying_store.h"
+
 namespace cnr::core {
-
-namespace {
-
-// Work descriptor for one chunk: a run of rows from one shard snapshot.
-struct ChunkTask {
-  const ShardSnapshot* shard = nullptr;
-  std::uint32_t chunk_index = 0;
-  bool explicit_indices = false;
-  std::uint64_t start_row = 0;                // when contiguous
-  std::vector<std::uint32_t> rows;            // when explicit
-  std::size_t NumRows() const { return explicit_indices ? rows.size() : rows_count; }
-  std::size_t rows_count = 0;                 // contiguous count
-};
-
-std::vector<std::uint8_t> EncodeChunk(const ChunkTask& task, const quant::QuantConfig& qc,
-                                      util::Rng& rng) {
-  const auto& shard = *task.shard;
-  const std::size_t n = task.NumRows();
-  util::Writer w(64 + n * (quant::EncodedRowBytes(qc, shard.dim) + 8));
-  w.Put<std::uint32_t>(shard.table_id);
-  w.Put<std::uint32_t>(shard.shard_id);
-  w.Put<std::uint64_t>(n);
-  w.Put<std::uint64_t>(shard.dim);
-  w.Put<std::uint8_t>(task.explicit_indices ? 1 : 0);
-  if (task.explicit_indices) {
-    // Ascending indices as varint deltas: ~1 byte/row instead of 4.
-    std::uint32_t prev = 0;
-    for (std::size_t i = 0; i < task.rows.size(); ++i) {
-      w.PutVarint(i == 0 ? task.rows[0] : task.rows[i] - prev);
-      prev = task.rows[i];
-    }
-  } else {
-    w.Put<std::uint64_t>(task.start_row);
-  }
-  const auto row_at = [&](std::size_t i) -> std::size_t {
-    return task.explicit_indices ? task.rows[i] : task.start_row + i;
-  };
-  for (std::size_t i = 0; i < n; ++i) w.Put<float>(shard.adagrad[row_at(i)]);
-  for (std::size_t i = 0; i < n; ++i) {
-    quant::EncodeRow(w, shard.Row(row_at(i)), qc, rng);
-  }
-  // Trailing CRC-32C lets recovery detect storage-tier corruption.
-  w.Put<std::uint32_t>(util::Crc32c(w.bytes().data(), w.size()));
-  return w.TakeBytes();
-}
-
-// Retries transient failures; the last attempt's exception propagates.
-void PutWithRetry(storage::ObjectStore& store, const std::string& key,
-                  std::vector<std::uint8_t> bytes, int attempts) {
-  for (int attempt = 1;; ++attempt) {
-    try {
-      store.Put(key, attempt < attempts ? bytes : std::move(bytes));
-      return;
-    } catch (const storage::StoreUnavailable&) {
-      if (attempt >= attempts) throw;
-    }
-  }
-}
-
-}  // namespace
 
 WriteResult WriteCheckpoint(storage::ObjectStore& store, const ModelSnapshot& snap,
                             const CheckpointPlan& plan, const WriterConfig& cfg,
                             std::uint64_t checkpoint_id,
                             std::span<const std::uint8_t> reader_state,
                             util::ThreadPool* pool) {
-  if (cfg.chunk_rows == 0) throw std::invalid_argument("WriteCheckpoint: chunk_rows == 0");
-  const bool incremental = plan.kind == storage::CheckpointKind::kIncremental;
+  const auto entry_time = std::chrono::steady_clock::now();
+  storage::RetryPolicy retry_policy;
+  retry_policy.max_attempts = cfg.put_attempts;
+  storage::RetryingStore retrying(store, retry_policy);
 
-  // Build the chunk task list.
-  std::vector<ChunkTask> tasks;
-  for (std::size_t t = 0; t < snap.shards.size(); ++t) {
-    for (std::size_t s = 0; s < snap.shards[t].size(); ++s) {
-      const ShardSnapshot& shard = snap.shards[t][s];
-      std::uint32_t chunk_index = 0;
-      if (incremental) {
-        const auto indices = plan.rows[t][s].ToIndices();
-        for (std::size_t off = 0; off < indices.size(); off += cfg.chunk_rows) {
-          ChunkTask task;
-          task.shard = &shard;
-          task.chunk_index = chunk_index++;
-          task.explicit_indices = true;
-          const std::size_t end = std::min(off + cfg.chunk_rows, indices.size());
-          task.rows.assign(indices.begin() + off, indices.begin() + end);
-          tasks.push_back(std::move(task));
-        }
-      } else {
-        for (std::size_t off = 0; off < shard.num_rows; off += cfg.chunk_rows) {
-          ChunkTask task;
-          task.shard = &shard;
-          task.chunk_index = chunk_index++;
-          task.explicit_indices = false;
-          task.start_row = off;
-          task.rows_count = std::min(cfg.chunk_rows, shard.num_rows - off);
-          tasks.push_back(std::move(task));
-        }
-      }
-    }
-  }
+  const std::vector<pipeline::ChunkTask> tasks =
+      pipeline::BuildChunkTasks(snap, plan, cfg.chunk_rows);
 
   WriteResult result;
-  result.manifest.checkpoint_id = checkpoint_id;
-  result.manifest.kind = plan.kind;
-  result.manifest.parent_id = incremental ? plan.parent_id : 0;
-  result.manifest.batches_trained = snap.batches_trained;
-  result.manifest.samples_trained = snap.samples_trained;
-  result.manifest.quant = cfg.quant;
-  result.manifest.reader_state.assign(reader_state.begin(), reader_state.end());
-  result.manifest.chunks.resize(tasks.size());
+  result.manifest = pipeline::MakeManifestSkeleton(
+      checkpoint_id, plan, snap, cfg.quant,
+      std::vector<std::uint8_t>(reader_state.begin(), reader_state.end()), tasks.size());
+  result.manifest.timings.snapshot_us =
+      static_cast<std::uint64_t>(snap.stall_wall.count());
 
-  std::atomic<std::int64_t> encode_us{0};
-  std::mutex mu;  // guards manifest chunk slots are disjoint; only stats need it
+  std::atomic<std::uint64_t> encode_us{0};
+  std::atomic<std::uint64_t> store_us{0};
 
   const auto process = [&](std::size_t i) {
-    // Fork a deterministic per-chunk rng stream (k-means init).
-    util::Rng rng(cfg.rng_seed ^ (checkpoint_id * 0x100000001B3ULL + i));
+    util::Rng rng = pipeline::ChunkRng(cfg.rng_seed, checkpoint_id, i);
     const auto t0 = std::chrono::steady_clock::now();
-    auto bytes = EncodeChunk(tasks[i], cfg.quant, rng);
-    const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - t0);
-    encode_us.fetch_add(dt.count(), std::memory_order_relaxed);
+    auto bytes = pipeline::EncodeChunkTask(tasks[i], cfg.quant, rng);
+    const auto t1 = std::chrono::steady_clock::now();
+    encode_us.fetch_add(
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count(),
+        std::memory_order_relaxed);
 
-    storage::ChunkInfo info;
-    info.table_id = tasks[i].shard->table_id;
-    info.shard_id = tasks[i].shard->shard_id;
-    info.num_rows = tasks[i].NumRows();
-    info.bytes = bytes.size();
-    info.key = storage::Manifest::ChunkKey(cfg.job, checkpoint_id, info.table_id,
-                                           info.shard_id, tasks[i].chunk_index);
+    storage::ChunkInfo info =
+        pipeline::MakeChunkInfo(tasks[i], cfg.job, checkpoint_id, bytes.size());
     // Pipelined: the chunk is stored as soon as it is encoded. Transient
-    // storage failures are retried; persistent ones abort the checkpoint
-    // (whose manifest then never appears, keeping the previous one valid).
-    PutWithRetry(store, info.key, std::move(bytes), cfg.put_attempts);
-    std::lock_guard lock(mu);
+    // storage failures are retried by the decorator; persistent ones abort
+    // the checkpoint (whose manifest then never appears, keeping the
+    // previous one valid).
+    retrying.Put(info.key, std::move(bytes));
+    store_us.fetch_add(std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t1)
+                           .count(),
+                       std::memory_order_relaxed);
+    // Chunk slots are disjoint per task, so no lock is needed.
     result.manifest.chunks[i] = std::move(info);
   };
 
@@ -151,20 +62,18 @@ WriteResult WriteCheckpoint(storage::ObjectStore& store, const ModelSnapshot& sn
     for (std::size_t i = 0; i < tasks.size(); ++i) process(i);
   }
 
-  // Dense blob (replicated MLPs; written once, from "one device").
-  result.manifest.dense_key = storage::Manifest::DenseKey(cfg.job, checkpoint_id);
-  result.manifest.dense_bytes = snap.dense_blob.size();
-  PutWithRetry(store, result.manifest.dense_key, snap.dense_blob, cfg.put_attempts);
+  result.manifest.timings.encode_us = encode_us.load();
+  result.manifest.timings.store_us = store_us.load();
 
-  // Manifest last: its presence declares the checkpoint valid.
-  auto manifest_bytes = result.manifest.Encode();
-  const auto manifest_size = manifest_bytes.size();
-  PutWithRetry(store, storage::Manifest::ManifestKey(cfg.job, checkpoint_id),
-               std::move(manifest_bytes), cfg.put_attempts);
+  const auto commit = pipeline::CommitCheckpoint(retrying, cfg.job, result.manifest,
+                                                 snap.dense_blob);
 
-  result.bytes_written = result.manifest.TotalBytes() + manifest_size;
+  result.bytes_written = result.manifest.TotalBytes() + commit.manifest_bytes;
   for (const auto& c : result.manifest.chunks) result.rows_written += c.num_rows;
-  result.encode_wall = std::chrono::microseconds(encode_us.load());
+  result.encode_wall = std::chrono::microseconds(static_cast<std::int64_t>(encode_us.load()));
+  result.timings = result.manifest.timings;
+  result.write_wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - entry_time);
   return result;
 }
 

@@ -1,28 +1,18 @@
-// Checkpoint construction and storage (paper §4.4 steps 2-3, §5.2).
+// Synchronous checkpoint writer (paper §4.4 steps 2-3, §5.2).
 //
-// The writer turns an immutable ModelSnapshot plus a CheckpointPlan into
-// chunk objects in the store and a manifest. Work proceeds chunk-by-chunk:
-// each chunk (a bounded run of embedding rows from one shard) is quantized
-// and *immediately* stored, so quantization and storage overlap — the
-// paper's pipelining, which hides quantization latency behind the (slower)
-// remote-storage writes. Chunks are processed concurrently on the background
-// thread pool, never on the trainer's critical path.
+// WriteCheckpoint turns an immutable ModelSnapshot plus a CheckpointPlan into
+// chunk objects in the store and a manifest, on the calling thread (optionally
+// fanning chunk work across a thread pool). It is the synchronous facade over
+// the same stage kernels the asynchronous pipeline uses:
 //
-// Chunk layout (binary, little-endian):
-//   u32 table_id, u32 shard_id
-//   u64 num_rows, u64 dim
-//   u8  explicit_indices          (1 for incremental chunks)
-//   if explicit_indices: varint-delta row indices (ascending; first index,
-//                        then gaps — the paper's "metadata structure can be
-//                        further optimized" future-work item)
-//   else:                u64 start_row (rows are contiguous)
-//   f32 adagrad state per row     (optimizer state stays fp32)
-//   EncodeRow(quant) per row      (per-row params + packed codes)
-//   u32 CRC-32C over everything above (recovery rejects corrupt chunks)
+//   - chunk planning + encoding:  core/pipeline/chunk_codec.h
+//   - retry on transient faults:  storage/retrying_store.h (decorator)
+//   - manifest-last publication:  core/pipeline/commit.h
 //
-// The row indices and per-row quantization parameters are the metadata the
-// paper cites as the reason overall savings are sub-linear in bit-width
-// (§6.3.2); delta+varint coding shrinks the index portion to ~1 byte/row.
+// Training-coupled callers (benches, the CheckFreq baseline, recovery tests)
+// use this facade; the decoupled training path goes through
+// core/pipeline/pipeline.h, which runs the same kernels as explicit
+// Snapshot → Plan → Encode → Store → Commit stages with bounded queues.
 #pragma once
 
 #include <chrono>
@@ -45,7 +35,8 @@ struct WriterConfig {
   quant::QuantConfig quant;
   std::uint64_t rng_seed = 7;  // k-means init stream
   // Attempts per object Put before giving up (transient storage failures,
-  // storage::StoreUnavailable, are retried; anything else propagates).
+  // storage::StoreUnavailable, are retried via storage::RetryingStore;
+  // anything else propagates).
   int put_attempts = 3;
 };
 
@@ -54,6 +45,12 @@ struct WriteResult {
   std::uint64_t bytes_written = 0;       // chunks + dense + manifest
   std::uint64_t rows_written = 0;
   std::chrono::microseconds encode_wall{0};  // summed per-chunk encode time
+  // Full per-stage breakdown (encode_wall == timings.encode_us; kept for
+  // callers that predate staged timing).
+  storage::StageTimings timings;
+  // Wall time from write-path entry (pipeline: submit; facade: call) until
+  // the manifest was stored — the checkpoint's time-to-valid.
+  std::chrono::microseconds write_wall{0};
 };
 
 // Builds and stores the checkpoint described by `plan` from `snap`.

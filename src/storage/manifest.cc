@@ -4,6 +4,28 @@
 
 namespace cnr::storage {
 
+void StageTimings::Serialize(util::Writer& w) const {
+  w.Put<std::uint64_t>(snapshot_us);
+  w.Put<std::uint64_t>(plan_us);
+  w.Put<std::uint64_t>(encode_us);
+  w.Put<std::uint64_t>(store_us);
+  w.Put<std::uint64_t>(commit_us);
+  w.Put<std::uint64_t>(encode_queue_us);
+  w.Put<std::uint64_t>(store_queue_us);
+}
+
+StageTimings StageTimings::Deserialize(util::Reader& r) {
+  StageTimings t;
+  t.snapshot_us = r.Get<std::uint64_t>();
+  t.plan_us = r.Get<std::uint64_t>();
+  t.encode_us = r.Get<std::uint64_t>();
+  t.store_us = r.Get<std::uint64_t>();
+  t.commit_us = r.Get<std::uint64_t>();
+  t.encode_queue_us = r.Get<std::uint64_t>();
+  t.store_queue_us = r.Get<std::uint64_t>();
+  return t;
+}
+
 void ChunkInfo::Serialize(util::Writer& w) const {
   w.PutString(key);
   w.Put<std::uint32_t>(table_id);
@@ -42,13 +64,14 @@ std::vector<std::uint8_t> Manifest::Encode() const {
   w.Put<std::uint64_t>(dense_bytes);
   w.Put<std::uint64_t>(chunks.size());
   for (const auto& c : chunks) c.Serialize(w);
+  timings.Serialize(w);
   return w.TakeBytes();
 }
 
 Manifest Manifest::Decode(std::span<const std::uint8_t> data) {
   util::Reader r(data);
   const auto version = r.Get<std::uint32_t>();
-  if (version != kFormatVersion) {
+  if (version < 1 || version > kFormatVersion) {
     throw util::SerializeError("manifest: unsupported format version " + std::to_string(version));
   }
   Manifest m;
@@ -64,6 +87,7 @@ Manifest Manifest::Decode(std::span<const std::uint8_t> data) {
   const auto n = r.Get<std::uint64_t>();
   m.chunks.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) m.chunks.push_back(ChunkInfo::Deserialize(r));
+  if (version >= 2) m.timings = StageTimings::Deserialize(r);
   return m;
 }
 

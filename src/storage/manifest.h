@@ -23,6 +23,26 @@ enum class CheckpointKind : std::uint8_t {
   kIncremental = 1,  // modified rows only, relative to `parent_id` lineage
 };
 
+// Per-stage wall/queue times (microseconds) of the pipeline run that wrote a
+// checkpoint. Persisted in the manifest (format v2) so offline tools —
+// tools/cnr_inspect — can break down where checkpoint time went long after
+// the job is gone. All fields are sums over the checkpoint's chunks, except
+// snapshot_us/plan_us/commit_us which are single-stage walls.
+struct StageTimings {
+  std::uint64_t snapshot_us = 0;      // trainer stalled copying model state
+  std::uint64_t plan_us = 0;          // chunk planning
+  std::uint64_t encode_us = 0;        // chunk quantize+serialize cpu
+  std::uint64_t store_us = 0;         // chunk Put wall (includes retries)
+  std::uint64_t commit_us = 0;        // dense-blob publication before the
+                                      // manifest write that this record
+                                      // itself rides in
+  std::uint64_t encode_queue_us = 0;  // chunks waiting for an encode worker
+  std::uint64_t store_queue_us = 0;   // encoded chunks waiting for the link
+
+  void Serialize(util::Writer& w) const;
+  static StageTimings Deserialize(util::Reader& r);
+};
+
 // One stored chunk of embedding rows for a particular table shard.
 struct ChunkInfo {
   std::string key;            // object store key
@@ -36,7 +56,8 @@ struct ChunkInfo {
 };
 
 struct Manifest {
-  static constexpr std::uint32_t kFormatVersion = 1;
+  // v1: no stage timings. v2 appends StageTimings; Decode accepts both.
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   std::uint64_t checkpoint_id = 0;
   CheckpointKind kind = CheckpointKind::kFull;
@@ -60,6 +81,10 @@ struct Manifest {
   std::uint64_t dense_bytes = 0;
 
   std::vector<ChunkInfo> chunks;
+
+  // How long each pipeline stage spent producing this checkpoint (all-zero
+  // for v1 manifests and for writers that don't measure).
+  StageTimings timings;
 
   // Total stored bytes of this checkpoint (chunks + dense + manifest approx).
   std::uint64_t TotalBytes() const;

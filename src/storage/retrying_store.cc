@@ -1,0 +1,71 @@
+#include "storage/retrying_store.h"
+
+#include <stdexcept>
+#include <thread>
+
+namespace cnr::storage {
+
+RetryingStore::RetryingStore(std::shared_ptr<ObjectStore> backing, RetryPolicy policy)
+    : owned_(std::move(backing)), backing_(owned_.get()), policy_(policy) {
+  if (!backing_) throw std::invalid_argument("RetryingStore: null backing store");
+  if (policy_.max_attempts < 1) throw std::invalid_argument("RetryingStore: max_attempts < 1");
+}
+
+RetryingStore::RetryingStore(ObjectStore& backing, RetryPolicy policy)
+    : backing_(&backing), policy_(policy) {
+  if (policy_.max_attempts < 1) throw std::invalid_argument("RetryingStore: max_attempts < 1");
+}
+
+void RetryingStore::Backoff(int attempt) const {
+  if (policy_.initial_backoff.count() == 0) return;
+  auto delay = std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+      policy_.initial_backoff);
+  for (int i = 1; i < attempt; ++i) delay *= policy_.backoff_multiplier;
+  std::this_thread::sleep_for(std::chrono::duration_cast<std::chrono::microseconds>(delay));
+}
+
+void RetryingStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      // The payload must survive a failed attempt, so only the final attempt
+      // may donate the buffer to the backing store.
+      backing_->Put(key, attempt < policy_.max_attempts ? data : std::move(data));
+      if (attempt > 1) retries_absorbed_.fetch_add(attempt - 1, std::memory_order_relaxed);
+      return;
+    } catch (const StoreUnavailable&) {
+      if (attempt >= policy_.max_attempts) throw;
+      Backoff(attempt);
+    }
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> RetryingStore::Get(const std::string& key) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      auto result = backing_->Get(key);
+      if (attempt > 1) retries_absorbed_.fetch_add(attempt - 1, std::memory_order_relaxed);
+      return result;
+    } catch (const StoreUnavailable&) {
+      if (attempt >= policy_.max_attempts) throw;
+      Backoff(attempt);
+    }
+  }
+}
+
+bool RetryingStore::Exists(const std::string& key) { return backing_->Exists(key); }
+
+bool RetryingStore::Delete(const std::string& key) { return backing_->Delete(key); }
+
+std::vector<std::string> RetryingStore::List(const std::string& prefix) {
+  return backing_->List(prefix);
+}
+
+std::uint64_t RetryingStore::TotalBytes() { return backing_->TotalBytes(); }
+
+StoreStats RetryingStore::Stats() { return backing_->Stats(); }
+
+std::uint64_t RetryingStore::retries_absorbed() const {
+  return retries_absorbed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace cnr::storage

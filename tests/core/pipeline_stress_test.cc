@@ -1,0 +1,432 @@
+// Concurrency tests of the full controller + staged pipeline under the
+// bounded-overlap policy (max_inflight_checkpoints > 1) and under injected
+// storage faults. Run in CI both plain and with -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/checknrun.h"
+#include "core/recovery.h"
+#include "data/synthetic.h"
+#include "storage/fault_injection.h"
+
+namespace cnr::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+dlrm::ModelConfig SmallModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {256, 128};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 22;
+  cfg.num_dense = 4;
+  cfg.tables = {{256, 2, 1.1}, {128, 1, 1.05}};
+  return cfg;
+}
+
+data::ReaderConfig SmallReader() {
+  data::ReaderConfig cfg;
+  cfg.batch_size = 16;
+  cfg.num_workers = 2;
+  cfg.queue_capacity = 4;
+  return cfg;
+}
+
+CheckNRunConfig BaseConfig() {
+  CheckNRunConfig cfg;
+  cfg.job = "stress";
+  cfg.interval_batches = 3;
+  cfg.policy = PolicyKind::kAlwaysFull;
+  cfg.quantize = false;
+  cfg.chunk_rows = 64;
+  cfg.pipeline_threads = 2;
+  return cfg;
+}
+
+std::uint64_t CkptIdFromKey(const std::string& key) {
+  const auto pos = key.find("/ckpt/");
+  if (pos == std::string::npos) return 0;
+  return std::stoull(key.substr(pos + 6, 12));
+}
+
+// Records, for every Put, whether a Put of a *different* checkpoint id was in
+// flight at the same moment. Puts of `hold_id` additionally park until either
+// that overlap is observed or a timeout passes, so overlap becomes all but
+// deterministic when the pipeline allows it — and the timeout keeps strict
+// mode from deadlocking the test.
+class OverlapProbeStore : public storage::ObjectStore {
+ public:
+  explicit OverlapProbeStore(std::uint64_t hold_id) : hold_id_(hold_id) {}
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    const std::uint64_t id = CkptIdFromKey(key);
+    {
+      std::unique_lock lock(mu_);
+      active_.insert(id);
+      if (DistinctActive() >= 2) {
+        overlap_observed_ = true;
+        cv_.notify_all();
+      } else if (id == hold_id_ && !overlap_observed_ && !held_one_) {
+        // Park exactly one put — holding more would idle every store worker
+        // and stall the very pipeline progress the probe wants to observe.
+        held_one_ = true;
+        cv_.wait_for(lock, 2s, [&] { return overlap_observed_; });
+      }
+    }
+    inner_.Put(key, std::move(data));
+    {
+      std::lock_guard lock(mu_);
+      active_.erase(active_.find(id));
+    }
+    cv_.notify_all();
+  }
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
+    return inner_.Get(key);
+  }
+  bool Exists(const std::string& key) override { return inner_.Exists(key); }
+  bool Delete(const std::string& key) override { return inner_.Delete(key); }
+  std::vector<std::string> List(const std::string& prefix) override {
+    return inner_.List(prefix);
+  }
+  std::uint64_t TotalBytes() override { return inner_.TotalBytes(); }
+  storage::StoreStats Stats() override { return inner_.Stats(); }
+
+  bool overlap_observed() const {
+    std::lock_guard lock(mu_);
+    return overlap_observed_;
+  }
+
+ private:
+  std::size_t DistinctActive() const {
+    std::size_t distinct = 0;
+    std::uint64_t prev = ~0ULL;
+    for (const auto id : active_) {
+      if (id != prev) ++distinct;
+      prev = id;
+    }
+    return distinct;
+  }
+
+  storage::InMemoryStore inner_;
+  std::uint64_t hold_id_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::multiset<std::uint64_t> active_;
+  bool overlap_observed_ = false;
+  bool held_one_ = false;
+};
+
+// Logs the checkpoint id of every Put in arrival order.
+class PutOrderStore : public storage::ObjectStore {
+ public:
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    inner_.Put(key, std::move(data));
+    std::lock_guard lock(mu_);
+    put_ids_.push_back(CkptIdFromKey(key));
+  }
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
+    return inner_.Get(key);
+  }
+  bool Exists(const std::string& key) override { return inner_.Exists(key); }
+  bool Delete(const std::string& key) override { return inner_.Delete(key); }
+  std::vector<std::string> List(const std::string& prefix) override {
+    return inner_.List(prefix);
+  }
+  std::uint64_t TotalBytes() override { return inner_.TotalBytes(); }
+  storage::StoreStats Stats() override { return inner_.Stats(); }
+
+  std::vector<std::uint64_t> put_ids() const {
+    std::lock_guard lock(mu_);
+    return put_ids_;
+  }
+
+ private:
+  storage::InMemoryStore inner_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> put_ids_;
+};
+
+// Every manifest in the store must describe a complete checkpoint: all its
+// chunks and the dense blob present. This is the commit-after-all-chunks
+// invariant as seen by recovery.
+void ExpectAllManifestsComplete(storage::ObjectStore& store, const std::string& job) {
+  for (const auto& key : store.List(storage::Manifest::JobPrefix(job))) {
+    if (!key.ends_with("MANIFEST")) continue;
+    const auto bytes = store.Get(key);
+    ASSERT_TRUE(bytes.has_value());
+    const auto m = storage::Manifest::Decode(*bytes);
+    EXPECT_TRUE(store.Exists(m.dense_key)) << m.dense_key;
+    for (const auto& c : m.chunks) EXPECT_TRUE(store.Exists(c.key)) << c.key;
+  }
+}
+
+// ---------------------------------------------------------------- overlap ---
+
+TEST(PipelineOverlap, TwoCheckpointWritesProceedConcurrently) {
+  // Checkpoint 1's puts park until a put from another checkpoint id arrives;
+  // with max_inflight_checkpoints = 2 the trainer submits checkpoint 2 while
+  // checkpoint 1 is still storing, satisfying the rendezvous.
+  auto store = std::make_shared<OverlapProbeStore>(/*hold_id=*/1);
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+
+  auto cfg = BaseConfig();
+  cfg.gc = false;
+  cfg.max_inflight_checkpoints = 2;
+  CheckNRun cnr(model, reader, store, cfg);
+  cnr.Run(3);
+
+  EXPECT_TRUE(store->overlap_observed())
+      << "max_inflight_checkpoints=2 never overlapped two checkpoint writes";
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("stress", id))) << id;
+  }
+}
+
+TEST(PipelineOverlap, StrictModeNeverInterleavesCheckpointWrites) {
+  auto store = std::make_shared<PutOrderStore>();
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+
+  auto cfg = BaseConfig();
+  cfg.gc = false;  // deletes would not show in the put log anyway
+  CheckNRun cnr(model, reader, store, cfg);
+  cnr.Run(4);
+
+  // §4.3: the snapshot (and hence any write) of checkpoint k+1 happens only
+  // after checkpoint k fully committed — put ids must be nondecreasing.
+  std::uint64_t prev = 0;
+  for (const auto id : store->put_ids()) {
+    EXPECT_GE(id, prev) << "strict mode interleaved checkpoint writes";
+    prev = id;
+  }
+  EXPECT_EQ(prev, 4u);
+}
+
+TEST(PipelineOverlap, OverlappedRunRestoresExactly) {
+  // Overlap must not change what gets stored: an overlapped run restores to
+  // the same model as the uninterrupted reference.
+  data::SyntheticDataset ds(MatchingDataset());
+
+  dlrm::DlrmModel reference(SmallModel());
+  {
+    data::ReaderMaster reader(ds, SmallReader());
+    auto ref_store = std::make_shared<storage::InMemoryStore>();
+    CheckNRun cnr(reference, reader, ref_store, BaseConfig());
+    cnr.Run(5);
+  }
+
+  dlrm::DlrmModel model(SmallModel());
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    data::ReaderMaster reader(ds, SmallReader());
+    auto cfg = BaseConfig();
+    cfg.max_inflight_checkpoints = 3;
+    CheckNRun cnr(model, reader, store, cfg);
+    cnr.Run(5);
+  }
+
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*store, "stress", restored);
+  EXPECT_EQ(rr.checkpoint_id, 5u);
+  EXPECT_EQ(rr.batches_trained, 15u);
+  EXPECT_TRUE(restored.DenseEquals(reference));
+  for (std::size_t t = 0; t < reference.num_tables(); ++t) {
+    for (std::size_t s = 0; s < reference.table(t).num_shards(); ++s) {
+      EXPECT_EQ(restored.table(t).Shard(s), reference.table(t).Shard(s));
+    }
+  }
+}
+
+// ----------------------------------------------------------------- faults ---
+
+TEST(PipelineStress, OverlappedFlakyRunRecoversToCommittedOnly) {
+  storage::FaultConfig fc;
+  fc.put_failure_probability = 0.15;
+  fc.seed = 13;
+  auto flaky =
+      std::make_shared<storage::FaultInjectionStore>(std::make_shared<storage::InMemoryStore>(), fc);
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kOneShot;
+  cfg.gc = false;
+  cfg.max_inflight_checkpoints = 3;
+  cfg.put_attempts = 12;  // P(exhaustion) ~ 0.15^12: effectively never
+  CheckNRun cnr(model, reader, flaky, cfg);
+  cnr.Run(6);
+
+  EXPECT_GT(flaky->injected_put_failures(), 0u) << "fault injection never fired";
+  ExpectAllManifestsComplete(*flaky, "stress");
+
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*flaky, "stress", restored);
+  EXPECT_EQ(rr.checkpoint_id, 6u);
+  EXPECT_EQ(rr.batches_trained, 18u);
+  EXPECT_TRUE(restored.DenseEquals(model));
+}
+
+TEST(PipelineStress, MidRunStoreDeathLeavesOnlyCompleteCheckpoints) {
+  auto inner = std::make_shared<storage::InMemoryStore>();
+  auto store = std::make_shared<storage::FaultInjectionStore>(inner, storage::FaultConfig{});
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kOneShot;
+  cfg.gc = false;
+  cfg.max_inflight_checkpoints = 2;
+  CheckNRun cnr(model, reader, store, cfg);
+  cnr.Run(2);  // two good checkpoints
+
+  // Storage dies hard; both in-flight intervals' checkpoints must fail...
+  storage::FaultConfig dead;
+  dead.put_failure_probability = 1.0;
+  store->SetConfig(dead);
+  // Step() may itself rethrow an already-failed write while reaping, so
+  // count failures across both submission and drain.
+  std::size_t failures = 0;
+  for (int i = 0; i < 2; ++i) {
+    try {
+      cnr.Step();
+    } catch (const storage::StoreUnavailable&) {
+      ++failures;
+    }
+  }
+  while (cnr.inflight_checkpoints() > 0) {
+    try {
+      cnr.Drain();
+    } catch (const storage::StoreUnavailable&) {
+      ++failures;
+    }
+  }
+  EXPECT_GE(failures, 1u);
+  EXPECT_EQ(cnr.inflight_checkpoints(), 0u);
+
+  // ...and recovery must only ever see the two committed checkpoints, each
+  // complete.
+  store->SetConfig(storage::FaultConfig{});  // heal for reads
+  EXPECT_EQ(*LatestCheckpointId(*inner, "stress"), 2u);
+  ExpectAllManifestsComplete(*inner, "stress");
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*store, "stress", restored);
+  EXPECT_EQ(rr.checkpoint_id, 2u);
+  EXPECT_EQ(rr.batches_trained, 6u);
+}
+
+// Fails every Put belonging to one configured checkpoint id.
+class FailOneCheckpointStore : public storage::InMemoryStore {
+ public:
+  explicit FailOneCheckpointStore(std::uint64_t fail_id) : fail_id_(fail_id) {}
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    if (CkptIdFromKey(key) == fail_id_) {
+      throw storage::StoreUnavailable("injected failure for checkpoint " +
+                                      std::to_string(fail_id_));
+    }
+    InMemoryStore::Put(key, std::move(data));
+  }
+
+ private:
+  std::uint64_t fail_id_;
+};
+
+TEST(PipelineStress, FailedCheckpointForcesRebaseline) {
+  // One-shot never re-baselines on its own; after a failed incremental the
+  // policy must fall back to a fresh full checkpoint (and include the rows
+  // the failed checkpoint would have carried) instead of planning
+  // incrementals over a lineage that can no longer commit.
+  auto store = std::make_shared<FailOneCheckpointStore>(/*fail_id=*/2);
+
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kOneShot;
+  cfg.gc = false;
+  cfg.put_attempts = 2;
+  CheckNRun cnr(model, reader, store, cfg);
+
+  cnr.Step();  // 1: full baseline, commits
+  cnr.Step();  // 2: incremental, fails in the background
+  EXPECT_THROW(cnr.Drain(), storage::StoreUnavailable);
+
+  cnr.Step();  // 3: must re-baseline and commit
+  cnr.Drain();
+  ASSERT_EQ(cnr.completed().size(), 2u);
+  EXPECT_EQ(cnr.completed().back().checkpoint_id, 3u);
+  EXPECT_EQ(cnr.completed().back().kind, storage::CheckpointKind::kFull);
+
+  EXPECT_EQ(*LatestCheckpointId(*store, "stress"), 3u);
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*store, "stress", restored);
+  EXPECT_EQ(rr.checkpoint_id, 3u);
+  EXPECT_EQ(rr.batches_trained, 9u);
+  // The fresh baseline carries the full model, so nothing from the failed
+  // interval is lost.
+  EXPECT_TRUE(restored.DenseEquals(model));
+  for (std::size_t t = 0; t < model.num_tables(); ++t) {
+    for (std::size_t s = 0; s < model.table(t).num_shards(); ++s) {
+      EXPECT_EQ(restored.table(t).Shard(s), model.table(t).Shard(s));
+    }
+  }
+}
+
+TEST(PipelineStress, ManyIntervalsWithOverlapAndGc) {
+  // GC runs on the commit thread while later checkpoints stream through the
+  // stages; the newest checkpoint must stay restorable throughout.
+  auto store = std::make_shared<storage::InMemoryStore>();
+  dlrm::DlrmModel model(SmallModel());
+  data::SyntheticDataset ds(MatchingDataset());
+  data::ReaderMaster reader(ds, SmallReader());
+
+  auto cfg = BaseConfig();
+  cfg.policy = PolicyKind::kIntermittent;
+  cfg.quantize = false;
+  cfg.gc = true;
+  cfg.max_inflight_checkpoints = 2;
+  cfg.interval_batches = 2;
+  CheckNRun cnr(model, reader, store, cfg);
+  const auto stats = cnr.Run(10);
+
+  ASSERT_EQ(stats.size(), 10u);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].checkpoint_id, i + 1);
+    EXPECT_GT(stats[i].bytes_written, 0u);
+  }
+  ExpectAllManifestsComplete(*store, "stress");
+  dlrm::DlrmModel restored(SmallModel());
+  const auto rr = RestoreModel(*store, "stress", restored);
+  EXPECT_EQ(rr.checkpoint_id, 10u);
+  EXPECT_TRUE(restored.DenseEquals(model));
+}
+
+}  // namespace
+}  // namespace cnr::core

@@ -58,6 +58,40 @@ TEST(Manifest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.chunks[1].bytes, m.chunks[1].bytes);
 }
 
+TEST(Manifest, StageTimingsRoundTrip) {
+  Manifest m = SampleManifest();
+  m.timings.snapshot_us = 11;
+  m.timings.plan_us = 22;
+  m.timings.encode_us = 33;
+  m.timings.store_us = 44;
+  m.timings.commit_us = 55;
+  m.timings.encode_queue_us = 66;
+  m.timings.store_queue_us = 77;
+  const Manifest back = Manifest::Decode(m.Encode());
+  EXPECT_EQ(back.timings.snapshot_us, 11u);
+  EXPECT_EQ(back.timings.plan_us, 22u);
+  EXPECT_EQ(back.timings.encode_us, 33u);
+  EXPECT_EQ(back.timings.store_us, 44u);
+  EXPECT_EQ(back.timings.commit_us, 55u);
+  EXPECT_EQ(back.timings.encode_queue_us, 66u);
+  EXPECT_EQ(back.timings.store_queue_us, 77u);
+}
+
+TEST(Manifest, DecodesVersion1WithoutTimings) {
+  // A v1 manifest is a v2 manifest minus the trailing StageTimings block;
+  // decoding it must succeed with all-zero timings.
+  Manifest m = SampleManifest();
+  m.timings.encode_us = 123;  // must NOT survive the downgrade
+  auto bytes = m.Encode();
+  bytes.resize(bytes.size() - 7 * sizeof(std::uint64_t));
+  bytes[0] = 1;  // little-endian version field
+  const Manifest back = Manifest::Decode(bytes);
+  EXPECT_EQ(back.checkpoint_id, m.checkpoint_id);
+  ASSERT_EQ(back.chunks.size(), 2u);
+  EXPECT_EQ(back.timings.encode_us, 0u);
+  EXPECT_EQ(back.timings.snapshot_us, 0u);
+}
+
 TEST(Manifest, TotalBytesSumsChunksAndDense) {
   const Manifest m = SampleManifest();
   EXPECT_EQ(m.TotalBytes(), 5555u + 2048u + 99u);

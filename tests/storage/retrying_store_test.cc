@@ -1,0 +1,155 @@
+#include "storage/retrying_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/fault_injection.h"
+#include "storage/rate_limited_store.h"
+
+namespace cnr::storage {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+// Fails the first `fail_count` Put/Get calls with StoreUnavailable, then
+// behaves normally. Counts attempts.
+class FlakyStore : public ObjectStore {
+ public:
+  explicit FlakyStore(int fail_count) : fail_remaining_(fail_count) {}
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    ++put_attempts_;
+    if (fail_remaining_ > 0) {
+      --fail_remaining_;
+      throw StoreUnavailable("flaky put");
+    }
+    inner_.Put(key, std::move(data));
+  }
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
+    ++get_attempts_;
+    if (fail_remaining_ > 0) {
+      --fail_remaining_;
+      throw StoreUnavailable("flaky get");
+    }
+    return inner_.Get(key);
+  }
+  bool Exists(const std::string& key) override { return inner_.Exists(key); }
+  bool Delete(const std::string& key) override { return inner_.Delete(key); }
+  std::vector<std::string> List(const std::string& prefix) override {
+    return inner_.List(prefix);
+  }
+  std::uint64_t TotalBytes() override { return inner_.TotalBytes(); }
+  StoreStats Stats() override { return inner_.Stats(); }
+
+  int put_attempts() const { return put_attempts_; }
+  int get_attempts() const { return get_attempts_; }
+  void FailNext(int n) { fail_remaining_ = n; }
+
+ private:
+  InMemoryStore inner_;
+  int fail_remaining_;
+  int put_attempts_ = 0;
+  int get_attempts_ = 0;
+};
+
+// Throws a non-transient error on every Put.
+class BrokenStore : public InMemoryStore {
+ public:
+  void Put(const std::string&, std::vector<std::uint8_t>) override {
+    ++attempts;
+    throw std::runtime_error("permanent failure");
+  }
+  int attempts = 0;
+};
+
+TEST(RetryingStore, AbsorbsTransientPutFailures) {
+  auto flaky = std::make_shared<FlakyStore>(2);
+  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  store.Put("k", Bytes("v"));
+  EXPECT_EQ(flaky->put_attempts(), 3);
+  EXPECT_EQ(store.retries_absorbed(), 2u);
+  EXPECT_EQ(*store.Get("k"), Bytes("v"));
+}
+
+TEST(RetryingStore, PayloadSurvivesFailedAttempts) {
+  // The buffer may only be donated to the backing store on the final
+  // attempt; earlier failures must not leave a moved-from payload behind.
+  auto flaky = std::make_shared<FlakyStore>(2);
+  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  store.Put("k", Bytes("payload"));
+  EXPECT_EQ(*store.Get("k"), Bytes("payload"));
+}
+
+TEST(RetryingStore, GivesUpAfterMaxAttempts) {
+  auto flaky = std::make_shared<FlakyStore>(100);
+  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  EXPECT_THROW(store.Put("k", Bytes("v")), StoreUnavailable);
+  EXPECT_EQ(flaky->put_attempts(), 3);
+  EXPECT_EQ(store.retries_absorbed(), 0u);
+}
+
+TEST(RetryingStore, NonTransientErrorsPropagateImmediately) {
+  auto broken = std::make_shared<BrokenStore>();
+  RetryingStore store(broken, RetryPolicy{.max_attempts = 5});
+  EXPECT_THROW(store.Put("k", Bytes("v")), std::runtime_error);
+  EXPECT_EQ(broken->attempts, 1) << "only StoreUnavailable is retryable";
+}
+
+TEST(RetryingStore, RetriesTransientGets) {
+  auto flaky = std::make_shared<FlakyStore>(0);
+  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  store.Put("k", Bytes("v"));
+  flaky->FailNext(2);
+  EXPECT_EQ(*store.Get("k"), Bytes("v"));
+  EXPECT_EQ(flaky->get_attempts(), 3);
+  EXPECT_EQ(store.retries_absorbed(), 2u);
+}
+
+TEST(RetryingStore, MetadataOpsPassThrough) {
+  auto inner = std::make_shared<InMemoryStore>();
+  RetryingStore store(inner, RetryPolicy{});
+  store.Put("a/1", Bytes("x"));
+  store.Put("a/2", Bytes("yy"));
+  EXPECT_TRUE(store.Exists("a/1"));
+  EXPECT_EQ(store.List("a/").size(), 2u);
+  EXPECT_EQ(store.TotalBytes(), 3u);
+  EXPECT_EQ(store.Stats().puts, 2u);
+  EXPECT_TRUE(store.Delete("a/1"));
+  EXPECT_FALSE(store.Exists("a/1"));
+}
+
+TEST(RetryingStore, ComposesWithFaultInjectionAndRateLimit) {
+  // The decorator chain the system runs with: retry over a rate-limited
+  // link over a flaky tier.
+  FaultConfig fc;
+  fc.put_failure_probability = 0.5;
+  fc.seed = 3;
+  auto flaky =
+      std::make_shared<FaultInjectionStore>(std::make_shared<InMemoryStore>(), fc);
+  auto limited = std::make_shared<RateLimitedStore>(flaky, LinkConfig{});
+  RetryingStore store(limited, RetryPolicy{.max_attempts = 64});
+  for (int i = 0; i < 20; ++i) {
+    store.Put("k" + std::to_string(i), Bytes("v"));
+  }
+  EXPECT_GT(flaky->injected_put_failures(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(store.Exists("k" + std::to_string(i)));
+  }
+}
+
+TEST(RetryingStore, NonOwningVariantSharesTheBacking) {
+  InMemoryStore inner;
+  RetryingStore store(inner, RetryPolicy{});
+  store.Put("k", Bytes("v"));
+  EXPECT_TRUE(inner.Exists("k"));
+}
+
+TEST(RetryingStore, InvalidConstructionThrows) {
+  EXPECT_THROW(RetryingStore(nullptr, RetryPolicy{}), std::invalid_argument);
+  auto inner = std::make_shared<InMemoryStore>();
+  EXPECT_THROW(RetryingStore(inner, RetryPolicy{.max_attempts = 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::storage

@@ -25,6 +25,28 @@ const char* KindName(storage::CheckpointKind kind) {
   return kind == storage::CheckpointKind::kFull ? "full" : "incremental";
 }
 
+double Ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
+
+bool HasTimings(const storage::StageTimings& t) {
+  return t.snapshot_us | t.plan_us | t.encode_us | t.store_us | t.commit_us |
+         t.encode_queue_us | t.store_queue_us;
+}
+
+// Per-stage write-path breakdown recorded by the checkpoint pipeline
+// (manifest format v2; older manifests have no timings).
+void PrintTimings(const storage::StageTimings& t, const char* indent) {
+  if (!HasTimings(t)) {
+    std::printf("%sstage timings:   (not recorded; pre-v2 manifest)\n", indent);
+    return;
+  }
+  std::printf("%sstage timings:   snapshot %.2f ms | plan %.2f ms | encode %.2f ms"
+              " | store %.2f ms | commit %.2f ms\n",
+              indent, Ms(t.snapshot_us), Ms(t.plan_us), Ms(t.encode_us), Ms(t.store_us),
+              Ms(t.commit_us));
+  std::printf("%squeue waits:     encode %.2f ms | store %.2f ms\n", indent,
+              Ms(t.encode_queue_us), Ms(t.store_queue_us));
+}
+
 std::set<std::string> ListJobs(storage::ObjectStore& store) {
   std::set<std::string> jobs;
   for (const auto& key : store.List("jobs/")) {
@@ -53,17 +75,22 @@ void DescribeJob(storage::ObjectStore& store, const std::string& job) {
     return;
   }
   std::printf("job %s: %zu checkpoint(s)\n", job.c_str(), ids.size());
-  std::printf("%8s %-12s %8s %10s %12s %10s %8s\n", "id", "kind", "parent", "batches",
-              "bytes", "chunks", "quant");
+  std::printf("%8s %-12s %8s %10s %12s %10s %8s %10s %10s\n", "id", "kind", "parent",
+              "batches", "bytes", "chunks", "quant", "stall(ms)", "write(ms)");
   for (const auto id : ids) {
     const auto m = core::LoadManifest(store, job, id);
-    std::printf("%8llu %-12s %8llu %10llu %12llu %10zu %5db/%s\n",
+    // Write-path cpu/link time: the background stages, summed (the trainer
+    // only ever pays the snapshot stall).
+    const double write_ms =
+        Ms(m.timings.plan_us + m.timings.encode_us + m.timings.store_us + m.timings.commit_us);
+    std::printf("%8llu %-12s %8llu %10llu %12llu %10zu %5db/%s %10.2f %10.2f\n",
                 static_cast<unsigned long long>(m.checkpoint_id), KindName(m.kind),
                 static_cast<unsigned long long>(m.parent_id),
                 static_cast<unsigned long long>(m.batches_trained),
                 static_cast<unsigned long long>(m.TotalBytes()), m.chunks.size(),
                 m.quant.method == quant::Method::kNone ? 32 : m.quant.bits,
-                quant::MethodName(m.quant.method).c_str());
+                quant::MethodName(m.quant.method).c_str(), Ms(m.timings.snapshot_us),
+                write_ms);
   }
   const auto latest = *core::LatestCheckpointId(store, job);
   const auto chain = core::ResolveChain(store, job, latest);
@@ -90,6 +117,7 @@ void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
   std::printf("  dense blob:      %llu bytes (%s)\n",
               static_cast<unsigned long long>(m.dense_bytes), m.dense_key.c_str());
   std::printf("  reader state:    %zu bytes\n", m.reader_state.size());
+  PrintTimings(m.timings, "  ");
 
   // Per (table, shard) chunk breakdown.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<std::uint64_t, std::uint64_t>>
