@@ -1,6 +1,7 @@
 #include "core/pipeline/chunk_codec.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/crc32.h"
@@ -74,6 +75,46 @@ std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::Qu
   // Trailing CRC-32C lets recovery detect storage-tier corruption.
   w.Put<std::uint32_t>(util::Crc32c(w.bytes().data(), w.size()));
   return w.TakeBytes();
+}
+
+DecodedChunk DecodeChunkBlob(std::span<const std::uint8_t> blob, const quant::QuantConfig& qc,
+                             const std::string& key) {
+  // Verify the trailing CRC-32C before trusting any field.
+  if (blob.size() < sizeof(std::uint32_t)) {
+    throw std::runtime_error("recovery: chunk too small " + key);
+  }
+  const std::size_t payload = blob.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + payload, sizeof(stored_crc));
+  if (util::Crc32c(blob.data(), payload) != stored_crc) {
+    throw std::runtime_error("recovery: checksum mismatch in chunk " + key);
+  }
+
+  util::Reader r(std::span<const std::uint8_t>(blob.data(), payload));
+  DecodedChunk c;
+  c.table_id = r.Get<std::uint32_t>();
+  c.shard_id = r.Get<std::uint32_t>();
+  c.num_rows = r.Get<std::uint64_t>();
+  c.dim = r.Get<std::uint64_t>();
+  c.explicit_indices = r.Get<std::uint8_t>() != 0;
+  if (c.explicit_indices) {
+    c.rows.resize(c.num_rows);
+    std::uint32_t prev = 0;
+    for (std::uint64_t i = 0; i < c.num_rows; ++i) {
+      const auto delta = static_cast<std::uint32_t>(r.GetVarint());
+      prev = (i == 0) ? delta : prev + delta;
+      c.rows[i] = prev;
+    }
+  } else {
+    c.start_row = r.Get<std::uint64_t>();
+  }
+  c.adagrad.resize(c.num_rows);
+  r.GetBytes(c.adagrad.data(), c.num_rows * sizeof(float));
+  c.weights.resize(c.num_rows * c.dim);
+  for (std::uint64_t i = 0; i < c.num_rows; ++i) {
+    quant::DecodeRow(r, qc, std::span<float>(c.weights.data() + i * c.dim, c.dim));
+  }
+  return c;
 }
 
 util::Rng ChunkRng(std::uint64_t seed, std::uint64_t checkpoint_id, std::size_t chunk_ordinal) {

@@ -1,12 +1,15 @@
-// Chunk planning and encoding — the pure kernels behind the pipeline's Plan
-// and Encode stages (paper §5.2).
+// Chunk planning, encoding, and decoding — the pure kernels behind the write
+// pipeline's Plan/Encode stages and the restore pipeline's Decode stage
+// (paper §5.2).
 //
 // A checkpoint is stored as chunk objects, each a bounded run of embedding
 // rows from one shard snapshot. BuildChunkTasks turns a snapshot plus the
 // policy's CheckpointPlan into the chunk work-list; EncodeChunkTask turns one
-// task into its stored byte representation. Both are side-effect-free so the
-// staged pipeline (pipeline.h) and the synchronous writer facade (writer.h)
-// share them, and so they unit-test without any threads or stores.
+// task into its stored byte representation; DecodeChunkBlob reverses it
+// (CRC verify + parse + de-quantize) without touching a model. All are
+// side-effect-free so the staged pipelines (pipeline.h, restore.h) and the
+// synchronous facades (writer.h, recovery.h) share them, and so they
+// unit-test without any threads or stores.
 //
 // Chunk layout (binary, little-endian):
 //   u32 table_id, u32 shard_id
@@ -25,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,6 +69,35 @@ std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::Qu
 // Deterministic per-chunk rng stream, independent of which worker encodes the
 // chunk and in what order.
 util::Rng ChunkRng(std::uint64_t seed, std::uint64_t checkpoint_id, std::size_t chunk_ordinal);
+
+// One chunk after the read direction of the codec: header fields, row
+// indices, optimizer state, and fully de-quantized fp32 weights. Produced by
+// DecodeChunkBlob; applying it to a model (recovery.h) is a plain memcpy-like
+// pass with no further parsing or arithmetic.
+struct DecodedChunk {
+  std::uint32_t table_id = 0;
+  std::uint32_t shard_id = 0;
+  std::uint64_t num_rows = 0;
+  std::uint64_t dim = 0;
+  bool explicit_indices = false;
+  std::uint64_t start_row = 0;      // when contiguous
+  std::vector<std::uint32_t> rows;  // when explicit
+  std::vector<float> adagrad;       // num_rows
+  std::vector<float> weights;       // num_rows * dim, de-quantized
+
+  std::size_t RowIndex(std::size_t i) const {
+    return explicit_indices ? rows[i] : static_cast<std::size_t>(start_row + i);
+  }
+  std::span<const float> Row(std::size_t i) const { return {weights.data() + i * dim, dim}; }
+};
+
+// Verifies the trailing CRC-32C, parses the chunk layout above, and
+// de-quantizes every row with `qc` (the quantization config of the manifest
+// the chunk belongs to). `key` is used only for error messages. Throws
+// std::runtime_error on corruption — recovery treats the chunk's checkpoint
+// as unusable rather than restoring garbage.
+DecodedChunk DecodeChunkBlob(std::span<const std::uint8_t> blob, const quant::QuantConfig& qc,
+                             const std::string& key);
 
 // Manifest entry (including the object-store key) for one encoded chunk.
 // Both write paths assemble chunk metadata through this, so the key format

@@ -8,18 +8,11 @@
 
 #include "core/pipeline/chunk_codec.h"
 #include "core/pipeline/commit.h"
+#include "util/wallclock.h"
 
 namespace cnr::core::pipeline {
 
-namespace {
-
-std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
-  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                        std::chrono::steady_clock::now() - since)
-                                        .count());
-}
-
-}  // namespace
+using util::ElapsedUs;
 
 // Shared state of one checkpoint travelling through the stages. Stage
 // hand-offs happen through the queues' mutexes, so plain fields written by an

@@ -1,0 +1,297 @@
+#include "core/pipeline/restore.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/pipeline/bounded_queue.h"
+#include "storage/retrying_store.h"
+#include "util/wallclock.h"
+
+namespace cnr::core::pipeline {
+
+using util::ElapsedUs;
+
+namespace {
+
+struct FetchJob {
+  std::size_t pos = 0;    // chain position (index into the manifest vector)
+  std::size_t chunk = 0;  // index into that manifest's chunk list
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+struct DecodeJob {
+  std::size_t pos = 0;
+  std::size_t chunk = 0;
+  std::vector<std::uint8_t> blob;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+struct ApplyJob {
+  std::size_t pos = 0;
+  DecodedChunk chunk;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+}  // namespace
+
+std::vector<storage::Manifest> ResolveChainManifests(storage::ObjectStore& store,
+                                                     const std::string& job,
+                                                     std::uint64_t id) {
+  std::vector<storage::Manifest> chain;
+  std::uint64_t cur = id;
+  while (true) {
+    auto blob = store.Get(storage::Manifest::ManifestKey(job, cur));
+    if (!blob) {
+      throw std::runtime_error("recovery: no manifest for checkpoint " + std::to_string(cur));
+    }
+    auto manifest = storage::Manifest::Decode(*blob);
+    const bool full = manifest.kind == storage::CheckpointKind::kFull;
+    if (!full && manifest.parent_id == cur) {
+      throw std::runtime_error("recovery: self-referencing chain");
+    }
+    const auto parent = manifest.parent_id;
+    chain.push_back(std::move(manifest));
+    if (full) break;
+    cur = parent;
+    if (chain.size() > 100000) throw std::runtime_error("recovery: chain too long");
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string& job,
+                                  std::uint64_t checkpoint_id, ChunkApplier& applier,
+                                  const RestoreConfig& config) {
+  const auto entry_time = std::chrono::steady_clock::now();
+  RestoreConfig cfg = config;
+  cfg.fetch_threads = std::max<std::size_t>(cfg.fetch_threads, 1);
+  cfg.decode_threads = std::max<std::size_t>(cfg.decode_threads, 1);
+  cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
+  cfg.max_inflight_checkpoints = std::max<std::size_t>(cfg.max_inflight_checkpoints, 1);
+  cfg.get_attempts = std::max(cfg.get_attempts, 1);
+
+  storage::RetryPolicy retry_policy;
+  retry_policy.max_attempts = cfg.get_attempts;
+  storage::RetryingStore retrying(store, retry_policy);
+
+  RestoreOutcome out;
+  std::atomic<std::uint64_t> bytes_read{0};
+
+  // Resolve stage: the chain (and every manifest on it) must be known before
+  // any chunk can be named, so this runs serially on the caller thread.
+  // Manifest bytes are not part of bytes_read (facade parity).
+  const auto t_resolve = std::chrono::steady_clock::now();
+  std::vector<storage::Manifest> manifests =
+      ResolveChainManifests(retrying, job, checkpoint_id);
+  out.timings.resolve_us = ElapsedUs(t_resolve);
+  out.chain.reserve(manifests.size());
+  for (const auto& m : manifests) out.chain.push_back(m.checkpoint_id);
+  const std::size_t n_pos = manifests.size();
+
+  BoundedQueue<FetchJob> fetch_q(cfg.queue_capacity);
+  BoundedQueue<DecodeJob> decode_q(cfg.queue_capacity);
+  BoundedQueue<ApplyJob> apply_q(cfg.queue_capacity);
+
+  std::atomic<std::uint64_t> fetch_us{0}, decode_us{0}, apply_us{0};
+  std::atomic<std::uint64_t> fetch_queue_us{0}, decode_queue_us{0}, apply_queue_us{0};
+  std::atomic<std::uint64_t> rows_applied{0};
+
+  // First failure wins; the flag turns the remaining stage work into drains.
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  // Admission gate state: how many chain positions have fully applied. The
+  // feeder waits on this to cap fetch look-ahead; a failure wakes it too.
+  std::mutex pos_mu;
+  std::condition_variable pos_cv;
+  std::size_t applied_pos = 0;
+
+  const auto mark_failed = [&](std::exception_ptr e) {
+    {
+      std::lock_guard lock(error_mu);
+      if (!first_error) first_error = std::move(e);
+    }
+    failed.store(true, std::memory_order_release);
+    {
+      std::lock_guard lock(pos_mu);  // pairs with the feeder's predicate read
+    }
+    pos_cv.notify_all();
+  };
+
+  std::vector<std::thread> fetchers;
+  for (std::size_t i = 0; i < cfg.fetch_threads; ++i) {
+    fetchers.emplace_back([&] {
+      while (auto job_item = fetch_q.Pop()) {
+        fetch_queue_us.fetch_add(ElapsedUs(job_item->enqueued), std::memory_order_relaxed);
+        if (failed.load(std::memory_order_acquire)) continue;
+        try {
+          const auto& info = manifests[job_item->pos].chunks[job_item->chunk];
+          const auto t0 = std::chrono::steady_clock::now();
+          auto blob = retrying.Get(info.key);
+          fetch_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+          if (!blob) throw std::runtime_error("recovery: missing chunk object " + info.key);
+          bytes_read.fetch_add(blob->size(), std::memory_order_relaxed);
+          decode_q.Push(DecodeJob{job_item->pos, job_item->chunk, std::move(*blob),
+                                  std::chrono::steady_clock::now()});
+        } catch (...) {
+          mark_failed(std::current_exception());
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> decoders;
+  for (std::size_t i = 0; i < cfg.decode_threads; ++i) {
+    decoders.emplace_back([&] {
+      while (auto job_item = decode_q.Pop()) {
+        decode_queue_us.fetch_add(ElapsedUs(job_item->enqueued), std::memory_order_relaxed);
+        if (failed.load(std::memory_order_acquire)) continue;
+        try {
+          const auto& manifest = manifests[job_item->pos];
+          const auto t0 = std::chrono::steady_clock::now();
+          auto chunk = DecodeChunkBlob(job_item->blob, manifest.quant,
+                                       manifest.chunks[job_item->chunk].key);
+          decode_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+          apply_q.Push(ApplyJob{job_item->pos, std::move(chunk),
+                                std::chrono::steady_clock::now()});
+        } catch (...) {
+          mark_failed(std::current_exception());
+        }
+      }
+    });
+  }
+
+  std::thread apply_thread([&] {
+    // Chunks left to apply per chain position; a position is complete (and
+    // the next may start applying) when its count reaches zero.
+    std::vector<std::size_t> remaining(n_pos);
+    for (std::size_t p = 0; p < n_pos; ++p) remaining[p] = manifests[p].chunks.size();
+    std::size_t next_pos = 0;
+    // Reorder buffer: decoded chunks that arrived ahead of their position.
+    // Bounded by the feeder's look-ahead admission, not by this thread.
+    std::map<std::size_t, std::vector<ApplyJob>> held;
+
+    const auto apply_one = [&](ApplyJob& job_item) {
+      apply_queue_us.fetch_add(ElapsedUs(job_item.enqueued), std::memory_order_relaxed);
+      if (!failed.load(std::memory_order_acquire)) {
+        try {
+          const auto t0 = std::chrono::steady_clock::now();
+          applier.ApplyChunk(job_item.chunk);
+          apply_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+          rows_applied.fetch_add(job_item.chunk.num_rows, std::memory_order_relaxed);
+        } catch (...) {
+          mark_failed(std::current_exception());
+        }
+      }
+      --remaining[job_item.pos];
+    };
+
+    const auto drain_ready = [&] {
+      while (next_pos < n_pos && remaining[next_pos] == 0) {
+        ++next_pos;
+        {
+          std::lock_guard lock(pos_mu);
+          applied_pos = next_pos;
+        }
+        pos_cv.notify_all();
+        if (next_pos >= n_pos) break;
+        const auto it = held.find(next_pos);
+        if (it == held.end()) continue;
+        auto ready = std::move(it->second);
+        held.erase(it);
+        for (auto& job_item : ready) apply_one(job_item);
+      }
+    };
+
+    drain_ready();  // advance past any zero-chunk prefix (empty incrementals)
+    while (auto job_item = apply_q.Pop()) {
+      if (job_item->pos != next_pos) {
+        held[job_item->pos].push_back(std::move(*job_item));
+        continue;
+      }
+      apply_one(*job_item);
+      drain_ready();
+    }
+  });
+
+  // Feeder: enqueue every chunk fetch in chain order, gated by look-ahead.
+  for (std::size_t p = 0; p < n_pos && !failed.load(std::memory_order_acquire); ++p) {
+    {
+      std::unique_lock lock(pos_mu);
+      pos_cv.wait(lock, [&] {
+        return p < applied_pos + cfg.max_inflight_checkpoints ||
+               failed.load(std::memory_order_acquire);
+      });
+    }
+    if (failed.load(std::memory_order_acquire)) break;
+    for (std::size_t c = 0; c < manifests[p].chunks.size(); ++c) {
+      fetch_q.Push(FetchJob{p, c, std::chrono::steady_clock::now()});
+    }
+  }
+  fetch_q.Close();
+
+  // The dense blob only depends on the newest manifest, so its fetch overlaps
+  // with the tail of the chunk stages.
+  std::vector<std::uint8_t> dense_blob;
+  if (!failed.load(std::memory_order_acquire)) {
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto blob = retrying.Get(manifests.back().dense_key);
+      fetch_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+      if (!blob) throw std::runtime_error("recovery: missing dense blob");
+      bytes_read.fetch_add(blob->size(), std::memory_order_relaxed);
+      dense_blob = std::move(*blob);
+    } catch (...) {
+      mark_failed(std::current_exception());
+    }
+  }
+
+  // Shutdown cascade: each queue closes only after its producers joined, so
+  // Close can never race a Push.
+  for (auto& t : fetchers) t.join();
+  decode_q.Close();
+  for (auto& t : decoders) t.join();
+  apply_q.Close();
+  apply_thread.join();
+
+  if (failed.load(std::memory_order_acquire)) {
+    std::exception_ptr error;
+    {
+      std::lock_guard lock(error_mu);
+      error = first_error;
+    }
+    std::rethrow_exception(error);
+  }
+
+  {
+    // Dense state applies last, after every chunk — same order the facade and
+    // the write path's commit established.
+    const auto t0 = std::chrono::steady_clock::now();
+    applier.ApplyDense(dense_blob);
+    apply_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+  }
+
+  out.rows_applied = rows_applied.load(std::memory_order_relaxed);
+  out.bytes_read = bytes_read.load(std::memory_order_relaxed);
+  out.timings.fetch_us = fetch_us.load(std::memory_order_relaxed);
+  out.timings.decode_us = decode_us.load(std::memory_order_relaxed);
+  out.timings.apply_us = apply_us.load(std::memory_order_relaxed);
+  out.timings.fetch_queue_us = fetch_queue_us.load(std::memory_order_relaxed);
+  out.timings.decode_queue_us = decode_queue_us.load(std::memory_order_relaxed);
+  out.timings.apply_queue_us = apply_queue_us.load(std::memory_order_relaxed);
+  out.timings.restore_wall_us = ElapsedUs(entry_time);
+  out.newest = std::move(manifests.back());
+  return out;
+}
+
+}  // namespace cnr::core::pipeline

@@ -1,0 +1,126 @@
+// Staged restore pipeline — the read-direction mirror of pipeline.h.
+//
+// Recovery replays a baseline plus a chain of incrementals, and its wall time
+// is on the critical path of resuming training (paper §5.1). The monolithic
+// read loop (fetch, then decode, then apply, one chunk at a time) leaves the
+// storage link idle while the CPU de-quantizes and vice versa; this pipeline
+// overlaps them, connected by the same bounded MPMC queues as the write path:
+//
+//   Resolve ──► Fetch ──► Decode ──► Apply
+//   (caller      (N         (M        (1 thread,
+//    thread)      threads)   threads)  chain order)
+//
+//   - Resolve: walks parent_id links from the requested checkpoint back to
+//     its full baseline and loads every manifest on the chain (caller
+//     thread; the chain must be known before any chunk can be named).
+//   - Fetch: Gets chunk objects from the store. Transient-fault retry is the
+//     storage::RetryingStore decorator's job — the pipeline wraps the
+//     caller's store in one (`get_attempts` deep), so a flaky replica costs
+//     retries, not a failed restore.
+//   - Decode: verifies CRC, parses, and de-quantizes chunks concurrently
+//     (chunk_codec.h — the read direction of the same codec the write
+//     pipeline encodes with).
+//   - Apply: hands decoded chunks to a ChunkApplier. Chain order is enforced
+//     the same way the write path enforces in-order commit: a reorder buffer
+//     keyed by chain position holds chunks that arrive early, so a newer
+//     checkpoint's rows can never be overwritten by an older checkpoint's.
+//     Within one checkpoint chunks cover disjoint rows, so their order is
+//     free.
+//
+// Backpressure and look-ahead: every queue is bounded, and the Resolve
+// (feeder) thread admits chunk fetches for chain position p only once
+// position p - max_inflight_checkpoints has fully applied — the read-side
+// analog of the write path's admission gate. This bounds both memory (the
+// reorder buffer cannot grow past the look-ahead window) and how far a
+// failed restore can have fetched ahead.
+//
+// Failure semantics: the first error (missing chunk, checksum mismatch,
+// exhausted retries, applier error) poisons the run; the remaining stage
+// workers drain their queues without doing work, threads join, and the error
+// rethrows from RunRestorePipeline. The applier may have absorbed a prefix
+// of the chain — same partial-state contract as the synchronous facade, and
+// why callers restore into a freshly constructed model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline/chunk_codec.h"
+#include "storage/manifest.h"
+#include "storage/object_store.h"
+
+namespace cnr::core::pipeline {
+
+// Per-stage wall and queue-wait times (microseconds) of one restore. The
+// read-path sibling of storage::StageTimings; not persisted (a restore has no
+// manifest of its own) but surfaced through RestoreResult, the restore bench,
+// and cnr_inspect's restore drill. fetch/decode/apply are sums over chunks
+// (across workers, so they can exceed the wall); resolve is a single wall.
+struct RestoreTimings {
+  std::uint64_t resolve_us = 0;       // chain walk + manifest loads
+  std::uint64_t fetch_us = 0;         // chunk + dense Get wall (incl. retries)
+  std::uint64_t decode_us = 0;        // CRC + parse + de-quantize cpu
+  std::uint64_t apply_us = 0;         // in-place row/dense writes
+  std::uint64_t fetch_queue_us = 0;   // chunk names waiting for a fetch worker
+  std::uint64_t decode_queue_us = 0;  // fetched blobs waiting for a decoder
+  std::uint64_t apply_queue_us = 0;   // decoded chunks waiting to apply
+                                      // (includes chain-order reorder wait)
+  std::uint64_t restore_wall_us = 0;  // entry to return
+
+  // Sum of the per-stage walls: what a fully serial restore would cost. The
+  // pipeline's win is restore_wall_us < StageSumUs().
+  std::uint64_t StageSumUs() const { return resolve_us + fetch_us + decode_us + apply_us; }
+};
+
+// Sink for decoded restore data. ApplyChunk is called from the pipeline's
+// single apply thread, strictly in chain order across checkpoints; ApplyDense
+// is called once, on the caller thread after every stage worker has joined,
+// with the newest manifest's dense blob. Implementations need no locking.
+class ChunkApplier {
+ public:
+  virtual ~ChunkApplier() = default;
+  virtual void ApplyChunk(const DecodedChunk& chunk) = 0;
+  virtual void ApplyDense(std::span<const std::uint8_t> dense_blob) = 0;
+};
+
+struct RestoreConfig {
+  std::size_t fetch_threads = 2;
+  std::size_t decode_threads = 2;
+  // Capacity of the fetch/decode/apply queues, in chunks.
+  std::size_t queue_capacity = 16;
+  // How many chain positions the fetch stage may run ahead of the apply
+  // stage. 1 serializes checkpoints (stages still overlap within one);
+  // 2 (default) fetches checkpoint k+1 while k applies.
+  std::size_t max_inflight_checkpoints = 2;
+  // RetryingStore depth for every Get this restore issues.
+  int get_attempts = 3;
+};
+
+struct RestoreOutcome {
+  std::vector<std::uint64_t> chain;  // checkpoint ids, oldest first
+  std::uint64_t rows_applied = 0;
+  std::uint64_t bytes_read = 0;  // chunks + dense blob (same as RestoreModel)
+  RestoreTimings timings;
+  // The requested checkpoint's manifest — authoritative trainer progress and
+  // reader state for the caller to resume from.
+  storage::Manifest newest;
+};
+
+// Walks parent_id links from checkpoint `id` back to its full baseline and
+// returns every manifest on the chain, oldest first. One manifest read per
+// chain link — the single chain walker behind the pipeline's Resolve stage,
+// the synchronous facade, and core::ResolveChain. Throws on a missing
+// manifest, a self-referencing link, or an absurdly long chain.
+std::vector<storage::Manifest> ResolveChainManifests(storage::ObjectStore& store,
+                                                     const std::string& job, std::uint64_t id);
+
+// Restores checkpoint `checkpoint_id` of `job` into `applier` with the
+// staged pipeline above. Throws on any failure after shutting the stages
+// down; see the failure-semantics note in the header comment.
+RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string& job,
+                                  std::uint64_t checkpoint_id, ChunkApplier& applier,
+                                  const RestoreConfig& config = {});
+
+}  // namespace cnr::core::pipeline

@@ -1,79 +1,81 @@
 #include "core/recovery.h"
 
-#include "util/crc32.h"
-
-#include <algorithm>
-#include <cstring>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 
+#include "core/pipeline/chunk_codec.h"
+#include "util/wallclock.h"
+
 namespace cnr::core {
+
+using util::ElapsedUs;
 
 namespace {
 
-// Applies every chunk of `manifest` to `model`, de-quantizing with the
-// manifest's own quantization config. Returns rows applied.
+// Fetches, decodes, and applies every chunk of `manifest` to `applier`, one
+// chunk at a time on the calling thread — the synchronous body both
+// RestoreModel and ApplyCheckpointDelta loop over. Returns rows applied.
 std::uint64_t ApplyManifest(storage::ObjectStore& store, const storage::Manifest& manifest,
-                            dlrm::DlrmModel& model, std::uint64_t& bytes_read) {
+                            pipeline::ChunkApplier& applier, std::uint64_t& bytes_read,
+                            pipeline::RestoreTimings& timings) {
   std::uint64_t rows_applied = 0;
-  std::vector<float> row;
   for (const auto& info : manifest.chunks) {
+    const auto t_fetch = std::chrono::steady_clock::now();
     auto blob = store.Get(info.key);
+    timings.fetch_us += ElapsedUs(t_fetch);
     if (!blob) {
       throw std::runtime_error("recovery: missing chunk object " + info.key);
     }
     bytes_read += blob->size();
-    // Verify the trailing CRC-32C before trusting any field.
-    if (blob->size() < sizeof(std::uint32_t)) {
-      throw std::runtime_error("recovery: chunk too small " + info.key);
-    }
-    const std::size_t payload = blob->size() - sizeof(std::uint32_t);
-    std::uint32_t stored_crc = 0;
-    std::memcpy(&stored_crc, blob->data() + payload, sizeof(stored_crc));
-    if (util::Crc32c(blob->data(), payload) != stored_crc) {
-      throw std::runtime_error("recovery: checksum mismatch in chunk " + info.key);
-    }
-    util::Reader r(std::span<const std::uint8_t>(blob->data(), payload));
-    const auto table_id = r.Get<std::uint32_t>();
-    const auto shard_id = r.Get<std::uint32_t>();
-    const auto num_rows = r.Get<std::uint64_t>();
-    const auto dim = r.Get<std::uint64_t>();
-    const bool explicit_indices = r.Get<std::uint8_t>() != 0;
-    if (table_id >= model.num_tables()) throw std::runtime_error("recovery: bad table id");
-    auto& table = model.table(table_id);
-    if (shard_id >= table.num_shards()) throw std::runtime_error("recovery: bad shard id");
-    auto& shard = table.Shard(shard_id);
-    if (dim != shard.dim()) throw std::runtime_error("recovery: dim mismatch");
-
-    std::vector<std::uint32_t> indices;
-    std::uint64_t start_row = 0;
-    if (explicit_indices) {
-      indices.resize(num_rows);
-      std::uint32_t prev = 0;
-      for (std::uint64_t i = 0; i < num_rows; ++i) {
-        const auto delta = static_cast<std::uint32_t>(r.GetVarint());
-        prev = (i == 0) ? delta : prev + delta;
-        indices[i] = prev;
-      }
-    } else {
-      start_row = r.Get<std::uint64_t>();
-    }
-    std::vector<float> adagrad(num_rows);
-    r.GetBytes(adagrad.data(), num_rows * sizeof(float));
-
-    row.resize(dim);
-    for (std::uint64_t i = 0; i < num_rows; ++i) {
-      quant::DecodeRow(r, manifest.quant, row);
-      const std::size_t local =
-          explicit_indices ? indices[i] : static_cast<std::size_t>(start_row + i);
-      shard.RestoreRow(local, row, adagrad[i]);
-      ++rows_applied;
-    }
+    const auto t_decode = std::chrono::steady_clock::now();
+    const auto chunk = pipeline::DecodeChunkBlob(*blob, manifest.quant, info.key);
+    timings.decode_us += ElapsedUs(t_decode);
+    const auto t_apply = std::chrono::steady_clock::now();
+    applier.ApplyChunk(chunk);
+    timings.apply_us += ElapsedUs(t_apply);
+    rows_applied += chunk.num_rows;
   }
   return rows_applied;
 }
 
+// Fetches the dense blob of `manifest` and applies it, filling the
+// progress/reader fields of `result` from the manifest.
+void ApplyNewestManifestState(storage::ObjectStore& store, const storage::Manifest& manifest,
+                              pipeline::ChunkApplier& applier, RestoreResult& result) {
+  const auto t_fetch = std::chrono::steady_clock::now();
+  auto dense = store.Get(manifest.dense_key);
+  result.timings.fetch_us += ElapsedUs(t_fetch);
+  if (!dense) throw std::runtime_error("recovery: missing dense blob");
+  result.bytes_read += dense->size();
+  const auto t_apply = std::chrono::steady_clock::now();
+  applier.ApplyDense(*dense);
+  result.timings.apply_us += ElapsedUs(t_apply);
+  result.reader_state = data::ReaderState::Decode(manifest.reader_state);
+  result.batches_trained = manifest.batches_trained;
+  result.samples_trained = manifest.samples_trained;
+  result.checkpoint_id = manifest.checkpoint_id;
+}
+
 }  // namespace
+
+void ModelApplier::ApplyChunk(const pipeline::DecodedChunk& chunk) {
+  if (chunk.table_id >= model_.num_tables()) throw std::runtime_error("recovery: bad table id");
+  auto& table = model_.table(chunk.table_id);
+  if (chunk.shard_id >= table.num_shards()) throw std::runtime_error("recovery: bad shard id");
+  auto& shard = table.Shard(chunk.shard_id);
+  if (chunk.dim != shard.dim()) throw std::runtime_error("recovery: dim mismatch");
+  for (std::uint64_t i = 0; i < chunk.num_rows; ++i) {
+    const std::size_t local = chunk.RowIndex(i);
+    if (local >= shard.num_rows()) throw std::runtime_error("recovery: row out of range");
+    shard.RestoreRow(local, chunk.Row(i), chunk.adagrad[i]);
+  }
+}
+
+void ModelApplier::ApplyDense(std::span<const std::uint8_t> dense_blob) {
+  util::Reader r(dense_blob);
+  model_.RestoreDense(r);
+}
 
 std::optional<std::uint64_t> LatestCheckpointId(storage::ObjectStore& store,
                                                 const std::string& job) {
@@ -100,16 +102,9 @@ storage::Manifest LoadManifest(storage::ObjectStore& store, const std::string& j
 std::vector<std::uint64_t> ResolveChain(storage::ObjectStore& store, const std::string& job,
                                         std::uint64_t id) {
   std::vector<std::uint64_t> chain;
-  std::uint64_t cur = id;
-  while (true) {
-    const auto manifest = LoadManifest(store, job, cur);
-    chain.push_back(cur);
-    if (manifest.kind == storage::CheckpointKind::kFull) break;
-    if (manifest.parent_id == cur) throw std::runtime_error("recovery: self-referencing chain");
-    cur = manifest.parent_id;
-    if (chain.size() > 100000) throw std::runtime_error("recovery: chain too long");
+  for (const auto& manifest : pipeline::ResolveChainManifests(store, job, id)) {
+    chain.push_back(manifest.checkpoint_id);
   }
-  std::reverse(chain.begin(), chain.end());
   return chain;
 }
 
@@ -144,48 +139,64 @@ void GarbageCollectJob(storage::ObjectStore& store, const std::string& job,
 
 RestoreResult ApplyCheckpointDelta(storage::ObjectStore& store, const std::string& job,
                                    std::uint64_t id, dlrm::DlrmModel& model) {
+  const auto entry_time = std::chrono::steady_clock::now();
   RestoreResult result;
+  ModelApplier applier(model);
+  const auto t_resolve = std::chrono::steady_clock::now();
   const auto manifest = LoadManifest(store, job, id);
-  result.rows_applied = ApplyManifest(store, manifest, model, result.bytes_read);
+  result.timings.resolve_us = ElapsedUs(t_resolve);
+  result.rows_applied = ApplyManifest(store, manifest, applier, result.bytes_read,
+                                      result.timings);
   result.checkpoints_applied = 1;
-  auto dense = store.Get(manifest.dense_key);
-  if (!dense) throw std::runtime_error("recovery: missing dense blob");
-  result.bytes_read += dense->size();
-  util::Reader r(*dense);
-  model.RestoreDense(r);
-  result.reader_state = data::ReaderState::Decode(manifest.reader_state);
-  result.batches_trained = manifest.batches_trained;
-  result.samples_trained = manifest.samples_trained;
-  result.checkpoint_id = id;
+  ApplyNewestManifestState(store, manifest, applier, result);
+  result.timings.restore_wall_us = ElapsedUs(entry_time);
   return result;
 }
 
 RestoreResult RestoreModel(storage::ObjectStore& store, const std::string& job,
                            dlrm::DlrmModel& model, std::optional<std::uint64_t> id) {
+  const auto entry_time = std::chrono::steady_clock::now();
   if (!id) {
     id = LatestCheckpointId(store, job);
     if (!id) throw std::runtime_error("recovery: job has no checkpoints: " + job);
   }
 
   RestoreResult result;
-  const auto chain = ResolveChain(store, job, *id);
-  for (const auto cid : chain) {
-    const auto manifest = LoadManifest(store, job, cid);
-    result.rows_applied += ApplyManifest(store, manifest, model, result.bytes_read);
+  ModelApplier applier(model);
+  const auto t_resolve = std::chrono::steady_clock::now();
+  const auto manifests = pipeline::ResolveChainManifests(store, job, *id);
+  result.timings.resolve_us = ElapsedUs(t_resolve);
+  for (const auto& manifest : manifests) {
+    result.rows_applied += ApplyManifest(store, manifest, applier, result.bytes_read,
+                                         result.timings);
     ++result.checkpoints_applied;
-    if (cid == *id) {
-      // Newest manifest carries the authoritative dense/reader/progress state.
-      auto dense = store.Get(manifest.dense_key);
-      if (!dense) throw std::runtime_error("recovery: missing dense blob");
-      result.bytes_read += dense->size();
-      util::Reader r(*dense);
-      model.RestoreDense(r);
-      result.reader_state = data::ReaderState::Decode(manifest.reader_state);
-      result.batches_trained = manifest.batches_trained;
-      result.samples_trained = manifest.samples_trained;
-      result.checkpoint_id = cid;
-    }
   }
+  // Newest manifest carries the authoritative dense/reader/progress state.
+  ApplyNewestManifestState(store, manifests.back(), applier, result);
+  result.timings.restore_wall_us = ElapsedUs(entry_time);
+  return result;
+}
+
+RestoreResult RestoreModelPipelined(storage::ObjectStore& store, const std::string& job,
+                                    dlrm::DlrmModel& model, std::optional<std::uint64_t> id,
+                                    const pipeline::RestoreConfig& config) {
+  if (!id) {
+    id = LatestCheckpointId(store, job);
+    if (!id) throw std::runtime_error("recovery: job has no checkpoints: " + job);
+  }
+
+  ModelApplier applier(model);
+  auto outcome = pipeline::RunRestorePipeline(store, job, *id, applier, config);
+
+  RestoreResult result;
+  result.checkpoint_id = outcome.newest.checkpoint_id;
+  result.batches_trained = outcome.newest.batches_trained;
+  result.samples_trained = outcome.newest.samples_trained;
+  result.reader_state = data::ReaderState::Decode(outcome.newest.reader_state);
+  result.checkpoints_applied = outcome.chain.size();
+  result.rows_applied = outcome.rows_applied;
+  result.bytes_read = outcome.bytes_read;
+  result.timings = outcome.timings;
   return result;
 }
 

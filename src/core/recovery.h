@@ -8,6 +8,16 @@
 // in its own manifest (checkpoints in one chain may differ, e.g. after an
 // 8-bit fallback). Dense state, reader state, and trainer progress come from
 // the newest manifest.
+//
+// Two restore paths share the same decode kernel (pipeline/chunk_codec.h)
+// and produce bit-identical model state:
+//   - RestoreModel: synchronous facade — fetches, decodes, and applies one
+//     chunk at a time on the calling thread (mirrors writer.h on the write
+//     side). Simple, and what tests and delta-application use.
+//   - RestoreModelPipelined: the staged Resolve → Fetch → Decode → Apply
+//     pipeline (pipeline/restore.h), overlapping chunk fetches with
+//     de-quantization and in-place apply. This is the recovery-time path;
+//     see docs/RECOVERY.md for the architecture.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline/restore.h"
 #include "data/reader.h"
 #include "dlrm/model.h"
 #include "storage/manifest.h"
@@ -30,6 +41,23 @@ struct RestoreResult {
   std::size_t checkpoints_applied = 0;  // chain length (1 for a full ckpt)
   std::uint64_t rows_applied = 0;
   std::uint64_t bytes_read = 0;
+  // Per-stage breakdown of this restore (both paths fill it; the facade's
+  // stage walls sum to its restore wall, the pipeline's overlap).
+  pipeline::RestoreTimings timings;
+};
+
+// Applies decoded restore data to a DlrmModel: the standard ChunkApplier
+// both restore paths use. Validates table/shard ids, dimensions, and row
+// bounds against the model's shape before touching it.
+class ModelApplier : public pipeline::ChunkApplier {
+ public:
+  explicit ModelApplier(dlrm::DlrmModel& model) : model_(model) {}
+
+  void ApplyChunk(const pipeline::DecodedChunk& chunk) override;
+  void ApplyDense(std::span<const std::uint8_t> dense_blob) override;
+
+ private:
+  dlrm::DlrmModel& model_;
 };
 
 // Id of the newest valid checkpoint of `job`, or nullopt if none exists.
@@ -50,6 +78,16 @@ std::vector<std::uint64_t> ResolveChain(storage::ObjectStore& store, const std::
 RestoreResult RestoreModel(storage::ObjectStore& store, const std::string& job,
                            dlrm::DlrmModel& model,
                            std::optional<std::uint64_t> id = std::nullopt);
+
+// Same contract and result as RestoreModel, through the staged restore
+// pipeline (pipeline/restore.h): chunk fetches overlap de-quantization and
+// apply, with chain order enforced. Bit-identical to RestoreModel on any
+// chain. On failure the model may hold a partially applied prefix — restore
+// into a freshly constructed model, as recovery always does.
+RestoreResult RestoreModelPipelined(storage::ObjectStore& store, const std::string& job,
+                                    dlrm::DlrmModel& model,
+                                    std::optional<std::uint64_t> id = std::nullopt,
+                                    const pipeline::RestoreConfig& config = {});
 
 // Deletes every checkpoint of `job` that is not on the recovery chain of
 // one of the `keep_lineages` newest checkpoints (the controller's GC step

@@ -191,4 +191,16 @@ bool DlrmModel::DenseEquals(const DlrmModel& other) const {
   return bottom_ == other.bottom_ && top_ == other.top_;
 }
 
+bool DlrmModel::StateEquals(const DlrmModel& other) const {
+  if (!DenseEquals(other)) return false;
+  if (num_tables() != other.num_tables()) return false;
+  for (std::size_t t = 0; t < num_tables(); ++t) {
+    if (table(t).num_shards() != other.table(t).num_shards()) return false;
+    for (std::size_t s = 0; s < table(t).num_shards(); ++s) {
+      if (!(table(t).Shard(s) == other.table(t).Shard(s))) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace cnr::dlrm

@@ -90,6 +90,11 @@ class DlrmModel {
 
   bool DenseEquals(const DlrmModel& other) const;
 
+  // Bit-exact equality of all checkpointable state: dense MLPs plus every
+  // embedding shard (weights and optimizer accumulators). The parity check
+  // the restore paths are held to.
+  bool StateEquals(const DlrmModel& other) const;
+
  private:
   struct SampleCache {
     MlpCache bottom;

@@ -27,6 +27,13 @@ void FaultInjectionStore::Put(const std::string& key, std::vector<std::uint8_t> 
 }
 
 std::optional<std::vector<std::uint8_t>> FaultInjectionStore::Get(const std::string& key) {
+  {
+    std::lock_guard lock(mu_);
+    if (rng_.NextBool(cfg_.get_failure_probability)) {
+      ++get_failures_;
+      throw StoreUnavailable("injected get failure for " + key);
+    }
+  }
   auto result = backing_->Get(key);
   if (result && !result->empty()) {
     std::lock_guard lock(mu_);

@@ -1,11 +1,14 @@
 // Fault-injecting object store wrapper for robustness testing.
 //
 // Wraps any ObjectStore and injects the failure modes a remote storage tier
-// exhibits in practice: transient write failures (timeouts, throttling) and
-// silent read corruption (bit rot that replication missed). Used by tests to
-// verify two system-level guarantees:
+// exhibits in practice: transient write failures (timeouts, throttling),
+// transient read failures (the same, on the restore path), and silent read
+// corruption (bit rot that replication missed). Used by tests to verify
+// three system-level guarantees:
 //   - a checkpoint whose write fails is never declared valid (its manifest
 //     is written last, so recovery falls back to the previous checkpoint),
+//   - a restore survives transient fetch failures through RetryingStore
+//     instead of abandoning the job,
 //   - corrupted chunks are rejected by the CRC check instead of being
 //     silently restored into the model.
 #pragma once
@@ -20,6 +23,7 @@ namespace cnr::storage {
 
 struct FaultConfig {
   double put_failure_probability = 0.0;   // Put throws StoreUnavailable
+  double get_failure_probability = 0.0;   // Get throws StoreUnavailable
   double read_corruption_probability = 0.0;  // Get flips one bit
   std::uint64_t seed = 1;
 };
@@ -37,6 +41,7 @@ class FaultInjectionStore : public ObjectStore {
   StoreStats Stats() override;
 
   std::uint64_t injected_put_failures() const { return put_failures_; }
+  std::uint64_t injected_get_failures() const { return get_failures_; }
   std::uint64_t injected_corruptions() const { return corruptions_; }
 
   // Runtime adjustment (e.g. heal the store mid-test).
@@ -48,6 +53,7 @@ class FaultInjectionStore : public ObjectStore {
   FaultConfig cfg_;
   util::Rng rng_;
   std::uint64_t put_failures_ = 0;
+  std::uint64_t get_failures_ = 0;
   std::uint64_t corruptions_ = 0;
 };
 

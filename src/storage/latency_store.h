@@ -1,0 +1,48 @@
+// Wall-clock latency decorator over an ObjectStore.
+//
+// Models the per-operation round-trip latency of a remote storage tier with
+// real sleeps, so pipelines that claim to hide fetch latency behind CPU work
+// can be demonstrated with honest wall-clock measurements (RateLimitedStore
+// models the same thing on a *simulated* timeline instead — use that for
+// experiments, this for live benches and examples).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "storage/object_store.h"
+
+namespace cnr::storage {
+
+class LatencyInjectedStore : public ObjectStore {
+ public:
+  LatencyInjectedStore(std::shared_ptr<ObjectStore> backing,
+                       std::chrono::microseconds get_latency,
+                       std::chrono::microseconds put_latency = std::chrono::microseconds(0))
+      : backing_(std::move(backing)), get_latency_(get_latency), put_latency_(put_latency) {}
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    if (put_latency_.count() > 0) std::this_thread::sleep_for(put_latency_);
+    backing_->Put(key, std::move(data));
+  }
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
+    if (get_latency_.count() > 0) std::this_thread::sleep_for(get_latency_);
+    return backing_->Get(key);
+  }
+  bool Exists(const std::string& key) override { return backing_->Exists(key); }
+  bool Delete(const std::string& key) override { return backing_->Delete(key); }
+  std::vector<std::string> List(const std::string& prefix) override {
+    return backing_->List(prefix);
+  }
+  std::uint64_t TotalBytes() override { return backing_->TotalBytes(); }
+  StoreStats Stats() override { return backing_->Stats(); }
+
+ private:
+  std::shared_ptr<ObjectStore> backing_;
+  std::chrono::microseconds get_latency_;
+  std::chrono::microseconds put_latency_;
+};
+
+}  // namespace cnr::storage

@@ -7,6 +7,10 @@
 // parent), the trainer progress, and the serialized reader state.
 // Check-N-Run's controller declares a checkpoint valid only after every
 // chunk and the manifest have been stored (paper §4.4 step 3).
+//
+// The byte-level v2 on-disk format (field by field, including StageTimings
+// and the lineage rule) is documented in docs/MANIFEST_FORMAT.md;
+// Encode/Decode in manifest.cc are the authoritative implementation.
 #pragma once
 
 #include <cstdint>

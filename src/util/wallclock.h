@@ -1,0 +1,17 @@
+// Wall-clock timing helper shared by the staged pipelines and facades.
+// (Simulated time is a different axis — see sim_clock.h.)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cnr::util {
+
+// Microseconds elapsed since `since` on the steady clock.
+inline std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+}  // namespace cnr::util

@@ -6,6 +6,7 @@
 
 #include "core/checknrun.h"
 #include "data/synthetic.h"
+#include "storage/retrying_store.h"
 
 namespace cnr::storage {
 namespace {
@@ -27,6 +28,33 @@ TEST(FaultInjectionStore, PutFailuresThrow) {
   EXPECT_THROW(store.Put("k", Bytes("v")), StoreUnavailable);
   EXPECT_EQ(store.injected_put_failures(), 1u);
   EXPECT_FALSE(store.Exists("k"));
+}
+
+TEST(FaultInjectionStore, GetFailuresThrow) {
+  FaultConfig cfg;
+  cfg.get_failure_probability = 1.0;
+  FaultInjectionStore store(std::make_shared<InMemoryStore>(), cfg);
+  store.Put("k", Bytes("v"));
+  EXPECT_THROW(store.Get("k"), StoreUnavailable);
+  EXPECT_EQ(store.injected_get_failures(), 1u);
+  // Healing the store makes the object readable again — the failure was
+  // transient, not data loss.
+  store.SetConfig(FaultConfig{});
+  EXPECT_EQ(*store.Get("k"), Bytes("v"));
+}
+
+TEST(FaultInjectionStore, RetryingStoreAbsorbsTransientGetFailures) {
+  FaultConfig cfg;
+  cfg.get_failure_probability = 0.5;
+  cfg.seed = 3;
+  auto flaky = std::make_shared<FaultInjectionStore>(std::make_shared<InMemoryStore>(), cfg);
+  flaky->Put("k", Bytes("v"));
+
+  RetryPolicy policy;
+  policy.max_attempts = 64;  // P(all fail) = 0.5^64: effectively never
+  RetryingStore retrying(flaky, policy);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(*retrying.Get("k"), Bytes("v"));
+  EXPECT_GT(flaky->injected_get_failures(), 0u) << "fault injection never fired";
 }
 
 TEST(FaultInjectionStore, ReadCorruptionFlipsOneBit) {

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (CI docs-lint step).
+
+Verifies that every relative link/image target in tracked *.md files exists,
+so docs cannot silently rot as files move. External (http/https/mailto)
+links are not fetched — CI must not flake on the network. Fragments
+(#anchors) are checked only for file existence, not anchor presence.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+Exit code 0 if all links resolve, 1 otherwise (failures listed on stderr).
+"""
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions: [label]: target
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced and inline code spans so example snippets aren't linted."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if not d.startswith(".") and d != "build"
+                       and not d.startswith("build-")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        text = strip_code(open(path, encoding="utf-8").read())
+        targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+        for target in targets:
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#", 1)[0]))
+            if not os.path.exists(resolved):
+                failures.append(f"{os.path.relpath(path, root)}: broken link -> {target}")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {checked} relative link(s); {len(failures)} broken")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

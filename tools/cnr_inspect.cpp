@@ -1,18 +1,23 @@
 // cnr_inspect — inspect a Check-N-Run checkpoint store on disk.
 //
 // Usage:
-//   cnr_inspect <store-dir>                  list jobs and their checkpoints
-//   cnr_inspect <store-dir> <job>            describe a job's checkpoints
-//   cnr_inspect <store-dir> <job> <ckpt-id>  dump one manifest in detail
+//   cnr_inspect <store-dir>                       list jobs and checkpoints
+//   cnr_inspect <store-dir> <job>                 describe a job's checkpoints
+//   cnr_inspect <store-dir> <job> <ckpt-id>       dump one manifest in detail
+//   cnr_inspect <store-dir> <job> restore [id]    restore drill: run the
+//       staged restore pipeline (fetch → decode, no model) over the chain of
+//       checkpoint `id` (default: newest) and print per-stage timings
 //
 // Works on any directory written through storage::FileStore (see
 // examples/durable_checkpoints.cpp). Read-only.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <set>
 #include <string>
 
+#include "core/pipeline/restore.h"
 #include "core/recovery.h"
 #include "storage/file_store.h"
 #include "storage/manifest.h"
@@ -45,6 +50,46 @@ void PrintTimings(const storage::StageTimings& t, const char* indent) {
               Ms(t.commit_us));
   std::printf("%squeue waits:     encode %.2f ms | store %.2f ms\n", indent,
               Ms(t.encode_queue_us), Ms(t.store_queue_us));
+}
+
+// Applier for the restore drill: exercises the full fetch/decode path of the
+// staged restore pipeline without needing a model to apply into (this tool
+// does not know the model's shape configuration).
+struct DrillApplier : core::pipeline::ChunkApplier {
+  std::uint64_t dense_bytes = 0;
+  void ApplyChunk(const core::pipeline::DecodedChunk&) override {}
+  void ApplyDense(std::span<const std::uint8_t> dense_blob) override {
+    dense_bytes = dense_blob.size();
+  }
+};
+
+// Per-stage read-path breakdown of a live restore (core/pipeline/restore.h).
+void PrintRestoreTimings(const core::pipeline::RestoreTimings& t, const char* indent) {
+  std::printf("%sstage walls:     resolve %.2f ms | fetch %.2f ms | decode %.2f ms"
+              " | apply %.2f ms\n",
+              indent, Ms(t.resolve_us), Ms(t.fetch_us), Ms(t.decode_us), Ms(t.apply_us));
+  std::printf("%squeue waits:     fetch %.2f ms | decode %.2f ms | apply %.2f ms\n", indent,
+              Ms(t.fetch_queue_us), Ms(t.decode_queue_us), Ms(t.apply_queue_us));
+  const double sum = Ms(t.StageSumUs());
+  const double wall = Ms(t.restore_wall_us);
+  std::printf("%srestore wall:    %.2f ms (stage sum %.2f ms, overlap %.2fx)\n", indent, wall,
+              sum, wall > 0.0 ? sum / wall : 0.0);
+}
+
+void RestoreDrill(storage::ObjectStore& store, const std::string& job,
+                  std::uint64_t id) {
+  DrillApplier applier;
+  const auto out = core::pipeline::RunRestorePipeline(store, job, id, applier);
+  std::printf("restore drill: checkpoint %llu of job %s\n",
+              static_cast<unsigned long long>(id), job.c_str());
+  std::printf("  chain:          ");
+  for (const auto cid : out.chain) std::printf(" %llu", static_cast<unsigned long long>(cid));
+  std::printf("  (%zu checkpoint(s))\n", out.chain.size());
+  std::printf("  rows decoded:    %llu\n", static_cast<unsigned long long>(out.rows_applied));
+  std::printf("  bytes read:      %llu (dense %llu)\n",
+              static_cast<unsigned long long>(out.bytes_read),
+              static_cast<unsigned long long>(applier.dense_bytes));
+  PrintRestoreTimings(out.timings, "  ");
 }
 
 std::set<std::string> ListJobs(storage::ObjectStore& store) {
@@ -140,8 +185,10 @@ void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 4) {
-    std::fprintf(stderr, "usage: %s <store-dir> [job] [checkpoint-id]\n", argv[0]);
+  if (argc < 2 || argc > 5 || (argc == 5 && std::strcmp(argv[3], "restore") != 0)) {
+    std::fprintf(stderr,
+                 "usage: %s <store-dir> [job] [checkpoint-id | restore [checkpoint-id]]\n",
+                 argv[0]);
     return 2;
   }
   try {
@@ -155,6 +202,19 @@ int main(int argc, char** argv) {
       for (const auto& job : jobs) DescribeJob(store, job);
     } else if (argc == 3) {
       DescribeJob(store, argv[2]);
+    } else if (std::strcmp(argv[3], "restore") == 0) {
+      std::uint64_t id;
+      if (argc == 5) {
+        id = std::strtoull(argv[4], nullptr, 10);
+      } else {
+        const auto latest = core::LatestCheckpointId(store, argv[2]);
+        if (!latest) {
+          std::printf("job %s: no checkpoints\n", argv[2]);
+          return 0;
+        }
+        id = *latest;
+      }
+      RestoreDrill(store, argv[2], id);
     } else {
       DescribeCheckpoint(store, argv[2], std::strtoull(argv[3], nullptr, 10));
     }
