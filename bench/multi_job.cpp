@@ -1,0 +1,148 @@
+// Multi-job fairness ablation: one CheckpointService, a bulk job streaming a
+// large full checkpoint, and a small latency-sensitive job submitting tiny
+// checkpoints — with equal scheduling weights vs. the small job weighted up.
+//
+// The store link is the bottleneck (one store worker, a real per-Put sleep),
+// so the scheduler decides whose chunks reach the link. Expectation: without
+// weighting the small job's submit-to-commit latency already stays far below
+// the large checkpoint's wall (round-robin interleaves chunk streams); with
+// weight 4 the small job's chunks take 4 of every 5 link slots and its
+// latency drops further. A single FIFO (what one shared pipeline without
+// per-job scheduling would do) would charge the first small checkpoint the
+// entire large backlog instead.
+//
+// Usage: bench_multi_job [smoke]   ("smoke" = 1 round at toy sizes, for CI)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+#include "storage/latency_store.h"
+
+using namespace cnr;
+using namespace std::chrono_literals;
+
+namespace {
+
+core::ModelSnapshot MakeSnapshot(std::size_t rows) {
+  core::ModelSnapshot snap;
+  snap.batches_trained = 1;
+  snap.samples_trained = 32;
+  snap.shards.resize(1);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    core::ShardSnapshot shard;
+    shard.table_id = 0;
+    shard.shard_id = s;
+    shard.num_rows = rows;
+    shard.dim = 8;
+    shard.weights.assign(shard.num_rows * shard.dim, 0.5f);
+    shard.adagrad.assign(shard.num_rows, 1.0f);
+    snap.shards[0].push_back(std::move(shard));
+  }
+  snap.dense_blob.assign(64, 3);
+  return snap;
+}
+
+core::CheckpointRequest MakeRequest(const std::string& job, std::uint64_t id,
+                                    std::size_t rows) {
+  core::CheckpointRequest req;
+  req.checkpoint_id = id;
+  req.writer.job = job;
+  req.writer.chunk_rows = 16;
+  req.writer.quant.method = quant::Method::kNone;
+  req.plan.kind = storage::CheckpointKind::kFull;
+  req.snapshot_fn = [rows] { return MakeSnapshot(rows); };
+  return req;
+}
+
+struct Outcome {
+  double small_p50_ms = 0.0;
+  double small_p99_ms = 0.0;  // max over the run — small sample counts
+  double large_wall_ms = 0.0;
+};
+
+Outcome RunScenario(std::uint32_t small_weight, std::size_t large_rows,
+                    std::size_t small_ckpts) {
+  auto inner = std::make_shared<storage::InMemoryStore>();
+  auto store =
+      std::make_shared<storage::LatencyInjectedStore>(inner, 0us, /*put_latency=*/200us);
+
+  core::ServiceConfig cfg;
+  cfg.encode_threads = 2;
+  cfg.store_threads = 1;  // serialize the link: the scheduler decides who goes
+  cfg.queue_capacity = 4;
+  cfg.max_inflight_checkpoints = 4;
+  core::CheckpointService service(store, cfg);
+
+  auto large = service.OpenJob([&] {
+    core::JobConfig job;
+    job.name = "large";
+    job.gc = false;
+    return job;
+  }());
+  auto small = service.OpenJob([&] {
+    core::JobConfig job;
+    job.name = "small";
+    job.weight = small_weight;
+    job.gc = false;
+    return job;
+  }());
+
+  auto large_future = large->SubmitRaw(MakeRequest("large", 1, large_rows));
+  std::vector<double> latencies_ms;
+  for (std::uint64_t id = 1; id <= small_ckpts; ++id) {
+    const auto t0 = std::chrono::steady_clock::now();
+    small->SubmitRaw(MakeRequest("small", id, /*rows=*/16)).get();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  const core::WriteResult large_result = large_future.get();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  Outcome out;
+  out.small_p50_ms = latencies_ms[latencies_ms.size() / 2];
+  out.small_p99_ms = latencies_ms.back();
+  out.large_wall_ms = static_cast<double>(large_result.write_wall.count()) / 1000.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  const std::size_t large_rows = smoke ? 256 : 4096;  // x2 shards / 16 = chunks
+  const std::size_t small_ckpts = smoke ? 4 : 16;
+
+  std::printf("bench: multi_job — weighted round-robin fairness on a shared service\n");
+  std::printf("large job: 1 full checkpoint, %zu chunks; small job: %zu checkpoints of "
+              "2 chunks; link 200 us/put, 1 store worker\n\n",
+              2 * large_rows / 16, small_ckpts);
+  std::printf("%-22s %14s %14s %16s\n", "scenario", "small p50 (ms)", "small p99 (ms)",
+              "large wall (ms)");
+
+  const Outcome equal = RunScenario(/*small_weight=*/1, large_rows, small_ckpts);
+  std::printf("%-22s %14.2f %14.2f %16.2f\n", "equal weights (1:1)", equal.small_p50_ms,
+              equal.small_p99_ms, equal.large_wall_ms);
+
+  const Outcome weighted = RunScenario(/*small_weight=*/4, large_rows, small_ckpts);
+  std::printf("%-22s %14.2f %14.2f %16.2f\n", "small weighted (4:1)", weighted.small_p50_ms,
+              weighted.small_p99_ms, weighted.large_wall_ms);
+
+  // The fairness claim: even the worst small-job latency is a small fraction
+  // of the large checkpoint's wall — no small checkpoint ever queued behind
+  // the whole bulk stream. In smoke mode the run is informational only: the
+  // large wall is a few milliseconds there, so one OS scheduling hiccup on a
+  // loaded CI runner could cross the ratio with no code defect (CI gates on
+  // "builds and runs", not on wall-clock ratios; the service fairness test
+  // asserts the bound at a 10x larger margin).
+  const bool bounded = equal.small_p99_ms < equal.large_wall_ms / 2.0 &&
+                       weighted.small_p99_ms < weighted.large_wall_ms / 2.0;
+  std::printf("\nsmall-job p99 bounded under a streaming full (p99 < large wall / 2): %s%s\n",
+              bounded ? "yes" : "NO", smoke ? " (informational in smoke mode)" : "");
+  return smoke ? 0 : (bounded ? 0 : 1);
+}

@@ -15,31 +15,60 @@ std::chrono::microseconds Us(std::uint64_t us) {
 
 }  // namespace
 
+JobConfig CheckNRun::MakeJobConfig() const {
+  JobConfig job;
+  job.name = cfg_.job;
+  job.weight = cfg_.job_weight;
+  job.max_inflight_checkpoints = cfg_.max_inflight_checkpoints;
+  job.policy = cfg_.policy;
+  job.policy_options = cfg_.policy_options;
+  job.quantize = cfg_.quantize;
+  job.dynamic_bitwidth = cfg_.dynamic_bitwidth;
+  job.expected_restarts = cfg_.expected_restarts;
+  job.quant = cfg_.quant;
+  job.chunk_rows = cfg_.chunk_rows;
+  job.gc = cfg_.gc;
+  job.keep_checkpoints = cfg_.keep_checkpoints;
+  job.model = &model_;
+  return job;
+}
+
 CheckNRun::CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader,
                      std::shared_ptr<storage::ObjectStore> store, CheckNRunConfig config)
     : model_(model),
       reader_(reader),
-      store_(std::move(store)),
       cfg_(std::move(config)),
-      tracker_(model),
-      policy_(cfg_.policy, CountTotalRows(model), cfg_.policy_options),
       pool_(cfg_.pipeline_threads) {
-  if (!store_) throw std::invalid_argument("CheckNRun: null store");
+  if (!store) throw std::invalid_argument("CheckNRun: null store");
   if (cfg_.interval_batches == 0) throw std::invalid_argument("CheckNRun: empty interval");
   if (cfg_.max_inflight_checkpoints == 0) {
     throw std::invalid_argument("CheckNRun: max_inflight_checkpoints == 0");
   }
 
-  storage::RetryPolicy retry_policy;
-  retry_policy.max_attempts = cfg_.put_attempts;
-  retry_store_ = std::make_shared<storage::RetryingStore>(store_, retry_policy);
+  ServiceConfig svc;
+  svc.encode_threads = cfg_.encode_threads ? cfg_.encode_threads : cfg_.pipeline_threads;
+  svc.store_threads = cfg_.store_threads ? cfg_.store_threads : cfg_.pipeline_threads;
+  svc.queue_capacity = cfg_.queue_capacity;
+  svc.max_inflight_checkpoints = cfg_.max_inflight_checkpoints;
+  svc.release_slot_on_stored = cfg_.release_slot_on_stored;
+  svc.put_attempts = cfg_.put_attempts;
+  owned_service_ = std::make_unique<CheckpointService>(std::move(store), svc);
+  service_ = owned_service_.get();
+  handle_ = service_->OpenJob(MakeJobConfig());
+}
 
-  pipeline::PipelineConfig pcfg;
-  pcfg.encode_threads = cfg_.encode_threads ? cfg_.encode_threads : cfg_.pipeline_threads;
-  pcfg.store_threads = cfg_.store_threads ? cfg_.store_threads : cfg_.pipeline_threads;
-  pcfg.queue_capacity = cfg_.queue_capacity;
-  pcfg.max_inflight_checkpoints = cfg_.max_inflight_checkpoints;
-  pipeline_ = std::make_unique<pipeline::CheckpointPipeline>(retry_store_, pcfg);
+CheckNRun::CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader,
+                     CheckpointService& service, CheckNRunConfig config)
+    : model_(model),
+      reader_(reader),
+      cfg_(std::move(config)),
+      pool_(cfg_.pipeline_threads),
+      service_(&service) {
+  if (cfg_.interval_batches == 0) throw std::invalid_argument("CheckNRun: empty interval");
+  if (cfg_.max_inflight_checkpoints == 0) {
+    throw std::invalid_argument("CheckNRun: max_inflight_checkpoints == 0");
+  }
+  handle_ = service_->OpenJob(MakeJobConfig());
 }
 
 CheckNRun::~CheckNRun() {
@@ -55,23 +84,12 @@ CheckNRun::~CheckNRun() {
 }
 
 quant::QuantConfig CheckNRun::EffectiveQuantConfig() const {
-  if (!cfg_.quantize) {
-    quant::QuantConfig cfg;
-    cfg.method = quant::Method::kNone;
-    return cfg;
-  }
-  if (!cfg_.dynamic_bitwidth) return cfg_.quant;
-  if (observed_restarts_ > cfg_.expected_restarts) {
-    // Failure estimate exceeded: fall back to 8-bit asymmetric (§6.2.1).
-    quant::QuantConfig cfg;
-    cfg.method = quant::Method::kAsymmetric;
-    cfg.bits = 8;
-    return cfg;
-  }
-  return quant::ConfigForRestarts(cfg_.expected_restarts);
+  return handle_->EffectiveQuantConfig();
 }
 
-void CheckNRun::OnRestartObserved() { ++observed_restarts_; }
+void CheckNRun::OnRestartObserved() { handle_->OnRestartObserved(); }
+
+std::uint64_t CheckNRun::observed_restarts() const { return handle_->observed_restarts(); }
 
 void CheckNRun::SetProgress(std::uint64_t batches, std::uint64_t samples) {
   batches_trained_ = batches;
@@ -79,26 +97,17 @@ void CheckNRun::SetProgress(std::uint64_t batches, std::uint64_t samples) {
 }
 
 void CheckNRun::SetNextCheckpointId(std::uint64_t next_id) {
-  if (next_id <= next_checkpoint_id_ && next_checkpoint_id_ != 1) {
-    throw std::invalid_argument("SetNextCheckpointId: ids must move forward");
-  }
-  next_checkpoint_id_ = next_id;
+  handle_->SetNextCheckpointId(next_id);
 }
 
 void CheckNRun::FinalizeFrontTicket() {
   // Pop before get(): if the write failed, the ticket is already retired and
-  // the failure cannot poison the next interval's stats.
+  // the failure cannot poison the next interval's stats. The policy's
+  // re-baseline on failure happened on the commit thread, before the future
+  // became ready.
   PendingTicket ticket = std::move(tickets_.front());
   tickets_.pop_front();
-  WriteResult result;
-  try {
-    result = ticket.future.get();
-  } catch (...) {
-    // The failed checkpoint may be a parent of future incrementals; force
-    // the policy to re-baseline so checkpointing recovers on its own.
-    policy_.OnCheckpointFailed();
-    throw;
-  }
+  const WriteResult result = ticket.future.get();  // rethrows a failed write
 
   IntervalStats stats = ticket.stats;
   stats.bytes_written = result.bytes_written;
@@ -111,7 +120,7 @@ void CheckNRun::FinalizeFrontTicket() {
   stats.encode_queue_wall = Us(result.timings.encode_queue_us);
   stats.store_queue_wall = Us(result.timings.store_queue_us);
   stats.write_wall = result.write_wall;
-  stats.store_bytes = store_->TotalBytes();  // occupancy after GC
+  stats.store_bytes = service_->store().TotalBytes();  // occupancy after GC
   completed_.push_back(stats);
 }
 
@@ -144,50 +153,35 @@ void CheckNRun::Step() {
 
   // Finalize whatever already finished so completed() stays fresh without
   // blocking; the §4.3 non-overlap wait (if any) happens inside the
-  // pipeline's admission gate during Submit below. Reaping happens BEFORE
+  // service's admission gate during Submit below. Reaping happens BEFORE
   // the dirty harvest: a failed write rethrows from here, and the interval's
   // dirty bits must stay accumulated in the tracker (not be lost in an
   // unwound local) so no modified row ever goes missing from a later plan.
   ReapCompletedTickets();
 
-  auto interval_dirty = tracker_.HarvestInterval();
-  const double dirty_fraction = static_cast<double>(CountDirtyRows(interval_dirty)) /
+  IntervalSubmission submission;
+  submission.interval_dirty = handle_->tracker().HarvestInterval();
+  const double dirty_fraction = static_cast<double>(CountDirtyRows(submission.interval_dirty)) /
                                 static_cast<double>(CountTotalRows(model_));
 
   // Gap-free reader state: the trainer consumed every allowed batch, so the
   // reader is quiescent and its state matches the trainer exactly (§4.1).
-  const data::ReaderState reader_state = reader_.CollectState();
+  submission.reader_state = reader_.CollectState().Encode();
+  submission.snapshot_fn = [this] {
+    // Stall training only for the in-memory snapshot (§4.2); runs on this
+    // (trainer) thread once the service admits the checkpoint.
+    return CreateSnapshot(model_, batches_trained_, samples_trained_, &pool_);
+  };
 
-  const std::uint64_t id = next_checkpoint_id_++;
-  CheckpointPlan plan = policy_.Plan(id, std::move(interval_dirty));
+  SubmittedCheckpoint submitted = handle_->Submit(std::move(submission));
 
   IntervalStats stats;
-  stats.checkpoint_id = id;
-  stats.kind = plan.kind;
+  stats.checkpoint_id = submitted.checkpoint_id;
+  stats.kind = submitted.kind;
   stats.dirty_fraction = dirty_fraction;
   stats.mean_loss = interval_metrics.MeanLoss();
   stats.train_wall = train_wall;
-
-  pipeline::CheckpointRequest req;
-  req.checkpoint_id = id;
-  req.writer.job = cfg_.job;
-  req.writer.chunk_rows = cfg_.chunk_rows;
-  req.writer.quant = EffectiveQuantConfig();
-  req.plan = std::move(plan);
-  req.reader_state = reader_state.Encode();
-  req.snapshot_fn = [this] {
-    // Stall training only for the in-memory snapshot (§4.2); runs on this
-    // (trainer) thread once the pipeline admits the checkpoint.
-    return CreateSnapshot(model_, batches_trained_, samples_trained_, &pool_);
-  };
-  if (cfg_.gc) {
-    req.post_commit = [this] {
-      GarbageCollectJob(*retry_store_, cfg_.job, cfg_.keep_checkpoints);
-    };
-  }
-
-  auto future = pipeline_->Submit(std::move(req));
-  tickets_.push_back(PendingTicket{stats, std::move(future)});
+  tickets_.push_back(PendingTicket{stats, std::move(submitted.future)});
 }
 
 std::vector<IntervalStats> CheckNRun::Run(std::size_t intervals) {

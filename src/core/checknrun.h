@@ -1,27 +1,35 @@
-// Check-N-Run controller — the public facade of the checkpointing system
-// (paper §4, Fig 7).
+// Check-N-Run controller — one training session attached to the checkpoint
+// engine (paper §4, Fig 7).
 //
-// The controller is a thin coordinator around the staged checkpoint pipeline
-// (core/pipeline/pipeline.h). Per interval it:
+// The controller is a compatibility facade over the redesigned submission
+// API: a core::CheckpointService (the shared multi-job engine owning the
+// stage workers, scheduler, commit thread, and retry/accounting store view)
+// plus one core::JobHandle (this job's tracker, incremental policy, quant
+// selector, checkpoint numbering, and commit/lineage state) plus the
+// training loop. Per interval it:
 //   1. tells the reader master exactly how many batches to produce this
 //      interval (gap-free reader/trainer coordination, §4.1),
 //   2. trains those batches while tracking modified embedding rows (§5.1.1),
-//   3. asks the incremental policy what the checkpoint should contain (§5.1),
-//   4. submits the interval to the pipeline, which stalls training only for
+//   3. hands the interval's dirty rows to the job handle, whose policy
+//      decides what the checkpoint contains (§5.1),
+//   4. submits through the handle — the service stalls training only for
 //      the in-memory snapshot (§4.2) and then quantizes, stores, and commits
-//      on background stage workers while the next interval trains,
+//      on its background stage workers while the next interval trains,
 //   5. when a checkpoint's future resolves, finalizes its IntervalStats and
-//      lets the pipeline's commit stage garbage-collect checkpoints no longer
-//      needed for recovery (§4.4).
+//      lets the commit stage garbage-collect checkpoints no longer needed
+//      for recovery (§4.4).
 //
 // Overlap policy: by default two consecutive checkpoints never overlap — the
-// pipeline admits a new snapshot only after the previous write committed
+// service admits a new snapshot only after the previous write committed
 // (§4.3). Setting max_inflight_checkpoints > 1 relaxes this to a bounded
 // number of concurrent checkpoint writes; commits still land in submission
 // order, so recovery semantics are unchanged.
 //
-// Transient storage faults are absorbed by a storage::RetryingStore decorator
-// the controller wraps around the caller's store (put_attempts deep).
+// Multi-job: construct several controllers over one shared CheckpointService
+// (the second constructor) and their checkpoint streams share the service's
+// workers under weighted round-robin fairness — see examples/multi_job.cpp.
+// With the single-store constructor the controller owns a private service,
+// which is the original one-job-one-pipeline behavior, bit for bit.
 #pragma once
 
 #include <chrono>
@@ -31,18 +39,12 @@
 #include <memory>
 #include <vector>
 
-#include "core/pipeline/pipeline.h"
-#include "core/policy.h"
 #include "core/recovery.h"
-#include "core/snapshot.h"
-#include "core/tracking.h"
-#include "core/writer.h"
+#include "core/service.h"
 #include "data/reader.h"
 #include "dlrm/metrics.h"
 #include "dlrm/model.h"
-#include "quant/selector.h"
 #include "storage/object_store.h"
-#include "storage/retrying_store.h"
 #include "util/threadpool.h"
 
 namespace cnr::core {
@@ -65,18 +67,28 @@ struct CheckNRunConfig {
   quant::QuantConfig quant;
 
   std::size_t chunk_rows = 512;
-  // Parallelism of the snapshot copy, and the default for the pipeline's
-  // encode/store stages when the per-stage knobs below are 0.
+  // Parallelism of the snapshot copy, and the default for the service's
+  // encode/store stages when the per-stage knobs below are 0 (private
+  // service only; a shared service has its own thread configuration).
   std::size_t pipeline_threads = 4;
   std::size_t encode_threads = 0;  // 0 = pipeline_threads
   std::size_t store_threads = 0;   // 0 = pipeline_threads
-  // Capacity (in chunks) of the encode and store stage queues; the bound is
+  // Capacity (in chunks) of the job's encoded-chunk budget; the bound is
   // what propagates store backpressure to the encoders.
   std::size_t queue_capacity = 16;
   // Checkpoint overlap policy. 1 (default) = strict §4.3 non-overlap: the
   // snapshot of interval k+1 waits for checkpoint k to commit. Values > 1
   // allow that many checkpoint writes in flight at once.
   std::size_t max_inflight_checkpoints = 1;
+  // Release the admission slot when all chunks are stored (pre-commit)
+  // instead of at commit — overlaps the next snapshot with the dense +
+  // manifest publication tail. Off by default: the strict mode's "no
+  // interleaved writes" guarantee holds only when slots are held to commit.
+  bool release_slot_on_stored = false;
+  // Weighted round-robin share of a *shared* service's encode/store stages
+  // relative to other jobs (ignored by a private service, which has no
+  // neighbors to be fair to).
+  std::uint32_t job_weight = 1;
   // Attempts per object write before a checkpoint is abandoned (transient
   // storage failures are retried; the manifest-last protocol guarantees an
   // abandoned checkpoint is never considered valid).
@@ -113,16 +125,23 @@ struct IntervalStats {
 class CheckNRun {
  public:
   // The controller drives `model` with batches from `reader` and checkpoints
-  // into `store`. All three must outlive the controller.
+  // into `store` through a private CheckpointService. All three must outlive
+  // the controller.
   CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader,
             std::shared_ptr<storage::ObjectStore> store, CheckNRunConfig config);
+  // Attaches this training session to a shared CheckpointService: the job's
+  // checkpoint stream shares the service's stage workers with every other
+  // attached job under weighted round-robin fairness. The service (and the
+  // model/reader) must outlive the controller.
+  CheckNRun(dlrm::DlrmModel& model, data::ReaderMaster& reader, CheckpointService& service,
+            CheckNRunConfig config);
   ~CheckNRun();
 
   CheckNRun(const CheckNRun&) = delete;
   CheckNRun& operator=(const CheckNRun&) = delete;
 
-  // Trains one checkpoint interval and submits its checkpoint to the
-  // pipeline. Under the default overlap policy the submission blocks until
+  // Trains one checkpoint interval and submits its checkpoint through the
+  // job handle. Under the default overlap policy the submission blocks until
   // the previous checkpoint committed (§4.3); with
   // max_inflight_checkpoints > 1 up to that many writes proceed in parallel.
   void Step();
@@ -148,12 +167,17 @@ class CheckNRun {
 
   std::uint64_t batches_trained() const { return batches_trained_; }
   std::uint64_t samples_trained() const { return samples_trained_; }
-  std::uint64_t observed_restarts() const { return observed_restarts_; }
+  std::uint64_t observed_restarts() const;
   const dlrm::MetricTracker& metrics() const { return metrics_; }
 
   // Checkpoint writes currently in flight (0 outside Step unless overlap is
   // enabled).
   std::size_t inflight_checkpoints() const { return tickets_.size(); }
+
+  // This job's view of the engine.
+  const JobHandle& job() const { return *handle_; }
+  CheckpointService& service() { return *service_; }
+  const CheckpointService& service() const { return *service_; }
 
   // Sets progress counters when resuming from a checkpoint.
   void SetProgress(std::uint64_t batches, std::uint64_t samples);
@@ -164,44 +188,42 @@ class CheckNRun {
   void SetNextCheckpointId(std::uint64_t next_id);
 
   // Deletes every checkpoint of `job` that is not on the recovery chain of
-  // the newest one. Exposed for tests; the pipeline applies it after each
-  // commit when cfg.gc is set.
+  // the newest one. Exposed for tests; the commit stage applies it after
+  // each commit when cfg.gc is set.
   static void GarbageCollect(storage::ObjectStore& store, const std::string& job);
 
  private:
   // A submitted-but-not-finalized interval: stats known at submission plus
-  // the pipeline's future for the rest.
+  // the service's future for the rest.
   struct PendingTicket {
     IntervalStats stats;
     std::future<WriteResult> future;
   };
 
+  JobConfig MakeJobConfig() const;
   void FinalizeFrontTicket();   // blocking; rethrows a failed write
   void ReapCompletedTickets();  // non-blocking
 
   dlrm::DlrmModel& model_;
   data::ReaderMaster& reader_;
-  std::shared_ptr<storage::ObjectStore> store_;
   CheckNRunConfig cfg_;
 
-  ModifiedRowTracker tracker_;
-  IncrementalPolicy policy_;
   util::ThreadPool pool_;  // snapshot-copy concurrency
   dlrm::MetricTracker metrics_;
 
-  std::uint64_t next_checkpoint_id_ = 1;
   std::uint64_t batches_trained_ = 0;
   std::uint64_t samples_trained_ = 0;
-  std::uint64_t observed_restarts_ = 0;
 
   std::deque<PendingTicket> tickets_;
   std::vector<IntervalStats> completed_;
 
-  // Declared after everything their background work touches: the pipeline's
-  // commit thread runs GC against retry_store_, so the pipeline must be
-  // destroyed first (members destruct in reverse declaration order).
-  std::shared_ptr<storage::RetryingStore> retry_store_;
-  std::unique_ptr<pipeline::CheckpointPipeline> pipeline_;
+  // Destruction order matters (members destruct in reverse declaration
+  // order): the handle drains this job and detaches the tracker before a
+  // private service goes away; a shared service outlives the controller by
+  // contract.
+  std::unique_ptr<CheckpointService> owned_service_;  // null when shared
+  CheckpointService* service_ = nullptr;
+  std::unique_ptr<JobHandle> handle_;
 };
 
 }  // namespace cnr::core

@@ -1,327 +1,47 @@
 #include "core/pipeline/pipeline.h"
 
-#include <algorithm>
-#include <atomic>
-#include <map>
 #include <stdexcept>
 #include <utility>
 
-#include "core/pipeline/chunk_codec.h"
-#include "core/pipeline/commit.h"
-#include "util/wallclock.h"
-
 namespace cnr::core::pipeline {
-
-using util::ElapsedUs;
-
-// Shared state of one checkpoint travelling through the stages. Stage
-// hand-offs happen through the queues' mutexes, so plain fields written by an
-// earlier stage are safely read by later ones; only fields touched by
-// concurrent workers of the same stage are atomic.
-struct CheckpointPipeline::Inflight {
-  std::uint64_t seq = 0;
-  CheckpointRequest req;
-  ModelSnapshot snap;
-  std::vector<ChunkTask> tasks;
-  storage::Manifest manifest;
-  std::promise<WriteResult> promise;
-  std::chrono::steady_clock::time_point submit_time;
-  std::uint64_t snapshot_us = 0;
-  std::uint64_t plan_us = 0;
-
-  std::atomic<std::size_t> remaining{0};
-  std::atomic<std::uint64_t> encode_us{0};
-  std::atomic<std::uint64_t> store_us{0};
-  std::atomic<std::uint64_t> encode_queue_us{0};
-  std::atomic<std::uint64_t> store_queue_us{0};
-
-  std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr error;  // first failure wins
-
-  void MarkFailed(std::exception_ptr e) {
-    {
-      std::lock_guard lock(error_mu);
-      if (!error) error = std::move(e);
-    }
-    failed.store(true, std::memory_order_release);
-  }
-};
 
 CheckpointPipeline::CheckpointPipeline(std::shared_ptr<storage::ObjectStore> store,
                                        PipelineConfig config)
-    : store_(std::move(store)),
-      cfg_(config),
-      plan_q_(std::max<std::size_t>(config.max_inflight_checkpoints, 1) + 1),
-      encode_q_(std::max<std::size_t>(config.queue_capacity, 1)),
-      store_q_(std::max<std::size_t>(config.queue_capacity, 1)),
-      commit_q_(std::max<std::size_t>(config.max_inflight_checkpoints, 1) + 1) {
-  if (!store_) throw std::invalid_argument("CheckpointPipeline: null store");
+    : cfg_(config) {
+  if (!store) throw std::invalid_argument("CheckpointPipeline: null store");
   if (cfg_.max_inflight_checkpoints == 0) {
     throw std::invalid_argument("CheckpointPipeline: max_inflight_checkpoints == 0");
   }
-  cfg_.encode_threads = std::max<std::size_t>(cfg_.encode_threads, 1);
-  cfg_.store_threads = std::max<std::size_t>(cfg_.store_threads, 1);
-  cfg_.queue_capacity = std::max<std::size_t>(cfg_.queue_capacity, 1);
 
-  plan_thread_ = std::thread([this] { PlanLoop(); });
-  for (std::size_t i = 0; i < cfg_.encode_threads; ++i) {
-    encode_threads_.emplace_back([this] { EncodeLoop(); });
-  }
-  for (std::size_t i = 0; i < cfg_.store_threads; ++i) {
-    store_threads_.emplace_back([this] { StoreLoop(); });
-  }
-  commit_thread_ = std::thread([this] { CommitLoop(); });
+  ServiceConfig svc;
+  svc.encode_threads = cfg_.encode_threads;
+  svc.store_threads = cfg_.store_threads;
+  svc.queue_capacity = cfg_.queue_capacity;
+  svc.max_inflight_checkpoints = cfg_.max_inflight_checkpoints;
+  // Original pipeline semantics: the admission slot is held until the
+  // manifest is published, and retry belongs to the caller's RetryingStore
+  // decorator (put_attempts = 1 adds none).
+  svc.release_slot_on_stored = false;
+  svc.put_attempts = 1;
+  service_ = std::make_unique<CheckpointService>(std::move(store), svc);
+
+  JobConfig job;
+  // The lane is job-agnostic: object keys come from each request's
+  // writer.job, so one facade can serve requests for any key namespace.
+  job.name = "";
+  job.max_inflight_checkpoints = cfg_.max_inflight_checkpoints;
+  job.gc = false;  // GC arrives via CheckpointRequest::post_commit
+  handle_ = service_->OpenJob(std::move(job));
 }
 
-CheckpointPipeline::~CheckpointPipeline() {
-  WaitIdle();
-  {
-    std::lock_guard lock(submit_mu_);
-    stopping_ = true;
-  }
-  submit_cv_.notify_all();
-  plan_q_.Close();
-  encode_q_.Close();
-  store_q_.Close();
-  commit_q_.Close();
-  plan_thread_.join();
-  for (auto& t : encode_threads_) t.join();
-  for (auto& t : store_threads_) t.join();
-  commit_thread_.join();
-}
-
-std::size_t CheckpointPipeline::inflight() const {
-  std::lock_guard lock(submit_mu_);
-  return inflight_;
-}
-
-void CheckpointPipeline::WaitIdle() {
-  std::unique_lock lock(submit_mu_);
-  submit_cv_.wait(lock, [&] { return inflight_ == 0; });
-}
-
-void CheckpointPipeline::ReleaseSlot() {
-  {
-    std::lock_guard lock(submit_mu_);
-    --inflight_;
-  }
-  submit_cv_.notify_all();
-}
+CheckpointPipeline::~CheckpointPipeline() = default;
 
 std::future<WriteResult> CheckpointPipeline::Submit(CheckpointRequest request) {
-  if (!request.snapshot_fn) {
-    throw std::invalid_argument("CheckpointPipeline::Submit: no snapshot_fn");
-  }
-  auto ckpt = std::make_shared<Inflight>();
-  ckpt->req = std::move(request);
-  auto future = ckpt->promise.get_future();
-
-  // Admission: the overlap policy. With max_inflight_checkpoints == 1 this
-  // wait IS the §4.3 non-overlap rule — it returns only once the previous
-  // checkpoint has fully committed.
-  {
-    std::unique_lock lock(submit_mu_);
-    submit_cv_.wait(lock,
-                    [&] { return inflight_ < cfg_.max_inflight_checkpoints || stopping_; });
-    if (stopping_) throw std::runtime_error("CheckpointPipeline: stopped");
-    ++inflight_;
-  }
-
-  // Snapshot stage: runs on the submitting (trainer) thread — this is the
-  // training stall of §4.2, and the only work the trainer ever does for the
-  // checkpoint.
-  try {
-    const auto t0 = std::chrono::steady_clock::now();
-    ckpt->snap = ckpt->req.snapshot_fn();
-    ckpt->snapshot_us = ElapsedUs(t0);
-    ckpt->submit_time = t0;
-  } catch (...) {
-    ReleaseSlot();
-    throw;
-  }
-
-  {
-    std::lock_guard lock(submit_mu_);
-    ckpt->seq = next_seq_++;
-  }
-  plan_q_.Push(PlanJob{ckpt});
-  return future;
+  return handle_->SubmitRaw(std::move(request));
 }
 
-void CheckpointPipeline::PlanLoop() {
-  while (auto job = plan_q_.Pop()) {
-    const std::shared_ptr<Inflight> ckpt = std::move(job->ckpt);
-    try {
-      const auto t0 = std::chrono::steady_clock::now();
-      ckpt->tasks = BuildChunkTasks(ckpt->snap, ckpt->req.plan, ckpt->req.writer.chunk_rows);
-      ckpt->manifest = MakeManifestSkeleton(ckpt->req.checkpoint_id, ckpt->req.plan,
-                                            ckpt->snap, ckpt->req.writer.quant,
-                                            std::move(ckpt->req.reader_state),
-                                            ckpt->tasks.size());
-      ckpt->manifest.timings.snapshot_us = ckpt->snapshot_us;
-      ckpt->plan_us = ElapsedUs(t0);
-      ckpt->remaining.store(ckpt->tasks.size(), std::memory_order_release);
-    } catch (...) {
-      ckpt->MarkFailed(std::current_exception());
-      commit_q_.Push(CommitJob{ckpt});
-      continue;
-    }
-    if (ckpt->tasks.empty()) {
-      // Nothing dirty this interval: the checkpoint is dense blob + manifest.
-      commit_q_.Push(CommitJob{ckpt});
-      continue;
-    }
-    for (std::size_t i = 0; i < ckpt->tasks.size(); ++i) {
-      // Bounded push: when encode workers fall behind, planning stalls here
-      // and, transitively, the admission gate stops accepting checkpoints.
-      encode_q_.Push(EncodeJob{ckpt, i, std::chrono::steady_clock::now()});
-    }
-  }
-}
+void CheckpointPipeline::WaitIdle() { service_->DrainAll(); }
 
-void CheckpointPipeline::EncodeLoop() {
-  while (auto job = encode_q_.Pop()) {
-    const std::shared_ptr<Inflight>& ckpt = job->ckpt;
-    ckpt->encode_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
-    if (ckpt->failed.load(std::memory_order_acquire)) {
-      FinishChunk(ckpt);
-      continue;
-    }
-    try {
-      const ChunkTask& task = ckpt->tasks[job->index];
-      util::Rng rng =
-          ChunkRng(ckpt->req.writer.rng_seed, ckpt->req.checkpoint_id, job->index);
-      const auto t0 = std::chrono::steady_clock::now();
-      auto bytes = EncodeChunkTask(task, ckpt->req.writer.quant, rng);
-      ckpt->encode_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
-
-      storage::ChunkInfo info =
-          MakeChunkInfo(task, ckpt->req.writer.job, ckpt->req.checkpoint_id, bytes.size());
-      store_q_.Push(StoreJob{ckpt, job->index, std::move(info), std::move(bytes),
-                             std::chrono::steady_clock::now()});
-    } catch (...) {
-      ckpt->MarkFailed(std::current_exception());
-      FinishChunk(ckpt);
-    }
-  }
-}
-
-void CheckpointPipeline::StoreLoop() {
-  while (auto job = store_q_.Pop()) {
-    const std::shared_ptr<Inflight>& ckpt = job->ckpt;
-    ckpt->store_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
-    if (!ckpt->failed.load(std::memory_order_acquire)) {
-      try {
-        const auto t0 = std::chrono::steady_clock::now();
-        store_->Put(job->info.key, std::move(job->bytes));
-        ckpt->store_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
-        // Chunk slots are disjoint per job index, so no lock is needed.
-        ckpt->manifest.chunks[job->index] = std::move(job->info);
-      } catch (...) {
-        ckpt->MarkFailed(std::current_exception());
-      }
-    }
-    FinishChunk(ckpt);
-  }
-}
-
-void CheckpointPipeline::FinishChunk(const std::shared_ptr<Inflight>& ckpt) {
-  if (ckpt->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    commit_q_.Push(CommitJob{ckpt});
-  }
-}
-
-void CheckpointPipeline::CommitLoop() {
-  // Commits are applied strictly in submission (seq) order: an incremental
-  // checkpoint must never be published before its parent's fate is known.
-  std::map<std::uint64_t, std::shared_ptr<Inflight>> reorder;
-  std::uint64_t next_commit = 0;
-  std::vector<std::uint64_t> failed_ids;
-  while (auto job = commit_q_.Pop()) {
-    reorder.emplace(job->ckpt->seq, std::move(job->ckpt));
-    while (!reorder.empty() && reorder.begin()->first == next_commit) {
-      auto ckpt = std::move(reorder.begin()->second);
-      reorder.erase(reorder.begin());
-      CommitOne(ckpt, failed_ids);
-      ++next_commit;
-    }
-  }
-}
-
-void CheckpointPipeline::CommitOne(const std::shared_ptr<Inflight>& ckpt,
-                                   std::vector<std::uint64_t>& failed_ids) {
-  // Lineage rule: an incremental whose parent failed while both were in
-  // flight must fail too — publishing it would leave recovery a chain with a
-  // hole in it.
-  if (!ckpt->failed.load(std::memory_order_acquire) &&
-      ckpt->manifest.kind == storage::CheckpointKind::kIncremental &&
-      std::find(failed_ids.begin(), failed_ids.end(), ckpt->manifest.parent_id) !=
-          failed_ids.end()) {
-    ckpt->MarkFailed(std::make_exception_ptr(std::runtime_error(
-        "checkpoint " + std::to_string(ckpt->req.checkpoint_id) +
-        ": parent checkpoint " + std::to_string(ckpt->manifest.parent_id) +
-        " failed in flight")));
-  }
-
-  if (ckpt->failed.load(std::memory_order_acquire)) {
-    failed_ids.push_back(ckpt->req.checkpoint_id);
-    std::exception_ptr error;
-    {
-      std::lock_guard lock(ckpt->error_mu);
-      error = ckpt->error;
-    }
-    ckpt->promise.set_exception(error);
-    ReleaseSlot();
-    return;
-  }
-
-  WriteResult result;
-  try {
-    const auto t0 = std::chrono::steady_clock::now();
-    ckpt->manifest.timings.plan_us = ckpt->plan_us;
-    ckpt->manifest.timings.encode_us = ckpt->encode_us.load(std::memory_order_relaxed);
-    ckpt->manifest.timings.store_us = ckpt->store_us.load(std::memory_order_relaxed);
-    ckpt->manifest.timings.encode_queue_us =
-        ckpt->encode_queue_us.load(std::memory_order_relaxed);
-    ckpt->manifest.timings.store_queue_us =
-        ckpt->store_queue_us.load(std::memory_order_relaxed);
-
-    const auto commit =
-        CommitCheckpoint(*store_, ckpt->req.writer.job, ckpt->manifest, ckpt->snap.dense_blob);
-
-    // The inflight record is done with the manifest once committed; moving it
-    // avoids copying ~chunk-count key strings on the (serial) commit thread.
-    result.manifest = std::move(ckpt->manifest);
-    result.bytes_written = result.manifest.TotalBytes() + commit.manifest_bytes;
-    for (const auto& c : result.manifest.chunks) result.rows_written += c.num_rows;
-    result.encode_wall =
-        std::chrono::microseconds(static_cast<std::int64_t>(result.manifest.timings.encode_us));
-    result.timings = result.manifest.timings;
-    // Result-side commit wall includes the manifest put itself (the persisted
-    // value cannot, since it rides inside that very object).
-    result.timings.commit_us = ElapsedUs(t0);
-    result.write_wall = std::chrono::microseconds(
-        static_cast<std::int64_t>(ElapsedUs(ckpt->submit_time)));
-  } catch (...) {
-    failed_ids.push_back(ckpt->req.checkpoint_id);
-    ckpt->promise.set_exception(std::current_exception());
-    ReleaseSlot();
-    return;
-  }
-
-  // The checkpoint is valid from here on; a post_commit (GC) failure reaches
-  // the caller but cannot un-publish it.
-  try {
-    if (ckpt->req.post_commit) ckpt->req.post_commit();
-  } catch (...) {
-    ckpt->promise.set_exception(std::current_exception());
-    ReleaseSlot();
-    return;
-  }
-
-  ckpt->promise.set_value(std::move(result));
-  ReleaseSlot();
-}
+std::size_t CheckpointPipeline::inflight() const { return handle_->inflight(); }
 
 }  // namespace cnr::core::pipeline

@@ -1,59 +1,48 @@
-// Staged asynchronous checkpoint pipeline (paper §4.2–§4.4).
+// Staged asynchronous checkpoint pipeline (paper §4.2–§4.4) — single-job
+// compatibility facade over the shared multi-job engine.
 //
-// The checkpoint write path is an explicit five-stage pipeline connected by
-// bounded MPMC queues (backpressure propagates upstream to the admission
-// gate):
+// The write path is an explicit five-stage pipeline connected by bounded
+// queues (backpressure propagates upstream to the admission gate):
 //
 //   Snapshot ──► Plan ──► Encode ──► Store ──► Commit
 //   (trainer     (1        (N          (M        (1 thread,
 //    thread,      thread)   threads)    threads)   in order)
 //    stalls §4.2)
 //
-//   - Snapshot: runs on the submitting (trainer) thread inside Submit();
-//     this call *is* the training stall. Admission first waits until fewer
-//     than max_inflight_checkpoints are in flight — with the default of 1
-//     that is exactly the paper's §4.3 non-overlap rule (the snapshot of
-//     interval k+1 waits for checkpoint k to finish).
-//   - Plan: splits the snapshot into chunk tasks per the policy's plan and
-//     builds the manifest skeleton (chunk_codec.h).
-//   - Encode: quantizes + serializes chunks concurrently.
-//   - Store: Puts encoded chunks; transient-fault retry belongs to the
-//     storage::RetryingStore decorator the caller wraps the store in, not to
-//     this stage.
-//   - Commit: publishes dense blob then manifest-last via commit.h — the one
-//     place the validity rule lives. Commits land in submission order even
-//     when checkpoints overlap, so an incremental can never become valid
-//     before its parent; if a checkpoint fails, any in-flight checkpoint
-//     whose parent it was fails with it instead of dangling.
+// The stage workers, queues, commit ordering, and retry decorator now live
+// in core::CheckpointService (core/service.h), which schedules chunks across
+// *many* jobs; CheckpointPipeline is that service with exactly one job
+// attached, preserving the original single-job API and semantics:
+//
+//   - Admission: Submit waits until fewer than max_inflight_checkpoints are
+//     in flight; with the default of 1 that is exactly the paper's §4.3
+//     non-overlap rule, and the slot is held until the checkpoint fully
+//     committed (ServiceConfig::release_slot_on_stored is off here).
+//   - Retry stays the caller's job: wrap the store in storage::RetryingStore
+//     before constructing the pipeline (the facade opens the service with
+//     put_attempts = 1, i.e. no added retry).
+//   - Commits land in submission order even when checkpoints overlap; the
+//     lineage rule fails an incremental whose parent failed in flight.
 //
 // Per-stage wall and queue-wait times are accumulated into
 // storage::StageTimings and persisted in the manifest.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
-#include <cstdint>
-#include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
-#include "core/pipeline/bounded_queue.h"
-#include "core/policy.h"
-#include "core/snapshot.h"
-#include "core/writer.h"
-#include "storage/manifest.h"
-#include "storage/object_store.h"
+#include "core/service.h"
 
 namespace cnr::core::pipeline {
+
+// The request type is shared with the service; see core/service.h.
+using core::CheckpointRequest;
 
 struct PipelineConfig {
   std::size_t encode_threads = 2;
   std::size_t store_threads = 2;
-  // Capacity of the encode and store queues, in chunks. Smaller values bind
-  // the encoder more tightly to the store link's pace.
+  // Capacity of the encode and store stage queues, in chunks. Smaller values
+  // bind the encoder more tightly to the store link's pace.
   std::size_t queue_capacity = 16;
   // Checkpoint overlap policy. 1 (default) is the paper's strict §4.3
   // non-overlap; k > 1 admits up to k checkpoint writes at once — useful
@@ -62,25 +51,9 @@ struct PipelineConfig {
   std::size_t max_inflight_checkpoints = 1;
 };
 
-struct CheckpointRequest {
-  std::uint64_t checkpoint_id = 0;
-  // job / chunk_rows / quant / rng_seed are honored; put_attempts is NOT —
-  // retry is the RetryingStore decorator's job in the staged pipeline.
-  WriterConfig writer;
-  CheckpointPlan plan;
-  std::vector<std::uint8_t> reader_state;
-  // Invoked on the submitting thread once admission is granted; the trainer
-  // is stalled for exactly this call (§4.2).
-  std::function<ModelSnapshot()> snapshot_fn;
-  // Invoked on the commit thread after the manifest is published (GC hook).
-  // A failure here propagates through the future but cannot un-publish the
-  // checkpoint.
-  std::function<void()> post_commit;
-};
-
 // One pipeline instance serves one training job's checkpoint stream. Submit
 // is intended to be called from a single (trainer) thread; every other stage
-// runs on the pipeline's own workers.
+// runs on the underlying service's workers.
 class CheckpointPipeline {
  public:
   CheckpointPipeline(std::shared_ptr<storage::ObjectStore> store, PipelineConfig config);
@@ -102,53 +75,9 @@ class CheckpointPipeline {
   const PipelineConfig& config() const { return cfg_; }
 
  private:
-  struct Inflight;
-  struct PlanJob {
-    std::shared_ptr<Inflight> ckpt;
-  };
-  struct EncodeJob {
-    std::shared_ptr<Inflight> ckpt;
-    std::size_t index = 0;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-  struct StoreJob {
-    std::shared_ptr<Inflight> ckpt;
-    std::size_t index = 0;
-    storage::ChunkInfo info;
-    std::vector<std::uint8_t> bytes;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-  struct CommitJob {
-    std::shared_ptr<Inflight> ckpt;
-  };
-
-  void PlanLoop();
-  void EncodeLoop();
-  void StoreLoop();
-  void CommitLoop();
-  void FinishChunk(const std::shared_ptr<Inflight>& ckpt);
-  void CommitOne(const std::shared_ptr<Inflight>& ckpt,
-                 std::vector<std::uint64_t>& failed_ids);
-  void ReleaseSlot();
-
-  std::shared_ptr<storage::ObjectStore> store_;
   PipelineConfig cfg_;
-
-  BoundedQueue<PlanJob> plan_q_;
-  BoundedQueue<EncodeJob> encode_q_;
-  BoundedQueue<StoreJob> store_q_;
-  BoundedQueue<CommitJob> commit_q_;
-
-  mutable std::mutex submit_mu_;
-  std::condition_variable submit_cv_;
-  std::size_t inflight_ = 0;
-  std::uint64_t next_seq_ = 0;  // submission order; drives in-order commit
-  bool stopping_ = false;
-
-  std::thread plan_thread_;
-  std::vector<std::thread> encode_threads_;
-  std::vector<std::thread> store_threads_;
-  std::thread commit_thread_;
+  std::unique_ptr<CheckpointService> service_;
+  std::unique_ptr<JobHandle> handle_;
 };
 
 }  // namespace cnr::core::pipeline

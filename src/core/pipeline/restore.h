@@ -123,4 +123,30 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
                                   std::uint64_t checkpoint_id, ChunkApplier& applier,
                                   const RestoreConfig& config = {});
 
+// One defect a scrub found; `key` is the offending object ("" for
+// chain-level problems such as an undecodable manifest).
+struct ScrubIssue {
+  std::string key;
+  std::string what;
+};
+
+struct ScrubReport {
+  std::vector<std::uint64_t> chain;  // checkpoint ids scrubbed, oldest first
+  std::size_t chunks_checked = 0;
+  std::uint64_t rows_checked = 0;    // decoded rows across all chunks
+  std::uint64_t bytes_checked = 0;   // chunk + dense bytes read
+  std::vector<ScrubIssue> issues;    // empty == the chain is restorable
+
+  bool clean() const { return issues.empty(); }
+};
+
+// Store-scrubbing mode of the restore drill: walks checkpoint `id`'s
+// recovery chain and cross-checks every chunk's CRC (via the decode kernel),
+// its decoded row count and stored size against the manifest, and the dense
+// blob's presence and size — without applying a single row. Collects every
+// defect instead of throwing, so one rotten chunk does not hide the next;
+// run it periodically to detect bit rot *before* a real failure needs the
+// chain (see `cnr_inspect <dir> <job> restore --scrub`).
+ScrubReport ScrubChain(storage::ObjectStore& store, const std::string& job, std::uint64_t id);
+
 }  // namespace cnr::core::pipeline

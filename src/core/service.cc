@@ -1,0 +1,818 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/pipeline/bounded_queue.h"
+#include "core/pipeline/chunk_codec.h"
+#include "core/pipeline/commit.h"
+#include "core/recovery.h"
+#include "quant/selector.h"
+#include "util/wallclock.h"
+
+namespace cnr::core {
+namespace detail {
+
+using pipeline::BoundedQueue;
+using pipeline::ChunkTask;
+using util::ElapsedUs;
+
+// Shared state of one checkpoint travelling through the stages. Stage
+// hand-offs happen through queue/scheduler mutexes, so plain fields written
+// by an earlier stage are safely read by later ones; only fields touched by
+// concurrent workers of the same stage are atomic.
+struct Inflight {
+  std::shared_ptr<JobState> job;
+  std::uint64_t seq = 0;  // per-job submission order; drives in-order commit
+  CheckpointRequest req;
+  ModelSnapshot snap;
+  std::vector<ChunkTask> tasks;
+  storage::Manifest manifest;
+  std::promise<WriteResult> promise;
+  std::chrono::steady_clock::time_point submit_time;
+  std::uint64_t snapshot_us = 0;
+  std::uint64_t plan_us = 0;
+
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::uint64_t> encode_us{0};
+  std::atomic<std::uint64_t> store_us{0};
+  std::atomic<std::uint64_t> encode_queue_us{0};
+  std::atomic<std::uint64_t> store_queue_us{0};
+
+  std::atomic<bool> failed{false};
+  std::atomic<bool> slot_released{false};
+  std::mutex error_mu;
+  std::exception_ptr error;  // first failure wins
+
+  void MarkFailed(std::exception_ptr e) {
+    {
+      std::lock_guard lock(error_mu);
+      if (!error) error = std::move(e);
+    }
+    failed.store(true, std::memory_order_release);
+  }
+};
+
+struct PlanJob {
+  std::shared_ptr<Inflight> ckpt;
+};
+struct EncodeJob {
+  std::shared_ptr<Inflight> ckpt;
+  std::size_t index = 0;
+  std::chrono::steady_clock::time_point enqueued;
+};
+struct StoreJob {
+  std::shared_ptr<Inflight> ckpt;
+  std::size_t index = 0;
+  storage::ChunkInfo info;
+  std::vector<std::uint8_t> bytes;
+  std::chrono::steady_clock::time_point enqueued;
+};
+struct CommitJob {
+  std::shared_ptr<Inflight> ckpt;
+};
+
+struct JobState {
+  explicit JobState(JobConfig c) : cfg(std::move(c)) {}
+
+  JobConfig cfg;
+
+  // --- guarded by ServiceImpl::mu_ ---
+  std::size_t admitted = 0;    // admission slots held
+  std::size_t outstanding = 0; // submitted, not yet committed/failed
+  std::uint64_t next_seq = 0;
+  JobStats stats;
+
+  // --- guarded by ServiceImpl::sched_mu_ ---
+  std::deque<EncodeJob> encode_lane;
+  std::deque<StoreJob> store_lane;
+  std::size_t store_budget_used = 0;  // encoded-but-unstored chunk budget
+  std::uint32_t encode_credit = 0;    // weighted round-robin credits
+  std::uint32_t store_credit = 0;
+
+  // --- commit thread only ---
+  std::map<std::uint64_t, std::shared_ptr<Inflight>> reorder;
+  std::uint64_t next_commit = 0;
+  std::vector<std::uint64_t> failed_ids;
+
+  // --- guarded by policy_mu (the job's trainer thread + commit thread) ---
+  mutable std::mutex policy_mu;
+  std::optional<IncrementalPolicy> policy;
+  std::unique_ptr<ModifiedRowTracker> tracker;
+  std::uint64_t next_checkpoint_id = 1;
+  std::uint64_t observed_restarts = 0;
+};
+
+struct ServiceImpl {
+  // NB: `cfg` is declared before the queues, so the queue capacities below
+  // read the already-initialized member, not the moved-from parameter.
+  ServiceImpl(std::shared_ptr<storage::ObjectStore> base_store, ServiceConfig config)
+      : cfg(std::move(config)),
+        base(std::move(base_store)),
+        plan_q(std::max<std::size_t>(cfg.max_inflight_checkpoints, 1) + 1),
+        commit_q(std::max<std::size_t>(cfg.max_inflight_checkpoints, 1) * 2 + 4) {
+    if (!base) throw std::invalid_argument("CheckpointService: null store");
+    if (cfg.max_inflight_checkpoints == 0) {
+      throw std::invalid_argument("CheckpointService: max_inflight_checkpoints == 0");
+    }
+    cfg.encode_threads = std::max<std::size_t>(cfg.encode_threads, 1);
+    cfg.store_threads = std::max<std::size_t>(cfg.store_threads, 1);
+    cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
+    if (cfg.put_attempts < 1) {
+      throw std::invalid_argument("CheckpointService: put_attempts < 1");
+    }
+
+    accounting = std::make_shared<storage::AccountingStore>(base, cfg.shared_quota_bytes);
+    storage::RetryPolicy retry_policy;
+    retry_policy.max_attempts = cfg.put_attempts;
+    retry_policy.initial_backoff = cfg.retry_backoff;
+    retry_policy.sleep = cfg.retry_sleep;
+    store = std::make_shared<storage::RetryingStore>(accounting, retry_policy);
+
+    plan_thread = std::thread([this] { PlanLoop(); });
+    for (std::size_t i = 0; i < cfg.encode_threads; ++i) {
+      encode_threads.emplace_back([this] { EncodeLoop(); });
+    }
+    for (std::size_t i = 0; i < cfg.store_threads; ++i) {
+      store_threads.emplace_back([this] { StoreLoop(); });
+    }
+    commit_thread = std::thread([this] { CommitLoop(); });
+  }
+
+  ~ServiceImpl() { Shutdown(); }
+
+  // ------------------------------------------------------------ lifecycle --
+
+  void WaitIdle() {
+    std::unique_lock lock(mu_);
+    admit_cv_.wait(lock, [&] { return total_outstanding == 0; });
+  }
+
+  void Shutdown() {
+    WaitIdle();
+    {
+      std::lock_guard lock(mu_);
+      if (stopping) return;  // idempotent
+      stopping = true;
+    }
+    admit_cv_.notify_all();
+    plan_q.Close();
+    {
+      std::lock_guard lock(sched_mu_);
+      sched_stop = true;
+    }
+    encode_ready_.notify_all();
+    store_ready_.notify_all();
+    commit_q.Close();
+    plan_thread.join();
+    for (auto& t : encode_threads) t.join();
+    for (auto& t : store_threads) t.join();
+    commit_thread.join();
+  }
+
+  // ------------------------------------------------------------ admission --
+
+  std::future<WriteResult> Submit(const std::shared_ptr<JobState>& job,
+                                  CheckpointRequest request) {
+    if (!request.snapshot_fn) {
+      throw std::invalid_argument("CheckpointService::Submit: no snapshot_fn");
+    }
+    auto ckpt = std::make_shared<Inflight>();
+    ckpt->job = job;
+    ckpt->req = std::move(request);
+    auto future = ckpt->promise.get_future();
+
+    // Admission: the overlap policy. With a per-job cap of 1 (and slot
+    // release at commit) this wait IS the §4.3 non-overlap rule for the job;
+    // the service-wide cap bounds snapshot memory across all jobs.
+    {
+      std::unique_lock lock(mu_);
+      admit_cv_.wait(lock, [&] {
+        return stopping || (total_admitted < cfg.max_inflight_checkpoints &&
+                            job->admitted < job->cfg.max_inflight_checkpoints);
+      });
+      if (stopping) throw std::runtime_error("CheckpointService: stopped");
+      ++total_admitted;
+      ++total_outstanding;
+      ++job->admitted;
+      ++job->outstanding;
+      ++job->stats.submitted;
+    }
+
+    // Snapshot stage: runs on the submitting (trainer) thread — this is the
+    // training stall of §4.2, and the only work the trainer ever does for
+    // the checkpoint.
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      ckpt->snap = ckpt->req.snapshot_fn();
+      ckpt->snapshot_us = ElapsedUs(t0);
+      ckpt->submit_time = t0;
+    } catch (...) {
+      {
+        std::lock_guard lock(mu_);
+        --total_admitted;
+        --total_outstanding;
+        --job->admitted;
+        --job->outstanding;
+        --job->stats.submitted;
+      }
+      admit_cv_.notify_all();
+      throw;
+    }
+
+    {
+      std::lock_guard lock(mu_);
+      ckpt->seq = job->next_seq++;
+    }
+    plan_q.Push(PlanJob{std::move(ckpt)});
+    return future;
+  }
+
+  // Returns the checkpoint's admission slot; safe to call more than once.
+  void ReleaseSlot(Inflight& ckpt) {
+    if (ckpt.slot_released.exchange(true)) return;
+    {
+      std::lock_guard lock(mu_);
+      --total_admitted;
+      --ckpt.job->admitted;
+    }
+    admit_cv_.notify_all();
+  }
+
+  // ------------------------------------------------------------ scheduler --
+
+  // Weighted round-robin pick across job lanes. Called under sched_mu_.
+  // Serves up to `weight` items of a job per round; a round ends when every
+  // eligible job is out of credit, at which point all credits refill. For
+  // the encode stage a job is eligible only while it has store budget left,
+  // so an encoder never produces bytes that would block on a full lane —
+  // a backlogged job throttles itself, never its neighbors.
+  JobState* PickWrr(bool encode_stage) {
+    auto eligible = [&](JobState& j) {
+      if (encode_stage) {
+        return !j.encode_lane.empty() && j.store_budget_used < cfg.queue_capacity;
+      }
+      return !j.store_lane.empty();
+    };
+    if (lanes.empty()) return nullptr;
+    std::size_t& cursor = encode_stage ? encode_cursor : store_cursor;
+    for (int pass = 0; pass < 2; ++pass) {
+      bool any_eligible = false;
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        const std::size_t idx = (cursor + k) % lanes.size();
+        JobState& j = *lanes[idx];
+        if (!eligible(j)) continue;
+        any_eligible = true;
+        std::uint32_t& credit = encode_stage ? j.encode_credit : j.store_credit;
+        if (credit == 0) continue;
+        --credit;
+        cursor = credit == 0 ? (idx + 1) % lanes.size() : idx;
+        return &j;
+      }
+      if (!any_eligible) return nullptr;
+      for (auto& j : lanes) {  // new round: refill every job's credit
+        (encode_stage ? j->encode_credit : j->store_credit) =
+            std::max<std::uint32_t>(j->cfg.weight, 1);
+      }
+    }
+    return nullptr;  // unreachable: the refilled pass always serves someone
+  }
+
+  std::optional<EncodeJob> PopEncode() {
+    std::unique_lock lock(sched_mu_);
+    JobState* pick = nullptr;
+    encode_ready_.wait(lock, [&] {
+      pick = PickWrr(/*encode_stage=*/true);
+      return pick != nullptr || sched_stop;
+    });
+    if (!pick) return std::nullopt;
+    ++pick->store_budget_used;  // reserve the downstream slot up front
+    EncodeJob job = std::move(pick->encode_lane.front());
+    pick->encode_lane.pop_front();
+    return job;
+  }
+
+  std::optional<StoreJob> PopStore() {
+    std::unique_lock lock(sched_mu_);
+    JobState* pick = nullptr;
+    store_ready_.wait(lock, [&] {
+      pick = PickWrr(/*encode_stage=*/false);
+      return pick != nullptr || sched_stop;
+    });
+    if (!pick) return std::nullopt;
+    StoreJob job = std::move(pick->store_lane.front());
+    pick->store_lane.pop_front();
+    --pick->store_budget_used;
+    encode_ready_.notify_all();
+    return job;
+  }
+
+  void ReleaseStoreBudget(JobState& job) {
+    {
+      std::lock_guard lock(sched_mu_);
+      --job.store_budget_used;
+    }
+    encode_ready_.notify_all();
+  }
+
+  // ------------------------------------------------------------ stages -----
+
+  void PlanLoop() {
+    while (auto job = plan_q.Pop()) {
+      const std::shared_ptr<Inflight> ckpt = std::move(job->ckpt);
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        ckpt->tasks =
+            pipeline::BuildChunkTasks(ckpt->snap, ckpt->req.plan, ckpt->req.writer.chunk_rows);
+        ckpt->manifest = pipeline::MakeManifestSkeleton(
+            ckpt->req.checkpoint_id, ckpt->req.plan, ckpt->snap, ckpt->req.writer.quant,
+            std::move(ckpt->req.reader_state), ckpt->tasks.size());
+        ckpt->manifest.timings.snapshot_us = ckpt->snapshot_us;
+        ckpt->plan_us = ElapsedUs(t0);
+        ckpt->remaining.store(ckpt->tasks.size(), std::memory_order_release);
+      } catch (...) {
+        ckpt->MarkFailed(std::current_exception());
+        commit_q.Push(CommitJob{ckpt});
+        continue;
+      }
+      if (ckpt->tasks.empty()) {
+        // Nothing dirty this interval: the checkpoint is dense blob +
+        // manifest, and trivially "all chunks stored".
+        if (cfg.release_slot_on_stored) ReleaseSlot(*ckpt);
+        commit_q.Push(CommitJob{ckpt});
+        continue;
+      }
+      {
+        // Lanes are unbounded descriptors (the heavy memory — snapshots and
+        // encoded bytes — is bounded by admission and the store budget), so
+        // one job's backlog never blocks planning for the others.
+        std::lock_guard lock(sched_mu_);
+        auto& lane = ckpt->job->encode_lane;
+        const auto now = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < ckpt->tasks.size(); ++i) {
+          lane.push_back(EncodeJob{ckpt, i, now});
+        }
+      }
+      encode_ready_.notify_all();
+    }
+  }
+
+  void EncodeLoop() {
+    while (auto job = PopEncode()) {
+      const std::shared_ptr<Inflight>& ckpt = job->ckpt;
+      ckpt->encode_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
+      if (ckpt->failed.load(std::memory_order_acquire)) {
+        ReleaseStoreBudget(*ckpt->job);
+        FinishChunk(ckpt);
+        continue;
+      }
+      try {
+        const ChunkTask& task = ckpt->tasks[job->index];
+        util::Rng rng = pipeline::ChunkRng(ckpt->req.writer.rng_seed, ckpt->req.checkpoint_id,
+                                           job->index);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto bytes = pipeline::EncodeChunkTask(task, ckpt->req.writer.quant, rng);
+        ckpt->encode_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+
+        storage::ChunkInfo info = pipeline::MakeChunkInfo(task, ckpt->req.writer.job,
+                                                          ckpt->req.checkpoint_id, bytes.size());
+        {
+          std::lock_guard lock(sched_mu_);
+          ckpt->job->store_lane.push_back(StoreJob{ckpt, job->index, std::move(info),
+                                                   std::move(bytes),
+                                                   std::chrono::steady_clock::now()});
+        }
+        store_ready_.notify_one();
+      } catch (...) {
+        ckpt->MarkFailed(std::current_exception());
+        ReleaseStoreBudget(*ckpt->job);
+        FinishChunk(ckpt);
+      }
+    }
+  }
+
+  void StoreLoop() {
+    while (auto job = PopStore()) {
+      const std::shared_ptr<Inflight>& ckpt = job->ckpt;
+      ckpt->store_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
+      if (!ckpt->failed.load(std::memory_order_acquire)) {
+        try {
+          const auto t0 = std::chrono::steady_clock::now();
+          store->Put(job->info.key, std::move(job->bytes));
+          ckpt->store_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+          // Chunk slots are disjoint per job index, so no lock is needed.
+          ckpt->manifest.chunks[job->index] = std::move(job->info);
+        } catch (...) {
+          ckpt->MarkFailed(std::current_exception());
+        }
+      }
+      FinishChunk(ckpt);
+    }
+  }
+
+  void FinishChunk(const std::shared_ptr<Inflight>& ckpt) {
+    if (ckpt->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // All chunks stored (or drained after a failure): optionally return
+      // the admission slot now — the dense+manifest tail happens off the
+      // next snapshot's critical path. Failed checkpoints keep their slot
+      // until the commit stage retires them.
+      if (cfg.release_slot_on_stored && !ckpt->failed.load(std::memory_order_acquire)) {
+        ReleaseSlot(*ckpt);
+      }
+      commit_q.Push(CommitJob{ckpt});
+    }
+  }
+
+  void CommitLoop() {
+    // Commits are applied strictly in per-job submission (seq) order: an
+    // incremental checkpoint must never be published before its parent's
+    // fate is known. Jobs reorder independently — a slow checkpoint of one
+    // job never delays another job's commit.
+    while (auto job = commit_q.Pop()) {
+      // Pin the job state: the moment CommitOne retires the last
+      // outstanding checkpoint, a draining ~JobHandle may unregister and
+      // release the JobState — the loop bookkeeping below must not outlive
+      // the pin.
+      const std::shared_ptr<JobState> state = job->ckpt->job;
+      state->reorder.emplace(job->ckpt->seq, std::move(job->ckpt));
+      while (!state->reorder.empty() &&
+             state->reorder.begin()->first == state->next_commit) {
+        auto ckpt = std::move(state->reorder.begin()->second);
+        state->reorder.erase(state->reorder.begin());
+        CommitOne(ckpt);
+        ++state->next_commit;
+      }
+    }
+  }
+
+  void NotifyPolicyCheckpointFailed(JobState& job) {
+    std::lock_guard lock(job.policy_mu);
+    if (job.policy) job.policy->OnCheckpointFailed();
+  }
+
+  void Retire(const std::shared_ptr<Inflight>& ckpt, WriteResult* result,
+              std::exception_ptr error) {
+    {
+      std::lock_guard lock(mu_);
+      JobStats& stats = ckpt->job->stats;
+      if (result) {
+        ++stats.committed;
+        stats.bytes_written += result->bytes_written;
+        stats.rows_written += result->rows_written;
+      } else {
+        ++stats.failed;
+      }
+    }
+    // Fulfill the promise before the final outstanding decrement, so a
+    // Drain() that wakes on outstanding == 0 always finds ready futures.
+    if (result) {
+      ckpt->promise.set_value(std::move(*result));
+    } else {
+      ckpt->promise.set_exception(std::move(error));
+    }
+    ReleaseSlot(*ckpt);  // no-op if already released at all-chunks-stored
+    {
+      std::lock_guard lock(mu_);
+      --total_outstanding;
+      --ckpt->job->outstanding;
+    }
+    admit_cv_.notify_all();
+  }
+
+  void CommitOne(const std::shared_ptr<Inflight>& ckpt) {
+    JobState& job = *ckpt->job;
+    // Lineage rule (per job): an incremental whose parent failed while both
+    // were in flight must fail too — publishing it would leave recovery a
+    // chain with a hole in it.
+    if (!ckpt->failed.load(std::memory_order_acquire) &&
+        ckpt->manifest.kind == storage::CheckpointKind::kIncremental &&
+        std::find(job.failed_ids.begin(), job.failed_ids.end(), ckpt->manifest.parent_id) !=
+            job.failed_ids.end()) {
+      ckpt->MarkFailed(std::make_exception_ptr(std::runtime_error(
+          "checkpoint " + std::to_string(ckpt->req.checkpoint_id) + ": parent checkpoint " +
+          std::to_string(ckpt->manifest.parent_id) + " failed in flight")));
+    }
+
+    if (ckpt->failed.load(std::memory_order_acquire)) {
+      job.failed_ids.push_back(ckpt->req.checkpoint_id);
+      // The failed checkpoint may be the baseline or a chain link future
+      // incrementals would parent on; the policy forgets its baseline and
+      // plans a fresh full checkpoint next, before the failure is even
+      // observed through the future.
+      NotifyPolicyCheckpointFailed(job);
+      std::exception_ptr error;
+      {
+        std::lock_guard lock(ckpt->error_mu);
+        error = ckpt->error;
+      }
+      Retire(ckpt, nullptr, std::move(error));
+      return;
+    }
+
+    WriteResult result;
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      ckpt->manifest.timings.plan_us = ckpt->plan_us;
+      ckpt->manifest.timings.encode_us = ckpt->encode_us.load(std::memory_order_relaxed);
+      ckpt->manifest.timings.store_us = ckpt->store_us.load(std::memory_order_relaxed);
+      ckpt->manifest.timings.encode_queue_us =
+          ckpt->encode_queue_us.load(std::memory_order_relaxed);
+      ckpt->manifest.timings.store_queue_us =
+          ckpt->store_queue_us.load(std::memory_order_relaxed);
+
+      const auto commit = pipeline::CommitCheckpoint(*store, ckpt->req.writer.job,
+                                                     ckpt->manifest, ckpt->snap.dense_blob);
+
+      // The inflight record is done with the manifest once committed; moving
+      // it avoids copying ~chunk-count key strings on the (serial) commit
+      // thread.
+      result.manifest = std::move(ckpt->manifest);
+      result.bytes_written = result.manifest.TotalBytes() + commit.manifest_bytes;
+      for (const auto& c : result.manifest.chunks) result.rows_written += c.num_rows;
+      result.encode_wall = std::chrono::microseconds(
+          static_cast<std::int64_t>(result.manifest.timings.encode_us));
+      result.timings = result.manifest.timings;
+      // Result-side commit wall includes the manifest put itself (the
+      // persisted value cannot, since it rides inside that very object).
+      result.timings.commit_us = ElapsedUs(t0);
+      result.write_wall =
+          std::chrono::microseconds(static_cast<std::int64_t>(ElapsedUs(ckpt->submit_time)));
+    } catch (...) {
+      job.failed_ids.push_back(ckpt->req.checkpoint_id);
+      NotifyPolicyCheckpointFailed(job);
+      Retire(ckpt, nullptr, std::current_exception());
+      return;
+    }
+
+    // The checkpoint is valid from here on; a post_commit (GC) failure
+    // reaches the caller but cannot un-publish it. The policy still forgets
+    // its baseline — conservative, and what the controller always did.
+    try {
+      if (ckpt->req.post_commit) ckpt->req.post_commit();
+    } catch (...) {
+      NotifyPolicyCheckpointFailed(job);
+      Retire(ckpt, nullptr, std::current_exception());
+      return;
+    }
+
+    Retire(ckpt, &result, nullptr);
+  }
+
+  // ------------------------------------------------------------ members ----
+
+  ServiceConfig cfg;
+  std::shared_ptr<storage::ObjectStore> base;
+  std::shared_ptr<storage::AccountingStore> accounting;
+  std::shared_ptr<storage::RetryingStore> store;
+
+  mutable std::mutex mu_;  // admission, outstanding counts, job registry, stats
+  std::condition_variable admit_cv_;
+  std::size_t total_admitted = 0;
+  std::size_t total_outstanding = 0;
+  bool stopping = false;
+  std::vector<std::shared_ptr<JobState>> all_jobs;
+
+  std::mutex sched_mu_;  // lanes, budgets, credits, cursors
+  std::condition_variable encode_ready_;
+  std::condition_variable store_ready_;
+  bool sched_stop = false;
+  std::size_t encode_cursor = 0;
+  std::size_t store_cursor = 0;
+  std::vector<std::shared_ptr<JobState>> lanes;
+
+  BoundedQueue<PlanJob> plan_q;
+  BoundedQueue<CommitJob> commit_q;
+
+  std::thread plan_thread;
+  std::vector<std::thread> encode_threads;
+  std::vector<std::thread> store_threads;
+  std::thread commit_thread;
+};
+
+}  // namespace detail
+
+// ------------------------------------------------------------- JobHandle ---
+
+JobHandle::JobHandle(std::shared_ptr<detail::ServiceImpl> impl,
+                     std::shared_ptr<detail::JobState> job)
+    : impl_(std::move(impl)), job_(std::move(job)) {}
+
+JobHandle::~JobHandle() {
+  Drain();
+  // Unregister the drained job so a long-lived service does not accumulate
+  // dead JobStates: the registry drives stats() and the duplicate-name
+  // check, the lanes drive every scheduler scan. The handle's shared_ptr
+  // keeps stats() on this handle valid; the service forgets the job.
+  {
+    std::lock_guard lock(impl_->mu_);
+    auto& jobs = impl_->all_jobs;
+    jobs.erase(std::remove(jobs.begin(), jobs.end(), job_), jobs.end());
+  }
+  {
+    std::lock_guard lock(impl_->sched_mu_);
+    auto& lanes = impl_->lanes;
+    lanes.erase(std::remove(lanes.begin(), lanes.end(), job_), lanes.end());
+    impl_->encode_cursor = lanes.empty() ? 0 : impl_->encode_cursor % lanes.size();
+    impl_->store_cursor = lanes.empty() ? 0 : impl_->store_cursor % lanes.size();
+  }
+  // Detach the tracker's model hooks: the model is only guaranteed to
+  // outlive the handle, not the service.
+  std::lock_guard lock(job_->policy_mu);
+  job_->tracker.reset();
+}
+
+const std::string& JobHandle::name() const { return job_->cfg.name; }
+
+std::future<WriteResult> JobHandle::SubmitRaw(CheckpointRequest request) {
+  return impl_->Submit(job_, std::move(request));
+}
+
+SubmittedCheckpoint JobHandle::Submit(IntervalSubmission submission) {
+  detail::JobState& job = *job_;
+  CheckpointRequest req;
+  {
+    std::lock_guard lock(job.policy_mu);
+    if (!job.policy) {
+      throw std::logic_error("JobHandle::Submit: job \"" + job.cfg.name +
+                             "\" has no incremental policy (opened without model/total_rows)");
+    }
+    req.checkpoint_id = job.next_checkpoint_id++;
+    req.plan = job.policy->Plan(req.checkpoint_id, std::move(submission.interval_dirty));
+  }
+  req.writer.job = job.cfg.name;
+  req.writer.chunk_rows = job.cfg.chunk_rows;
+  req.writer.rng_seed = job.cfg.rng_seed;
+  req.writer.quant = EffectiveQuantConfig();
+  req.reader_state = std::move(submission.reader_state);
+  req.snapshot_fn = std::move(submission.snapshot_fn);
+  if (job.cfg.gc) {
+    req.post_commit = [impl = impl_, name = job.cfg.name, keep = job.cfg.keep_checkpoints] {
+      GarbageCollectJob(*impl->store, name, keep);
+    };
+  }
+
+  SubmittedCheckpoint out;
+  out.checkpoint_id = req.checkpoint_id;
+  out.kind = req.plan.kind;
+  try {
+    out.future = SubmitRaw(std::move(req));
+  } catch (...) {
+    // The planned checkpoint will never exist (snapshot failure or service
+    // shutdown); the policy must forget it or later incrementals would
+    // parent on a hole in the chain.
+    std::lock_guard lock(job.policy_mu);
+    job.policy->OnCheckpointFailed();
+    throw;
+  }
+  return out;
+}
+
+void JobHandle::Drain() {
+  std::unique_lock lock(impl_->mu_);
+  impl_->admit_cv_.wait(lock, [&] { return job_->outstanding == 0; });
+}
+
+JobStats JobHandle::stats() const {
+  JobStats stats;
+  {
+    std::lock_guard lock(impl_->mu_);
+    stats = job_->stats;
+    stats.inflight = job_->outstanding;
+  }
+  stats.store_bytes = impl_->accounting->Usage(job_->cfg.name).bytes;
+  return stats;
+}
+
+std::size_t JobHandle::inflight() const {
+  std::lock_guard lock(impl_->mu_);
+  return job_->outstanding;
+}
+
+quant::QuantConfig JobHandle::EffectiveQuantConfig() const {
+  const JobConfig& cfg = job_->cfg;
+  if (!cfg.quantize) {
+    quant::QuantConfig qc;
+    qc.method = quant::Method::kNone;
+    return qc;
+  }
+  if (!cfg.dynamic_bitwidth) return cfg.quant;
+  if (observed_restarts() > cfg.expected_restarts) {
+    // Failure estimate exceeded: fall back to 8-bit asymmetric (§6.2.1).
+    quant::QuantConfig qc;
+    qc.method = quant::Method::kAsymmetric;
+    qc.bits = 8;
+    return qc;
+  }
+  return quant::ConfigForRestarts(cfg.expected_restarts);
+}
+
+void JobHandle::OnRestartObserved() {
+  std::lock_guard lock(job_->policy_mu);
+  ++job_->observed_restarts;
+}
+
+std::uint64_t JobHandle::observed_restarts() const {
+  std::lock_guard lock(job_->policy_mu);
+  return job_->observed_restarts;
+}
+
+void JobHandle::SetNextCheckpointId(std::uint64_t next_id) {
+  std::lock_guard lock(job_->policy_mu);
+  if (next_id <= job_->next_checkpoint_id && job_->next_checkpoint_id != 1) {
+    throw std::invalid_argument("SetNextCheckpointId: ids must move forward");
+  }
+  job_->next_checkpoint_id = next_id;
+}
+
+ModifiedRowTracker& JobHandle::tracker() {
+  std::lock_guard lock(job_->policy_mu);
+  if (!job_->tracker) {
+    throw std::logic_error("JobHandle::tracker: job \"" + job_->cfg.name +
+                           "\" was opened without a model");
+  }
+  return *job_->tracker;
+}
+
+// ------------------------------------------------------ CheckpointService ---
+
+CheckpointService::CheckpointService(std::shared_ptr<storage::ObjectStore> store,
+                                     ServiceConfig config)
+    : impl_(std::make_shared<detail::ServiceImpl>(std::move(store), std::move(config))) {}
+
+CheckpointService::~CheckpointService() { impl_->Shutdown(); }
+
+std::unique_ptr<JobHandle> CheckpointService::OpenJob(JobConfig config) {
+  if (config.max_inflight_checkpoints == 0) {
+    throw std::invalid_argument("OpenJob: max_inflight_checkpoints == 0");
+  }
+  config.weight = std::max<std::uint32_t>(config.weight, 1);
+
+  auto job = std::make_shared<detail::JobState>(std::move(config));
+  {
+    std::lock_guard lock(job->policy_mu);
+    std::uint64_t total_rows = job->cfg.total_rows;
+    if (job->cfg.model != nullptr) {
+      job->tracker = std::make_unique<ModifiedRowTracker>(*job->cfg.model);
+      total_rows = CountTotalRows(*job->cfg.model);
+    }
+    if (total_rows > 0) {
+      job->policy.emplace(job->cfg.policy, total_rows, job->cfg.policy_options);
+    }
+  }
+  {
+    std::lock_guard lock(impl_->mu_);
+    if (impl_->stopping) throw std::runtime_error("CheckpointService: stopped");
+    for (const auto& existing : impl_->all_jobs) {  // closed jobs were removed
+      if (existing->cfg.name == job->cfg.name) {
+        throw std::invalid_argument("OpenJob: job \"" + job->cfg.name + "\" is already open");
+      }
+    }
+    impl_->all_jobs.push_back(job);
+  }
+  {
+    std::lock_guard lock(impl_->sched_mu_);
+    impl_->lanes.push_back(job);
+  }
+  return std::unique_ptr<JobHandle>(new JobHandle(impl_, std::move(job)));
+}
+
+void CheckpointService::DrainAll() { impl_->WaitIdle(); }
+
+ServiceStats CheckpointService::stats() const {
+  ServiceStats stats;
+  stats.quota_bytes = impl_->cfg.shared_quota_bytes;
+  const auto usage = impl_->accounting->UsageByJob();
+  std::lock_guard lock(impl_->mu_);
+  stats.inflight = impl_->total_outstanding;
+  stats.store_bytes = impl_->accounting->TrackedBytes();
+  for (const auto& job : impl_->all_jobs) {
+    JobStats js = job->stats;
+    js.inflight = job->outstanding;
+    const auto it = usage.find(job->cfg.name);
+    if (it != usage.end()) js.store_bytes = it->second.bytes;
+    stats.jobs[job->cfg.name] = js;
+  }
+  return stats;
+}
+
+std::size_t CheckpointService::inflight() const {
+  std::lock_guard lock(impl_->mu_);
+  return impl_->total_outstanding;
+}
+
+storage::ObjectStore& CheckpointService::store() { return *impl_->store; }
+
+const storage::AccountingStore& CheckpointService::accounting() const {
+  return *impl_->accounting;
+}
+
+const ServiceConfig& CheckpointService::config() const { return impl_->cfg; }
+
+}  // namespace cnr::core

@@ -1,0 +1,287 @@
+// CheckpointService — the shared, multi-job checkpoint engine.
+//
+// Check-N-Run is deployed as a fleet service: many concurrent training jobs
+// checkpoint against one storage tier and a shared quota (paper §4.4, §7).
+// This is the system's front door for that shape. One long-lived,
+// job-agnostic service owns every expensive resource exactly once:
+//
+//   CheckpointService (one per process / storage tier)
+//   ├── stage workers      Plan (1) · Encode (N) · Store (M) · Commit (1)
+//   ├── chunk scheduler    weighted round-robin across jobs, per-job
+//   │                      encoded-chunk budget (queue_capacity)
+//   ├── admission gate     service-wide max_inflight_checkpoints plus a
+//   │                      per-job cap (JobConfig::max_inflight_checkpoints)
+//   └── storage view       RetryingStore → AccountingStore → caller's store
+//                          (one retry policy, per-job occupancy accounting,
+//                           optional shared quota)
+//
+// Jobs attach with OpenJob(JobConfig) -> JobHandle: a thin per-job object
+// holding the modified-row tracker, the incremental policy, the dynamic
+// bit-width selector, checkpoint numbering, and the per-job in-order
+// commit/lineage state. Submit()/Drain()/stats() live on the handle; the
+// training session and the checkpoint engine are separate objects with
+// separate lifetimes (core::CheckNRun is now a facade of exactly this:
+// service + one handle + the training loop).
+//
+// Fairness: the encode and store stages pop chunks with weighted
+// round-robin across jobs (JobConfig::weight), so one bulky full checkpoint
+// cannot starve other jobs' incrementals — a small job's chunks interleave
+// with the big job's stream at the configured ratio. Per-job backpressure is
+// a reserved encoded-chunk budget: a job may hold at most queue_capacity
+// encoded-but-unstored chunks, and an encoder never starts a chunk it has no
+// budget for, so a slow job throttles only itself.
+//
+// Ordering: commits are applied in per-job submission order (a per-job
+// reorder buffer on the single commit thread), and the lineage rule is
+// per-job — an incremental whose parent failed in flight fails with it.
+// Jobs never wait on each other's commits.
+//
+// Admission-slot release: by default (release_slot_on_stored) a checkpoint
+// returns its admission slot as soon as its last chunk is stored, so the
+// next snapshot overlaps the dense+manifest publication tail; commits still
+// land in order. Set it to false for the strict mode where the slot is held
+// until the manifest is published — the paper's §4.3 non-overlap when
+// max_inflight_checkpoints is 1 (what the CheckpointPipeline facade uses).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/snapshot.h"
+#include "core/tracking.h"
+#include "core/writer.h"
+#include "quant/quantizer.h"
+#include "quant/selector.h"
+#include "storage/accounting_store.h"
+#include "storage/manifest.h"
+#include "storage/object_store.h"
+#include "storage/retrying_store.h"
+
+namespace cnr::core {
+
+class CheckpointService;
+class JobHandle;
+
+namespace detail {
+struct ServiceImpl;
+struct JobState;
+}  // namespace detail
+
+// One checkpoint write, fully described: what to store (plan + snapshot),
+// how to encode it (writer config), and the hooks around publication. The
+// unit of work the service's stages operate on; JobHandle::Submit builds one
+// from its policy state, and power users (the CheckpointPipeline facade,
+// tests) hand one straight to JobHandle::SubmitRaw.
+struct CheckpointRequest {
+  std::uint64_t checkpoint_id = 0;
+  // job / chunk_rows / quant / rng_seed are honored; put_attempts is NOT —
+  // retry is the service's RetryingStore decorator's job.
+  WriterConfig writer;
+  CheckpointPlan plan;
+  std::vector<std::uint8_t> reader_state;
+  // Invoked on the submitting thread once admission is granted; the trainer
+  // is stalled for exactly this call (§4.2).
+  std::function<ModelSnapshot()> snapshot_fn;
+  // Invoked on the commit thread after the manifest is published (GC hook).
+  // A failure here propagates through the future but cannot un-publish the
+  // checkpoint.
+  std::function<void()> post_commit;
+};
+
+struct ServiceConfig {
+  std::size_t encode_threads = 2;
+  std::size_t store_threads = 2;
+  // Per-job budget of encoded-but-unstored chunks. The bound is what
+  // propagates store backpressure to that job's encoders without letting the
+  // job block anyone else's.
+  std::size_t queue_capacity = 16;
+  // Service-wide bound on concurrently admitted checkpoint writes (snapshot
+  // memory across all jobs). Per-job overlap is bounded separately by
+  // JobConfig::max_inflight_checkpoints.
+  std::size_t max_inflight_checkpoints = 4;
+  // Return a checkpoint's admission slot when its last chunk is stored
+  // (pre-commit) instead of when its manifest is published. Shaves the
+  // dense+manifest tail off the next snapshot's critical path; commit order
+  // is unaffected.
+  bool release_slot_on_stored = true;
+  // Attempts per Put before a checkpoint is abandoned (RetryingStore depth).
+  int put_attempts = 3;
+  std::chrono::microseconds retry_backoff{0};
+  // Optional sleep hook for the retry backoff (util::SimSleeper for
+  // simulated time); default sleeps on the wall clock.
+  std::function<void(std::chrono::microseconds)> retry_sleep;
+  // Shared storage quota across all jobs, enforced by the accounting view
+  // (storage::QuotaExceeded fails the offending checkpoint). 0 = unlimited.
+  std::uint64_t shared_quota_bytes = 0;
+};
+
+struct JobConfig {
+  std::string name = "job0";
+  // Weighted round-robin share of the encode/store stages relative to other
+  // jobs (>= 1). A job with weight 2 gets two chunks scheduled per round for
+  // every one of a weight-1 job.
+  std::uint32_t weight = 1;
+  // Per-job overlap cap: how many of this job's checkpoint writes may be in
+  // flight at once. 1 is the paper's strict §4.3 non-overlap for this job.
+  std::size_t max_inflight_checkpoints = 1;
+
+  PolicyKind policy = PolicyKind::kIntermittent;
+  PolicyOptions policy_options;
+
+  // Quantization. With dynamic_bitwidth, bit-width/method come from the
+  // expected restart count (§6.2.1); otherwise `quant` is used as given.
+  bool quantize = true;
+  bool dynamic_bitwidth = true;
+  std::uint64_t expected_restarts = 1;
+  quant::QuantConfig quant;
+
+  std::size_t chunk_rows = 512;
+  std::uint64_t rng_seed = 7;  // k-means init stream
+
+  // Delete checkpoints not on the newest `keep_checkpoints` recovery chains
+  // after each commit (runs on the commit thread, through the service's
+  // retrying store).
+  bool gc = true;
+  std::size_t keep_checkpoints = 1;
+
+  // Optional: attach the job's model. The handle then owns a
+  // ModifiedRowTracker over it (JobHandle::tracker()) and sizes the
+  // incremental policy from the model. The model must outlive the handle.
+  dlrm::DlrmModel* model = nullptr;
+  // Policy sizing when no model is attached; 0 leaves the job without an
+  // incremental policy (raw-submission jobs don't need one).
+  std::uint64_t total_rows = 0;
+};
+
+// Live counters of one job, as seen by the service.
+struct JobStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t bytes_written = 0;  // across committed checkpoints
+  std::uint64_t rows_written = 0;
+  std::size_t inflight = 0;         // submitted - committed - failed
+  std::uint64_t store_bytes = 0;    // live occupancy (accounting view)
+};
+
+struct ServiceStats {
+  std::size_t inflight = 0;        // across all jobs
+  std::uint64_t store_bytes = 0;   // tracked occupancy across all jobs
+  std::uint64_t quota_bytes = 0;   // 0 = unlimited
+  std::map<std::string, JobStats> jobs;  // jobs with an open handle
+};
+
+// What JobHandle::Submit decided for an interval: the id and kind are known
+// at submission (the policy ran synchronously); the future resolves when the
+// checkpoint is valid or carries the failure.
+struct SubmittedCheckpoint {
+  std::uint64_t checkpoint_id = 0;
+  storage::CheckpointKind kind = storage::CheckpointKind::kFull;
+  std::future<WriteResult> future;
+};
+
+// One training interval's checkpoint input, policy-agnostic: the dirty rows
+// the interval produced, the reader state at the interval boundary, and the
+// snapshot thunk (runs on the submitting thread once admitted).
+struct IntervalSubmission {
+  DirtySets interval_dirty;
+  std::vector<std::uint8_t> reader_state;
+  std::function<ModelSnapshot()> snapshot_fn;
+};
+
+// Per-job face of the service. One trainer thread per handle; handles of
+// different jobs submit concurrently. Destroying the handle drains the job's
+// in-flight checkpoints and detaches the tracker; the handle may outlive the
+// service only in the trivial sense that its calls then fail cleanly.
+class JobHandle {
+ public:
+  ~JobHandle();
+
+  JobHandle(const JobHandle&) = delete;
+  JobHandle& operator=(const JobHandle&) = delete;
+
+  const std::string& name() const;
+
+  // Policy path: numbers the checkpoint, asks the incremental policy for the
+  // plan, picks the effective quantization, and submits. Blocks in the
+  // admission gate (service-wide and per-job caps), then runs snapshot_fn on
+  // the calling thread — that call is the training stall (§4.2). Requires a
+  // policy (JobConfig::model or total_rows).
+  SubmittedCheckpoint Submit(IntervalSubmission submission);
+
+  // Raw path: submits a fully built request, bypassing the handle's policy,
+  // numbering, and quant selection. Same admission gate and ordering rules.
+  std::future<WriteResult> SubmitRaw(CheckpointRequest request);
+
+  // Blocks until none of THIS job's checkpoints are in flight (their futures
+  // are ready by then). Other jobs are unaffected.
+  void Drain();
+
+  JobStats stats() const;
+  std::size_t inflight() const;
+
+  // Dynamic bit-width selector (§6.2.1): effective config of the next
+  // checkpoint, and the restart feedback that drives the 8-bit fallback.
+  quant::QuantConfig EffectiveQuantConfig() const;
+  void OnRestartObserved();
+  std::uint64_t observed_restarts() const;
+
+  // Continues checkpoint numbering after a resume; ids must move forward.
+  void SetNextCheckpointId(std::uint64_t next_id);
+
+  // The job's modified-row tracker; throws std::logic_error if the job was
+  // opened without a model.
+  ModifiedRowTracker& tracker();
+
+ private:
+  friend class CheckpointService;
+  JobHandle(std::shared_ptr<detail::ServiceImpl> impl,
+            std::shared_ptr<detail::JobState> job);
+
+  std::shared_ptr<detail::ServiceImpl> impl_;
+  std::shared_ptr<detail::JobState> job_;
+};
+
+class CheckpointService {
+ public:
+  // The service checkpoints every job into `store`, wrapped in
+  // RetryingStore → AccountingStore per the config. The store must outlive
+  // the service.
+  explicit CheckpointService(std::shared_ptr<storage::ObjectStore> store,
+                             ServiceConfig config = {});
+  ~CheckpointService();  // drains every job, then stops the stage workers
+
+  CheckpointService(const CheckpointService&) = delete;
+  CheckpointService& operator=(const CheckpointService&) = delete;
+
+  // Attaches a job. Throws std::invalid_argument if a handle with the same
+  // name is already open; a name may be reopened after its handle closed
+  // (checkpoint numbering restarts — use SetNextCheckpointId to continue).
+  std::unique_ptr<JobHandle> OpenJob(JobConfig config);
+
+  // Blocks until no checkpoint of any job is in flight.
+  void DrainAll();
+
+  ServiceStats stats() const;
+  std::size_t inflight() const;
+
+  // The decorated store the stages write through (retry + accounting); what
+  // GC and external maintenance against the same tier should use.
+  storage::ObjectStore& store();
+  // The accounting layer, for per-job occupancy queries.
+  const storage::AccountingStore& accounting() const;
+
+  const ServiceConfig& config() const;
+
+ private:
+  std::shared_ptr<detail::ServiceImpl> impl_;
+};
+
+}  // namespace cnr::core

@@ -1,0 +1,110 @@
+#include "storage/accounting_store.h"
+
+#include <string_view>
+#include <utility>
+
+namespace cnr::storage {
+
+AccountingStore::AccountingStore(std::shared_ptr<ObjectStore> backing,
+                                 std::uint64_t quota_bytes)
+    : backing_(std::move(backing)), quota_bytes_(quota_bytes) {
+  if (!backing_) throw std::invalid_argument("AccountingStore: null backing store");
+}
+
+std::string AccountingStore::JobOfKey(const std::string& key) {
+  constexpr std::string_view kPrefix = "jobs/";
+  if (key.compare(0, kPrefix.size(), kPrefix) != 0) return "";
+  const auto slash = key.find('/', kPrefix.size());
+  if (slash == std::string::npos) return "";
+  return key.substr(kPrefix.size(), slash - kPrefix.size());
+}
+
+void AccountingStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  const std::uint64_t new_size = data.size();
+  std::uint64_t replaced = 0;
+  {
+    // Check AND reserve under one lock: concurrent store workers must not
+    // be able to jointly overshoot the quota between a passed check and the
+    // later accounting. On failure of the backing put the reservation is
+    // rolled back. (Concurrent puts to the *same* key may transiently skew
+    // the per-job split; checkpoint keys are unique per chunk, so the
+    // engine never does that.)
+    std::lock_guard lock(mu_);
+    const auto it = sizes_.find(key);
+    replaced = it == sizes_.end() ? 0 : it->second;
+    if (quota_bytes_ > 0 && tracked_bytes_ - replaced + new_size > quota_bytes_) {
+      throw QuotaExceeded("AccountingStore: put of " + std::to_string(new_size) +
+                          " bytes for key " + key + " exceeds shared quota (" +
+                          std::to_string(tracked_bytes_ - replaced) + " of " +
+                          std::to_string(quota_bytes_) + " bytes in use)");
+    }
+    tracked_bytes_ = tracked_bytes_ - replaced + new_size;
+  }
+  try {
+    backing_->Put(key, std::move(data));
+  } catch (...) {
+    std::lock_guard lock(mu_);
+    tracked_bytes_ = tracked_bytes_ + replaced - new_size;
+    throw;
+  }
+  std::lock_guard lock(mu_);
+  auto& usage = usage_[JobOfKey(key)];
+  auto [it, inserted] = sizes_.emplace(key, new_size);
+  if (inserted) {
+    ++usage.objects;
+  } else {
+    usage.bytes -= it->second;
+    it->second = new_size;
+  }
+  usage.bytes += new_size;
+  ++usage.puts;
+}
+
+std::optional<std::vector<std::uint8_t>> AccountingStore::Get(const std::string& key) {
+  return backing_->Get(key);
+}
+
+bool AccountingStore::Exists(const std::string& key) { return backing_->Exists(key); }
+
+bool AccountingStore::Delete(const std::string& key) {
+  const bool existed = backing_->Delete(key);
+  if (existed) {
+    std::lock_guard lock(mu_);
+    const auto it = sizes_.find(key);
+    if (it != sizes_.end()) {
+      auto& usage = usage_[JobOfKey(key)];
+      tracked_bytes_ -= it->second;
+      usage.bytes -= it->second;
+      --usage.objects;
+      ++usage.deletes;
+      sizes_.erase(it);
+    }
+  }
+  return existed;
+}
+
+std::vector<std::string> AccountingStore::List(const std::string& prefix) {
+  return backing_->List(prefix);
+}
+
+std::uint64_t AccountingStore::TotalBytes() { return backing_->TotalBytes(); }
+
+StoreStats AccountingStore::Stats() { return backing_->Stats(); }
+
+JobUsage AccountingStore::Usage(const std::string& job) const {
+  std::lock_guard lock(mu_);
+  const auto it = usage_.find(job);
+  return it == usage_.end() ? JobUsage{} : it->second;
+}
+
+std::map<std::string, JobUsage> AccountingStore::UsageByJob() const {
+  std::lock_guard lock(mu_);
+  return usage_;
+}
+
+std::uint64_t AccountingStore::TrackedBytes() const {
+  std::lock_guard lock(mu_);
+  return tracked_bytes_;
+}
+
+}  // namespace cnr::storage

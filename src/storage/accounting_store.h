@@ -1,0 +1,90 @@
+// Shared-capacity accounting decorator over an ObjectStore.
+//
+// Check-N-Run runs as a fleet service: many training jobs checkpoint into one
+// storage tier against a shared quota (paper §4.4, §7). The engine therefore
+// needs a per-job view of who occupies how much of the store. This decorator
+// keeps live byte/object counters per job — keys follow the
+// "jobs/<job>/..." convention of storage::Manifest — updated on every Put and
+// Delete that goes through it, so the checkpoint service can report per-job
+// occupancy without listing the store.
+//
+// Optionally enforces a *shared* quota: when `quota_bytes` is non-zero, a Put
+// that would push the tracked total past the quota throws QuotaExceeded
+// before touching the backing store. QuotaExceeded is deliberately NOT a
+// StoreUnavailable: blindly retrying cannot help — only GC (which runs
+// between checkpoints and whose deletes are seen by this view) frees space.
+//
+// Scope note: the view counts what was written/deleted *through it*. Objects
+// already in the backing store when the decorator is constructed are not
+// attributed (offline occupancy comes from the manifests themselves — see
+// `cnr_inspect <dir> jobs`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "storage/object_store.h"
+
+namespace cnr::storage {
+
+// A Put was rejected because it would exceed the shared storage quota.
+// Permanent from the writer's point of view: retry without freeing space
+// (GC, deleting stale lineages) cannot succeed.
+class QuotaExceeded : public std::runtime_error {
+ public:
+  explicit QuotaExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Live occupancy of one job (or of the "" bucket for keys outside the
+// jobs/<job>/ convention).
+struct JobUsage {
+  std::uint64_t bytes = 0;    // stored bytes currently attributed to the job
+  std::uint64_t objects = 0;  // live objects
+  std::uint64_t puts = 0;     // cumulative successful puts
+  std::uint64_t deletes = 0;  // cumulative successful deletes
+};
+
+class AccountingStore : public ObjectStore {
+ public:
+  // `quota_bytes` == 0 disables enforcement (accounting only).
+  explicit AccountingStore(std::shared_ptr<ObjectStore> backing,
+                           std::uint64_t quota_bytes = 0);
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override;
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override;
+  bool Exists(const std::string& key) override;
+  bool Delete(const std::string& key) override;
+  std::vector<std::string> List(const std::string& prefix) override;
+  std::uint64_t TotalBytes() override;
+  StoreStats Stats() override;
+
+  // Occupancy of one job (zeroes if the job never wrote through this view).
+  JobUsage Usage(const std::string& job) const;
+
+  // Occupancy of every job that wrote through this view.
+  std::map<std::string, JobUsage> UsageByJob() const;
+
+  // Bytes currently attributed across all jobs (what the quota is checked
+  // against; differs from TotalBytes() if the backing store was pre-seeded).
+  std::uint64_t TrackedBytes() const;
+
+  std::uint64_t quota_bytes() const { return quota_bytes_; }
+
+  // "jobs/<job>/..." -> "<job>"; anything else -> "" (the default bucket).
+  static std::string JobOfKey(const std::string& key);
+
+ private:
+  std::shared_ptr<ObjectStore> backing_;
+  std::uint64_t quota_bytes_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> sizes_;  // key -> live size
+  std::map<std::string, JobUsage> usage_;       // job -> occupancy
+  std::uint64_t tracked_bytes_ = 0;
+};
+
+}  // namespace cnr::storage

@@ -21,7 +21,12 @@ void RetryingStore::Backoff(int attempt) const {
   auto delay = std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
       policy_.initial_backoff);
   for (int i = 1; i < attempt; ++i) delay *= policy_.backoff_multiplier;
-  std::this_thread::sleep_for(std::chrono::duration_cast<std::chrono::microseconds>(delay));
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(delay);
+  if (policy_.sleep) {
+    policy_.sleep(us);
+  } else {
+    std::this_thread::sleep_for(us);
+  }
 }
 
 void RetryingStore::Put(const std::string& key, std::vector<std::uint8_t> data) {

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "storage/object_store.h"
@@ -30,6 +31,11 @@ struct RetryPolicy {
   // simulated stores and the unit tests want.
   std::chrono::microseconds initial_backoff{0};
   double backoff_multiplier = 2.0;
+  // How to spend the backoff delay. Unset (default) sleeps on the wall
+  // clock; simulated-time experiments inject util::SimSleeper(clock) here so
+  // retry storms advance the SimClock instead of stalling the process
+  // (see util/sim_clock.h).
+  std::function<void(std::chrono::microseconds)> sleep;
 };
 
 class RetryingStore : public ObjectStore {

@@ -6,6 +6,8 @@
 // experiments are deterministic and run in seconds of real time.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 
@@ -20,27 +22,42 @@ constexpr SimTime kSecond = 1000 * kMillisecond;
 constexpr SimTime kMinute = 60 * kSecond;
 constexpr SimTime kHour = 60 * kMinute;
 
+// Thread-safe: concurrent Advance calls accumulate (retry backoffs from the
+// checkpoint service's store workers all land on one simulated timeline).
 class SimClock {
  public:
   SimClock() = default;
 
-  SimTime now() const { return now_; }
+  SimTime now() const { return now_.load(std::memory_order_relaxed); }
 
   void Advance(SimTime delta) {
     if (delta < 0) throw std::invalid_argument("SimClock::Advance negative");
-    now_ += delta;
+    now_.fetch_add(delta, std::memory_order_relaxed);
   }
 
   void AdvanceTo(SimTime t) {
-    if (t < now_) throw std::invalid_argument("SimClock::AdvanceTo backwards");
-    now_ = t;
+    SimTime cur = now_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (t < cur) throw std::invalid_argument("SimClock::AdvanceTo backwards");
+      if (now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) return;
+    }
   }
 
-  void Reset() { now_ = 0; }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
-  SimTime now_ = 0;
+  std::atomic<SimTime> now_{0};
 };
+
+// Sleep hook for storage::RetryPolicy::sleep (and any other injected delay):
+// advances `clock` by the requested duration instead of blocking the thread,
+// so simulated-time experiments can model retry storms at full speed. The
+// clock must outlive every store using the hook.
+inline auto SimSleeper(SimClock& clock) {
+  return [&clock](std::chrono::microseconds delay) {
+    clock.Advance(static_cast<SimTime>(delay.count()));
+  };
+}
 
 // Converts trained samples to simulated time at `qps` samples/second.
 class ThroughputModel {

@@ -344,5 +344,68 @@ TEST(RestorePipeline, DrillApplierSeesEveryChunkInChainOrder) {
   EXPECT_EQ(out.newest.checkpoint_id, 4u);
 }
 
+// ------------------------------------------------------------------ scrub ---
+
+TEST(ScrubChain, CleanChainReportsNoIssues) {
+  storage::InMemoryStore store;
+  WriteChain(store, PlainWriter(), 3);
+
+  const auto report = pipeline::ScrubChain(store, "test", 4);
+  EXPECT_TRUE(report.clean()) << (report.issues.empty() ? "" : report.issues[0].what);
+  EXPECT_EQ(report.chain, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_GT(report.chunks_checked, 0u);
+  EXPECT_GT(report.rows_checked, 0u);
+  EXPECT_GT(report.bytes_checked, 0u);
+}
+
+TEST(ScrubChain, DetectsBitRotSizeDriftAndMissingDense) {
+  storage::InMemoryStore store;
+  WriteChain(store, PlainWriter(), 3);
+
+  // Bit rot in a mid-chain chunk: the CRC cross-check must flag it.
+  const auto mid = LoadManifest(store, "test", 2);
+  ASSERT_FALSE(mid.chunks.empty());
+  auto blob = *store.Get(mid.chunks[0].key);
+  blob[blob.size() / 2] ^= 0x01;
+  store.Put(mid.chunks[0].key, std::move(blob));
+
+  // A truncated chunk elsewhere: size + CRC both drift.
+  const auto base = LoadManifest(store, "test", 1);
+  auto short_blob = *store.Get(base.chunks[0].key);
+  short_blob.pop_back();
+  store.Put(base.chunks[0].key, std::move(short_blob));
+
+  // And the newest dense blob goes missing entirely.
+  const auto newest = LoadManifest(store, "test", 4);
+  store.Delete(newest.dense_key);
+
+  const auto report = pipeline::ScrubChain(store, "test", 4);
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.issues.size(), 3u);
+  auto has_issue = [&](const std::string& key, const std::string& what_substr) {
+    for (const auto& issue : report.issues) {
+      if (issue.key == key && issue.what.find(what_substr) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_issue(mid.chunks[0].key, "checksum"));
+  EXPECT_TRUE(has_issue(base.chunks[0].key, "size"));
+  EXPECT_TRUE(has_issue(newest.dense_key, "missing"));
+
+  // A scrub never repairs or applies anything: the store is untouched.
+  EXPECT_FALSE(store.Exists(newest.dense_key));
+}
+
+TEST(ScrubChain, UnresolvableChainIsOneChainLevelIssue) {
+  storage::InMemoryStore store;
+  WriteChain(store, PlainWriter(), 3);
+  store.Delete(storage::Manifest::ManifestKey("test", 2));  // hole mid-chain
+
+  const auto report = pipeline::ScrubChain(store, "test", 4);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].key, "");
+  EXPECT_NE(report.issues[0].what.find("chain unresolvable"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cnr::core

@@ -1,0 +1,92 @@
+#include "storage/accounting_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cnr::storage {
+namespace {
+
+std::vector<std::uint8_t> Bytes(std::size_t n) { return std::vector<std::uint8_t>(n, 7); }
+
+TEST(AccountingStore, JobOfKeyFollowsManifestConvention) {
+  EXPECT_EQ(AccountingStore::JobOfKey("jobs/alpha/ckpt/000000000001/MANIFEST"), "alpha");
+  EXPECT_EQ(AccountingStore::JobOfKey("jobs/a/dense"), "a");
+  EXPECT_EQ(AccountingStore::JobOfKey("jobs/noslash"), "");
+  EXPECT_EQ(AccountingStore::JobOfKey("other/alpha/x"), "");
+  EXPECT_EQ(AccountingStore::JobOfKey(""), "");
+}
+
+TEST(AccountingStore, TracksPerJobBytesAcrossPutReplaceDelete) {
+  AccountingStore store(std::make_shared<InMemoryStore>());
+  store.Put("jobs/a/ckpt/1/c0", Bytes(100));
+  store.Put("jobs/a/ckpt/1/c1", Bytes(50));
+  store.Put("jobs/b/ckpt/1/c0", Bytes(30));
+  store.Put("misc", Bytes(5));
+
+  EXPECT_EQ(store.Usage("a").bytes, 150u);
+  EXPECT_EQ(store.Usage("a").objects, 2u);
+  EXPECT_EQ(store.Usage("b").bytes, 30u);
+  EXPECT_EQ(store.Usage("").bytes, 5u);
+  EXPECT_EQ(store.TrackedBytes(), 185u);
+  EXPECT_EQ(store.TrackedBytes(), store.TotalBytes());
+
+  // Replacement adjusts, it does not double-count.
+  store.Put("jobs/a/ckpt/1/c0", Bytes(10));
+  EXPECT_EQ(store.Usage("a").bytes, 60u);
+  EXPECT_EQ(store.Usage("a").objects, 2u);
+  EXPECT_EQ(store.Usage("a").puts, 3u);
+
+  // Deletes return the bytes to the pool.
+  EXPECT_TRUE(store.Delete("jobs/a/ckpt/1/c1"));
+  EXPECT_EQ(store.Usage("a").bytes, 10u);
+  EXPECT_EQ(store.Usage("a").objects, 1u);
+  EXPECT_EQ(store.Usage("a").deletes, 1u);
+  EXPECT_FALSE(store.Delete("jobs/a/ckpt/1/c1"));
+  EXPECT_EQ(store.Usage("a").deletes, 1u);
+
+  const auto usage = store.UsageByJob();
+  EXPECT_EQ(usage.size(), 3u);  // a, b, and the "" bucket
+  EXPECT_EQ(store.TrackedBytes(), 45u);
+}
+
+TEST(AccountingStore, SharedQuotaRejectsBeforeTouchingTheBackingStore) {
+  auto inner = std::make_shared<InMemoryStore>();
+  AccountingStore store(inner, /*quota_bytes=*/100);
+  store.Put("jobs/a/x", Bytes(60));
+  store.Put("jobs/b/x", Bytes(40));  // exactly at quota: allowed
+
+  EXPECT_THROW(store.Put("jobs/c/x", Bytes(1)), QuotaExceeded);
+  EXPECT_FALSE(inner->Exists("jobs/c/x")) << "a rejected put must not reach the backing";
+  EXPECT_EQ(store.TrackedBytes(), 100u);
+
+  // Replacing an object only charges the delta.
+  EXPECT_NO_THROW(store.Put("jobs/a/x", Bytes(60)));
+  EXPECT_THROW(store.Put("jobs/a/x", Bytes(61)), QuotaExceeded);
+
+  // Freeing space (GC) makes the put admissible again.
+  EXPECT_TRUE(store.Delete("jobs/b/x"));
+  EXPECT_NO_THROW(store.Put("jobs/c/x", Bytes(40)));
+  EXPECT_EQ(store.TrackedBytes(), 100u);
+}
+
+TEST(AccountingStore, ReadsAndMetadataPassThrough) {
+  auto inner = std::make_shared<InMemoryStore>();
+  inner->Put("preexisting", Bytes(11));  // written around the view
+  AccountingStore store(inner);
+  store.Put("jobs/a/x", Bytes(3));
+
+  EXPECT_TRUE(store.Exists("preexisting"));
+  EXPECT_EQ(store.Get("jobs/a/x")->size(), 3u);
+  EXPECT_EQ(store.List("").size(), 2u);
+  EXPECT_EQ(store.TotalBytes(), 14u);   // backing truth
+  EXPECT_EQ(store.TrackedBytes(), 3u);  // only what went through the view
+  EXPECT_EQ(store.Stats().puts, 2u);
+}
+
+TEST(AccountingStore, NullBackingThrows) {
+  EXPECT_THROW(AccountingStore(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::storage

@@ -2,15 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 
 #include "storage/fault_injection.h"
 #include "storage/rate_limited_store.h"
+#include "util/sim_clock.h"
 
 namespace cnr::storage {
 namespace {
 
 std::vector<std::uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+RetryPolicy Attempts(int n) {
+  RetryPolicy policy;
+  policy.max_attempts = n;
+  return policy;
+}
 
 // Fails the first `fail_count` Put/Get calls with StoreUnavailable, then
 // behaves normally. Counts attempts.
@@ -65,7 +73,7 @@ class BrokenStore : public InMemoryStore {
 
 TEST(RetryingStore, AbsorbsTransientPutFailures) {
   auto flaky = std::make_shared<FlakyStore>(2);
-  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  RetryingStore store(flaky, Attempts(3));
   store.Put("k", Bytes("v"));
   EXPECT_EQ(flaky->put_attempts(), 3);
   EXPECT_EQ(store.retries_absorbed(), 2u);
@@ -76,14 +84,14 @@ TEST(RetryingStore, PayloadSurvivesFailedAttempts) {
   // The buffer may only be donated to the backing store on the final
   // attempt; earlier failures must not leave a moved-from payload behind.
   auto flaky = std::make_shared<FlakyStore>(2);
-  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  RetryingStore store(flaky, Attempts(3));
   store.Put("k", Bytes("payload"));
   EXPECT_EQ(*store.Get("k"), Bytes("payload"));
 }
 
 TEST(RetryingStore, GivesUpAfterMaxAttempts) {
   auto flaky = std::make_shared<FlakyStore>(100);
-  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  RetryingStore store(flaky, Attempts(3));
   EXPECT_THROW(store.Put("k", Bytes("v")), StoreUnavailable);
   EXPECT_EQ(flaky->put_attempts(), 3);
   EXPECT_EQ(store.retries_absorbed(), 0u);
@@ -91,14 +99,14 @@ TEST(RetryingStore, GivesUpAfterMaxAttempts) {
 
 TEST(RetryingStore, NonTransientErrorsPropagateImmediately) {
   auto broken = std::make_shared<BrokenStore>();
-  RetryingStore store(broken, RetryPolicy{.max_attempts = 5});
+  RetryingStore store(broken, Attempts(5));
   EXPECT_THROW(store.Put("k", Bytes("v")), std::runtime_error);
   EXPECT_EQ(broken->attempts, 1) << "only StoreUnavailable is retryable";
 }
 
 TEST(RetryingStore, RetriesTransientGets) {
   auto flaky = std::make_shared<FlakyStore>(0);
-  RetryingStore store(flaky, RetryPolicy{.max_attempts = 3});
+  RetryingStore store(flaky, Attempts(3));
   store.Put("k", Bytes("v"));
   flaky->FailNext(2);
   EXPECT_EQ(*store.Get("k"), Bytes("v"));
@@ -128,7 +136,7 @@ TEST(RetryingStore, ComposesWithFaultInjectionAndRateLimit) {
   auto flaky =
       std::make_shared<FaultInjectionStore>(std::make_shared<InMemoryStore>(), fc);
   auto limited = std::make_shared<RateLimitedStore>(flaky, LinkConfig{});
-  RetryingStore store(limited, RetryPolicy{.max_attempts = 64});
+  RetryingStore store(limited, Attempts(64));
   for (int i = 0; i < 20; ++i) {
     store.Put("k" + std::to_string(i), Bytes("v"));
   }
@@ -148,7 +156,45 @@ TEST(RetryingStore, NonOwningVariantSharesTheBacking) {
 TEST(RetryingStore, InvalidConstructionThrows) {
   EXPECT_THROW(RetryingStore(nullptr, RetryPolicy{}), std::invalid_argument);
   auto inner = std::make_shared<InMemoryStore>();
-  EXPECT_THROW(RetryingStore(inner, RetryPolicy{.max_attempts = 0}), std::invalid_argument);
+  EXPECT_THROW(RetryingStore(inner, Attempts(0)), std::invalid_argument);
+}
+
+TEST(RetryingStore, BackoffAdvancesSimClockInsteadOfSleeping) {
+  // Simulated-time retry storms: the backoff sleep hook advances a SimClock,
+  // so two transient failures cost 1 ms + 2 ms of *simulated* time and no
+  // measurable wall time.
+  util::SimClock clock;
+  auto flaky = std::make_shared<FlakyStore>(2);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::microseconds(1000);
+  policy.backoff_multiplier = 2.0;
+  policy.sleep = util::SimSleeper(clock);
+  RetryingStore store(flaky, policy);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  store.Put("k", Bytes("v"));
+  const auto wall = std::chrono::steady_clock::now() - wall_start;
+
+  EXPECT_EQ(clock.now(), 3000);  // 1 ms after attempt 1, 2 ms after attempt 2
+  EXPECT_EQ(store.retries_absorbed(), 2u);
+  EXPECT_LT(wall, std::chrono::milliseconds(500)) << "sim backoff must not wall-sleep";
+
+  // Gets share the same hook and timeline.
+  flaky->FailNext(1);
+  EXPECT_EQ(*store.Get("k"), Bytes("v"));
+  EXPECT_EQ(clock.now(), 4000);
+}
+
+TEST(RetryingStore, DefaultBackoffStillSleepsOnWallClock) {
+  auto flaky = std::make_shared<FlakyStore>(1);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = std::chrono::microseconds(2000);
+  RetryingStore store(flaky, policy);
+  const auto wall_start = std::chrono::steady_clock::now();
+  store.Put("k", Bytes("v"));
+  EXPECT_GE(std::chrono::steady_clock::now() - wall_start, std::chrono::microseconds(2000));
 }
 
 }  // namespace

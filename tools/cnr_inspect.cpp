@@ -2,20 +2,30 @@
 //
 // Usage:
 //   cnr_inspect <store-dir>                       list jobs and checkpoints
+//   cnr_inspect <store-dir> jobs                  multi-job overview: per-job
+//       chains and store occupancy (who holds how much of the shared tier)
 //   cnr_inspect <store-dir> <job>                 describe a job's checkpoints
 //   cnr_inspect <store-dir> <job> <ckpt-id>       dump one manifest in detail
 //   cnr_inspect <store-dir> <job> restore [id]    restore drill: run the
 //       staged restore pipeline (fetch → decode, no model) over the chain of
 //       checkpoint `id` (default: newest) and print per-stage timings
+//   cnr_inspect <store-dir> <job> restore [id] --scrub
+//       integrity scrub instead of a drill: cross-check every chunk's CRC,
+//       decoded row counts, and stored sizes against the manifests, plus the
+//       dense blob, without applying rows — bit-rot detection before a real
+//       failure needs the chain. Exits 1 if the chain is damaged.
 //
 // Works on any directory written through storage::FileStore (see
-// examples/durable_checkpoints.cpp). Read-only.
+// examples/durable_checkpoints.cpp). Read-only. (A job literally named
+// "jobs" is shadowed by the overview subcommand; use the per-checkpoint
+// forms for it.)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/pipeline/restore.h"
 #include "core/recovery.h"
@@ -74,6 +84,32 @@ void PrintRestoreTimings(const core::pipeline::RestoreTimings& t, const char* in
   const double wall = Ms(t.restore_wall_us);
   std::printf("%srestore wall:    %.2f ms (stage sum %.2f ms, overlap %.2fx)\n", indent, wall,
               sum, wall > 0.0 ? sum / wall : 0.0);
+}
+
+// --scrub: integrity pass over the chain, no rows applied. Returns the
+// process exit code so damage is scriptable.
+int ScrubDrill(storage::ObjectStore& store, const std::string& job, std::uint64_t id) {
+  const auto report = core::pipeline::ScrubChain(store, job, id);
+  std::printf("scrub: checkpoint %llu of job %s\n", static_cast<unsigned long long>(id),
+              job.c_str());
+  std::printf("  chain:          ");
+  for (const auto cid : report.chain) {
+    std::printf(" %llu", static_cast<unsigned long long>(cid));
+  }
+  std::printf("  (%zu checkpoint(s))\n", report.chain.size());
+  std::printf("  chunks checked:  %zu (%llu rows, %llu bytes)\n", report.chunks_checked,
+              static_cast<unsigned long long>(report.rows_checked),
+              static_cast<unsigned long long>(report.bytes_checked));
+  if (report.clean()) {
+    std::printf("  result:          clean — every CRC, row count, and size matches\n");
+    return 0;
+  }
+  std::printf("  result:          %zu issue(s)\n", report.issues.size());
+  for (const auto& issue : report.issues) {
+    std::printf("    %s: %s\n", issue.key.empty() ? "(chain)" : issue.key.c_str(),
+                issue.what.c_str());
+  }
+  return 1;
 }
 
 void RestoreDrill(storage::ObjectStore& store, const std::string& job,
@@ -144,6 +180,59 @@ void DescribeJob(storage::ObjectStore& store, const std::string& job) {
   std::printf("\n");
 }
 
+// Multi-job overview: the offline twin of CheckpointService::stats(). Live
+// occupancy is reconstructed from the manifests still present (GC already
+// removed dead lineages), so it works on any directory without the service.
+void JobsOverview(storage::ObjectStore& store) {
+  const auto jobs = ListJobs(store);
+  if (jobs.empty()) {
+    std::printf("no jobs\n");
+    return;
+  }
+  struct Row {
+    std::string job;
+    std::size_t checkpoints = 0;
+    std::uint64_t latest = 0;
+    std::size_t chain_len = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Row> rows;
+  std::uint64_t total_bytes = 0;
+  for (const auto& job : jobs) {
+    Row row;
+    row.job = job;
+    for (const auto id : ListCheckpoints(store, job)) {
+      ++row.checkpoints;
+      row.bytes += core::LoadManifest(store, job, id).TotalBytes();
+    }
+    if (const auto latest = core::LatestCheckpointId(store, job)) {
+      row.latest = *latest;
+      row.chain_len = core::ResolveChain(store, job, *latest).size();
+    }
+    total_bytes += row.bytes;
+    rows.push_back(std::move(row));
+  }
+  std::printf("%zu job(s), %llu bytes occupied\n", rows.size(),
+              static_cast<unsigned long long>(total_bytes));
+  std::printf("%-16s %8s %8s %8s %14s %7s\n", "job", "ckpts", "latest", "chain", "bytes",
+              "share");
+  for (const auto& row : rows) {
+    std::printf("%-16s %8zu %8llu %8zu %14llu %6.1f%%\n", row.job.c_str(), row.checkpoints,
+                static_cast<unsigned long long>(row.latest), row.chain_len,
+                static_cast<unsigned long long>(row.bytes),
+                total_bytes > 0 ? 100.0 * static_cast<double>(row.bytes) /
+                                      static_cast<double>(total_bytes)
+                                : 0.0);
+  }
+  for (const auto& row : rows) {
+    if (row.checkpoints == 0) continue;
+    const auto chain = core::ResolveChain(store, row.job, row.latest);
+    std::printf("recovery chain %s:", row.job.c_str());
+    for (const auto id : chain) std::printf(" %llu", static_cast<unsigned long long>(id));
+    std::printf("\n");
+  }
+}
+
 void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
                         std::uint64_t id) {
   const auto m = core::LoadManifest(store, job, id);
@@ -185,12 +274,22 @@ void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 5 || (argc == 5 && std::strcmp(argv[3], "restore") != 0)) {
+  const auto usage = [&] {
     std::fprintf(stderr,
-                 "usage: %s <store-dir> [job] [checkpoint-id | restore [checkpoint-id]]\n",
+                 "usage: %s <store-dir> [jobs | <job> "
+                 "[checkpoint-id | restore [checkpoint-id] [--scrub]]]\n",
                  argv[0]);
     return 2;
+  };
+  if (argc < 2) return usage();
+  // Peel a trailing --scrub off the restore form.
+  bool scrub = false;
+  if (argc >= 5 && std::strcmp(argv[argc - 1], "--scrub") == 0 &&
+      std::strcmp(argv[3], "restore") == 0) {
+    scrub = true;
+    --argc;
   }
+  if (argc > 5 || (argc == 5 && std::strcmp(argv[3], "restore") != 0)) return usage();
   try {
     storage::FileStore store(argv[1]);
     if (argc == 2) {
@@ -200,6 +299,8 @@ int main(int argc, char** argv) {
         return 0;
       }
       for (const auto& job : jobs) DescribeJob(store, job);
+    } else if (argc == 3 && std::strcmp(argv[2], "jobs") == 0) {
+      JobsOverview(store);
     } else if (argc == 3) {
       DescribeJob(store, argv[2]);
     } else if (std::strcmp(argv[3], "restore") == 0) {
@@ -214,6 +315,7 @@ int main(int argc, char** argv) {
         }
         id = *latest;
       }
+      if (scrub) return ScrubDrill(store, argv[2], id);
       RestoreDrill(store, argv[2], id);
     } else {
       DescribeCheckpoint(store, argv[2], std::strtoull(argv[3], nullptr, 10));
