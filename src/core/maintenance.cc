@@ -1,0 +1,438 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/recovery.h"
+#include "storage/manifest.h"
+#include "util/logging.h"
+
+namespace cnr::core {
+
+// ------------------------------------------------------------ survey --------
+
+std::vector<std::string> ListStoreJobs(storage::ObjectStore& store) {
+  std::set<std::string> jobs;
+  for (const auto& key : store.List("jobs/")) {
+    const auto rest = key.substr(5);
+    const auto slash = rest.find('/');
+    if (slash != std::string::npos) jobs.insert(rest.substr(0, slash));
+  }
+  return {jobs.begin(), jobs.end()};
+}
+
+namespace {
+
+// Chain of `from` via the survey's in-memory parent links, oldest first.
+// Damage-tolerant: a missing parent, self-reference, or cycle ends the walk
+// (the chain is then unrestorable — scrub's job to report, not the survey's).
+std::vector<std::uint64_t> WalkChain(const JobSurvey& survey, std::uint64_t from) {
+  std::vector<std::uint64_t> chain;
+  std::set<std::uint64_t> seen;
+  std::uint64_t cur = from;
+  for (;;) {
+    chain.push_back(cur);
+    seen.insert(cur);
+    const auto it = survey.parent_of.find(cur);
+    if (it == survey.parent_of.end()) break;  // a full checkpoint roots the chain
+    const std::uint64_t parent = it->second;
+    if (seen.contains(parent)) break;  // self-reference or cycle: damaged
+    if (!std::binary_search(survey.ids.begin(), survey.ids.end(), parent)) break;
+    cur = parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace
+
+JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
+                    bool measure_orphans) {
+  JobSurvey survey;
+  survey.job = job;
+  const auto keys = store.List(storage::Manifest::JobPrefix(job));
+
+  // Pass 1: decode every manifest; record what each one attributes to the
+  // job (its own bytes measured, chunk/dense bytes as the manifest claims).
+  std::set<std::string> referenced;
+  for (const auto& key : keys) {
+    if (!key.ends_with("/MANIFEST")) continue;
+    const auto blob = store.Get(key);
+    if (!blob) continue;  // raced a concurrent delete
+    storage::Manifest m;
+    try {
+      m = storage::Manifest::Decode(*blob);
+    } catch (...) {
+      continue;  // undecodable manifest: its key stays unreferenced (orphan)
+    }
+    referenced.insert(key);
+    survey.objects[key] = blob->size();
+    std::uint64_t bytes = blob->size();
+    for (const auto& c : m.chunks) {
+      referenced.insert(c.key);
+      survey.objects[c.key] = c.bytes;
+      bytes += c.bytes;
+    }
+    if (!m.dense_key.empty()) {
+      referenced.insert(m.dense_key);
+      survey.objects[m.dense_key] = m.dense_bytes;
+      bytes += m.dense_bytes;
+    }
+    survey.bytes_by_checkpoint[m.checkpoint_id] = bytes;
+    if (m.kind == storage::CheckpointKind::kIncremental) {
+      survey.parent_of[m.checkpoint_id] = m.parent_id;
+    }
+    survey.ids.push_back(m.checkpoint_id);
+  }
+  std::sort(survey.ids.begin(), survey.ids.end());
+
+  // Pass 2: classify checkpoints as live (the newest id's chain) or stale.
+  if (!survey.ids.empty()) survey.live_chain = WalkChain(survey, survey.ids.back());
+  const std::set<std::uint64_t> live(survey.live_chain.begin(), survey.live_chain.end());
+  for (const auto id : survey.ids) {
+    const std::uint64_t bytes = survey.bytes_by_checkpoint.at(id);
+    if (live.contains(id)) {
+      survey.live_bytes += bytes;
+    } else {
+      survey.stale.push_back(id);
+      survey.stale_bytes += bytes;
+    }
+  }
+
+  // Pass 3: anything under the job's prefix that no manifest references is
+  // an orphan; measure it so reconciliation can account for it. Skipped for
+  // callers that only care about manifested lineages — sizing requires
+  // reading each orphan's contents.
+  if (measure_orphans) {
+    for (const auto& key : keys) {
+      if (referenced.contains(key)) continue;
+      const auto blob = store.Get(key);
+      if (!blob) continue;
+      survey.orphans.push_back(key);
+      survey.objects[key] = blob->size();
+      survey.orphan_bytes += blob->size();
+    }
+  }
+  return survey;
+}
+
+std::set<std::uint64_t> KeptLineages(const JobSurvey& survey, std::size_t keep_lineages) {
+  if (keep_lineages == 0) keep_lineages = 1;  // the newest lineage is sacred
+  std::set<std::uint64_t> kept;
+  std::size_t started = 0;
+  for (auto it = survey.ids.rbegin(); it != survey.ids.rend() && started < keep_lineages;
+       ++it, ++started) {
+    const auto chain = WalkChain(survey, *it);
+    kept.insert(chain.begin(), chain.end());
+  }
+  return kept;
+}
+
+// ------------------------------------------------------------ gc ------------
+
+GcReport GcStore(storage::ObjectStore& store, const GcOptions& options,
+                 const KeepResolver& keep) {
+  GcReport report;
+  report.dry_run = options.dry_run;
+  for (const auto& job : ListStoreJobs(store)) {
+    const JobSurvey survey = SurveyJob(store, job, options.remove_orphans);
+    std::size_t keep_lineages = std::max<std::size_t>(options.keep_lineages, 1);
+    if (keep) keep_lineages = std::max(keep_lineages, keep(job));
+    const auto kept = KeptLineages(survey, keep_lineages);
+
+    GcJobReport jr;
+    jr.job = job;
+    for (const auto id : survey.ids) {
+      if (kept.contains(id)) continue;
+      jr.evicted.push_back(id);
+      jr.bytes_freed += survey.bytes_by_checkpoint.at(id);
+      if (!options.dry_run) {
+        for (const auto& key : store.List(storage::Manifest::CheckpointPrefix(job, id))) {
+          store.Delete(key);
+        }
+      }
+    }
+    if (options.remove_orphans) {
+      for (const auto& key : survey.orphans) {
+        ++jr.orphans_removed;
+        jr.orphan_bytes += survey.objects.at(key);
+        if (!options.dry_run) store.Delete(key);
+      }
+    }
+    if (!jr.evicted.empty() || jr.orphans_removed > 0) {
+      report.bytes_freed += jr.bytes_freed + jr.orphan_bytes;
+      report.jobs.push_back(std::move(jr));
+    }
+  }
+  return report;
+}
+
+// ------------------------------------------------------- the manager --------
+
+struct MaintenanceManager::Impl {
+  Impl(std::shared_ptr<storage::AccountingStore> acc,
+       std::shared_ptr<storage::ObjectStore> st, MaintenanceConfig config)
+      : accounting(std::move(acc)), store(std::move(st)), cfg(std::move(config)) {}
+
+  struct JobMeta {
+    std::uint32_t priority = 0;
+    std::size_t keep_lineages = 1;
+    util::SimTime scrub_interval = 0;  // 0 = not scheduled
+    util::SimTime next_due = 0;
+    bool open = false;
+    JobMaintenanceStats stats;
+  };
+
+  std::uint32_t PriorityOf(const std::string& job) const {
+    std::lock_guard lock(mu);
+    const auto it = jobs.find(job);
+    return it == jobs.end() ? 0 : it->second.priority;
+  }
+
+  // One scrub of the job's live chain; failures become issues, never throws
+  // (the background thread must survive a sick store).
+  //
+  // Race note: a commit that lands mid-scrub advances the live chain, and
+  // the job's post-commit GC (or quota eviction, which the new commit just
+  // made possible) may then delete checkpoints the scrub was still reading
+  // — yielding "object missing" verdicts on a perfectly healthy store.
+  // Deletion of live-chain objects is only ever triggered by the latest id
+  // changing (GC runs post-commit; eviction spares live chains), so a dirty
+  // report is re-checked against the latest id and the scrub retried on the
+  // new chain instead of paging falsely.
+  pipeline::ScrubReport RunScrub(const std::string& job) {
+    try {
+      pipeline::ScrubReport report;
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const auto latest = LatestCheckpointId(*store, job);
+        if (!latest) return {};
+        report = pipeline::ScrubChainParallel(*store, job, *latest, cfg.scrub);
+        if (report.clean()) return report;
+        if (LatestCheckpointId(*store, job) == latest) return report;  // genuine
+      }
+      return report;
+    } catch (const std::exception& e) {
+      pipeline::ScrubReport report;
+      report.issues.push_back({"", std::string("scrub failed: ") + e.what()});
+      return report;
+    }
+  }
+
+  pipeline::ScrubReport ScrubAndRecord(const std::string& job) {
+    pipeline::ScrubReport report = RunScrub(job);
+    if (!report.clean()) {
+      CNR_LOG_WARN << "maintenance: scrub of job " << job << " found "
+                   << report.issues.size() << " issue(s) — the stored chain is NOT "
+                   << "restorable as-is (see docs/OPERATIONS.md)";
+    }
+    std::lock_guard lock(mu);
+    auto& stats = jobs[job].stats;  // jobs never registered still keep stats
+    ++stats.scrubs_run;
+    stats.scrub_issues += report.issues.size();
+    stats.last_scrub_at = cfg.clock ? cfg.clock->now() : -1;
+    stats.last_scrub_clean = report.clean();
+    stats.last_issues = report.issues;
+    return report;
+  }
+
+  void ScrubLoop() {
+    std::unique_lock lock(mu);
+    while (!stop) {
+      std::string due;
+      const util::SimTime now = cfg.clock->now();
+      for (auto& [name, meta] : jobs) {
+        if (!meta.open || meta.scrub_interval <= 0 || now < meta.next_due) continue;
+        due = name;
+        // Re-arm from *now*, not from next_due: a compressed simulated-time
+        // jump over many intervals runs one catch-up scrub, not a backlog.
+        meta.next_due = now + meta.scrub_interval;
+        break;
+      }
+      if (due.empty()) {
+        cv.wait(lock);  // woken by clock advances, (un)registration, stop
+        continue;
+      }
+      lock.unlock();
+      ScrubAndRecord(due);
+      lock.lock();
+    }
+  }
+
+  std::shared_ptr<storage::AccountingStore> accounting;
+  std::shared_ptr<storage::ObjectStore> store;
+  MaintenanceConfig cfg;
+
+  mutable std::mutex mu;  // registry, stats, schedule, stop flag
+  std::condition_variable cv;
+  bool stop = false;
+  std::map<std::string, JobMeta> jobs;
+
+  // Serializes evictions. Lock order: evict_mu may be held while acquiring
+  // mu (PriorityOf, the stats update); NEVER acquire evict_mu under mu.
+  std::mutex evict_mu;
+
+  std::optional<util::SimClock::SubscriberId> clock_sub;
+  std::thread scrub_thread;
+};
+
+MaintenanceManager::MaintenanceManager(std::shared_ptr<storage::AccountingStore> accounting,
+                                       std::shared_ptr<storage::ObjectStore> store,
+                                       MaintenanceConfig config)
+    : impl_(std::make_unique<Impl>(std::move(accounting), std::move(store), config)),
+      cfg_(std::move(config)) {
+  if (!impl_->accounting) {
+    throw std::invalid_argument("MaintenanceManager: null accounting store");
+  }
+  if (!impl_->store) throw std::invalid_argument("MaintenanceManager: null store");
+  if (impl_->cfg.clock != nullptr) {
+    // The subscriber takes the manager's lock before notifying, so a clock
+    // advance between the scrub loop's scan and its wait cannot be missed.
+    impl_->clock_sub = impl_->cfg.clock->Subscribe([impl = impl_.get()] {
+      { std::lock_guard lock(impl->mu); }
+      impl->cv.notify_all();
+    });
+    impl_->scrub_thread = std::thread([impl = impl_.get()] { impl->ScrubLoop(); });
+  }
+}
+
+MaintenanceManager::~MaintenanceManager() {
+  if (impl_->clock_sub) impl_->cfg.clock->Unsubscribe(*impl_->clock_sub);
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->scrub_thread.joinable()) impl_->scrub_thread.join();
+}
+
+std::size_t MaintenanceManager::ReconcileJob(const std::string& job) {
+  const JobSurvey survey = SurveyJob(*impl_->store, job);
+  std::size_t seeded = 0;
+  for (const auto& [key, bytes] : survey.objects) {
+    if (impl_->accounting->SeedObject(key, bytes)) ++seeded;
+  }
+  return seeded;
+}
+
+std::size_t MaintenanceManager::ReconcileAll() {
+  std::size_t seeded = 0;
+  for (const auto& job : ListStoreJobs(*impl_->store)) seeded += ReconcileJob(job);
+  return seeded;
+}
+
+void MaintenanceManager::RegisterJob(const std::string& job, std::uint32_t priority,
+                                     std::size_t keep_lineages,
+                                     util::SimTime scrub_interval) {
+  if (scrub_interval < 0) {
+    throw std::invalid_argument("MaintenanceManager::RegisterJob: negative scrub_interval");
+  }
+  {
+    std::lock_guard lock(impl_->mu);
+    auto& meta = impl_->jobs[job];
+    meta.priority = priority;
+    meta.keep_lineages = std::max<std::size_t>(keep_lineages, 1);
+    meta.scrub_interval = scrub_interval;
+    meta.next_due =
+        impl_->cfg.clock ? impl_->cfg.clock->now() + scrub_interval : scrub_interval;
+    meta.open = true;
+  }
+  impl_->cv.notify_all();
+}
+
+void MaintenanceManager::UnregisterJob(const std::string& job) {
+  {
+    std::lock_guard lock(impl_->mu);
+    const auto it = impl_->jobs.find(job);
+    if (it == impl_->jobs.end()) return;
+    // Keep the record: the priority still orders eviction of the closed
+    // job's residue, and the stats stay queryable.
+    it->second.open = false;
+  }
+  impl_->cv.notify_all();
+}
+
+std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
+                                                const std::string& requesting_job) {
+  needed_bytes = std::max<std::uint64_t>(needed_bytes, 1);
+  std::lock_guard evict_lock(impl_->evict_mu);
+
+  // Candidates: every stale (off-live-chain) checkpoint in the store,
+  // ordered lowest priority first, then per job oldest first. Live chains
+  // and unpublished (manifest-less) objects are never candidates, so an
+  // in-flight checkpoint and every job's recovery path stay intact.
+  struct Candidate {
+    std::uint32_t priority = 0;
+    std::string job;
+    std::uint64_t id = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& job : ListStoreJobs(*impl_->store)) {
+    // Orphans are never candidates; skip reading them (they would include
+    // every in-flight checkpoint's chunks, on a store worker's critical
+    // path).
+    const JobSurvey survey = SurveyJob(*impl_->store, job, /*measure_orphans=*/false);
+    const std::uint32_t priority = impl_->PriorityOf(job);
+    for (const auto id : survey.stale) {
+      candidates.push_back({priority, job, id, survey.bytes_by_checkpoint.at(id)});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.job != b.job) return a.job < b.job;
+    return a.id < b.id;
+  });
+
+  std::uint64_t freed = 0;
+  for (const auto& c : candidates) {
+    if (freed >= needed_bytes) break;
+    for (const auto& key :
+         impl_->store->List(storage::Manifest::CheckpointPrefix(c.job, c.id))) {
+      impl_->store->Delete(key);
+    }
+    freed += c.bytes;
+    CNR_LOG_WARN << "maintenance: quota pressure (job " << requesting_job
+                 << ") evicted stale checkpoint " << c.id << " of job " << c.job << " ("
+                 << c.bytes << " bytes, priority " << c.priority << ")";
+    std::lock_guard lock(impl_->mu);
+    auto& stats = impl_->jobs[c.job].stats;
+    ++stats.evicted_checkpoints;
+    stats.evicted_bytes += c.bytes;
+  }
+  return freed;
+}
+
+GcReport MaintenanceManager::Gc(const GcOptions& options) {
+  GcOptions safe = options;
+  // A live service cannot tell an in-flight checkpoint's objects from
+  // orphans; orphan removal is for offline stores (cnr_inspect gc).
+  safe.remove_orphans = false;
+  return GcStore(*impl_->store, safe, [this](const std::string& job) {
+    std::lock_guard lock(impl_->mu);
+    const auto it = impl_->jobs.find(job);
+    return it == impl_->jobs.end() ? std::size_t{1} : it->second.keep_lineages;
+  });
+}
+
+pipeline::ScrubReport MaintenanceManager::ScrubJobNow(const std::string& job) {
+  return impl_->ScrubAndRecord(job);
+}
+
+JobMaintenanceStats MaintenanceManager::job_stats(const std::string& job) const {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->jobs.find(job);
+  return it == impl_->jobs.end() ? JobMaintenanceStats{} : it->second.stats;
+}
+
+std::map<std::string, JobMaintenanceStats> MaintenanceManager::stats_by_job() const {
+  std::map<std::string, JobMaintenanceStats> out;
+  std::lock_guard lock(impl_->mu);
+  for (const auto& [job, meta] : impl_->jobs) out.emplace(job, meta.stats);
+  return out;
+}
+
+}  // namespace cnr::core

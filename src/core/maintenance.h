@@ -1,0 +1,234 @@
+// The store maintenance plane: reconciliation, quota-aware GC, self-scrub.
+//
+// Check-N-Run's storage story (paper §7) is only half told by the write
+// path: a multi-tenant tier stays healthy because something keeps it
+// truthful (occupancy accounting survives service restarts), keeps it within
+// quota (stale lineages are evicted before a live job's checkpoint is
+// failed), and keeps it *restorable* (the stored chains are re-read and
+// cross-checked before a real failure needs them — CPR's observation that
+// the recovery path, not the write path, is what decides an outage). This
+// header is that maintenance plane, in three parts:
+//
+//   1. Survey kernels — SurveyJob / ListStoreJobs / KeptLineages reconstruct
+//      a job's occupancy, live chain, stale lineages, and orphaned objects
+//      from nothing but the manifests in the store. They are the shared
+//      ground truth behind startup reconciliation, GC planning, the
+//      `cnr_inspect <dir> jobs` overview, and the occupancy-parity invariant
+//      (docs/MANIFEST_FORMAT.md).
+//   2. GcStore — the garbage-collection kernel with dry-run reporting, used
+//      by MaintenanceManager::Gc, quota-pressure eviction, and
+//      `cnr_inspect <dir> gc`.
+//   3. MaintenanceManager — the object core::CheckpointService owns: it
+//      seeds the AccountingStore from the store's manifests at start
+//      (reconciliation), evicts stale lineages in priority order when a
+//      checkpoint trips the shared quota (instead of failing the submit),
+//      and runs pipeline::ScrubChainParallel over each job's live chain on a
+//      util::SimClock-driven schedule (background self-scrub) so
+//      simulated-time tests can compress days of scrubbing into
+//      milliseconds.
+//
+// Operator-facing semantics (eviction order, what a scrub failure means,
+// restart behavior, quota sizing) are documented in docs/OPERATIONS.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/pipeline/restore.h"
+#include "storage/accounting_store.h"
+#include "storage/object_store.h"
+#include "util/sim_clock.h"
+
+namespace cnr::core {
+
+// ------------------------------------------------------------ survey --------
+
+// Everything the manifests of one job say about its footprint in the store.
+// Built by SurveyJob with reads only — the kernel behind reconciliation, GC
+// planning, and the offline `cnr_inspect <dir> jobs` overview.
+struct JobSurvey {
+  std::string job;
+  std::vector<std::uint64_t> ids;         // manifested checkpoint ids, ascending
+  std::vector<std::uint64_t> live_chain;  // newest id's recovery chain, oldest first
+  std::vector<std::uint64_t> stale;       // manifested ids NOT on the live chain, ascending
+  // parent_id per incremental checkpoint (fulls are absent) — enough to
+  // recompute chains in memory (KeptLineages) without re-reading the store.
+  std::map<std::uint64_t, std::uint64_t> parent_of;
+  // Every object the manifests attribute to the job: key -> stored bytes
+  // (chunk/dense sizes from the manifests, manifest objects measured).
+  std::map<std::string, std::uint64_t> objects;
+  std::map<std::uint64_t, std::uint64_t> bytes_by_checkpoint;  // id -> bytes
+  // Keys under the job's prefix referenced by NO manifest: chunks of
+  // checkpoints that failed before publishing, or debris of a crashed run.
+  // Orphans are measured with a Get and included in `objects`, so
+  // reconciliation accounts for them too — they occupy quota like anything.
+  std::vector<std::string> orphans;
+  std::uint64_t live_bytes = 0;    // objects on the live chain
+  std::uint64_t stale_bytes = 0;   // objects on stale lineages
+  std::uint64_t orphan_bytes = 0;  // unreferenced objects
+
+  std::uint64_t total_bytes() const { return live_bytes + stale_bytes + orphan_bytes; }
+};
+
+// Jobs with any object under the "jobs/<job>/" key convention.
+std::vector<std::string> ListStoreJobs(storage::ObjectStore& store);
+
+// Surveys one job with reads only. Tolerant of damage: a manifest that is
+// missing or undecodable ends the chain walk instead of throwing (scrub is
+// the tool that *diagnoses* damage; the survey just refuses to count what it
+// cannot prove).
+//
+// Sizing orphans requires Get-ing each unreferenced object's contents (the
+// store has no stat call) — on a live store that means reading every
+// in-flight checkpoint's chunks. Callers that only need the manifested
+// lineages (quota eviction, GC without orphan removal) pass
+// measure_orphans = false and get an empty orphan set instead.
+JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
+                    bool measure_orphans = true);
+
+// Ids on the recovery chains of the `keep_lineages` newest manifested
+// checkpoints — what GC must not touch. Computed from the survey's in-memory
+// parent links; keep_lineages == 0 is treated as 1 (the newest lineage is
+// sacred).
+std::set<std::uint64_t> KeptLineages(const JobSurvey& survey, std::size_t keep_lineages);
+
+// ------------------------------------------------------------ gc ------------
+
+struct GcOptions {
+  // Report what would be deleted without deleting anything.
+  bool dry_run = false;
+  // Lineages to retain per job (overridden upward by a registered job's
+  // keep_checkpoints when run through MaintenanceManager::Gc).
+  std::size_t keep_lineages = 1;
+  // Also delete unreferenced objects. Only safe when no writer is active:
+  // a live service's in-flight checkpoints look exactly like orphans until
+  // their manifest publishes. `cnr_inspect gc --orphans` (offline) may use
+  // it; MaintenanceManager::Gc refuses to.
+  bool remove_orphans = false;
+};
+
+struct GcJobReport {
+  std::string job;
+  std::vector<std::uint64_t> evicted;  // checkpoint ids deleted (or would be)
+  std::uint64_t bytes_freed = 0;       // from evicted checkpoints
+  std::size_t orphans_removed = 0;
+  std::uint64_t orphan_bytes = 0;
+};
+
+struct GcReport {
+  bool dry_run = false;
+  std::vector<GcJobReport> jobs;  // only jobs with something to report
+  std::uint64_t bytes_freed = 0;  // checkpoints + orphans, across jobs
+
+  std::size_t checkpoints_evicted() const {
+    std::size_t n = 0;
+    for (const auto& j : jobs) n += j.evicted.size();
+    return n;
+  }
+};
+
+// Per-job retention override for GcStore; return the lineages to keep for
+// the job (the kernel takes max(resolver(job), options.keep_lineages)).
+using KeepResolver = std::function<std::size_t(const std::string& job)>;
+
+// Deletes (or, dry-run, reports) every checkpoint of every job that is not
+// on one of the kept lineages — the store-wide, report-producing sibling of
+// core::GarbageCollectJob. Deletes go through `store`, so running it over an
+// accounting view keeps occupancy truthful.
+GcReport GcStore(storage::ObjectStore& store, const GcOptions& options = {},
+                 const KeepResolver& keep = {});
+
+// ------------------------------------------------------- the manager --------
+
+struct MaintenanceConfig {
+  // Evict stale lineages (lowest priority first) and retry when a checkpoint
+  // write trips the shared quota, instead of failing the checkpoint.
+  bool evict_on_quota = true;
+  // Simulated clock driving per-job scrub schedules; nullptr disables the
+  // background scrub thread entirely. The clock must outlive the manager.
+  util::SimClock* clock = nullptr;
+  // Fan-out of each background scrub run.
+  pipeline::ScrubConfig scrub;
+};
+
+// Live maintenance counters of one job.
+struct JobMaintenanceStats {
+  std::uint64_t scrubs_run = 0;
+  std::uint64_t scrub_issues = 0;  // cumulative across runs
+  std::uint64_t evicted_checkpoints = 0;
+  std::uint64_t evicted_bytes = 0;
+  util::SimTime last_scrub_at = -1;  // -1 = never scrubbed
+  bool last_scrub_clean = true;
+  std::vector<pipeline::ScrubIssue> last_issues;  // of the latest scrub
+};
+
+// The maintenance plane of one CheckpointService (or of a store, standalone:
+// the manager only needs the accounting view and a store to read/delete
+// through). Thread-safe; eviction is serialized internally so concurrent
+// quota trips from several store workers cannot double-evict.
+class MaintenanceManager {
+ public:
+  // `store` is what maintenance reads and deletes through — for a service
+  // that is its retrying view, so scrub fetches and GC deletes share the
+  // write path's retry policy and are seen by `accounting`.
+  MaintenanceManager(std::shared_ptr<storage::AccountingStore> accounting,
+                     std::shared_ptr<storage::ObjectStore> store,
+                     MaintenanceConfig config = {});
+  ~MaintenanceManager();  // stops the scrub thread, unsubscribes the clock
+
+  MaintenanceManager(const MaintenanceManager&) = delete;
+  MaintenanceManager& operator=(const MaintenanceManager&) = delete;
+
+  // Startup reconciliation: surveys the store's manifests and seeds the
+  // accounting view with every pre-existing object, so stats() over a
+  // restarted service reports truthful per-job occupancy without a single
+  // write. Idempotent (seeding skips tracked keys). Returns objects seeded.
+  std::size_t ReconcileAll();
+  std::size_t ReconcileJob(const std::string& job);
+
+  // Registers a job's maintenance policy: its eviction priority (lower is
+  // evicted first; jobs never registered default to 0 — abandoned residue
+  // goes first), its retention floor, and its scrub cadence (0 = no
+  // background scrub). Unregister keeps the priority/retention on record so
+  // a closed job's lineages are still evicted in the right order.
+  void RegisterJob(const std::string& job, std::uint32_t priority,
+                   std::size_t keep_lineages, util::SimTime scrub_interval);
+  void UnregisterJob(const std::string& job);
+
+  // Quota-pressure eviction: deletes stale (off-live-chain) checkpoints in
+  // (priority, job, oldest-id) order until at least `needed_bytes` of
+  // tracked occupancy is freed or no candidate remains. Never touches a live
+  // chain or an unpublished (in-flight) checkpoint's objects. Returns the
+  // bytes freed — 0 means nothing evictable is left and the caller's
+  // QuotaExceeded is final.
+  std::uint64_t EvictForQuota(std::uint64_t needed_bytes, const std::string& requesting_job);
+
+  // Explicit GC with dry-run reporting. Retention is the max of
+  // options.keep_lineages and each registered job's keep_lineages, so a
+  // store-wide sweep cannot violate a job's configured retention. Refuses to
+  // remove orphans (options.remove_orphans is ignored): in-flight
+  // checkpoints are indistinguishable from orphans on a live store.
+  GcReport Gc(const GcOptions& options = {});
+
+  // One immediate scrub of the job's live chain through the parallel scrub
+  // kernel; also what the background schedule runs. A job with no
+  // checkpoints yields an empty, clean report.
+  pipeline::ScrubReport ScrubJobNow(const std::string& job);
+
+  JobMaintenanceStats job_stats(const std::string& job) const;
+  std::map<std::string, JobMaintenanceStats> stats_by_job() const;
+
+  const MaintenanceConfig& config() const { return cfg_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  MaintenanceConfig cfg_;
+};
+
+}  // namespace cnr::core

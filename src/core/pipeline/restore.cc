@@ -294,6 +294,102 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
   return out;
 }
 
+namespace {
+
+// Verdict of one scrubbed object, mergeable into a ScrubReport from any
+// thread. The serial and parallel scrubbers share these check kernels so
+// their reports are byte-identical over the same store.
+struct ChunkVerdict {
+  std::uint64_t decoded_rows = 0;  // 0 when the chunk is missing/undecodable
+  std::uint64_t bytes = 0;         // stored size when the object is present
+  std::vector<ScrubIssue> issues;
+};
+
+// Fetches `key` for scrubbing. A throwing store (exhausted retries) becomes
+// a "fetch failed" issue rather than aborting the scrub — one unreachable
+// replica must not hide the defects in the rest of the chain. Returns false
+// iff the fetch threw (the blob is meaningless then).
+bool TryScrubGet(storage::ObjectStore& store, const std::string& key,
+                 std::optional<std::vector<std::uint8_t>>& blob,
+                 std::vector<ScrubIssue>& issues) {
+  try {
+    blob = store.Get(key);
+    return true;
+  } catch (const std::exception& e) {
+    issues.push_back({key, std::string("fetch failed: ") + e.what()});
+    return false;
+  }
+}
+
+// Cross-checks one fetched chunk blob against its manifest entry: presence,
+// stored size, CRC-32C + layout (the decode kernel — exactly what a real
+// restore would trip over), and decoded row count.
+ChunkVerdict ScrubOneChunk(const std::optional<std::vector<std::uint8_t>>& blob,
+                           const quant::QuantConfig& quant, const storage::ChunkInfo& info) {
+  ChunkVerdict v;
+  if (!blob) {
+    v.issues.push_back({info.key, "chunk object missing"});
+    return v;
+  }
+  v.bytes = blob->size();
+  if (blob->size() != info.bytes) {
+    v.issues.push_back({info.key, "stored size " + std::to_string(blob->size()) +
+                                      " != manifest size " + std::to_string(info.bytes)});
+  }
+  try {
+    const DecodedChunk chunk = DecodeChunkBlob(*blob, quant, info.key);
+    v.decoded_rows = chunk.num_rows;
+    if (chunk.num_rows != info.num_rows) {
+      v.issues.push_back({info.key, "decoded " + std::to_string(chunk.num_rows) +
+                                        " rows, manifest says " +
+                                        std::to_string(info.num_rows)});
+    }
+  } catch (const std::exception& e) {
+    v.issues.push_back({info.key, e.what()});
+  }
+  return v;
+}
+
+// Presence + size cross-check of one checkpoint's dense blob.
+ChunkVerdict ScrubDenseBlob(const std::optional<std::vector<std::uint8_t>>& blob,
+                            const storage::Manifest& m) {
+  ChunkVerdict v;
+  if (!blob) {
+    v.issues.push_back({m.dense_key, "dense blob missing"});
+    return v;
+  }
+  v.bytes = blob->size();
+  if (blob->size() != m.dense_bytes) {
+    v.issues.push_back({m.dense_key, "dense blob is " + std::to_string(blob->size()) +
+                                         " bytes, manifest says " +
+                                         std::to_string(m.dense_bytes)});
+  }
+  return v;
+}
+
+// Checkpoint-level cross-check: the sum of decodable rows must equal what
+// the manifest claims for the checkpoint as a whole.
+void CheckCheckpointRows(const std::string& job, const storage::Manifest& m,
+                         std::uint64_t decoded_rows, std::uint64_t manifest_rows,
+                         std::vector<ScrubIssue>& issues) {
+  if (decoded_rows == manifest_rows) return;
+  issues.push_back({storage::Manifest::ManifestKey(job, m.checkpoint_id),
+                    "checkpoint " + std::to_string(m.checkpoint_id) + " decodes to " +
+                        std::to_string(decoded_rows) + " rows, manifest claims " +
+                        std::to_string(manifest_rows)});
+}
+
+// Issues are appended in whatever order workers finish; canonical (key,
+// message) order makes serial and parallel reports compare equal with ==.
+void CanonicalizeIssues(ScrubReport& report) {
+  std::sort(report.issues.begin(), report.issues.end(),
+            [](const ScrubIssue& a, const ScrubIssue& b) {
+              return a.key != b.key ? a.key < b.key : a.what < b.what;
+            });
+}
+
+}  // namespace
+
 ScrubReport ScrubChain(storage::ObjectStore& store, const std::string& job, std::uint64_t id) {
   ScrubReport report;
   std::vector<storage::Manifest> manifests;
@@ -311,51 +407,142 @@ ScrubReport ScrubChain(storage::ObjectStore& store, const std::string& job, std:
     for (const auto& c : m.chunks) {
       ++report.chunks_checked;
       manifest_rows += c.num_rows;
-      const auto blob = store.Get(c.key);
-      if (!blob) {
-        report.issues.push_back({c.key, "chunk object missing"});
-        continue;
-      }
-      report.bytes_checked += blob->size();
-      if (blob->size() != c.bytes) {
-        report.issues.push_back(
-            {c.key, "stored size " + std::to_string(blob->size()) +
-                        " != manifest size " + std::to_string(c.bytes)});
-      }
-      try {
-        // The decode kernel verifies the trailing CRC-32C and the layout —
-        // exactly what a real restore would trip over.
-        const DecodedChunk chunk = DecodeChunkBlob(*blob, m.quant, c.key);
-        decoded_rows += chunk.num_rows;
-        report.rows_checked += chunk.num_rows;
-        if (chunk.num_rows != c.num_rows) {
-          report.issues.push_back(
-              {c.key, "decoded " + std::to_string(chunk.num_rows) + " rows, manifest says " +
-                          std::to_string(c.num_rows)});
-        }
-      } catch (const std::exception& e) {
-        report.issues.push_back({c.key, e.what()});
-      }
+      std::optional<std::vector<std::uint8_t>> blob;
+      if (!TryScrubGet(store, c.key, blob, report.issues)) continue;
+      const ChunkVerdict v = ScrubOneChunk(blob, m.quant, c);
+      decoded_rows += v.decoded_rows;
+      report.rows_checked += v.decoded_rows;
+      report.bytes_checked += v.bytes;
+      report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
     }
-    if (decoded_rows != manifest_rows) {
-      report.issues.push_back(
-          {storage::Manifest::ManifestKey(job, m.checkpoint_id),
-           "checkpoint " + std::to_string(m.checkpoint_id) + " decodes to " +
-               std::to_string(decoded_rows) + " rows, manifest claims " +
-               std::to_string(manifest_rows)});
-    }
-    const auto dense = store.Get(m.dense_key);
-    if (!dense) {
-      report.issues.push_back({m.dense_key, "dense blob missing"});
-    } else {
-      report.bytes_checked += dense->size();
-      if (dense->size() != m.dense_bytes) {
-        report.issues.push_back(
-            {m.dense_key, "dense blob is " + std::to_string(dense->size()) +
-                              " bytes, manifest says " + std::to_string(m.dense_bytes)});
-      }
+    CheckCheckpointRows(job, m, decoded_rows, manifest_rows, report.issues);
+    std::optional<std::vector<std::uint8_t>> dense;
+    if (TryScrubGet(store, m.dense_key, dense, report.issues)) {
+      const ChunkVerdict v = ScrubDenseBlob(dense, m);
+      report.bytes_checked += v.bytes;
+      report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
     }
   }
+  CanonicalizeIssues(report);
+  return report;
+}
+
+ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& job,
+                               std::uint64_t id, const ScrubConfig& config) {
+  ScrubConfig cfg = config;
+  cfg.fetch_threads = std::max<std::size_t>(cfg.fetch_threads, 1);
+  cfg.decode_threads = std::max<std::size_t>(cfg.decode_threads, 1);
+  cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
+  cfg.get_attempts = std::max(cfg.get_attempts, 1);
+
+  storage::RetryPolicy retry_policy;
+  retry_policy.max_attempts = cfg.get_attempts;
+  storage::RetryingStore retrying(store, retry_policy);
+
+  ScrubReport report;
+  std::vector<storage::Manifest> manifests;
+  try {
+    manifests = ResolveChainManifests(retrying, job, id);
+  } catch (const std::exception& e) {
+    report.issues.push_back({"", std::string("chain unresolvable: ") + e.what()});
+    return report;
+  }
+  const std::size_t n_pos = manifests.size();
+  report.chain.reserve(n_pos);
+  for (const auto& m : manifests) report.chain.push_back(m.checkpoint_id);
+
+  // The restore pipeline's fetch/decode worker shape, minus the apply stage:
+  // a scrub has no ordering constraint (it applies nothing), so there is no
+  // look-ahead gate and no reorder buffer — only bounded queues for memory.
+  constexpr std::size_t kDenseChunk = static_cast<std::size_t>(-1);
+  struct ScrubFetchJob {
+    std::size_t pos = 0;
+    std::size_t chunk = 0;  // kDenseChunk => the checkpoint's dense blob
+  };
+  struct ScrubDecodeJob {
+    std::size_t pos = 0;
+    std::size_t chunk = 0;
+    std::vector<std::uint8_t> blob;
+  };
+  BoundedQueue<ScrubFetchJob> fetch_q(cfg.queue_capacity);
+  BoundedQueue<ScrubDecodeJob> decode_q(cfg.queue_capacity);
+
+  // Workers merge verdicts under one mutex; per-position row tallies feed the
+  // checkpoint-level row cross-check after the workers join.
+  std::mutex report_mu;
+  std::vector<std::uint64_t> decoded_rows(n_pos, 0);
+  const auto merge_chunk = [&](std::size_t pos, const ChunkVerdict& v) {
+    std::lock_guard lock(report_mu);
+    ++report.chunks_checked;
+    report.rows_checked += v.decoded_rows;
+    report.bytes_checked += v.bytes;
+    decoded_rows[pos] += v.decoded_rows;
+    report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
+  };
+
+  std::vector<std::thread> fetchers;
+  for (std::size_t i = 0; i < cfg.fetch_threads; ++i) {
+    fetchers.emplace_back([&] {
+      while (auto item = fetch_q.Pop()) {
+        const storage::Manifest& m = manifests[item->pos];
+        std::optional<std::vector<std::uint8_t>> blob;
+        std::vector<ScrubIssue> fetch_issues;
+        if (item->chunk == kDenseChunk) {
+          // Dense blobs are size-checked only — no decode stage needed.
+          ChunkVerdict v;
+          if (TryScrubGet(retrying, m.dense_key, blob, fetch_issues)) {
+            v = ScrubDenseBlob(blob, m);
+          }
+          std::lock_guard lock(report_mu);
+          report.bytes_checked += v.bytes;
+          report.issues.insert(report.issues.end(), fetch_issues.begin(), fetch_issues.end());
+          report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
+          continue;
+        }
+        const storage::ChunkInfo& info = m.chunks[item->chunk];
+        if (!TryScrubGet(retrying, info.key, blob, fetch_issues)) {
+          std::lock_guard lock(report_mu);
+          ++report.chunks_checked;
+          report.issues.insert(report.issues.end(), fetch_issues.begin(), fetch_issues.end());
+          continue;
+        }
+        if (!blob) {
+          merge_chunk(item->pos, ScrubOneChunk(blob, m.quant, info));
+          continue;
+        }
+        decode_q.Push(ScrubDecodeJob{item->pos, item->chunk, std::move(*blob)});
+      }
+    });
+  }
+
+  std::vector<std::thread> decoders;
+  for (std::size_t i = 0; i < cfg.decode_threads; ++i) {
+    decoders.emplace_back([&] {
+      while (auto item = decode_q.Pop()) {
+        const storage::Manifest& m = manifests[item->pos];
+        const std::optional<std::vector<std::uint8_t>> blob = std::move(item->blob);
+        merge_chunk(item->pos, ScrubOneChunk(blob, m.quant, m.chunks[item->chunk]));
+      }
+    });
+  }
+
+  for (std::size_t p = 0; p < n_pos; ++p) {
+    for (std::size_t c = 0; c < manifests[p].chunks.size(); ++c) {
+      fetch_q.Push(ScrubFetchJob{p, c});
+    }
+    fetch_q.Push(ScrubFetchJob{p, kDenseChunk});
+  }
+  fetch_q.Close();
+  for (auto& t : fetchers) t.join();
+  decode_q.Close();
+  for (auto& t : decoders) t.join();
+
+  for (std::size_t p = 0; p < n_pos; ++p) {
+    std::uint64_t manifest_rows = 0;
+    for (const auto& c : manifests[p].chunks) manifest_rows += c.num_rows;
+    CheckCheckpointRows(job, manifests[p], decoded_rows[p], manifest_rows, report.issues);
+  }
+  CanonicalizeIssues(report);
   return report;
 }
 

@@ -128,6 +128,8 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
 struct ScrubIssue {
   std::string key;
   std::string what;
+
+  bool operator==(const ScrubIssue&) const = default;
 };
 
 struct ScrubReport {
@@ -135,9 +137,25 @@ struct ScrubReport {
   std::size_t chunks_checked = 0;
   std::uint64_t rows_checked = 0;    // decoded rows across all chunks
   std::uint64_t bytes_checked = 0;   // chunk + dense bytes read
-  std::vector<ScrubIssue> issues;    // empty == the chain is restorable
+  // Empty == the chain is restorable. Canonically ordered (by key, then
+  // message), so reports of the serial and parallel scrubbers over the same
+  // store compare equal with ==.
+  std::vector<ScrubIssue> issues;
 
   bool clean() const { return issues.empty(); }
+};
+
+// Fan-out of one parallel scrub (ScrubChainParallel): the scrub borrows the
+// restore pipeline's fetch/decode stage shape, so the knobs mirror
+// RestoreConfig minus the apply stage (a scrub applies nothing).
+struct ScrubConfig {
+  std::size_t fetch_threads = 4;
+  std::size_t decode_threads = 2;
+  // Capacity of the fetch → decode queue, in chunks.
+  std::size_t queue_capacity = 16;
+  // RetryingStore depth for every Get the scrub issues; a flaky replica
+  // costs retries, not a spurious "object missing" verdict.
+  int get_attempts = 3;
 };
 
 // Store-scrubbing mode of the restore drill: walks checkpoint `id`'s
@@ -146,7 +164,18 @@ struct ScrubReport {
 // blob's presence and size — without applying a single row. Collects every
 // defect instead of throwing, so one rotten chunk does not hide the next;
 // run it periodically to detect bit rot *before* a real failure needs the
-// chain (see `cnr_inspect <dir> <job> restore --scrub`).
+// chain (see `cnr_inspect <dir> <job> scrub` and docs/OPERATIONS.md).
+// Serial: one chunk at a time on the calling thread.
 ScrubReport ScrubChain(storage::ObjectStore& store, const std::string& job, std::uint64_t id);
+
+// The same verdicts through the staged restore pipeline's fetch/decode
+// worker shape: N fetchers overlap the store reads with M decoders' CRC and
+// de-quantization work, so scrubbing a large store is bounded by the link,
+// not by one thread doing both. Produces a report equal (==) to ScrubChain's
+// over the same store; bench/maintenance.cpp measures the speedup. This is
+// the kernel behind the service's background self-scrub
+// (core::MaintenanceManager) and `cnr_inspect <dir> <job> scrub`.
+ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& job,
+                               std::uint64_t id, const ScrubConfig& config = {});
 
 }  // namespace cnr::core::pipeline

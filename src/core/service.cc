@@ -136,6 +136,16 @@ struct ServiceImpl {
     retry_policy.sleep = cfg.retry_sleep;
     store = std::make_shared<storage::RetryingStore>(accounting, retry_policy);
 
+    MaintenanceConfig mcfg;
+    mcfg.evict_on_quota = cfg.evict_on_quota;
+    mcfg.clock = cfg.maintenance_clock;
+    mcfg.scrub = cfg.scrub;
+    maintenance = std::make_unique<MaintenanceManager>(accounting, store, mcfg);
+    // Startup reconciliation: attribute the store's pre-existing lineages
+    // before any stage worker runs, so stats() and the quota see reality
+    // from the first submit on.
+    if (cfg.reconcile_on_start) maintenance->ReconcileAll();
+
     plan_thread = std::thread([this] { PlanLoop(); });
     for (std::size_t i = 0; i < cfg.encode_threads; ++i) {
       encode_threads.emplace_back([this] { EncodeLoop(); });
@@ -324,6 +334,25 @@ struct ServiceImpl {
 
   // ------------------------------------------------------------ stages -----
 
+  // Runs a storage write, turning QuotaExceeded into quota-pressure
+  // eviction + retry (paper §7's multi-tenant trade-off: a stale debug
+  // lineage is worth less than a live job's next checkpoint). Only when the
+  // maintenance plane can free nothing more does the quota failure stand.
+  // `needed_bytes` sizes the eviction round; the loop re-tries as long as
+  // eviction makes progress, so an underestimate costs extra rounds, not
+  // correctness.
+  template <typename Fn>
+  auto WithQuotaEviction(const std::string& job, std::uint64_t needed_bytes, Fn&& fn) {
+    for (;;) {
+      try {
+        return fn();
+      } catch (const storage::QuotaExceeded&) {
+        if (!cfg.evict_on_quota) throw;
+        if (maintenance->EvictForQuota(needed_bytes, job) == 0) throw;
+      }
+    }
+  }
+
   void PlanLoop() {
     while (auto job = plan_q.Pop()) {
       const std::shared_ptr<Inflight> ckpt = std::move(job->ckpt);
@@ -405,7 +434,17 @@ struct ServiceImpl {
       if (!ckpt->failed.load(std::memory_order_acquire)) {
         try {
           const auto t0 = std::chrono::steady_clock::now();
-          store->Put(job->info.key, std::move(job->bytes));
+          if (cfg.evict_on_quota && cfg.shared_quota_bytes > 0) {
+            // The payload must survive a quota rejection for the
+            // post-eviction retry, so each attempt donates a copy. With no
+            // quota configured, QuotaExceeded is impossible and the move
+            // path below avoids the copy.
+            WithQuotaEviction(ckpt->req.writer.job, job->bytes.size(), [&] {
+              store->Put(job->info.key, std::vector<std::uint8_t>(job->bytes));
+            });
+          } else {
+            store->Put(job->info.key, std::move(job->bytes));
+          }
           ckpt->store_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
           // Chunk slots are disjoint per job index, so no lock is needed.
           ckpt->manifest.chunks[job->index] = std::move(job->info);
@@ -527,8 +566,13 @@ struct ServiceImpl {
       ckpt->manifest.timings.store_queue_us =
           ckpt->store_queue_us.load(std::memory_order_relaxed);
 
-      const auto commit = pipeline::CommitCheckpoint(*store, ckpt->req.writer.job,
-                                                     ckpt->manifest, ckpt->snap.dense_blob);
+      // The dense + manifest puts can trip the quota too; re-running
+      // CommitCheckpoint after eviction is safe (same keys, same bytes).
+      const auto commit =
+          WithQuotaEviction(ckpt->req.writer.job, ckpt->snap.dense_blob.size() + 1, [&] {
+            return pipeline::CommitCheckpoint(*store, ckpt->req.writer.job, ckpt->manifest,
+                                              ckpt->snap.dense_blob);
+          });
 
       // The inflight record is done with the manifest once committed; moving
       // it avoids copying ~chunk-count key strings on the (serial) commit
@@ -571,6 +615,9 @@ struct ServiceImpl {
   std::shared_ptr<storage::ObjectStore> base;
   std::shared_ptr<storage::AccountingStore> accounting;
   std::shared_ptr<storage::RetryingStore> store;
+  // Declared after the stores: destroyed first, so the background scrub
+  // thread is joined while its store is still alive.
+  std::unique_ptr<MaintenanceManager> maintenance;
 
   mutable std::mutex mu_;  // admission, outstanding counts, job registry, stats
   std::condition_variable admit_cv_;
@@ -606,6 +653,9 @@ JobHandle::JobHandle(std::shared_ptr<detail::ServiceImpl> impl,
 
 JobHandle::~JobHandle() {
   Drain();
+  // Stop the job's scrub schedule (its priority stays on record so closed
+  // jobs' residue is still evicted in the configured order).
+  impl_->maintenance->UnregisterJob(job_->cfg.name);
   // Unregister the drained job so a long-lived service does not accumulate
   // dead JobStates: the registry drives stats() and the duplicate-name
   // check, the lanes drive every scheduler scan. The handle's shared_ptr
@@ -687,6 +737,10 @@ JobStats JobHandle::stats() const {
     stats.inflight = job_->outstanding;
   }
   stats.store_bytes = impl_->accounting->Usage(job_->cfg.name).bytes;
+  const auto maintenance = impl_->maintenance->job_stats(job_->cfg.name);
+  stats.scrubs_run = maintenance.scrubs_run;
+  stats.scrub_issues = maintenance.scrub_issues;
+  stats.evicted_checkpoints = maintenance.evicted_checkpoints;
   return stats;
 }
 
@@ -752,6 +806,13 @@ std::unique_ptr<JobHandle> CheckpointService::OpenJob(JobConfig config) {
   if (config.max_inflight_checkpoints == 0) {
     throw std::invalid_argument("OpenJob: max_inflight_checkpoints == 0");
   }
+  if (config.scrub_interval < 0) {
+    throw std::invalid_argument("OpenJob: negative scrub_interval");
+  }
+  if (config.scrub_interval > 0 && impl_->cfg.maintenance_clock == nullptr) {
+    throw std::invalid_argument(
+        "OpenJob: scrub_interval set but the service has no maintenance_clock");
+  }
   config.weight = std::max<std::uint32_t>(config.weight, 1);
 
   auto job = std::make_shared<detail::JobState>(std::move(config));
@@ -780,6 +841,8 @@ std::unique_ptr<JobHandle> CheckpointService::OpenJob(JobConfig config) {
     std::lock_guard lock(impl_->sched_mu_);
     impl_->lanes.push_back(job);
   }
+  impl_->maintenance->RegisterJob(job->cfg.name, job->cfg.priority,
+                                  job->cfg.keep_checkpoints, job->cfg.scrub_interval);
   return std::unique_ptr<JobHandle>(new JobHandle(impl_, std::move(job)));
 }
 
@@ -789,15 +852,40 @@ ServiceStats CheckpointService::stats() const {
   ServiceStats stats;
   stats.quota_bytes = impl_->cfg.shared_quota_bytes;
   const auto usage = impl_->accounting->UsageByJob();
-  std::lock_guard lock(impl_->mu_);
-  stats.inflight = impl_->total_outstanding;
-  stats.store_bytes = impl_->accounting->TrackedBytes();
-  for (const auto& job : impl_->all_jobs) {
-    JobStats js = job->stats;
-    js.inflight = job->outstanding;
-    const auto it = usage.find(job->cfg.name);
-    if (it != usage.end()) js.store_bytes = it->second.bytes;
-    stats.jobs[job->cfg.name] = js;
+  const auto maintenance = impl_->maintenance->stats_by_job();
+  {
+    std::lock_guard lock(impl_->mu_);
+    stats.inflight = impl_->total_outstanding;
+    stats.store_bytes = impl_->accounting->TrackedBytes();
+    for (const auto& job : impl_->all_jobs) {
+      JobStats js = job->stats;
+      js.inflight = job->outstanding;
+      const auto it = usage.find(job->cfg.name);
+      if (it != usage.end()) js.store_bytes = it->second.bytes;
+      stats.jobs[job->cfg.name] = js;
+    }
+  }
+  // Store-resident jobs without an open handle (reconciled occupancy, or a
+  // handle that already closed): a restarted service must report them
+  // truthfully before anyone re-attaches.
+  for (const auto& [job, job_usage] : usage) {
+    if (job.empty() || job_usage.bytes == 0) continue;
+    if (!stats.jobs.contains(job)) stats.jobs[job].store_bytes = job_usage.bytes;
+  }
+  for (const auto& [job, ms] : maintenance) {
+    // A job whose residue was fully evicted (or scrubbed) after its handle
+    // closed holds zero bytes — its counters must still be visible, or the
+    // operator cannot see what quota pressure destroyed.
+    if (stats.jobs.contains(job)) continue;
+    if (ms.scrubs_run == 0 && ms.evicted_checkpoints == 0) continue;
+    stats.jobs[job];  // occupancy-less entry; counters filled below
+  }
+  for (auto& [job, js] : stats.jobs) {
+    const auto it = maintenance.find(job);
+    if (it == maintenance.end()) continue;
+    js.scrubs_run = it->second.scrubs_run;
+    js.scrub_issues = it->second.scrub_issues;
+    js.evicted_checkpoints = it->second.evicted_checkpoints;
   }
   return stats;
 }
@@ -811,6 +899,12 @@ storage::ObjectStore& CheckpointService::store() { return *impl_->store; }
 
 const storage::AccountingStore& CheckpointService::accounting() const {
   return *impl_->accounting;
+}
+
+MaintenanceManager& CheckpointService::maintenance() { return *impl_->maintenance; }
+
+GcReport CheckpointService::Gc(const GcOptions& options) {
+  return impl_->maintenance->Gc(options);
 }
 
 const ServiceConfig& CheckpointService::config() const { return impl_->cfg; }

@@ -11,9 +11,13 @@
 //   │                      encoded-chunk budget (queue_capacity)
 //   ├── admission gate     service-wide max_inflight_checkpoints plus a
 //   │                      per-job cap (JobConfig::max_inflight_checkpoints)
-//   └── storage view       RetryingStore → AccountingStore → caller's store
-//                          (one retry policy, per-job occupancy accounting,
-//                           optional shared quota)
+//   ├── storage view       RetryingStore → AccountingStore → caller's store
+//   │                      (one retry policy, per-job occupancy accounting,
+//   │                       optional shared quota)
+//   └── maintenance plane  core::MaintenanceManager: startup reconciliation
+//                          (occupancy seeded from the store's manifests),
+//                          quota-aware GC/eviction, SimClock-scheduled
+//                          background self-scrub (docs/OPERATIONS.md)
 //
 // Jobs attach with OpenJob(JobConfig) -> JobHandle: a thin per-job object
 // holding the modified-row tracker, the incremental policy, the dynamic
@@ -53,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "core/maintenance.h"
 #include "core/policy.h"
 #include "core/snapshot.h"
 #include "core/tracking.h"
@@ -63,6 +68,7 @@
 #include "storage/manifest.h"
 #include "storage/object_store.h"
 #include "storage/retrying_store.h"
+#include "util/sim_clock.h"
 
 namespace cnr::core {
 
@@ -118,8 +124,26 @@ struct ServiceConfig {
   // simulated time); default sleeps on the wall clock.
   std::function<void(std::chrono::microseconds)> retry_sleep;
   // Shared storage quota across all jobs, enforced by the accounting view
-  // (storage::QuotaExceeded fails the offending checkpoint). 0 = unlimited.
+  // (storage::QuotaExceeded fails the offending checkpoint unless
+  // evict_on_quota frees space first). 0 = unlimited.
   std::uint64_t shared_quota_bytes = 0;
+
+  // --- maintenance plane (docs/OPERATIONS.md) ---
+  // Seed the accounting view from the store's existing manifests at
+  // construction, so a restarted service reports truthful per-job occupancy
+  // in stats() — and enforces the quota against reality — without a single
+  // write.
+  bool reconcile_on_start = true;
+  // When a checkpoint write trips the shared quota, evict stale
+  // (off-live-chain) lineages — lowest JobConfig::priority first, oldest
+  // first within a job — and retry, instead of failing the checkpoint. Only
+  // when nothing evictable remains does QuotaExceeded reach the submitter.
+  bool evict_on_quota = true;
+  // Simulated clock driving JobConfig::scrub_interval schedules; nullptr
+  // disables background self-scrub. Must outlive the service.
+  util::SimClock* maintenance_clock = nullptr;
+  // Fan-out of each background scrub run.
+  pipeline::ScrubConfig scrub;
 };
 
 struct JobConfig {
@@ -151,6 +175,17 @@ struct JobConfig {
   bool gc = true;
   std::size_t keep_checkpoints = 1;
 
+  // Quota-eviction order (ServiceConfig::evict_on_quota): under quota
+  // pressure, stale lineages of lower-priority jobs are evicted first. Jobs
+  // present in the store but never opened on this service default to 0 —
+  // abandoned residue goes before any live job's debug lineages.
+  std::uint32_t priority = 1;
+  // Background self-scrub cadence on the service's maintenance clock
+  // (ServiceConfig::maintenance_clock); the job's live chain is re-read and
+  // cross-checked through the parallel scrub kernel at least this often.
+  // 0 disables scrubbing for this job.
+  util::SimTime scrub_interval = 0;
+
   // Optional: attach the job's model. The handle then owns a
   // ModifiedRowTracker over it (JobHandle::tracker()) and sizes the
   // incremental policy from the model. The model must outlive the handle.
@@ -168,14 +203,21 @@ struct JobStats {
   std::uint64_t bytes_written = 0;  // across committed checkpoints
   std::uint64_t rows_written = 0;
   std::size_t inflight = 0;         // submitted - committed - failed
-  std::uint64_t store_bytes = 0;    // live occupancy (accounting view)
+  std::uint64_t store_bytes = 0;    // occupancy (accounting view, reconciled)
+  // Maintenance-plane counters (MaintenanceManager).
+  std::uint64_t scrubs_run = 0;
+  std::uint64_t scrub_issues = 0;        // cumulative across scrubs
+  std::uint64_t evicted_checkpoints = 0; // lost to quota pressure
 };
 
 struct ServiceStats {
   std::size_t inflight = 0;        // across all jobs
   std::uint64_t store_bytes = 0;   // tracked occupancy across all jobs
   std::uint64_t quota_bytes = 0;   // 0 = unlimited
-  std::map<std::string, JobStats> jobs;  // jobs with an open handle
+  // Jobs with an open handle, plus store-resident jobs the maintenance plane
+  // knows about (reconciled occupancy with no open handle — a restarted
+  // service reports them truthfully before anyone re-attaches).
+  std::map<std::string, JobStats> jobs;
 };
 
 // What JobHandle::Submit decided for an interval: the id and kind are known
@@ -277,6 +319,16 @@ class CheckpointService {
   storage::ObjectStore& store();
   // The accounting layer, for per-job occupancy queries.
   const storage::AccountingStore& accounting() const;
+
+  // The maintenance plane: reconciliation, eviction, scheduled scrub
+  // (core/maintenance.h). Owned by the service; also reachable here for
+  // on-demand scrubs and stats.
+  MaintenanceManager& maintenance();
+
+  // Explicit GC with dry-run reporting, over this service's storage view —
+  // deletes are seen by the accounting layer, so occupancy stays truthful.
+  // Retention honors each open job's keep_checkpoints.
+  GcReport Gc(const GcOptions& options = {});
 
   const ServiceConfig& config() const;
 

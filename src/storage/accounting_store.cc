@@ -60,6 +60,18 @@ void AccountingStore::Put(const std::string& key, std::vector<std::uint8_t> data
   ++usage.puts;
 }
 
+bool AccountingStore::SeedObject(const std::string& key, std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  const auto [it, inserted] = sizes_.emplace(key, bytes);
+  if (!inserted) return false;  // already tracked (written or seeded)
+  auto& usage = usage_[JobOfKey(key)];
+  usage.bytes += bytes;
+  ++usage.objects;
+  ++usage.seeded;
+  tracked_bytes_ += bytes;
+  return true;
+}
+
 std::optional<std::vector<std::uint8_t>> AccountingStore::Get(const std::string& key) {
   return backing_->Get(key);
 }

@@ -16,8 +16,11 @@
 //
 // Scope note: the view counts what was written/deleted *through it*. Objects
 // already in the backing store when the decorator is constructed are not
-// attributed (offline occupancy comes from the manifests themselves — see
-// `cnr_inspect <dir> jobs`).
+// attributed until someone seeds them: startup reconciliation
+// (core::MaintenanceManager) surveys the store's manifests and calls
+// SeedObject for every pre-existing object, after which the live view and the
+// offline one (`cnr_inspect <dir> jobs`) agree — the occupancy-parity
+// invariant documented in docs/MANIFEST_FORMAT.md.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +49,7 @@ struct JobUsage {
   std::uint64_t objects = 0;  // live objects
   std::uint64_t puts = 0;     // cumulative successful puts
   std::uint64_t deletes = 0;  // cumulative successful deletes
+  std::uint64_t seeded = 0;   // objects attributed by reconciliation, not puts
 };
 
 class AccountingStore : public ObjectStore {
@@ -61,6 +65,14 @@ class AccountingStore : public ObjectStore {
   std::vector<std::string> List(const std::string& prefix) override;
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
+
+  // Attributes an object that already exists in the backing store (startup
+  // reconciliation): records `bytes` under `key` as if it had been written
+  // through this view, without touching the backing store and without a
+  // quota check — reality is not admission-controlled, only new writes are.
+  // Idempotent: returns false (and changes nothing) if the key is already
+  // tracked, so reconciling twice cannot double-count.
+  bool SeedObject(const std::string& key, std::uint64_t bytes);
 
   // Occupancy of one job (zeroes if the job never wrote through this view).
   JobUsage Usage(const std::string& job) const;

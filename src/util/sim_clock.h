@@ -9,6 +9,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace cnr::util {
@@ -24,8 +27,16 @@ constexpr SimTime kHour = 60 * kMinute;
 
 // Thread-safe: concurrent Advance calls accumulate (retry backoffs from the
 // checkpoint service's store workers all land on one simulated timeline).
+//
+// Schedulers that sleep until a simulated deadline (the checkpoint service's
+// background scrub, core/maintenance.h) register a wake callback with
+// Subscribe; it fires after every Advance/AdvanceTo/Reset. Callbacks must be
+// cheap and must not call back into the clock (the subscriber lock is held
+// while they run) — notifying a condition variable is the intended use.
 class SimClock {
  public:
+  using SubscriberId = std::uint64_t;
+
   SimClock() = default;
 
   SimTime now() const { return now_.load(std::memory_order_relaxed); }
@@ -33,20 +44,48 @@ class SimClock {
   void Advance(SimTime delta) {
     if (delta < 0) throw std::invalid_argument("SimClock::Advance negative");
     now_.fetch_add(delta, std::memory_order_relaxed);
+    NotifySubscribers();
   }
 
   void AdvanceTo(SimTime t) {
     SimTime cur = now_.load(std::memory_order_relaxed);
     for (;;) {
       if (t < cur) throw std::invalid_argument("SimClock::AdvanceTo backwards");
-      if (now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) return;
+      if (now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) break;
     }
+    NotifySubscribers();
   }
 
-  void Reset() { now_.store(0, std::memory_order_relaxed); }
+  void Reset() {
+    now_.store(0, std::memory_order_relaxed);
+    NotifySubscribers();
+  }
+
+  // Registers a wake callback; the returned id unsubscribes it. Subscribers
+  // must outlive their registration (Unsubscribe before destroying captured
+  // state).
+  SubscriberId Subscribe(std::function<void()> wake) {
+    std::lock_guard lock(sub_mu_);
+    const SubscriberId id = next_subscriber_++;
+    subscribers_.emplace(id, std::move(wake));
+    return id;
+  }
+
+  void Unsubscribe(SubscriberId id) {
+    std::lock_guard lock(sub_mu_);
+    subscribers_.erase(id);
+  }
 
  private:
+  void NotifySubscribers() {
+    std::lock_guard lock(sub_mu_);
+    for (const auto& [id, wake] : subscribers_) wake();
+  }
+
   std::atomic<SimTime> now_{0};
+  std::mutex sub_mu_;
+  std::map<SubscriberId, std::function<void()>> subscribers_;
+  SubscriberId next_subscriber_ = 0;
 };
 
 // Sleep hook for storage::RetryPolicy::sleep (and any other injected delay):

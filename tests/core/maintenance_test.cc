@@ -1,0 +1,418 @@
+// Maintenance-plane tests: startup reconciliation over a populated store
+// (truthful stats() without a single write), quota-pressure eviction in
+// (priority, then staleness) order instead of failing the submit, explicit
+// Gc with dry-run reporting, parallel-vs-serial scrub verdict parity, and a
+// SimClock-driven background scrub schedule. Run in CI both plain and with
+// -fsanitize=thread.
+#include "core/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/service.h"
+#include "storage/object_store.h"
+#include "util/sim_clock.h"
+
+namespace cnr::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+ModelSnapshot MakeSnapshot(std::size_t rows = 64) {
+  ModelSnapshot snap;
+  snap.batches_trained = 10;
+  snap.samples_trained = 320;
+  snap.shards.resize(1);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    ShardSnapshot shard;
+    shard.table_id = 0;
+    shard.shard_id = s;
+    shard.num_rows = rows;
+    shard.dim = 4;
+    shard.weights.resize(shard.num_rows * shard.dim);
+    shard.adagrad.resize(shard.num_rows);
+    for (std::size_t i = 0; i < shard.weights.size(); ++i) {
+      shard.weights[i] = 0.01f * static_cast<float>(i + s);
+    }
+    for (std::size_t i = 0; i < shard.adagrad.size(); ++i) {
+      shard.adagrad[i] = 1.0f + static_cast<float>(i);
+    }
+    snap.shards[0].push_back(std::move(shard));
+  }
+  snap.dense_blob = {1, 2, 3, 4, 5, 6, 7, 8};
+  return snap;
+}
+
+CheckpointRequest MakeRequest(const std::string& job, std::uint64_t id,
+                              std::size_t rows = 64) {
+  CheckpointRequest req;
+  req.checkpoint_id = id;
+  req.writer.job = job;
+  req.writer.chunk_rows = 16;
+  req.writer.quant.method = quant::Method::kNone;
+  req.plan.kind = storage::CheckpointKind::kFull;
+  req.snapshot_fn = [rows] { return MakeSnapshot(rows); };
+  return req;
+}
+
+JobConfig RawJob(const std::string& name, std::uint32_t priority = 1) {
+  JobConfig job;
+  job.name = name;
+  job.priority = priority;
+  job.max_inflight_checkpoints = 1;
+  job.gc = false;  // retain every lineage — maintenance is under test
+  return job;
+}
+
+ServiceConfig SmallService() {
+  ServiceConfig cfg;
+  cfg.encode_threads = 2;
+  cfg.store_threads = 2;
+  cfg.queue_capacity = 4;
+  cfg.max_inflight_checkpoints = 4;
+  return cfg;
+}
+
+// Writes `fulls` full checkpoints for `job` (each starting a lineage; with
+// gc off all of them stay in the store).
+void PopulateJob(CheckpointService& service, const std::string& name, std::size_t fulls,
+                 std::uint32_t priority = 1, std::size_t rows = 64) {
+  auto handle = service.OpenJob(RawJob(name, priority));
+  for (std::uint64_t id = 1; id <= fulls; ++id) {
+    handle->SubmitRaw(MakeRequest(name, id, rows)).get();
+  }
+  handle->Drain();
+}
+
+// --------------------------------------------------------------- survey -----
+
+TEST(Maintenance, SurveySeparatesLiveStaleAndOrphans) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    CheckpointService service(store, SmallService());
+    PopulateJob(service, "alpha", /*fulls=*/3);
+  }
+  // Plant an orphan: a chunk-like object of a checkpoint that never
+  // published a manifest (exactly what an in-flight failure leaves behind).
+  store->Put("jobs/alpha/ckpt/000000000009/t0/s0/c000000", {1, 2, 3, 4, 5});
+
+  const JobSurvey survey = SurveyJob(*store, "alpha");
+  EXPECT_EQ(survey.ids, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(survey.live_chain, (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(survey.stale, (std::vector<std::uint64_t>{1, 2}));
+  ASSERT_EQ(survey.orphans.size(), 1u);
+  EXPECT_EQ(survey.orphan_bytes, 5u);
+  EXPECT_GT(survey.live_bytes, 0u);
+  EXPECT_GT(survey.stale_bytes, survey.live_bytes)
+      << "two stale fulls must outweigh one live full";
+  EXPECT_EQ(survey.total_bytes(), store->TotalBytes())
+      << "the survey must attribute every byte in the store";
+  EXPECT_EQ(ListStoreJobs(*store), std::vector<std::string>{"alpha"});
+}
+
+// -------------------------------------------------------- reconciliation ----
+
+TEST(Maintenance, RestartedServiceReportsOccupancyWithoutWrites) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  std::uint64_t live_bytes_before = 0;
+  {
+    CheckpointService service(store, SmallService());
+    PopulateJob(service, "alpha", /*fulls=*/3);  // three pre-existing lineages
+    PopulateJob(service, "beta", /*fulls=*/1, /*priority=*/1, /*rows=*/16);
+    live_bytes_before = service.stats().store_bytes;
+  }
+  ASSERT_GT(live_bytes_before, 0u);
+  const auto puts_before = store->Stats().puts;
+
+  // Restart: a fresh service over the same store. Reconciliation must seed
+  // per-job occupancy from the manifests — with reads only.
+  CheckpointService restarted(store, SmallService());
+  const auto stats = restarted.stats();
+  EXPECT_EQ(store->Stats().puts, puts_before)
+      << "reconciliation must not write a single object";
+  ASSERT_TRUE(stats.jobs.contains("alpha"));
+  ASSERT_TRUE(stats.jobs.contains("beta"));
+  EXPECT_EQ(stats.store_bytes, store->TotalBytes());
+  EXPECT_EQ(stats.store_bytes, live_bytes_before);
+
+  // Occupancy-parity invariant (docs/MANIFEST_FORMAT.md): the live view and
+  // the offline survey (what `cnr_inspect <dir> jobs` prints) agree byte for
+  // byte, per job.
+  EXPECT_EQ(stats.jobs.at("alpha").store_bytes, SurveyJob(*store, "alpha").total_bytes());
+  EXPECT_EQ(stats.jobs.at("beta").store_bytes, SurveyJob(*store, "beta").total_bytes());
+
+  // Reconciliation is idempotent: a second pass seeds nothing.
+  EXPECT_EQ(restarted.maintenance().ReconcileAll(), 0u);
+}
+
+TEST(Maintenance, ReconciliationFeedsTheQuotaCheck) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    CheckpointService service(store, SmallService());
+    PopulateJob(service, "old", /*fulls=*/1);
+  }
+  const std::uint64_t occupied = store->TotalBytes();
+
+  // A restarted service whose quota is below the pre-existing occupancy must
+  // reject new writes (nothing stale to evict: the one lineage is live).
+  ServiceConfig cfg = SmallService();
+  cfg.shared_quota_bytes = occupied + 16;  // room for nothing
+  CheckpointService service(store, cfg);
+  auto handle = service.OpenJob(RawJob("new"));
+  auto f = handle->SubmitRaw(MakeRequest("new", 1));
+  EXPECT_THROW(f.get(), storage::QuotaExceeded);
+}
+
+// ------------------------------------------------------------- eviction -----
+
+TEST(Maintenance, EvictionOrderIsPriorityThenStaleness) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  CheckpointService service(store, SmallService());
+  PopulateJob(service, "low", /*fulls=*/3, /*priority=*/1);   // stale: 1, 2
+  PopulateJob(service, "high", /*fulls=*/3, /*priority=*/5);  // stale: 1, 2
+
+  auto& maintenance = service.maintenance();
+  // Evicting one byte removes exactly the first candidate: the
+  // lowest-priority job's OLDEST stale checkpoint.
+  EXPECT_GT(maintenance.EvictForQuota(1, "test"), 0u);
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("low", 1)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("low", 2)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("high", 1)));
+
+  // Next round: the same job's next-oldest stale lineage goes first.
+  EXPECT_GT(maintenance.EvictForQuota(1, "test"), 0u);
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("low", 2)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("high", 1)));
+
+  // Only once the low-priority job has no stale lineages left does the
+  // higher-priority job's staleness get touched — oldest first again.
+  EXPECT_GT(maintenance.EvictForQuota(1, "test"), 0u);
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("high", 1)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("high", 2)));
+
+  // Live chains are sacred: with every stale lineage gone, eviction frees
+  // nothing rather than touching a live baseline.
+  EXPECT_GT(maintenance.EvictForQuota(1, "test"), 0u);  // evicts high/2
+  EXPECT_EQ(maintenance.EvictForQuota(1, "test"), 0u);
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("low", 3)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("high", 3)));
+
+  EXPECT_EQ(service.stats().jobs.at("low").evicted_checkpoints, 2u);
+  EXPECT_EQ(service.stats().jobs.at("high").evicted_checkpoints, 2u);
+}
+
+TEST(Maintenance, QuotaPressureEvictsStaleLineagesInsteadOfFailingTheSubmit) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  std::uint64_t one_full = 0;
+  {
+    CheckpointService probe(store, SmallService());
+    PopulateJob(probe, "probe", 1);
+    one_full = store->TotalBytes();
+  }
+  {  // reset the store for the real run
+    for (const auto& key : store->List("")) store->Delete(key);
+  }
+
+  // Quota fits ~2.5 full checkpoints. The victim job writes two lineages
+  // (one stale); the latecomer's full checkpoint then needs the stale one's
+  // bytes to be admitted.
+  ServiceConfig cfg = SmallService();
+  cfg.shared_quota_bytes = one_full * 5 / 2;
+  CheckpointService service(store, cfg);
+  PopulateJob(service, "victim", /*fulls=*/2, /*priority=*/0);
+
+  auto handle = service.OpenJob(RawJob("latecomer", /*priority=*/3));
+  WriteResult result;
+  ASSERT_NO_THROW(result = handle->SubmitRaw(MakeRequest("latecomer", 1)).get())
+      << "quota pressure must evict, not fail the submit";
+  EXPECT_GT(result.bytes_written, 0u);
+
+  // The victim lost its stale lineage but kept its live chain.
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("victim", 1)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("victim", 2)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("latecomer", 1)));
+  EXPECT_EQ(service.stats().jobs.at("victim").evicted_checkpoints, 1u);
+
+  // With eviction disabled the same pressure fails the checkpoint instead.
+  ServiceConfig strict = cfg;
+  strict.evict_on_quota = false;
+  auto store2 = std::make_shared<storage::InMemoryStore>();
+  CheckpointService service2(store2, strict);
+  PopulateJob(service2, "victim", /*fulls=*/2, /*priority=*/0);
+  auto handle2 = service2.OpenJob(RawJob("latecomer", /*priority=*/3));
+  auto f = handle2->SubmitRaw(MakeRequest("latecomer", 1));
+  EXPECT_THROW(f.get(), storage::QuotaExceeded);
+}
+
+// ------------------------------------------------------------------- gc -----
+
+TEST(Maintenance, GcDryRunReportsWithoutDeleting) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  CheckpointService service(store, SmallService());
+  PopulateJob(service, "alpha", /*fulls=*/3);
+
+  const auto dry = service.Gc({.dry_run = true});
+  EXPECT_TRUE(dry.dry_run);
+  ASSERT_EQ(dry.jobs.size(), 1u);
+  EXPECT_EQ(dry.jobs[0].evicted, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_GT(dry.bytes_freed, 0u);
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("alpha", 1)))
+      << "a dry run must not delete";
+
+  const auto real = service.Gc();
+  EXPECT_EQ(real.checkpoints_evicted(), 2u);
+  EXPECT_EQ(real.bytes_freed, dry.bytes_freed) << "the dry run must predict the real run";
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("alpha", 1)));
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("alpha", 2)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("alpha", 3)));
+
+  // Occupancy stays truthful: the deletes went through the accounting view.
+  EXPECT_EQ(service.stats().store_bytes, store->TotalBytes());
+
+  // Nothing left to collect.
+  EXPECT_TRUE(service.Gc({.dry_run = true}).jobs.empty());
+}
+
+TEST(Maintenance, GcHonorsAJobsRetention) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  CheckpointService service(store, SmallService());
+  JobConfig cfg = RawJob("keeper");
+  cfg.keep_checkpoints = 2;  // the job wants two lineages retained
+  auto handle = service.OpenJob(std::move(cfg));
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    handle->SubmitRaw(MakeRequest("keeper", id)).get();
+  }
+  handle->Drain();
+
+  const auto report = service.Gc();  // keep_lineages=1, overridden upward
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].evicted, (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("keeper", 2)));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("keeper", 3)));
+}
+
+TEST(Maintenance, OfflineGcStoreRemovesOrphansOnRequest) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    CheckpointService service(store, SmallService());
+    PopulateJob(service, "alpha", /*fulls=*/1);
+  }
+  store->Put("jobs/alpha/ckpt/000000000009/t0/s0/c000000", {1, 2, 3});
+
+  const auto kept = GcStore(*store, {.dry_run = true, .remove_orphans = true});
+  ASSERT_EQ(kept.jobs.size(), 1u);
+  EXPECT_EQ(kept.jobs[0].orphans_removed, 1u);
+  EXPECT_EQ(kept.jobs[0].orphan_bytes, 3u);
+
+  GcStore(*store, {.remove_orphans = true});
+  EXPECT_FALSE(store->Exists("jobs/alpha/ckpt/000000000009/t0/s0/c000000"));
+  EXPECT_TRUE(store->Exists(storage::Manifest::ManifestKey("alpha", 1)));
+}
+
+// ---------------------------------------------------------------- scrub -----
+
+TEST(Maintenance, ParallelScrubMatchesSerialVerdicts) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    CheckpointService service(store, SmallService());
+    auto handle = service.OpenJob(RawJob("scrubbed"));
+    handle->SubmitRaw(MakeRequest("scrubbed", 1, /*rows=*/128)).get();
+    CheckpointRequest inc = MakeRequest("scrubbed", 2, /*rows=*/128);
+    inc.plan.kind = storage::CheckpointKind::kIncremental;
+    inc.plan.parent_id = 1;
+    inc.plan.rows.resize(1);
+    inc.plan.rows[0].emplace_back(128);
+    inc.plan.rows[0].emplace_back(128);
+    inc.plan.rows[0][0].Set(3);
+    inc.plan.rows[0][1].Set(70);
+    handle->SubmitRaw(std::move(inc)).get();
+    handle->Drain();
+  }
+
+  // Clean store: both scrubbers agree it is clean, byte for byte.
+  const auto serial_clean = pipeline::ScrubChain(*store, "scrubbed", 2);
+  const auto parallel_clean = pipeline::ScrubChainParallel(*store, "scrubbed", 2);
+  EXPECT_TRUE(serial_clean.clean());
+  EXPECT_TRUE(parallel_clean.clean());
+  EXPECT_EQ(parallel_clean.chain, serial_clean.chain);
+  EXPECT_EQ(parallel_clean.chunks_checked, serial_clean.chunks_checked);
+  EXPECT_EQ(parallel_clean.rows_checked, serial_clean.rows_checked);
+  EXPECT_EQ(parallel_clean.bytes_checked, serial_clean.bytes_checked);
+
+  // Damage three objects three ways: flip a byte in one chunk (CRC), delete
+  // another chunk (missing), truncate the dense blob (size).
+  const auto m1 =
+      storage::Manifest::Decode(*store->Get(storage::Manifest::ManifestKey("scrubbed", 1)));
+  ASSERT_GE(m1.chunks.size(), 2u);
+  auto rotten = *store->Get(m1.chunks[0].key);
+  rotten[rotten.size() / 2] ^= 0x40;
+  store->Put(m1.chunks[0].key, std::move(rotten));
+  store->Delete(m1.chunks[1].key);
+  store->Put(m1.dense_key, {9, 9});
+
+  const auto serial = pipeline::ScrubChain(*store, "scrubbed", 2);
+  const auto parallel = pipeline::ScrubChainParallel(*store, "scrubbed", 2);
+  EXPECT_FALSE(serial.clean());
+  ASSERT_EQ(parallel.issues, serial.issues)
+      << "parallel scrub must reach verdicts identical to serial ScrubChain";
+  EXPECT_EQ(parallel.chunks_checked, serial.chunks_checked);
+  EXPECT_EQ(parallel.rows_checked, serial.rows_checked);
+  EXPECT_EQ(parallel.bytes_checked, serial.bytes_checked);
+}
+
+TEST(Maintenance, SimClockScheduleFiresBackgroundScrubs) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  util::SimClock clock;
+  ServiceConfig cfg = SmallService();
+  cfg.maintenance_clock = &clock;
+  CheckpointService service(store, cfg);
+
+  JobConfig job = RawJob("scheduled");
+  job.scrub_interval = util::kHour;
+  auto handle = service.OpenJob(std::move(job));
+  handle->SubmitRaw(MakeRequest("scheduled", 1)).get();
+  handle->Drain();
+
+  const auto wait_for_scrubs = [&](std::uint64_t n) {
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (handle->stats().scrubs_run < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    return handle->stats().scrubs_run;
+  };
+
+  EXPECT_EQ(handle->stats().scrubs_run, 0u) << "nothing is due at sim time 0";
+  clock.Advance(util::kHour);  // one interval elapses
+  EXPECT_EQ(wait_for_scrubs(1), 1u);
+  EXPECT_EQ(handle->stats().scrub_issues, 0u);
+
+  // A compressed jump over many intervals runs ONE catch-up scrub.
+  clock.Advance(24 * util::kHour);
+  EXPECT_EQ(wait_for_scrubs(2), 2u);
+
+  // Rot a chunk; the next scheduled scrub reports it through stats().
+  const auto m =
+      storage::Manifest::Decode(*store->Get(storage::Manifest::ManifestKey("scheduled", 1)));
+  auto rotten = *store->Get(m.chunks[0].key);
+  rotten[rotten.size() / 2] ^= 0x01;
+  store->Put(m.chunks[0].key, std::move(rotten));
+  clock.Advance(util::kHour);
+  EXPECT_EQ(wait_for_scrubs(3), 3u);
+  EXPECT_GT(handle->stats().scrub_issues, 0u)
+      << "a scheduled scrub must surface the damaged chain";
+  EXPECT_FALSE(service.maintenance().job_stats("scheduled").last_scrub_clean);
+
+  // On-demand scrub shares the kernel and the counters.
+  const auto report = service.maintenance().ScrubJobNow("scheduled");
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(handle->stats().scrubs_run, 4u);
+}
+
+}  // namespace
+}  // namespace cnr::core

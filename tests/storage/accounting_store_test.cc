@@ -84,6 +84,47 @@ TEST(AccountingStore, ReadsAndMetadataPassThrough) {
   EXPECT_EQ(store.Stats().puts, 2u);
 }
 
+TEST(AccountingStore, SeedObjectAttributesPreexistingObjectsIdempotently) {
+  auto inner = std::make_shared<InMemoryStore>();
+  inner->Put("jobs/a/ckpt/1/c0", Bytes(100));  // written around the view
+  AccountingStore store(inner);
+
+  EXPECT_TRUE(store.SeedObject("jobs/a/ckpt/1/c0", 100));
+  EXPECT_EQ(store.Usage("a").bytes, 100u);
+  EXPECT_EQ(store.Usage("a").objects, 1u);
+  EXPECT_EQ(store.Usage("a").seeded, 1u);
+  EXPECT_EQ(store.Usage("a").puts, 0u) << "seeding is not a put";
+  EXPECT_EQ(store.TrackedBytes(), 100u);
+
+  // Reconciling twice cannot double-count.
+  EXPECT_FALSE(store.SeedObject("jobs/a/ckpt/1/c0", 100));
+  EXPECT_EQ(store.TrackedBytes(), 100u);
+
+  // A key written through the view is already tracked: seeding skips it.
+  store.Put("jobs/b/x", Bytes(7));
+  EXPECT_FALSE(store.SeedObject("jobs/b/x", 7));
+  EXPECT_EQ(store.Usage("b").seeded, 0u);
+
+  // Deleting a seeded object returns its bytes like any other.
+  EXPECT_TRUE(store.Delete("jobs/a/ckpt/1/c0"));
+  EXPECT_EQ(store.Usage("a").bytes, 0u);
+  EXPECT_EQ(store.TrackedBytes(), 7u);
+}
+
+TEST(AccountingStore, SeedingIsNotQuotaChecked) {
+  auto inner = std::make_shared<InMemoryStore>();
+  AccountingStore store(inner, /*quota_bytes=*/100);
+  // Reality already exists: seeding may exceed the quota without throwing...
+  EXPECT_TRUE(store.SeedObject("jobs/a/old", 150));
+  EXPECT_EQ(store.TrackedBytes(), 150u);
+  // ...and new writes are then rejected until space is freed.
+  EXPECT_THROW(store.Put("jobs/b/x", Bytes(1)), QuotaExceeded);
+  // The seed described an object the backing store never had (out-of-band
+  // delete): Delete reports it absent and frees nothing.
+  EXPECT_FALSE(store.Delete("jobs/a/old"));
+  EXPECT_EQ(store.TrackedBytes(), 150u);
+}
+
 TEST(AccountingStore, NullBackingThrows) {
   EXPECT_THROW(AccountingStore(nullptr), std::invalid_argument);
 }

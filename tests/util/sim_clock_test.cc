@@ -39,6 +39,31 @@ TEST(SimClock, UnitRelations) {
   EXPECT_EQ(kHour, 60 * kMinute);
 }
 
+TEST(SimClock, SubscribersWakeOnEveryAdvance) {
+  SimClock clock;
+  int wakes = 0;
+  const auto id = clock.Subscribe([&] { ++wakes; });
+  clock.Advance(kMinute);
+  clock.AdvanceTo(2 * kMinute);
+  clock.Reset();
+  EXPECT_EQ(wakes, 3);
+
+  clock.Unsubscribe(id);
+  clock.Advance(kSecond);
+  EXPECT_EQ(wakes, 3) << "an unsubscribed callback must not fire";
+
+  // Two subscribers both fire; unsubscribing one leaves the other.
+  int a = 0, b = 0;
+  const auto ida = clock.Subscribe([&] { ++a; });
+  const auto idb = clock.Subscribe([&] { ++b; });
+  clock.Advance(kSecond);
+  clock.Unsubscribe(ida);
+  clock.Advance(kSecond);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  clock.Unsubscribe(idb);
+}
+
 TEST(ThroughputModel, SamplesToTime) {
   ThroughputModel model(500000.0);  // paper's 500K QPS
   EXPECT_EQ(model.TimeForSamples(500000), kSecond);

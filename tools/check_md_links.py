@@ -2,9 +2,15 @@
 """Markdown link checker for the repo's docs (CI docs-lint step).
 
 Verifies that every relative link/image target in tracked *.md files exists,
-so docs cannot silently rot as files move. External (http/https/mailto)
-links are not fetched — CI must not flake on the network. Fragments
-(#anchors) are checked only for file existence, not anchor presence.
+AND that every fragment (#anchor) — same-file or cross-file — names a real
+heading in its target, so the cross-linked doc set (README, ARCHITECTURE,
+docs/OPERATIONS.md, docs/RECOVERY.md, docs/MANIFEST_FORMAT.md) cannot
+silently rot as files move or sections are renamed. External
+(http/https/mailto) links are not fetched — CI must not flake on the
+network.
+
+Anchors are derived from headings the way GitHub does: lowercase, spaces to
+dashes, punctuation stripped, duplicate slugs suffixed -1, -2, ...
 
 Usage: python3 tools/check_md_links.py [repo_root]
 Exit code 0 if all links resolve, 1 otherwise (failures listed on stderr).
@@ -17,6 +23,7 @@ import sys
 # definitions: [label]: target
 INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
 EXTERNAL = ("http://", "https://", "mailto:")
 
 
@@ -24,6 +31,42 @@ def strip_code(text: str) -> str:
     """Remove fenced and inline code spans so example snippets aren't linted."""
     text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
     return re.sub(r"`[^`]*`", "", text)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor id transformation (close enough for ASCII
+    docs: markdown markup dropped, lowercased, punctuation removed, spaces to
+    dashes)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)           # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> their text
+    # '*' is always emphasis in a heading; '_' only when it wraps a word —
+    # mid-word underscores (snake_case identifiers) survive into the slug.
+    text = re.sub(r"\*", "", text)
+    text = re.sub(r"\b_([^_]+)_\b", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str, cache: dict) -> set:
+    """Anchor ids available in a markdown file (headings, deduped GitHub-style)."""
+    if path in cache:
+        return cache[path]
+    anchors, counts = set(), {}
+    try:
+        text = open(path, encoding="utf-8").read()
+    except OSError:
+        cache[path] = anchors
+        return anchors
+    # Fenced code can contain '#' lines that are not headings.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in HEADING.finditer(text):
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = anchors
+    return anchors
 
 
 def md_files(root: str):
@@ -38,21 +81,37 @@ def md_files(root: str):
 def main() -> int:
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     failures = []
-    checked = 0
+    checked = anchors_checked = 0
+    anchor_cache = {}
     for path in sorted(md_files(root)):
         text = strip_code(open(path, encoding="utf-8").read())
         targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
         for target in targets:
-            if target.startswith(EXTERNAL) or target.startswith("#"):
+            if target.startswith(EXTERNAL):
                 continue
-            checked += 1
-            resolved = os.path.normpath(
-                os.path.join(os.path.dirname(path), target.split("#", 1)[0]))
-            if not os.path.exists(resolved):
-                failures.append(f"{os.path.relpath(path, root)}: broken link -> {target}")
+            rel = os.path.relpath(path, root)
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                checked += 1
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part))
+                if not os.path.exists(resolved):
+                    failures.append(f"{rel}: broken link -> {target}")
+                    continue
+            else:
+                resolved = path  # same-file fragment
+            if fragment:
+                if not resolved.endswith(".md"):
+                    continue  # fragment into a non-markdown target: not ours
+                anchors_checked += 1
+                if fragment.lower() not in anchors_of(resolved, anchor_cache):
+                    failures.append(
+                        f"{rel}: broken anchor -> {target} (no heading "
+                        f"'#{fragment}' in {os.path.relpath(resolved, root)})")
     for failure in failures:
         print(failure, file=sys.stderr)
-    print(f"checked {checked} relative link(s); {len(failures)} broken")
+    print(f"checked {checked} relative link(s) and {anchors_checked} anchor(s); "
+          f"{len(failures)} broken")
     return 1 if failures else 0
 
 

@@ -1,24 +1,33 @@
-// cnr_inspect — inspect a Check-N-Run checkpoint store on disk.
+// cnr_inspect — inspect and maintain a Check-N-Run checkpoint store on disk.
 //
 // Usage:
 //   cnr_inspect <store-dir>                       list jobs and checkpoints
 //   cnr_inspect <store-dir> jobs                  multi-job overview: per-job
-//       chains and store occupancy (who holds how much of the shared tier)
+//       chains and store occupancy (live / stale / orphaned bytes — the same
+//       survey kernel the service's startup reconciliation seeds stats from)
+//   cnr_inspect <store-dir> gc [--dry-run] [--keep N] [--orphans]
+//       garbage-collect the whole store with the service's GC kernel: delete
+//       every checkpoint not on one of the `N` newest lineages per job
+//       (default 1) and, with --orphans, every unreferenced object. --dry-run
+//       reports what would be freed without deleting anything. Only run the
+//       deleting forms on a store with no active writer.
 //   cnr_inspect <store-dir> <job>                 describe a job's checkpoints
 //   cnr_inspect <store-dir> <job> <ckpt-id>       dump one manifest in detail
 //   cnr_inspect <store-dir> <job> restore [id]    restore drill: run the
 //       staged restore pipeline (fetch → decode, no model) over the chain of
 //       checkpoint `id` (default: newest) and print per-stage timings
-//   cnr_inspect <store-dir> <job> restore [id] --scrub
-//       integrity scrub instead of a drill: cross-check every chunk's CRC,
-//       decoded row counts, and stored sizes against the manifests, plus the
-//       dense blob, without applying rows — bit-rot detection before a real
-//       failure needs the chain. Exits 1 if the chain is damaged.
+//   cnr_inspect <store-dir> <job> scrub [id]
+//       integrity scrub: cross-check every chunk's CRC, decoded row counts,
+//       and stored sizes against the manifests, plus the dense blob, without
+//       applying rows — bit-rot detection before a real failure needs the
+//       chain. Runs the parallel scrub kernel (the service's background
+//       self-scrub uses the same one). Exits 1 if the chain is damaged.
+//       (`restore [id] --scrub` is the older spelling of the same check.)
 //
 // Works on any directory written through storage::FileStore (see
-// examples/durable_checkpoints.cpp). Read-only. (A job literally named
-// "jobs" is shadowed by the overview subcommand; use the per-checkpoint
-// forms for it.)
+// examples/durable_checkpoints.cpp). Read-only except `gc` without
+// --dry-run. (A job literally named "jobs" or "gc" is shadowed by the
+// subcommand; use the per-checkpoint forms for it.)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/maintenance.h"
 #include "core/pipeline/restore.h"
 #include "core/recovery.h"
 #include "storage/file_store.h"
@@ -86,10 +96,12 @@ void PrintRestoreTimings(const core::pipeline::RestoreTimings& t, const char* in
               sum, wall > 0.0 ? sum / wall : 0.0);
 }
 
-// --scrub: integrity pass over the chain, no rows applied. Returns the
-// process exit code so damage is scriptable.
+// scrub: integrity pass over the chain, no rows applied. Runs the parallel
+// kernel (fetch/decode workers) — the same one the service's background
+// self-scrub schedules. Returns the process exit code so damage is
+// scriptable.
 int ScrubDrill(storage::ObjectStore& store, const std::string& job, std::uint64_t id) {
-  const auto report = core::pipeline::ScrubChain(store, job, id);
+  const auto report = core::pipeline::ScrubChainParallel(store, job, id);
   std::printf("scrub: checkpoint %llu of job %s\n", static_cast<unsigned long long>(id),
               job.c_str());
   std::printf("  chain:          ");
@@ -126,16 +138,6 @@ void RestoreDrill(storage::ObjectStore& store, const std::string& job,
               static_cast<unsigned long long>(out.bytes_read),
               static_cast<unsigned long long>(applier.dense_bytes));
   PrintRestoreTimings(out.timings, "  ");
-}
-
-std::set<std::string> ListJobs(storage::ObjectStore& store) {
-  std::set<std::string> jobs;
-  for (const auto& key : store.List("jobs/")) {
-    const auto rest = key.substr(5);
-    const auto slash = rest.find('/');
-    if (slash != std::string::npos) jobs.insert(rest.substr(0, slash));
-  }
-  return jobs;
 }
 
 std::set<std::uint64_t> ListCheckpoints(storage::ObjectStore& store, const std::string& job) {
@@ -180,57 +182,85 @@ void DescribeJob(storage::ObjectStore& store, const std::string& job) {
   std::printf("\n");
 }
 
-// Multi-job overview: the offline twin of CheckpointService::stats(). Live
-// occupancy is reconstructed from the manifests still present (GC already
-// removed dead lineages), so it works on any directory without the service.
+// Multi-job overview: the offline twin of CheckpointService::stats(), built
+// on the same survey kernel (core::SurveyJob) the service's startup
+// reconciliation seeds its accounting from — so a reconciled service's
+// per-job `store_bytes` and this table agree byte for byte (the
+// occupancy-parity invariant, docs/MANIFEST_FORMAT.md).
 void JobsOverview(storage::ObjectStore& store) {
-  const auto jobs = ListJobs(store);
+  const auto jobs = core::ListStoreJobs(store);
   if (jobs.empty()) {
     std::printf("no jobs\n");
     return;
   }
-  struct Row {
-    std::string job;
-    std::size_t checkpoints = 0;
-    std::uint64_t latest = 0;
-    std::size_t chain_len = 0;
-    std::uint64_t bytes = 0;
-  };
-  std::vector<Row> rows;
+  std::vector<core::JobSurvey> surveys;
   std::uint64_t total_bytes = 0;
   for (const auto& job : jobs) {
-    Row row;
-    row.job = job;
-    for (const auto id : ListCheckpoints(store, job)) {
-      ++row.checkpoints;
-      row.bytes += core::LoadManifest(store, job, id).TotalBytes();
-    }
-    if (const auto latest = core::LatestCheckpointId(store, job)) {
-      row.latest = *latest;
-      row.chain_len = core::ResolveChain(store, job, *latest).size();
-    }
-    total_bytes += row.bytes;
-    rows.push_back(std::move(row));
+    surveys.push_back(core::SurveyJob(store, job));
+    total_bytes += surveys.back().total_bytes();
   }
-  std::printf("%zu job(s), %llu bytes occupied\n", rows.size(),
+  std::printf("%zu job(s), %llu bytes occupied\n", surveys.size(),
               static_cast<unsigned long long>(total_bytes));
-  std::printf("%-16s %8s %8s %8s %14s %7s\n", "job", "ckpts", "latest", "chain", "bytes",
-              "share");
-  for (const auto& row : rows) {
-    std::printf("%-16s %8zu %8llu %8zu %14llu %6.1f%%\n", row.job.c_str(), row.checkpoints,
-                static_cast<unsigned long long>(row.latest), row.chain_len,
-                static_cast<unsigned long long>(row.bytes),
-                total_bytes > 0 ? 100.0 * static_cast<double>(row.bytes) /
+  std::printf("%-16s %8s %8s %8s %14s %14s %14s %7s\n", "job", "ckpts", "latest", "chain",
+              "bytes", "stale", "orphaned", "share");
+  for (const auto& s : surveys) {
+    std::printf("%-16s %8zu %8llu %8zu %14llu %14llu %14llu %6.1f%%\n", s.job.c_str(),
+                s.ids.size(),
+                static_cast<unsigned long long>(s.ids.empty() ? 0 : s.ids.back()),
+                s.live_chain.size(), static_cast<unsigned long long>(s.total_bytes()),
+                static_cast<unsigned long long>(s.stale_bytes),
+                static_cast<unsigned long long>(s.orphan_bytes),
+                total_bytes > 0 ? 100.0 * static_cast<double>(s.total_bytes()) /
                                       static_cast<double>(total_bytes)
                                 : 0.0);
   }
-  for (const auto& row : rows) {
-    if (row.checkpoints == 0) continue;
-    const auto chain = core::ResolveChain(store, row.job, row.latest);
-    std::printf("recovery chain %s:", row.job.c_str());
-    for (const auto id : chain) std::printf(" %llu", static_cast<unsigned long long>(id));
+  for (const auto& s : surveys) {
+    if (s.live_chain.empty()) continue;
+    std::printf("recovery chain %s:", s.job.c_str());
+    for (const auto id : s.live_chain) {
+      std::printf(" %llu", static_cast<unsigned long long>(id));
+    }
+    if (!s.stale.empty()) {
+      std::printf("   (stale:");
+      for (const auto id : s.stale) std::printf(" %llu", static_cast<unsigned long long>(id));
+      std::printf(")");
+    }
     std::printf("\n");
   }
+}
+
+// gc: store-wide garbage collection through the service's kernel
+// (core::GcStore). Dry-run prints the same report without deleting.
+int GcCommand(storage::ObjectStore& store, const core::GcOptions& options) {
+  const auto report = core::GcStore(store, options);
+  std::printf("gc%s: keep %zu lineage(s) per job%s\n", report.dry_run ? " (dry run)" : "",
+              std::max<std::size_t>(options.keep_lineages, 1),
+              options.remove_orphans ? ", removing orphans" : "");
+  if (report.jobs.empty()) {
+    std::printf("  nothing to collect — every checkpoint is on a kept lineage\n");
+    return 0;
+  }
+  for (const auto& jr : report.jobs) {
+    std::printf("  job %s: %zu stale checkpoint(s)%s, %llu bytes", jr.job.c_str(),
+                jr.evicted.size(), report.dry_run ? " would be evicted" : " evicted",
+                static_cast<unsigned long long>(jr.bytes_freed));
+    if (jr.orphans_removed > 0) {
+      std::printf("; %zu orphan(s), %llu bytes", jr.orphans_removed,
+                  static_cast<unsigned long long>(jr.orphan_bytes));
+    }
+    std::printf("\n");
+    if (!jr.evicted.empty()) {
+      std::printf("    checkpoints:");
+      for (const auto id : jr.evicted) {
+        std::printf(" %llu", static_cast<unsigned long long>(id));
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("  total: %llu bytes %s\n",
+              static_cast<unsigned long long>(report.bytes_freed),
+              report.dry_run ? "reclaimable" : "reclaimed");
+  return 0;
 }
 
 void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
@@ -276,53 +306,86 @@ void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
 int main(int argc, char** argv) {
   const auto usage = [&] {
     std::fprintf(stderr,
-                 "usage: %s <store-dir> [jobs | <job> "
-                 "[checkpoint-id | restore [checkpoint-id] [--scrub]]]\n",
+                 "usage: %s <store-dir> [jobs"
+                 " | gc [--dry-run] [--keep N] [--orphans]"
+                 " | <job> [checkpoint-id | scrub [checkpoint-id]"
+                 " | restore [checkpoint-id] [--scrub]]]\n",
                  argv[0]);
     return 2;
   };
   if (argc < 2) return usage();
-  // Peel a trailing --scrub off the restore form.
-  bool scrub = false;
-  if (argc >= 5 && std::strcmp(argv[argc - 1], "--scrub") == 0 &&
-      std::strcmp(argv[3], "restore") == 0) {
-    scrub = true;
-    --argc;
-  }
-  if (argc > 5 || (argc == 5 && std::strcmp(argv[3], "restore") != 0)) return usage();
+  const std::vector<std::string> args(argv + 2, argv + argc);
   try {
     storage::FileStore store(argv[1]);
-    if (argc == 2) {
-      const auto jobs = ListJobs(store);
+    if (args.empty()) {
+      const auto jobs = core::ListStoreJobs(store);
       if (jobs.empty()) {
         std::printf("no jobs under %s\n", argv[1]);
         return 0;
       }
       for (const auto& job : jobs) DescribeJob(store, job);
-    } else if (argc == 3 && std::strcmp(argv[2], "jobs") == 0) {
+      return 0;
+    }
+    if (args[0] == "jobs") {
+      if (args.size() != 1) return usage();
       JobsOverview(store);
-    } else if (argc == 3) {
-      DescribeJob(store, argv[2]);
-    } else if (std::strcmp(argv[3], "restore") == 0) {
-      std::uint64_t id;
-      if (argc == 5) {
-        id = std::strtoull(argv[4], nullptr, 10);
-      } else {
-        const auto latest = core::LatestCheckpointId(store, argv[2]);
+      return 0;
+    }
+    if (args[0] == "gc") {
+      core::GcOptions options;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--dry-run") {
+          options.dry_run = true;
+        } else if (args[i] == "--orphans") {
+          options.remove_orphans = true;
+        } else if (args[i] == "--keep" && i + 1 < args.size()) {
+          options.keep_lineages = std::strtoull(args[++i].c_str(), nullptr, 10);
+        } else {
+          return usage();
+        }
+      }
+      return GcCommand(store, options);
+    }
+
+    const std::string& job = args[0];
+    if (args.size() == 1) {
+      DescribeJob(store, job);
+      return 0;
+    }
+    if (args[1] == "scrub" || args[1] == "restore") {
+      const bool restore_form = args[1] == "restore";
+      bool scrub = !restore_form;
+      std::uint64_t id = 0;
+      bool have_id = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (restore_form && args[i] == "--scrub") {
+          scrub = true;
+        } else if (!have_id) {
+          id = std::strtoull(args[i].c_str(), nullptr, 10);
+          have_id = true;
+        } else {
+          return usage();
+        }
+      }
+      if (!have_id) {
+        const auto latest = core::LatestCheckpointId(store, job);
         if (!latest) {
-          std::printf("job %s: no checkpoints\n", argv[2]);
+          std::printf("job %s: no checkpoints\n", job.c_str());
           return 0;
         }
         id = *latest;
       }
-      if (scrub) return ScrubDrill(store, argv[2], id);
-      RestoreDrill(store, argv[2], id);
-    } else {
-      DescribeCheckpoint(store, argv[2], std::strtoull(argv[3], nullptr, 10));
+      if (scrub) return ScrubDrill(store, job, id);
+      RestoreDrill(store, job, id);
+      return 0;
     }
+    if (args.size() == 2) {
+      DescribeCheckpoint(store, job, std::strtoull(args[1].c_str(), nullptr, 10));
+      return 0;
+    }
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }
