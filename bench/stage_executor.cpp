@@ -1,0 +1,177 @@
+// Stage-runtime bench: adaptive worker allotment vs static provisioning on a
+// skewed store.
+//
+// The Check-N-Run write path is storage-link-bound (paper §4.2, §5.2): when
+// every Put costs a round trip, the right encode/store worker split depends
+// on a latency the operator cannot know ahead of time. This bench runs the
+// same checkpoint workload through three provisioning strategies over a
+// latency-injected store where Store is ~10x slower than Encode:
+//
+//   worst-static   encode-heavy split (what a CPU-bound guess provisions)
+//   even-static    the old default (encode_threads == store_threads)
+//   best-static    store-heavy split (the oracle that knew the latency)
+//   adaptive       starts at the even split, auto_tune on — the feedback
+//                  controller must find the store-heavy split on its own
+//
+// All four use the same worker budget (plan 1 + encode+store 4 + commit 1).
+// Exit code is non-zero if adaptive lands more than 15% behind best-static —
+// CI's bench-smoke step runs this, so the controller's win is a regression
+// gate, not a claim.
+//
+// Usage: bench_stage_executor [smoke]   ("smoke" = toy sizes, for CI)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+#include "storage/latency_store.h"
+
+using namespace cnr;
+using namespace std::chrono_literals;
+
+namespace {
+
+core::ModelSnapshot MakeSnapshot(std::size_t rows) {
+  core::ModelSnapshot snap;
+  snap.batches_trained = 1;
+  snap.samples_trained = 32;
+  snap.shards.resize(1);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    core::ShardSnapshot shard;
+    shard.table_id = 0;
+    shard.shard_id = s;
+    shard.num_rows = rows;
+    shard.dim = 8;
+    shard.weights.assign(shard.num_rows * shard.dim, 0.5f);
+    shard.adagrad.assign(shard.num_rows, 1.0f);
+    snap.shards[0].push_back(std::move(shard));
+  }
+  snap.dense_blob.assign(64, 3);
+  return snap;
+}
+
+core::CheckpointRequest MakeRequest(const std::string& job, std::uint64_t id,
+                                    std::size_t rows) {
+  core::CheckpointRequest req;
+  req.checkpoint_id = id;
+  req.writer.job = job;
+  req.writer.chunk_rows = 16;
+  req.writer.quant.method = quant::Method::kNone;
+  req.plan.kind = storage::CheckpointKind::kFull;
+  req.snapshot_fn = [rows] { return MakeSnapshot(rows); };
+  return req;
+}
+
+struct RunResult {
+  double wall_ms = 0.0;
+  std::size_t encode_allotted = 0;
+  std::size_t store_allotted = 0;
+  std::uint64_t rebalances = 0;
+};
+
+RunResult RunConfigOnce(std::size_t encode_workers, std::size_t store_workers,
+                        bool auto_tune, std::chrono::microseconds put_latency,
+                        int checkpoints, std::size_t rows) {
+  auto store = std::make_shared<storage::LatencyInjectedStore>(
+      std::make_shared<storage::InMemoryStore>(), /*get_latency=*/0us, put_latency);
+  core::ServiceConfig cfg;
+  cfg.encode_threads = encode_workers;
+  cfg.store_threads = store_workers;
+  cfg.queue_capacity = 32;
+  cfg.max_inflight_checkpoints = 4;
+  cfg.put_attempts = 1;
+  cfg.reconcile_on_start = false;
+  cfg.executor.auto_tune = auto_tune;
+  cfg.executor.tune_interval = 500us;
+  core::CheckpointService service(store, cfg);
+
+  core::JobConfig job;
+  job.name = "bench";
+  job.max_inflight_checkpoints = 4;
+  job.gc = false;
+  auto handle = service.OpenJob(std::move(job));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<core::WriteResult>> futures;
+  futures.reserve(static_cast<std::size_t>(checkpoints));
+  for (int i = 1; i <= checkpoints; ++i) {
+    futures.push_back(handle->SubmitRaw(MakeRequest("bench", static_cast<std::uint64_t>(i), rows)));
+  }
+  for (auto& f : futures) f.get();
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+
+  RunResult out;
+  out.wall_ms = static_cast<double>(wall.count()) / 1000.0;
+  const auto snap = service.stats().executor;
+  for (const auto& s : snap.stages) {
+    if (s.name == "encode") out.encode_allotted = s.allotted;
+    if (s.name == "store") out.store_allotted = s.allotted;
+  }
+  out.rebalances = snap.rebalances;
+  return out;
+}
+
+// Best of two runs: the latency store's sleeps make single walls noisy on a
+// loaded CI box; the minimum is the honest capability of each split.
+RunResult RunConfig(const char* label, std::size_t encode_workers,
+                    std::size_t store_workers, bool auto_tune,
+                    std::chrono::microseconds put_latency, int checkpoints,
+                    std::size_t rows) {
+  RunResult out = RunConfigOnce(encode_workers, store_workers, auto_tune, put_latency,
+                                checkpoints, rows);
+  const RunResult second = RunConfigOnce(encode_workers, store_workers, auto_tune,
+                                         put_latency, checkpoints, rows);
+  if (second.wall_ms < out.wall_ms) out = second;
+  std::printf("  %-12s encode %zu / store %zu%s : %8.2f ms  (rebalances %llu, final e%zu/s%zu)\n",
+              label, encode_workers, store_workers, auto_tune ? " +tune" : "      ",
+              out.wall_ms, static_cast<unsigned long long>(out.rebalances),
+              out.encode_allotted, out.store_allotted);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  const auto put_latency = smoke ? 300us : 400us;
+  const int checkpoints = smoke ? 10 : 16;
+  const std::size_t rows = smoke ? 256 : 512;  // 2 shards, 16-row chunks
+
+  std::printf("stage-executor bench: %d full checkpoints, %zu chunks each, "
+              "%lld us/put (store ~10x slower than encode)\n",
+              checkpoints, 2 * rows / 16,
+              static_cast<long long>(put_latency.count()));
+
+  const auto worst = RunConfig("worst-static", 3, 1, false, put_latency, checkpoints, rows);
+  const auto even = RunConfig("even-static", 2, 2, false, put_latency, checkpoints, rows);
+  const auto best = RunConfig("best-static", 1, 3, false, put_latency, checkpoints, rows);
+  const auto adaptive = RunConfig("adaptive", 2, 2, true, put_latency, checkpoints, rows);
+
+  const double vs_best = adaptive.wall_ms / best.wall_ms;
+  const double vs_even = adaptive.wall_ms / even.wall_ms;
+  std::printf("\n  adaptive vs best-static: %.2fx   vs even-static: %.2fx   "
+              "vs worst-static: %.2fx\n",
+              vs_best, vs_even, adaptive.wall_ms / worst.wall_ms);
+
+  bool ok = true;
+  if (adaptive.store_allotted <= adaptive.encode_allotted) {
+    std::printf("  FAIL: controller never shifted workers toward the slow store "
+                "(final encode %zu / store %zu)\n",
+                adaptive.encode_allotted, adaptive.store_allotted);
+    ok = false;
+  }
+  if (vs_best > 1.15) {
+    std::printf("  FAIL: adaptive is %.0f%% behind best-static (budget: 15%%)\n",
+                (vs_best - 1.0) * 100.0);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("  adaptive within 15%% of best-static without knowing the link: OK\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,12 +1,12 @@
 #include "core/maintenance.h"
 
 #include <algorithm>
-#include <condition_variable>
+#include <atomic>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <utility>
 
+#include "core/pipeline/executor.h"
 #include "core/recovery.h"
 #include "storage/manifest.h"
 #include "util/logging.h"
@@ -184,6 +184,7 @@ struct MaintenanceManager::Impl {
     util::SimTime scrub_interval = 0;  // 0 = not scheduled
     util::SimTime next_due = 0;
     bool open = false;
+    bool queued = false;  // a scheduled scrub is enqueued or running
     JobMaintenanceStats stats;
   };
 
@@ -191,6 +192,56 @@ struct MaintenanceManager::Impl {
     std::lock_guard lock(mu);
     const auto it = jobs.find(job);
     return it == jobs.end() ? 0 : it->second.priority;
+  }
+
+  // The executor the scrub stage (and each scrub's inner fetch/decode
+  // stages) runs on: the caller's shared one, or the private fallback.
+  pipeline::StageExecutor* Exec() {
+    return cfg.executor != nullptr ? cfg.executor : own_exec.get();
+  }
+
+  // Clock-subscriber scheduling: scans for due jobs and enqueues them on the
+  // scrub stage. Cheap (no store I/O) — safe to run from a SimClock advance.
+  // `queued` dedupes: while a job's scrub is enqueued or running, further
+  // due checks are absorbed, so a compressed simulated-time jump over many
+  // intervals runs one catch-up scrub, not a backlog (next_due re-arms from
+  // now at enqueue time).
+  void ScheduleDue() {
+    std::vector<std::string> due;
+    {
+      std::lock_guard lock(mu);
+      if (stop || cfg.clock == nullptr) return;
+      const util::SimTime now = cfg.clock->now();
+      for (auto& [name, meta] : jobs) {
+        if (!meta.open || meta.scrub_interval <= 0 || meta.queued) continue;
+        if (now < meta.next_due) continue;
+        meta.queued = true;
+        meta.next_due = now + meta.scrub_interval;
+        due.push_back(name);
+      }
+    }
+    if (due.empty()) return;
+    for (auto& name : due) scrub_lane.Push(std::move(name));
+    Exec()->Submit(scrub_stage, due.size());
+  }
+
+  bool DrainScrub() {
+    auto job = scrub_lane.TryPop();
+    if (!job) return false;
+    bool skip;
+    {
+      std::lock_guard lock(mu);
+      skip = stop;  // shutting down: consume the unit, run nothing
+    }
+    if (!skip) ScrubAndRecord(*job);
+    {
+      std::lock_guard lock(mu);
+      jobs[*job].queued = false;
+    }
+    // The job may already be due again (time advanced during the scrub) —
+    // re-scan, since no further clock advance may come to trigger it.
+    ScheduleDue();
+    return true;
   }
 
   // One scrub of the job's live chain; failures become issues, never throws
@@ -206,11 +257,13 @@ struct MaintenanceManager::Impl {
   // new chain instead of paging falsely.
   pipeline::ScrubReport RunScrub(const std::string& job) {
     try {
+      pipeline::ScrubConfig scrub_cfg = cfg.scrub;
+      if (scrub_cfg.executor == nullptr) scrub_cfg.executor = Exec();
       pipeline::ScrubReport report;
       for (int attempt = 0; attempt < 3; ++attempt) {
         const auto latest = LatestCheckpointId(*store, job);
         if (!latest) return {};
-        report = pipeline::ScrubChainParallel(*store, job, *latest, cfg.scrub);
+        report = pipeline::ScrubChainParallel(*store, job, *latest, scrub_cfg);
         if (report.clean()) return report;
         if (LatestCheckpointId(*store, job) == latest) return report;  // genuine
       }
@@ -239,35 +292,11 @@ struct MaintenanceManager::Impl {
     return report;
   }
 
-  void ScrubLoop() {
-    std::unique_lock lock(mu);
-    while (!stop) {
-      std::string due;
-      const util::SimTime now = cfg.clock->now();
-      for (auto& [name, meta] : jobs) {
-        if (!meta.open || meta.scrub_interval <= 0 || now < meta.next_due) continue;
-        due = name;
-        // Re-arm from *now*, not from next_due: a compressed simulated-time
-        // jump over many intervals runs one catch-up scrub, not a backlog.
-        meta.next_due = now + meta.scrub_interval;
-        break;
-      }
-      if (due.empty()) {
-        cv.wait(lock);  // woken by clock advances, (un)registration, stop
-        continue;
-      }
-      lock.unlock();
-      ScrubAndRecord(due);
-      lock.lock();
-    }
-  }
-
   std::shared_ptr<storage::AccountingStore> accounting;
   std::shared_ptr<storage::ObjectStore> store;
   MaintenanceConfig cfg;
 
   mutable std::mutex mu;  // registry, stats, schedule, stop flag
-  std::condition_variable cv;
   bool stop = false;
   std::map<std::string, JobMeta> jobs;
 
@@ -275,8 +304,27 @@ struct MaintenanceManager::Impl {
   // mu (PriorityOf, the stats update); NEVER acquire evict_mu under mu.
   std::mutex evict_mu;
 
+  // Quota-eviction candidate cache (guarded by evict_mu): the stale
+  // checkpoints of every store job, in eviction order, consumed in place as
+  // evictions proceed. Valid while its epoch matches mutation_epoch —
+  // NoteStoreMutation bumps the epoch on commit/GC.
+  struct Candidate {
+    std::uint32_t priority = 0;
+    std::string job;
+    std::uint64_t id = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::atomic<std::uint64_t> mutation_epoch{0};
+  bool survey_cached = false;           // under evict_mu
+  std::uint64_t survey_epoch = 0;       // under evict_mu
+  std::vector<Candidate> survey_cache;  // under evict_mu
+
+  // Private stage runtime when no shared executor was configured.
+  std::unique_ptr<pipeline::StageExecutor> own_exec;
+  pipeline::StageExecutor::StageId scrub_stage = 0;
+  bool scrub_stage_open = false;
+  pipeline::StageLane<std::string> scrub_lane;
   std::optional<util::SimClock::SubscriberId> clock_sub;
-  std::thread scrub_thread;
 };
 
 MaintenanceManager::MaintenanceManager(std::shared_ptr<storage::AccountingStore> accounting,
@@ -289,13 +337,23 @@ MaintenanceManager::MaintenanceManager(std::shared_ptr<storage::AccountingStore>
   }
   if (!impl_->store) throw std::invalid_argument("MaintenanceManager: null store");
   if (impl_->cfg.clock != nullptr) {
-    // The subscriber takes the manager's lock before notifying, so a clock
-    // advance between the scrub loop's scan and its wait cannot be missed.
-    impl_->clock_sub = impl_->cfg.clock->Subscribe([impl = impl_.get()] {
-      { std::lock_guard lock(impl->mu); }
-      impl->cv.notify_all();
-    });
-    impl_->scrub_thread = std::thread([impl = impl_.get()] { impl->ScrubLoop(); });
+    // Scheduled scrubs run as a stage on the shared runtime (or a private
+    // one when the caller configured none): the clock subscriber scans for
+    // due jobs and enqueues them; up to scrub_workers run concurrently, and
+    // each scrub's inner fetch/decode stages ride the same executor (the
+    // scrub worker helps drain them, so no threads are reserved).
+    if (impl_->cfg.executor == nullptr) {
+      impl_->own_exec = std::make_unique<pipeline::StageExecutor>();
+    }
+    impl_->scrub_stage = impl_->Exec()->OpenStage(
+        pipeline::TunableStage("scrub", 1,
+                               std::max<std::size_t>(impl_->cfg.scrub_workers, 1)),
+        [impl = impl_.get()] { return impl->DrainScrub(); });
+    impl_->scrub_stage_open = true;
+    // The subscriber only scans the registry and enqueues stage work — cheap
+    // enough for a clock callback, and it never calls back into the clock.
+    impl_->clock_sub =
+        impl_->cfg.clock->Subscribe([impl = impl_.get()] { impl->ScheduleDue(); });
   }
 }
 
@@ -303,10 +361,9 @@ MaintenanceManager::~MaintenanceManager() {
   if (impl_->clock_sub) impl_->cfg.clock->Unsubscribe(*impl_->clock_sub);
   {
     std::lock_guard lock(impl_->mu);
-    impl_->stop = true;
+    impl_->stop = true;  // queued-but-unstarted scrubs drain without running
   }
-  impl_->cv.notify_all();
-  if (impl_->scrub_thread.joinable()) impl_->scrub_thread.join();
+  if (impl_->scrub_stage_open) impl_->Exec()->CloseStage(impl_->scrub_stage);
 }
 
 std::size_t MaintenanceManager::ReconcileJob(const std::string& job) {
@@ -340,19 +397,21 @@ void MaintenanceManager::RegisterJob(const std::string& job, std::uint32_t prior
         impl_->cfg.clock ? impl_->cfg.clock->now() + scrub_interval : scrub_interval;
     meta.open = true;
   }
-  impl_->cv.notify_all();
+  // A (re)registered priority re-orders the eviction queue.
+  NoteStoreMutation();
 }
 
 void MaintenanceManager::UnregisterJob(const std::string& job) {
-  {
-    std::lock_guard lock(impl_->mu);
-    const auto it = impl_->jobs.find(job);
-    if (it == impl_->jobs.end()) return;
-    // Keep the record: the priority still orders eviction of the closed
-    // job's residue, and the stats stay queryable.
-    it->second.open = false;
-  }
-  impl_->cv.notify_all();
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->jobs.find(job);
+  if (it == impl_->jobs.end()) return;
+  // Keep the record: the priority still orders eviction of the closed
+  // job's residue, and the stats stay queryable.
+  it->second.open = false;
+}
+
+void MaintenanceManager::NoteStoreMutation() {
+  impl_->mutation_epoch.fetch_add(1, std::memory_order_release);
 }
 
 std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
@@ -364,37 +423,46 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
   // ordered lowest priority first, then per job oldest first. Live chains
   // and unpublished (manifest-less) objects are never candidates, so an
   // in-flight checkpoint and every job's recovery path stay intact.
-  struct Candidate {
-    std::uint32_t priority = 0;
-    std::string job;
-    std::uint64_t id = 0;
-    std::uint64_t bytes = 0;
-  };
-  std::vector<Candidate> candidates;
-  for (const auto& job : ListStoreJobs(*impl_->store)) {
-    // Orphans are never candidates; skip reading them (they would include
-    // every in-flight checkpoint's chunks, on a store worker's critical
-    // path).
-    const JobSurvey survey = SurveyJob(*impl_->store, job, /*measure_orphans=*/false);
-    const std::uint32_t priority = impl_->PriorityOf(job);
-    for (const auto id : survey.stale) {
-      candidates.push_back({priority, job, id, survey.bytes_by_checkpoint.at(id)});
+  //
+  // The survey is cached across calls: it costs one List + manifest walk per
+  // store job, on a store worker's critical path, and a burst of quota trips
+  // would otherwise repeat it per trip. The cache stays valid until a commit
+  // or GC re-draws the live/stale line (NoteStoreMutation bumps the epoch);
+  // our own evictions consume it in place — deleting a stale checkpoint
+  // cannot change any other candidate's staleness.
+  const std::uint64_t epoch = impl_->mutation_epoch.load(std::memory_order_acquire);
+  if (!impl_->survey_cached || impl_->survey_epoch != epoch) {
+    impl_->survey_cache.clear();
+    for (const auto& job : ListStoreJobs(*impl_->store)) {
+      // Orphans are never candidates; skip reading them (they would include
+      // every in-flight checkpoint's chunks).
+      const JobSurvey survey = SurveyJob(*impl_->store, job, /*measure_orphans=*/false);
+      const std::uint32_t priority = impl_->PriorityOf(job);
+      for (const auto id : survey.stale) {
+        impl_->survey_cache.push_back(
+            {priority, job, id, survey.bytes_by_checkpoint.at(id)});
+      }
     }
+    std::sort(impl_->survey_cache.begin(), impl_->survey_cache.end(),
+              [](const Impl::Candidate& a, const Impl::Candidate& b) {
+                if (a.priority != b.priority) return a.priority < b.priority;
+                if (a.job != b.job) return a.job < b.job;
+                return a.id < b.id;
+              });
+    impl_->survey_cached = true;
+    impl_->survey_epoch = epoch;  // the epoch observed BEFORE the survey ran
   }
-  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
-    if (a.priority != b.priority) return a.priority < b.priority;
-    if (a.job != b.job) return a.job < b.job;
-    return a.id < b.id;
-  });
 
   std::uint64_t freed = 0;
-  for (const auto& c : candidates) {
+  std::size_t consumed = 0;
+  for (const auto& c : impl_->survey_cache) {
     if (freed >= needed_bytes) break;
     for (const auto& key :
          impl_->store->List(storage::Manifest::CheckpointPrefix(c.job, c.id))) {
       impl_->store->Delete(key);
     }
     freed += c.bytes;
+    ++consumed;
     CNR_LOG_WARN << "maintenance: quota pressure (job " << requesting_job
                  << ") evicted stale checkpoint " << c.id << " of job " << c.job << " ("
                  << c.bytes << " bytes, priority " << c.priority << ")";
@@ -403,6 +471,9 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
     ++stats.evicted_checkpoints;
     stats.evicted_bytes += c.bytes;
   }
+  impl_->survey_cache.erase(impl_->survey_cache.begin(),
+                            impl_->survey_cache.begin() +
+                                static_cast<std::ptrdiff_t>(consumed));
   return freed;
 }
 
@@ -411,11 +482,13 @@ GcReport MaintenanceManager::Gc(const GcOptions& options) {
   // A live service cannot tell an in-flight checkpoint's objects from
   // orphans; orphan removal is for offline stores (cnr_inspect gc).
   safe.remove_orphans = false;
-  return GcStore(*impl_->store, safe, [this](const std::string& job) {
+  GcReport report = GcStore(*impl_->store, safe, [this](const std::string& job) {
     std::lock_guard lock(impl_->mu);
     const auto it = impl_->jobs.find(job);
     return it == impl_->jobs.end() ? std::size_t{1} : it->second.keep_lineages;
   });
+  if (!report.dry_run && report.bytes_freed > 0) NoteStoreMutation();
+  return report;
 }
 
 pipeline::ScrubReport MaintenanceManager::ScrubJobNow(const std::string& job) {

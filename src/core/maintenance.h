@@ -25,7 +25,14 @@
 //      and runs pipeline::ScrubChainParallel over each job's live chain on a
 //      util::SimClock-driven schedule (background self-scrub) so
 //      simulated-time tests can compress days of scrubbing into
-//      milliseconds.
+//      milliseconds. Scheduled scrubs run as a stage on the shared
+//      pipeline::StageExecutor (MaintenanceConfig::executor — the service
+//      passes its own), with a small concurrency cap (scrub_workers) so one
+//      huge chain cannot delay every other job's cadence; the quota-eviction
+//      candidate survey is cached between evictions and invalidated by
+//      NoteStoreMutation (the service calls it per commit/GC), so a burst of
+//      quota trips does not re-List the tier on a store worker's critical
+//      path.
 //
 // Operator-facing semantics (eviction order, what a scrub failure means,
 // restart behavior, quota sizing) are documented in docs/OPERATIONS.md.
@@ -149,11 +156,20 @@ struct MaintenanceConfig {
   // Evict stale lineages (lowest priority first) and retry when a checkpoint
   // write trips the shared quota, instead of failing the checkpoint.
   bool evict_on_quota = true;
-  // Simulated clock driving per-job scrub schedules; nullptr disables the
-  // background scrub thread entirely. The clock must outlive the manager.
+  // Simulated clock driving per-job scrub schedules; nullptr disables
+  // background scrubbing entirely. The clock must outlive the manager.
   util::SimClock* clock = nullptr;
   // Fan-out of each background scrub run.
   pipeline::ScrubConfig scrub;
+  // Stage runtime the scheduled scrubs (and their inner fetch/decode
+  // stages) run on — the service passes its shared executor, so scrub I/O
+  // is arbitrated against the write stages by the same controller. Null:
+  // the manager provisions a private executor when a clock is set. Must
+  // outlive the manager.
+  pipeline::StageExecutor* executor = nullptr;
+  // Concurrency cap of the scrub stage: how many jobs' scheduled scrubs may
+  // run at once.
+  std::size_t scrub_workers = 1;
 };
 
 // Live maintenance counters of one job.
@@ -179,7 +195,7 @@ class MaintenanceManager {
   MaintenanceManager(std::shared_ptr<storage::AccountingStore> accounting,
                      std::shared_ptr<storage::ObjectStore> store,
                      MaintenanceConfig config = {});
-  ~MaintenanceManager();  // stops the scrub thread, unsubscribes the clock
+  ~MaintenanceManager();  // closes the scrub stage, unsubscribes the clock
 
   MaintenanceManager(const MaintenanceManager&) = delete;
   MaintenanceManager& operator=(const MaintenanceManager&) = delete;
@@ -206,7 +222,19 @@ class MaintenanceManager {
   // chain or an unpublished (in-flight) checkpoint's objects. Returns the
   // bytes freed — 0 means nothing evictable is left and the caller's
   // QuotaExceeded is final.
+  //
+  // The candidate survey (one List + manifest walk per store job) is cached
+  // between calls and consumed in place as candidates are evicted, so a
+  // burst of quota trips costs one survey, not one per trip — it sits on a
+  // store worker's critical path. NoteStoreMutation invalidates the cache.
   std::uint64_t EvictForQuota(std::uint64_t needed_bytes, const std::string& requesting_job);
+
+  // Tells the maintenance plane the manifested state of the store changed
+  // (a manifest published, GC ran) and the cached eviction survey is stale.
+  // The service calls this on its commit stage; external writers sharing
+  // the tier should call it after publishing or deleting checkpoints. Cheap
+  // (an atomic bump), safe from any thread.
+  void NoteStoreMutation();
 
   // Explicit GC with dry-run reporting. Retention is the max of
   // options.keep_lineages and each registered job's keep_lineages, so a

@@ -1,0 +1,383 @@
+#include "core/pipeline/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/wallclock.h"
+
+namespace cnr::core::pipeline {
+
+using util::ElapsedUs;
+
+struct StageExecutor::Stage {
+  std::string name;
+  DrainFn drain;
+  std::size_t min = 1;
+  std::size_t max = 0;  // 0 = unbounded
+  std::size_t initial = 1;
+  std::size_t allotted = 1;
+  std::size_t active = 0;
+  std::size_t pending = 0;
+  std::uint64_t busy_us = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t last_busy_us = 0;  // controller window baseline
+  double occupancy = 0.0;
+};
+
+StageExecutor::StageExecutor(ExecutorConfig config) : cfg_(config) {
+  last_tick_ = std::chrono::steady_clock::now();
+  if (cfg_.auto_tune) {
+    if (cfg_.tune_clock != nullptr) {
+      // Deterministic mode: one controller step per simulated-clock advance.
+      // The subscriber only takes the executor lock — cheap, and it never
+      // calls back into the clock.
+      clock_sub_ = cfg_.tune_clock->Subscribe([this] { Tick(); });
+    } else {
+      controller_ = std::thread([this] { ControllerLoop(); });
+    }
+  }
+}
+
+StageExecutor::~StageExecutor() {
+  if (clock_sub_) cfg_.tune_clock->Unsubscribe(*clock_sub_);
+  // Defensive: a well-behaved owner closed its stages already; drain and
+  // close anything left so pending work is never silently dropped.
+  std::vector<StageId> open;
+  {
+    std::lock_guard lock(mu_);
+    for (StageId id = 0; id < stages_.size(); ++id) {
+      if (stages_[id]) open.push_back(id);
+    }
+  }
+  for (const StageId id : open) CloseStage(id);
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  wait_cv_.notify_all();
+  ctl_cv_.notify_all();
+  if (controller_.joinable()) controller_.join();
+  for (auto& t : workers_) t.join();
+}
+
+StageExecutor::StageId StageExecutor::OpenStage(StageOptions opts, DrainFn drain) {
+  if (!drain) throw std::invalid_argument("StageExecutor::OpenStage: null drain");
+  auto stage = std::make_unique<Stage>();
+  stage->name = std::move(opts.name);
+  stage->drain = std::move(drain);
+  stage->min = std::max<std::size_t>(opts.min_workers, 1);
+  stage->max = opts.max_workers == 0 ? 0 : std::max(opts.max_workers, stage->min);
+  stage->initial = std::max(opts.initial_workers, stage->min);
+  if (stage->max != 0) stage->initial = std::min(stage->initial, stage->max);
+  stage->allotted = stage->initial;
+
+  std::lock_guard lock(mu_);
+  if (stop_) throw std::runtime_error("StageExecutor: stopped");
+  total_allotted_ += stage->allotted;
+  total_initial_ += stage->initial;
+  StageId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    stages_[id] = std::move(stage);
+  } else {
+    id = stages_.size();
+    stages_.push_back(std::move(stage));
+  }
+  ResizePoolLocked();
+  return id;
+}
+
+void StageExecutor::Submit(StageId id, std::size_t units) {
+  if (units == 0) return;
+  bool wake_controller = false;
+  {
+    std::lock_guard lock(mu_);
+    Stage* s = id < stages_.size() ? stages_[id].get() : nullptr;
+    if (s == nullptr) return;  // closed stage: late kick, nothing to do
+    s->pending += units;
+    wake_controller = controller_parked_;
+  }
+  // One unit wakes one worker (a woken worker re-scans until nothing is
+  // runnable, so unconsumed notifies are never lost work); helpers always
+  // get a look — they may be the only thread able to run this stage. A
+  // parked (idle) controller resumes ticking.
+  if (units == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+  wait_cv_.notify_all();
+  if (wake_controller) ctl_cv_.notify_all();
+}
+
+// Picks a stage with announced work and a free allotment slot. With `among`,
+// later entries win (downstream-first keeps hand-off lanes short); without,
+// round-robin across all open stages.
+StageExecutor::Stage* StageExecutor::PickRunnableLocked(
+    const std::vector<StageId>* among) {
+  const auto runnable = [](Stage* s) {
+    return s != nullptr && s->pending > 0 && s->active < s->allotted;
+  };
+  if (among != nullptr) {
+    for (auto it = among->rbegin(); it != among->rend(); ++it) {
+      Stage* s = *it < stages_.size() ? stages_[*it].get() : nullptr;
+      if (runnable(s)) return s;
+    }
+    return nullptr;
+  }
+  const std::size_t n = stages_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = (rr_cursor_ + k) % n;
+    Stage* s = stages_[idx].get();
+    if (runnable(s)) {
+      rr_cursor_ = (idx + 1) % n;
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+// Consumes one announced unit of `stage`: runs the drain outside the lock,
+// then books the result. The lock hand-off before and after the drain is
+// what sequences successive drains of a serial (max_workers == 1) stage.
+void StageExecutor::RunOne(std::unique_lock<std::mutex>& lock, Stage& stage) {
+  --stage.pending;
+  ++stage.active;
+  lock.unlock();
+  const auto t0 = std::chrono::steady_clock::now();
+  bool did = false;
+  try {
+    did = stage.drain();
+  } catch (const std::exception& e) {
+    CNR_LOG_WARN << "StageExecutor: drain of stage " << stage.name
+                 << " threw (drains must not): " << e.what();
+  } catch (...) {
+    CNR_LOG_WARN << "StageExecutor: drain of stage " << stage.name << " threw";
+  }
+  const std::uint64_t us = ElapsedUs(t0);
+  lock.lock();
+  --stage.active;
+  stage.busy_us += us;
+  if (did) ++stage.drained;
+  // Completion wakes the (few) waiters watching for quiescence/progress;
+  // the freed allotment slot re-arms one worker only if this stage still
+  // has announced work for it.
+  wait_cv_.notify_all();
+  if (stage.pending > 0 && stage.active < stage.allotted) work_cv_.notify_one();
+}
+
+void StageExecutor::WorkerLoop() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (alive_workers_ > pool_target_) break;  // pool shrank: retire
+    Stage* s = PickRunnableLocked(nullptr);
+    if (s == nullptr) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    RunOne(lock, *s);
+  }
+  --alive_workers_;
+  exited_.push_back(std::this_thread::get_id());
+}
+
+void StageExecutor::HelpUntil(const std::function<bool()>& done,
+                              std::initializer_list<StageId> stages) {
+  const std::vector<StageId> ids(stages);
+  std::unique_lock lock(mu_);
+  while (!done()) {
+    Stage* s = PickRunnableLocked(&ids);
+    if (s == nullptr) {
+      wait_cv_.wait(lock);
+      continue;
+    }
+    RunOne(lock, *s);
+  }
+}
+
+void StageExecutor::CloseStages(std::initializer_list<StageId> stages) {
+  const std::vector<StageId> ids(stages);
+  std::unique_lock lock(mu_);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    Stage* closing = ids[k] < stages_.size() ? stages_[ids[k]].get() : nullptr;
+    if (closing == nullptr) continue;
+    // Quiesce: help drain this stage and everything downstream of it in the
+    // list, so an upstream drain's hand-off is always consumed.
+    const std::vector<StageId> help(ids.begin() + static_cast<std::ptrdiff_t>(k),
+                                    ids.end());
+    while (closing->pending > 0 || closing->active > 0) {
+      Stage* s = PickRunnableLocked(&help);
+      if (s == nullptr) {
+        wait_cv_.wait(lock);
+        continue;
+      }
+      RunOne(lock, *s);
+    }
+    total_allotted_ -= closing->allotted;
+    total_initial_ -= closing->initial;
+    stages_[ids[k]].reset();
+    free_ids_.push_back(ids[k]);
+  }
+  ResizePoolLocked();  // returned allotment: excess workers retire
+  work_cv_.notify_all();
+  wait_cv_.notify_all();
+}
+
+void StageExecutor::Tick() {
+  std::lock_guard lock(mu_);
+  TickLocked();
+}
+
+void StageExecutor::TickLocked() {
+  // Occupancy over the window just ended (observability; decisions below use
+  // instantaneous backlog/idleness, which SimClock-driven tests can control).
+  const auto now = std::chrono::steady_clock::now();
+  const double dt_us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - last_tick_).count());
+  last_tick_ = now;
+  for (const auto& sp : stages_) {
+    Stage* s = sp.get();
+    if (s == nullptr) continue;
+    const double delta = static_cast<double>(s->busy_us - s->last_busy_us);
+    s->last_busy_us = s->busy_us;
+    s->occupancy = (dt_us > 0.0 && s->allotted > 0)
+                       ? std::min(1.0, delta / (dt_us * static_cast<double>(s->allotted)))
+                       : 0.0;
+  }
+  if (!cfg_.auto_tune) return;
+
+  // Neediest: the deepest backlog per allotted worker, with at least one
+  // waiting unit per worker (hysteresis — a single queued chunk is noise).
+  Stage* needy = nullptr;
+  for (const auto& sp : stages_) {
+    Stage* s = sp.get();
+    if (s == nullptr) continue;
+    const std::size_t eff_max = s->max == 0 ? SIZE_MAX : s->max;
+    if (s->allotted >= eff_max || s->pending < s->allotted) continue;
+    if (needy == nullptr ||
+        s->pending * needy->allotted > needy->pending * s->allotted) {
+      needy = s;
+    }
+  }
+  if (needy == nullptr) return;
+
+  // Spare budget first: a plane that closed its stages carried away
+  // allotment the controller had moved into it — re-grant toward the
+  // budget baseline (regrowing the pool) before taxing a live stage.
+  if (total_allotted_ < total_initial_) {
+    ++needy->allotted;
+    ++total_allotted_;
+    ++rebalances_;
+    ResizePoolLocked();
+    work_cv_.notify_all();
+    wait_cv_.notify_all();
+    return;
+  }
+
+  // Donor: a stage with no backlog and an idle allotment slot right now —
+  // the "starved" end the additive increase moves away from. Most idle
+  // (lowest active per allotted worker) donates.
+  Stage* donor = nullptr;
+  for (const auto& sp : stages_) {
+    Stage* s = sp.get();
+    if (s == nullptr || s == needy) continue;
+    if (s->allotted <= s->min || s->pending != 0 || s->active >= s->allotted) continue;
+    if (donor == nullptr ||
+        s->active * donor->allotted < donor->active * s->allotted) {
+      donor = s;
+    }
+  }
+  if (donor == nullptr) return;
+  --donor->allotted;
+  ++needy->allotted;
+  ++rebalances_;
+  work_cv_.notify_all();
+  wait_cv_.notify_all();
+}
+
+void StageExecutor::ControllerLoop() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (!AnyActivityLocked()) {
+      // Nothing pending or running anywhere: park instead of ticking an
+      // idle service at tune_interval cadence. Submit un-parks us.
+      controller_parked_ = true;
+      ctl_cv_.wait(lock);
+      controller_parked_ = false;
+      continue;
+    }
+    ctl_cv_.wait_for(lock, cfg_.tune_interval);
+    if (stop_) break;
+    TickLocked();
+  }
+}
+
+bool StageExecutor::AnyActivityLocked() const {
+  for (const auto& sp : stages_) {
+    const Stage* s = sp.get();
+    if (s != nullptr && (s->pending > 0 || s->active > 0)) return true;
+  }
+  return false;
+}
+
+void StageExecutor::ResizePoolLocked() {
+  const std::size_t cap = cfg_.max_workers == 0 ? SIZE_MAX : cfg_.max_workers;
+  pool_target_ = std::min(total_allotted_, cap);
+  // Reap workers that retired in an earlier shrink (they have returned, or
+  // are about to — their last act after releasing the lock).
+  if (!exited_.empty()) {
+    for (auto it = workers_.begin(); it != workers_.end();) {
+      const auto found = std::find(exited_.begin(), exited_.end(), it->get_id());
+      if (found != exited_.end()) {
+        it->join();
+        exited_.erase(found);
+        it = workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  while (alive_workers_ < pool_target_) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    ++alive_workers_;
+  }
+}
+
+ExecutorSnapshot StageExecutor::snapshot() const { return snapshot({}); }
+
+ExecutorSnapshot StageExecutor::snapshot(std::initializer_list<StageId> stages) const {
+  const std::vector<StageId> filter(stages);
+  ExecutorSnapshot snap;
+  std::lock_guard lock(mu_);
+  snap.workers = alive_workers_;
+  snap.auto_tune = cfg_.auto_tune;
+  snap.rebalances = rebalances_;
+  for (StageId id = 0; id < stages_.size(); ++id) {
+    const Stage* s = stages_[id].get();
+    if (s == nullptr) continue;
+    if (!filter.empty() &&
+        std::find(filter.begin(), filter.end(), id) == filter.end()) {
+      continue;
+    }
+    StageSnapshot ss;
+    ss.name = s->name;
+    ss.allotted = s->allotted;
+    ss.active = s->active;
+    ss.pending = s->pending;
+    ss.busy_us = s->busy_us;
+    ss.drained = s->drained;
+    ss.occupancy = s->occupancy;
+    snap.stages.push_back(std::move(ss));
+  }
+  return snap;
+}
+
+std::size_t StageExecutor::workers() const {
+  std::lock_guard lock(mu_);
+  return alive_workers_;
+}
+
+}  // namespace cnr::core::pipeline

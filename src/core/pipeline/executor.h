@@ -1,0 +1,301 @@
+// StageExecutor — the unified adaptive stage runtime shared by every plane.
+//
+// Before this runtime the system ran three separately-provisioned worker
+// fleets: the write path's Plan/Encode/Store/Commit threads (service.cc),
+// the restore path's Fetch/Decode/Apply threads (restore.cc), and the
+// maintenance plane's scrub thread (maintenance.cc) — each with static knobs
+// an operator had to guess (`encode_threads`, `fetch_threads`, ...). The
+// paper's point is that checkpointing wins by keeping the storage link
+// saturated without stealing trainer CPU; FastPersist's refinement is that
+// the parallelism that does so must be *sized to the measured link*, not to
+// a config file. This executor is that idea as a component:
+//
+//   StageExecutor (one per CheckpointService, or private per restore run)
+//   ├── worker pool        one set of threads for every plane; tracks the
+//   │                      open stages' allotment sum (capped by the
+//   │                      explicit `max_workers` core budget) — grows when
+//   │                      a plane opens stages, shrinks when one closes
+//   ├── stage registry     each stage = a queue the caller owns + a drain
+//   │                      function + live counters (pending, active,
+//   │                      busy-wall, occupancy)
+//   └── feedback controller (auto_tune) periodically moves one worker of
+//                          allotment from the most idle stage to the most
+//                          backlogged one — additive increase toward the
+//                          bottleneck, bounded by per-stage min/max and the
+//                          service-wide budget
+//
+// Contract for a stage's drain function:
+//   - It is called once per announced unit of work (Submit(stage, n) after
+//     pushing n items into the stage's own queue/lane).
+//   - It processes AT MOST ONE unit: try-pop from the stage's queue, do the
+//     work, push downstream (and Submit the downstream stage), return true.
+//     If nothing poppable (raced another worker, or eligibility like a store
+//     budget blocks the pop), return false — the unit is consumed either
+//     way, so whoever re-enables eligibility must Submit a fresh unit
+//     (see the service's encode-budget kick).
+//   - It must not throw (stage failures are the caller's protocol: mark the
+//     work failed and drain); a throwing drain is swallowed and counted.
+//   - It may block on real I/O (a store Put/Get) but must NEVER block on
+//     another stage of this executor draining first: inter-stage hand-off
+//     queues must be unbounded (bound memory with an admission window, the
+//     way the restore feeder and the scrub window do). This is what makes
+//     the shared pool deadlock-free by construction.
+//
+// Concurrency semantics a stage may rely on:
+//   - At most `allotted` workers are inside a stage's drain at once; a stage
+//     opened with max_workers == 1 is strictly serial (the commit and apply
+//     stages' in-order reorder buffers need no locks of their own).
+//   - Successive drains of one stage — even on different pool threads — are
+//     separated by the executor's internal mutex, so plain (non-atomic)
+//     stage state written by drain k is visible to drain k+1.
+//
+// Caller participation (HelpUntil / CloseStage): the thread that feeds a
+// pipeline can drain its own stages while it waits, so a plane makes
+// progress even when every pool worker is busy elsewhere — a scrub task
+// running *on* the executor can run its inner fetch/decode stages on the
+// same executor without reserving threads for them.
+//
+// Auto-tuning: with `auto_tune` (default on), a controller tick compares
+// per-stage backlog (pending per allotted worker) and idleness and moves one
+// worker of allotment per tick from the most idle donor to the neediest
+// stage. Ticks come from a wall-clock timer (`tune_interval`) or, when
+// `tune_clock` is set, from every SimClock advance — which is how tests
+// drive convergence deterministically. With auto_tune off the initial
+// allotments never move: exactly the old static provisioning, one fleet per
+// knob. docs/TUNING.md is the operator's guide to all of this.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace cnr::core::pipeline {
+
+struct ExecutorConfig {
+  // Feedback-driven rebalancing of per-stage worker allotments. Off = the
+  // initial allotments are pinned (the pre-executor static behavior).
+  bool auto_tune = true;
+  // Hard cap on pool threads — the service-wide core budget. 0 = size the
+  // pool to the sum of the open stages' initial allotments (i.e. exactly
+  // what the static per-stage knobs would have provisioned as threads).
+  std::size_t max_workers = 0;
+  // Controller cadence on the wall clock (ignored when tune_clock is set).
+  std::chrono::microseconds tune_interval{2000};
+  // When set, the controller ticks once per SimClock advance instead of on a
+  // wall timer — deterministic convergence for tests. Must outlive the
+  // executor.
+  util::SimClock* tune_clock = nullptr;
+};
+
+struct StageOptions {
+  std::string name;
+  // Worker allotment the stage starts with (the static knob's value).
+  std::size_t initial_workers = 1;
+  // Controller bounds. min is clamped up to 1 — an open stage can always
+  // make progress. max == 0 means unbounded (the pool is the cap);
+  // max == min pins the stage (plan/commit/apply are pinned at 1).
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 0;
+};
+
+// Live view of one stage, surfaced through ServiceStats / RestoreOutcome /
+// cnr_inspect so operators can see what the controller decided.
+struct StageSnapshot {
+  std::string name;
+  std::size_t allotted = 0;   // current worker allotment
+  std::size_t active = 0;     // workers inside the drain right now
+  std::size_t pending = 0;    // announced, not yet drained units
+  std::uint64_t busy_us = 0;  // cumulative wall time inside the drain
+  std::uint64_t drained = 0;  // units that did work
+  // Busy fraction of the allotment over the last controller window [0, 1];
+  // 0 before the first tick.
+  double occupancy = 0.0;
+};
+
+struct ExecutorSnapshot {
+  std::size_t workers = 0;       // pool threads
+  bool auto_tune = false;
+  std::uint64_t rebalances = 0;  // allotment moves the controller made
+  std::vector<StageSnapshot> stages;  // open stages only
+};
+
+// Unbounded MPMC hand-off lane between stages of one plane. Deliberately
+// unbounded: a drain must never block on a downstream stage (see the
+// deadlock-freedom note above); payload memory is bounded by the plane's own
+// admission window, not by the lane.
+template <typename T>
+class StageLane {
+ public:
+  void Push(T item) {
+    std::lock_guard lock(mu_);
+    items_.push_back(std::move(item));
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+class StageExecutor {
+ public:
+  using StageId = std::size_t;
+  // Process at most one unit of the stage's work; false = nothing poppable.
+  using DrainFn = std::function<bool()>;
+
+  explicit StageExecutor(ExecutorConfig config = {});
+  // Closes any stage left open (draining its backlog), then joins the pool.
+  ~StageExecutor();
+
+  StageExecutor(const StageExecutor&) = delete;
+  StageExecutor& operator=(const StageExecutor&) = delete;
+
+  // Registers a stage and grows the pool toward the budget. The drain may be
+  // called concurrently by up to `opts` allotted workers until CloseStage.
+  StageId OpenStage(StageOptions opts, DrainFn drain);
+
+  // Announces `units` units of work for the stage (after pushing the backing
+  // items into the stage's queue). Wakes workers. Safe from drains.
+  void Submit(StageId id, std::size_t units = 1);
+
+  // Drains the listed stages (later entries first — downstream stages should
+  // be listed last so hand-off backlogs clear fastest) until `done()` is
+  // true. The calling thread runs drains itself when it can, so the plane
+  // progresses even with zero free pool workers. `done` is evaluated under
+  // the executor lock and must only read caller state (typically atomics).
+  void HelpUntil(const std::function<bool()>& done,
+                 std::initializer_list<StageId> stages);
+
+  // Closes `stages` in order (list a plane upstream-to-downstream): for each,
+  // helps drain remaining pending units — later stages in the list are
+  // drained too, so an upstream drain's hand-off is consumed — then waits
+  // until the stage is quiescent and unregisters it, returning its allotment
+  // to the budget.
+  void CloseStages(std::initializer_list<StageId> stages);
+  void CloseStage(StageId id) { CloseStages({id}); }
+
+  // One controller step; exposed so tests and benches can tick explicitly.
+  void Tick();
+
+  // Runtime view: every open stage, or only the listed ones (a plane
+  // reporting on itself — e.g. RestoreOutcome::stages — must not read a
+  // sibling plane's allotments as its own). Pool/controller fields are
+  // global either way.
+  ExecutorSnapshot snapshot() const;
+  ExecutorSnapshot snapshot(std::initializer_list<StageId> stages) const;
+  std::size_t workers() const;
+  const ExecutorConfig& config() const { return cfg_; }
+
+ private:
+  struct Stage;
+
+  Stage* PickRunnableLocked(const std::vector<StageId>* among);
+  void RunOne(std::unique_lock<std::mutex>& lock, Stage& stage);
+  void WorkerLoop();
+  void ControllerLoop();
+  void TickLocked();
+  bool AnyActivityLocked() const;
+  void ResizePoolLocked();
+
+  ExecutorConfig cfg_;
+
+  mutable std::mutex mu_;
+  // Split wakeup channels so the per-unit hot path wakes one worker, not
+  // the whole pool: workers sleep on work_cv_ (notify_one per unit — safe
+  // because a worker always re-scans for runnable work before waiting);
+  // helpers and closers sleep on wait_cv_ and need both completion and
+  // new-work signals (a helper may be the only thread able to run them).
+  std::condition_variable work_cv_;
+  std::condition_variable wait_cv_;
+  std::condition_variable ctl_cv_;   // wall-clock controller wakeup (stop)
+  bool stop_ = false;
+  std::vector<std::unique_ptr<Stage>> stages_;  // index == StageId
+  std::vector<StageId> free_ids_;
+  std::size_t rr_cursor_ = 0;
+  std::size_t total_allotted_ = 0;  // across open stages
+  std::size_t total_initial_ = 0;   // budget baseline across open stages
+  std::uint64_t rebalances_ = 0;
+  std::chrono::steady_clock::time_point last_tick_;
+
+  // The pool tracks the open stages' allotment sum (capped by max_workers):
+  // it grows when a plane opens stages and shrinks when one closes — excess
+  // workers retire themselves and are reaped (joined) on the next resize,
+  // so a long-lived service does not accumulate idle threads at the
+  // high-water mark of concurrent planes.
+  std::size_t pool_target_ = 0;
+  std::size_t alive_workers_ = 0;
+  std::vector<std::thread> workers_;        // spawned; retired ones reaped lazily
+  std::vector<std::thread::id> exited_;     // retired workers awaiting a join
+  bool controller_parked_ = false;          // idle: no periodic ticking
+  std::thread controller_;
+  std::optional<util::SimClock::SubscriberId> clock_sub_;
+};
+
+// Fan-out auto-sizing helper shared by the restore and scrub planes when a
+// knob is 0 (= auto): one worker per `per` units of work, clamped to
+// [lo, hi]. The controller adapts from there during the run.
+inline std::size_t AutoFanOut(std::size_t units, std::size_t per, std::size_t lo,
+                              std::size_t hi) {
+  const std::size_t n = per == 0 ? units : (units + per - 1) / per;
+  return std::max(lo, std::min(hi, std::max<std::size_t>(n, 1)));
+}
+
+// Shared stage-shape vocabulary, so every plane names the same contracts.
+
+// A stage the controller may never resize (min == max). `workers` > 1 is a
+// fixed pool; 1 is the serial-stage contract (in-order reorder buffers).
+inline StageOptions PinnedStage(std::string name, std::size_t workers = 1) {
+  StageOptions opts;
+  opts.name = std::move(name);
+  opts.initial_workers = workers;
+  opts.min_workers = workers;
+  opts.max_workers = workers;
+  return opts;
+}
+
+// A stage the controller resizes freely: starts at `initial`, floor 1, the
+// pool is the cap (optionally bounded by `max`, 0 = unbounded).
+inline StageOptions TunableStage(std::string name, std::size_t initial,
+                                 std::size_t max = 0) {
+  StageOptions opts;
+  opts.name = std::move(name);
+  opts.initial_workers = initial;
+  opts.min_workers = 1;
+  opts.max_workers = max;
+  return opts;
+}
+
+// The uniform knob precedence (docs/TUNING.md): an explicit worker count
+// pins the stage static; 0 starts from the auto-sized count and lets the
+// controller adapt it.
+inline StageOptions SizedStage(std::string name, std::size_t explicit_workers,
+                               std::size_t auto_workers) {
+  return explicit_workers > 0 ? PinnedStage(std::move(name), explicit_workers)
+                              : TunableStage(std::move(name), auto_workers);
+}
+
+}  // namespace cnr::core::pipeline

@@ -16,6 +16,7 @@ CheckpointPipeline::CheckpointPipeline(std::shared_ptr<storage::ObjectStore> sto
   ServiceConfig svc;
   svc.encode_threads = cfg_.encode_threads;
   svc.store_threads = cfg_.store_threads;
+  svc.executor = cfg_.executor;
   svc.queue_capacity = cfg_.queue_capacity;
   svc.max_inflight_checkpoints = cfg_.max_inflight_checkpoints;
   // Original pipeline semantics: the admission slot is held until the

@@ -39,8 +39,14 @@ namespace cnr::core::pipeline {
 using core::CheckpointRequest;
 
 struct PipelineConfig {
+  // Starting allotments of the encode/store stages on the underlying
+  // service's StageExecutor; with executor.auto_tune (default on) the
+  // controller re-sizes them toward the bottleneck stage, with auto_tune
+  // off they are the exact static fleets these knobs always meant.
   std::size_t encode_threads = 2;
   std::size_t store_threads = 2;
+  // The shared stage runtime's budget/tuning knobs (core/pipeline/executor.h).
+  ExecutorConfig executor;
   // Capacity of the encode and store stage queues, in chunks. Smaller values
   // bind the encoder more tightly to the store link's pace.
   std::size_t queue_capacity = 16;

@@ -3,16 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
-#include "core/pipeline/bounded_queue.h"
+#include "core/pipeline/executor.h"
 #include "storage/retrying_store.h"
 #include "util/wallclock.h"
 
@@ -40,6 +38,43 @@ struct ApplyJob {
   DecodedChunk chunk;
   std::chrono::steady_clock::time_point enqueued;
 };
+
+// The stage runtime to run a plane on: the caller's shared executor, or a
+// private one provisioned for this run. A private run auto-tunes only when
+// both fan-out knobs are auto (0) — explicit counts keep the exact static
+// behavior they always meant (docs/TUNING.md's precedence rule).
+StageExecutor* EnsureExecutor(StageExecutor* configured,
+                              std::optional<StageExecutor>& local,
+                              std::size_t fetch_threads, std::size_t decode_threads) {
+  if (configured != nullptr) return configured;
+  ExecutorConfig ec;
+  ec.auto_tune = fetch_threads == 0 && decode_threads == 0;
+  local.emplace(ec);
+  return &*local;
+}
+
+// The read planes' shared fan-out arithmetic — restore and scrub must size
+// identically or their defaults drift apart again (the 2-vs-4 fetch_threads
+// bug this refactor retired). `window` is the in-flight chunk admission
+// bound: at least the fan-out's appetite, at most the configured capacity.
+struct PlaneFanOut {
+  std::size_t fetch_auto = 0;
+  std::size_t decode_auto = 0;
+  std::size_t fetch_eff = 0;   // explicit knob, or the auto size
+  std::size_t decode_eff = 0;
+  std::size_t window = 0;
+};
+
+PlaneFanOut ComputeFanOut(std::size_t total_chunks, std::size_t fetch_threads,
+                          std::size_t decode_threads, std::size_t queue_capacity) {
+  PlaneFanOut f;
+  f.fetch_auto = AutoFanOut(total_chunks, /*per=*/4, /*lo=*/2, /*hi=*/8);
+  f.decode_auto = AutoFanOut(total_chunks, /*per=*/8, /*lo=*/1, /*hi=*/4);
+  f.fetch_eff = fetch_threads ? fetch_threads : f.fetch_auto;
+  f.decode_eff = decode_threads ? decode_threads : f.decode_auto;
+  f.window = std::max(queue_capacity, (f.fetch_eff + f.decode_eff) * 2);
+  return f;
+}
 
 }  // namespace
 
@@ -73,8 +108,6 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
                                   const RestoreConfig& config) {
   const auto entry_time = std::chrono::steady_clock::now();
   RestoreConfig cfg = config;
-  cfg.fetch_threads = std::max<std::size_t>(cfg.fetch_threads, 1);
-  cfg.decode_threads = std::max<std::size_t>(cfg.decode_threads, 1);
   cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
   cfg.max_inflight_checkpoints = std::max<std::size_t>(cfg.max_inflight_checkpoints, 1);
   cfg.get_attempts = std::max(cfg.get_attempts, 1);
@@ -94,12 +127,25 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
       ResolveChainManifests(retrying, job, checkpoint_id);
   out.timings.resolve_us = ElapsedUs(t_resolve);
   out.chain.reserve(manifests.size());
-  for (const auto& m : manifests) out.chain.push_back(m.checkpoint_id);
+  std::size_t total_chunks = 0;
+  for (const auto& m : manifests) {
+    out.chain.push_back(m.checkpoint_id);
+    total_chunks += m.chunks.size();
+  }
   const std::size_t n_pos = manifests.size();
 
-  BoundedQueue<FetchJob> fetch_q(cfg.queue_capacity);
-  BoundedQueue<DecodeJob> decode_q(cfg.queue_capacity);
-  BoundedQueue<ApplyJob> apply_q(cfg.queue_capacity);
+  std::optional<StageExecutor> local_exec;
+  StageExecutor* exec =
+      EnsureExecutor(cfg.executor, local_exec, cfg.fetch_threads, cfg.decode_threads);
+  const PlaneFanOut fanout =
+      ComputeFanOut(total_chunks, cfg.fetch_threads, cfg.decode_threads, cfg.queue_capacity);
+
+  // Hand-off lanes are unbounded (a drain never blocks on a sibling stage —
+  // executor.h's deadlock-freedom rule); payload memory is bounded by the
+  // feeder's look-ahead admission window below.
+  StageLane<FetchJob> fetch_lane;
+  StageLane<DecodeJob> decode_lane;
+  StageLane<ApplyJob> apply_lane;
 
   std::atomic<std::uint64_t> fetch_us{0}, decode_us{0}, apply_us{0};
   std::atomic<std::uint64_t> fetch_queue_us{0}, decode_queue_us{0}, apply_queue_us{0};
@@ -109,31 +155,107 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::exception_ptr first_error;
-
-  // Admission gate state: how many chain positions have fully applied. The
-  // feeder waits on this to cap fetch look-ahead; a failure wakes it too.
-  std::mutex pos_mu;
-  std::condition_variable pos_cv;
-  std::size_t applied_pos = 0;
-
   const auto mark_failed = [&](std::exception_ptr e) {
     {
       std::lock_guard lock(error_mu);
       if (!first_error) first_error = std::move(e);
     }
     failed.store(true, std::memory_order_release);
-    {
-      std::lock_guard lock(pos_mu);  // pairs with the feeder's predicate read
-    }
-    pos_cv.notify_all();
   };
 
-  std::vector<std::thread> fetchers;
-  for (std::size_t i = 0; i < cfg.fetch_threads; ++i) {
-    fetchers.emplace_back([&] {
-      while (auto job_item = fetch_q.Pop()) {
+  // Apply-stage state. The apply stage is serial (max_workers == 1) and
+  // successive drains are fenced by the executor, so no lock is needed —
+  // the same contract the dedicated apply thread used to provide. Chunks
+  // that arrive ahead of their chain position wait in the reorder buffer;
+  // `applied_pos` is what the feeder's admission gate watches.
+  struct ApplyState {
+    std::vector<std::size_t> remaining;  // chunks left per chain position
+    std::size_t next_pos = 0;
+    std::map<std::size_t, std::vector<ApplyJob>> held;  // reorder buffer
+  } apply_state;
+  apply_state.remaining.resize(n_pos);
+  for (std::size_t p = 0; p < n_pos; ++p) {
+    apply_state.remaining[p] = manifests[p].chunks.size();
+  }
+  std::atomic<std::size_t> applied_pos{0};
+  // Chunk-level in-flight window (queue_capacity): issued fetches whose
+  // payload has not yet applied. This is the read path's peak-memory bound
+  // — the role the bounded inter-stage queues used to play.
+  std::atomic<std::size_t> issued_chunks{0}, settled_chunks{0};
+
+  const auto apply_one = [&](ApplyJob& job_item) {
+    apply_queue_us.fetch_add(ElapsedUs(job_item.enqueued), std::memory_order_relaxed);
+    if (!failed.load(std::memory_order_acquire)) {
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        applier.ApplyChunk(job_item.chunk);
+        apply_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+        rows_applied.fetch_add(job_item.chunk.num_rows, std::memory_order_relaxed);
+      } catch (...) {
+        mark_failed(std::current_exception());
+      }
+    }
+    --apply_state.remaining[job_item.pos];
+    settled_chunks.fetch_add(1, std::memory_order_release);
+  };
+
+  const auto drain_ready = [&] {
+    while (apply_state.next_pos < n_pos && apply_state.remaining[apply_state.next_pos] == 0) {
+      ++apply_state.next_pos;
+      applied_pos.store(apply_state.next_pos, std::memory_order_release);
+      if (apply_state.next_pos >= n_pos) break;
+      const auto it = apply_state.held.find(apply_state.next_pos);
+      if (it == apply_state.held.end()) continue;
+      auto ready = std::move(it->second);
+      apply_state.held.erase(it);
+      for (auto& job_item : ready) apply_one(job_item);
+    }
+  };
+  drain_ready();  // advance past any zero-chunk prefix (empty incrementals)
+
+  struct StageIds {
+    StageExecutor::StageId fetch = 0, decode = 0, apply = 0;
+  } ids;
+
+  ids.apply = exec->OpenStage(PinnedStage("restore-apply"), [&]() -> bool {
+    auto job_item = apply_lane.TryPop();
+    if (!job_item) return false;
+    if (job_item->pos != apply_state.next_pos) {
+      apply_state.held[job_item->pos].push_back(std::move(*job_item));
+      return true;
+    }
+    apply_one(*job_item);
+    drain_ready();
+    return true;
+  });
+
+  ids.decode = exec->OpenStage(
+      SizedStage("restore-decode", cfg.decode_threads, fanout.decode_auto), [&]() -> bool {
+        auto job_item = decode_lane.TryPop();
+        if (!job_item) return false;
+        decode_queue_us.fetch_add(ElapsedUs(job_item->enqueued), std::memory_order_relaxed);
+        if (failed.load(std::memory_order_acquire)) return true;  // consume + drop
+        try {
+          const auto& manifest = manifests[job_item->pos];
+          const auto t0 = std::chrono::steady_clock::now();
+          auto chunk = DecodeChunkBlob(job_item->blob, manifest.quant,
+                                       manifest.chunks[job_item->chunk].key);
+          decode_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+          apply_lane.Push(ApplyJob{job_item->pos, std::move(chunk),
+                                   std::chrono::steady_clock::now()});
+          exec->Submit(ids.apply);
+        } catch (...) {
+          mark_failed(std::current_exception());
+        }
+        return true;
+      });
+
+  ids.fetch = exec->OpenStage(
+      SizedStage("restore-fetch", cfg.fetch_threads, fanout.fetch_auto), [&]() -> bool {
+        auto job_item = fetch_lane.TryPop();
+        if (!job_item) return false;
         fetch_queue_us.fetch_add(ElapsedUs(job_item->enqueued), std::memory_order_relaxed);
-        if (failed.load(std::memory_order_acquire)) continue;
+        if (failed.load(std::memory_order_acquire)) return true;  // consume + drop
         try {
           const auto& info = manifests[job_item->pos].chunks[job_item->chunk];
           const auto t0 = std::chrono::steady_clock::now();
@@ -141,104 +263,49 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
           fetch_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
           if (!blob) throw std::runtime_error("recovery: missing chunk object " + info.key);
           bytes_read.fetch_add(blob->size(), std::memory_order_relaxed);
-          decode_q.Push(DecodeJob{job_item->pos, job_item->chunk, std::move(*blob),
-                                  std::chrono::steady_clock::now()});
+          decode_lane.Push(DecodeJob{job_item->pos, job_item->chunk, std::move(*blob),
+                                     std::chrono::steady_clock::now()});
+          exec->Submit(ids.decode);
         } catch (...) {
           mark_failed(std::current_exception());
         }
-      }
-    });
-  }
-
-  std::vector<std::thread> decoders;
-  for (std::size_t i = 0; i < cfg.decode_threads; ++i) {
-    decoders.emplace_back([&] {
-      while (auto job_item = decode_q.Pop()) {
-        decode_queue_us.fetch_add(ElapsedUs(job_item->enqueued), std::memory_order_relaxed);
-        if (failed.load(std::memory_order_acquire)) continue;
-        try {
-          const auto& manifest = manifests[job_item->pos];
-          const auto t0 = std::chrono::steady_clock::now();
-          auto chunk = DecodeChunkBlob(job_item->blob, manifest.quant,
-                                       manifest.chunks[job_item->chunk].key);
-          decode_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
-          apply_q.Push(ApplyJob{job_item->pos, std::move(chunk),
-                                std::chrono::steady_clock::now()});
-        } catch (...) {
-          mark_failed(std::current_exception());
-        }
-      }
-    });
-  }
-
-  std::thread apply_thread([&] {
-    // Chunks left to apply per chain position; a position is complete (and
-    // the next may start applying) when its count reaches zero.
-    std::vector<std::size_t> remaining(n_pos);
-    for (std::size_t p = 0; p < n_pos; ++p) remaining[p] = manifests[p].chunks.size();
-    std::size_t next_pos = 0;
-    // Reorder buffer: decoded chunks that arrived ahead of their position.
-    // Bounded by the feeder's look-ahead admission, not by this thread.
-    std::map<std::size_t, std::vector<ApplyJob>> held;
-
-    const auto apply_one = [&](ApplyJob& job_item) {
-      apply_queue_us.fetch_add(ElapsedUs(job_item.enqueued), std::memory_order_relaxed);
-      if (!failed.load(std::memory_order_acquire)) {
-        try {
-          const auto t0 = std::chrono::steady_clock::now();
-          applier.ApplyChunk(job_item.chunk);
-          apply_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
-          rows_applied.fetch_add(job_item.chunk.num_rows, std::memory_order_relaxed);
-        } catch (...) {
-          mark_failed(std::current_exception());
-        }
-      }
-      --remaining[job_item.pos];
-    };
-
-    const auto drain_ready = [&] {
-      while (next_pos < n_pos && remaining[next_pos] == 0) {
-        ++next_pos;
-        {
-          std::lock_guard lock(pos_mu);
-          applied_pos = next_pos;
-        }
-        pos_cv.notify_all();
-        if (next_pos >= n_pos) break;
-        const auto it = held.find(next_pos);
-        if (it == held.end()) continue;
-        auto ready = std::move(it->second);
-        held.erase(it);
-        for (auto& job_item : ready) apply_one(job_item);
-      }
-    };
-
-    drain_ready();  // advance past any zero-chunk prefix (empty incrementals)
-    while (auto job_item = apply_q.Pop()) {
-      if (job_item->pos != next_pos) {
-        held[job_item->pos].push_back(std::move(*job_item));
-        continue;
-      }
-      apply_one(*job_item);
-      drain_ready();
-    }
-  });
-
-  // Feeder: enqueue every chunk fetch in chain order, gated by look-ahead.
-  for (std::size_t p = 0; p < n_pos && !failed.load(std::memory_order_acquire); ++p) {
-    {
-      std::unique_lock lock(pos_mu);
-      pos_cv.wait(lock, [&] {
-        return p < applied_pos + cfg.max_inflight_checkpoints ||
-               failed.load(std::memory_order_acquire);
+        return true;
       });
-    }
+
+  // Feeder: enqueue every chunk fetch in chain order, under two admission
+  // gates — the position look-ahead (position p is admitted only once
+  // position p - max_inflight_checkpoints has fully applied, bounding the
+  // reorder buffer) and the chunk window (at most queue_capacity issued-
+  // but-unapplied chunk payloads, bounding peak memory; deadlock-free
+  // because issuance is chain-ordered, so the window always contains the
+  // chunks the apply stage needs next). Both gates wait *by helping*: the
+  // caller drains its own stages, so the restore progresses even when
+  // every pool worker is busy on another plane.
+  const std::size_t chunk_window = fanout.window;
+  for (std::size_t p = 0; p < n_pos && !failed.load(std::memory_order_acquire); ++p) {
+    exec->HelpUntil(
+        [&] {
+          return p < applied_pos.load(std::memory_order_acquire) +
+                         cfg.max_inflight_checkpoints ||
+                 failed.load(std::memory_order_acquire);
+        },
+        {ids.fetch, ids.decode, ids.apply});
     if (failed.load(std::memory_order_acquire)) break;
     for (std::size_t c = 0; c < manifests[p].chunks.size(); ++c) {
-      fetch_q.Push(FetchJob{p, c, std::chrono::steady_clock::now()});
+      exec->HelpUntil(
+          [&] {
+            return issued_chunks.load(std::memory_order_acquire) -
+                           settled_chunks.load(std::memory_order_acquire) <
+                       chunk_window ||
+                   failed.load(std::memory_order_acquire);
+          },
+          {ids.fetch, ids.decode, ids.apply});
+      if (failed.load(std::memory_order_acquire)) break;
+      fetch_lane.Push(FetchJob{p, c, std::chrono::steady_clock::now()});
+      issued_chunks.fetch_add(1, std::memory_order_relaxed);
+      exec->Submit(ids.fetch);
     }
   }
-  fetch_q.Close();
 
   // The dense blob only depends on the newest manifest, so its fetch overlaps
   // with the tail of the chunk stages.
@@ -256,13 +323,17 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
     }
   }
 
-  // Shutdown cascade: each queue closes only after its producers joined, so
-  // Close can never race a Push.
-  for (auto& t : fetchers) t.join();
-  decode_q.Close();
-  for (auto& t : decoders) t.join();
-  apply_q.Close();
-  apply_thread.join();
+  // Completion: every chain position applied, or the first failure. Then
+  // capture the runtime view (what the controller decided) and close the
+  // stages — CloseStages helps drain whatever a failure left queued.
+  exec->HelpUntil(
+      [&] {
+        return applied_pos.load(std::memory_order_acquire) == n_pos ||
+               failed.load(std::memory_order_acquire);
+      },
+      {ids.fetch, ids.decode, ids.apply});
+  out.stages = exec->snapshot({ids.fetch, ids.decode, ids.apply});
+  exec->CloseStages({ids.fetch, ids.decode, ids.apply});
 
   if (failed.load(std::memory_order_acquire)) {
     std::exception_ptr error;
@@ -430,8 +501,6 @@ ScrubReport ScrubChain(storage::ObjectStore& store, const std::string& job, std:
 ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& job,
                                std::uint64_t id, const ScrubConfig& config) {
   ScrubConfig cfg = config;
-  cfg.fetch_threads = std::max<std::size_t>(cfg.fetch_threads, 1);
-  cfg.decode_threads = std::max<std::size_t>(cfg.decode_threads, 1);
   cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
   cfg.get_attempts = std::max(cfg.get_attempts, 1);
 
@@ -449,11 +518,22 @@ ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& j
   }
   const std::size_t n_pos = manifests.size();
   report.chain.reserve(n_pos);
-  for (const auto& m : manifests) report.chain.push_back(m.checkpoint_id);
+  std::size_t total_chunks = 0;
+  for (const auto& m : manifests) {
+    report.chain.push_back(m.checkpoint_id);
+    total_chunks += m.chunks.size();
+  }
 
-  // The restore pipeline's fetch/decode worker shape, minus the apply stage:
-  // a scrub has no ordering constraint (it applies nothing), so there is no
-  // look-ahead gate and no reorder buffer — only bounded queues for memory.
+  // The restore pipeline's fetch/decode stage shape on the shared stage
+  // runtime, minus the apply stage: a scrub has no ordering constraint (it
+  // applies nothing), so there is no reorder buffer — only the in-flight
+  // window below bounding fetched-but-unverified payload memory.
+  std::optional<StageExecutor> local_exec;
+  StageExecutor* exec =
+      EnsureExecutor(cfg.executor, local_exec, cfg.fetch_threads, cfg.decode_threads);
+  const PlaneFanOut fanout =
+      ComputeFanOut(total_chunks, cfg.fetch_threads, cfg.decode_threads, cfg.queue_capacity);
+
   constexpr std::size_t kDenseChunk = static_cast<std::size_t>(-1);
   struct ScrubFetchJob {
     std::size_t pos = 0;
@@ -464,26 +544,46 @@ ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& j
     std::size_t chunk = 0;
     std::vector<std::uint8_t> blob;
   };
-  BoundedQueue<ScrubFetchJob> fetch_q(cfg.queue_capacity);
-  BoundedQueue<ScrubDecodeJob> decode_q(cfg.queue_capacity);
+  StageLane<ScrubFetchJob> fetch_lane;
+  StageLane<ScrubDecodeJob> decode_lane;
 
   // Workers merge verdicts under one mutex; per-position row tallies feed the
-  // checkpoint-level row cross-check after the workers join.
+  // checkpoint-level row cross-check after the stages close. `settled` also
+  // drives the feeder's in-flight window: one count per issued fetch job,
+  // landed once its verdict (or dense size check) merged.
   std::mutex report_mu;
   std::vector<std::uint64_t> decoded_rows(n_pos, 0);
+  std::atomic<std::size_t> issued{0}, settled{0};
   const auto merge_chunk = [&](std::size_t pos, const ChunkVerdict& v) {
-    std::lock_guard lock(report_mu);
-    ++report.chunks_checked;
-    report.rows_checked += v.decoded_rows;
-    report.bytes_checked += v.bytes;
-    decoded_rows[pos] += v.decoded_rows;
-    report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
+    {
+      std::lock_guard lock(report_mu);
+      ++report.chunks_checked;
+      report.rows_checked += v.decoded_rows;
+      report.bytes_checked += v.bytes;
+      decoded_rows[pos] += v.decoded_rows;
+      report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
+    }
+    settled.fetch_add(1, std::memory_order_release);
   };
 
-  std::vector<std::thread> fetchers;
-  for (std::size_t i = 0; i < cfg.fetch_threads; ++i) {
-    fetchers.emplace_back([&] {
-      while (auto item = fetch_q.Pop()) {
+  struct StageIds {
+    StageExecutor::StageId fetch = 0, decode = 0;
+  } ids;
+
+  ids.decode = exec->OpenStage(
+      SizedStage("scrub-decode", cfg.decode_threads, fanout.decode_auto), [&]() -> bool {
+        auto item = decode_lane.TryPop();
+        if (!item) return false;
+        const storage::Manifest& m = manifests[item->pos];
+        const std::optional<std::vector<std::uint8_t>> blob = std::move(item->blob);
+        merge_chunk(item->pos, ScrubOneChunk(blob, m.quant, m.chunks[item->chunk]));
+        return true;
+      });
+
+  ids.fetch = exec->OpenStage(
+      SizedStage("scrub-fetch", cfg.fetch_threads, fanout.fetch_auto), [&]() -> bool {
+        auto item = fetch_lane.TryPop();
+        if (!item) return false;
         const storage::Manifest& m = manifests[item->pos];
         std::optional<std::vector<std::uint8_t>> blob;
         std::vector<ScrubIssue> fetch_issues;
@@ -493,49 +593,60 @@ ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& j
           if (TryScrubGet(retrying, m.dense_key, blob, fetch_issues)) {
             v = ScrubDenseBlob(blob, m);
           }
-          std::lock_guard lock(report_mu);
-          report.bytes_checked += v.bytes;
-          report.issues.insert(report.issues.end(), fetch_issues.begin(), fetch_issues.end());
-          report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
-          continue;
+          {
+            std::lock_guard lock(report_mu);
+            report.bytes_checked += v.bytes;
+            report.issues.insert(report.issues.end(), fetch_issues.begin(),
+                                 fetch_issues.end());
+            report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
+          }
+          settled.fetch_add(1, std::memory_order_release);
+          return true;
         }
         const storage::ChunkInfo& info = m.chunks[item->chunk];
         if (!TryScrubGet(retrying, info.key, blob, fetch_issues)) {
-          std::lock_guard lock(report_mu);
-          ++report.chunks_checked;
-          report.issues.insert(report.issues.end(), fetch_issues.begin(), fetch_issues.end());
-          continue;
+          {
+            std::lock_guard lock(report_mu);
+            ++report.chunks_checked;
+            report.issues.insert(report.issues.end(), fetch_issues.begin(),
+                                 fetch_issues.end());
+          }
+          settled.fetch_add(1, std::memory_order_release);
+          return true;
         }
         if (!blob) {
           merge_chunk(item->pos, ScrubOneChunk(blob, m.quant, info));
-          continue;
+          return true;
         }
-        decode_q.Push(ScrubDecodeJob{item->pos, item->chunk, std::move(*blob)});
-      }
-    });
-  }
+        decode_lane.Push(ScrubDecodeJob{item->pos, item->chunk, std::move(*blob)});
+        exec->Submit(ids.decode);
+        return true;
+      });
 
-  std::vector<std::thread> decoders;
-  for (std::size_t i = 0; i < cfg.decode_threads; ++i) {
-    decoders.emplace_back([&] {
-      while (auto item = decode_q.Pop()) {
-        const storage::Manifest& m = manifests[item->pos];
-        const std::optional<std::vector<std::uint8_t>> blob = std::move(item->blob);
-        merge_chunk(item->pos, ScrubOneChunk(blob, m.quant, m.chunks[item->chunk]));
-      }
-    });
-  }
-
+  // Feeder with an in-flight window: at most `window` fetched-but-unsettled
+  // chunks at once — the read-side memory bound, enforced by helping (the
+  // caller drains its own stages while it waits, so a scrub scheduled ON the
+  // executor can run its inner stages on that same executor).
+  const std::size_t window = fanout.window;
+  const auto push_gated = [&](ScrubFetchJob job_item) {
+    exec->HelpUntil(
+        [&] {
+          return issued.load(std::memory_order_acquire) -
+                     settled.load(std::memory_order_acquire) <
+                 window;
+        },
+        {ids.fetch, ids.decode});
+    fetch_lane.Push(job_item);
+    issued.fetch_add(1, std::memory_order_relaxed);
+    exec->Submit(ids.fetch);
+  };
   for (std::size_t p = 0; p < n_pos; ++p) {
     for (std::size_t c = 0; c < manifests[p].chunks.size(); ++c) {
-      fetch_q.Push(ScrubFetchJob{p, c});
+      push_gated(ScrubFetchJob{p, c});
     }
-    fetch_q.Push(ScrubFetchJob{p, kDenseChunk});
+    push_gated(ScrubFetchJob{p, kDenseChunk});
   }
-  fetch_q.Close();
-  for (auto& t : fetchers) t.join();
-  decode_q.Close();
-  for (auto& t : decoders) t.join();
+  exec->CloseStages({ids.fetch, ids.decode});
 
   for (std::size_t p = 0; p < n_pos; ++p) {
     std::uint64_t manifest_rows = 0;

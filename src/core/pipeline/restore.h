@@ -4,11 +4,23 @@
 // is on the critical path of resuming training (paper §5.1). The monolithic
 // read loop (fetch, then decode, then apply, one chunk at a time) leaves the
 // storage link idle while the CPU de-quantizes and vice versa; this pipeline
-// overlaps them, connected by the same bounded MPMC queues as the write path:
+// overlaps them. Stages hand off through unbounded lanes (a stage drain must
+// never block on a sibling stage — executor.h's deadlock-freedom rule);
+// payload memory is bounded by the feeder's admission windows instead
+// (queue_capacity chunks in flight, max_inflight_checkpoints positions of
+// look-ahead):
 //
 //   Resolve ──► Fetch ──► Decode ──► Apply
-//   (caller      (N         (M        (1 thread,
-//    thread)      threads)   threads)  chain order)
+//   (caller      (N         (M        (serial stage,
+//    thread)      workers)   workers)  chain order)
+//
+// The stage workers are NOT private threads: the pipeline registers its
+// Fetch/Decode/Apply stages on a core::pipeline::StageExecutor — the shared
+// stage runtime every plane (write, restore, scrub) schedules through. Pass
+// RestoreConfig::executor to run a restore on a long-lived, service-owned
+// runtime (its feedback controller then arbitrates restore fan-out against
+// the write stages); leave it null and the run provisions a private executor
+// sized from the chain, exactly as the old per-restore threads were.
 //
 //   - Resolve: walks parent_id links from the requested checkpoint back to
 //     its full baseline and loads every manifest on the chain (caller
@@ -48,6 +60,7 @@
 #include <vector>
 
 #include "core/pipeline/chunk_codec.h"
+#include "core/pipeline/executor.h"
 #include "storage/manifest.h"
 #include "storage/object_store.h"
 
@@ -86,9 +99,21 @@ class ChunkApplier {
 };
 
 struct RestoreConfig {
-  std::size_t fetch_threads = 2;
-  std::size_t decode_threads = 2;
-  // Capacity of the fetch/decode/apply queues, in chunks.
+  // Stage fan-out. 0 (default) = auto: the initial allotment is sized from
+  // the chain's chunk count (pipeline::AutoFanOut) and, when auto-tuning is
+  // on, the executor's controller re-sizes it from the observed fetch/decode
+  // stage walls during the run. An explicit count pins the stage static —
+  // the same `0 = derive, nonzero = pin` precedence as CheckNRunConfig's
+  // encode/store knobs (0 = pipeline_threads). ScrubConfig follows the same
+  // convention; docs/TUNING.md documents both.
+  std::size_t fetch_threads = 0;
+  std::size_t decode_threads = 0;
+  // In-flight chunk window: how many issued-but-unapplied chunk payloads the
+  // restore keeps in memory at once (floored at the stage fan-out — workers
+  // must never starve for admitted work). The peak-memory bound the bounded
+  // inter-stage queues used to provide, now enforced by the feeder's
+  // admission gate (hand-off lanes themselves are unbounded: a drain must
+  // never block on a sibling stage — see executor.h).
   std::size_t queue_capacity = 16;
   // How many chain positions the fetch stage may run ahead of the apply
   // stage. 1 serializes checkpoints (stages still overlap within one);
@@ -96,6 +121,10 @@ struct RestoreConfig {
   std::size_t max_inflight_checkpoints = 2;
   // RetryingStore depth for every Get this restore issues.
   int get_attempts = 3;
+  // Shared stage runtime to schedule the Fetch/Decode/Apply stages on
+  // (e.g. a CheckpointService's executor). Null = a private executor for
+  // this run, auto-tuned only when the fan-out knobs above are 0.
+  StageExecutor* executor = nullptr;
 };
 
 struct RestoreOutcome {
@@ -103,6 +132,12 @@ struct RestoreOutcome {
   std::uint64_t rows_applied = 0;
   std::uint64_t bytes_read = 0;  // chunks + dense blob (same as RestoreModel)
   RestoreTimings timings;
+  // Stage-runtime view of THIS restore's fetch/decode/apply stages,
+  // captured at the end of the run before they closed (allotments,
+  // occupancy — what the controller decided for this plane; pool and
+  // rebalance counts are executor-global). Surfaced by cnr_inspect's
+  // restore drill.
+  ExecutorSnapshot stages;
   // The requested checkpoint's manifest — authoritative trainer progress and
   // reader state for the caller to resume from.
   storage::Manifest newest;
@@ -149,13 +184,21 @@ struct ScrubReport {
 // restore pipeline's fetch/decode stage shape, so the knobs mirror
 // RestoreConfig minus the apply stage (a scrub applies nothing).
 struct ScrubConfig {
-  std::size_t fetch_threads = 4;
-  std::size_t decode_threads = 2;
-  // Capacity of the fetch → decode queue, in chunks.
+  // 0 (default) = auto-size from the chain's chunk count, controller-adapted
+  // during the run — the same convention as RestoreConfig (which see).
+  std::size_t fetch_threads = 0;
+  std::size_t decode_threads = 0;
+  // In-flight chunk window: how many fetched-but-unverified chunks the scrub
+  // keeps in memory (the feeder admits more fetches only as verdicts land).
   std::size_t queue_capacity = 16;
   // RetryingStore depth for every Get the scrub issues; a flaky replica
   // costs retries, not a spurious "object missing" verdict.
   int get_attempts = 3;
+  // Shared stage runtime for the scrub's fetch/decode stages; null = a
+  // private executor for this run. The service's background self-scrub
+  // passes its own executor, so scrub I/O competes with (and is arbitrated
+  // against) the write stages by the same controller.
+  StageExecutor* executor = nullptr;
 };
 
 // Store-scrubbing mode of the restore drill: walks checkpoint `id`'s

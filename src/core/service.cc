@@ -7,12 +7,11 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
-#include "core/pipeline/bounded_queue.h"
 #include "core/pipeline/chunk_codec.h"
 #include "core/pipeline/commit.h"
+#include "core/pipeline/executor.h"
 #include "core/recovery.h"
 #include "quant/selector.h"
 #include "util/wallclock.h"
@@ -20,12 +19,13 @@
 namespace cnr::core {
 namespace detail {
 
-using pipeline::BoundedQueue;
 using pipeline::ChunkTask;
+using pipeline::StageExecutor;
+using pipeline::StageLane;
 using util::ElapsedUs;
 
 // Shared state of one checkpoint travelling through the stages. Stage
-// hand-offs happen through queue/scheduler mutexes, so plain fields written
+// hand-offs happen through lane/scheduler mutexes, so plain fields written
 // by an earlier stage are safely read by later ones; only fields touched by
 // concurrent workers of the same stage are atomic.
 struct Inflight {
@@ -97,12 +97,12 @@ struct JobState {
   std::uint32_t encode_credit = 0;    // weighted round-robin credits
   std::uint32_t store_credit = 0;
 
-  // --- commit thread only ---
+  // --- commit stage only (serial on the executor) ---
   std::map<std::uint64_t, std::shared_ptr<Inflight>> reorder;
   std::uint64_t next_commit = 0;
   std::vector<std::uint64_t> failed_ids;
 
-  // --- guarded by policy_mu (the job's trainer thread + commit thread) ---
+  // --- guarded by policy_mu (the job's trainer thread + commit stage) ---
   mutable std::mutex policy_mu;
   std::optional<IncrementalPolicy> policy;
   std::unique_ptr<ModifiedRowTracker> tracker;
@@ -111,13 +111,11 @@ struct JobState {
 };
 
 struct ServiceImpl {
-  // NB: `cfg` is declared before the queues, so the queue capacities below
-  // read the already-initialized member, not the moved-from parameter.
+  // NB: `cfg` is declared before the executor, so the stage registrations in
+  // the body read the already-initialized member, not the moved-from
+  // parameter.
   ServiceImpl(std::shared_ptr<storage::ObjectStore> base_store, ServiceConfig config)
-      : cfg(std::move(config)),
-        base(std::move(base_store)),
-        plan_q(std::max<std::size_t>(cfg.max_inflight_checkpoints, 1) + 1),
-        commit_q(std::max<std::size_t>(cfg.max_inflight_checkpoints, 1) * 2 + 4) {
+      : cfg(std::move(config)), base(std::move(base_store)), exec(cfg.executor) {
     if (!base) throw std::invalid_argument("CheckpointService: null store");
     if (cfg.max_inflight_checkpoints == 0) {
       throw std::invalid_argument("CheckpointService: max_inflight_checkpoints == 0");
@@ -125,6 +123,7 @@ struct ServiceImpl {
     cfg.encode_threads = std::max<std::size_t>(cfg.encode_threads, 1);
     cfg.store_threads = std::max<std::size_t>(cfg.store_threads, 1);
     cfg.queue_capacity = std::max<std::size_t>(cfg.queue_capacity, 1);
+    cfg.scrub_workers = std::max<std::size_t>(cfg.scrub_workers, 1);
     if (cfg.put_attempts < 1) {
       throw std::invalid_argument("CheckpointService: put_attempts < 1");
     }
@@ -136,24 +135,32 @@ struct ServiceImpl {
     retry_policy.sleep = cfg.retry_sleep;
     store = std::make_shared<storage::RetryingStore>(accounting, retry_policy);
 
+    // The write plane's stages on the shared runtime. One pool serves all of
+    // them (plus the restore/scrub stages of whatever plane runs on this
+    // service); the pool is sized to the sum of the initial allotments
+    // unless cfg.executor.max_workers caps it lower. Plan and commit are
+    // pinned serial (per-job in-order commit, lock-free reorder state);
+    // encode/store start from the static knobs and the controller moves
+    // allotment between them, floor 1.
+    plan_stage = exec.OpenStage(pipeline::PinnedStage("plan"), [this] { return DrainPlan(); });
+    encode_stage = exec.OpenStage(pipeline::TunableStage("encode", cfg.encode_threads),
+                                  [this] { return DrainEncode(); });
+    store_stage = exec.OpenStage(pipeline::TunableStage("store", cfg.store_threads),
+                                 [this] { return DrainStore(); });
+    commit_stage =
+        exec.OpenStage(pipeline::PinnedStage("commit"), [this] { return DrainCommit(); });
+
     MaintenanceConfig mcfg;
     mcfg.evict_on_quota = cfg.evict_on_quota;
     mcfg.clock = cfg.maintenance_clock;
     mcfg.scrub = cfg.scrub;
+    mcfg.executor = &exec;
+    mcfg.scrub_workers = cfg.scrub_workers;
     maintenance = std::make_unique<MaintenanceManager>(accounting, store, mcfg);
     // Startup reconciliation: attribute the store's pre-existing lineages
     // before any stage worker runs, so stats() and the quota see reality
     // from the first submit on.
     if (cfg.reconcile_on_start) maintenance->ReconcileAll();
-
-    plan_thread = std::thread([this] { PlanLoop(); });
-    for (std::size_t i = 0; i < cfg.encode_threads; ++i) {
-      encode_threads.emplace_back([this] { EncodeLoop(); });
-    }
-    for (std::size_t i = 0; i < cfg.store_threads; ++i) {
-      store_threads.emplace_back([this] { StoreLoop(); });
-    }
-    commit_thread = std::thread([this] { CommitLoop(); });
   }
 
   ~ServiceImpl() { Shutdown(); }
@@ -166,25 +173,22 @@ struct ServiceImpl {
   }
 
   void Shutdown() {
-    WaitIdle();
+    // `stopping` goes up BEFORE the idle wait: a Submit that won admission
+    // already holds total_outstanding (so WaitIdle covers it and the stages
+    // stay open until it retires), and one that has not yet been admitted
+    // must fail loudly at the gate — never slip between idle and stage
+    // close, where its work would strand and its future never resolve.
     {
       std::lock_guard lock(mu_);
       if (stopping) return;  // idempotent
       stopping = true;
     }
     admit_cv_.notify_all();
-    plan_q.Close();
-    {
-      std::lock_guard lock(sched_mu_);
-      sched_stop = true;
-    }
-    encode_ready_.notify_all();
-    store_ready_.notify_all();
-    commit_q.Close();
-    plan_thread.join();
-    for (auto& t : encode_threads) t.join();
-    for (auto& t : store_threads) t.join();
-    commit_thread.join();
+    WaitIdle();
+    // Quiesce and unregister the write plane's stages. The maintenance
+    // plane's scrub stage closes in ~MaintenanceManager (destroyed before
+    // the executor, which is destroyed before the stores — member order).
+    exec.CloseStages({plan_stage, encode_stage, store_stage, commit_stage});
   }
 
   // ------------------------------------------------------------ admission --
@@ -241,7 +245,8 @@ struct ServiceImpl {
       std::lock_guard lock(mu_);
       ckpt->seq = job->next_seq++;
     }
-    plan_q.Push(PlanJob{std::move(ckpt)});
+    plan_lane.Push(PlanJob{std::move(ckpt)});
+    exec.Submit(plan_stage);
     return future;
   }
 
@@ -262,17 +267,17 @@ struct ServiceImpl {
   // Serves up to `weight` items of a job per round; a round ends when every
   // eligible job is out of credit, at which point all credits refill. For
   // the encode stage a job is eligible only while it has store budget left,
-  // so an encoder never produces bytes that would block on a full lane —
-  // a backlogged job throttles itself, never its neighbors.
-  JobState* PickWrr(bool encode_stage) {
+  // so an encoder never produces bytes that would pile up unboundedly — a
+  // backlogged job throttles itself, never its neighbors.
+  JobState* PickWrr(bool encode_stage_pick) {
     auto eligible = [&](JobState& j) {
-      if (encode_stage) {
+      if (encode_stage_pick) {
         return !j.encode_lane.empty() && j.store_budget_used < cfg.queue_capacity;
       }
       return !j.store_lane.empty();
     };
     if (lanes.empty()) return nullptr;
-    std::size_t& cursor = encode_stage ? encode_cursor : store_cursor;
+    std::size_t& cursor = encode_stage_pick ? encode_cursor : store_cursor;
     for (int pass = 0; pass < 2; ++pass) {
       bool any_eligible = false;
       for (std::size_t k = 0; k < lanes.size(); ++k) {
@@ -280,7 +285,7 @@ struct ServiceImpl {
         JobState& j = *lanes[idx];
         if (!eligible(j)) continue;
         any_eligible = true;
-        std::uint32_t& credit = encode_stage ? j.encode_credit : j.store_credit;
+        std::uint32_t& credit = encode_stage_pick ? j.encode_credit : j.store_credit;
         if (credit == 0) continue;
         --credit;
         cursor = credit == 0 ? (idx + 1) % lanes.size() : idx;
@@ -288,20 +293,19 @@ struct ServiceImpl {
       }
       if (!any_eligible) return nullptr;
       for (auto& j : lanes) {  // new round: refill every job's credit
-        (encode_stage ? j->encode_credit : j->store_credit) =
+        (encode_stage_pick ? j->encode_credit : j->store_credit) =
             std::max<std::uint32_t>(j->cfg.weight, 1);
       }
     }
     return nullptr;  // unreachable: the refilled pass always serves someone
   }
 
-  std::optional<EncodeJob> PopEncode() {
-    std::unique_lock lock(sched_mu_);
-    JobState* pick = nullptr;
-    encode_ready_.wait(lock, [&] {
-      pick = PickWrr(/*encode_stage=*/true);
-      return pick != nullptr || sched_stop;
-    });
+  // Non-blocking pops for the stage drains. An empty pick is fine: the
+  // executor unit is consumed, and whoever makes a job eligible again (a
+  // plan fan-out, or a store pop freeing encode budget) submits fresh units.
+  std::optional<EncodeJob> TryPopEncode() {
+    std::lock_guard lock(sched_mu_);
+    JobState* pick = PickWrr(/*encode_stage_pick=*/true);
     if (!pick) return std::nullopt;
     ++pick->store_budget_used;  // reserve the downstream slot up front
     EncodeJob job = std::move(pick->encode_lane.front());
@@ -309,18 +313,19 @@ struct ServiceImpl {
     return job;
   }
 
-  std::optional<StoreJob> PopStore() {
-    std::unique_lock lock(sched_mu_);
-    JobState* pick = nullptr;
-    store_ready_.wait(lock, [&] {
-      pick = PickWrr(/*encode_stage=*/false);
-      return pick != nullptr || sched_stop;
-    });
-    if (!pick) return std::nullopt;
-    StoreJob job = std::move(pick->store_lane.front());
-    pick->store_lane.pop_front();
-    --pick->store_budget_used;
-    encode_ready_.notify_all();
+  std::optional<StoreJob> TryPopStore() {
+    std::optional<StoreJob> job;
+    {
+      std::lock_guard lock(sched_mu_);
+      JobState* pick = PickWrr(/*encode_stage_pick=*/false);
+      if (!pick) return std::nullopt;
+      job = std::move(pick->store_lane.front());
+      pick->store_lane.pop_front();
+      --pick->store_budget_used;
+    }
+    // Freed one encoded-chunk budget slot: an encode unit that was consumed
+    // while its job was over budget becomes drainable again — kick.
+    exec.Submit(encode_stage);
     return job;
   }
 
@@ -329,7 +334,7 @@ struct ServiceImpl {
       std::lock_guard lock(sched_mu_);
       --job.store_budget_used;
     }
-    encode_ready_.notify_all();
+    exec.Submit(encode_stage);  // same kick as TryPopStore
   }
 
   // ------------------------------------------------------------ stages -----
@@ -353,107 +358,116 @@ struct ServiceImpl {
     }
   }
 
-  void PlanLoop() {
-    while (auto job = plan_q.Pop()) {
-      const std::shared_ptr<Inflight> ckpt = std::move(job->ckpt);
-      try {
-        const auto t0 = std::chrono::steady_clock::now();
-        ckpt->tasks =
-            pipeline::BuildChunkTasks(ckpt->snap, ckpt->req.plan, ckpt->req.writer.chunk_rows);
-        ckpt->manifest = pipeline::MakeManifestSkeleton(
-            ckpt->req.checkpoint_id, ckpt->req.plan, ckpt->snap, ckpt->req.writer.quant,
-            std::move(ckpt->req.reader_state), ckpt->tasks.size());
-        ckpt->manifest.timings.snapshot_us = ckpt->snapshot_us;
-        ckpt->plan_us = ElapsedUs(t0);
-        ckpt->remaining.store(ckpt->tasks.size(), std::memory_order_release);
-      } catch (...) {
-        ckpt->MarkFailed(std::current_exception());
-        commit_q.Push(CommitJob{ckpt});
-        continue;
+  void PushCommit(std::shared_ptr<Inflight> ckpt) {
+    commit_lane.Push(CommitJob{std::move(ckpt)});
+    exec.Submit(commit_stage);
+  }
+
+  bool DrainPlan() {
+    auto job = plan_lane.TryPop();
+    if (!job) return false;
+    const std::shared_ptr<Inflight> ckpt = std::move(job->ckpt);
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      ckpt->tasks =
+          pipeline::BuildChunkTasks(ckpt->snap, ckpt->req.plan, ckpt->req.writer.chunk_rows);
+      ckpt->manifest = pipeline::MakeManifestSkeleton(
+          ckpt->req.checkpoint_id, ckpt->req.plan, ckpt->snap, ckpt->req.writer.quant,
+          std::move(ckpt->req.reader_state), ckpt->tasks.size());
+      ckpt->manifest.timings.snapshot_us = ckpt->snapshot_us;
+      ckpt->plan_us = ElapsedUs(t0);
+      ckpt->remaining.store(ckpt->tasks.size(), std::memory_order_release);
+    } catch (...) {
+      ckpt->MarkFailed(std::current_exception());
+      PushCommit(ckpt);
+      return true;
+    }
+    if (ckpt->tasks.empty()) {
+      // Nothing dirty this interval: the checkpoint is dense blob +
+      // manifest, and trivially "all chunks stored".
+      if (cfg.release_slot_on_stored) ReleaseSlot(*ckpt);
+      PushCommit(ckpt);
+      return true;
+    }
+    const std::size_t n_tasks = ckpt->tasks.size();
+    {
+      // Lanes are unbounded descriptors (the heavy memory — snapshots and
+      // encoded bytes — is bounded by admission and the store budget), so
+      // one job's backlog never blocks planning for the others.
+      std::lock_guard lock(sched_mu_);
+      auto& lane = ckpt->job->encode_lane;
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < n_tasks; ++i) {
+        lane.push_back(EncodeJob{ckpt, i, now});
       }
-      if (ckpt->tasks.empty()) {
-        // Nothing dirty this interval: the checkpoint is dense blob +
-        // manifest, and trivially "all chunks stored".
-        if (cfg.release_slot_on_stored) ReleaseSlot(*ckpt);
-        commit_q.Push(CommitJob{ckpt});
-        continue;
-      }
+    }
+    exec.Submit(encode_stage, n_tasks);
+    return true;
+  }
+
+  bool DrainEncode() {
+    auto job = TryPopEncode();
+    if (!job) return false;
+    const std::shared_ptr<Inflight>& ckpt = job->ckpt;
+    ckpt->encode_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
+    if (ckpt->failed.load(std::memory_order_acquire)) {
+      ReleaseStoreBudget(*ckpt->job);
+      FinishChunk(ckpt);
+      return true;
+    }
+    try {
+      const ChunkTask& task = ckpt->tasks[job->index];
+      util::Rng rng = pipeline::ChunkRng(ckpt->req.writer.rng_seed, ckpt->req.checkpoint_id,
+                                         job->index);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto bytes = pipeline::EncodeChunkTask(task, ckpt->req.writer.quant, rng);
+      ckpt->encode_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+
+      storage::ChunkInfo info = pipeline::MakeChunkInfo(task, ckpt->req.writer.job,
+                                                        ckpt->req.checkpoint_id, bytes.size());
       {
-        // Lanes are unbounded descriptors (the heavy memory — snapshots and
-        // encoded bytes — is bounded by admission and the store budget), so
-        // one job's backlog never blocks planning for the others.
         std::lock_guard lock(sched_mu_);
-        auto& lane = ckpt->job->encode_lane;
-        const auto now = std::chrono::steady_clock::now();
-        for (std::size_t i = 0; i < ckpt->tasks.size(); ++i) {
-          lane.push_back(EncodeJob{ckpt, i, now});
-        }
+        ckpt->job->store_lane.push_back(StoreJob{ckpt, job->index, std::move(info),
+                                                 std::move(bytes),
+                                                 std::chrono::steady_clock::now()});
       }
-      encode_ready_.notify_all();
-    }
-  }
-
-  void EncodeLoop() {
-    while (auto job = PopEncode()) {
-      const std::shared_ptr<Inflight>& ckpt = job->ckpt;
-      ckpt->encode_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
-      if (ckpt->failed.load(std::memory_order_acquire)) {
-        ReleaseStoreBudget(*ckpt->job);
-        FinishChunk(ckpt);
-        continue;
-      }
-      try {
-        const ChunkTask& task = ckpt->tasks[job->index];
-        util::Rng rng = pipeline::ChunkRng(ckpt->req.writer.rng_seed, ckpt->req.checkpoint_id,
-                                           job->index);
-        const auto t0 = std::chrono::steady_clock::now();
-        auto bytes = pipeline::EncodeChunkTask(task, ckpt->req.writer.quant, rng);
-        ckpt->encode_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
-
-        storage::ChunkInfo info = pipeline::MakeChunkInfo(task, ckpt->req.writer.job,
-                                                          ckpt->req.checkpoint_id, bytes.size());
-        {
-          std::lock_guard lock(sched_mu_);
-          ckpt->job->store_lane.push_back(StoreJob{ckpt, job->index, std::move(info),
-                                                   std::move(bytes),
-                                                   std::chrono::steady_clock::now()});
-        }
-        store_ready_.notify_one();
-      } catch (...) {
-        ckpt->MarkFailed(std::current_exception());
-        ReleaseStoreBudget(*ckpt->job);
-        FinishChunk(ckpt);
-      }
-    }
-  }
-
-  void StoreLoop() {
-    while (auto job = PopStore()) {
-      const std::shared_ptr<Inflight>& ckpt = job->ckpt;
-      ckpt->store_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
-      if (!ckpt->failed.load(std::memory_order_acquire)) {
-        try {
-          const auto t0 = std::chrono::steady_clock::now();
-          if (cfg.evict_on_quota && cfg.shared_quota_bytes > 0) {
-            // The payload must survive a quota rejection for the
-            // post-eviction retry, so each attempt donates a copy. With no
-            // quota configured, QuotaExceeded is impossible and the move
-            // path below avoids the copy.
-            WithQuotaEviction(ckpt->req.writer.job, job->bytes.size(), [&] {
-              store->Put(job->info.key, std::vector<std::uint8_t>(job->bytes));
-            });
-          } else {
-            store->Put(job->info.key, std::move(job->bytes));
-          }
-          ckpt->store_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
-          // Chunk slots are disjoint per job index, so no lock is needed.
-          ckpt->manifest.chunks[job->index] = std::move(job->info);
-        } catch (...) {
-          ckpt->MarkFailed(std::current_exception());
-        }
-      }
+      exec.Submit(store_stage);
+    } catch (...) {
+      ckpt->MarkFailed(std::current_exception());
+      ReleaseStoreBudget(*ckpt->job);
       FinishChunk(ckpt);
     }
+    return true;
+  }
+
+  bool DrainStore() {
+    auto job = TryPopStore();
+    if (!job) return false;
+    const std::shared_ptr<Inflight>& ckpt = job->ckpt;
+    ckpt->store_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
+    if (!ckpt->failed.load(std::memory_order_acquire)) {
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (cfg.evict_on_quota && cfg.shared_quota_bytes > 0) {
+          // The payload must survive a quota rejection for the
+          // post-eviction retry, so each attempt donates a copy. With no
+          // quota configured, QuotaExceeded is impossible and the move
+          // path below avoids the copy.
+          WithQuotaEviction(ckpt->req.writer.job, job->bytes.size(), [&] {
+            store->Put(job->info.key, std::vector<std::uint8_t>(job->bytes));
+          });
+        } else {
+          store->Put(job->info.key, std::move(job->bytes));
+        }
+        ckpt->store_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
+        // Chunk slots are disjoint per job index, so no lock is needed.
+        ckpt->manifest.chunks[job->index] = std::move(job->info);
+      } catch (...) {
+        ckpt->MarkFailed(std::current_exception());
+      }
+    }
+    FinishChunk(ckpt);
+    return true;
   }
 
   void FinishChunk(const std::shared_ptr<Inflight>& ckpt) {
@@ -465,30 +479,32 @@ struct ServiceImpl {
       if (cfg.release_slot_on_stored && !ckpt->failed.load(std::memory_order_acquire)) {
         ReleaseSlot(*ckpt);
       }
-      commit_q.Push(CommitJob{ckpt});
+      PushCommit(ckpt);
     }
   }
 
-  void CommitLoop() {
+  bool DrainCommit() {
     // Commits are applied strictly in per-job submission (seq) order: an
     // incremental checkpoint must never be published before its parent's
     // fate is known. Jobs reorder independently — a slow checkpoint of one
-    // job never delays another job's commit.
-    while (auto job = commit_q.Pop()) {
-      // Pin the job state: the moment CommitOne retires the last
-      // outstanding checkpoint, a draining ~JobHandle may unregister and
-      // release the JobState — the loop bookkeeping below must not outlive
-      // the pin.
-      const std::shared_ptr<JobState> state = job->ckpt->job;
-      state->reorder.emplace(job->ckpt->seq, std::move(job->ckpt));
-      while (!state->reorder.empty() &&
-             state->reorder.begin()->first == state->next_commit) {
-        auto ckpt = std::move(state->reorder.begin()->second);
-        state->reorder.erase(state->reorder.begin());
-        CommitOne(ckpt);
-        ++state->next_commit;
-      }
+    // job never delays another job's commit. The commit stage is serial on
+    // the executor, so the reorder state needs no lock.
+    auto job = commit_lane.TryPop();
+    if (!job) return false;
+    // Pin the job state: the moment CommitOne retires the last
+    // outstanding checkpoint, a draining ~JobHandle may unregister and
+    // release the JobState — the loop bookkeeping below must not outlive
+    // the pin.
+    const std::shared_ptr<JobState> state = job->ckpt->job;
+    state->reorder.emplace(job->ckpt->seq, std::move(job->ckpt));
+    while (!state->reorder.empty() &&
+           state->reorder.begin()->first == state->next_commit) {
+      auto ckpt = std::move(state->reorder.begin()->second);
+      state->reorder.erase(state->reorder.begin());
+      CommitOne(ckpt);
+      ++state->next_commit;
     }
+    return true;
   }
 
   void NotifyPolicyCheckpointFailed(JobState& job) {
@@ -576,7 +592,7 @@ struct ServiceImpl {
 
       // The inflight record is done with the manifest once committed; moving
       // it avoids copying ~chunk-count key strings on the (serial) commit
-      // thread.
+      // stage.
       result.manifest = std::move(ckpt->manifest);
       result.bytes_written = result.manifest.TotalBytes() + commit.manifest_bytes;
       for (const auto& c : result.manifest.chunks) result.rows_written += c.num_rows;
@@ -602,10 +618,17 @@ struct ServiceImpl {
       if (ckpt->req.post_commit) ckpt->req.post_commit();
     } catch (...) {
       NotifyPolicyCheckpointFailed(job);
+      // The manifest DID publish (and post_commit may have GC'd): the
+      // eviction survey is stale either way.
+      maintenance->NoteStoreMutation();
       Retire(ckpt, nullptr, std::current_exception());
       return;
     }
 
+    // A published manifest re-draws the live/stale line (a new full strands
+    // the whole previous chain), and post_commit GC deletes — either way the
+    // maintenance plane's cached eviction survey is stale now.
+    maintenance->NoteStoreMutation();
     Retire(ckpt, &result, nullptr);
   }
 
@@ -615,9 +638,17 @@ struct ServiceImpl {
   std::shared_ptr<storage::ObjectStore> base;
   std::shared_ptr<storage::AccountingStore> accounting;
   std::shared_ptr<storage::RetryingStore> store;
-  // Declared after the stores: destroyed first, so the background scrub
-  // thread is joined while its store is still alive.
+  // The shared stage runtime. Declared after the stores (its drains write
+  // through them) and before the maintenance plane (whose scrub stage must
+  // close while the executor is alive): destruction runs maintenance →
+  // executor → stores.
+  StageExecutor exec;
   std::unique_ptr<MaintenanceManager> maintenance;
+
+  StageExecutor::StageId plan_stage = 0;
+  StageExecutor::StageId encode_stage = 0;
+  StageExecutor::StageId store_stage = 0;
+  StageExecutor::StageId commit_stage = 0;
 
   mutable std::mutex mu_;  // admission, outstanding counts, job registry, stats
   std::condition_variable admit_cv_;
@@ -627,20 +658,12 @@ struct ServiceImpl {
   std::vector<std::shared_ptr<JobState>> all_jobs;
 
   std::mutex sched_mu_;  // lanes, budgets, credits, cursors
-  std::condition_variable encode_ready_;
-  std::condition_variable store_ready_;
-  bool sched_stop = false;
   std::size_t encode_cursor = 0;
   std::size_t store_cursor = 0;
   std::vector<std::shared_ptr<JobState>> lanes;
 
-  BoundedQueue<PlanJob> plan_q;
-  BoundedQueue<CommitJob> commit_q;
-
-  std::thread plan_thread;
-  std::vector<std::thread> encode_threads;
-  std::vector<std::thread> store_threads;
-  std::thread commit_thread;
+  StageLane<PlanJob> plan_lane;
+  StageLane<CommitJob> commit_lane;
 };
 
 }  // namespace detail
@@ -735,6 +758,12 @@ JobStats JobHandle::stats() const {
     std::lock_guard lock(impl_->mu_);
     stats = job_->stats;
     stats.inflight = job_->outstanding;
+  }
+  {
+    // sched_mu_ and mu_ never nest; taken in sequence.
+    std::lock_guard lock(impl_->sched_mu_);
+    stats.queued_encode_chunks = job_->encode_lane.size();
+    stats.queued_store_chunks = job_->store_lane.size();
   }
   stats.store_bytes = impl_->accounting->Usage(job_->cfg.name).bytes;
   const auto maintenance = impl_->maintenance->job_stats(job_->cfg.name);
@@ -851,8 +880,18 @@ void CheckpointService::DrainAll() { impl_->WaitIdle(); }
 ServiceStats CheckpointService::stats() const {
   ServiceStats stats;
   stats.quota_bytes = impl_->cfg.shared_quota_bytes;
+  stats.executor = impl_->exec.snapshot();
   const auto usage = impl_->accounting->UsageByJob();
   const auto maintenance = impl_->maintenance->stats_by_job();
+  // Per-job stage-runtime backlog, collected before mu_ (sched_mu_ and mu_
+  // never nest).
+  std::map<std::string, std::pair<std::size_t, std::size_t>> queued;
+  {
+    std::lock_guard lock(impl_->sched_mu_);
+    for (const auto& job : impl_->lanes) {
+      queued[job->cfg.name] = {job->encode_lane.size(), job->store_lane.size()};
+    }
+  }
   {
     std::lock_guard lock(impl_->mu_);
     stats.inflight = impl_->total_outstanding;
@@ -862,6 +901,11 @@ ServiceStats CheckpointService::stats() const {
       js.inflight = job->outstanding;
       const auto it = usage.find(job->cfg.name);
       if (it != usage.end()) js.store_bytes = it->second.bytes;
+      const auto qit = queued.find(job->cfg.name);
+      if (qit != queued.end()) {
+        js.queued_encode_chunks = qit->second.first;
+        js.queued_store_chunks = qit->second.second;
+      }
       stats.jobs[job->cfg.name] = js;
     }
   }
@@ -902,6 +946,8 @@ const storage::AccountingStore& CheckpointService::accounting() const {
 }
 
 MaintenanceManager& CheckpointService::maintenance() { return *impl_->maintenance; }
+
+pipeline::StageExecutor& CheckpointService::executor() { return impl_->exec; }
 
 GcReport CheckpointService::Gc(const GcOptions& options) {
   return impl_->maintenance->Gc(options);

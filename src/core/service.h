@@ -6,7 +6,16 @@
 // job-agnostic service owns every expensive resource exactly once:
 //
 //   CheckpointService (one per process / storage tier)
-//   ├── stage workers      Plan (1) · Encode (N) · Store (M) · Commit (1)
+//   ├── stage runtime      pipeline::StageExecutor — ONE worker pool for
+//   │                      every plane's stages: write Plan/Encode/Store/
+//   │                      Commit here, restore Fetch/Decode/Apply and the
+//   │                      parallel scrub when those planes run on the
+//   │                      service. With ExecutorConfig::auto_tune (default
+//   │                      on) a feedback controller re-sizes per-stage
+//   │                      worker allotments toward the bottleneck stage;
+//   │                      encode_threads/store_threads are the static
+//   │                      starting allotments (and the exact static fleet
+//   │                      when auto_tune is off). See docs/TUNING.md.
 //   ├── chunk scheduler    weighted round-robin across jobs, per-job
 //   │                      encoded-chunk budget (queue_capacity)
 //   ├── admission gate     service-wide max_inflight_checkpoints plus a
@@ -58,6 +67,7 @@
 #include <vector>
 
 #include "core/maintenance.h"
+#include "core/pipeline/executor.h"
 #include "core/policy.h"
 #include "core/snapshot.h"
 #include "core/tracking.h"
@@ -102,8 +112,17 @@ struct CheckpointRequest {
 };
 
 struct ServiceConfig {
+  // Starting worker allotments of the encode and store stages on the shared
+  // stage runtime. With executor.auto_tune (default on) the controller
+  // re-sizes them from the observed stage walls within the same core budget;
+  // with auto_tune off these are exactly the static per-stage fleets the
+  // knobs always provisioned.
   std::size_t encode_threads = 2;
   std::size_t store_threads = 2;
+  // The shared stage runtime: worker budget, auto-tuning, controller tick
+  // source (pipeline::ExecutorConfig; set tune_clock to a SimClock for
+  // deterministic controller tests).
+  pipeline::ExecutorConfig executor;
   // Per-job budget of encoded-but-unstored chunks. The bound is what
   // propagates store backpressure to that job's encoders without letting the
   // job block anyone else's.
@@ -142,8 +161,12 @@ struct ServiceConfig {
   // Simulated clock driving JobConfig::scrub_interval schedules; nullptr
   // disables background self-scrub. Must outlive the service.
   util::SimClock* maintenance_clock = nullptr;
-  // Fan-out of each background scrub run.
+  // Fan-out of each background scrub run (runs on the service's executor).
   pipeline::ScrubConfig scrub;
+  // Concurrency cap of the background scrub stage: how many jobs' scheduled
+  // scrubs may run at once, so one huge chain cannot delay every other job's
+  // cadence.
+  std::size_t scrub_workers = 1;
 };
 
 struct JobConfig {
@@ -204,6 +227,11 @@ struct JobStats {
   std::uint64_t rows_written = 0;
   std::size_t inflight = 0;         // submitted - committed - failed
   std::uint64_t store_bytes = 0;    // occupancy (accounting view, reconciled)
+  // This job's backlog inside the stage runtime right now: chunks waiting
+  // for an encode worker / for the store link. What the executor's feedback
+  // controller watches, surfaced per job for operators.
+  std::size_t queued_encode_chunks = 0;
+  std::size_t queued_store_chunks = 0;
   // Maintenance-plane counters (MaintenanceManager).
   std::uint64_t scrubs_run = 0;
   std::uint64_t scrub_issues = 0;        // cumulative across scrubs
@@ -214,6 +242,10 @@ struct ServiceStats {
   std::size_t inflight = 0;        // across all jobs
   std::uint64_t store_bytes = 0;   // tracked occupancy across all jobs
   std::uint64_t quota_bytes = 0;   // 0 = unlimited
+  // The stage runtime's live view: per-stage worker allotment, occupancy,
+  // backlog — what the feedback controller decided (cnr_inspect's restore
+  // drill prints the restore-plane equivalent).
+  pipeline::ExecutorSnapshot executor;
   // Jobs with an open handle, plus store-resident jobs the maintenance plane
   // knows about (reconciled occupancy with no open handle — a restarted
   // service reports them truthfully before anyone re-attaches).
@@ -324,6 +356,11 @@ class CheckpointService {
   // (core/maintenance.h). Owned by the service; also reachable here for
   // on-demand scrubs and stats.
   MaintenanceManager& maintenance();
+
+  // The shared stage runtime. Pass it as RestoreConfig::executor /
+  // ScrubConfig::executor to run those planes on the service's worker pool
+  // under the same feedback controller.
+  pipeline::StageExecutor& executor();
 
   // Explicit GC with dry-run reporting, over this service's storage view —
   // deletes are seen by the accounting layer, so occupancy stays truthful.

@@ -1,0 +1,414 @@
+// StageExecutor (core/pipeline/executor.h): the unified adaptive stage
+// runtime. Covers the executor's own contract (unit accounting, caller
+// participation, close-drains-backlog), deterministic controller convergence
+// on SimClock ticks, the service-level auto-tune win on a skewed store (the
+// Check-N-Run scenario: a slow storage link should pull workers away from
+// encode), and the no-regression guarantee that auto_tune=false reproduces
+// the static per-stage fleets exactly. Runs in the TSan CI job.
+#include "core/pipeline/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline/restore.h"
+#include "core/service.h"
+#include "storage/latency_store.h"
+#include "storage/object_store.h"
+#include "util/sim_clock.h"
+
+namespace cnr::core {
+namespace {
+
+using namespace std::chrono_literals;
+using pipeline::ExecutorConfig;
+using pipeline::ExecutorSnapshot;
+using pipeline::StageExecutor;
+using pipeline::StageLane;
+using pipeline::StageOptions;
+using pipeline::StageSnapshot;
+
+const StageSnapshot* FindStage(const ExecutorSnapshot& snap, const std::string& name) {
+  for (const auto& s : snap.stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+StageOptions Opts(const char* name, std::size_t initial, std::size_t min_workers,
+                  std::size_t max_workers) {
+  StageOptions o;
+  o.name = name;
+  o.initial_workers = initial;
+  o.min_workers = min_workers;
+  o.max_workers = max_workers;
+  return o;
+}
+
+// ----------------------------------------------------------- executor core --
+
+TEST(StageExecutor, DrainsAnnouncedUnitsAndCountsThem) {
+  StageExecutor exec(ExecutorConfig{.auto_tune = false});
+  StageLane<int> lane;
+  std::atomic<int> sum{0};
+  const auto id = exec.OpenStage(Opts("adder", 2, 1, 2), [&]() -> bool {
+    auto item = lane.TryPop();
+    if (!item) return false;
+    sum.fetch_add(*item, std::memory_order_relaxed);
+    return true;
+  });
+  for (int i = 1; i <= 100; ++i) lane.Push(i);
+  exec.Submit(id, 100);
+  exec.CloseStage(id);  // quiesces: every unit drained before it returns
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_TRUE(exec.snapshot().stages.empty()) << "closed stages leave the snapshot";
+  // The pool shrinks with the allotment sum — asynchronously (workers
+  // retire when they next wake), so poll.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (exec.workers() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(exec.workers(), 0u) << "the pool shrinks with the allotment sum";
+}
+
+TEST(StageExecutor, SerialStageNeverRunsConcurrently) {
+  StageExecutor exec(ExecutorConfig{.auto_tune = false});
+  StageLane<int> lane;
+  std::atomic<int> active{0};
+  std::atomic<bool> overlapped{false};
+  std::atomic<int> drained{0};
+  const auto id = exec.OpenStage(Opts("serial", 1, 1, 1), [&]() -> bool {
+    auto item = lane.TryPop();
+    if (!item) return false;
+    if (active.fetch_add(1) != 0) overlapped.store(true);
+    std::this_thread::sleep_for(100us);
+    active.fetch_sub(1);
+    drained.fetch_add(1);
+    return true;
+  });
+  // A second stage forces a second pool worker into existence, so overlap
+  // WOULD happen if the allotment cap were broken.
+  StageLane<int> other_lane;
+  const auto other = exec.OpenStage(Opts("other", 2, 1, 2), [&]() -> bool {
+    return other_lane.TryPop().has_value();
+  });
+  for (int i = 0; i < 32; ++i) lane.Push(i);
+  exec.Submit(id, 32);
+  exec.CloseStages({id, other});
+  EXPECT_EQ(drained.load(), 32);
+  EXPECT_FALSE(overlapped.load()) << "max_workers == 1 stage ran concurrently";
+}
+
+TEST(StageExecutor, HelpUntilMakesProgressWithBusyPool) {
+  // One pool worker, parked in a long-running drain of a blocker stage; the
+  // caller's HelpUntil must drain its own stage anyway (caller participation
+  // is what lets a scrub task run inner stages on the same executor).
+  StageExecutor exec(ExecutorConfig{.auto_tune = false, .max_workers = 1});
+  std::atomic<bool> release{false};
+  StageLane<int> blocker_lane;
+  const auto blocker = exec.OpenStage(Opts("blocker", 1, 1, 1), [&]() -> bool {
+    auto item = blocker_lane.TryPop();
+    if (!item) return false;
+    while (!release.load()) std::this_thread::sleep_for(50us);
+    return true;
+  });
+  blocker_lane.Push(0);
+  exec.Submit(blocker);
+  std::this_thread::sleep_for(1ms);  // let the only worker park in it
+
+  StageLane<int> lane;
+  std::atomic<int> done{0};
+  const auto mine = exec.OpenStage(Opts("mine", 1, 1, 1), [&]() -> bool {
+    auto item = lane.TryPop();
+    if (!item) return false;
+    done.fetch_add(1);
+    return true;
+  });
+  for (int i = 0; i < 8; ++i) lane.Push(i);
+  exec.Submit(mine, 8);
+  exec.HelpUntil([&] { return done.load() == 8; }, {mine});
+  EXPECT_EQ(done.load(), 8);
+  release.store(true);
+  exec.CloseStages({blocker, mine});
+}
+
+// ------------------------------------------------- controller (unit level) --
+
+TEST(StageExecutor, ControllerMovesAllotmentFromIdleToBacklogged) {
+  // Deterministic convergence: ticks come from explicit SimClock advances.
+  // "slow" holds a deep backlog; "fast" has nothing — each tick must move
+  // exactly one worker of allotment fast → slow until fast hits its floor.
+  util::SimClock clock;
+  ExecutorConfig cfg;
+  cfg.auto_tune = true;
+  cfg.tune_clock = &clock;
+  StageExecutor exec(cfg);
+
+  StageLane<int> slow_lane;
+  const auto slow = exec.OpenStage(Opts("slow", 2, 1, 0), [&]() -> bool {
+    auto item = slow_lane.TryPop();
+    if (!item) return false;
+    std::this_thread::sleep_for(100us);
+    return true;
+  });
+  StageLane<int> fast_lane;
+  const auto fast = exec.OpenStage(Opts("fast", 4, 1, 0), [&]() -> bool {
+    return fast_lane.TryPop().has_value();
+  });
+
+  constexpr int kUnits = 2000;
+  for (int i = 0; i < kUnits; ++i) slow_lane.Push(i);
+  exec.Submit(slow, kUnits);
+
+  int ticks = 0;
+  for (; ticks < 50; ++ticks) {
+    clock.Advance(util::kMillisecond);  // = one controller tick
+    const auto snap = exec.snapshot();
+    const auto* s = FindStage(snap, "slow");
+    const auto* f = FindStage(snap, "fast");
+    ASSERT_NE(s, nullptr);
+    ASSERT_NE(f, nullptr);
+    if (s->allotted == 5 && f->allotted == 1) break;
+    std::this_thread::sleep_for(100us);
+  }
+  EXPECT_LT(ticks, 50) << "controller never converged to slow=5/fast=1";
+  EXPECT_GT(exec.snapshot().rebalances, 0u);
+  exec.CloseStages({slow, fast});
+}
+
+// --------------------------------------------- service-level configuration --
+
+ModelSnapshot MakeSnapshot(std::size_t rows) {
+  ModelSnapshot snap;
+  snap.batches_trained = 10;
+  snap.samples_trained = 320;
+  snap.shards.resize(1);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    ShardSnapshot shard;
+    shard.table_id = 0;
+    shard.shard_id = s;
+    shard.num_rows = rows;
+    shard.dim = 4;
+    shard.weights.resize(shard.num_rows * shard.dim);
+    shard.adagrad.resize(shard.num_rows);
+    for (std::size_t i = 0; i < shard.weights.size(); ++i) {
+      shard.weights[i] = 0.01f * static_cast<float>(i + s);
+    }
+    for (std::size_t i = 0; i < shard.adagrad.size(); ++i) {
+      shard.adagrad[i] = 1.0f + static_cast<float>(i);
+    }
+    snap.shards[0].push_back(std::move(shard));
+  }
+  snap.dense_blob = {1, 2, 3, 4, 5, 6, 7, 8};
+  return snap;
+}
+
+CheckpointRequest MakeRequest(const std::string& job, std::uint64_t id, std::size_t rows) {
+  CheckpointRequest req;
+  req.checkpoint_id = id;
+  req.writer.job = job;
+  req.writer.chunk_rows = 16;
+  req.writer.quant.method = quant::Method::kNone;
+  req.plan.kind = storage::CheckpointKind::kFull;
+  req.snapshot_fn = [rows] { return MakeSnapshot(rows); };
+  return req;
+}
+
+JobConfig RawJob(const std::string& name) {
+  JobConfig job;
+  job.name = name;
+  job.max_inflight_checkpoints = 4;
+  job.gc = false;
+  return job;
+}
+
+// Runs `checkpoints` raw full checkpoints (32 chunks each) through a service
+// over a store whose Put sleeps — the skewed-store workload. Returns the
+// wall time; `ticker` (optional) advances the controller's SimClock while
+// checkpoints are in flight.
+std::chrono::microseconds RunSkewedWorkload(CheckpointService& service, int checkpoints,
+                                            util::SimClock* tick_clock,
+                                            int* ticks_to_shift) {
+  auto handle = service.OpenJob(RawJob("skewed"));
+  std::atomic<bool> done{false};
+  std::thread ticker;
+  if (tick_clock != nullptr) {
+    ticker = std::thread([&] {
+      int ticks = 0;
+      while (!done.load()) {
+        tick_clock->Advance(util::kMillisecond);
+        ++ticks;
+        if (ticks_to_shift != nullptr && *ticks_to_shift < 0) {
+          const auto snap = service.stats().executor;
+          const auto* enc = FindStage(snap, "encode");
+          const auto* st = FindStage(snap, "store");
+          if (enc != nullptr && st != nullptr && st->allotted > enc->allotted) {
+            *ticks_to_shift = ticks;
+          }
+        }
+        std::this_thread::sleep_for(200us);
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<WriteResult>> futures;
+  for (int i = 1; i <= checkpoints; ++i) {
+    futures.push_back(handle->SubmitRaw(MakeRequest("skewed", i, /*rows=*/256)));
+  }
+  for (auto& f : futures) f.get();
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  done.store(true);
+  if (ticker.joinable()) ticker.join();
+  return wall;
+}
+
+ServiceConfig SkewedService(bool auto_tune, util::SimClock* tune_clock) {
+  ServiceConfig cfg;
+  cfg.encode_threads = 2;
+  cfg.store_threads = 2;
+  cfg.queue_capacity = 32;
+  cfg.max_inflight_checkpoints = 4;
+  cfg.put_attempts = 1;
+  cfg.reconcile_on_start = false;
+  cfg.executor.auto_tune = auto_tune;
+  cfg.executor.tune_clock = tune_clock;
+  return cfg;
+}
+
+TEST(StageExecutorService, AutoTuneShiftsWorkersToSlowStoreAndBeatsEvenSplit) {
+  // The Check-N-Run scenario: the storage link is the bottleneck (every Put
+  // sleeps 500us; encode is ~free). The controller must shift encode's
+  // workers to the store stage within a bounded number of SimClock ticks,
+  // and the tuned run must beat the even-split static run wall-clock.
+  const auto make_store = [] {
+    return std::make_shared<storage::LatencyInjectedStore>(
+        std::make_shared<storage::InMemoryStore>(), /*get_latency=*/0us,
+        /*put_latency=*/500us);
+  };
+
+  util::SimClock clock;
+  int ticks_to_shift = -1;
+  std::chrono::microseconds adaptive_wall{0};
+  {
+    CheckpointService service(make_store(), SkewedService(true, &clock));
+    adaptive_wall = RunSkewedWorkload(service, /*checkpoints=*/12, &clock, &ticks_to_shift);
+    const auto snap = service.stats().executor;
+    const auto* enc = FindStage(snap, "encode");
+    const auto* st = FindStage(snap, "store");
+    ASSERT_NE(enc, nullptr);
+    ASSERT_NE(st, nullptr);
+    EXPECT_GT(st->allotted, enc->allotted)
+        << "a 10x-slower store must end with more workers than encode";
+    EXPECT_GT(snap.rebalances, 0u);
+  }
+  EXPECT_GE(ticks_to_shift, 0) << "the shift never happened while ticking";
+  EXPECT_LE(ticks_to_shift, 400) << "controller took too many ticks to react";
+
+  std::chrono::microseconds static_wall{0};
+  {
+    CheckpointService service(make_store(), SkewedService(false, nullptr));
+    static_wall = RunSkewedWorkload(service, /*checkpoints=*/12, nullptr, nullptr);
+  }
+  EXPECT_LT(adaptive_wall.count(), static_wall.count())
+      << "adaptive " << adaptive_wall.count() << "us vs even-split static "
+      << static_wall.count() << "us";
+}
+
+TEST(StageExecutorService, StaticModePinsTheConfiguredFleetsExactly) {
+  // auto_tune=false is the no-regression mode: the executor must provision
+  // exactly the static per-stage fleets the knobs name, never rebalance,
+  // and produce a restorable checkpoint — today's behavior, preserved.
+  auto store = std::make_shared<storage::InMemoryStore>();
+  ServiceConfig cfg;
+  cfg.encode_threads = 3;
+  cfg.store_threads = 2;
+  cfg.executor.auto_tune = false;
+  CheckpointService service(store, cfg);
+
+  auto handle = service.OpenJob(RawJob("static"));
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    handle->SubmitRaw(MakeRequest("static", id, /*rows=*/64)).get();
+  }
+  handle->Drain();
+
+  const auto snap = service.stats().executor;
+  EXPECT_FALSE(snap.auto_tune);
+  EXPECT_EQ(snap.rebalances, 0u);
+  ASSERT_EQ(snap.stages.size(), 4u);  // plan, encode, store, commit (no scrub: no clock)
+  const auto* plan = FindStage(snap, "plan");
+  const auto* enc = FindStage(snap, "encode");
+  const auto* st = FindStage(snap, "store");
+  const auto* commit = FindStage(snap, "commit");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_NE(enc, nullptr);
+  ASSERT_NE(st, nullptr);
+  ASSERT_NE(commit, nullptr);
+  EXPECT_EQ(plan->allotted, 1u);
+  EXPECT_EQ(enc->allotted, 3u);
+  EXPECT_EQ(st->allotted, 2u);
+  EXPECT_EQ(commit->allotted, 1u);
+  // Pool = the sum of the static fleets: 1 + 3 + 2 + 1.
+  EXPECT_EQ(snap.workers, 7u);
+
+  // The written chain is restorable (the scrub is the cheapest full
+  // read-path cross-check).
+  const auto report = pipeline::ScrubChain(*store, "static", 3);
+  EXPECT_TRUE(report.clean());
+}
+
+// --------------------------------------------------- restore-plane sizing --
+
+TEST(StageExecutorService, RestoreRunsOnServiceExecutorWithAutoFanOut) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  ServiceConfig cfg;
+  cfg.reconcile_on_start = false;
+  CheckpointService service(store, cfg);
+  auto handle = service.OpenJob(RawJob("job"));
+  handle->SubmitRaw(MakeRequest("job", 1, /*rows=*/128)).get();
+  handle->Drain();
+
+  struct CountingApplier : pipeline::ChunkApplier {
+    std::uint64_t rows = 0;
+    bool dense = false;
+    void ApplyChunk(const pipeline::DecodedChunk& chunk) override { rows += chunk.num_rows; }
+    void ApplyDense(std::span<const std::uint8_t> blob) override { dense = !blob.empty(); }
+  } applier;
+
+  pipeline::RestoreConfig rcfg;  // fetch/decode = 0 = auto-sized
+  rcfg.executor = &service.executor();
+  const auto out = pipeline::RunRestorePipeline(*store, "job", 1, applier, rcfg);
+  EXPECT_EQ(out.rows_applied, 256u);  // 2 shards x 128 rows
+  EXPECT_TRUE(applier.dense);
+
+  // The captured runtime view is THIS restore's stages only (auto-sized
+  // ≥ 1 worker each) — never a sibling plane's allotments reported as the
+  // restore's own.
+  ASSERT_EQ(out.stages.stages.size(), 3u);
+  const auto* fetch = FindStage(out.stages, "restore-fetch");
+  const auto* decode = FindStage(out.stages, "restore-decode");
+  const auto* apply = FindStage(out.stages, "restore-apply");
+  ASSERT_NE(fetch, nullptr);
+  ASSERT_NE(decode, nullptr);
+  ASSERT_NE(apply, nullptr);
+  EXPECT_GE(fetch->allotted, 2u);  // AutoFanOut floor for fetch
+  EXPECT_GE(decode->allotted, 1u);
+  EXPECT_EQ(apply->allotted, 1u);
+  EXPECT_EQ(FindStage(out.stages, "encode"), nullptr)
+      << "a plane's own snapshot must not include sibling stages";
+  // The shared pool is still visible in the global counters.
+  EXPECT_GE(out.stages.workers, 4u);
+
+  // After the run the service snapshot is back to the write plane only.
+  const auto svc_snap = service.stats().executor;
+  EXPECT_EQ(FindStage(svc_snap, "restore-fetch"), nullptr);
+  EXPECT_NE(FindStage(svc_snap, "encode"), nullptr);
+}
+
+}  // namespace
+}  // namespace cnr::core

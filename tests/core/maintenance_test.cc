@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -77,6 +78,36 @@ ServiceConfig SmallService() {
   cfg.max_inflight_checkpoints = 4;
   return cfg;
 }
+
+// Store decorator counting List calls: the probe for "how many times did
+// maintenance re-survey the tier" (the eviction survey sits on a store
+// worker's critical path and must be cached between quota trips).
+class ListCountingStore : public storage::ObjectStore {
+ public:
+  explicit ListCountingStore(std::shared_ptr<storage::ObjectStore> inner)
+      : inner_(std::move(inner)) {}
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    inner_->Put(key, std::move(data));
+  }
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
+    return inner_->Get(key);
+  }
+  bool Exists(const std::string& key) override { return inner_->Exists(key); }
+  bool Delete(const std::string& key) override { return inner_->Delete(key); }
+  std::vector<std::string> List(const std::string& prefix) override {
+    list_calls_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->List(prefix);
+  }
+  std::uint64_t TotalBytes() override { return inner_->TotalBytes(); }
+  storage::StoreStats Stats() override { return inner_->Stats(); }
+
+  std::uint64_t list_calls() const { return list_calls_.load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<storage::ObjectStore> inner_;
+  std::atomic<std::uint64_t> list_calls_{0};
+};
 
 // Writes `fulls` full checkpoints for `job` (each starting a lineage; with
 // gc off all of them stay in the store).
@@ -412,6 +443,51 @@ TEST(Maintenance, SimClockScheduleFiresBackgroundScrubs) {
   const auto report = service.maintenance().ScrubJobNow("scheduled");
   EXPECT_FALSE(report.clean());
   EXPECT_EQ(handle->stats().scrubs_run, 4u);
+}
+
+// --------------------------------------------------------- eviction cache ---
+
+TEST(Maintenance, EvictionSurveyIsCachedBetweenQuotaTrips) {
+  auto store =
+      std::make_shared<ListCountingStore>(std::make_shared<storage::InMemoryStore>());
+  CheckpointService service(store, SmallService());
+  PopulateJob(service, "a", /*fulls=*/3);  // stale: a/1, a/2
+  PopulateJob(service, "b", /*fulls=*/3);  // stale: b/1, b/2
+  auto& maintenance = service.maintenance();
+
+  // First quota trip surveys the tier (ListStoreJobs + one List per job)
+  // and evicts the first candidate.
+  const auto lists0 = store->list_calls();
+  EXPECT_GT(maintenance.EvictForQuota(1, "t"), 0u);
+  const auto lists1 = store->list_calls();
+  EXPECT_GT(lists1 - lists0, 1u) << "first trip must survey";
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("a", 1)));
+
+  // A burst: the second trip consumes the cached survey. The only List it
+  // may issue is the evicted checkpoint's own prefix enumeration (the
+  // delete) — never a re-survey of the tier.
+  EXPECT_GT(maintenance.EvictForQuota(1, "t"), 0u);
+  const auto lists2 = store->list_calls();
+  EXPECT_EQ(lists2 - lists1, 1u) << "burst trips must not re-List the tier";
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("a", 2)));
+
+  // Explicit invalidation (what a commit or GC triggers) forces a re-survey.
+  maintenance.NoteStoreMutation();
+  EXPECT_GT(maintenance.EvictForQuota(1, "t"), 0u);
+  const auto lists3 = store->list_calls();
+  EXPECT_GT(lists3 - lists2, 1u) << "a store mutation must invalidate the cache";
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("b", 1)));
+
+  // And the service wires it: a commit on the live path invalidates too.
+  {
+    auto handle = service.OpenJob(RawJob("c"));
+    handle->SubmitRaw(MakeRequest("c", 1)).get();
+    handle->Drain();
+  }
+  EXPECT_GT(maintenance.EvictForQuota(1, "t"), 0u);
+  const auto lists4 = store->list_calls();
+  EXPECT_GT(lists4 - lists3, 1u) << "a commit must invalidate the cache";
+  EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("b", 2)));
 }
 
 }  // namespace

@@ -12,7 +12,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/pipeline/bounded_queue.h"
+#include "core/pipeline/executor.h"
 #include "storage/object_store.h"
 
 namespace cnr::core::pipeline {
@@ -20,81 +20,52 @@ namespace {
 
 using namespace std::chrono_literals;
 
-// ---------------------------------------------------------------- queues ---
+// ---------------------------------------------------------------- lanes ----
 
-TEST(BoundedQueue, FifoOrder) {
-  BoundedQueue<int> q(4);
-  q.Push(1);
-  q.Push(2);
-  q.Push(3);
-  EXPECT_EQ(*q.Pop(), 1);
-  EXPECT_EQ(*q.Pop(), 2);
-  EXPECT_EQ(*q.Pop(), 3);
+TEST(StageLane, FifoOrderAndEmptyPop) {
+  StageLane<int> lane;
+  EXPECT_FALSE(lane.TryPop().has_value());
+  lane.Push(1);
+  lane.Push(2);
+  lane.Push(3);
+  EXPECT_EQ(lane.size(), 3u);
+  EXPECT_EQ(*lane.TryPop(), 1);
+  EXPECT_EQ(*lane.TryPop(), 2);
+  EXPECT_EQ(*lane.TryPop(), 3);
+  EXPECT_FALSE(lane.TryPop().has_value());
 }
 
-TEST(BoundedQueue, ZeroCapacityThrows) {
-  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
-}
-
-TEST(BoundedQueue, PushBlocksWhenFullUntilPop) {
-  BoundedQueue<int> q(2);
-  q.Push(1);
-  q.Push(2);
-  std::atomic<bool> pushed{false};
-  std::thread producer([&] {
-    q.Push(3);  // backpressure: must block until a slot frees
-    pushed.store(true);
-  });
-  std::this_thread::sleep_for(50ms);
-  EXPECT_FALSE(pushed.load()) << "push through a full queue did not block";
-  EXPECT_EQ(*q.Pop(), 1);
-  producer.join();
-  EXPECT_TRUE(pushed.load());
-  EXPECT_EQ(*q.Pop(), 2);
-  EXPECT_EQ(*q.Pop(), 3);
-}
-
-TEST(BoundedQueue, TryPushRespectsCapacity) {
-  BoundedQueue<int> q(1);
-  EXPECT_TRUE(q.TryPush(1));
-  EXPECT_FALSE(q.TryPush(2));
-  EXPECT_EQ(*q.Pop(), 1);
-  EXPECT_TRUE(q.TryPush(3));
-}
-
-TEST(BoundedQueue, PopBlocksUntilPush) {
-  BoundedQueue<int> q(2);
-  std::atomic<int> got{0};
-  std::thread consumer([&] { got.store(*q.Pop()); });
-  std::this_thread::sleep_for(20ms);
-  EXPECT_EQ(got.load(), 0);
-  q.Push(7);
-  consumer.join();
-  EXPECT_EQ(got.load(), 7);
-}
-
-TEST(BoundedQueue, CloseDrainsThenSignalsEndOfStream) {
-  BoundedQueue<int> q(4);
-  q.Push(1);
-  q.Push(2);
-  q.Close();
-  EXPECT_EQ(*q.Pop(), 1);  // queued work survives Close
-  EXPECT_EQ(*q.Pop(), 2);
-  EXPECT_FALSE(q.Pop().has_value());  // then end-of-stream
-  EXPECT_THROW(q.Push(3), std::runtime_error);
-}
-
-TEST(BoundedQueue, CloseWakesBlockedPopper) {
-  BoundedQueue<int> q(1);
-  std::atomic<bool> done{false};
-  std::thread consumer([&] {
-    EXPECT_FALSE(q.Pop().has_value());
-    done.store(true);
-  });
-  std::this_thread::sleep_for(20ms);
-  q.Close();
-  consumer.join();
-  EXPECT_TRUE(done.load());
+TEST(StageLane, ConcurrentProducersConsumersDrainExactly) {
+  // The hand-off lane between pipeline stages: MPMC, non-blocking pops.
+  StageLane<int> lane;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) lane.Push(t * kPerProducer + i);
+    });
+  }
+  std::atomic<int> popped{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 4; ++t) {
+    consumers.emplace_back([&] {
+      while (popped.load() < 4 * kPerProducer) {
+        if (auto v = lane.TryPop()) {
+          sum.fetch_add(*v);
+          popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  const long long n = 4LL * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_EQ(lane.size(), 0u);
 }
 
 // ---------------------------------------------------- pipeline test rig ---

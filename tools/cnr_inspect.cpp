@@ -96,6 +96,21 @@ void PrintRestoreTimings(const core::pipeline::RestoreTimings& t, const char* in
               sum, wall > 0.0 ? sum / wall : 0.0);
 }
 
+// What the stage runtime's feedback controller decided: per-stage worker
+// allotment and occupancy at the end of a run (core/pipeline/executor.h,
+// docs/TUNING.md).
+void PrintStageRuntime(const core::pipeline::ExecutorSnapshot& snap, const char* indent) {
+  if (snap.stages.empty()) return;
+  std::printf("%sstage runtime:   %zu pool worker(s), auto-tune %s, %llu rebalance(s)\n",
+              indent, snap.workers, snap.auto_tune ? "on" : "off",
+              static_cast<unsigned long long>(snap.rebalances));
+  for (const auto& s : snap.stages) {
+    std::printf("%s  %-15s %zu worker(s) allotted | %llu unit(s) drained | busy %.2f ms\n",
+                indent, s.name.c_str(), s.allotted,
+                static_cast<unsigned long long>(s.drained), Ms(s.busy_us));
+  }
+}
+
 // scrub: integrity pass over the chain, no rows applied. Runs the parallel
 // kernel (fetch/decode workers) — the same one the service's background
 // self-scrub schedules. Returns the process exit code so damage is
@@ -138,6 +153,7 @@ void RestoreDrill(storage::ObjectStore& store, const std::string& job,
               static_cast<unsigned long long>(out.bytes_read),
               static_cast<unsigned long long>(applier.dense_bytes));
   PrintRestoreTimings(out.timings, "  ");
+  PrintStageRuntime(out.stages, "  ");
 }
 
 std::set<std::uint64_t> ListCheckpoints(storage::ObjectStore& store, const std::string& job) {
