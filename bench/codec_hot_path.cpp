@@ -1,0 +1,210 @@
+// Codec hot-path bench + CI gate: the vectorized quantize/bitpack/CRC
+// kernels versus the always-compiled scalar reference.
+//
+// Every byte of every checkpoint moves through quantize → bitpack → CRC32C
+// (chunk_codec.cc); this bench measures that exact composition per
+// (method, bits) in bytes of fp32 input processed per second, then enforces
+// two regression gates on the machine it runs on:
+//
+//   1. identity   — the SIMD encode of every row is byte-identical to the
+//                   scalar encode (params, packed codes, CRC). The stored
+//                   format must not depend on which CPU encoded a chunk.
+//   2. throughput — SIMD encode of 4-bit asymmetric rows is >= 1.3x the
+//                   scalar path. The vectorization must actually pay.
+//
+// Exit code is non-zero if either gate fails. When the CPU has no AVX2 or
+// CNR_DISABLE_SIMD forces the scalar path, the gates are skipped (reported,
+// exit 0) — the scalar leg is then the measurement of record, which is what
+// the CNR_DISABLE_SIMD CI leg exercises.
+//
+// Usage: bench_codec_hot_path [smoke]   ("smoke" = toy sizes, for CI)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quant/adaptive.h"
+#include "quant/bitpack.h"
+#include "quant/kernels.h"
+#include "quant/quantizer.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+using namespace cnr;
+
+namespace {
+
+struct Workload {
+  std::size_t rows;
+  std::size_t dim;
+  std::vector<float> data;  // rows * dim
+
+  std::span<const float> Row(std::size_t r) const { return {data.data() + r * dim, dim}; }
+  std::size_t InputBytes() const { return data.size() * sizeof(float); }
+};
+
+Workload MakeWorkload(std::size_t rows, std::size_t dim) {
+  Workload w{rows, dim, {}};
+  w.data.resize(rows * dim);
+  util::Rng rng(1234);
+  for (auto& v : w.data) v = 0.25f * static_cast<float>(rng.NextGaussian());
+  // A few outlier-ish values so adaptive/asymmetric ranges are non-trivial.
+  for (std::size_t i = 0; i < w.data.size(); i += 97) w.data[i] *= 8.0f;
+  return w;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// One full encode pass of the workload through a specific kernel table:
+// params scan + quantize + bitpack per row, CRC over the packed bytes.
+// `scalar_crc` pins the CRC to the software path so the scalar leg of the
+// gate really is the all-scalar composition.
+std::uint32_t EncodePass(const quant::CodecKernels& k, const Workload& w, int bits,
+                         bool symmetric, bool scalar_crc, std::vector<std::uint32_t>& codes,
+                         std::vector<std::uint8_t>& out) {
+  const std::size_t row_bytes = 2 * sizeof(float) + quant::PackedBytes(w.dim, bits);
+  out.resize(w.rows * row_bytes);
+  codes.resize(w.dim);
+  for (std::size_t r = 0; r < w.rows; ++r) {
+    const auto row = w.Row(r);
+    quant::RowParams p;
+    if (symmetric) {
+      const float amax = k.abs_max(row.data(), row.size());
+      p = {-amax, amax};
+    } else {
+      k.min_max(row.data(), row.size(), &p.xmin, &p.xmax);
+    }
+    std::uint8_t* dst = out.data() + r * row_bytes;
+    std::memcpy(dst, &p.xmin, sizeof(float));
+    std::memcpy(dst + sizeof(float), &p.xmax, sizeof(float));
+    quant::QuantizeRowCodes(k, row, bits, p, codes.data());
+    quant::PackCodes(codes.data(), row.size(), bits, dst + 2 * sizeof(float));
+  }
+  return scalar_crc ? util::Crc32cScalar(out) : util::Crc32c(out);
+}
+
+struct LegResult {
+  double bytes_per_sec = 0.0;
+  std::uint32_t crc = 0;
+};
+
+LegResult MeasureEncode(const quant::CodecKernels& k, const Workload& w, int bits,
+                        bool symmetric, bool scalar_crc, int trials) {
+  std::vector<std::uint32_t> codes;
+  std::vector<std::uint8_t> out;
+  LegResult res;
+  double best = 1e30;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    res.crc = EncodePass(k, w, bits, symmetric, scalar_crc, codes, out);
+    best = std::min(best, Seconds(t0));
+  }
+  res.bytes_per_sec = static_cast<double>(w.InputBytes()) / best;
+  return res;
+}
+
+// Reported table: the real row codec (EncodeRow/DecodeRow, whatever kernels
+// dispatch selected) per (method, bits).
+void ReportMethod(const Workload& w, quant::Method m, int bits, int trials) {
+  quant::QuantConfig cfg;
+  cfg.method = m;
+  cfg.bits = bits;
+  util::Rng rng(7);
+  quant::CodecScratch scratch;
+
+  double best_enc = 1e30, best_dec = 1e30;
+  util::Writer keep;
+  for (int t = 0; t < trials; ++t) {
+    util::Writer wr(w.rows * (quant::EncodedRowBytes(cfg, w.dim) + 8));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < w.rows; ++r) quant::EncodeRow(wr, w.Row(r), cfg, rng, scratch);
+    best_enc = std::min(best_enc, Seconds(t0));
+    if (t == trials - 1) keep = std::move(wr);
+  }
+  std::vector<float> row_out(w.dim);
+  for (int t = 0; t < trials; ++t) {
+    util::Reader rd(keep.bytes());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < w.rows; ++r) {
+      quant::DecodeRow(rd, cfg, row_out, scratch);
+    }
+    best_dec = std::min(best_dec, Seconds(t0));
+  }
+  const double in_mb = static_cast<double>(w.InputBytes()) / 1e6;
+  std::printf("  %-20s %d bits   encode %8.1f MB/s   decode %8.1f MB/s   (%.2fx smaller)\n",
+              quant::MethodName(m).c_str(), bits, in_mb / best_enc, in_mb / best_dec,
+              static_cast<double>(w.InputBytes()) / static_cast<double>(keep.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  const std::size_t rows = smoke ? 2000 : 20000;
+  const std::size_t dim = 64;
+  const int trials = smoke ? 3 : 5;
+  const Workload w = MakeWorkload(rows, dim);
+
+  std::printf("codec hot path: %zu rows x %zu dims (%.1f MB fp32), kernels=%s, crc=%s\n",
+              w.rows, w.dim, static_cast<double>(w.InputBytes()) / 1e6,
+              quant::ActiveCodecKernels().name, util::Crc32cImplName());
+
+  // ---- Reported throughput per (method, bits), active dispatch ----
+  for (const int bits : {2, 4, 8}) {
+    ReportMethod(w, quant::Method::kSymmetric, bits, trials);
+    ReportMethod(w, quant::Method::kAsymmetric, bits, trials);
+  }
+  ReportMethod(w, quant::Method::kAdaptiveAsymmetric, 4, trials);
+
+  // ---- Gates: scalar vs SIMD on the composed hot path ----
+  const quant::CodecKernels& scalar = quant::ScalarCodecKernels();
+  const quant::CodecKernels* simd = quant::Avx2CodecKernelsOrNull();
+  if (simd == nullptr || quant::SimdDisabledByEnv()) {
+    std::printf("gates: skipped (%s) — scalar path is the measurement of record\n",
+                simd == nullptr ? "no AVX2 on this CPU" : "CNR_DISABLE_SIMD set");
+    return 0;
+  }
+
+  // Gate 1: identity. Byte-compare the full scalar vs SIMD encode across
+  // methods and bit-widths (the CRC covers every byte, but compare the
+  // buffers directly so a mismatch pinpoints itself).
+  for (const int bits : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    for (const bool symmetric : {false, true}) {
+      std::vector<std::uint32_t> codes_a, codes_b;
+      std::vector<std::uint8_t> out_a, out_b;
+      const std::uint32_t crc_a = EncodePass(scalar, w, bits, symmetric, true, codes_a, out_a);
+      const std::uint32_t crc_b = EncodePass(*simd, w, bits, symmetric, false, codes_b, out_b);
+      if (out_a != out_b || crc_a != crc_b) {
+        std::fprintf(stderr,
+                     "GATE FAIL: SIMD encode differs from scalar (bits=%d, %s): "
+                     "bytes %s, crc %08x vs %08x\n",
+                     bits, symmetric ? "symmetric" : "asymmetric",
+                     out_a == out_b ? "equal" : "DIFFER", crc_a, crc_b);
+        return 1;
+      }
+    }
+  }
+  std::printf("gate identity:   ok — SIMD encode byte-identical to scalar (bits 1..8)\n");
+
+  // Gate 2: throughput, 4-bit asymmetric (the paper's headline config).
+  const LegResult s = MeasureEncode(scalar, w, 4, /*symmetric=*/false, /*scalar_crc=*/true,
+                                    trials);
+  const LegResult v = MeasureEncode(*simd, w, 4, /*symmetric=*/false, /*scalar_crc=*/false,
+                                    trials);
+  const double speedup = v.bytes_per_sec / s.bytes_per_sec;
+  std::printf("gate throughput: scalar %.1f MB/s, simd %.1f MB/s — %.2fx (need >= 1.30x)\n",
+              s.bytes_per_sec / 1e6, v.bytes_per_sec / 1e6, speedup);
+  if (speedup < 1.30) {
+    std::fprintf(stderr, "GATE FAIL: SIMD speedup %.2fx < 1.30x on 4-bit asymmetric rows\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -46,7 +46,7 @@ std::vector<ChunkTask> BuildChunkTasks(const ModelSnapshot& snap, const Checkpoi
 }
 
 std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::QuantConfig& qc,
-                                          util::Rng& rng) {
+                                          util::Rng& rng, quant::CodecScratch& scratch) {
   const auto& shard = *task.shard;
   const std::size_t n = task.NumRows();
   util::Writer w(64 + n * (quant::EncodedRowBytes(qc, shard.dim) + 8));
@@ -70,15 +70,20 @@ std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::Qu
   };
   for (std::size_t i = 0; i < n; ++i) w.Put<float>(shard.adagrad[row_at(i)]);
   for (std::size_t i = 0; i < n; ++i) {
-    quant::EncodeRow(w, shard.Row(row_at(i)), qc, rng);
+    quant::EncodeRow(w, shard.Row(row_at(i)), qc, rng, scratch);
   }
   // Trailing CRC-32C lets recovery detect storage-tier corruption.
   w.Put<std::uint32_t>(util::Crc32c(w.bytes().data(), w.size()));
   return w.TakeBytes();
 }
 
+std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::QuantConfig& qc,
+                                          util::Rng& rng) {
+  return EncodeChunkTask(task, qc, rng, quant::TlsCodecScratch());
+}
+
 DecodedChunk DecodeChunkBlob(std::span<const std::uint8_t> blob, const quant::QuantConfig& qc,
-                             const std::string& key) {
+                             const std::string& key, quant::CodecScratch& scratch) {
   // Verify the trailing CRC-32C before trusting any field.
   if (blob.size() < sizeof(std::uint32_t)) {
     throw std::runtime_error("recovery: chunk too small " + key);
@@ -112,9 +117,14 @@ DecodedChunk DecodeChunkBlob(std::span<const std::uint8_t> blob, const quant::Qu
   r.GetBytes(c.adagrad.data(), c.num_rows * sizeof(float));
   c.weights.resize(c.num_rows * c.dim);
   for (std::uint64_t i = 0; i < c.num_rows; ++i) {
-    quant::DecodeRow(r, qc, std::span<float>(c.weights.data() + i * c.dim, c.dim));
+    quant::DecodeRow(r, qc, std::span<float>(c.weights.data() + i * c.dim, c.dim), scratch);
   }
   return c;
+}
+
+DecodedChunk DecodeChunkBlob(std::span<const std::uint8_t> blob, const quant::QuantConfig& qc,
+                             const std::string& key) {
+  return DecodeChunkBlob(blob, qc, key, quant::TlsCodecScratch());
 }
 
 util::Rng ChunkRng(std::uint64_t seed, std::uint64_t checkpoint_id, std::size_t chunk_ordinal) {

@@ -62,7 +62,12 @@ std::vector<ChunkTask> BuildChunkTasks(const ModelSnapshot& snap, const Checkpoi
 
 // Quantizes and serializes one chunk. `rng` seeds the k-means initialization
 // stream for adaptive quantization; fork a deterministic per-chunk stream so
-// results do not depend on worker scheduling (see ChunkRng).
+// results do not depend on worker scheduling (see ChunkRng). `scratch` holds
+// the reusable per-row codec buffers (quant/kernels.h) — each stage worker
+// keeps one, so steady-state encode performs no per-row heap allocation; the
+// scratch-less overload uses the calling thread's TlsCodecScratch().
+std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::QuantConfig& qc,
+                                          util::Rng& rng, quant::CodecScratch& scratch);
 std::vector<std::uint8_t> EncodeChunkTask(const ChunkTask& task, const quant::QuantConfig& qc,
                                           util::Rng& rng);
 
@@ -95,7 +100,10 @@ struct DecodedChunk {
 // de-quantizes every row with `qc` (the quantization config of the manifest
 // the chunk belongs to). `key` is used only for error messages. Throws
 // std::runtime_error on corruption — recovery treats the chunk's checkpoint
-// as unusable rather than restoring garbage.
+// as unusable rather than restoring garbage. Like EncodeChunkTask, `scratch`
+// makes the per-row buffers reusable across chunks decoded by one worker.
+DecodedChunk DecodeChunkBlob(std::span<const std::uint8_t> blob, const quant::QuantConfig& qc,
+                             const std::string& key, quant::CodecScratch& scratch);
 DecodedChunk DecodeChunkBlob(std::span<const std::uint8_t> blob, const quant::QuantConfig& qc,
                              const std::string& key);
 

@@ -521,6 +521,9 @@ struct ServiceImpl {
         ++stats.committed;
         stats.bytes_written += result->bytes_written;
         stats.rows_written += result->rows_written;
+        stats.encode_us_total += result->timings.encode_us;
+        stats.store_us_total += result->timings.store_us;
+        for (const auto& c : result->manifest.chunks) stats.chunk_bytes_total += c.bytes;
       } else {
         ++stats.failed;
       }

@@ -236,6 +236,25 @@ struct JobStats {
   std::uint64_t scrubs_run = 0;
   std::uint64_t scrub_issues = 0;        // cumulative across scrubs
   std::uint64_t evicted_checkpoints = 0; // lost to quota pressure
+  // Codec throughput, accumulated across committed checkpoints from the
+  // manifests' StageTimings and chunk byte counts: encode covers
+  // quantize+bitpack+CRC cpu, store covers the object-store link. Divide to
+  // get bytes/sec — the production-visible counterpart of
+  // bench_codec_hot_path.
+  std::uint64_t encode_us_total = 0;
+  std::uint64_t store_us_total = 0;
+  std::uint64_t chunk_bytes_total = 0;   // encoded chunk payload bytes
+
+  double EncodeBytesPerSec() const {
+    return encode_us_total ? static_cast<double>(chunk_bytes_total) * 1e6 /
+                                 static_cast<double>(encode_us_total)
+                           : 0.0;
+  }
+  double StoreBytesPerSec() const {
+    return store_us_total ? static_cast<double>(chunk_bytes_total) * 1e6 /
+                                static_cast<double>(store_us_total)
+                          : 0.0;
+  }
 };
 
 struct ServiceStats {

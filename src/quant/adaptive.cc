@@ -1,11 +1,35 @@
 #include "quant/adaptive.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace cnr::quant {
 
+namespace {
+
+// UniformRowL2Error, but with the quantization pass on the batch kernel and
+// the codes staged in a caller-provided buffer. The error fold is the exact
+// double-precision expression of the legacy implementation, and the kernel
+// produces the same codes as the per-element quantizer, so the search below
+// selects exactly the params the legacy search did.
+double RowL2ErrorViaCodes(std::span<const float> row, int bits, const RowParams& p,
+                          std::uint32_t* codes) {
+  QuantizeRowCodes(row, bits, p, codes);
+  const UniformScale s = MakeUniformScale(bits, p.xmin, p.xmax);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const double d =
+        static_cast<double>(row[i]) -
+        (static_cast<double>(s.scale) * codes[i] + static_cast<double>(p.xmin));
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
 RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num_bins,
-                                   double ratio) {
+                                   double ratio, CodecScratch& scratch) {
   if (num_bins < 1) throw std::invalid_argument("adaptive: num_bins must be >= 1");
   if (ratio < 0.0 || ratio > 1.0) throw std::invalid_argument("adaptive: ratio in [0,1]");
 
@@ -14,17 +38,22 @@ RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num
   if (range <= 0.0f) return full;  // constant row; nothing to search
   const float step = range / static_cast<float>(num_bins);
 
+  std::uint32_t* codes = scratch.Codes(row.size());
+
   RowParams best = full;
-  double best_err = UniformRowL2Error(row, bits, full);
+  double best_err = RowL2ErrorViaCodes(row, bits, full, codes);
 
   RowParams cur = full;
   // Iterate while the portion of the range removed so far is below
   // ratio * range (paper: "stop once it covered ratio of the original range").
   while ((cur.xmax - cur.xmin) > range * (1.0 - ratio) + step) {
+    // Progress guard: on denormal-scale ranges `step` can underflow to 0 (or
+    // round away entirely in the add below), which would loop forever.
+    const float width_before = cur.xmax - cur.xmin;
     const RowParams lo_shrunk{cur.xmin + step, cur.xmax};
     const RowParams hi_shrunk{cur.xmin, cur.xmax - step};
-    const double err_lo = UniformRowL2Error(row, bits, lo_shrunk);
-    const double err_hi = UniformRowL2Error(row, bits, hi_shrunk);
+    const double err_lo = RowL2ErrorViaCodes(row, bits, lo_shrunk, codes);
+    const double err_hi = RowL2ErrorViaCodes(row, bits, hi_shrunk, codes);
     if (err_lo <= err_hi) {
       cur = lo_shrunk;
       if (err_lo < best_err) {
@@ -38,8 +67,14 @@ RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num
         best = cur;
       }
     }
+    if (!((cur.xmax - cur.xmin) < width_before)) break;
   }
   return best;
+}
+
+RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num_bins,
+                                   double ratio) {
+  return AdaptiveAsymmetricParams(row, bits, num_bins, ratio, TlsCodecScratch());
 }
 
 }  // namespace cnr::quant

@@ -19,6 +19,14 @@
 namespace cnr::quant {
 
 // Runs the greedy search and returns the best clipping range for `row`.
+// The search evaluates ~2 quantization passes per shrink step; they run on
+// the vectorized quantize-codes kernel through `scratch`'s codes buffer
+// (kernels.h). The selected params are identical to the historical
+// UniformRowL2Error-based implementation — same codes, same double-precision
+// error fold. The scratch-less overload uses the calling thread's
+// TlsCodecScratch().
+RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num_bins,
+                                   double ratio, CodecScratch& scratch);
 RowParams AdaptiveAsymmetricParams(std::span<const float> row, int bits, int num_bins,
                                    double ratio);
 

@@ -1,16 +1,41 @@
 #include "quant/bitpack.h"
 
+#include "quant/kernels.h"
+
 namespace cnr::quant {
 
 void BitPacker::Append(std::uint32_t code) {
-  const std::uint32_t mask = (bits_ == 32) ? ~0u : ((1u << bits_) - 1);
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
   if ((code & ~mask) != 0) throw std::invalid_argument("BitPacker: code exceeds bit-width");
-  acc_ |= code << acc_bits_;
+  acc_ |= static_cast<std::uint64_t>(code) << acc_bits_;
   acc_bits_ += bits_;
   while (acc_bits_ >= 8) {
     out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
     acc_ >>= 8;
     acc_bits_ -= 8;
+  }
+}
+
+void BitPacker::AppendCodes(std::span<const std::uint32_t> codes) {
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
+  for (const std::uint32_t c : codes) {
+    if ((c & ~mask) != 0) throw std::invalid_argument("BitPacker: code exceeds bit-width");
+  }
+  if (acc_bits_ != 0) {  // mid-byte: stay on the streaming path
+    for (const std::uint32_t c : codes) Append(c);
+    return;
+  }
+  // Byte-aligned: bulk-pack straight into the output, then pull any partial
+  // final byte back into the accumulator so further Appends continue the
+  // stream exactly as the per-code path would.
+  const std::size_t old = out_.size();
+  out_.resize(old + PackedBytes(codes.size(), bits_));
+  PackCodes(codes.data(), codes.size(), bits_, out_.data() + old);
+  const std::size_t rem = (codes.size() * static_cast<std::size_t>(bits_)) % 8;
+  if (rem != 0) {
+    acc_ = out_.back() & ((std::uint64_t{1} << rem) - 1);
+    acc_bits_ = static_cast<int>(rem);
+    out_.pop_back();
   }
 }
 
@@ -26,14 +51,34 @@ std::vector<std::uint8_t> BitPacker::Finish() {
 std::uint32_t BitUnpacker::Next() {
   while (acc_bits_ < bits_) {
     if (pos_ >= data_.size()) throw std::out_of_range("BitUnpacker: exhausted");
-    acc_ |= static_cast<std::uint32_t>(data_[pos_++]) << acc_bits_;
+    acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << acc_bits_;
     acc_bits_ += 8;
   }
-  const std::uint32_t mask = (1u << bits_) - 1;
-  const std::uint32_t code = acc_ & mask;
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
+  const auto code = static_cast<std::uint32_t>(acc_ & mask);
   acc_ >>= bits_;
   acc_bits_ -= bits_;
   return code;
+}
+
+void BitUnpacker::NextCodes(std::span<std::uint32_t> out) {
+  if (acc_bits_ == 0) {
+    const std::size_t need = PackedBytes(out.size(), bits_);
+    if (data_.size() - pos_ >= need) {
+      UnpackCodes(data_.data() + pos_, out.size(), bits_, out.data());
+      const std::size_t total_bits = out.size() * static_cast<std::size_t>(bits_);
+      pos_ += total_bits / 8;
+      const std::size_t rem = total_bits % 8;
+      if (rem != 0) {
+        // The bulk path consumed `rem` low bits of this byte; its high bits
+        // belong to whatever the caller reads next.
+        acc_ = static_cast<std::uint64_t>(data_[pos_++]) >> rem;
+        acc_bits_ = static_cast<int>(8 - rem);
+      }
+      return;
+    }
+  }
+  for (auto& c : out) c = Next();
 }
 
 }  // namespace cnr::quant

@@ -4,6 +4,12 @@
 // 2-8 bits (paper §5.2). BitPacker/BitUnpacker lay codes out LSB-first in a
 // contiguous byte stream with no per-code padding, which is what produces the
 // 4-13x checkpoint size reduction the paper reports.
+//
+// The classes are thin wrappers over the bulk kernels in kernels.h
+// (PackCodes/UnpackCodes), which move whole 64-bit words per group of codes;
+// the per-code Append/Next path remains for incremental callers. Widths up
+// to 32 bits are supported (the accumulators are 64-bit, so no width hits
+// undefined shift behavior); the checkpoint codec itself only uses 1-8.
 #pragma once
 
 #include <cstddef>
@@ -19,14 +25,19 @@ constexpr std::size_t PackedBytes(std::size_t count, int bits) {
   return (count * static_cast<std::size_t>(bits) + 7) / 8;
 }
 
-// Packs codes of `bits` (1..8) bits into a byte buffer, LSB-first.
+// Packs codes of `bits` (1..32) bits into a byte buffer, LSB-first.
 class BitPacker {
  public:
   explicit BitPacker(int bits) : bits_(bits) {
-    if (bits < 1 || bits > 8) throw std::invalid_argument("BitPacker: bits must be in [1,8]");
+    if (bits < 1 || bits > 32) {
+      throw std::invalid_argument("BitPacker: bits must be in [1,32]");
+    }
   }
 
   void Append(std::uint32_t code);
+  // Bulk append: equivalent to Append per code, but rides the wide
+  // PackCodes kernel when the stream is byte-aligned.
+  void AppendCodes(std::span<const std::uint32_t> codes);
   // Flushes any partial byte and returns the buffer.
   std::vector<std::uint8_t> Finish();
 
@@ -35,7 +46,7 @@ class BitPacker {
  private:
   int bits_;
   std::vector<std::uint8_t> out_;
-  std::uint32_t acc_ = 0;
+  std::uint64_t acc_ = 0;
   int acc_bits_ = 0;
 };
 
@@ -43,16 +54,22 @@ class BitPacker {
 class BitUnpacker {
  public:
   BitUnpacker(std::span<const std::uint8_t> data, int bits) : data_(data), bits_(bits) {
-    if (bits < 1 || bits > 8) throw std::invalid_argument("BitUnpacker: bits must be in [1,8]");
+    if (bits < 1 || bits > 32) {
+      throw std::invalid_argument("BitUnpacker: bits must be in [1,32]");
+    }
   }
 
   std::uint32_t Next();
+  // Bulk read: equivalent to Next per code, but rides the wide UnpackCodes
+  // kernel when the stream is byte-aligned. Throws std::out_of_range if the
+  // buffer holds fewer than out.size() codes.
+  void NextCodes(std::span<std::uint32_t> out);
 
  private:
   std::span<const std::uint8_t> data_;
   int bits_;
   std::size_t pos_ = 0;
-  std::uint32_t acc_ = 0;
+  std::uint64_t acc_ = 0;
   int acc_bits_ = 0;
 };
 

@@ -1,0 +1,196 @@
+#include "quant/kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "quant/bitpack.h"
+#include "quant/quantizer.h"
+
+namespace cnr::quant {
+
+UniformScale MakeUniformScale(int bits, float xmin, float xmax) {
+  if (bits < 1 || bits > 8) throw std::invalid_argument("quantize: bits must be in [1,8]");
+  const auto qmax = static_cast<std::uint32_t>((1u << bits) - 1);
+  float scale = (xmax - xmin) / static_cast<float>(qmax);
+  if (scale <= 0.0f || !std::isfinite(scale)) scale = 1.0f;  // degenerate (constant) row
+  return {scale, 1.0f / scale, qmax};
+}
+
+namespace {
+
+// ---- Scalar reference kernels: the exact pre-vectorization loops ----
+
+float AbsMaxScalar(const float* x, std::size_t n) {
+  float amax = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(x[i]));
+  return amax;
+}
+
+void MinMaxScalar(const float* x, std::size_t n, float* lo_out, float* hi_out) {
+  float lo = x[0], hi = x[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  *lo_out = lo;
+  *hi_out = hi;
+}
+
+void QuantizeCodesScalar(const float* x, std::size_t n, float zero_point, float inv_scale,
+                         std::uint32_t qmax, std::uint32_t* codes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = QuantizeOneCode(x[i], zero_point, inv_scale, qmax);
+  }
+}
+
+void DequantizeCodesScalar(const std::uint32_t* codes, std::size_t n, float scale,
+                           float xmin, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = DequantizeOneCode(codes[i], scale, xmin);
+}
+
+constexpr CodecKernels kScalarKernels = {
+    "scalar", AbsMaxScalar, MinMaxScalar, QuantizeCodesScalar, DequantizeCodesScalar,
+};
+
+}  // namespace
+
+const CodecKernels& ScalarCodecKernels() { return kScalarKernels; }
+
+bool SimdDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* v = std::getenv("CNR_DISABLE_SIMD");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return disabled;
+}
+
+const CodecKernels& ActiveCodecKernels() {
+  static const CodecKernels* const active = [] {
+    if (SimdDisabledByEnv()) return &kScalarKernels;
+    if (const CodecKernels* simd = Avx2CodecKernelsOrNull()) return simd;
+    return &kScalarKernels;
+  }();
+  return *active;
+}
+
+// ---- Row-level helpers ----
+
+void QuantizeRowCodes(const CodecKernels& k, std::span<const float> row, int bits,
+                      const RowParams& p, std::uint32_t* codes) {
+  const UniformScale s = MakeUniformScale(bits, p.xmin, p.xmax);
+  k.quantize_codes(row.data(), row.size(), p.xmin, s.inv_scale, s.qmax, codes);
+}
+
+void QuantizeRowCodes(std::span<const float> row, int bits, const RowParams& p,
+                      std::uint32_t* codes) {
+  QuantizeRowCodes(ActiveCodecKernels(), row, bits, p, codes);
+}
+
+void DequantizeRowCodes(const CodecKernels& k, const std::uint32_t* codes, std::size_t n,
+                        int bits, const RowParams& p, float* out) {
+  const UniformScale s = MakeUniformScale(bits, p.xmin, p.xmax);
+  k.dequantize_codes(codes, n, s.scale, p.xmin, out);
+}
+
+void DequantizeRowCodes(const std::uint32_t* codes, std::size_t n, int bits,
+                        const RowParams& p, float* out) {
+  DequantizeRowCodes(ActiveCodecKernels(), codes, n, bits, p, out);
+}
+
+// ---- Wide bitpack kernels ----
+//
+// bits <= 8: 8 codes make exactly `bits` bytes, so the bulk loop builds one
+// 64-bit word per group and stores it whole (the store of group g may spill
+// up to 8-bits zero bytes past its slot; group g+1 starts at +bits and
+// overwrites them, so only the final group stores its exact length). The
+// mask/range bookkeeping of the per-code path is hoisted out entirely.
+// bits in (8,32]: the per-code accumulator path (cold; nothing in the
+// checkpoint codec uses it, but BitPacker supports it — see bitpack.h).
+
+void PackCodes(const std::uint32_t* codes, std::size_t n, int bits, std::uint8_t* out) {
+  if (bits < 1 || bits > 32) throw std::invalid_argument("PackCodes: bits must be in [1,32]");
+  std::size_t i = 0, o = 0;
+  if (bits <= 8 && n >= 8) {
+    const std::size_t total = PackedBytes(n, bits);
+    const std::size_t groups = n / 8;
+    const auto ubits = static_cast<unsigned>(bits);
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::uint64_t w = 0;
+      for (unsigned j = 0; j < 8; ++j) {
+        w |= static_cast<std::uint64_t>(codes[i + j]) << (j * ubits);
+      }
+      // Little-endian word == LSB-first stream. A whole-word store spills up
+      // to 8-bits zero bytes past this group's slot; later groups/tail
+      // overwrite them, so the full store is used only while it stays inside
+      // the output buffer.
+      if (o + sizeof(w) <= total) {
+        std::memcpy(out + o, &w, sizeof(w));
+      } else {
+        std::memcpy(out + o, &w, ubits);
+      }
+      i += 8;
+      o += ubits;
+    }
+  }
+  // Tail (and the bits > 8 path): byte-at-a-time accumulator.
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  for (; i < n; ++i) {
+    acc |= static_cast<std::uint64_t>(codes[i]) << acc_bits;
+    acc_bits += bits;
+    while (acc_bits >= 8) {
+      out[o++] = static_cast<std::uint8_t>(acc & 0xFF);
+      acc >>= 8;
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) out[o++] = static_cast<std::uint8_t>(acc & 0xFF);
+}
+
+void UnpackCodes(const std::uint8_t* in, std::size_t n, int bits, std::uint32_t* out) {
+  if (bits < 1 || bits > 32) throw std::invalid_argument("UnpackCodes: bits must be in [1,32]");
+  std::size_t i = 0, o = 0;
+  if (bits <= 8 && n >= 8) {
+    const std::size_t total = PackedBytes(n, bits);
+    const auto ubits = static_cast<unsigned>(bits);
+    const std::uint64_t mask = (std::uint64_t{1} << ubits) - 1;
+    const std::size_t groups = n / 8;
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::uint64_t w = 0;
+      // Full-word load while it stays inside the input (extra bytes are
+      // masked off); near the end, load exactly this group's `bits` bytes.
+      if (i + sizeof(w) <= total) {
+        std::memcpy(&w, in + i, sizeof(w));
+      } else {
+        std::memcpy(&w, in + i, ubits);
+      }
+      for (unsigned j = 0; j < 8; ++j) {
+        out[o + j] = static_cast<std::uint32_t>((w >> (j * ubits)) & mask);
+      }
+      i += ubits;
+      o += 8;
+    }
+  }
+  // Tail (and the bits > 8 path).
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  for (; o < n; ++o) {
+    while (acc_bits < bits) {
+      acc |= static_cast<std::uint64_t>(in[i++]) << acc_bits;
+      acc_bits += 8;
+    }
+    out[o] = static_cast<std::uint32_t>(acc & mask);
+    acc >>= bits;
+    acc_bits -= bits;
+  }
+}
+
+CodecScratch& TlsCodecScratch() {
+  thread_local CodecScratch scratch;
+  return scratch;
+}
+
+}  // namespace cnr::quant

@@ -1,0 +1,149 @@
+// Batch codec kernels — the vectorized hot path under quantize → bitpack.
+//
+// Every byte that moves through the write and restore planes passes through
+// quantize → bitpack → CRC32C (chunk_codec.cc). This layer replaces the
+// per-element inner loops with batch row kernels behind a process-wide
+// dispatch table:
+//
+//   - min/max and abs-max row scans        (SymmetricParams/AsymmetricParams)
+//   - QuantizeRowCodes: row -> uint32 codes, branch-free clamp
+//   - DequantizeRowCodes: codes -> floats  (code * scale + xmin)
+//   - PackCodes/UnpackCodes: whole-word bitpacking on a 64-bit accumulator
+//
+// Dispatch: the scalar kernels are the REFERENCE; an AVX2 implementation is
+// selected at process start when the CPU supports it (GCC/Clang function
+// multiversioning via target attributes — the binary always carries the
+// scalar fallback). Setting CNR_DISABLE_SIMD=1 in the environment forces the
+// scalar path for debugging. All paths are bit-identical by construction:
+// the vectorized quantizer reproduces std::round (round-half-away-from-zero)
+// semantics exactly, dequantize uses separate multiply+add (no FMA
+// contraction), and the parameter scans reproduce the sequential
+// std::min/std::max fold including its NaN and signed-zero behavior — see
+// tests/quant/kernels_test.cc for the differential sweep.
+//
+// CodecScratch carries the reusable per-row buffers (codes, packed bytes,
+// codebook) so the chunk codec performs zero per-row heap allocations in
+// steady state; each stage worker owns one (thread_local at the call sites).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cnr::quant {
+
+struct RowParams;  // quantizer.h
+
+// ---- Uniform scale arithmetic (shared by every path) ----
+
+struct UniformScale {
+  float scale = 1.0f;
+  float inv_scale = 1.0f;
+  std::uint32_t qmax = 0;
+};
+
+// scale = (xmax - xmin) / (2^bits - 1); degenerate (constant/non-finite)
+// rows get scale 1 so codes collapse to 0. Throws for bits outside [1,8].
+UniformScale MakeUniformScale(int bits, float xmin, float xmax);
+
+// ---- Per-element reference ops (inlined by scalar kernels and tails) ----
+
+// Exactly the pre-vectorization per-element quantizer: round-half-away-from-
+// zero, clamp to [0, qmax]. NaN inputs deterministically map to 0 (the old
+// code's cast was undefined there; no finite input changes behavior).
+inline std::uint32_t QuantizeOneCode(float x, float zero_point, float inv_scale,
+                                     std::uint32_t qmax) {
+  const float q = std::round((x - zero_point) * inv_scale);
+  if (!(q > 0.0f)) return 0;  // q <= 0, and NaN
+  if (q >= static_cast<float>(qmax)) return qmax;
+  return static_cast<std::uint32_t>(q);
+}
+
+inline float DequantizeOneCode(std::uint32_t code, float scale, float xmin) {
+  return scale * static_cast<float>(code) + xmin;
+}
+
+// ---- The dispatch table ----
+
+struct CodecKernels {
+  const char* name;  // "scalar" | "avx2"
+  // max |x| over the row (0 for empty rows; NaN elements are skipped).
+  float (*abs_max)(const float* x, std::size_t n);
+  // Sequential-fold min/max of the row (callers handle n == 0).
+  void (*min_max)(const float* x, std::size_t n, float* lo, float* hi);
+  // codes[i] = QuantizeOneCode(x[i], zero_point, inv_scale, qmax).
+  void (*quantize_codes)(const float* x, std::size_t n, float zero_point, float inv_scale,
+                         std::uint32_t qmax, std::uint32_t* codes);
+  // out[i] = scale * codes[i] + xmin (separate mul+add; never FMA).
+  void (*dequantize_codes)(const std::uint32_t* codes, std::size_t n, float scale,
+                           float xmin, float* out);
+};
+
+// Always-compiled reference kernels.
+const CodecKernels& ScalarCodecKernels();
+// The AVX2 kernels, or nullptr when the build target or CPU lacks AVX2.
+const CodecKernels* Avx2CodecKernelsOrNull();
+// Process-wide selection: AVX2 when available unless CNR_DISABLE_SIMD=1.
+// Decided once, on first use.
+const CodecKernels& ActiveCodecKernels();
+// True when CNR_DISABLE_SIMD=1 forced the scalar path (diagnostics).
+bool SimdDisabledByEnv();
+
+// ---- Row-level helpers over a kernel table ----
+
+// Quantizes `row` into `codes` (size row.size()) under `p` with `bits`.
+void QuantizeRowCodes(const CodecKernels& k, std::span<const float> row, int bits,
+                      const RowParams& p, std::uint32_t* codes);
+// Active-kernel convenience.
+void QuantizeRowCodes(std::span<const float> row, int bits, const RowParams& p,
+                      std::uint32_t* codes);
+
+// Inverse: reconstructs n floats from codes under `p` with `bits`.
+void DequantizeRowCodes(const CodecKernels& k, const std::uint32_t* codes, std::size_t n,
+                        int bits, const RowParams& p, float* out);
+void DequantizeRowCodes(const std::uint32_t* codes, std::size_t n, int bits,
+                        const RowParams& p, float* out);
+
+// ---- Wide bitpack (64-bit accumulator, LSB-first byte stream) ----
+//
+// Same layout as BitPacker/BitUnpacker (bitpack.h); these are the bulk
+// kernels the classes wrap. `out` must hold PackedBytes(n, bits) bytes.
+// bits in [1,32].
+void PackCodes(const std::uint32_t* codes, std::size_t n, int bits, std::uint8_t* out);
+void UnpackCodes(const std::uint8_t* in, std::size_t n, int bits, std::uint32_t* out);
+
+// ---- Reusable codec buffers ----
+//
+// One per stage worker (thread_local at the call sites); EncodeChunkTask /
+// DecodeChunkBlob route every per-row buffer through it so steady-state
+// encode/decode performs no per-row heap allocation. grow_events counts
+// capacity growths — a scratch that stopped growing is in steady state.
+struct CodecScratch {
+  std::uint32_t* Codes(std::size_t n) { return Grow(codes_, n); }
+  std::uint8_t* Packed(std::size_t n) { return Grow(packed_, n); }
+  float* Floats(std::size_t n) { return Grow(floats_, n); }
+
+  std::uint64_t grow_events = 0;
+
+ private:
+  template <typename T>
+  T* Grow(std::vector<T>& buf, std::size_t n) {
+    if (buf.size() < n) {
+      ++grow_events;
+      buf.resize(n);
+    }
+    return buf.data();
+  }
+
+  std::vector<std::uint32_t> codes_;
+  std::vector<std::uint8_t> packed_;
+  std::vector<float> floats_;
+};
+
+// The calling thread's scratch (stage workers are long-lived pool threads,
+// so the buffers warm up once per worker and then persist).
+CodecScratch& TlsCodecScratch();
+
+}  // namespace cnr::quant

@@ -1,0 +1,165 @@
+// AVX2 implementations of the codec kernels (see kernels.h).
+//
+// Bit-identity with the scalar reference is load-bearing: encoded chunk bytes
+// must not depend on which path ran. The non-obvious parts:
+//
+//   * std::round is round-half-away-from-zero; _mm256_round_ps is half-even.
+//     We round half-even, then add 1 where the residual t - round(t) equals
+//     exactly +0.5 (an upward tie). The residual is exact (Sterbenz), and
+//     negative ties need no correction: every t <= 0 clamps to code 0 either
+//     way. The floor(t + 0.5) trick is NOT equivalent (double rounding at
+//     e.g. 0.49999997f) and must not be used.
+//   * NaN maps to code 0, matching the scalar reference: maxps/minps return
+//     their SECOND operand when either input is NaN, so max(r, 0) with r as
+//     the first operand collapses NaN to 0 before the min clamp.
+//   * Dequantize is separate multiply+add. The scalar reference compiles for
+//     baseline x86-64 (no FMA ISA), so a fused _mm256_fmadd_ps here would
+//     round differently; target("avx2") deliberately does not enable FMA.
+//   * The min/max scans fold with the running state as the SECOND minps/maxps
+//     operand so NaN elements are skipped and an x[0] NaN stays sticky,
+//     exactly like the sequential std::min/std::max fold. Signed zeros are
+//     still order-dependent across lanes, so a result touching 0.0f falls
+//     back to the scalar scan.
+//
+// This file compiles in every build: the pragma target region carries its own
+// ISA flags, and Avx2CodecKernelsOrNull() gates selection on runtime
+// __builtin_cpu_supports("avx2").
+#include "quant/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace cnr::quant {
+namespace {
+
+float AbsMaxAvx2(const float* x, std::size_t n) {
+  std::size_t i = 0;
+  float amax = 0.0f;
+  if (n >= 8) {
+    const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+    __m256 state = _mm256_setzero_ps();
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(x + i);
+      const __m256 fa = _mm256_andnot_ps(sign_mask, v);
+      state = _mm256_max_ps(fa, state);  // fa NaN -> keeps state (2nd operand)
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, state);
+    for (const float v : lanes) amax = std::max(amax, v);
+  }
+  for (; i < n; ++i) amax = std::max(amax, std::fabs(x[i]));
+  return amax;
+}
+
+void MinMaxAvx2(const float* x, std::size_t n, float* lo_out, float* hi_out) {
+  float lo = x[0], hi = x[0];
+  std::size_t i = 0;
+  if (n >= 8) {
+    // Seed with x[0] so an x[0] NaN stays sticky in every lane, matching the
+    // scalar fold; re-scanning x[0] inside the loop is idempotent.
+    __m256 lo_v = _mm256_set1_ps(x[0]);
+    __m256 hi_v = lo_v;
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(x + i);
+      lo_v = _mm256_min_ps(v, lo_v);  // v NaN -> keeps state (2nd operand)
+      hi_v = _mm256_max_ps(v, hi_v);
+    }
+    alignas(32) float lo_lanes[8], hi_lanes[8];
+    _mm256_store_ps(lo_lanes, lo_v);
+    _mm256_store_ps(hi_lanes, hi_v);
+    for (int j = 0; j < 8; ++j) {
+      lo = std::min(lo, lo_lanes[j]);
+      hi = std::max(hi, hi_lanes[j]);
+    }
+  }
+  for (; i < n; ++i) {
+    lo = std::min(lo, x[i]);
+    hi = std::max(hi, x[i]);
+  }
+  if (lo == 0.0f || hi == 0.0f) {
+    // Signed zeros: which of -0.0f/+0.0f survives depends on fold order,
+    // which differs across lanes. Rare enough to just redo sequentially.
+    lo = x[0];
+    hi = x[0];
+    for (std::size_t k = 0; k < n; ++k) {
+      lo = std::min(lo, x[k]);
+      hi = std::max(hi, x[k]);
+    }
+  }
+  *lo_out = lo;
+  *hi_out = hi;
+}
+
+void QuantizeCodesAvx2(const float* x, std::size_t n, float zero_point, float inv_scale,
+                       std::uint32_t qmax, std::uint32_t* codes) {
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m256 zp_v = _mm256_set1_ps(zero_point);
+    const __m256 is_v = _mm256_set1_ps(inv_scale);
+    const __m256 half = _mm256_set1_ps(0.5f);
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 qmax_v = _mm256_set1_ps(static_cast<float>(qmax));
+    for (; i + 8 <= n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(x + i);
+      const __m256 t = _mm256_mul_ps(_mm256_sub_ps(v, zp_v), is_v);
+      // round-half-even, then +1 on exact upward ties -> half-away-from-zero.
+      const __m256 r0 = _mm256_round_ps(t, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+      const __m256 diff = _mm256_sub_ps(t, r0);
+      const __m256 tie = _mm256_cmp_ps(diff, half, _CMP_EQ_OQ);
+      const __m256 r = _mm256_add_ps(r0, _mm256_and_ps(tie, one));
+      // Clamp to [0, qmax]; max(r, 0) first so a NaN r becomes 0.
+      const __m256 c = _mm256_min_ps(_mm256_max_ps(r, zero), qmax_v);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(codes + i), _mm256_cvttps_epi32(c));
+    }
+  }
+  for (; i < n; ++i) codes[i] = QuantizeOneCode(x[i], zero_point, inv_scale, qmax);
+}
+
+void DequantizeCodesAvx2(const std::uint32_t* codes, std::size_t n, float scale,
+                         float xmin, float* out) {
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m256 scale_v = _mm256_set1_ps(scale);
+    const __m256 xmin_v = _mm256_set1_ps(xmin);
+    for (; i + 8 <= n; i += 8) {
+      const __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+      const __m256 f = _mm256_cvtepi32_ps(c);  // codes are < 2^31 (bits <= 32 narrow)
+      // Separate mul + add: two roundings, same as the scalar reference.
+      const __m256 r = _mm256_add_ps(_mm256_mul_ps(scale_v, f), xmin_v);
+      _mm256_storeu_ps(out + i, r);
+    }
+  }
+  for (; i < n; ++i) out[i] = DequantizeOneCode(codes[i], scale, xmin);
+}
+
+constexpr CodecKernels kAvx2Kernels = {
+    "avx2", AbsMaxAvx2, MinMaxAvx2, QuantizeCodesAvx2, DequantizeCodesAvx2,
+};
+
+}  // namespace
+
+const CodecKernels* Avx2CodecKernelsOrNull() {
+  static const CodecKernels* const table =
+      __builtin_cpu_supports("avx2") ? &kAvx2Kernels : nullptr;
+  return table;
+}
+
+}  // namespace cnr::quant
+
+#pragma GCC pop_options
+
+#else  // non-x86: no AVX2 implementation; dispatch falls back to scalar.
+
+namespace cnr::quant {
+const CodecKernels* Avx2CodecKernelsOrNull() { return nullptr; }
+}  // namespace cnr::quant
+
+#endif

@@ -39,74 +39,48 @@ QuantConfig QuantConfig::Deserialize(util::Reader& r) {
 }
 
 RowParams SymmetricParams(std::span<const float> row) {
-  float amax = 0.0f;
-  for (const float v : row) amax = std::max(amax, std::fabs(v));
+  const float amax = ActiveCodecKernels().abs_max(row.data(), row.size());
   return {-amax, amax};
 }
 
 RowParams AsymmetricParams(std::span<const float> row) {
   if (row.empty()) return {0.0f, 0.0f};
-  float lo = row[0], hi = row[0];
-  for (const float v : row) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  return {lo, hi};
+  RowParams p;
+  ActiveCodecKernels().min_max(row.data(), row.size(), &p.xmin, &p.xmax);
+  return p;
 }
-
-namespace {
-
-inline std::uint32_t QuantizeOne(float x, float zero_point, float inv_scale,
-                                 std::uint32_t qmax) {
-  const float q = std::round((x - zero_point) * inv_scale);
-  if (q <= 0.0f) return 0;
-  if (q >= static_cast<float>(qmax)) return qmax;
-  return static_cast<std::uint32_t>(q);
-}
-
-struct UniformScale {
-  float scale;
-  float inv_scale;
-  std::uint32_t qmax;
-};
-
-UniformScale MakeScale(int bits, const RowParams& p) {
-  if (bits < 1 || bits > 8) throw std::invalid_argument("quantize: bits must be in [1,8]");
-  const auto qmax = static_cast<std::uint32_t>((1u << bits) - 1);
-  float scale = (p.xmax - p.xmin) / static_cast<float>(qmax);
-  if (scale <= 0.0f || !std::isfinite(scale)) scale = 1.0f;  // degenerate (constant) row
-  return {scale, 1.0f / scale, qmax};
-}
-
-}  // namespace
 
 void UniformQuantize(std::span<const float> row, int bits, const RowParams& p,
                      BitPacker& packer) {
-  const auto s = MakeScale(bits, p);
-  for (const float x : row) packer.Append(QuantizeOne(x, p.xmin, s.inv_scale, s.qmax));
+  CodecScratch& scratch = TlsCodecScratch();
+  std::uint32_t* codes = scratch.Codes(row.size());
+  QuantizeRowCodes(row, bits, p, codes);
+  packer.AppendCodes({codes, row.size()});
 }
 
 void UniformDequantize(BitUnpacker& unpacker, int bits, const RowParams& p,
                        std::span<float> out) {
-  const auto s = MakeScale(bits, p);
-  for (auto& v : out) v = s.scale * static_cast<float>(unpacker.Next()) + p.xmin;
+  CodecScratch& scratch = TlsCodecScratch();
+  std::uint32_t* codes = scratch.Codes(out.size());
+  unpacker.NextCodes({codes, out.size()});
+  DequantizeRowCodes(codes, out.size(), bits, p, out.data());
 }
 
 std::vector<float> UniformRoundTrip(std::span<const float> row, int bits, const RowParams& p) {
-  const auto s = MakeScale(bits, p);
+  std::vector<std::uint32_t> codes(row.size());
+  QuantizeRowCodes(row, bits, p, codes.data());
   std::vector<float> out(row.size());
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    const std::uint32_t q = QuantizeOne(row[i], p.xmin, s.inv_scale, s.qmax);
-    out[i] = s.scale * static_cast<float>(q) + p.xmin;
-  }
+  DequantizeRowCodes(codes.data(), codes.size(), bits, p, out.data());
   return out;
 }
 
 double UniformRowL2Error(std::span<const float> row, int bits, const RowParams& p) {
-  const auto s = MakeScale(bits, p);
+  // Kept as the sequential per-element reference (adaptive.cc has the
+  // kernel-backed equivalent the search loop actually runs on).
+  const UniformScale s = MakeUniformScale(bits, p.xmin, p.xmax);
   double acc = 0.0;
   for (const float x : row) {
-    const std::uint32_t q = QuantizeOne(x, p.xmin, s.inv_scale, s.qmax);
+    const std::uint32_t q = QuantizeOneCode(x, p.xmin, s.inv_scale, s.qmax);
     const double d = static_cast<double>(x) -
                      (static_cast<double>(s.scale) * q + static_cast<double>(p.xmin));
     acc += d * d;
@@ -115,7 +89,7 @@ double UniformRowL2Error(std::span<const float> row, int bits, const RowParams& 
 }
 
 void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& cfg,
-               util::Rng& rng) {
+               util::Rng& rng, CodecScratch& scratch) {
   switch (cfg.method) {
     case Method::kNone:
       w.PutBytes(row.data(), row.size() * sizeof(float));
@@ -129,14 +103,14 @@ void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& c
       } else if (cfg.method == Method::kAsymmetric) {
         p = AsymmetricParams(row);
       } else {
-        p = AdaptiveAsymmetricParams(row, cfg.bits, cfg.num_bins, cfg.ratio);
+        p = AdaptiveAsymmetricParams(row, cfg.bits, cfg.num_bins, cfg.ratio, scratch);
       }
       w.Put<float>(p.xmin);
       w.Put<float>(p.xmax);
-      BitPacker packer(cfg.bits);
-      UniformQuantize(row, cfg.bits, p, packer);
-      const auto bytes = packer.Finish();
-      w.PutBytes(bytes.data(), bytes.size());
+      std::uint32_t* codes = scratch.Codes(row.size());
+      QuantizeRowCodes(row, cfg.bits, p, codes);
+      // Pack straight into the writer's buffer: no staging vector.
+      PackCodes(codes, row.size(), cfg.bits, w.Extend(PackedBytes(row.size(), cfg.bits)));
       return;
     }
     case Method::kKMeans: {
@@ -147,17 +121,21 @@ void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& c
       for (std::size_t i = 0; i < k; ++i) {
         w.Put<float>(i < km.codebook.size() ? km.codebook[i] : 0.0f);
       }
-      BitPacker packer(cfg.bits);
-      for (const auto code : km.codes) packer.Append(code);
-      const auto bytes = packer.Finish();
-      w.PutBytes(bytes.data(), bytes.size());
+      PackCodes(km.codes.data(), km.codes.size(), cfg.bits,
+                w.Extend(PackedBytes(km.codes.size(), cfg.bits)));
       return;
     }
   }
   throw std::invalid_argument("EncodeRow: unknown method");
 }
 
-void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out) {
+void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& cfg,
+               util::Rng& rng) {
+  EncodeRow(w, row, cfg, rng, TlsCodecScratch());
+}
+
+void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out,
+               CodecScratch& scratch) {
   switch (cfg.method) {
     case Method::kNone:
       r.GetBytes(out.data(), out.size() * sizeof(float));
@@ -168,24 +146,30 @@ void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out) {
       RowParams p;
       p.xmin = r.Get<float>();
       p.xmax = r.Get<float>();
-      std::vector<std::uint8_t> packed(PackedBytes(out.size(), cfg.bits));
-      r.GetBytes(packed.data(), packed.size());
-      BitUnpacker unpacker(packed, cfg.bits);
-      UniformDequantize(unpacker, cfg.bits, p, out);
+      // Zero-copy view of the packed codes; unpack + dequantize through the
+      // scratch codes buffer.
+      const auto packed = r.GetSpan(PackedBytes(out.size(), cfg.bits));
+      std::uint32_t* codes = scratch.Codes(out.size());
+      UnpackCodes(packed.data(), out.size(), cfg.bits, codes);
+      DequantizeRowCodes(codes, out.size(), cfg.bits, p, out.data());
       return;
     }
     case Method::kKMeans: {
       const std::size_t k = std::size_t{1} << cfg.bits;
-      std::vector<float> codebook(k);
-      r.GetBytes(codebook.data(), k * sizeof(float));
-      std::vector<std::uint8_t> packed(PackedBytes(out.size(), cfg.bits));
-      r.GetBytes(packed.data(), packed.size());
-      BitUnpacker unpacker(packed, cfg.bits);
-      for (auto& v : out) v = codebook[unpacker.Next()];
+      float* codebook = scratch.Floats(k);
+      r.GetBytes(codebook, k * sizeof(float));
+      const auto packed = r.GetSpan(PackedBytes(out.size(), cfg.bits));
+      std::uint32_t* codes = scratch.Codes(out.size());
+      UnpackCodes(packed.data(), out.size(), cfg.bits, codes);
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = codebook[codes[i]];
       return;
     }
   }
   throw std::invalid_argument("DecodeRow: unknown method");
+}
+
+void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out) {
+  DecodeRow(r, cfg, out, TlsCodecScratch());
 }
 
 std::size_t EncodedRowBytes(const QuantConfig& cfg, std::size_t dim) {

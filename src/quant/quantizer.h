@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "quant/bitpack.h"
+#include "quant/kernels.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -87,10 +88,16 @@ double UniformRowL2Error(std::span<const float> row, int bits, const RowParams& 
 
 // Encodes one row under `cfg` into `w`: per-row parameters (or codebook)
 // followed by packed codes. `rng` is used only by k-means initialization.
+// `scratch` carries the reusable codes/packed/codebook buffers (kernels.h);
+// the scratch-less overload uses the calling thread's TlsCodecScratch().
+void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& cfg,
+               util::Rng& rng, CodecScratch& scratch);
 void EncodeRow(util::Writer& w, std::span<const float> row, const QuantConfig& cfg,
                util::Rng& rng);
 
 // Decodes one row encoded by EncodeRow.
+void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out,
+               CodecScratch& scratch);
 void DecodeRow(util::Reader& r, const QuantConfig& cfg, std::span<float> out);
 
 // Bytes EncodeRow will emit for a row of `dim` elements under `cfg`.

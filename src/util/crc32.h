@@ -3,8 +3,12 @@
 // Every checkpoint chunk carries a checksum so recovery detects corruption
 // in the storage tier (bit rot, truncated replication) instead of silently
 // restoring a damaged model — production checkpoint systems treat this as
-// table stakes. Software slice-by-one implementation; fast enough since
-// checksumming is off the training critical path.
+// table stakes. The software path is slice-by-8; when the CPU has a CRC32
+// instruction (SSE4.2 on x86, the ARMv8 CRC extension) a hardware path is
+// selected at process start instead. Both produce identical checksums —
+// CRC-32C is one function, these are just two evaluation strategies — and
+// CNR_DISABLE_SIMD=1 pins the software path (see quant/kernels.h for the
+// same switch on the quantize kernels).
 #pragma once
 
 #include <cstddef>
@@ -21,5 +25,12 @@ inline std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed 
   return Crc32c(std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(data), n),
                 seed);
 }
+
+// The software slice-by-8 path, always available (reference for tests and
+// the bench's hardware-vs-software comparison).
+std::uint32_t Crc32cScalar(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+// Name of the path Crc32c dispatches to: "slice8", "sse4.2", or "armv8".
+const char* Crc32cImplName();
 
 }  // namespace cnr::util

@@ -44,6 +44,16 @@ class Writer {
     if (n != 0) std::memcpy(buf_.data() + off, data, n);
   }
 
+  // Appends `n` uninitialized bytes and returns a pointer to them, so bulk
+  // encoders (quant kernels) can pack directly into the buffer instead of
+  // staging through a temporary. The pointer is invalidated by the next
+  // append.
+  std::uint8_t* Extend(std::size_t n) {
+    const std::size_t off = buf_.size();
+    buf_.resize(off + n);
+    return buf_.data() + off;
+  }
+
   void PutString(std::string_view s) {
     Put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
     PutBytes(s.data(), s.size());
@@ -94,6 +104,15 @@ class Reader {
     Require(n);
     if (n != 0) std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
+  }
+
+  // Zero-copy read: returns a view of the next `n` bytes in place and
+  // advances past them. The view aliases the Reader's underlying buffer.
+  std::span<const std::uint8_t> GetSpan(std::size_t n) {
+    Require(n);
+    const std::span<const std::uint8_t> s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
   }
 
   std::string GetString() {

@@ -1,0 +1,134 @@
+// Steady-state allocation behavior of the chunk codec (ISSUE 6 acceptance:
+// EncodeChunkTask/DecodeChunkBlob perform zero per-row heap allocations).
+//
+// The TU overrides global operator new to count allocations; the invariant
+// asserted is that the allocation COUNT of encoding/decoding a chunk is
+// independent of how many rows the chunk has — per-chunk allocations (the
+// writer buffer, the decoded output vectors) are allowed, per-row ones are
+// not.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <vector>
+
+#include "core/pipeline/chunk_codec.h"
+#include "quant/kernels.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return CountedAlloc(n); }
+void* operator new[](std::size_t n) { return CountedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace cnr::core::pipeline {
+namespace {
+
+ShardSnapshot MakeShard(std::size_t rows, std::size_t dim) {
+  ShardSnapshot s;
+  s.table_id = 1;
+  s.shard_id = 0;
+  s.num_rows = rows;
+  s.dim = dim;
+  s.weights.resize(rows * dim);
+  s.adagrad.resize(rows, 0.5f);
+  util::Rng rng(9);
+  for (auto& v : s.weights) v = static_cast<float>(rng.NextGaussian());
+  return s;
+}
+
+ChunkTask ContiguousTask(const ShardSnapshot& shard, std::size_t rows) {
+  ChunkTask t;
+  t.shard = &shard;
+  t.chunk_index = 0;
+  t.explicit_indices = false;
+  t.start_row = 0;
+  t.rows_count = rows;
+  return t;
+}
+
+std::uint64_t CountAllocs(const std::function<void()>& fn) {
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  fn();
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+TEST(CodecScratch, EncodeAllocCountIndependentOfRowCount) {
+  const ShardSnapshot shard = MakeShard(256, 64);
+  quant::QuantConfig qc;  // asymmetric, 4 bits
+  quant::CodecScratch scratch;
+  util::Rng rng(1);
+
+  // Warm up the scratch (first rows grow the codes buffer once).
+  auto warm = EncodeChunkTask(ContiguousTask(shard, 256), qc, rng, scratch);
+  ASSERT_FALSE(warm.empty());
+
+  std::vector<std::uint8_t> sink;
+  const std::uint64_t small = CountAllocs([&] {
+    sink = EncodeChunkTask(ContiguousTask(shard, 8), qc, rng, scratch);
+  });
+  const std::uint64_t large = CountAllocs([&] {
+    sink = EncodeChunkTask(ContiguousTask(shard, 256), qc, rng, scratch);
+  });
+  EXPECT_EQ(small, large) << "encode allocations scale with row count";
+  EXPECT_LE(large, 4u) << "encode should allocate at most the output buffer";
+}
+
+TEST(CodecScratch, DecodeAllocCountIndependentOfRowCount) {
+  const ShardSnapshot shard = MakeShard(256, 64);
+  quant::QuantConfig qc;
+  quant::CodecScratch scratch;
+  util::Rng rng(1);
+
+  const auto small_blob = EncodeChunkTask(ContiguousTask(shard, 8), qc, rng, scratch);
+  const auto large_blob = EncodeChunkTask(ContiguousTask(shard, 256), qc, rng, scratch);
+  // Warm-up decode grows the scratch codes buffer to the row dim once.
+  DecodeChunkBlob(large_blob, qc, "warm", scratch);
+
+  DecodedChunk out;
+  const std::uint64_t small = CountAllocs([&] {
+    out = DecodeChunkBlob(small_blob, qc, "small", scratch);
+  });
+  EXPECT_EQ(out.num_rows, 8u);
+  const std::uint64_t large = CountAllocs([&] {
+    out = DecodeChunkBlob(large_blob, qc, "large", scratch);
+  });
+  EXPECT_EQ(out.num_rows, 256u);
+  EXPECT_EQ(small, large) << "decode allocations scale with row count";
+  EXPECT_LE(large, 6u) << "decode should allocate only the per-chunk output vectors";
+}
+
+TEST(CodecScratch, ScratchStopsGrowingInSteadyState) {
+  const ShardSnapshot shard = MakeShard(128, 48);
+  quant::QuantConfig qc;
+  qc.method = quant::Method::kAdaptiveAsymmetric;  // exercises the search path too
+  quant::CodecScratch scratch;
+  util::Rng rng(2);
+  auto blob = EncodeChunkTask(ContiguousTask(shard, 128), qc, rng, scratch);
+  const std::uint64_t warm = scratch.grow_events;
+  for (int i = 0; i < 10; ++i) {
+    blob = EncodeChunkTask(ContiguousTask(shard, 128), qc, rng, scratch);
+    DecodeChunkBlob(blob, qc, "k", scratch);
+  }
+  EXPECT_EQ(scratch.grow_events, warm);
+}
+
+}  // namespace
+}  // namespace cnr::core::pipeline

@@ -115,6 +115,56 @@ TEST(Adaptive, LowerBitsGainMore) {
   EXPECT_GT(improvements[0], improvements[2]);  // 2-bit gains more than 4-bit
 }
 
+// The historical implementation, verbatim: the greedy search driven by
+// UniformRowL2Error round trips. The kernel-backed search must select exactly
+// the same params — same codes, same double-precision error fold, so every
+// <=/< comparison in the loop resolves identically.
+RowParams LegacyAdaptiveAsymmetricParams(std::span<const float> row, int bits, int num_bins,
+                                         double ratio) {
+  const RowParams full = AsymmetricParams(row);
+  const float range = full.xmax - full.xmin;
+  if (range <= 0.0f) return full;
+  const float step = range / static_cast<float>(num_bins);
+  RowParams best = full;
+  double best_err = UniformRowL2Error(row, bits, full);
+  RowParams cur = full;
+  while ((cur.xmax - cur.xmin) > range * (1.0 - ratio) + step) {
+    const RowParams lo_shrunk{cur.xmin + step, cur.xmax};
+    const RowParams hi_shrunk{cur.xmin, cur.xmax - step};
+    const double err_lo = UniformRowL2Error(row, bits, lo_shrunk);
+    const double err_hi = UniformRowL2Error(row, bits, hi_shrunk);
+    if (err_lo <= err_hi) {
+      cur = lo_shrunk;
+      if (err_lo < best_err) {
+        best_err = err_lo;
+        best = cur;
+      }
+    } else {
+      cur = hi_shrunk;
+      if (err_hi < best_err) {
+        best_err = err_hi;
+        best = cur;
+      }
+    }
+  }
+  return best;
+}
+
+TEST(Adaptive, SelectionUnchangedVsLegacyImplementation) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto row = RowWithOutlier(rng, 64, 2.5f);
+    for (const int bits : {2, 3, 4, 8}) {
+      for (const double ratio : {0.3, 1.0}) {
+        const auto legacy = LegacyAdaptiveAsymmetricParams(row, bits, 25, ratio);
+        const auto now = AdaptiveAsymmetricParams(row, bits, 25, ratio);
+        EXPECT_EQ(legacy.xmin, now.xmin) << "trial=" << trial << " bits=" << bits;
+        EXPECT_EQ(legacy.xmax, now.xmax) << "trial=" << trial << " bits=" << bits;
+      }
+    }
+  }
+}
+
 class AdaptiveBinsTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(AdaptiveBinsTest, MoreBinsRefineOrMatch) {

@@ -20,10 +20,76 @@ TEST(BitPack, PackedBytesMath) {
 
 TEST(BitPack, InvalidBitsThrow) {
   EXPECT_THROW(BitPacker(0), std::invalid_argument);
-  EXPECT_THROW(BitPacker(9), std::invalid_argument);
+  EXPECT_THROW(BitPacker(33), std::invalid_argument);
   std::vector<std::uint8_t> buf(1);
   EXPECT_THROW(BitUnpacker(buf, 0), std::invalid_argument);
-  EXPECT_THROW(BitUnpacker(buf, 9), std::invalid_argument);
+  EXPECT_THROW(BitUnpacker(buf, 33), std::invalid_argument);
+}
+
+TEST(BitPack, FullWidth32RoundTrip) {
+  // Regression: BitUnpacker::Next used a 32-bit accumulator and computed its
+  // mask as (1u << bits) - 1, which is undefined at bits == 32.
+  const std::uint32_t values[] = {0u, 1u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu, 0xDEADBEEFu};
+  BitPacker p(32);
+  for (const auto v : values) p.Append(v);
+  const auto bytes = p.Finish();
+  ASSERT_EQ(bytes.size(), sizeof(values));
+  BitUnpacker u(bytes, 32);
+  for (const auto v : values) EXPECT_EQ(u.Next(), v);
+}
+
+TEST(BitPack, WideWidthsRoundTrip) {
+  util::Rng rng(7);
+  for (const int bits : {9, 12, 17, 24, 31, 32}) {
+    const std::uint64_t span = (bits == 32) ? 0x100000000ULL : (1ULL << bits);
+    std::vector<std::uint32_t> codes(129);
+    BitPacker p(bits);
+    for (auto& c : codes) {
+      c = static_cast<std::uint32_t>(rng.NextBounded(span));
+      p.Append(c);
+    }
+    const auto bytes = p.Finish();
+    EXPECT_EQ(bytes.size(), PackedBytes(codes.size(), bits));
+    BitUnpacker u(bytes, bits);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(u.Next(), codes[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(BitPack, BulkMatchesPerCode) {
+  // AppendCodes/NextCodes ride the wide kernels; the byte stream and the
+  // decoded codes must be indistinguishable from the per-code path, including
+  // when the stream is mid-byte at the bulk call.
+  util::Rng rng(11);
+  for (const int bits : {1, 3, 4, 5, 7, 8}) {
+    const std::uint32_t max_code = (1u << bits) - 1;
+    for (const std::size_t lead : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      std::vector<std::uint32_t> codes(67);
+      for (auto& c : codes) c = static_cast<std::uint32_t>(rng.NextBounded(max_code + 1));
+
+      BitPacker per_code(bits);
+      for (const auto c : codes) per_code.Append(c);
+      const auto expect = per_code.Finish();
+
+      BitPacker bulk(bits);
+      for (std::size_t i = 0; i < lead; ++i) bulk.Append(codes[i]);
+      bulk.AppendCodes(std::span(codes).subspan(lead));
+      EXPECT_EQ(bulk.Finish(), expect) << "bits=" << bits << " lead=" << lead;
+
+      BitUnpacker u(expect, bits);
+      std::vector<std::uint32_t> out(codes.size());
+      for (std::size_t i = 0; i < lead; ++i) out[i] = u.Next();
+      u.NextCodes(std::span(out).subspan(lead));
+      EXPECT_EQ(out, codes) << "bits=" << bits << " lead=" << lead;
+    }
+  }
+}
+
+TEST(BitPack, BulkCodeExceedingWidthThrows) {
+  BitPacker p(3);
+  const std::uint32_t codes[] = {1, 2, 8};
+  EXPECT_THROW(p.AppendCodes(codes), std::invalid_argument);
 }
 
 TEST(BitPack, CodeExceedingWidthThrows) {

@@ -1,0 +1,250 @@
+// Differential coverage for the batch codec kernels (quant/kernels.h).
+//
+// Two invariants, both load-bearing for the on-disk format:
+//   1. Scalar and AVX2 kernels are bit-identical — same codes, same packed
+//      bytes, same decoded floats — across adversarial inputs (NaN/inf,
+//      denormals, signed zeros, exact rounding ties, every tail length that
+//      crosses an 8-wide group boundary).
+//   2. Whatever kernel is active, EncodeRow/DecodeRow produce exactly the
+//      bytes of the historical per-element implementation (the stored format
+//      must not depend on this PR or on which CPU encoded a chunk).
+#include "quant/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "quant/adaptive.h"
+#include "quant/bitpack.h"
+#include "quant/quantizer.h"
+#include "util/rng.h"
+
+namespace cnr::quant {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kDenorm = std::numeric_limits<float>::denorm_min();
+
+// Bitwise float equality: NaN == NaN, +0 != -0 (stricter than ==).
+bool SameBits(float a, float b) {
+  std::uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+std::vector<std::vector<float>> AdversarialRows() {
+  std::vector<std::vector<float>> rows;
+  rows.push_back({});                               // empty
+  rows.push_back({0.42f});                          // single element
+  rows.push_back(std::vector<float>(19, 3.25f));    // constant
+  rows.push_back(std::vector<float>(16, 0.0f));     // constant zero
+  rows.push_back({-0.0f, 0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f, 0.0f, 0.0f, -0.0f});
+  rows.push_back({kDenorm, -kDenorm, 2 * kDenorm, -3 * kDenorm, kDenorm, kDenorm,
+                  -kDenorm, kDenorm, -2 * kDenorm});
+  rows.push_back({kInf, -kInf, 1.0f, -1.0f, kInf, 0.5f, -kInf, 2.0f, 3.0f});
+  rows.push_back({kNaN, 1.0f, -1.0f, kNaN, 0.0f, kNaN, 2.0f, -2.0f, kNaN});
+  rows.push_back({1.0f, 2.0f, kNaN, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f});  // NaN mid-lane
+  // Exact rounding ties: with params {0, qmax} the scale is 1, so x = k + 0.5
+  // hits a tie for every k — where half-even and half-away diverge.
+  {
+    std::vector<float> ties;
+    for (int k = 0; k < 24; ++k) ties.push_back(static_cast<float>(k) + 0.5f);
+    rows.push_back(std::move(ties));
+  }
+  // Near-tie values that must NOT round up (the floor(x + 0.5) trap).
+  rows.push_back(std::vector<float>(12, 0.49999997f));
+  // Random rows at every length 0..67: crosses the 8-wide kernel groups and
+  // every bitpack word/tail boundary.
+  util::Rng rng(42);
+  for (std::size_t len = 0; len <= 67; ++len) {
+    std::vector<float> row(len);
+    for (auto& v : row) {
+      v = static_cast<float>(rng.NextBounded(20000)) / 100.0f - 100.0f;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(CodecKernels, ScalarVsSimdBitIdentical) {
+  const CodecKernels& scalar = ScalarCodecKernels();
+  const CodecKernels* simd = Avx2CodecKernelsOrNull();
+  if (simd == nullptr) GTEST_SKIP() << "no AVX2 on this machine";
+
+  for (const auto& row : AdversarialRows()) {
+    const std::span<const float> span(row);
+    // Parameter scans.
+    EXPECT_TRUE(SameBits(scalar.abs_max(row.data(), row.size()),
+                         simd->abs_max(row.data(), row.size())))
+        << "abs_max, len=" << row.size();
+    if (!row.empty()) {
+      float slo, shi, vlo, vhi;
+      scalar.min_max(row.data(), row.size(), &slo, &shi);
+      simd->min_max(row.data(), row.size(), &vlo, &vhi);
+      EXPECT_TRUE(SameBits(slo, vlo) && SameBits(shi, vhi))
+          << "min_max, len=" << row.size() << " scalar=[" << slo << "," << shi
+          << "] simd=[" << vlo << "," << vhi << "]";
+    }
+    for (int bits = 1; bits <= 8; ++bits) {
+      // Quantize under both a data-derived range and the tie-provoking
+      // integer range {0, qmax}.
+      const RowParams data_p = AsymmetricParams(span);
+      const RowParams tie_p{0.0f, static_cast<float>((1u << bits) - 1)};
+      for (const RowParams& p : {data_p, tie_p}) {
+        std::vector<std::uint32_t> sc(row.size()), vc(row.size());
+        QuantizeRowCodes(scalar, span, bits, p, sc.data());
+        QuantizeRowCodes(*simd, span, bits, p, vc.data());
+        EXPECT_EQ(sc, vc) << "codes, len=" << row.size() << " bits=" << bits;
+        std::vector<float> sd(row.size()), vd(row.size());
+        DequantizeRowCodes(scalar, sc.data(), sc.size(), bits, p, sd.data());
+        DequantizeRowCodes(*simd, sc.data(), sc.size(), bits, p, vd.data());
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          EXPECT_TRUE(SameBits(sd[i], vd[i]))
+              << "dequant, len=" << row.size() << " bits=" << bits << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// The historical per-element uniform encoder, verbatim: QuantizeOne +
+// BitPacker::Append. EncodeRow must keep producing exactly these bytes.
+void LegacyEncodeUniform(util::Writer& w, std::span<const float> row, int bits,
+                         const RowParams& p) {
+  w.Put<float>(p.xmin);
+  w.Put<float>(p.xmax);
+  const UniformScale s = MakeUniformScale(bits, p.xmin, p.xmax);
+  BitPacker packer(bits);
+  for (const float x : row) packer.Append(QuantizeOneCode(x, p.xmin, s.inv_scale, s.qmax));
+  const auto bytes = packer.Finish();
+  w.PutBytes(bytes.data(), bytes.size());
+}
+
+bool AllFinite(std::span<const float> row) {
+  for (const float v : row) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+TEST(CodecKernels, EncodeRowMatchesLegacyBytes) {
+  util::Rng rng(7);
+  for (const auto& row : AdversarialRows()) {
+    // Non-finite rows had undefined encodings before (casting an unrounded
+    // NaN/huge float); the differential test above pins them now.
+    if (!AllFinite(row)) continue;
+    const std::span<const float> span(row);
+    for (int bits = 1; bits <= 8; ++bits) {
+      for (const Method m :
+           {Method::kSymmetric, Method::kAsymmetric, Method::kAdaptiveAsymmetric}) {
+        QuantConfig cfg;
+        cfg.method = m;
+        cfg.bits = bits;
+        util::Writer now;
+        EncodeRow(now, span, cfg, rng);
+
+        RowParams p;
+        if (m == Method::kSymmetric) {
+          p = SymmetricParams(span);
+        } else if (m == Method::kAsymmetric) {
+          p = AsymmetricParams(span);
+        } else {
+          p = AdaptiveAsymmetricParams(span, bits, cfg.num_bins, cfg.ratio);
+        }
+        util::Writer legacy;
+        LegacyEncodeUniform(legacy, span, bits, p);
+        EXPECT_EQ(now.bytes(), legacy.bytes())
+            << MethodName(m) << " bits=" << bits << " len=" << row.size();
+
+        // And decode reproduces the legacy per-element reconstruction.
+        util::Reader r(now.bytes());
+        std::vector<float> out(row.size());
+        DecodeRow(r, cfg, out);
+        const UniformScale s = MakeUniformScale(bits, p.xmin, p.xmax);
+        util::Reader lr(legacy.bytes());
+        RowParams lp;
+        lp.xmin = lr.Get<float>();
+        lp.xmax = lr.Get<float>();
+        std::vector<std::uint8_t> packed(PackedBytes(row.size(), bits));
+        lr.GetBytes(packed.data(), packed.size());
+        BitUnpacker u(packed, bits);
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          const float want = s.scale * static_cast<float>(u.Next()) + lp.xmin;
+          EXPECT_TRUE(SameBits(out[i], want))
+              << MethodName(m) << " bits=" << bits << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecKernels, PackUnpackAllWidthsAndLengths) {
+  util::Rng rng(13);
+  for (int bits = 1; bits <= 8; ++bits) {
+    const std::uint32_t max_code = (1u << bits) - 1;
+    for (std::size_t len = 0; len <= 67; ++len) {
+      std::vector<std::uint32_t> codes(len);
+      for (auto& c : codes) c = static_cast<std::uint32_t>(rng.NextBounded(max_code + 1));
+      std::vector<std::uint8_t> packed(PackedBytes(len, bits), 0xAB);
+      PackCodes(codes.data(), len, bits, packed.data());
+      // Must byte-match the per-code packer.
+      BitPacker p(bits);
+      for (const auto c : codes) p.Append(c);
+      EXPECT_EQ(packed, p.Finish()) << "bits=" << bits << " len=" << len;
+      std::vector<std::uint32_t> back(len, 0xFFFFFFFFu);
+      UnpackCodes(packed.data(), len, bits, back.data());
+      EXPECT_EQ(back, codes) << "bits=" << bits << " len=" << len;
+    }
+  }
+}
+
+TEST(CodecKernels, ScratchReusesBuffersAcrossRows) {
+  CodecScratch scratch;
+  util::Rng rng(3);
+  QuantConfig cfg;  // asymmetric, 4 bits
+  std::vector<float> row(64);
+  for (auto& v : row) v = static_cast<float>(rng.NextBounded(1000)) / 10.0f;
+  util::Writer w;
+  EncodeRow(w, row, cfg, rng, scratch);
+  const std::uint64_t warm = scratch.grow_events;
+  EXPECT_GT(warm, 0u);
+  for (int i = 0; i < 100; ++i) {
+    util::Writer w2;
+    EncodeRow(w2, row, cfg, rng, scratch);
+    util::Reader r(w2.bytes());
+    std::vector<float> out(row.size());
+    DecodeRow(r, cfg, out, scratch);
+  }
+  EXPECT_EQ(scratch.grow_events, warm) << "scratch kept growing after warm-up";
+}
+
+TEST(CodecKernels, ActiveKernelsRespectEnvToggle) {
+  // Whatever was selected, the name is one of the two tables and consistent
+  // with the env toggle (the toggle itself is exercised by the
+  // CNR_DISABLE_SIMD CI leg, where this asserts the scalar table won).
+  const CodecKernels& k = ActiveCodecKernels();
+  if (SimdDisabledByEnv() || Avx2CodecKernelsOrNull() == nullptr) {
+    EXPECT_STREQ(k.name, "scalar");
+  } else {
+    EXPECT_STREQ(k.name, "avx2");
+  }
+}
+
+TEST(CodecKernels, MakeUniformScaleDegenerateRanges) {
+  for (const auto& [lo, hi] : std::vector<std::pair<float, float>>{
+           {0.0f, 0.0f}, {1.0f, 1.0f}, {5.0f, 1.0f}, {-kInf, kInf}, {kNaN, kNaN}}) {
+    const UniformScale s = MakeUniformScale(4, lo, hi);
+    EXPECT_EQ(s.scale, 1.0f) << lo << "," << hi;
+    EXPECT_EQ(s.qmax, 15u);
+  }
+  EXPECT_THROW(MakeUniformScale(0, 0.0f, 1.0f), std::invalid_argument);
+  EXPECT_THROW(MakeUniformScale(9, 0.0f, 1.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnr::quant

@@ -52,5 +52,28 @@ TEST(Crc32c, OrderMatters) {
   EXPECT_NE(CrcOf("ab"), CrcOf("ba"));
 }
 
+TEST(Crc32c, ScalarPathMatchesKnownVectors) {
+  // The software slice-by-8 path stands alone as the reference.
+  const char nine[] = "123456789";
+  EXPECT_EQ(Crc32cScalar({reinterpret_cast<const std::uint8_t*>(nine), 9}), 0xE3069283u);
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32cScalar(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, DispatchedPathMatchesScalarPath) {
+  // Whatever Crc32c dispatched to (sse4.2 / armv8 / slice8), it is the same
+  // function as the software reference — on every length, including the
+  // sub-word tails, and with chained seeds.
+  Rng rng(3);
+  std::vector<std::uint8_t> data(300);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+  for (std::size_t len = 0; len <= 100; ++len) {
+    const std::span<const std::uint8_t> s(data.data(), len);
+    EXPECT_EQ(Crc32c(s), Crc32cScalar(s)) << "len=" << len << " impl=" << Crc32cImplName();
+    EXPECT_EQ(Crc32c(s, 0x1234ABCDu), Crc32cScalar(s, 0x1234ABCDu)) << "len=" << len;
+  }
+  EXPECT_EQ(Crc32c(data), Crc32cScalar(data));
+}
+
 }  // namespace
 }  // namespace cnr::util

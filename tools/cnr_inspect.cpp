@@ -39,8 +39,10 @@
 #include "core/maintenance.h"
 #include "core/pipeline/restore.h"
 #include "core/recovery.h"
+#include "quant/kernels.h"
 #include "storage/file_store.h"
 #include "storage/manifest.h"
+#include "util/crc32.h"
 
 using namespace cnr;
 
@@ -51,6 +53,11 @@ const char* KindName(storage::CheckpointKind kind) {
 }
 
 double Ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
+
+// bytes / stage-cpu-time in MB/s; 0 when the stage recorded no time.
+double MBps(std::uint64_t bytes, std::uint64_t us) {
+  return us > 0 ? static_cast<double>(bytes) / static_cast<double>(us) : 0.0;
+}
 
 bool HasTimings(const storage::StageTimings& t) {
   return t.snapshot_us | t.plan_us | t.encode_us | t.store_us | t.commit_us |
@@ -153,6 +160,10 @@ void RestoreDrill(storage::ObjectStore& store, const std::string& job,
               static_cast<unsigned long long>(out.bytes_read),
               static_cast<unsigned long long>(applier.dense_bytes));
   PrintRestoreTimings(out.timings, "  ");
+  if (out.timings.decode_us > 0) {
+    std::printf("  decode speed:    %.1f MB/s (bytes read / decode cpu)\n",
+                MBps(out.bytes_read, out.timings.decode_us));
+  }
   PrintStageRuntime(out.stages, "  ");
 }
 
@@ -298,6 +309,17 @@ void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
               static_cast<unsigned long long>(m.dense_bytes), m.dense_key.c_str());
   std::printf("  reader state:    %zu bytes\n", m.reader_state.size());
   PrintTimings(m.timings, "  ");
+  // Codec throughput: encoded chunk bytes over the stage cpu that produced
+  // and shipped them (the production-visible view of the vectorized codec
+  // hot path; see bench/codec_hot_path.cpp).
+  std::uint64_t chunk_bytes = 0;
+  for (const auto& c : m.chunks) chunk_bytes += c.bytes;
+  if (m.timings.encode_us > 0 || m.timings.store_us > 0) {
+    std::printf("  codec speed:     encode %.1f MB/s | store %.1f MB/s"
+                " (chunk bytes / stage cpu; kernels=%s, crc=%s)\n",
+                MBps(chunk_bytes, m.timings.encode_us), MBps(chunk_bytes, m.timings.store_us),
+                quant::ActiveCodecKernels().name, util::Crc32cImplName());
+  }
 
   // Per (table, shard) chunk breakdown.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<std::uint64_t, std::uint64_t>>
