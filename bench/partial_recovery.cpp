@@ -1,0 +1,177 @@
+// CPR-style partial recovery vs. full restore, as a function of shard count.
+//
+// The paper's motivation for sharded checkpoints (§2.1, §4.2): when k of N
+// trainer nodes fail, only their embedding shards need to come back from the
+// checkpoint tier — survivors keep their rows in device memory and the dense
+// layers are replicated. This bench writes a coordinated cut for N-shard
+// jobs, fails one node of an N/2-node cluster (losing 2 shards), and
+// measures partial restore against a full restore of the same cut:
+//
+//   - bytes fetched (storage::AccountingStore read-side counters), and
+//   - restore wall over a latency-injected store (per-Get sleeps standing in
+//     for the remote round-trip on the recovery critical path).
+//
+// Exit code is non-zero if, for any run with >= 4 shards, the partial
+// restore does not fetch strictly fewer bytes AND finish strictly faster
+// than the full restore — the CI gate for the CPR win. At 2 shards the
+// single "surviving" node degenerates to a full loss and the two paths
+// coincide; the row is printed for context, not gated.
+//
+// Usage: bench_partial_recovery [smoke]   ("smoke" = toy sizes, for CI)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sharded_checkpoint.h"
+#include "sim/cluster.h"
+#include "storage/accounting_store.h"
+#include "storage/latency_store.h"
+
+using namespace cnr;
+using namespace std::chrono_literals;
+
+namespace {
+
+double Ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+dlrm::ModelConfig ModelFor(std::size_t shards, bool smoke) {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 8;
+  cfg.embedding_dim = 16;
+  cfg.table_rows = smoke ? std::vector<std::size_t>{1024, 512}
+                         : std::vector<std::size_t>{16384, 8192};
+  cfg.bottom_hidden = {32};
+  cfg.top_hidden = {32};
+  cfg.num_shards = shards;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+data::DatasetConfig DataFor(bool smoke) {
+  data::DatasetConfig cfg;
+  cfg.seed = 4321;
+  cfg.num_dense = 8;
+  cfg.tables = smoke ? std::vector<data::TableSpec>{{1024, 3, 1.1}, {512, 2, 1.1}}
+                     : std::vector<data::TableSpec>{{16384, 3, 1.1}, {8192, 2, 1.1}};
+  return cfg;
+}
+
+struct RunResult {
+  std::size_t shards = 0;
+  std::size_t lost = 0;
+  std::uint64_t full_bytes = 0;
+  std::uint64_t partial_bytes = 0;
+  double full_ms = 0.0;
+  double partial_ms = 0.0;
+  bool parity = true;  // lost shards restored partially == full restore
+};
+
+RunResult RunOne(std::size_t shards, bool smoke) {
+  const char* job = "cpr";
+  auto accounting = std::make_shared<storage::AccountingStore>(
+      std::make_shared<storage::InMemoryStore>());
+  // Reads during restore pay a per-Get round trip; writes are free (write
+  // wall is not under test here).
+  storage::LatencyInjectedStore slow(accounting, smoke ? 100us : 300us);
+
+  dlrm::DlrmModel model(ModelFor(shards, smoke));
+  data::SyntheticDataset ds(DataFor(smoke));
+  {
+    core::CheckpointService service(accounting);
+    core::ShardedJobConfig cfg;
+    cfg.name = job;
+    cfg.quantize = true;
+    cfg.quant.method = quant::Method::kAsymmetric;
+    cfg.quant.bits = 8;
+    cfg.chunk_rows = smoke ? 128 : 512;
+    cfg.gc = false;
+    core::ShardedJobHandle handle(service, model, cfg);
+    const int batches = smoke ? 4 : 8;
+    for (int b = 0; b < batches; ++b) {
+      model.TrainBatch(ds.GetBatch(b, static_cast<std::uint64_t>(b) * 64, 64));
+    }
+    if (!handle.WriteCut(batches, batches * 64ull).committed) {
+      std::fprintf(stderr, "cut did not commit\n");
+      std::exit(1);
+    }
+  }
+
+  // One node of an N/2-node cluster dies: its 2 shards are what CPR must
+  // re-fetch (at N=2 the lone node hosted everything).
+  sim::ClusterConfig cluster_cfg;
+  cluster_cfg.nodes = std::max<std::size_t>(1, shards / 2);
+  const sim::ClusterModel cluster(cluster_cfg);
+  const auto lost_sz = cluster.LostShards({0}, shards);
+  const std::vector<std::uint32_t> lost(lost_sz.begin(), lost_sz.end());
+
+  RunResult r;
+  r.shards = shards;
+  r.lost = lost.size();
+
+  dlrm::DlrmModel full_model(ModelFor(shards, smoke));
+  const auto full_before = accounting->Usage(job).bytes_fetched;
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)core::RestoreShardedModel(slow, job, full_model);
+  r.full_ms = Ms(std::chrono::steady_clock::now() - t0);
+  r.full_bytes = accounting->Usage(job).bytes_fetched - full_before;
+
+  dlrm::DlrmModel partial_model(ModelFor(shards, smoke));
+  const auto partial_before = accounting->Usage(job).bytes_fetched;
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)core::RestorePartial(slow, job, partial_model, lost);
+  r.partial_ms = Ms(std::chrono::steady_clock::now() - t1);
+  r.partial_bytes = accounting->Usage(job).bytes_fetched - partial_before;
+
+  // The partially restored shards must match the full restore bit for bit.
+  const std::set<std::uint32_t> lost_set(lost.begin(), lost.end());
+  for (std::size_t t = 0; t < partial_model.num_tables(); ++t) {
+    for (std::size_t s = 0; s < partial_model.table(t).num_shards(); ++s) {
+      if (!lost_set.contains(static_cast<std::uint32_t>(s))) continue;
+      if (!(partial_model.table(t).Shard(s) == full_model.table(t).Shard(s))) {
+        r.parity = false;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  bench::PrintHeader("partial_recovery",
+                     "CPR partial restore (one lost node) vs full restore of the same cut",
+                     ">= 4 shards: partial fetches strictly fewer bytes and is strictly "
+                     "faster than full");
+
+  const std::vector<std::size_t> counts =
+      smoke ? std::vector<std::size_t>{4, 8} : std::vector<std::size_t>{2, 4, 8, 16};
+
+  std::printf("%7s %5s | %12s %10s | %12s %10s | %7s %7s\n", "shards", "lost",
+              "full bytes", "full ms", "part bytes", "part ms", "bytes/", "wall/");
+  bool ok = true;
+  for (const auto n : counts) {
+    const RunResult r = RunOne(n, smoke);
+    const bool gated = r.shards >= 4;
+    const bool fewer = r.partial_bytes < r.full_bytes;
+    const bool faster = r.partial_ms < r.full_ms;
+    std::printf("%7zu %5zu | %12llu %10.2f | %12llu %10.2f | %6.3f  %6.3f %s%s\n",
+                r.shards, r.lost, static_cast<unsigned long long>(r.full_bytes), r.full_ms,
+                static_cast<unsigned long long>(r.partial_bytes), r.partial_ms,
+                static_cast<double>(r.partial_bytes) / static_cast<double>(r.full_bytes),
+                r.partial_ms / r.full_ms, gated ? "" : "(ungated)",
+                r.parity ? "" : " PARITY-FAIL");
+    if (!r.parity) ok = false;
+    if (gated && !(fewer && faster)) ok = false;
+  }
+
+  std::printf("\nCPR gate (every >= 4-shard run: fewer bytes AND faster, parity exact): %s\n",
+              ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -48,6 +48,28 @@ std::vector<std::uint64_t> WalkChain(const JobSurvey& survey, std::uint64_t from
   return chain;
 }
 
+// Ids protected for a job with coordinated cuts: the union of the newest
+// cut's shards' chains, plus every id newer than the newest cut's highest
+// mapped id — those are the next cut's sub-checkpoints in flight (or a torn
+// cut's leftovers the next cut may chain over; indistinguishable), together
+// with their chains.
+std::set<std::uint64_t> CutLiveSet(const JobSurvey& survey) {
+  std::set<std::uint64_t> live;
+  if (survey.cuts.empty()) return live;
+  const CutSurvey& newest = survey.cuts.back();
+  std::uint64_t cut_max = 0;
+  for (const auto& e : newest.shard_map) {
+    const auto chain = WalkChain(survey, e.checkpoint_id);
+    live.insert(chain.begin(), chain.end());
+    cut_max = std::max(cut_max, e.checkpoint_id);
+  }
+  for (auto it = survey.ids.rbegin(); it != survey.ids.rend() && *it > cut_max; ++it) {
+    const auto chain = WalkChain(survey, *it);
+    live.insert(chain.begin(), chain.end());
+  }
+  return live;
+}
+
 }  // namespace
 
 JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
@@ -60,6 +82,34 @@ JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
   // job (its own bytes measured, chunk/dense bytes as the manifest claims).
   std::set<std::string> referenced;
   for (const auto& key : keys) {
+    // Coordinated cut objects (core/sharded_checkpoint.h): the COORD
+    // manifest references itself and the cut's dense blob; its shard map
+    // ties the job's sub-checkpoints into one lineage unit.
+    if (key.ends_with("/COORD")) {
+      const auto blob = store.Get(key);
+      if (!blob) continue;
+      CutSurvey cut;
+      try {
+        storage::Manifest m = storage::Manifest::Decode(*blob);
+        if (m.kind != storage::CheckpointKind::kCoordinated) continue;
+        cut.epoch = m.cut_epoch;
+        cut.dense_key = m.dense_key;
+        cut.dense_bytes = m.dense_bytes;
+        cut.shard_map = m.shard_map;
+      } catch (...) {
+        continue;  // undecodable cut manifest: stays unreferenced (orphan)
+      }
+      cut.manifest_key = key;
+      cut.manifest_bytes = blob->size();
+      referenced.insert(key);
+      survey.objects[key] = blob->size();
+      if (!cut.dense_key.empty()) {
+        referenced.insert(cut.dense_key);
+        survey.objects[cut.dense_key] = cut.dense_bytes;
+      }
+      survey.cuts.push_back(std::move(cut));
+      continue;
+    }
     if (!key.ends_with("/MANIFEST")) continue;
     const auto blob = store.Get(key);
     if (!blob) continue;  // raced a concurrent delete
@@ -89,10 +139,22 @@ JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
     survey.ids.push_back(m.checkpoint_id);
   }
   std::sort(survey.ids.begin(), survey.ids.end());
+  std::sort(survey.cuts.begin(), survey.cuts.end(),
+            [](const CutSurvey& a, const CutSurvey& b) { return a.epoch < b.epoch; });
 
-  // Pass 2: classify checkpoints as live (the newest id's chain) or stale.
-  if (!survey.ids.empty()) survey.live_chain = WalkChain(survey, survey.ids.back());
-  const std::set<std::uint64_t> live(survey.live_chain.begin(), survey.live_chain.end());
+  // Pass 2: classify checkpoints as live or stale. Unsharded: live is the
+  // newest id's chain. With coordinated cuts: live is the newest cut's
+  // shards' chains plus everything newer than that cut (CutLiveSet) — a
+  // sub-checkpoint is never judged by id recency alone, or half a cut could
+  // be classified stale.
+  std::set<std::uint64_t> live;
+  if (!survey.cuts.empty()) {
+    live = CutLiveSet(survey);
+    survey.live_chain.assign(live.begin(), live.end());
+  } else if (!survey.ids.empty()) {
+    survey.live_chain = WalkChain(survey, survey.ids.back());
+    live.insert(survey.live_chain.begin(), survey.live_chain.end());
+  }
   for (const auto id : survey.ids) {
     const std::uint64_t bytes = survey.bytes_by_checkpoint.at(id);
     if (live.contains(id)) {
@@ -100,6 +162,15 @@ JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
     } else {
       survey.stale.push_back(id);
       survey.stale_bytes += bytes;
+    }
+  }
+  // The newest cut's COORD/dense objects back the live state; older cuts'
+  // are stale (evictable as whole units, StaleCutUnits).
+  for (std::size_t i = 0; i < survey.cuts.size(); ++i) {
+    if (i + 1 == survey.cuts.size()) {
+      survey.live_bytes += survey.cuts[i].object_bytes();
+    } else {
+      survey.stale_bytes += survey.cuts[i].object_bytes();
     }
   }
 
@@ -122,6 +193,19 @@ JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
 
 std::set<std::uint64_t> KeptLineages(const JobSurvey& survey, std::size_t keep_lineages) {
   if (keep_lineages == 0) keep_lineages = 1;  // the newest lineage is sacred
+  if (!survey.cuts.empty()) {
+    // A lineage is a whole cut: keep the newest `keep_lineages` cuts' full
+    // reach (plus in-flight ids, via CutLiveSet) — never part of a cut.
+    std::set<std::uint64_t> kept = CutLiveSet(survey);
+    for (std::size_t i = 1; i < keep_lineages && i < survey.cuts.size(); ++i) {
+      const CutSurvey& cut = survey.cuts[survey.cuts.size() - 1 - i];
+      for (const auto& e : cut.shard_map) {
+        const auto chain = WalkChain(survey, e.checkpoint_id);
+        kept.insert(chain.begin(), chain.end());
+      }
+    }
+    return kept;
+  }
   std::set<std::uint64_t> kept;
   std::size_t started = 0;
   for (auto it = survey.ids.rbegin(); it != survey.ids.rend() && started < keep_lineages;
@@ -130,6 +214,35 @@ std::set<std::uint64_t> KeptLineages(const JobSurvey& survey, std::size_t keep_l
     kept.insert(chain.begin(), chain.end());
   }
   return kept;
+}
+
+std::vector<StaleCutUnit> StaleCutUnits(const JobSurvey& survey) {
+  std::vector<StaleCutUnit> units;
+  if (survey.cuts.size() < 2) return units;
+  // Walk cuts newest-first so an id shared between two stale cuts is
+  // attributed to the NEWER one: consuming units oldest-first then never
+  // deletes an ancestor a remaining cut still needs.
+  std::set<std::uint64_t> taken = CutLiveSet(survey);
+  for (std::size_t i = survey.cuts.size() - 1; i-- > 0;) {
+    const CutSurvey& cut = survey.cuts[i];
+    StaleCutUnit unit;
+    unit.epoch = cut.epoch;
+    unit.bytes = cut.object_bytes();
+    std::set<std::uint64_t> exclusive;
+    for (const auto& e : cut.shard_map) {
+      for (const auto id : WalkChain(survey, e.checkpoint_id)) {
+        if (taken.insert(id).second) exclusive.insert(id);
+      }
+    }
+    for (const auto id : exclusive) {
+      unit.ids.push_back(id);
+      const auto it = survey.bytes_by_checkpoint.find(id);
+      if (it != survey.bytes_by_checkpoint.end()) unit.bytes += it->second;
+    }
+    units.push_back(std::move(unit));
+  }
+  std::reverse(units.begin(), units.end());  // oldest first
+  return units;
 }
 
 // ------------------------------------------------------------ gc ------------
@@ -146,6 +259,23 @@ GcReport GcStore(storage::ObjectStore& store, const GcOptions& options,
 
     GcJobReport jr;
     jr.job = job;
+    // Cuts beyond retention go first, COORD before dense ("COORD" < "dense"
+    // lexicographically, so List order is already manifest-first): once a
+    // cut's COORD is gone the cut is invisible to recovery, and deleting its
+    // now-unreferenced sub-checkpoints below cannot tear anything.
+    if (survey.cuts.size() > keep_lineages) {
+      for (std::size_t i = 0; i + keep_lineages < survey.cuts.size(); ++i) {
+        const CutSurvey& cut = survey.cuts[i];
+        jr.evicted_cuts.push_back(cut.epoch);
+        jr.bytes_freed += cut.object_bytes();
+        if (!options.dry_run) {
+          for (const auto& key :
+               store.List(storage::Manifest::CutPrefix(job, cut.epoch))) {
+            store.Delete(key);
+          }
+        }
+      }
+    }
     for (const auto id : survey.ids) {
       if (kept.contains(id)) continue;
       jr.evicted.push_back(id);
@@ -163,7 +293,7 @@ GcReport GcStore(storage::ObjectStore& store, const GcOptions& options,
         if (!options.dry_run) store.Delete(key);
       }
     }
-    if (!jr.evicted.empty() || jr.orphans_removed > 0) {
+    if (!jr.evicted.empty() || !jr.evicted_cuts.empty() || jr.orphans_removed > 0) {
       report.bytes_freed += jr.bytes_freed + jr.orphan_bytes;
       report.jobs.push_back(std::move(jr));
     }
@@ -311,8 +441,13 @@ struct MaintenanceManager::Impl {
   struct Candidate {
     std::uint32_t priority = 0;
     std::string job;
-    std::uint64_t id = 0;
+    std::uint64_t id = 0;     // checkpoint id, or cut epoch when is_cut
     std::uint64_t bytes = 0;
+    // A stale coordinated cut evicted as ONE unit: the cut's COORD/dense
+    // objects plus `cut_ids` (sub-checkpoints only this cut reaches).
+    // Evicting half a cut would tear it.
+    bool is_cut = false;
+    std::vector<std::uint64_t> cut_ids;
   };
   std::atomic<std::uint64_t> mutation_epoch{0};
   bool survey_cached = false;           // under evict_mu
@@ -438,7 +573,17 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
       // every in-flight checkpoint's chunks).
       const JobSurvey survey = SurveyJob(*impl_->store, job, /*measure_orphans=*/false);
       const std::uint32_t priority = impl_->PriorityOf(job);
+      // Jobs with coordinated cuts evict stale cuts as whole units; stale
+      // ids no unit covers (torn-cut debris older than the newest cut) are
+      // plain candidates after them.
+      std::set<std::uint64_t> in_units;
+      for (auto& unit : StaleCutUnits(survey)) {
+        in_units.insert(unit.ids.begin(), unit.ids.end());
+        impl_->survey_cache.push_back({priority, job, unit.epoch, unit.bytes,
+                                       /*is_cut=*/true, std::move(unit.ids)});
+      }
       for (const auto id : survey.stale) {
+        if (in_units.contains(id)) continue;
         impl_->survey_cache.push_back(
             {priority, job, id, survey.bytes_by_checkpoint.at(id)});
       }
@@ -447,6 +592,10 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
               [](const Impl::Candidate& a, const Impl::Candidate& b) {
                 if (a.priority != b.priority) return a.priority < b.priority;
                 if (a.job != b.job) return a.job < b.job;
+                // Whole stale cuts (oldest first) before loose ids: the
+                // units carry the bulk, and consuming them in epoch order
+                // preserves every remaining cut's ancestors.
+                if (a.is_cut != b.is_cut) return a.is_cut;
                 return a.id < b.id;
               });
     impl_->survey_cached = true;
@@ -457,18 +606,40 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
   std::size_t consumed = 0;
   for (const auto& c : impl_->survey_cache) {
     if (freed >= needed_bytes) break;
-    for (const auto& key :
-         impl_->store->List(storage::Manifest::CheckpointPrefix(c.job, c.id))) {
-      impl_->store->Delete(key);
+    if (c.is_cut) {
+      // One unit, cut objects first (COORD before dense in List order): the
+      // cut disappears from recovery before any of its data does.
+      for (const auto& key :
+           impl_->store->List(storage::Manifest::CutPrefix(c.job, c.id))) {
+        impl_->store->Delete(key);
+      }
+      for (const auto id : c.cut_ids) {
+        for (const auto& key :
+             impl_->store->List(storage::Manifest::CheckpointPrefix(c.job, id))) {
+          impl_->store->Delete(key);
+        }
+      }
+    } else {
+      for (const auto& key :
+           impl_->store->List(storage::Manifest::CheckpointPrefix(c.job, c.id))) {
+        impl_->store->Delete(key);
+      }
     }
     freed += c.bytes;
     ++consumed;
-    CNR_LOG_WARN << "maintenance: quota pressure (job " << requesting_job
-                 << ") evicted stale checkpoint " << c.id << " of job " << c.job << " ("
-                 << c.bytes << " bytes, priority " << c.priority << ")";
+    if (c.is_cut) {
+      CNR_LOG_WARN << "maintenance: quota pressure (job " << requesting_job
+                   << ") evicted stale cut " << c.id << " of job " << c.job << " ("
+                   << c.cut_ids.size() << " sub-checkpoints, " << c.bytes
+                   << " bytes, priority " << c.priority << ")";
+    } else {
+      CNR_LOG_WARN << "maintenance: quota pressure (job " << requesting_job
+                   << ") evicted stale checkpoint " << c.id << " of job " << c.job << " ("
+                   << c.bytes << " bytes, priority " << c.priority << ")";
+    }
     std::lock_guard lock(impl_->mu);
     auto& stats = impl_->jobs[c.job].stats;
-    ++stats.evicted_checkpoints;
+    stats.evicted_checkpoints += c.is_cut ? c.cut_ids.size() : 1;
     stats.evicted_bytes += c.bytes;
   }
   impl_->survey_cache.erase(impl_->survey_cache.begin(),

@@ -48,6 +48,7 @@
 
 #include "core/pipeline/restore.h"
 #include "storage/accounting_store.h"
+#include "storage/manifest.h"
 #include "storage/object_store.h"
 #include "util/sim_clock.h"
 
@@ -55,13 +56,30 @@ namespace cnr::core {
 
 // ------------------------------------------------------------ survey --------
 
+// One coordinated cut (manifest v3, core/sharded_checkpoint.h) of a sharded
+// job, as surveyed from its jobs/<job>/cut/<epoch>/COORD object.
+struct CutSurvey {
+  std::uint64_t epoch = 0;
+  std::string manifest_key;           // .../cut/<epoch>/COORD
+  std::uint64_t manifest_bytes = 0;
+  std::string dense_key;              // the cut's dense blob ("" if none)
+  std::uint64_t dense_bytes = 0;
+  std::vector<storage::ShardCutEntry> shard_map;  // shard -> sub-checkpoint id
+
+  std::uint64_t object_bytes() const { return manifest_bytes + dense_bytes; }
+};
+
 // Everything the manifests of one job say about its footprint in the store.
 // Built by SurveyJob with reads only — the kernel behind reconciliation, GC
 // planning, and the offline `cnr_inspect <dir> jobs` overview.
 struct JobSurvey {
   std::string job;
   std::vector<std::uint64_t> ids;         // manifested checkpoint ids, ascending
-  std::vector<std::uint64_t> live_chain;  // newest id's recovery chain, oldest first
+  // For an unsharded job: the newest id's recovery chain, oldest first. For a
+  // job with coordinated cuts: the union of the newest cut's shards' chains
+  // plus every id newer than that cut (in-flight or torn-cut leftovers —
+  // indistinguishable from the next cut being written), ascending.
+  std::vector<std::uint64_t> live_chain;
   std::vector<std::uint64_t> stale;       // manifested ids NOT on the live chain, ascending
   // parent_id per incremental checkpoint (fulls are absent) — enough to
   // recompute chains in memory (KeptLineages) without re-reading the store.
@@ -75,6 +93,10 @@ struct JobSurvey {
   // Orphans are measured with a Get and included in `objects`, so
   // reconciliation accounts for them too — they occupy quota like anything.
   std::vector<std::string> orphans;
+  // Coordinated cuts of the job, ascending by epoch (empty for unsharded
+  // jobs). A cut's COORD/dense objects are in `objects`; the newest cut's
+  // count toward live_bytes, older cuts' toward stale_bytes.
+  std::vector<CutSurvey> cuts;
   std::uint64_t live_bytes = 0;    // objects on the live chain
   std::uint64_t stale_bytes = 0;   // objects on stale lineages
   std::uint64_t orphan_bytes = 0;  // unreferenced objects
@@ -102,7 +124,27 @@ JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
 // checkpoints — what GC must not touch. Computed from the survey's in-memory
 // parent links; keep_lineages == 0 is treated as 1 (the newest lineage is
 // sacred).
+//
+// Cut-aware: for a job with coordinated cuts, a "lineage" is a whole cut —
+// the union of the cut's shards' recovery chains. Keeping the newest
+// `keep_lineages` cuts keeps every id any of them can reach (evicting half a
+// cut would tear it), plus every id newer than the newest cut (the next cut
+// in flight).
 std::set<std::uint64_t> KeptLineages(const JobSurvey& survey, std::size_t keep_lineages);
+
+// A stale coordinated cut as one evictable unit: the cut's COORD/dense
+// objects plus the sub-checkpoints reachable ONLY through this cut. Ids a
+// NEWER cut (or the live one) also reaches are attributed to that newer cut,
+// so deleting units oldest-first can never tear a cut that remains.
+struct StaleCutUnit {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> ids;  // exclusively-reachable sub-checkpoints, ascending
+  std::uint64_t bytes = 0;         // those ids + the cut's COORD/dense objects
+};
+
+// Units for every cut older than the newest, oldest first — the order quota
+// eviction consumes them in. Empty for unsharded jobs.
+std::vector<StaleCutUnit> StaleCutUnits(const JobSurvey& survey);
 
 // ------------------------------------------------------------ gc ------------
 
@@ -122,7 +164,10 @@ struct GcOptions {
 struct GcJobReport {
   std::string job;
   std::vector<std::uint64_t> evicted;  // checkpoint ids deleted (or would be)
-  std::uint64_t bytes_freed = 0;       // from evicted checkpoints
+  // Coordinated cut epochs whose COORD/dense objects were deleted (their
+  // exclusive sub-checkpoints appear in `evicted`).
+  std::vector<std::uint64_t> evicted_cuts;
+  std::uint64_t bytes_freed = 0;       // evicted checkpoints + cut objects
   std::size_t orphans_removed = 0;
   std::uint64_t orphan_bytes = 0;
 };

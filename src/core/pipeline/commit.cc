@@ -9,10 +9,18 @@ CommitResult CommitCheckpoint(storage::ObjectStore& store, const std::string& jo
                               const std::vector<std::uint8_t>& dense_blob) {
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Dense blob (replicated MLPs; written once, from "one device").
-  manifest.dense_key = storage::Manifest::DenseKey(job, manifest.checkpoint_id);
-  manifest.dense_bytes = dense_blob.size();
-  store.Put(manifest.dense_key, dense_blob);
+  // Dense blob (replicated MLPs; written once, from "one device"). Shard
+  // sub-checkpoints of a coordinated cut carry no dense state — the cut
+  // manifest owns it — so an empty blob stores nothing and leaves dense_key
+  // empty for the read side to skip.
+  if (!dense_blob.empty()) {
+    manifest.dense_key = storage::Manifest::DenseKey(job, manifest.checkpoint_id);
+    manifest.dense_bytes = dense_blob.size();
+    store.Put(manifest.dense_key, dense_blob);
+  } else {
+    manifest.dense_key.clear();
+    manifest.dense_bytes = 0;
+  }
 
   manifest.timings.commit_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -

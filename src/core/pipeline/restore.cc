@@ -308,9 +308,11 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
   }
 
   // The dense blob only depends on the newest manifest, so its fetch overlaps
-  // with the tail of the chunk stages.
+  // with the tail of the chunk stages. Shard sub-checkpoints of a coordinated
+  // cut have no dense state (empty dense_key) — nothing to fetch or apply.
   std::vector<std::uint8_t> dense_blob;
-  if (!failed.load(std::memory_order_acquire)) {
+  const bool has_dense = !manifests.back().dense_key.empty();
+  if (has_dense && !failed.load(std::memory_order_acquire)) {
     try {
       const auto t0 = std::chrono::steady_clock::now();
       auto blob = retrying.Get(manifests.back().dense_key);
@@ -344,7 +346,7 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
     std::rethrow_exception(error);
   }
 
-  {
+  if (has_dense) {
     // Dense state applies last, after every chunk — same order the facade and
     // the write path's commit established.
     const auto t0 = std::chrono::steady_clock::now();
@@ -487,11 +489,13 @@ ScrubReport ScrubChain(storage::ObjectStore& store, const std::string& job, std:
       report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
     }
     CheckCheckpointRows(job, m, decoded_rows, manifest_rows, report.issues);
-    std::optional<std::vector<std::uint8_t>> dense;
-    if (TryScrubGet(store, m.dense_key, dense, report.issues)) {
-      const ChunkVerdict v = ScrubDenseBlob(dense, m);
-      report.bytes_checked += v.bytes;
-      report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
+    if (!m.dense_key.empty()) {
+      std::optional<std::vector<std::uint8_t>> dense;
+      if (TryScrubGet(store, m.dense_key, dense, report.issues)) {
+        const ChunkVerdict v = ScrubDenseBlob(dense, m);
+        report.bytes_checked += v.bytes;
+        report.issues.insert(report.issues.end(), v.issues.begin(), v.issues.end());
+      }
     }
   }
   CanonicalizeIssues(report);
@@ -644,7 +648,7 @@ ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& j
     for (std::size_t c = 0; c < manifests[p].chunks.size(); ++c) {
       push_gated(ScrubFetchJob{p, c});
     }
-    push_gated(ScrubFetchJob{p, kDenseChunk});
+    if (!manifests[p].dense_key.empty()) push_gated(ScrubFetchJob{p, kDenseChunk});
   }
   exec->CloseStages({ids.fetch, ids.decode});
 

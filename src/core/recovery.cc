@@ -43,14 +43,18 @@ std::uint64_t ApplyManifest(storage::ObjectStore& store, const storage::Manifest
 // progress/reader fields of `result` from the manifest.
 void ApplyNewestManifestState(storage::ObjectStore& store, const storage::Manifest& manifest,
                               pipeline::ChunkApplier& applier, RestoreResult& result) {
-  const auto t_fetch = std::chrono::steady_clock::now();
-  auto dense = store.Get(manifest.dense_key);
-  result.timings.fetch_us += ElapsedUs(t_fetch);
-  if (!dense) throw std::runtime_error("recovery: missing dense blob");
-  result.bytes_read += dense->size();
-  const auto t_apply = std::chrono::steady_clock::now();
-  applier.ApplyDense(*dense);
-  result.timings.apply_us += ElapsedUs(t_apply);
+  // Shard sub-checkpoints of a coordinated cut carry no dense state (the cut
+  // manifest owns it); skip the fetch+apply for their empty dense_key.
+  if (!manifest.dense_key.empty()) {
+    const auto t_fetch = std::chrono::steady_clock::now();
+    auto dense = store.Get(manifest.dense_key);
+    result.timings.fetch_us += ElapsedUs(t_fetch);
+    if (!dense) throw std::runtime_error("recovery: missing dense blob");
+    result.bytes_read += dense->size();
+    const auto t_apply = std::chrono::steady_clock::now();
+    applier.ApplyDense(*dense);
+    result.timings.apply_us += ElapsedUs(t_apply);
+  }
   result.reader_state = data::ReaderState::Decode(manifest.reader_state);
   result.batches_trained = manifest.batches_trained;
   result.samples_trained = manifest.samples_trained;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "util/sim_clock.h"
 
@@ -63,6 +64,38 @@ class ClusterModel {
   }
 
   double tracking_overhead_fraction() const { return cfg_.tracking_overhead_fraction; }
+
+  // --- Shard placement (CPR-style partial recovery, Maeng et al.) ---
+  // Trainer shards are placed round-robin over nodes: shard s lives on node
+  // s % nodes. Losing a node therefore loses every shard congruent to it; a
+  // partial restore re-fetches exactly those shards' chains while survivors
+  // keep training on their resident rows.
+
+  std::size_t NodeOfShard(std::size_t shard) const { return shard % cfg_.nodes; }
+
+  // Shards (out of `num_shards` total) resident on `node`, ascending.
+  std::vector<std::size_t> ShardsOnNode(std::size_t node, std::size_t num_shards) const {
+    std::vector<std::size_t> shards;
+    for (std::size_t s = node % cfg_.nodes; s < num_shards; s += cfg_.nodes) {
+      shards.push_back(s);
+    }
+    return shards;
+  }
+
+  // Union of shards lost when `nodes` fail together (ascending, deduped) —
+  // the shard_ids argument a partial restore takes.
+  std::vector<std::size_t> LostShards(const std::vector<std::size_t>& nodes,
+                                      std::size_t num_shards) const {
+    std::vector<bool> lost(num_shards, false);
+    for (const std::size_t node : nodes) {
+      for (const std::size_t s : ShardsOnNode(node, num_shards)) lost[s] = true;
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (lost[s]) out.push_back(s);
+    }
+    return out;
+  }
 
  private:
   ClusterConfig cfg_;

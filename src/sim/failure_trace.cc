@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/cluster.h"
+
 namespace cnr::sim {
 
 FailureTimeModel::FailureTimeModel(double mu, double sigma, double min_hours)
@@ -41,6 +43,30 @@ std::uint64_t FailureRateModel::SampleFailures(util::Rng& rng, std::size_t nodes
     p *= rng.NextDouble();
   } while (p > limit);
   return k - 1;
+}
+
+FailureTrace GenerateNodeFailureTrace(util::Rng& rng, const ClusterConfig& cluster,
+                                      const FailureRateModel& rate, double horizon_hours) {
+  if (cluster.nodes == 0) throw std::invalid_argument("GenerateNodeFailureTrace: empty cluster");
+  if (horizon_hours < 0) {
+    throw std::invalid_argument("GenerateNodeFailureTrace: negative horizon");
+  }
+  FailureTrace trace;
+  const double cluster_rate =
+      rate.failures_per_node_hour * static_cast<double>(cluster.nodes);  // events/hour
+  if (cluster_rate <= 0) return trace;
+  double t_hours = 0.0;
+  for (;;) {
+    double u = rng.NextDouble();
+    while (u <= 0.0) u = rng.NextDouble();
+    t_hours += -std::log(u) / cluster_rate;
+    if (t_hours >= horizon_hours) break;
+    NodeFailureEvent ev;
+    ev.at = static_cast<util::SimTime>(t_hours * static_cast<double>(util::kHour));
+    ev.nodes.push_back(rng.Next() % cluster.nodes);
+    trace.events.push_back(std::move(ev));
+  }
+  return trace;
 }
 
 RecoveryOutcome SimulateRecovery(util::Rng& rng, double work_hours,

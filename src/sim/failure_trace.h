@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/sim_clock.h"
 #include "util/stats.h"
 
 namespace cnr::sim {
@@ -50,6 +51,28 @@ struct FailureRateModel {
   // Number of failures in a window (Poisson sample).
   std::uint64_t SampleFailures(util::Rng& rng, std::size_t nodes, double training_hours) const;
 };
+
+// One node-loss event in a replayable failure trace: at simulated time `at`,
+// the listed trainer nodes go down together (a multi-node entry models a
+// rack/switch loss). The shards those nodes hosted are what a CPR-style
+// partial restore must re-fetch; surviving nodes keep their rows.
+struct NodeFailureEvent {
+  util::SimTime at = 0;
+  std::vector<std::size_t> nodes;
+};
+
+// An ordered (by `at`) list of node-loss events, replayable against a
+// sharded checkpoint job the way bench/fig03 replays whole-job failures.
+struct FailureTrace {
+  std::vector<NodeFailureEvent> events;
+};
+
+// Samples a trace of single-node losses over `horizon_hours`: exponential
+// inter-arrival at `rate.failures_per_node_hour * cluster.nodes` events/hour,
+// each striking one uniformly chosen node. Multi-node (correlated) events are
+// constructed by hand in tests; the generator models independent failures.
+FailureTrace GenerateNodeFailureTrace(util::Rng& rng, const struct ClusterConfig& cluster,
+                                      const FailureRateModel& rate, double horizon_hours);
 
 // Outcome of simulating a training run with failures and checkpoints.
 struct RecoveryOutcome {

@@ -73,7 +73,16 @@ bool AccountingStore::SeedObject(const std::string& key, std::uint64_t bytes) {
 }
 
 std::optional<std::vector<std::uint8_t>> AccountingStore::Get(const std::string& key) {
-  return backing_->Get(key);
+  auto blob = backing_->Get(key);
+  if (blob) {
+    // Read-side accounting: lets partial-recovery tests assert that only the
+    // lost shards' objects were fetched, by job and in aggregate.
+    std::lock_guard lock(mu_);
+    auto& usage = usage_[JobOfKey(key)];
+    ++usage.gets;
+    usage.bytes_fetched += blob->size();
+  }
+  return blob;
 }
 
 bool AccountingStore::Exists(const std::string& key) { return backing_->Exists(key); }

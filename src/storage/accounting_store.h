@@ -50,6 +50,8 @@ struct JobUsage {
   std::uint64_t puts = 0;     // cumulative successful puts
   std::uint64_t deletes = 0;  // cumulative successful deletes
   std::uint64_t seeded = 0;   // objects attributed by reconciliation, not puts
+  std::uint64_t gets = 0;           // cumulative successful (found) gets
+  std::uint64_t bytes_fetched = 0;  // cumulative bytes returned by those gets
 };
 
 class AccountingStore : public ObjectStore {

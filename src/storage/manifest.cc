@@ -44,6 +44,18 @@ ChunkInfo ChunkInfo::Deserialize(util::Reader& r) {
   return c;
 }
 
+void ShardCutEntry::Serialize(util::Writer& w) const {
+  w.Put<std::uint32_t>(shard_id);
+  w.Put<std::uint64_t>(checkpoint_id);
+}
+
+ShardCutEntry ShardCutEntry::Deserialize(util::Reader& r) {
+  ShardCutEntry e;
+  e.shard_id = r.Get<std::uint32_t>();
+  e.checkpoint_id = r.Get<std::uint64_t>();
+  return e;
+}
+
 std::uint64_t Manifest::TotalBytes() const {
   std::uint64_t total = dense_bytes;
   for (const auto& c : chunks) total += c.bytes;
@@ -65,6 +77,9 @@ std::vector<std::uint8_t> Manifest::Encode() const {
   w.Put<std::uint64_t>(chunks.size());
   for (const auto& c : chunks) c.Serialize(w);
   timings.Serialize(w);
+  w.Put<std::uint64_t>(cut_epoch);
+  w.Put<std::uint64_t>(shard_map.size());
+  for (const auto& e : shard_map) e.Serialize(w);
   return w.TakeBytes();
 }
 
@@ -88,6 +103,14 @@ Manifest Manifest::Decode(std::span<const std::uint8_t> data) {
   m.chunks.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) m.chunks.push_back(ChunkInfo::Deserialize(r));
   if (version >= 2) m.timings = StageTimings::Deserialize(r);
+  if (version >= 3) {
+    m.cut_epoch = r.Get<std::uint64_t>();
+    const auto entries = r.Get<std::uint64_t>();
+    m.shard_map.reserve(entries);
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      m.shard_map.push_back(ShardCutEntry::Deserialize(r));
+    }
+  }
   return m;
 }
 
@@ -112,6 +135,20 @@ std::string Manifest::ChunkKey(const std::string& job, std::uint64_t checkpoint_
 
 std::string Manifest::DenseKey(const std::string& job, std::uint64_t checkpoint_id) {
   return CheckpointPrefix(job, checkpoint_id) + "dense";
+}
+
+std::string Manifest::CutPrefix(const std::string& job, std::uint64_t cut_epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(cut_epoch));
+  return JobPrefix(job) + "cut/" + buf + "/";
+}
+
+std::string Manifest::CutKey(const std::string& job, std::uint64_t cut_epoch) {
+  return CutPrefix(job, cut_epoch) + "COORD";
+}
+
+std::string Manifest::CutDenseKey(const std::string& job, std::uint64_t cut_epoch) {
+  return CutPrefix(job, cut_epoch) + "dense";
 }
 
 }  // namespace cnr::storage

@@ -25,6 +25,8 @@ namespace cnr::storage {
 enum class CheckpointKind : std::uint8_t {
   kFull = 0,         // complete model state
   kIncremental = 1,  // modified rows only, relative to `parent_id` lineage
+  kCoordinated = 2,  // coordinated cut over shard sub-checkpoints (v3; carries
+                     // a shard_map instead of chunks)
 };
 
 // Per-stage wall/queue times (microseconds) of the pipeline run that wrote a
@@ -59,9 +61,20 @@ struct ChunkInfo {
   static ChunkInfo Deserialize(util::Reader& r);
 };
 
+// One entry of a coordinated cut's shard map: which sub-checkpoint of the
+// job holds shard `shard_id`'s rows as of the cut.
+struct ShardCutEntry {
+  std::uint32_t shard_id = 0;        // global trainer shard
+  std::uint64_t checkpoint_id = 0;   // sub-checkpoint committed for it
+
+  void Serialize(util::Writer& w) const;
+  static ShardCutEntry Deserialize(util::Reader& r);
+};
+
 struct Manifest {
-  // v1: no stage timings. v2 appends StageTimings; Decode accepts both.
-  static constexpr std::uint32_t kFormatVersion = 2;
+  // v1: no stage timings. v2 appends StageTimings. v3 appends the
+  // coordinated-cut fields (cut_epoch + shard_map). Decode accepts all three.
+  static constexpr std::uint32_t kFormatVersion = 3;
 
   std::uint64_t checkpoint_id = 0;
   CheckpointKind kind = CheckpointKind::kFull;
@@ -90,6 +103,13 @@ struct Manifest {
   // for v1 manifests and for writers that don't measure).
   StageTimings timings;
 
+  // Coordinated-cut fields (v3, meaningful only for kind == kCoordinated).
+  // `cut_epoch` identifies the cut; `shard_map` names, per trainer shard, the
+  // sub-checkpoint whose chain restores that shard's rows. Older versions
+  // decode with cut_epoch == 0 and an empty shard_map.
+  std::uint64_t cut_epoch = 0;
+  std::vector<ShardCutEntry> shard_map;
+
   // Total stored bytes of this checkpoint (chunks + dense + manifest approx).
   std::uint64_t TotalBytes() const;
 
@@ -104,6 +124,14 @@ struct Manifest {
   static std::string DenseKey(const std::string& job, std::uint64_t checkpoint_id);
   static std::string JobPrefix(const std::string& job);
   static std::string CheckpointPrefix(const std::string& job, std::uint64_t checkpoint_id);
+
+  // Coordinated-cut key conventions. A cut lives under jobs/<job>/cut/
+  // (sibling of ckpt/), so checkpoint-id scans over */MANIFEST keys never see
+  // it: the cut manifest object is named COORD, published manifest-last after
+  // the cut's dense blob.
+  static std::string CutPrefix(const std::string& job, std::uint64_t cut_epoch);
+  static std::string CutKey(const std::string& job, std::uint64_t cut_epoch);
+  static std::string CutDenseKey(const std::string& job, std::uint64_t cut_epoch);
 };
 
 }  // namespace cnr::storage

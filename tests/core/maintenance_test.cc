@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/service.h"
+#include "core/sharded_checkpoint.h"
+#include "data/synthetic.h"
 #include "storage/object_store.h"
 #include "util/sim_clock.h"
 
@@ -488,6 +490,142 @@ TEST(Maintenance, EvictionSurveyIsCachedBetweenQuotaTrips) {
   const auto lists4 = store->list_calls();
   EXPECT_GT(lists4 - lists3, 1u) << "a commit must invalidate the cache";
   EXPECT_FALSE(store->Exists(storage::Manifest::ManifestKey("b", 2)));
+}
+
+// ---------------------------------------------------- coordinated cuts ------
+
+dlrm::ModelConfig ShardedModelConfig() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {128, 64};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// Trains `model` and writes `cuts` coordinated cuts of sharded job `name`.
+void WriteShardedCuts(CheckpointService& service, const std::string& name,
+                      dlrm::DlrmModel& model, int cuts, PolicyKind policy,
+                      std::uint32_t keep_cuts = 1) {
+  data::DatasetConfig dcfg;
+  dcfg.seed = 6;
+  dcfg.num_dense = 4;
+  dcfg.tables = {{128, 2, 1.1}, {64, 1, 1.05}};
+  data::SyntheticDataset ds(dcfg);
+
+  ShardedJobConfig cfg;
+  cfg.name = name;
+  cfg.policy = policy;
+  cfg.quantize = false;
+  cfg.chunk_rows = 16;
+  cfg.gc = false;  // explicit Gc()/EvictForQuota are under test
+  cfg.keep_cuts = keep_cuts;
+  ShardedJobHandle handle(service, model, cfg);
+  int batch = 0;
+  for (int c = 1; c <= cuts; ++c) {
+    for (int b = 0; b < 2; ++b, ++batch) {
+      model.TrainBatch(ds.GetBatch(batch, static_cast<std::uint64_t>(batch) * 32, 32));
+    }
+    ASSERT_TRUE(handle
+                    .WriteCut(static_cast<std::uint64_t>(batch),
+                              static_cast<std::uint64_t>(batch) * 32)
+                    .committed);
+  }
+}
+
+// Occupancy parity extends to coordinated manifests: a restarted service's
+// reconciled per-job accounting must attribute a sharded job's cut objects
+// (COORD manifest + cut dense blob) exactly as the offline survey does.
+TEST(Maintenance, ShardedJobOccupancyParityAfterRestart) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  {
+    CheckpointService service(store, SmallService());
+    dlrm::DlrmModel model(ShardedModelConfig());
+    WriteShardedCuts(service, "shardy", model, /*cuts=*/2, PolicyKind::kOneShot,
+                     /*keep_cuts=*/2);
+  }
+  const auto puts_before = store->Stats().puts;
+
+  CheckpointService restarted(store, SmallService());
+  EXPECT_EQ(store->Stats().puts, puts_before)
+      << "reconciliation must not write a single object";
+  const auto stats = restarted.stats();
+  ASSERT_TRUE(stats.jobs.contains("shardy"));
+
+  const JobSurvey survey = SurveyJob(*store, "shardy");
+  ASSERT_EQ(survey.cuts.size(), 2u);
+  EXPECT_GT(survey.cuts[1].object_bytes(), 0u) << "COORD + dense must be surveyed";
+  EXPECT_EQ(stats.jobs.at("shardy").store_bytes, survey.total_bytes());
+  EXPECT_EQ(stats.store_bytes, store->TotalBytes())
+      << "cut objects must be part of reconciled occupancy";
+  EXPECT_TRUE(survey.orphans.empty())
+      << "cut objects must not be misread as orphans";
+}
+
+// A coordinated cut is one lineage unit to the maintenance plane: retention
+// GC and quota eviction remove a stale cut's COORD manifest, dense blob, and
+// sub-checkpoints together — never leaving a half-cut — and the surviving
+// cut stays restorable bit for bit.
+TEST(Maintenance, GcAndQuotaEvictionTreatCutsAsUnits) {
+  auto store = std::make_shared<storage::InMemoryStore>();
+  CheckpointService service(store, SmallService());
+  dlrm::DlrmModel live(ShardedModelConfig());
+  // kAlwaysFull: each cut's sub-checkpoints are self-contained, so the stale
+  // cuts own (and eviction must take) their whole chains.
+  WriteShardedCuts(service, "cuts", live, /*cuts=*/3, PolicyKind::kAlwaysFull);
+
+  {
+    const JobSurvey before = SurveyJob(*store, "cuts");
+    ASSERT_EQ(before.cuts.size(), 3u);
+    const auto units = StaleCutUnits(before);
+    ASSERT_EQ(units.size(), 2u);
+    EXPECT_EQ(units[0].epoch, 1u);  // oldest first
+    EXPECT_EQ(units[1].epoch, 2u);
+    EXPECT_FALSE(units[0].ids.empty()) << "full cuts own their sub-checkpoints";
+    EXPECT_GT(units[0].bytes, 0u);
+  }
+
+  // Retention GC (keep_cuts=1): cuts 1 and 2 go as whole units.
+  const auto report = service.Gc();
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].evicted_cuts, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_TRUE(store->List(storage::Manifest::CutPrefix("cuts", 1)).empty());
+  EXPECT_TRUE(store->List(storage::Manifest::CutPrefix("cuts", 2)).empty());
+
+  const JobSurvey after_gc = SurveyJob(*store, "cuts");
+  ASSERT_EQ(after_gc.cuts.size(), 1u);
+  EXPECT_EQ(after_gc.cuts[0].epoch, 3u);
+  EXPECT_TRUE(after_gc.stale.empty()) << "no orphaned half-cut may remain";
+  EXPECT_TRUE(after_gc.orphans.empty());
+
+  dlrm::DlrmModel restored(ShardedModelConfig());
+  (void)RestoreShardedModel(*store, "cuts", restored);
+  EXPECT_TRUE(restored.StateEquals(live));
+
+  // Quota pressure takes the same units: one trip removes the stale cut of a
+  // fresh two-cut job in full — COORD, dense, and sub-checkpoints together.
+  auto store2 = std::make_shared<storage::InMemoryStore>();
+  CheckpointService service2(store2, SmallService());
+  dlrm::DlrmModel live2(ShardedModelConfig());
+  WriteShardedCuts(service2, "q", live2, /*cuts=*/2, PolicyKind::kAlwaysFull);
+  ASSERT_EQ(SurveyJob(*store2, "q").cuts.size(), 2u);
+
+  EXPECT_GT(service2.maintenance().EvictForQuota(1, "test"), 0u);
+  const JobSurvey after_evict = SurveyJob(*store2, "q");
+  ASSERT_EQ(after_evict.cuts.size(), 1u);
+  EXPECT_EQ(after_evict.cuts[0].epoch, 2u);
+  EXPECT_TRUE(store2->List(storage::Manifest::CutPrefix("q", 1)).empty());
+  EXPECT_TRUE(after_evict.stale.empty()) << "no half-cut after quota eviction";
+  EXPECT_TRUE(after_evict.orphans.empty());
+  EXPECT_EQ(service2.stats().jobs.at("q").evicted_checkpoints, 4u)
+      << "the cut's four sub-checkpoints count as evicted";
+
+  dlrm::DlrmModel restored2(ShardedModelConfig());
+  (void)RestoreShardedModel(*store2, "q", restored2);
+  EXPECT_TRUE(restored2.StateEquals(live2));
 }
 
 }  // namespace

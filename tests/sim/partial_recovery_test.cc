@@ -1,0 +1,258 @@
+// Failure-trace-driven partial recovery: replay a sim::FailureTrace of
+// single- and multi-node losses against an 8-shard coordinated checkpoint
+// job under a SimClock, proving the CPR-style guarantees end to end:
+//   - only the lost shards' objects (their chains + the cut's COORD
+//     manifest) are fetched — counted by storage::AccountingStore's
+//     read-side accounting and pinned per key by a recording wrapper,
+//   - no dense blob is fetched on the partial path (dense is replicated),
+//   - survivors' rows are not modified,
+//   - the recovered shards are bit-identical to a clean full restore.
+// Run in CI both plain and with -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_checkpoint.h"
+#include "data/synthetic.h"
+#include "sim/cluster.h"
+#include "sim/failure_trace.h"
+#include "storage/accounting_store.h"
+#include "storage/object_store.h"
+#include "util/sim_clock.h"
+
+namespace cnr::sim {
+namespace {
+
+constexpr std::size_t kShards = 8;
+constexpr char kJob[] = "trace";
+
+dlrm::ModelConfig EightShardModel() {
+  dlrm::ModelConfig cfg;
+  cfg.num_dense = 4;
+  cfg.embedding_dim = 8;
+  cfg.table_rows = {256, 128};
+  cfg.bottom_hidden = {16};
+  cfg.top_hidden = {16};
+  cfg.num_shards = kShards;
+  cfg.seed = 5;
+  return cfg;
+}
+
+data::DatasetConfig MatchingDataset() {
+  data::DatasetConfig cfg;
+  cfg.seed = 6;
+  cfg.num_dense = 4;
+  cfg.tables = {{256, 2, 1.1}, {128, 1, 1.05}};
+  return cfg;
+}
+
+// Records every fetched key, forwarding to the backing store — the per-key
+// twin of AccountingStore's per-job byte counters.
+class GetRecordingStore : public storage::ObjectStore {
+ public:
+  explicit GetRecordingStore(std::shared_ptr<storage::ObjectStore> backing)
+      : backing_(std::move(backing)) {}
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    backing_->Put(key, std::move(data));
+  }
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
+    {
+      std::lock_guard lock(mu_);
+      got_.push_back(key);
+    }
+    return backing_->Get(key);
+  }
+  bool Exists(const std::string& key) override { return backing_->Exists(key); }
+  bool Delete(const std::string& key) override { return backing_->Delete(key); }
+  std::vector<std::string> List(const std::string& prefix) override {
+    return backing_->List(prefix);
+  }
+  std::uint64_t TotalBytes() override { return backing_->TotalBytes(); }
+  storage::StoreStats Stats() override { return backing_->Stats(); }
+
+  std::vector<std::string> DrainGets() {
+    std::lock_guard lock(mu_);
+    return std::exchange(got_, {});
+  }
+
+ private:
+  std::shared_ptr<storage::ObjectStore> backing_;
+  std::mutex mu_;
+  std::vector<std::string> got_;
+};
+
+struct TraceFixture {
+  std::shared_ptr<storage::AccountingStore> accounting;
+  std::shared_ptr<GetRecordingStore> recording;
+  dlrm::DlrmModel model{EightShardModel()};
+  storage::Manifest cut;  // the coordinated manifest of the newest cut
+
+  TraceFixture() {
+    accounting = std::make_shared<storage::AccountingStore>(
+        std::make_shared<storage::InMemoryStore>());
+    recording = std::make_shared<GetRecordingStore>(accounting);
+    data::SyntheticDataset ds(MatchingDataset());
+    core::CheckpointService service(accounting);
+    core::ShardedJobConfig cfg;
+    cfg.name = kJob;
+    cfg.quantize = false;
+    cfg.chunk_rows = 32;
+    cfg.policy = core::PolicyKind::kOneShot;
+    cfg.gc = false;
+    core::ShardedJobHandle handle(service, model, cfg);
+    for (int b = 0; b < 4; ++b) model.TrainBatch(ds.GetBatch(b, b * 32ull, 32));
+    EXPECT_TRUE(handle.WriteCut(4, 128).committed);
+    for (int b = 4; b < 8; ++b) model.TrainBatch(ds.GetBatch(b, b * 32ull, 32));
+    EXPECT_TRUE(handle.WriteCut(8, 256).committed);
+    cut = core::LoadCutManifest(*accounting, kJob, 2);
+  }
+
+  // Keys a partial restore of `lost` is allowed to touch: the cut's COORD
+  // manifest plus every object on the lost shards' sub-checkpoint chains.
+  std::set<std::string> AllowedKeys(const std::vector<std::uint32_t>& lost) const {
+    std::set<std::string> allowed;
+    allowed.insert(storage::Manifest::CutKey(kJob, cut.cut_epoch));
+    const auto survey = core::SurveyJob(*accounting, kJob, /*measure_orphans=*/false);
+    for (const auto shard : lost) {
+      const auto e = std::find_if(cut.shard_map.begin(), cut.shard_map.end(),
+                                  [shard](const auto& s) { return s.shard_id == shard; });
+      if (e == cut.shard_map.end()) {
+        ADD_FAILURE() << "shard " << shard << " not in the cut's shard map";
+        continue;
+      }
+      // The shard's chain: its sub-checkpoint and every ancestor.
+      std::uint64_t id = e->checkpoint_id;
+      for (;;) {
+        const auto prefix = storage::Manifest::CheckpointPrefix(kJob, id);
+        for (const auto& [key, bytes] : survey.objects) {
+          if (key.starts_with(prefix)) allowed.insert(key);
+        }
+        const auto p = survey.parent_of.find(id);
+        if (p == survey.parent_of.end()) break;
+        id = p->second;
+      }
+    }
+    return allowed;
+  }
+};
+
+// Replays one loss event: partial-restore the lost shards into `target` and
+// check fetch discipline plus byte accounting.
+void ReplayEvent(TraceFixture& fix, const ClusterModel& cluster,
+                 const NodeFailureEvent& ev, dlrm::DlrmModel& target) {
+  const auto lost_sz = cluster.LostShards(ev.nodes, kShards);
+  std::vector<std::uint32_t> lost(lost_sz.begin(), lost_sz.end());
+  ASSERT_FALSE(lost.empty());
+  ASSERT_LT(lost.size(), kShards);  // a partial loss, or the test proves nothing
+
+  const storage::JobUsage before = fix.accounting->Usage(kJob);
+  (void)fix.recording->DrainGets();
+  const auto result =
+      core::RestorePartial(*fix.recording, kJob, target, lost, std::nullopt);
+  const storage::JobUsage after = fix.accounting->Usage(kJob);
+
+  EXPECT_EQ(result.cut_epoch, fix.cut.cut_epoch);
+  EXPECT_EQ(result.shards_restored.size(), lost.size());
+
+  // Fetch discipline: every key read belongs to a lost shard's chain or is
+  // the COORD manifest — in particular no dense blob and nothing of any
+  // surviving shard.
+  const auto allowed = fix.AllowedKeys(lost);
+  std::uint64_t fetched_bytes = 0;
+  for (const auto& key : fix.recording->DrainGets()) {
+    EXPECT_TRUE(allowed.contains(key)) << "fetched outside lost shards: " << key;
+    EXPECT_EQ(key.find("dense"), std::string::npos) << key;
+    const auto blob = fix.accounting->Get(key);
+    if (blob) fetched_bytes += blob->size();
+  }
+
+  // AccountingStore's read-side counters saw exactly the restore's fetches
+  // (`after` was captured before the verification re-reads above).
+  EXPECT_GT(after.gets, before.gets);
+  EXPECT_EQ(after.bytes_fetched - before.bytes_fetched, fetched_bytes);
+  EXPECT_GE(after.bytes_fetched - before.bytes_fetched, result.bytes_read);
+  EXPECT_GT(result.bytes_read, 0u);
+}
+
+TEST(PartialRecoveryTrace, ReplaysNodeLossesAndRecoversBitIdentical) {
+  TraceFixture fix;
+  ClusterConfig cluster_cfg;
+  cluster_cfg.nodes = 4;  // shards 0..7 round-robin: node n hosts {n, n+4}
+  const ClusterModel cluster(cluster_cfg);
+
+  // A clean full restore is the reference state.
+  dlrm::DlrmModel reference(EightShardModel());
+  (void)core::RestoreShardedModel(*fix.accounting, kJob, reference);
+  EXPECT_TRUE(reference.StateEquals(fix.model));  // quant off: exact
+
+  // One single-node loss, then a correlated two-node loss, on a SimClock.
+  FailureTrace trace;
+  trace.events.push_back({1 * util::kHour, {2}});
+  trace.events.push_back({5 * util::kHour, {0, 3}});
+
+  util::SimClock clock;
+  const dlrm::DlrmModel fresh(EightShardModel());
+  for (const auto& ev : trace.events) {
+    ASSERT_GE(ev.at, clock.now());
+    clock.AdvanceTo(ev.at);
+
+    dlrm::DlrmModel target(EightShardModel());  // fresh = surviving state
+    ReplayEvent(fix, cluster, ev, target);
+
+    const auto lost = cluster.LostShards(ev.nodes, kShards);
+    const std::set<std::size_t> lost_set(lost.begin(), lost.end());
+    for (std::size_t t = 0; t < target.num_tables(); ++t) {
+      for (std::size_t s = 0; s < target.table(t).num_shards(); ++s) {
+        if (lost_set.contains(s)) {
+          EXPECT_EQ(target.table(t).Shard(s), reference.table(t).Shard(s))
+              << "lost shard differs from full restore: table " << t << " shard " << s;
+        } else {
+          EXPECT_EQ(target.table(t).Shard(s), fresh.table(t).Shard(s))
+              << "surviving shard modified: table " << t << " shard " << s;
+        }
+      }
+    }
+    // Dense was not restored (replicated across trainers, never fetched).
+    EXPECT_TRUE(target.DenseEquals(fresh));
+  }
+  EXPECT_EQ(clock.now(), 5 * util::kHour);
+}
+
+// The generator produces a replayable trace: ordered events within the
+// horizon, each naming one valid node — and mapping each event through the
+// cluster model yields shard sets a partial restore accepts.
+TEST(PartialRecoveryTrace, GeneratedTraceMapsToRestorableShardSets) {
+  TraceFixture fix;
+  ClusterConfig cluster_cfg;
+  cluster_cfg.nodes = 4;
+  const ClusterModel cluster(cluster_cfg);
+
+  util::Rng rng(123);
+  FailureRateModel rate;
+  rate.failures_per_node_hour = 0.05;  // dense enough to get events
+  const FailureTrace trace = GenerateNodeFailureTrace(rng, cluster_cfg, rate, 2000.0);
+  ASSERT_FALSE(trace.events.empty());
+
+  util::SimTime prev = 0;
+  for (const auto& ev : trace.events) {
+    EXPECT_GE(ev.at, prev);
+    EXPECT_LE(ev.at, static_cast<util::SimTime>(2000.0 * util::kHour) + util::kHour);
+    ASSERT_EQ(ev.nodes.size(), 1u);
+    EXPECT_LT(ev.nodes[0], cluster_cfg.nodes);
+    prev = ev.at;
+  }
+
+  // Replay the first event end to end.
+  dlrm::DlrmModel target(EightShardModel());
+  ReplayEvent(fix, cluster, trace.events.front(), target);
+}
+
+}  // namespace
+}  // namespace cnr::sim

@@ -78,18 +78,65 @@ TEST(Manifest, StageTimingsRoundTrip) {
 }
 
 TEST(Manifest, DecodesVersion1WithoutTimings) {
-  // A v1 manifest is a v2 manifest minus the trailing StageTimings block;
-  // decoding it must succeed with all-zero timings.
+  // A v1 manifest is a v3 manifest minus the trailing StageTimings block and
+  // the v3 cut fields (cut_epoch + empty shard_map count); decoding it must
+  // succeed with all-zero timings.
   Manifest m = SampleManifest();
   m.timings.encode_us = 123;  // must NOT survive the downgrade
   auto bytes = m.Encode();
-  bytes.resize(bytes.size() - 7 * sizeof(std::uint64_t));
+  bytes.resize(bytes.size() - 7 * sizeof(std::uint64_t)   // StageTimings (v2)
+               - 2 * sizeof(std::uint64_t));              // cut fields (v3)
   bytes[0] = 1;  // little-endian version field
   const Manifest back = Manifest::Decode(bytes);
   EXPECT_EQ(back.checkpoint_id, m.checkpoint_id);
   ASSERT_EQ(back.chunks.size(), 2u);
   EXPECT_EQ(back.timings.encode_us, 0u);
   EXPECT_EQ(back.timings.snapshot_us, 0u);
+}
+
+TEST(Manifest, DecodesVersion2WithoutCutFields) {
+  // A v2 manifest ends after StageTimings; v3 decode must accept it with
+  // cut_epoch == 0 and an empty shard_map.
+  Manifest m = SampleManifest();
+  m.cut_epoch = 9;  // must NOT survive the downgrade
+  m.shard_map.push_back({0, 41});
+  auto bytes = m.Encode();
+  bytes.resize(bytes.size() - 2 * sizeof(std::uint64_t)          // cut header
+               - (sizeof(std::uint32_t) + sizeof(std::uint64_t)));  // 1 entry
+  bytes[0] = 2;
+  const Manifest back = Manifest::Decode(bytes);
+  EXPECT_EQ(back.checkpoint_id, m.checkpoint_id);
+  EXPECT_EQ(back.cut_epoch, 0u);
+  EXPECT_TRUE(back.shard_map.empty());
+}
+
+TEST(Manifest, CoordinatedCutRoundTrips) {
+  Manifest m;
+  m.checkpoint_id = 3;
+  m.kind = CheckpointKind::kCoordinated;
+  m.cut_epoch = 3;
+  m.batches_trained = 77;
+  m.samples_trained = 7700;
+  m.dense_key = "jobs/j/cut/000000000003/dense";
+  m.dense_bytes = 1234;
+  m.shard_map = {{0, 9}, {1, 10}, {2, 11}, {3, 12}};
+  const Manifest back = Manifest::Decode(m.Encode());
+  EXPECT_EQ(back.kind, CheckpointKind::kCoordinated);
+  EXPECT_EQ(back.cut_epoch, 3u);
+  ASSERT_EQ(back.shard_map.size(), 4u);
+  EXPECT_EQ(back.shard_map[1].shard_id, 1u);
+  EXPECT_EQ(back.shard_map[1].checkpoint_id, 10u);
+  EXPECT_EQ(back.shard_map[3].checkpoint_id, 12u);
+  EXPECT_TRUE(back.chunks.empty());
+}
+
+TEST(ManifestKeys, CutKeysAreSiblingsOfCkpt) {
+  EXPECT_EQ(Manifest::CutPrefix("j1", 5), "jobs/j1/cut/000000000005/");
+  EXPECT_EQ(Manifest::CutKey("j1", 5), "jobs/j1/cut/000000000005/COORD");
+  EXPECT_EQ(Manifest::CutDenseKey("j1", 5), "jobs/j1/cut/000000000005/dense");
+  // Cut keys must never collide with checkpoint-id scans over */MANIFEST.
+  EXPECT_EQ(Manifest::CutKey("j1", 5).find("/MANIFEST"), std::string::npos);
+  EXPECT_EQ(Manifest::CutPrefix("j1", 5).find(Manifest::JobPrefix("j1")), 0u);
 }
 
 TEST(Manifest, TotalBytesSumsChunksAndDense) {

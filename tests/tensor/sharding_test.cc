@@ -29,6 +29,98 @@ TEST(ShardedEmbedding, FewerRowsThanShards) {
   EXPECT_LE(e.num_shards(), 2u);
 }
 
+TEST(ShardedEmbedding, RowsOnShardBoundariesRouteToTheRightShard) {
+  // 100 rows over 4 shards: shard s owns [25s, 25s+25). The first and last
+  // row of every shard — the off-by-one hot spots — must locate, round-trip,
+  // and route updates to the owning shard's tracker.
+  ShardedEmbedding e("emb", 100, 2, 4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::size_t first = 25 * s, last = 25 * s + 24;
+    EXPECT_EQ(e.Locate(first).shard, s);
+    EXPECT_EQ(e.Locate(first).local_row, 0u);
+    EXPECT_EQ(e.Locate(last).shard, s);
+    EXPECT_EQ(e.Locate(last).local_row, 24u);
+    EXPECT_EQ(e.LogicalRow(s, 0), first);
+    EXPECT_EQ(e.LogicalRow(s, 24), last);
+  }
+
+  util::Rng rng(7);
+  e.InitUniform(rng);
+  std::vector<std::vector<std::size_t>> tracked(e.num_shards());
+  for (std::size_t s = 0; s < e.num_shards(); ++s) {
+    e.Shard(s).SetTracker([&tracked, s](std::size_t r) { tracked[s].push_back(r); });
+  }
+  const std::vector<float> grad = {1.0f, -1.0f};
+  e.ApplySparseAdagrad(24, grad, 0.1f, 1e-6f);  // last row of shard 0
+  e.ApplySparseAdagrad(25, grad, 0.1f, 1e-6f);  // first row of shard 1
+  EXPECT_EQ(tracked[0], (std::vector<std::size_t>{24}));
+  EXPECT_EQ(tracked[1], (std::vector<std::size_t>{0}));
+
+  // Uneven split (10 = 4+4+2): the final short shard's boundary still maps.
+  ShardedEmbedding u("emb", 10, 2, 3);
+  EXPECT_EQ(u.Locate(7).shard, 1u);
+  EXPECT_EQ(u.Locate(8).shard, 2u);
+  EXPECT_EQ(u.Locate(8).local_row, 0u);
+  EXPECT_EQ(u.Shard(2).num_rows(), 2u);
+}
+
+TEST(ShardedEmbedding, NoShardIsEverEmpty) {
+  // The constructor clamps the shard count rather than materialize empty
+  // shards (a shard with zero rows would publish zero-row chunks and an
+  // empty dirty bitmap — the checkpoint planes special-case absent shards
+  // instead, see core/sharded_checkpoint.h).
+  for (const auto [rows, requested] : {std::pair<std::size_t, std::size_t>{3, 4},
+                                       {9, 8},
+                                       {1, 16},
+                                       {5, 5}}) {
+    ShardedEmbedding e("emb", rows, 2, requested);
+    EXPECT_LE(e.num_shards(), rows) << rows << "/" << requested;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < e.num_shards(); ++s) {
+      EXPECT_GT(e.Shard(s).num_rows(), 0u) << "empty shard " << s;
+      total += e.Shard(s).num_rows();
+    }
+    EXPECT_EQ(total, rows);
+  }
+}
+
+TEST(ShardedEmbedding, SingleShardIsTheIdentityLayout) {
+  // num_shards=1 must degenerate to the unsharded table: one shard holding
+  // every row, Locate the identity map — so a 1-shard job's checkpoints are
+  // laid out exactly like an unsharded job's.
+  constexpr std::size_t kRows = 37, kDim = 3;
+  ShardedEmbedding e("emb", kRows, kDim, 1);
+  ASSERT_EQ(e.num_shards(), 1u);
+  EXPECT_EQ(e.Shard(0).num_rows(), kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(e.Locate(r).shard, 0u);
+    EXPECT_EQ(e.Locate(r).local_row, r);
+    EXPECT_EQ(e.LogicalRow(0, r), r);
+  }
+
+  // And behaves bit-identically to a monolithic EmbeddingTable.
+  util::Rng rng(11);
+  EmbeddingTable mono("mono", kRows, kDim);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::vector<float> row(kDim);
+    for (auto& v : row) v = rng.NextFloat(-0.1f, 0.1f);
+    mono.RestoreRow(r, row, 0.0f);
+    e.Shard(0).RestoreRow(r, row, 0.0f);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto row = rng.NextBounded(kRows);
+    std::vector<float> grad(kDim);
+    for (auto& g : grad) g = rng.NextFloat(-1, 1);
+    mono.ApplySparseAdagrad(row, grad, 0.05f, 1e-6f);
+    e.ApplySparseAdagrad(row, grad, 0.05f, 1e-6f);
+  }
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const auto got = e.LookupRow(r);
+    const auto want = mono.Row(r);
+    for (std::size_t d = 0; d < kDim; ++d) EXPECT_EQ(got[d], want[d]) << "row " << r;
+  }
+}
+
 TEST(ShardedEmbedding, ZeroShardsThrows) {
   EXPECT_THROW(ShardedEmbedding("emb", 10, 2, 0), std::invalid_argument);
 }

@@ -4,7 +4,9 @@
 Verifies that every relative link/image target in tracked *.md files exists,
 AND that every fragment (#anchor) — same-file or cross-file — names a real
 heading in its target, so the cross-linked doc set (README, ARCHITECTURE,
-docs/OPERATIONS.md, docs/RECOVERY.md, docs/MANIFEST_FORMAT.md) cannot
+docs/OPERATIONS.md, docs/RECOVERY.md — including the partial-recovery
+runbook — docs/MANIFEST_FORMAT.md with the v3 coordinated-cut section,
+and docs/TUNING.md) cannot
 silently rot as files move or sections are renamed. External
 (http/https/mailto) links are not fetched — CI must not flake on the
 network.

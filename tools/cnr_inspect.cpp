@@ -12,6 +12,11 @@
 //       reports what would be freed without deleting anything. Only run the
 //       deleting forms on a store with no active writer.
 //   cnr_inspect <store-dir> <job>                 describe a job's checkpoints
+//   cnr_inspect <store-dir> <job> shards          coordinated-cut view of a
+//       sharded job: each cut's shard -> sub-checkpoint map, the newest
+//       (restorable) cut, and sub-checkpoints newer than it (in flight or
+//       torn-cut leftovers — a torn cut never appears as a cut, its COORD
+//       object was never written)
 //   cnr_inspect <store-dir> <job> <ckpt-id>       dump one manifest in detail
 //   cnr_inspect <store-dir> <job> restore [id]    restore drill: run the
 //       staged restore pipeline (fetch → decode, no model) over the chain of
@@ -49,7 +54,12 @@ using namespace cnr;
 namespace {
 
 const char* KindName(storage::CheckpointKind kind) {
-  return kind == storage::CheckpointKind::kFull ? "full" : "incremental";
+  switch (kind) {
+    case storage::CheckpointKind::kFull: return "full";
+    case storage::CheckpointKind::kIncremental: return "incremental";
+    case storage::CheckpointKind::kCoordinated: return "coordinated";
+  }
+  return "unknown";
 }
 
 double Ms(std::uint64_t us) { return static_cast<double>(us) / 1000.0; }
@@ -290,6 +300,59 @@ int GcCommand(storage::ObjectStore& store, const core::GcOptions& options) {
   return 0;
 }
 
+// shards: coordinated-cut view of a sharded job (core/sharded_checkpoint.h).
+// Shows each cut's shard -> sub-checkpoint map, which cut recovery would
+// restore from, and the sub-checkpoints newer than the newest cut (the next
+// cut in flight, or a torn cut's leftovers — a torn cut is never listed as a
+// cut because its COORD object was never written).
+int ShardsCommand(storage::ObjectStore& store, const std::string& job) {
+  const auto survey = core::SurveyJob(store, job, /*measure_orphans=*/false);
+  if (survey.cuts.empty()) {
+    std::printf("job %s: no coordinated cuts%s\n", job.c_str(),
+                survey.ids.empty() ? "" : " (unsharded job? try the plain forms)");
+    return survey.ids.empty() ? 0 : 1;
+  }
+  std::printf("job %s: %zu coordinated cut(s), %zu sub-checkpoint(s)\n", job.c_str(),
+              survey.cuts.size(), survey.ids.size());
+  std::uint64_t newest_max_id = 0;
+  for (std::size_t i = 0; i < survey.cuts.size(); ++i) {
+    const auto& cut = survey.cuts[i];
+    const bool newest = i + 1 == survey.cuts.size();
+    std::printf("  cut %llu%s: %zu shard(s), dense %llu bytes\n",
+                static_cast<unsigned long long>(cut.epoch), newest ? " (newest)" : "",
+                cut.shard_map.size(), static_cast<unsigned long long>(cut.dense_bytes));
+    for (const auto& e : cut.shard_map) {
+      std::uint64_t bytes = 0;
+      const auto it = survey.bytes_by_checkpoint.find(e.checkpoint_id);
+      if (it != survey.bytes_by_checkpoint.end()) bytes = it->second;
+      std::printf("    shard %2u -> checkpoint %llu (%llu bytes)\n", e.shard_id,
+                  static_cast<unsigned long long>(e.checkpoint_id),
+                  static_cast<unsigned long long>(bytes));
+      if (newest) newest_max_id = std::max(newest_max_id, e.checkpoint_id);
+    }
+  }
+  std::vector<std::uint64_t> pending;
+  for (const auto id : survey.ids) {
+    if (id > newest_max_id) pending.push_back(id);
+  }
+  if (!pending.empty()) {
+    std::printf("  newer than newest cut (in flight or torn-cut leftovers):");
+    for (const auto id : pending) std::printf(" %llu", static_cast<unsigned long long>(id));
+    std::printf("\n");
+  }
+  if (!survey.stale.empty()) {
+    std::printf("  stale (older cuts' exclusive chains / debris):");
+    for (const auto id : survey.stale) {
+      std::printf(" %llu", static_cast<unsigned long long>(id));
+    }
+    std::printf("\n");
+  }
+  std::printf("  bytes: %llu live | %llu stale\n",
+              static_cast<unsigned long long>(survey.live_bytes),
+              static_cast<unsigned long long>(survey.stale_bytes));
+  return 0;
+}
+
 void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
                         std::uint64_t id) {
   const auto m = core::LoadManifest(store, job, id);
@@ -346,7 +409,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <store-dir> [jobs"
                  " | gc [--dry-run] [--keep N] [--orphans]"
-                 " | <job> [checkpoint-id | scrub [checkpoint-id]"
+                 " | <job> [checkpoint-id | shards | scrub [checkpoint-id]"
                  " | restore [checkpoint-id] [--scrub]]]\n",
                  argv[0]);
     return 2;
@@ -389,6 +452,10 @@ int main(int argc, char** argv) {
     if (args.size() == 1) {
       DescribeJob(store, job);
       return 0;
+    }
+    if (args[1] == "shards") {
+      if (args.size() != 2) return usage();
+      return ShardsCommand(store, job);
     }
     if (args[1] == "scrub" || args[1] == "restore") {
       const bool restore_form = args[1] == "restore";
