@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -10,6 +9,7 @@
 #include "core/recovery.h"
 #include "storage/manifest.h"
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace cnr::core {
 
@@ -318,8 +318,8 @@ struct MaintenanceManager::Impl {
     JobMaintenanceStats stats;
   };
 
-  std::uint32_t PriorityOf(const std::string& job) const {
-    std::lock_guard lock(mu);
+  std::uint32_t PriorityOf(const std::string& job) const EXCLUDES(mu) {
+    util::MutexLock lock(mu);
     const auto it = jobs.find(job);
     return it == jobs.end() ? 0 : it->second.priority;
   }
@@ -336,10 +336,10 @@ struct MaintenanceManager::Impl {
   // due checks are absorbed, so a compressed simulated-time jump over many
   // intervals runs one catch-up scrub, not a backlog (next_due re-arms from
   // now at enqueue time).
-  void ScheduleDue() {
+  void ScheduleDue() EXCLUDES(mu) {
     std::vector<std::string> due;
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       if (stop || cfg.clock == nullptr) return;
       const util::SimTime now = cfg.clock->now();
       for (auto& [name, meta] : jobs) {
@@ -355,17 +355,17 @@ struct MaintenanceManager::Impl {
     Exec()->Submit(scrub_stage, due.size());
   }
 
-  bool DrainScrub() {
+  bool DrainScrub() EXCLUDES(mu) {
     auto job = scrub_lane.TryPop();
     if (!job) return false;
     bool skip;
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       skip = stop;  // shutting down: consume the unit, run nothing
     }
     if (!skip) ScrubAndRecord(*job);
     {
-      std::lock_guard lock(mu);
+      util::MutexLock lock(mu);
       jobs[*job].queued = false;
     }
     // The job may already be due again (time advanced during the scrub) —
@@ -405,14 +405,14 @@ struct MaintenanceManager::Impl {
     }
   }
 
-  pipeline::ScrubReport ScrubAndRecord(const std::string& job) {
+  pipeline::ScrubReport ScrubAndRecord(const std::string& job) EXCLUDES(mu) {
     pipeline::ScrubReport report = RunScrub(job);
     if (!report.clean()) {
       CNR_LOG_WARN << "maintenance: scrub of job " << job << " found "
                    << report.issues.size() << " issue(s) — the stored chain is NOT "
                    << "restorable as-is (see docs/OPERATIONS.md)";
     }
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     auto& stats = jobs[job].stats;  // jobs never registered still keep stats
     ++stats.scrubs_run;
     stats.scrub_issues += report.issues.size();
@@ -426,13 +426,14 @@ struct MaintenanceManager::Impl {
   std::shared_ptr<storage::ObjectStore> store;
   MaintenanceConfig cfg;
 
-  mutable std::mutex mu;  // registry, stats, schedule, stop flag
-  bool stop = false;
-  std::map<std::string, JobMeta> jobs;
+  mutable util::Mutex mu;  // registry, stats, schedule, stop flag
+  bool stop GUARDED_BY(mu) = false;
+  std::map<std::string, JobMeta> jobs GUARDED_BY(mu);
 
   // Serializes evictions. Lock order: evict_mu may be held while acquiring
-  // mu (PriorityOf, the stats update); NEVER acquire evict_mu under mu.
-  std::mutex evict_mu;
+  // mu (PriorityOf, the stats update); NEVER acquire evict_mu under mu —
+  // ACQUIRED_BEFORE makes that inversion a compile error under clang.
+  util::Mutex evict_mu ACQUIRED_BEFORE(mu);
 
   // Quota-eviction candidate cache (guarded by evict_mu): the stale
   // checkpoints of every store job, in eviction order, consumed in place as
@@ -450,9 +451,9 @@ struct MaintenanceManager::Impl {
     std::vector<std::uint64_t> cut_ids;
   };
   std::atomic<std::uint64_t> mutation_epoch{0};
-  bool survey_cached = false;           // under evict_mu
-  std::uint64_t survey_epoch = 0;       // under evict_mu
-  std::vector<Candidate> survey_cache;  // under evict_mu
+  bool survey_cached GUARDED_BY(evict_mu) = false;
+  std::uint64_t survey_epoch GUARDED_BY(evict_mu) = 0;
+  std::vector<Candidate> survey_cache GUARDED_BY(evict_mu);
 
   // Private stage runtime when no shared executor was configured.
   std::unique_ptr<pipeline::StageExecutor> own_exec;
@@ -465,8 +466,8 @@ struct MaintenanceManager::Impl {
 MaintenanceManager::MaintenanceManager(std::shared_ptr<storage::AccountingStore> accounting,
                                        std::shared_ptr<storage::ObjectStore> store,
                                        MaintenanceConfig config)
-    : impl_(std::make_unique<Impl>(std::move(accounting), std::move(store), config)),
-      cfg_(std::move(config)) {
+    : impl_(std::make_unique<Impl>(std::move(accounting), std::move(store),
+                                   std::move(config))) {
   if (!impl_->accounting) {
     throw std::invalid_argument("MaintenanceManager: null accounting store");
   }
@@ -495,7 +496,7 @@ MaintenanceManager::MaintenanceManager(std::shared_ptr<storage::AccountingStore>
 MaintenanceManager::~MaintenanceManager() {
   if (impl_->clock_sub) impl_->cfg.clock->Unsubscribe(*impl_->clock_sub);
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     impl_->stop = true;  // queued-but-unstarted scrubs drain without running
   }
   if (impl_->scrub_stage_open) impl_->Exec()->CloseStage(impl_->scrub_stage);
@@ -523,7 +524,7 @@ void MaintenanceManager::RegisterJob(const std::string& job, std::uint32_t prior
     throw std::invalid_argument("MaintenanceManager::RegisterJob: negative scrub_interval");
   }
   {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     auto& meta = impl_->jobs[job];
     meta.priority = priority;
     meta.keep_lineages = std::max<std::size_t>(keep_lineages, 1);
@@ -537,7 +538,7 @@ void MaintenanceManager::RegisterJob(const std::string& job, std::uint32_t prior
 }
 
 void MaintenanceManager::UnregisterJob(const std::string& job) {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   const auto it = impl_->jobs.find(job);
   if (it == impl_->jobs.end()) return;
   // Keep the record: the priority still orders eviction of the closed
@@ -552,7 +553,7 @@ void MaintenanceManager::NoteStoreMutation() {
 std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
                                                 const std::string& requesting_job) {
   needed_bytes = std::max<std::uint64_t>(needed_bytes, 1);
-  std::lock_guard evict_lock(impl_->evict_mu);
+  util::MutexLock evict_lock(impl_->evict_mu);
 
   // Candidates: every stale (off-live-chain) checkpoint in the store,
   // ordered lowest priority first, then per job oldest first. Live chains
@@ -584,8 +585,9 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
       }
       for (const auto id : survey.stale) {
         if (in_units.contains(id)) continue;
-        impl_->survey_cache.push_back(
-            {priority, job, id, survey.bytes_by_checkpoint.at(id)});
+        impl_->survey_cache.push_back({priority, job, id,
+                                       survey.bytes_by_checkpoint.at(id),
+                                       /*is_cut=*/false, {}});
       }
     }
     std::sort(impl_->survey_cache.begin(), impl_->survey_cache.end(),
@@ -637,7 +639,7 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
                    << ") evicted stale checkpoint " << c.id << " of job " << c.job << " ("
                    << c.bytes << " bytes, priority " << c.priority << ")";
     }
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     auto& stats = impl_->jobs[c.job].stats;
     stats.evicted_checkpoints += c.is_cut ? c.cut_ids.size() : 1;
     stats.evicted_bytes += c.bytes;
@@ -654,7 +656,7 @@ GcReport MaintenanceManager::Gc(const GcOptions& options) {
   // orphans; orphan removal is for offline stores (cnr_inspect gc).
   safe.remove_orphans = false;
   GcReport report = GcStore(*impl_->store, safe, [this](const std::string& job) {
-    std::lock_guard lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     const auto it = impl_->jobs.find(job);
     return it == impl_->jobs.end() ? std::size_t{1} : it->second.keep_lineages;
   });
@@ -666,15 +668,17 @@ pipeline::ScrubReport MaintenanceManager::ScrubJobNow(const std::string& job) {
   return impl_->ScrubAndRecord(job);
 }
 
+const MaintenanceConfig& MaintenanceManager::config() const { return impl_->cfg; }
+
 JobMaintenanceStats MaintenanceManager::job_stats(const std::string& job) const {
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   const auto it = impl_->jobs.find(job);
   return it == impl_->jobs.end() ? JobMaintenanceStats{} : it->second.stats;
 }
 
 std::map<std::string, JobMaintenanceStats> MaintenanceManager::stats_by_job() const {
   std::map<std::string, JobMaintenanceStats> out;
-  std::lock_guard lock(impl_->mu);
+  util::MutexLock lock(impl_->mu);
   for (const auto& [job, meta] : impl_->jobs) out.emplace(job, meta.stats);
   return out;
 }

@@ -296,12 +296,11 @@ class MaintenanceManager {
   JobMaintenanceStats job_stats(const std::string& job) const;
   std::map<std::string, JobMaintenanceStats> stats_by_job() const;
 
-  const MaintenanceConfig& config() const { return cfg_; }
+  const MaintenanceConfig& config() const;
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
-  MaintenanceConfig cfg_;
 };
 
 }  // namespace cnr::core

@@ -4,11 +4,13 @@
 #include <stdexcept>
 
 #include "util/logging.h"
+#include "util/sync.h"
 #include "util/wallclock.h"
 
 namespace cnr::core::pipeline {
 
 using util::ElapsedUs;
+using util::MutexLock;
 
 struct StageExecutor::Stage {
   std::string name;
@@ -26,7 +28,6 @@ struct StageExecutor::Stage {
 };
 
 StageExecutor::StageExecutor(ExecutorConfig config) : cfg_(config) {
-  last_tick_ = std::chrono::steady_clock::now();
   if (cfg_.auto_tune) {
     if (cfg_.tune_clock != nullptr) {
       // Deterministic mode: one controller step per simulated-clock advance.
@@ -34,7 +35,7 @@ StageExecutor::StageExecutor(ExecutorConfig config) : cfg_(config) {
       // calls back into the clock.
       clock_sub_ = cfg_.tune_clock->Subscribe([this] { Tick(); });
     } else {
-      controller_ = std::thread([this] { ControllerLoop(); });
+      controller_ = util::Thread([this] { ControllerLoop(); });
     }
   }
 }
@@ -45,21 +46,25 @@ StageExecutor::~StageExecutor() {
   // close anything left so pending work is never silently dropped.
   std::vector<StageId> open;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (StageId id = 0; id < stages_.size(); ++id) {
       if (stages_[id]) open.push_back(id);
     }
   }
   for (const StageId id : open) CloseStage(id);
+  // Joining happens with mu_ released: a retiring worker needs mu_ for its
+  // own last steps, so the fleet is moved out under the lock first.
+  std::vector<util::Thread> workers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    workers = std::move(workers_);
   }
-  work_cv_.notify_all();
-  wait_cv_.notify_all();
-  ctl_cv_.notify_all();
-  if (controller_.joinable()) controller_.join();
-  for (auto& t : workers_) t.join();
+  work_cv_.NotifyAll();
+  wait_cv_.NotifyAll();
+  ctl_cv_.NotifyAll();
+  if (controller_.Joinable()) controller_.Join();
+  for (auto& t : workers) t.Join();
 }
 
 StageExecutor::StageId StageExecutor::OpenStage(StageOptions opts, DrainFn drain) {
@@ -73,7 +78,7 @@ StageExecutor::StageId StageExecutor::OpenStage(StageOptions opts, DrainFn drain
   if (stage->max != 0) stage->initial = std::min(stage->initial, stage->max);
   stage->allotted = stage->initial;
 
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (stop_) throw std::runtime_error("StageExecutor: stopped");
   total_allotted_ += stage->allotted;
   total_initial_ += stage->initial;
@@ -94,7 +99,7 @@ void StageExecutor::Submit(StageId id, std::size_t units) {
   if (units == 0) return;
   bool wake_controller = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     Stage* s = id < stages_.size() ? stages_[id].get() : nullptr;
     if (s == nullptr) return;  // closed stage: late kick, nothing to do
     s->pending += units;
@@ -105,12 +110,12 @@ void StageExecutor::Submit(StageId id, std::size_t units) {
   // get a look — they may be the only thread able to run this stage. A
   // parked (idle) controller resumes ticking.
   if (units == 1) {
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   } else {
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
-  wait_cv_.notify_all();
-  if (wake_controller) ctl_cv_.notify_all();
+  wait_cv_.NotifyAll();
+  if (wake_controller) ctl_cv_.NotifyAll();
 }
 
 // Picks a stage with announced work and a free allotment slot. With `among`,
@@ -143,10 +148,10 @@ StageExecutor::Stage* StageExecutor::PickRunnableLocked(
 // Consumes one announced unit of `stage`: runs the drain outside the lock,
 // then books the result. The lock hand-off before and after the drain is
 // what sequences successive drains of a serial (max_workers == 1) stage.
-void StageExecutor::RunOne(std::unique_lock<std::mutex>& lock, Stage& stage) {
+void StageExecutor::RunOneLocked(Stage& stage) {
   --stage.pending;
   ++stage.active;
-  lock.unlock();
+  mu_.Unlock();
   const auto t0 = std::chrono::steady_clock::now();
   bool did = false;
   try {
@@ -158,49 +163,49 @@ void StageExecutor::RunOne(std::unique_lock<std::mutex>& lock, Stage& stage) {
     CNR_LOG_WARN << "StageExecutor: drain of stage " << stage.name << " threw";
   }
   const std::uint64_t us = ElapsedUs(t0);
-  lock.lock();
+  mu_.Lock();
   --stage.active;
   stage.busy_us += us;
   if (did) ++stage.drained;
   // Completion wakes the (few) waiters watching for quiescence/progress;
   // the freed allotment slot re-arms one worker only if this stage still
   // has announced work for it.
-  wait_cv_.notify_all();
-  if (stage.pending > 0 && stage.active < stage.allotted) work_cv_.notify_one();
+  wait_cv_.NotifyAll();
+  if (stage.pending > 0 && stage.active < stage.allotted) work_cv_.NotifyOne();
 }
 
 void StageExecutor::WorkerLoop() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     if (alive_workers_ > pool_target_) break;  // pool shrank: retire
     Stage* s = PickRunnableLocked(nullptr);
     if (s == nullptr) {
-      work_cv_.wait(lock);
+      work_cv_.Wait(mu_);
       continue;
     }
-    RunOne(lock, *s);
+    RunOneLocked(*s);
   }
   --alive_workers_;
-  exited_.push_back(std::this_thread::get_id());
+  exited_.push_back(util::Thread::CurrentId());
 }
 
 void StageExecutor::HelpUntil(const std::function<bool()>& done,
                               std::initializer_list<StageId> stages) {
   const std::vector<StageId> ids(stages);
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (!done()) {
     Stage* s = PickRunnableLocked(&ids);
     if (s == nullptr) {
-      wait_cv_.wait(lock);
+      wait_cv_.Wait(mu_);
       continue;
     }
-    RunOne(lock, *s);
+    RunOneLocked(*s);
   }
 }
 
 void StageExecutor::CloseStages(std::initializer_list<StageId> stages) {
   const std::vector<StageId> ids(stages);
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t k = 0; k < ids.size(); ++k) {
     Stage* closing = ids[k] < stages_.size() ? stages_[ids[k]].get() : nullptr;
     if (closing == nullptr) continue;
@@ -211,10 +216,10 @@ void StageExecutor::CloseStages(std::initializer_list<StageId> stages) {
     while (closing->pending > 0 || closing->active > 0) {
       Stage* s = PickRunnableLocked(&help);
       if (s == nullptr) {
-        wait_cv_.wait(lock);
+        wait_cv_.Wait(mu_);
         continue;
       }
-      RunOne(lock, *s);
+      RunOneLocked(*s);
     }
     total_allotted_ -= closing->allotted;
     total_initial_ -= closing->initial;
@@ -222,12 +227,12 @@ void StageExecutor::CloseStages(std::initializer_list<StageId> stages) {
     free_ids_.push_back(ids[k]);
   }
   ResizePoolLocked();  // returned allotment: excess workers retire
-  work_cv_.notify_all();
-  wait_cv_.notify_all();
+  work_cv_.NotifyAll();
+  wait_cv_.NotifyAll();
 }
 
 void StageExecutor::Tick() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TickLocked();
 }
 
@@ -272,8 +277,8 @@ void StageExecutor::TickLocked() {
     ++total_allotted_;
     ++rebalances_;
     ResizePoolLocked();
-    work_cv_.notify_all();
-    wait_cv_.notify_all();
+    work_cv_.NotifyAll();
+    wait_cv_.NotifyAll();
     return;
   }
 
@@ -294,22 +299,22 @@ void StageExecutor::TickLocked() {
   --donor->allotted;
   ++needy->allotted;
   ++rebalances_;
-  work_cv_.notify_all();
-  wait_cv_.notify_all();
+  work_cv_.NotifyAll();
+  wait_cv_.NotifyAll();
 }
 
 void StageExecutor::ControllerLoop() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
     if (!AnyActivityLocked()) {
       // Nothing pending or running anywhere: park instead of ticking an
       // idle service at tune_interval cadence. Submit un-parks us.
       controller_parked_ = true;
-      ctl_cv_.wait(lock);
+      ctl_cv_.Wait(mu_);
       controller_parked_ = false;
       continue;
     }
-    ctl_cv_.wait_for(lock, cfg_.tune_interval);
+    ctl_cv_.WaitFor(mu_, cfg_.tune_interval);
     if (stop_) break;
     TickLocked();
   }
@@ -330,9 +335,9 @@ void StageExecutor::ResizePoolLocked() {
   // are about to — their last act after releasing the lock).
   if (!exited_.empty()) {
     for (auto it = workers_.begin(); it != workers_.end();) {
-      const auto found = std::find(exited_.begin(), exited_.end(), it->get_id());
+      const auto found = std::find(exited_.begin(), exited_.end(), it->Id());
       if (found != exited_.end()) {
-        it->join();
+        it->Join();
         exited_.erase(found);
         it = workers_.erase(it);
       } else {
@@ -351,7 +356,7 @@ ExecutorSnapshot StageExecutor::snapshot() const { return snapshot({}); }
 ExecutorSnapshot StageExecutor::snapshot(std::initializer_list<StageId> stages) const {
   const std::vector<StageId> filter(stages);
   ExecutorSnapshot snap;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   snap.workers = alive_workers_;
   snap.auto_tune = cfg_.auto_tune;
   snap.rebalances = rebalances_;
@@ -376,7 +381,7 @@ ExecutorSnapshot StageExecutor::snapshot(std::initializer_list<StageId> stages) 
 }
 
 std::size_t StageExecutor::workers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return alive_workers_;
 }
 

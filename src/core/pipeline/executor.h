@@ -67,19 +67,17 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "util/sim_clock.h"
+#include "util/sync.h"
 
 namespace cnr::core::pipeline {
 
@@ -138,27 +136,29 @@ struct ExecutorSnapshot {
 template <typename T>
 class StageLane {
  public:
-  void Push(T item) {
-    std::lock_guard lock(mu_);
+  void Push(T item) EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     items_.push_back(std::move(item));
   }
 
-  std::optional<T> TryPop() {
-    std::lock_guard lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
     return item;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
+  std::size_t size() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<T> items_;
+  // Leaf lock of the executor plane: nothing is acquired under it, and it is
+  // never held while calling into StageExecutor (docs/CONCURRENCY.md).
+  mutable util::Mutex mu_;
+  std::deque<T> items_ GUARDED_BY(mu_);
 };
 
 class StageExecutor {
@@ -176,11 +176,11 @@ class StageExecutor {
 
   // Registers a stage and grows the pool toward the budget. The drain may be
   // called concurrently by up to `opts` allotted workers until CloseStage.
-  StageId OpenStage(StageOptions opts, DrainFn drain);
+  StageId OpenStage(StageOptions opts, DrainFn drain) EXCLUDES(mu_);
 
   // Announces `units` units of work for the stage (after pushing the backing
   // items into the stage's queue). Wakes workers. Safe from drains.
-  void Submit(StageId id, std::size_t units = 1);
+  void Submit(StageId id, std::size_t units = 1) EXCLUDES(mu_);
 
   // Drains the listed stages (later entries first — downstream stages should
   // be listed last so hand-off backlogs clear fastest) until `done()` is
@@ -188,70 +188,90 @@ class StageExecutor {
   // progresses even with zero free pool workers. `done` is evaluated under
   // the executor lock and must only read caller state (typically atomics).
   void HelpUntil(const std::function<bool()>& done,
-                 std::initializer_list<StageId> stages);
+                 std::initializer_list<StageId> stages) EXCLUDES(mu_);
 
   // Closes `stages` in order (list a plane upstream-to-downstream): for each,
   // helps drain remaining pending units — later stages in the list are
   // drained too, so an upstream drain's hand-off is consumed — then waits
   // until the stage is quiescent and unregisters it, returning its allotment
   // to the budget.
-  void CloseStages(std::initializer_list<StageId> stages);
-  void CloseStage(StageId id) { CloseStages({id}); }
+  void CloseStages(std::initializer_list<StageId> stages) EXCLUDES(mu_);
+  void CloseStage(StageId id) EXCLUDES(mu_) { CloseStages({id}); }
 
   // One controller step; exposed so tests and benches can tick explicitly.
-  void Tick();
+  void Tick() EXCLUDES(mu_);
 
   // Runtime view: every open stage, or only the listed ones (a plane
   // reporting on itself — e.g. RestoreOutcome::stages — must not read a
   // sibling plane's allotments as its own). Pool/controller fields are
   // global either way.
-  ExecutorSnapshot snapshot() const;
-  ExecutorSnapshot snapshot(std::initializer_list<StageId> stages) const;
-  std::size_t workers() const;
+  ExecutorSnapshot snapshot() const EXCLUDES(mu_);
+  ExecutorSnapshot snapshot(std::initializer_list<StageId> stages) const
+      EXCLUDES(mu_);
+  std::size_t workers() const EXCLUDES(mu_);
   const ExecutorConfig& config() const { return cfg_; }
 
  private:
   struct Stage;
 
-  Stage* PickRunnableLocked(const std::vector<StageId>* among);
-  void RunOne(std::unique_lock<std::mutex>& lock, Stage& stage);
+  // Lock discipline: mu_ is the executor's only lock. It ranks BELOW
+  // SimClock::sub_mu_ (the deterministic-tick subscriber calls Tick() with
+  // sub_mu_ held) and is never held while calling out of the executor —
+  // drains run with mu_ released (RunOneLocked's unlock window), so a drain
+  // may take StageLane or storage locks freely. `*Locked` helpers must be
+  // entered with mu_ held.
+  Stage* PickRunnableLocked(const std::vector<StageId>* among) REQUIRES(mu_);
+  // Consumes one announced unit: releases mu_ around the drain call and
+  // re-acquires it to book the result (mu_ is held on entry and on exit).
+  void RunOneLocked(Stage& stage) REQUIRES(mu_);
   void WorkerLoop();
   void ControllerLoop();
-  void TickLocked();
-  bool AnyActivityLocked() const;
-  void ResizePoolLocked();
+  void TickLocked() REQUIRES(mu_);
+  bool AnyActivityLocked() const REQUIRES(mu_);
+  void ResizePoolLocked() REQUIRES(mu_);
 
   ExecutorConfig cfg_;
 
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // Split wakeup channels so the per-unit hot path wakes one worker, not
-  // the whole pool: workers sleep on work_cv_ (notify_one per unit — safe
+  // the whole pool: workers sleep on work_cv_ (NotifyOne per unit — safe
   // because a worker always re-scans for runnable work before waiting);
   // helpers and closers sleep on wait_cv_ and need both completion and
   // new-work signals (a helper may be the only thread able to run them).
-  std::condition_variable work_cv_;
-  std::condition_variable wait_cv_;
-  std::condition_variable ctl_cv_;   // wall-clock controller wakeup (stop)
-  bool stop_ = false;
-  std::vector<std::unique_ptr<Stage>> stages_;  // index == StageId
-  std::vector<StageId> free_ids_;
-  std::size_t rr_cursor_ = 0;
-  std::size_t total_allotted_ = 0;  // across open stages
-  std::size_t total_initial_ = 0;   // budget baseline across open stages
-  std::uint64_t rebalances_ = 0;
-  std::chrono::steady_clock::time_point last_tick_;
+  util::CondVar work_cv_;
+  util::CondVar wait_cv_;
+  util::CondVar ctl_cv_;  // wall-clock controller wakeup (stop)
+  bool stop_ GUARDED_BY(mu_) = false;
+  // index == StageId. The vector is guarded; Stage field access follows the
+  // same discipline (only inside REQUIRES(mu_) scope, except the drain call
+  // itself) but sits behind unique_ptr where the analysis cannot see it.
+  std::vector<std::unique_ptr<Stage>> stages_ GUARDED_BY(mu_);
+  std::vector<StageId> free_ids_ GUARDED_BY(mu_);
+  std::size_t rr_cursor_ GUARDED_BY(mu_) = 0;
+  // across open stages
+  std::size_t total_allotted_ GUARDED_BY(mu_) = 0;
+  // budget baseline across open stages
+  std::size_t total_initial_ GUARDED_BY(mu_) = 0;
+  std::uint64_t rebalances_ GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point last_tick_ GUARDED_BY(mu_) =
+      std::chrono::steady_clock::now();
 
   // The pool tracks the open stages' allotment sum (capped by max_workers):
   // it grows when a plane opens stages and shrinks when one closes — excess
   // workers retire themselves and are reaped (joined) on the next resize,
   // so a long-lived service does not accumulate idle threads at the
   // high-water mark of concurrent planes.
-  std::size_t pool_target_ = 0;
-  std::size_t alive_workers_ = 0;
-  std::vector<std::thread> workers_;        // spawned; retired ones reaped lazily
-  std::vector<std::thread::id> exited_;     // retired workers awaiting a join
-  bool controller_parked_ = false;          // idle: no periodic ticking
-  std::thread controller_;
+  std::size_t pool_target_ GUARDED_BY(mu_) = 0;
+  std::size_t alive_workers_ GUARDED_BY(mu_) = 0;
+  // spawned; retired ones reaped lazily (the destructor moves the vector out
+  // under mu_ and joins without it — joining under mu_ would deadlock with
+  // workers that need mu_ to finish retiring)
+  std::vector<util::Thread> workers_ GUARDED_BY(mu_);
+  // retired workers awaiting a join
+  std::vector<std::thread::id> exited_ GUARDED_BY(mu_);
+  // idle: no periodic ticking
+  bool controller_parked_ GUARDED_BY(mu_) = false;
+  util::Thread controller_;  // set in the constructor only
   std::optional<util::SimClock::SubscriberId> clock_sub_;
 };
 

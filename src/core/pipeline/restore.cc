@@ -5,13 +5,13 @@
 #include <chrono>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/pipeline/executor.h"
 #include "storage/retrying_store.h"
+#include "util/sync.h"
 #include "util/wallclock.h"
 
 namespace cnr::core::pipeline {
@@ -151,17 +151,8 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
   std::atomic<std::uint64_t> fetch_queue_us{0}, decode_queue_us{0}, apply_queue_us{0};
   std::atomic<std::uint64_t> rows_applied{0};
 
-  // First failure wins; the flag turns the remaining stage work into drains.
-  std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  const auto mark_failed = [&](std::exception_ptr e) {
-    {
-      std::lock_guard lock(error_mu);
-      if (!first_error) first_error = std::move(e);
-    }
-    failed.store(true, std::memory_order_release);
-  };
+  // First failure wins; Failed() turns the remaining stage work into drains.
+  util::FirstError error;
 
   // Apply-stage state. The apply stage is serial (max_workers == 1) and
   // successive drains are fenced by the executor, so no lock is needed —
@@ -185,14 +176,14 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
 
   const auto apply_one = [&](ApplyJob& job_item) {
     apply_queue_us.fetch_add(ElapsedUs(job_item.enqueued), std::memory_order_relaxed);
-    if (!failed.load(std::memory_order_acquire)) {
+    if (!error.Failed()) {
       try {
         const auto t0 = std::chrono::steady_clock::now();
         applier.ApplyChunk(job_item.chunk);
         apply_us.fetch_add(ElapsedUs(t0), std::memory_order_relaxed);
         rows_applied.fetch_add(job_item.chunk.num_rows, std::memory_order_relaxed);
       } catch (...) {
-        mark_failed(std::current_exception());
+        error.Capture();
       }
     }
     --apply_state.remaining[job_item.pos];
@@ -234,7 +225,7 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
         auto job_item = decode_lane.TryPop();
         if (!job_item) return false;
         decode_queue_us.fetch_add(ElapsedUs(job_item->enqueued), std::memory_order_relaxed);
-        if (failed.load(std::memory_order_acquire)) return true;  // consume + drop
+        if (error.Failed()) return true;  // consume + drop
         try {
           const auto& manifest = manifests[job_item->pos];
           const auto t0 = std::chrono::steady_clock::now();
@@ -245,7 +236,7 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
                                    std::chrono::steady_clock::now()});
           exec->Submit(ids.apply);
         } catch (...) {
-          mark_failed(std::current_exception());
+          error.Capture();
         }
         return true;
       });
@@ -255,7 +246,7 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
         auto job_item = fetch_lane.TryPop();
         if (!job_item) return false;
         fetch_queue_us.fetch_add(ElapsedUs(job_item->enqueued), std::memory_order_relaxed);
-        if (failed.load(std::memory_order_acquire)) return true;  // consume + drop
+        if (error.Failed()) return true;  // consume + drop
         try {
           const auto& info = manifests[job_item->pos].chunks[job_item->chunk];
           const auto t0 = std::chrono::steady_clock::now();
@@ -267,7 +258,7 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
                                      std::chrono::steady_clock::now()});
           exec->Submit(ids.decode);
         } catch (...) {
-          mark_failed(std::current_exception());
+          error.Capture();
         }
         return true;
       });
@@ -282,25 +273,25 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
   // caller drains its own stages, so the restore progresses even when
   // every pool worker is busy on another plane.
   const std::size_t chunk_window = fanout.window;
-  for (std::size_t p = 0; p < n_pos && !failed.load(std::memory_order_acquire); ++p) {
+  for (std::size_t p = 0; p < n_pos && !error.Failed(); ++p) {
     exec->HelpUntil(
         [&] {
           return p < applied_pos.load(std::memory_order_acquire) +
                          cfg.max_inflight_checkpoints ||
-                 failed.load(std::memory_order_acquire);
+                 error.Failed();
         },
         {ids.fetch, ids.decode, ids.apply});
-    if (failed.load(std::memory_order_acquire)) break;
+    if (error.Failed()) break;
     for (std::size_t c = 0; c < manifests[p].chunks.size(); ++c) {
       exec->HelpUntil(
           [&] {
             return issued_chunks.load(std::memory_order_acquire) -
                            settled_chunks.load(std::memory_order_acquire) <
                        chunk_window ||
-                   failed.load(std::memory_order_acquire);
+                   error.Failed();
           },
           {ids.fetch, ids.decode, ids.apply});
-      if (failed.load(std::memory_order_acquire)) break;
+      if (error.Failed()) break;
       fetch_lane.Push(FetchJob{p, c, std::chrono::steady_clock::now()});
       issued_chunks.fetch_add(1, std::memory_order_relaxed);
       exec->Submit(ids.fetch);
@@ -312,7 +303,7 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
   // cut have no dense state (empty dense_key) — nothing to fetch or apply.
   std::vector<std::uint8_t> dense_blob;
   const bool has_dense = !manifests.back().dense_key.empty();
-  if (has_dense && !failed.load(std::memory_order_acquire)) {
+  if (has_dense && !error.Failed()) {
     try {
       const auto t0 = std::chrono::steady_clock::now();
       auto blob = retrying.Get(manifests.back().dense_key);
@@ -321,7 +312,7 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
       bytes_read.fetch_add(blob->size(), std::memory_order_relaxed);
       dense_blob = std::move(*blob);
     } catch (...) {
-      mark_failed(std::current_exception());
+      error.Capture();
     }
   }
 
@@ -331,20 +322,13 @@ RestoreOutcome RunRestorePipeline(storage::ObjectStore& store, const std::string
   exec->HelpUntil(
       [&] {
         return applied_pos.load(std::memory_order_acquire) == n_pos ||
-               failed.load(std::memory_order_acquire);
+               error.Failed();
       },
       {ids.fetch, ids.decode, ids.apply});
   out.stages = exec->snapshot({ids.fetch, ids.decode, ids.apply});
   exec->CloseStages({ids.fetch, ids.decode, ids.apply});
 
-  if (failed.load(std::memory_order_acquire)) {
-    std::exception_ptr error;
-    {
-      std::lock_guard lock(error_mu);
-      error = first_error;
-    }
-    std::rethrow_exception(error);
-  }
+  error.MaybeRethrow();
 
   if (has_dense) {
     // Dense state applies last, after every chunk — same order the facade and
@@ -555,12 +539,12 @@ ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& j
   // checkpoint-level row cross-check after the stages close. `settled` also
   // drives the feeder's in-flight window: one count per issued fetch job,
   // landed once its verdict (or dense size check) merged.
-  std::mutex report_mu;
+  util::Mutex report_mu;
   std::vector<std::uint64_t> decoded_rows(n_pos, 0);
   std::atomic<std::size_t> issued{0}, settled{0};
   const auto merge_chunk = [&](std::size_t pos, const ChunkVerdict& v) {
     {
-      std::lock_guard lock(report_mu);
+      util::MutexLock lock(report_mu);
       ++report.chunks_checked;
       report.rows_checked += v.decoded_rows;
       report.bytes_checked += v.bytes;
@@ -598,7 +582,7 @@ ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& j
             v = ScrubDenseBlob(blob, m);
           }
           {
-            std::lock_guard lock(report_mu);
+            util::MutexLock lock(report_mu);
             report.bytes_checked += v.bytes;
             report.issues.insert(report.issues.end(), fetch_issues.begin(),
                                  fetch_issues.end());
@@ -610,7 +594,7 @@ ScrubReport ScrubChainParallel(storage::ObjectStore& store, const std::string& j
         const storage::ChunkInfo& info = m.chunks[item->chunk];
         if (!TryScrubGet(retrying, info.key, blob, fetch_issues)) {
           {
-            std::lock_guard lock(report_mu);
+            util::MutexLock lock(report_mu);
             ++report.chunks_checked;
             report.issues.insert(report.issues.end(), fetch_issues.begin(),
                                  fetch_issues.end());

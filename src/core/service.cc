@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -14,6 +12,7 @@
 #include "core/pipeline/executor.h"
 #include "core/recovery.h"
 #include "quant/selector.h"
+#include "util/sync.h"
 #include "util/wallclock.h"
 
 namespace cnr::core {
@@ -23,6 +22,7 @@ using pipeline::ChunkTask;
 using pipeline::StageExecutor;
 using pipeline::StageLane;
 using util::ElapsedUs;
+using util::MutexLock;
 
 // Shared state of one checkpoint travelling through the stages. Stage
 // hand-offs happen through lane/scheduler mutexes, so plain fields written
@@ -46,18 +46,8 @@ struct Inflight {
   std::atomic<std::uint64_t> encode_queue_us{0};
   std::atomic<std::uint64_t> store_queue_us{0};
 
-  std::atomic<bool> failed{false};
   std::atomic<bool> slot_released{false};
-  std::mutex error_mu;
-  std::exception_ptr error;  // first failure wins
-
-  void MarkFailed(std::exception_ptr e) {
-    {
-      std::lock_guard lock(error_mu);
-      if (!error) error = std::move(e);
-    }
-    failed.store(true, std::memory_order_release);
-  }
+  util::FirstError error;  // first failure wins; Failed() is the fast path
 };
 
 struct PlanJob {
@@ -103,11 +93,11 @@ struct JobState {
   std::vector<std::uint64_t> failed_ids;
 
   // --- guarded by policy_mu (the job's trainer thread + commit stage) ---
-  mutable std::mutex policy_mu;
-  std::optional<IncrementalPolicy> policy;
-  std::unique_ptr<ModifiedRowTracker> tracker;
-  std::uint64_t next_checkpoint_id = 1;
-  std::uint64_t observed_restarts = 0;
+  mutable util::Mutex policy_mu;
+  std::optional<IncrementalPolicy> policy GUARDED_BY(policy_mu);
+  std::unique_ptr<ModifiedRowTracker> tracker GUARDED_BY(policy_mu);
+  std::uint64_t next_checkpoint_id GUARDED_BY(policy_mu) = 1;
+  std::uint64_t observed_restarts GUARDED_BY(policy_mu) = 0;
 };
 
 struct ServiceImpl {
@@ -167,9 +157,9 @@ struct ServiceImpl {
 
   // ------------------------------------------------------------ lifecycle --
 
-  void WaitIdle() {
-    std::unique_lock lock(mu_);
-    admit_cv_.wait(lock, [&] { return total_outstanding == 0; });
+  void WaitIdle() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (total_outstanding != 0) admit_cv_.Wait(mu_);
   }
 
   void Shutdown() {
@@ -179,11 +169,11 @@ struct ServiceImpl {
     // must fail loudly at the gate — never slip between idle and stage
     // close, where its work would strand and its future never resolve.
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stopping) return;  // idempotent
       stopping = true;
     }
-    admit_cv_.notify_all();
+    admit_cv_.NotifyAll();
     WaitIdle();
     // Quiesce and unregister the write plane's stages. The maintenance
     // plane's scrub stage closes in ~MaintenanceManager (destroyed before
@@ -207,11 +197,11 @@ struct ServiceImpl {
     // release at commit) this wait IS the §4.3 non-overlap rule for the job;
     // the service-wide cap bounds snapshot memory across all jobs.
     {
-      std::unique_lock lock(mu_);
-      admit_cv_.wait(lock, [&] {
-        return stopping || (total_admitted < cfg.max_inflight_checkpoints &&
-                            job->admitted < job->cfg.max_inflight_checkpoints);
-      });
+      MutexLock lock(mu_);
+      while (!stopping && !(total_admitted < cfg.max_inflight_checkpoints &&
+                            job->admitted < job->cfg.max_inflight_checkpoints)) {
+        admit_cv_.Wait(mu_);
+      }
       if (stopping) throw std::runtime_error("CheckpointService: stopped");
       ++total_admitted;
       ++total_outstanding;
@@ -230,19 +220,19 @@ struct ServiceImpl {
       ckpt->submit_time = t0;
     } catch (...) {
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         --total_admitted;
         --total_outstanding;
         --job->admitted;
         --job->outstanding;
         --job->stats.submitted;
       }
-      admit_cv_.notify_all();
+      admit_cv_.NotifyAll();
       throw;
     }
 
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       ckpt->seq = job->next_seq++;
     }
     plan_lane.Push(PlanJob{std::move(ckpt)});
@@ -254,22 +244,22 @@ struct ServiceImpl {
   void ReleaseSlot(Inflight& ckpt) {
     if (ckpt.slot_released.exchange(true)) return;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --total_admitted;
       --ckpt.job->admitted;
     }
-    admit_cv_.notify_all();
+    admit_cv_.NotifyAll();
   }
 
   // ------------------------------------------------------------ scheduler --
 
-  // Weighted round-robin pick across job lanes. Called under sched_mu_.
-  // Serves up to `weight` items of a job per round; a round ends when every
-  // eligible job is out of credit, at which point all credits refill. For
-  // the encode stage a job is eligible only while it has store budget left,
-  // so an encoder never produces bytes that would pile up unboundedly — a
-  // backlogged job throttles itself, never its neighbors.
-  JobState* PickWrr(bool encode_stage_pick) {
+  // Weighted round-robin pick across job lanes. Serves up to `weight` items
+  // of a job per round; a round ends when every eligible job is out of
+  // credit, at which point all credits refill. For the encode stage a job is
+  // eligible only while it has store budget left, so an encoder never
+  // produces bytes that would pile up unboundedly — a backlogged job
+  // throttles itself, never its neighbors.
+  JobState* PickWrrLocked(bool encode_stage_pick) REQUIRES(sched_mu_) {
     auto eligible = [&](JobState& j) {
       if (encode_stage_pick) {
         return !j.encode_lane.empty() && j.store_budget_used < cfg.queue_capacity;
@@ -303,9 +293,9 @@ struct ServiceImpl {
   // Non-blocking pops for the stage drains. An empty pick is fine: the
   // executor unit is consumed, and whoever makes a job eligible again (a
   // plan fan-out, or a store pop freeing encode budget) submits fresh units.
-  std::optional<EncodeJob> TryPopEncode() {
-    std::lock_guard lock(sched_mu_);
-    JobState* pick = PickWrr(/*encode_stage_pick=*/true);
+  std::optional<EncodeJob> TryPopEncode() EXCLUDES(sched_mu_) {
+    MutexLock lock(sched_mu_);
+    JobState* pick = PickWrrLocked(/*encode_stage_pick=*/true);
     if (!pick) return std::nullopt;
     ++pick->store_budget_used;  // reserve the downstream slot up front
     EncodeJob job = std::move(pick->encode_lane.front());
@@ -316,8 +306,8 @@ struct ServiceImpl {
   std::optional<StoreJob> TryPopStore() {
     std::optional<StoreJob> job;
     {
-      std::lock_guard lock(sched_mu_);
-      JobState* pick = PickWrr(/*encode_stage_pick=*/false);
+      MutexLock lock(sched_mu_);
+      JobState* pick = PickWrrLocked(/*encode_stage_pick=*/false);
       if (!pick) return std::nullopt;
       job = std::move(pick->store_lane.front());
       pick->store_lane.pop_front();
@@ -329,9 +319,9 @@ struct ServiceImpl {
     return job;
   }
 
-  void ReleaseStoreBudget(JobState& job) {
+  void ReleaseStoreBudget(JobState& job) EXCLUDES(sched_mu_) {
     {
-      std::lock_guard lock(sched_mu_);
+      MutexLock lock(sched_mu_);
       --job.store_budget_used;
     }
     exec.Submit(encode_stage);  // same kick as TryPopStore
@@ -378,7 +368,7 @@ struct ServiceImpl {
       ckpt->plan_us = ElapsedUs(t0);
       ckpt->remaining.store(ckpt->tasks.size(), std::memory_order_release);
     } catch (...) {
-      ckpt->MarkFailed(std::current_exception());
+      ckpt->error.Capture();
       PushCommit(ckpt);
       return true;
     }
@@ -394,7 +384,7 @@ struct ServiceImpl {
       // Lanes are unbounded descriptors (the heavy memory — snapshots and
       // encoded bytes — is bounded by admission and the store budget), so
       // one job's backlog never blocks planning for the others.
-      std::lock_guard lock(sched_mu_);
+      MutexLock lock(sched_mu_);
       auto& lane = ckpt->job->encode_lane;
       const auto now = std::chrono::steady_clock::now();
       for (std::size_t i = 0; i < n_tasks; ++i) {
@@ -410,7 +400,7 @@ struct ServiceImpl {
     if (!job) return false;
     const std::shared_ptr<Inflight>& ckpt = job->ckpt;
     ckpt->encode_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
-    if (ckpt->failed.load(std::memory_order_acquire)) {
+    if (ckpt->error.Failed()) {
       ReleaseStoreBudget(*ckpt->job);
       FinishChunk(ckpt);
       return true;
@@ -426,14 +416,14 @@ struct ServiceImpl {
       storage::ChunkInfo info = pipeline::MakeChunkInfo(task, ckpt->req.writer.job,
                                                         ckpt->req.checkpoint_id, bytes.size());
       {
-        std::lock_guard lock(sched_mu_);
+        MutexLock lock(sched_mu_);
         ckpt->job->store_lane.push_back(StoreJob{ckpt, job->index, std::move(info),
                                                  std::move(bytes),
                                                  std::chrono::steady_clock::now()});
       }
       exec.Submit(store_stage);
     } catch (...) {
-      ckpt->MarkFailed(std::current_exception());
+      ckpt->error.Capture();
       ReleaseStoreBudget(*ckpt->job);
       FinishChunk(ckpt);
     }
@@ -445,7 +435,7 @@ struct ServiceImpl {
     if (!job) return false;
     const std::shared_ptr<Inflight>& ckpt = job->ckpt;
     ckpt->store_queue_us.fetch_add(ElapsedUs(job->enqueued), std::memory_order_relaxed);
-    if (!ckpt->failed.load(std::memory_order_acquire)) {
+    if (!ckpt->error.Failed()) {
       try {
         const auto t0 = std::chrono::steady_clock::now();
         if (cfg.evict_on_quota && cfg.shared_quota_bytes > 0) {
@@ -463,7 +453,7 @@ struct ServiceImpl {
         // Chunk slots are disjoint per job index, so no lock is needed.
         ckpt->manifest.chunks[job->index] = std::move(job->info);
       } catch (...) {
-        ckpt->MarkFailed(std::current_exception());
+        ckpt->error.Capture();
       }
     }
     FinishChunk(ckpt);
@@ -476,7 +466,7 @@ struct ServiceImpl {
       // the admission slot now — the dense+manifest tail happens off the
       // next snapshot's critical path. Failed checkpoints keep their slot
       // until the commit stage retires them.
-      if (cfg.release_slot_on_stored && !ckpt->failed.load(std::memory_order_acquire)) {
+      if (cfg.release_slot_on_stored && !ckpt->error.Failed()) {
         ReleaseSlot(*ckpt);
       }
       PushCommit(ckpt);
@@ -508,14 +498,14 @@ struct ServiceImpl {
   }
 
   void NotifyPolicyCheckpointFailed(JobState& job) {
-    std::lock_guard lock(job.policy_mu);
+    MutexLock lock(job.policy_mu);
     if (job.policy) job.policy->OnCheckpointFailed();
   }
 
   void Retire(const std::shared_ptr<Inflight>& ckpt, WriteResult* result,
               std::exception_ptr error) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       JobStats& stats = ckpt->job->stats;
       if (result) {
         ++stats.committed;
@@ -537,11 +527,11 @@ struct ServiceImpl {
     }
     ReleaseSlot(*ckpt);  // no-op if already released at all-chunks-stored
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --total_outstanding;
       --ckpt->job->outstanding;
     }
-    admit_cv_.notify_all();
+    admit_cv_.NotifyAll();
   }
 
   void CommitOne(const std::shared_ptr<Inflight>& ckpt) {
@@ -549,28 +539,23 @@ struct ServiceImpl {
     // Lineage rule (per job): an incremental whose parent failed while both
     // were in flight must fail too — publishing it would leave recovery a
     // chain with a hole in it.
-    if (!ckpt->failed.load(std::memory_order_acquire) &&
+    if (!ckpt->error.Failed() &&
         ckpt->manifest.kind == storage::CheckpointKind::kIncremental &&
         std::find(job.failed_ids.begin(), job.failed_ids.end(), ckpt->manifest.parent_id) !=
             job.failed_ids.end()) {
-      ckpt->MarkFailed(std::make_exception_ptr(std::runtime_error(
+      ckpt->error.Set(std::make_exception_ptr(std::runtime_error(
           "checkpoint " + std::to_string(ckpt->req.checkpoint_id) + ": parent checkpoint " +
           std::to_string(ckpt->manifest.parent_id) + " failed in flight")));
     }
 
-    if (ckpt->failed.load(std::memory_order_acquire)) {
+    if (ckpt->error.Failed()) {
       job.failed_ids.push_back(ckpt->req.checkpoint_id);
       // The failed checkpoint may be the baseline or a chain link future
       // incrementals would parent on; the policy forgets its baseline and
       // plans a fresh full checkpoint next, before the failure is even
       // observed through the future.
       NotifyPolicyCheckpointFailed(job);
-      std::exception_ptr error;
-      {
-        std::lock_guard lock(ckpt->error_mu);
-        error = ckpt->error;
-      }
-      Retire(ckpt, nullptr, std::move(error));
+      Retire(ckpt, nullptr, ckpt->error.Get());
       return;
     }
 
@@ -653,17 +638,21 @@ struct ServiceImpl {
   StageExecutor::StageId store_stage = 0;
   StageExecutor::StageId commit_stage = 0;
 
-  mutable std::mutex mu_;  // admission, outstanding counts, job registry, stats
-  std::condition_variable admit_cv_;
-  std::size_t total_admitted = 0;
-  std::size_t total_outstanding = 0;
-  bool stopping = false;
-  std::vector<std::shared_ptr<JobState>> all_jobs;
+  // Admission, outstanding counts, job registry, stats. mu_ and sched_mu_
+  // never nest (each critical section takes exactly one of them); JobState
+  // fields stay commented rather than annotated because their guards live in
+  // this struct, across an object boundary the analysis cannot express.
+  mutable util::Mutex mu_;
+  util::CondVar admit_cv_;
+  std::size_t total_admitted GUARDED_BY(mu_) = 0;
+  std::size_t total_outstanding GUARDED_BY(mu_) = 0;
+  bool stopping GUARDED_BY(mu_) = false;
+  std::vector<std::shared_ptr<JobState>> all_jobs GUARDED_BY(mu_);
 
-  std::mutex sched_mu_;  // lanes, budgets, credits, cursors
-  std::size_t encode_cursor = 0;
-  std::size_t store_cursor = 0;
-  std::vector<std::shared_ptr<JobState>> lanes;
+  util::Mutex sched_mu_;  // lanes, budgets, credits, cursors
+  std::size_t encode_cursor GUARDED_BY(sched_mu_) = 0;
+  std::size_t store_cursor GUARDED_BY(sched_mu_) = 0;
+  std::vector<std::shared_ptr<JobState>> lanes GUARDED_BY(sched_mu_);
 
   StageLane<PlanJob> plan_lane;
   StageLane<CommitJob> commit_lane;
@@ -687,12 +676,12 @@ JobHandle::~JobHandle() {
   // check, the lanes drive every scheduler scan. The handle's shared_ptr
   // keeps stats() on this handle valid; the service forgets the job.
   {
-    std::lock_guard lock(impl_->mu_);
+    detail::MutexLock lock(impl_->mu_);
     auto& jobs = impl_->all_jobs;
     jobs.erase(std::remove(jobs.begin(), jobs.end(), job_), jobs.end());
   }
   {
-    std::lock_guard lock(impl_->sched_mu_);
+    detail::MutexLock lock(impl_->sched_mu_);
     auto& lanes = impl_->lanes;
     lanes.erase(std::remove(lanes.begin(), lanes.end(), job_), lanes.end());
     impl_->encode_cursor = lanes.empty() ? 0 : impl_->encode_cursor % lanes.size();
@@ -700,7 +689,7 @@ JobHandle::~JobHandle() {
   }
   // Detach the tracker's model hooks: the model is only guaranteed to
   // outlive the handle, not the service.
-  std::lock_guard lock(job_->policy_mu);
+  detail::MutexLock lock(job_->policy_mu);
   job_->tracker.reset();
 }
 
@@ -714,7 +703,7 @@ SubmittedCheckpoint JobHandle::Submit(IntervalSubmission submission) {
   detail::JobState& job = *job_;
   CheckpointRequest req;
   {
-    std::lock_guard lock(job.policy_mu);
+    detail::MutexLock lock(job.policy_mu);
     if (!job.policy) {
       throw std::logic_error("JobHandle::Submit: job \"" + job.cfg.name +
                              "\" has no incremental policy (opened without model/total_rows)");
@@ -743,7 +732,7 @@ SubmittedCheckpoint JobHandle::Submit(IntervalSubmission submission) {
     // The planned checkpoint will never exist (snapshot failure or service
     // shutdown); the policy must forget it or later incrementals would
     // parent on a hole in the chain.
-    std::lock_guard lock(job.policy_mu);
+    detail::MutexLock lock(job.policy_mu);
     job.policy->OnCheckpointFailed();
     throw;
   }
@@ -751,20 +740,20 @@ SubmittedCheckpoint JobHandle::Submit(IntervalSubmission submission) {
 }
 
 void JobHandle::Drain() {
-  std::unique_lock lock(impl_->mu_);
-  impl_->admit_cv_.wait(lock, [&] { return job_->outstanding == 0; });
+  detail::MutexLock lock(impl_->mu_);
+  while (job_->outstanding != 0) impl_->admit_cv_.Wait(impl_->mu_);
 }
 
 JobStats JobHandle::stats() const {
   JobStats stats;
   {
-    std::lock_guard lock(impl_->mu_);
+    detail::MutexLock lock(impl_->mu_);
     stats = job_->stats;
     stats.inflight = job_->outstanding;
   }
   {
     // sched_mu_ and mu_ never nest; taken in sequence.
-    std::lock_guard lock(impl_->sched_mu_);
+    detail::MutexLock lock(impl_->sched_mu_);
     stats.queued_encode_chunks = job_->encode_lane.size();
     stats.queued_store_chunks = job_->store_lane.size();
   }
@@ -777,7 +766,7 @@ JobStats JobHandle::stats() const {
 }
 
 std::size_t JobHandle::inflight() const {
-  std::lock_guard lock(impl_->mu_);
+  detail::MutexLock lock(impl_->mu_);
   return job_->outstanding;
 }
 
@@ -800,17 +789,17 @@ quant::QuantConfig JobHandle::EffectiveQuantConfig() const {
 }
 
 void JobHandle::OnRestartObserved() {
-  std::lock_guard lock(job_->policy_mu);
+  detail::MutexLock lock(job_->policy_mu);
   ++job_->observed_restarts;
 }
 
 std::uint64_t JobHandle::observed_restarts() const {
-  std::lock_guard lock(job_->policy_mu);
+  detail::MutexLock lock(job_->policy_mu);
   return job_->observed_restarts;
 }
 
 void JobHandle::SetNextCheckpointId(std::uint64_t next_id) {
-  std::lock_guard lock(job_->policy_mu);
+  detail::MutexLock lock(job_->policy_mu);
   if (next_id <= job_->next_checkpoint_id && job_->next_checkpoint_id != 1) {
     throw std::invalid_argument("SetNextCheckpointId: ids must move forward");
   }
@@ -818,7 +807,7 @@ void JobHandle::SetNextCheckpointId(std::uint64_t next_id) {
 }
 
 ModifiedRowTracker& JobHandle::tracker() {
-  std::lock_guard lock(job_->policy_mu);
+  detail::MutexLock lock(job_->policy_mu);
   if (!job_->tracker) {
     throw std::logic_error("JobHandle::tracker: job \"" + job_->cfg.name +
                            "\" was opened without a model");
@@ -849,7 +838,7 @@ std::unique_ptr<JobHandle> CheckpointService::OpenJob(JobConfig config) {
 
   auto job = std::make_shared<detail::JobState>(std::move(config));
   {
-    std::lock_guard lock(job->policy_mu);
+    detail::MutexLock lock(job->policy_mu);
     std::uint64_t total_rows = job->cfg.total_rows;
     if (job->cfg.model != nullptr) {
       job->tracker = std::make_unique<ModifiedRowTracker>(*job->cfg.model);
@@ -860,7 +849,7 @@ std::unique_ptr<JobHandle> CheckpointService::OpenJob(JobConfig config) {
     }
   }
   {
-    std::lock_guard lock(impl_->mu_);
+    detail::MutexLock lock(impl_->mu_);
     if (impl_->stopping) throw std::runtime_error("CheckpointService: stopped");
     for (const auto& existing : impl_->all_jobs) {  // closed jobs were removed
       if (existing->cfg.name == job->cfg.name) {
@@ -870,7 +859,7 @@ std::unique_ptr<JobHandle> CheckpointService::OpenJob(JobConfig config) {
     impl_->all_jobs.push_back(job);
   }
   {
-    std::lock_guard lock(impl_->sched_mu_);
+    detail::MutexLock lock(impl_->sched_mu_);
     impl_->lanes.push_back(job);
   }
   impl_->maintenance->RegisterJob(job->cfg.name, job->cfg.priority,
@@ -890,13 +879,13 @@ ServiceStats CheckpointService::stats() const {
   // never nest).
   std::map<std::string, std::pair<std::size_t, std::size_t>> queued;
   {
-    std::lock_guard lock(impl_->sched_mu_);
+    detail::MutexLock lock(impl_->sched_mu_);
     for (const auto& job : impl_->lanes) {
       queued[job->cfg.name] = {job->encode_lane.size(), job->store_lane.size()};
     }
   }
   {
-    std::lock_guard lock(impl_->mu_);
+    detail::MutexLock lock(impl_->mu_);
     stats.inflight = impl_->total_outstanding;
     stats.store_bytes = impl_->accounting->TrackedBytes();
     for (const auto& job : impl_->all_jobs) {
@@ -938,7 +927,7 @@ ServiceStats CheckpointService::stats() const {
 }
 
 std::size_t CheckpointService::inflight() const {
-  std::lock_guard lock(impl_->mu_);
+  detail::MutexLock lock(impl_->mu_);
   return impl_->total_outstanding;
 }
 

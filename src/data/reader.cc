@@ -1,20 +1,22 @@
 #include "data/reader.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace cnr::data {
 
 ReaderMaster::ReaderMaster(const SyntheticDataset& dataset, ReaderConfig config,
                            ReaderState initial)
-    : dataset_(dataset), config_(config) {
+    : dataset_(dataset),
+      config_(config),
+      allowed_until_(initial.next_batch_id),
+      next_claim_(initial.next_batch_id),
+      next_deliver_(initial.next_batch_id),
+      base_sample_(initial.next_sample),
+      base_batch_(initial.next_batch_id) {
   if (config_.batch_size == 0) throw std::invalid_argument("ReaderMaster: batch_size == 0");
   if (config_.num_workers == 0) throw std::invalid_argument("ReaderMaster: no workers");
   if (config_.queue_capacity == 0) throw std::invalid_argument("ReaderMaster: zero capacity");
-  allowed_until_ = initial.next_batch_id;
-  next_claim_ = initial.next_batch_id;
-  next_deliver_ = initial.next_batch_id;
-  base_batch_ = initial.next_batch_id;
-  base_sample_ = initial.next_sample;
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -23,32 +25,33 @@ ReaderMaster::ReaderMaster(const SyntheticDataset& dataset, ReaderConfig config,
 
 ReaderMaster::~ReaderMaster() {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
-  claim_cv_.notify_all();
-  deliver_cv_.notify_all();
-  quiesce_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  claim_cv_.NotifyAll();
+  deliver_cv_.NotifyAll();
+  quiesce_cv_.NotifyAll();
+  for (auto& w : workers_) w.Join();
 }
 
 void ReaderMaster::AllowBatches(std::uint64_t n) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     allowed_until_ += n;
   }
-  claim_cv_.notify_all();
+  claim_cv_.NotifyAll();
 }
 
 void ReaderMaster::WorkerLoop() {
   while (true) {
     std::uint64_t id = 0;
     {
-      std::unique_lock lock(mu_);
-      claim_cv_.wait(lock, [this] {
-        return stopping_ || (next_claim_ < allowed_until_ &&
-                             next_claim_ < next_deliver_ + config_.queue_capacity);
-      });
+      util::MutexLock lock(mu_);
+      while (!stopping_ &&
+             !(next_claim_ < allowed_until_ &&
+               next_claim_ < next_deliver_ + config_.queue_capacity)) {
+        claim_cv_.Wait(mu_);
+      }
       if (stopping_) return;
       id = next_claim_++;
       ++in_flight_;
@@ -56,29 +59,33 @@ void ReaderMaster::WorkerLoop() {
     const std::uint64_t first = base_sample_ + (id - base_batch_) * config_.batch_size;
     Batch batch = dataset_.GetBatch(id, first, config_.batch_size);
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       reorder_.emplace(id, std::move(batch));
       --in_flight_;
     }
-    deliver_cv_.notify_all();
+    deliver_cv_.NotifyAll();
   }
 }
 
 std::optional<Batch> ReaderMaster::NextBatch() {
-  std::unique_lock lock(mu_);
-  deliver_cv_.wait(lock, [this] {
-    return stopping_ || next_deliver_ >= allowed_until_ || reorder_.contains(next_deliver_);
-  });
-  if (stopping_) return std::nullopt;
-  if (next_deliver_ >= allowed_until_) return std::nullopt;  // budget exhausted
-  auto node = reorder_.extract(next_deliver_);
-  ++next_deliver_;
-  lock.unlock();
+  std::optional<Batch> out;
+  {
+    util::MutexLock lock(mu_);
+    while (!stopping_ && next_deliver_ < allowed_until_ &&
+           !reorder_.contains(next_deliver_)) {
+      deliver_cv_.Wait(mu_);
+    }
+    if (stopping_) return std::nullopt;
+    if (next_deliver_ >= allowed_until_) return std::nullopt;  // budget exhausted
+    auto node = reorder_.extract(next_deliver_);
+    ++next_deliver_;
+    out = std::move(node.mapped());
+  }
   // Consuming a batch frees reorder-buffer space and may unblock claims; a
   // fully drained queue may also satisfy CollectState.
-  claim_cv_.notify_all();
-  quiesce_cv_.notify_all();
-  return std::move(node.mapped());
+  claim_cv_.NotifyAll();
+  quiesce_cv_.NotifyAll();
+  return out;
 }
 
 bool ReaderMaster::ExhaustedLocked() const {
@@ -86,8 +93,8 @@ bool ReaderMaster::ExhaustedLocked() const {
 }
 
 ReaderState ReaderMaster::CollectState() {
-  std::unique_lock lock(mu_);
-  quiesce_cv_.wait(lock, [this] { return stopping_ || ExhaustedLocked(); });
+  util::MutexLock lock(mu_);
+  while (!stopping_ && !ExhaustedLocked()) quiesce_cv_.Wait(mu_);
   ReaderState s;
   s.next_batch_id = next_deliver_;
   s.next_sample = base_sample_ + (next_deliver_ - base_batch_) * config_.batch_size;
@@ -95,7 +102,7 @@ ReaderState ReaderMaster::CollectState() {
 }
 
 std::uint64_t ReaderMaster::DeliveredBatches() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return next_deliver_ - base_batch_;
 }
 

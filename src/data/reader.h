@@ -18,17 +18,15 @@
 //     batch has been consumed, then returns the exact ReaderState.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "data/batch.h"
 #include "data/synthetic.h"
 #include "util/serialize.h"
+#include "util/sync.h"
 
 namespace cnr::data {
 
@@ -97,26 +95,31 @@ class ReaderMaster {
 
  private:
   void WorkerLoop();
-  bool ExhaustedLocked() const;
+  bool ExhaustedLocked() const REQUIRES(mu_);
 
   const SyntheticDataset& dataset_;
   ReaderConfig config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable claim_cv_;    // workers wait for budget/backpressure
-  std::condition_variable deliver_cv_;  // consumer waits for the next batch
-  std::condition_variable quiesce_cv_;  // CollectState waits for drain
+  mutable util::Mutex mu_;
+  util::CondVar claim_cv_;    // workers wait for budget/backpressure
+  util::CondVar deliver_cv_;  // consumer waits for the next batch
+  util::CondVar quiesce_cv_;  // CollectState waits for drain
 
-  std::uint64_t allowed_until_ = 0;  // absolute batch-id budget (exclusive)
-  std::uint64_t next_claim_ = 0;     // next batch id a worker may claim
-  std::uint64_t next_deliver_ = 0;   // next batch id to hand to the trainer
-  std::uint64_t base_sample_ = 0;    // dataset index of batch id 0's first record
-  std::uint64_t base_batch_ = 0;     // first batch id of this incarnation
-  std::map<std::uint64_t, Batch> reorder_;
-  std::uint64_t in_flight_ = 0;  // claimed but not yet inserted
-  bool stopping_ = false;
+  // absolute batch-id budget (exclusive)
+  std::uint64_t allowed_until_ GUARDED_BY(mu_);
+  // next batch id a worker may claim
+  std::uint64_t next_claim_ GUARDED_BY(mu_);
+  // next batch id to hand to the trainer
+  std::uint64_t next_deliver_ GUARDED_BY(mu_);
+  // Immutable after construction (workers read them without the lock):
+  const std::uint64_t base_sample_;  // dataset index of the incarnation start
+  const std::uint64_t base_batch_;   // first batch id of this incarnation
+  std::map<std::uint64_t, Batch> reorder_ GUARDED_BY(mu_);
+  // claimed but not yet inserted
+  std::uint64_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
 
-  std::vector<std::thread> workers_;
+  std::vector<util::Thread> workers_;  // immutable set after construction
 };
 
 }  // namespace cnr::data

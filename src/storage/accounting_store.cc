@@ -29,7 +29,7 @@ void AccountingStore::Put(const std::string& key, std::vector<std::uint8_t> data
     // rolled back. (Concurrent puts to the *same* key may transiently skew
     // the per-job split; checkpoint keys are unique per chunk, so the
     // engine never does that.)
-    std::lock_guard lock(mu_);
+    util::WriterMutexLock lock(mu_);
     const auto it = sizes_.find(key);
     replaced = it == sizes_.end() ? 0 : it->second;
     if (quota_bytes_ > 0 && tracked_bytes_ - replaced + new_size > quota_bytes_) {
@@ -43,11 +43,11 @@ void AccountingStore::Put(const std::string& key, std::vector<std::uint8_t> data
   try {
     backing_->Put(key, std::move(data));
   } catch (...) {
-    std::lock_guard lock(mu_);
+    util::WriterMutexLock lock(mu_);
     tracked_bytes_ = tracked_bytes_ + replaced - new_size;
     throw;
   }
-  std::lock_guard lock(mu_);
+  util::WriterMutexLock lock(mu_);
   auto& usage = usage_[JobOfKey(key)];
   auto [it, inserted] = sizes_.emplace(key, new_size);
   if (inserted) {
@@ -61,7 +61,7 @@ void AccountingStore::Put(const std::string& key, std::vector<std::uint8_t> data
 }
 
 bool AccountingStore::SeedObject(const std::string& key, std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
+  util::WriterMutexLock lock(mu_);
   const auto [it, inserted] = sizes_.emplace(key, bytes);
   if (!inserted) return false;  // already tracked (written or seeded)
   auto& usage = usage_[JobOfKey(key)];
@@ -77,7 +77,7 @@ std::optional<std::vector<std::uint8_t>> AccountingStore::Get(const std::string&
   if (blob) {
     // Read-side accounting: lets partial-recovery tests assert that only the
     // lost shards' objects were fetched, by job and in aggregate.
-    std::lock_guard lock(mu_);
+    util::WriterMutexLock lock(mu_);
     auto& usage = usage_[JobOfKey(key)];
     ++usage.gets;
     usage.bytes_fetched += blob->size();
@@ -90,7 +90,7 @@ bool AccountingStore::Exists(const std::string& key) { return backing_->Exists(k
 bool AccountingStore::Delete(const std::string& key) {
   const bool existed = backing_->Delete(key);
   if (existed) {
-    std::lock_guard lock(mu_);
+    util::WriterMutexLock lock(mu_);
     const auto it = sizes_.find(key);
     if (it != sizes_.end()) {
       auto& usage = usage_[JobOfKey(key)];
@@ -113,18 +113,18 @@ std::uint64_t AccountingStore::TotalBytes() { return backing_->TotalBytes(); }
 StoreStats AccountingStore::Stats() { return backing_->Stats(); }
 
 JobUsage AccountingStore::Usage(const std::string& job) const {
-  std::lock_guard lock(mu_);
+  util::ReaderMutexLock lock(mu_);
   const auto it = usage_.find(job);
   return it == usage_.end() ? JobUsage{} : it->second;
 }
 
 std::map<std::string, JobUsage> AccountingStore::UsageByJob() const {
-  std::lock_guard lock(mu_);
+  util::ReaderMutexLock lock(mu_);
   return usage_;
 }
 
 std::uint64_t AccountingStore::TrackedBytes() const {
-  std::lock_guard lock(mu_);
+  util::ReaderMutexLock lock(mu_);
   return tracked_bytes_;
 }
 

@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "storage/object_store.h"
+#include "util/sync.h"
 
 namespace cnr::storage {
 
@@ -95,10 +95,14 @@ class AccountingStore : public ObjectStore {
   std::shared_ptr<ObjectStore> backing_;
   std::uint64_t quota_bytes_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t> sizes_;  // key -> live size
-  std::map<std::string, JobUsage> usage_;       // job -> occupancy
-  std::uint64_t tracked_bytes_ = 0;
+  // Reader/writer split: mutating ops (Put/Get/Delete/SeedObject — Get
+  // mutates read-side counters) take the write side; the pure occupancy
+  // queries (Usage/UsageByJob/TrackedBytes), which the service's stats path
+  // and quota-eviction survey poll, share the read side.
+  mutable util::SharedMutex mu_;
+  std::map<std::string, std::uint64_t> sizes_ GUARDED_BY(mu_);  // key -> size
+  std::map<std::string, JobUsage> usage_ GUARDED_BY(mu_);  // job -> occupancy
+  std::uint64_t tracked_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cnr::storage

@@ -11,13 +11,28 @@ FaultInjectionStore::FaultInjectionStore(std::shared_ptr<ObjectStore> backing,
 }
 
 void FaultInjectionStore::SetConfig(const FaultConfig& config) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   cfg_ = config;
+}
+
+std::uint64_t FaultInjectionStore::injected_put_failures() const {
+  util::MutexLock lock(mu_);
+  return put_failures_;
+}
+
+std::uint64_t FaultInjectionStore::injected_get_failures() const {
+  util::MutexLock lock(mu_);
+  return get_failures_;
+}
+
+std::uint64_t FaultInjectionStore::injected_corruptions() const {
+  util::MutexLock lock(mu_);
+  return corruptions_;
 }
 
 void FaultInjectionStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (rng_.NextBool(cfg_.put_failure_probability)) {
       ++put_failures_;
       throw StoreUnavailable("injected put failure for " + key);
@@ -28,7 +43,7 @@ void FaultInjectionStore::Put(const std::string& key, std::vector<std::uint8_t> 
 
 std::optional<std::vector<std::uint8_t>> FaultInjectionStore::Get(const std::string& key) {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (rng_.NextBool(cfg_.get_failure_probability)) {
       ++get_failures_;
       throw StoreUnavailable("injected get failure for " + key);
@@ -36,7 +51,7 @@ std::optional<std::vector<std::uint8_t>> FaultInjectionStore::Get(const std::str
   }
   auto result = backing_->Get(key);
   if (result && !result->empty()) {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (rng_.NextBool(cfg_.read_corruption_probability)) {
       ++corruptions_;
       const auto byte = rng_.NextBounded(result->size());

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "storage/object_store.h"
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace cnr::storage {
 
@@ -40,21 +40,23 @@ class FaultInjectionStore : public ObjectStore {
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
 
-  std::uint64_t injected_put_failures() const { return put_failures_; }
-  std::uint64_t injected_get_failures() const { return get_failures_; }
-  std::uint64_t injected_corruptions() const { return corruptions_; }
+  // Counter reads take the lock: tests poll these while injection workers
+  // are still bumping them under mu_, so an unlocked read would race.
+  std::uint64_t injected_put_failures() const EXCLUDES(mu_);
+  std::uint64_t injected_get_failures() const EXCLUDES(mu_);
+  std::uint64_t injected_corruptions() const EXCLUDES(mu_);
 
   // Runtime adjustment (e.g. heal the store mid-test).
-  void SetConfig(const FaultConfig& config);
+  void SetConfig(const FaultConfig& config) EXCLUDES(mu_);
 
  private:
   std::shared_ptr<ObjectStore> backing_;
-  std::mutex mu_;
-  FaultConfig cfg_;
-  util::Rng rng_;
-  std::uint64_t put_failures_ = 0;
-  std::uint64_t get_failures_ = 0;
-  std::uint64_t corruptions_ = 0;
+  mutable util::Mutex mu_;
+  FaultConfig cfg_ GUARDED_BY(mu_);
+  util::Rng rng_ GUARDED_BY(mu_);
+  std::uint64_t put_failures_ GUARDED_BY(mu_) = 0;
+  std::uint64_t get_failures_ GUARDED_BY(mu_) = 0;
+  std::uint64_t corruptions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cnr::storage

@@ -23,7 +23,7 @@ fs::path FileStore::PathFor(const std::string& key) const { return root_ / key; 
 
 void FileStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
   ValidateKey(key);
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const fs::path path = PathFor(key);
   fs::create_directories(path.parent_path());
   // Temp file + rename: an interrupted Put never leaves a torn object, so
@@ -43,7 +43,7 @@ void FileStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
 
 std::optional<std::vector<std::uint8_t>> FileStore::Get(const std::string& key) {
   ValidateKey(key);
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const fs::path path = PathFor(key);
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return std::nullopt;
@@ -65,7 +65,7 @@ bool FileStore::Exists(const std::string& key) {
 
 bool FileStore::Delete(const std::string& key) {
   ValidateKey(key);
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::error_code ec;
   const bool removed = fs::remove(PathFor(key), ec);
   if (removed) ++stats_.deletes;
@@ -73,7 +73,7 @@ bool FileStore::Delete(const std::string& key) {
 }
 
 std::vector<std::string> FileStore::List(const std::string& prefix) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> keys;
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
@@ -89,7 +89,7 @@ std::vector<std::string> FileStore::List(const std::string& prefix) {
 }
 
 std::uint64_t FileStore::TotalBytes() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::uint64_t total = 0;
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
@@ -103,7 +103,7 @@ std::uint64_t FileStore::TotalBytes() {
 }
 
 StoreStats FileStore::Stats() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <filesystem>
-#include <mutex>
 
 #include "storage/object_store.h"
+#include "util/sync.h"
 
 namespace cnr::storage {
 
@@ -34,8 +34,8 @@ class FileStore : public ObjectStore {
   static void ValidateKey(const std::string& key);
 
   std::filesystem::path root_;
-  std::mutex mu_;  // guards stats_ and multi-step filesystem ops
-  StoreStats stats_;
+  util::Mutex mu_;  // also serializes multi-step filesystem ops
+  StoreStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cnr::storage

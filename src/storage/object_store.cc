@@ -3,7 +3,7 @@
 namespace cnr::storage {
 
 void InMemoryStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.puts;
   stats_.bytes_written += data.size();
   auto it = objects_.find(key);
@@ -18,7 +18,7 @@ void InMemoryStore::Put(const std::string& key, std::vector<std::uint8_t> data) 
 }
 
 std::optional<std::vector<std::uint8_t>> InMemoryStore::Get(const std::string& key) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   ++stats_.gets;
   const auto it = objects_.find(key);
   if (it == objects_.end()) return std::nullopt;
@@ -27,12 +27,12 @@ std::optional<std::vector<std::uint8_t>> InMemoryStore::Get(const std::string& k
 }
 
 bool InMemoryStore::Exists(const std::string& key) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return objects_.contains(key);
 }
 
 bool InMemoryStore::Delete(const std::string& key) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = objects_.find(key);
   if (it == objects_.end()) return false;
   ++stats_.deletes;
@@ -42,7 +42,7 @@ bool InMemoryStore::Delete(const std::string& key) {
 }
 
 std::vector<std::string> InMemoryStore::List(const std::string& prefix) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> out;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -52,12 +52,12 @@ std::vector<std::string> InMemoryStore::List(const std::string& prefix) {
 }
 
 std::uint64_t InMemoryStore::TotalBytes() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return total_bytes_;
 }
 
 StoreStats InMemoryStore::Stats() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

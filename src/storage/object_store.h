@@ -9,11 +9,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cnr::storage {
 
@@ -71,10 +72,10 @@ class InMemoryStore : public ObjectStore {
   StoreStats Stats() override;
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::vector<std::uint8_t>> objects_;
-  std::uint64_t total_bytes_ = 0;
-  StoreStats stats_;
+  util::Mutex mu_;
+  std::map<std::string, std::vector<std::uint8_t>> objects_ GUARDED_BY(mu_);
+  std::uint64_t total_bytes_ GUARDED_BY(mu_) = 0;
+  StoreStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace cnr::storage

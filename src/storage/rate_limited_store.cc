@@ -30,7 +30,7 @@ util::SimTime RateLimitedStore::ReadDuration(std::uint64_t bytes) const {
 void RateLimitedStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
   const util::SimTime duration = WriteDuration(data.size());
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     const util::SimTime start = std::max(now_, link_free_);
     link_free_ = start + duration;
     write_busy_ += duration;
@@ -42,7 +42,7 @@ std::optional<std::vector<std::uint8_t>> RateLimitedStore::Get(const std::string
   auto result = backing_->Get(key);
   if (result) {
     const util::SimTime duration = ReadDuration(result->size());
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     const util::SimTime start = std::max(now_, link_free_);
     link_free_ = start + duration;
     read_busy_ += duration;
@@ -63,22 +63,22 @@ std::uint64_t RateLimitedStore::TotalBytes() { return backing_->TotalBytes(); }
 StoreStats RateLimitedStore::Stats() { return backing_->Stats(); }
 
 util::SimTime RateLimitedStore::LinkIdleAt() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return std::max(now_, link_free_);
 }
 
 util::SimTime RateLimitedStore::WriteBusyTime() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return write_busy_;
 }
 
 util::SimTime RateLimitedStore::ReadBusyTime() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return read_busy_;
 }
 
 void RateLimitedStore::AdvanceTo(util::SimTime t) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   now_ = std::max(now_, t);
 }
 

@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "storage/object_store.h"
 #include "util/sim_clock.h"
+#include "util/sync.h"
 
 namespace cnr::storage {
 
@@ -62,11 +62,13 @@ class RateLimitedStore : public ObjectStore {
   std::shared_ptr<ObjectStore> backing_;
   LinkConfig config_;
 
-  std::mutex mu_;
-  util::SimTime now_ = 0;        // externally driven lower bound
-  util::SimTime link_free_ = 0;  // when the link finishes queued transfers
-  util::SimTime write_busy_ = 0;
-  util::SimTime read_busy_ = 0;
+  util::Mutex mu_;
+  // externally driven lower bound
+  util::SimTime now_ GUARDED_BY(mu_) = 0;
+  // when the link finishes queued transfers
+  util::SimTime link_free_ GUARDED_BY(mu_) = 0;
+  util::SimTime write_busy_ GUARDED_BY(mu_) = 0;
+  util::SimTime read_busy_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cnr::storage

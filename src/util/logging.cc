@@ -2,11 +2,13 @@
 
 #include <atomic>
 
+#include "util/sync.h"
+
 namespace cnr::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mu;
+Mutex g_emit_mu;  // serializes stderr emission so lines never interleave
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,7 +26,7 @@ void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxe
 
 namespace internal {
 void Emit(LogLevel level, const std::string& msg) {
-  std::lock_guard lock(g_emit_mu);
+  MutexLock lock(g_emit_mu);
   std::cerr << "[" << LevelName(level) << "] " << msg << "\n";
 }
 }  // namespace internal

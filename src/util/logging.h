@@ -3,7 +3,6 @@
 #pragma once
 
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 

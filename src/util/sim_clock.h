@@ -11,8 +11,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/sync.h"
 
 namespace cnr::util {
 
@@ -64,28 +65,33 @@ class SimClock {
   // Registers a wake callback; the returned id unsubscribes it. Subscribers
   // must outlive their registration (Unsubscribe before destroying captured
   // state).
-  SubscriberId Subscribe(std::function<void()> wake) {
-    std::lock_guard lock(sub_mu_);
+  SubscriberId Subscribe(std::function<void()> wake) EXCLUDES(sub_mu_) {
+    MutexLock lock(sub_mu_);
     const SubscriberId id = next_subscriber_++;
     subscribers_.emplace(id, std::move(wake));
     return id;
   }
 
-  void Unsubscribe(SubscriberId id) {
-    std::lock_guard lock(sub_mu_);
+  void Unsubscribe(SubscriberId id) EXCLUDES(sub_mu_) {
+    MutexLock lock(sub_mu_);
     subscribers_.erase(id);
   }
 
  private:
-  void NotifySubscribers() {
-    std::lock_guard lock(sub_mu_);
+  // Wake callbacks run with sub_mu_ held: sub_mu_ is acquired BEFORE any
+  // lock a callback takes (StageExecutor::mu_, MaintenanceManager's mu).
+  // Nothing downstream may call back into the clock's subscriber API; the
+  // full cross-class ordering lives in docs/CONCURRENCY.md.
+  void NotifySubscribers() EXCLUDES(sub_mu_) {
+    MutexLock lock(sub_mu_);
     for (const auto& [id, wake] : subscribers_) wake();
   }
 
   std::atomic<SimTime> now_{0};
-  std::mutex sub_mu_;
-  std::map<SubscriberId, std::function<void()>> subscribers_;
-  SubscriberId next_subscriber_ = 0;
+  Mutex sub_mu_;
+  std::map<SubscriberId, std::function<void()>> subscribers_
+      GUARDED_BY(sub_mu_);
+  SubscriberId next_subscriber_ GUARDED_BY(sub_mu_) = 0;
 };
 
 // Sleep hook for storage::RetryPolicy::sleep (and any other injected delay):

@@ -1,0 +1,287 @@
+// Annotated synchronization primitives: the ONLY place in src/ that may name
+// the standard library's raw threading types.
+//
+// Everything concurrent in this repo — the stage executor, the checkpoint
+// service, the maintenance plane, the reader, the storage decorators — locks
+// through the wrappers below instead of the std primitives, for one reason:
+// Clang Thread Safety Analysis. Under clang, `Mutex` is a CAPABILITY and the
+// GUARDED_BY / REQUIRES / ACQUIRE / RELEASE annotations turn the repo's
+// locking discipline (which mutex guards which member, which helper must be
+// called with which lock held, which lock is acquired before which) into
+// compile errors instead of TSan lottery tickets. Under any other compiler
+// the macros expand to nothing and the wrappers are zero-cost forwarding
+// shims over std::mutex / std::shared_mutex / std::condition_variable.
+//
+// Conventions (enforced by tools/check_invariants.py and the thread-safety
+// CI job; rationale in docs/CONCURRENCY.md):
+//  * Raw std::mutex / std::thread / std::condition_variable / std::*_lock
+//    appear ONLY in this header. Everyone else uses Mutex, CondVar, MutexLock
+//    and Thread.
+//  * A private helper that expects a lock held is named `*Locked` and
+//    annotated REQUIRES(mu). Public entry points that take the lock are
+//    annotated EXCLUDES(mu) so re-entrant self-deadlocks are compile errors.
+//  * Condition waits are `while (!cond) cv.Wait(mu);` loops in REQUIRES
+//    scope — not predicate lambdas, which the analysis cannot see into.
+//  * NO_THREAD_SAFETY_ANALYSIS is banned outside this header (linter rule);
+//    the CI build runs -Wthread-safety -Wthread-safety-beta -Werror with
+//    zero suppressions over src/.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <utility>
+
+// ---------------------------------------------------------------------------
+// Thread Safety Analysis attribute macros.
+//
+// Canonical set from the Clang TSA documentation, gated so that non-clang
+// compilers (and clang builds without the capability attribute) see plain
+// empty token soup.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CNR_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef CNR_THREAD_ANNOTATION__
+#define CNR_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) CNR_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY CNR_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) CNR_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) CNR_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) CNR_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CNR_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) CNR_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CNR_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) CNR_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CNR_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) CNR_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CNR_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  CNR_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  CNR_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  CNR_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) CNR_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) CNR_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CNR_THREAD_ANNOTATION__(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) CNR_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CNR_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace cnr::util {
+
+// Plain exclusive mutex. Non-recursive, non-movable.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer mutex. Writers use Lock/Unlock (or MutexLock), readers
+// LockShared/UnlockShared (or ReaderMutexLock).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock over a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// RAII exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// RAII shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// Condition variable bound to Mutex. Waiters must hold the mutex; the
+// analysis checks that via REQUIRES on Wait. Always wait in a loop:
+//
+//   MutexLock lock(mu_);
+//   while (!ReadyLocked()) cv_.Wait(mu_);
+//
+// (Predicate-lambda overloads are deliberately absent: the analysis cannot
+// see that a lambda body runs with the lock held, so guarded reads inside
+// one would need suppressions. A plain while loop keeps the whole wait in
+// annotated scope.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  // Returns false on timeout (like std::cv_status::timeout).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> d) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    auto status = cv_.wait_for(lock, d);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Join-on-destruction thread. Movable so fleets can live in std::vector;
+// move-assignment joins the thread being displaced, so dropping or
+// overwriting a Thread can never terminate() the process the way an
+// un-joined std::thread does.
+class Thread {
+ public:
+  Thread() = default;
+  template <typename Fn, typename... Args>
+  explicit Thread(Fn&& fn, Args&&... args)
+      : t_(std::forward<Fn>(fn), std::forward<Args>(args)...) {}
+
+  Thread(Thread&& other) noexcept : t_(std::move(other.t_)) {}
+  Thread& operator=(Thread&& other) noexcept {
+    if (this != &other) {
+      if (t_.joinable()) t_.join();
+      t_ = std::move(other.t_);
+    }
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  ~Thread() {
+    if (t_.joinable()) t_.join();
+  }
+
+  void Join() { t_.join(); }
+  bool Joinable() const { return t_.joinable(); }
+  std::thread::id Id() const { return t_.get_id(); }
+
+  static unsigned HardwareConcurrency() {
+    return std::thread::hardware_concurrency();
+  }
+  static std::thread::id CurrentId() { return std::this_thread::get_id(); }
+
+ private:
+  std::thread t_;
+};
+
+// First-error-wins cell for fan-out pipelines: N workers may fail, the
+// pipeline reports the first failure and drops the rest. `Failed()` is an
+// atomic fast-path check usable without the lock (admission gates poll it
+// every iteration); the exception itself is guarded.
+class FirstError {
+ public:
+  FirstError() = default;
+  FirstError(const FirstError&) = delete;
+  FirstError& operator=(const FirstError&) = delete;
+
+  // Records `e` if no earlier error was recorded. Safe from any thread.
+  void Set(std::exception_ptr e) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!error_) {
+      error_ = std::move(e);
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+
+  // Captures the current exception; call from a catch block.
+  void Capture() EXCLUDES(mu_) { Set(std::current_exception()); }
+
+  bool Failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // The recorded error (null if none yet).
+  std::exception_ptr Get() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return error_;
+  }
+
+  // Rethrows the recorded error, if any.
+  void MaybeRethrow() EXCLUDES(mu_) {
+    std::exception_ptr e;
+    {
+      MutexLock lock(mu_);
+      e = error_;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::exception_ptr error_ GUARDED_BY(mu_);
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace cnr::util

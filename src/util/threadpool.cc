@@ -15,19 +15,19 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
-  for (auto& t : workers_) t.join();
+  cv_.NotifyAll();
+  for (auto& t : workers_) t.Join();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -35,9 +35,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
@@ -57,8 +57,8 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && active_ == 0)) idle_cv_.Wait(mu_);
 }
 
 }  // namespace cnr::util

@@ -6,14 +6,14 @@
 // on them except at the snapshot barrier.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
-#include <thread>
+#include <stdexcept>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cnr::util {
 
@@ -35,11 +35,11 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     auto future = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool stopped");
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return future;
   }
 
@@ -47,18 +47,18 @@ class ThreadPool {
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   // Blocks until the queue is empty and all workers are idle.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<Thread> workers_;  // immutable after the constructor returns
+  std::size_t active_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cnr::util

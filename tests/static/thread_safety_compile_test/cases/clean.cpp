@@ -1,0 +1,33 @@
+// Control case: correctly annotated locking. Must compile on every
+// compiler, with and without -Wthread-safety — if this fails under the
+// analysis, the harness (not the production code) is broken.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    cnr::util::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int Read() const EXCLUDES(mu_) {
+    cnr::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() REQUIRES(mu_) { ++value_; }
+
+  mutable cnr::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Seeded violation: acquiring two mutexes against their declared
+// ACQUIRED_BEFORE order — the deadlock pattern the executor/SimClock/
+// maintenance hierarchy annotations exist to prevent. Must be rejected by
+// -Wthread-safety-beta (-Werror); must compile without the analysis.
+#include "util/sync.h"
+
+namespace {
+
+class Planes {
+ public:
+  void InOrder() EXCLUDES(first_, second_) {
+    cnr::util::MutexLock a(first_);
+    cnr::util::MutexLock b(second_);
+    ++ops_;
+  }
+
+  // BAD: second_ taken while acquiring first_, inverting ACQUIRED_BEFORE.
+  void Inverted() EXCLUDES(first_, second_) {
+    cnr::util::MutexLock b(second_);
+    cnr::util::MutexLock a(first_);
+    ++ops_;
+  }
+
+ private:
+  cnr::util::Mutex first_ ACQUIRED_BEFORE(second_);
+  cnr::util::Mutex second_;
+  int ops_ GUARDED_BY(second_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Planes p;
+  p.InOrder();
+  p.Inverted();
+  return 0;
+}

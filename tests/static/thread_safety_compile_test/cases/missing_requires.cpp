@@ -1,0 +1,31 @@
+// Seeded violation: calling a REQUIRES(mu_) helper without holding the
+// mutex. Must be rejected by -Wthread-safety (-Werror); must compile
+// without it.
+#include "util/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  // BAD: PushLocked requires mu_, called here with no lock held.
+  void Push() { PushLocked(); }
+
+  int Size() const EXCLUDES(mu_) {
+    cnr::util::MutexLock lock(mu_);
+    return size_;
+  }
+
+ private:
+  void PushLocked() REQUIRES(mu_) { ++size_; }
+
+  mutable cnr::util::Mutex mu_;
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push();
+  return q.Size() == 1 ? 0 : 1;
+}

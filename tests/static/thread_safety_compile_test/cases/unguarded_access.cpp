@@ -1,0 +1,28 @@
+// Seeded violation: reading a GUARDED_BY member without holding its mutex.
+// Must be rejected by -Wthread-safety (-Werror); must compile without it.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    cnr::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BAD: value_ is guarded by mu_, read here with no lock held.
+  int Read() const { return value_; }
+
+ private:
+  mutable cnr::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read() == 1 ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 
 #include "core/checknrun.h"
@@ -72,6 +73,44 @@ TEST(FaultInjectionStore, ReadCorruptionFlipsOneBit) {
   }
   EXPECT_EQ(differing_bits, 1);
   EXPECT_EQ(store.injected_corruptions(), 1u);
+}
+
+TEST(FaultInjectionStore, CounterReadsAreSafeUnderConcurrentInjection) {
+  // Regression pin for the thread-safety annotation pass: the injected_*
+  // accessors used to read the counters without mu_, racing the store
+  // operations that bump them. They now lock (and are annotated
+  // EXCLUDES(mu_)); under TSan this test flags any relapse.
+  FaultConfig cfg;
+  cfg.put_failure_probability = 1.0;
+  cfg.get_failure_probability = 1.0;
+  FaultInjectionStore store(std::make_shared<InMemoryStore>(), cfg);
+
+  constexpr std::uint64_t kThreads = 4;
+  constexpr std::uint64_t kOpsPerThread = 200;
+  std::atomic<bool> go{false};
+  std::vector<util::Thread> workers;
+  for (std::uint64_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, &go] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        EXPECT_THROW(store.Put("k", {1}), StoreUnavailable);
+        EXPECT_THROW(store.Get("k"), StoreUnavailable);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Poll the counters while workers are still injecting — the read that
+  // used to be unlocked. Counts must be monotone.
+  std::uint64_t last = 0;
+  while (last < kThreads * kOpsPerThread) {
+    const std::uint64_t now = store.injected_put_failures();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  for (auto& w : workers) w.Join();
+  EXPECT_EQ(store.injected_put_failures(), kThreads * kOpsPerThread);
+  EXPECT_EQ(store.injected_get_failures(), kThreads * kOpsPerThread);
 }
 
 TEST(FaultInjectionStore, NullBackingThrows) {

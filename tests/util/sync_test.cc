@@ -1,0 +1,182 @@
+// Unit tests for the annotated synchronization primitives (util/sync.h):
+// the wrappers the whole concurrent tree locks through, so their semantics
+// (RAII release, condvar wait loops, Thread join-on-destroy/move, FirstError
+// first-wins) are pinned here rather than assumed.
+#include "util/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace cnr::util {
+namespace {
+
+TEST(Mutex, MutexLockSerializesIncrements) {
+  Mutex mu;
+  std::int64_t counter = 0;  // guarded by mu (a local cannot carry GUARDED_BY)
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<Thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& w : workers) w.Join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(Mutex, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  bool acquired = false;
+  Thread t([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  t.Join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SharedMutex, WriterExcludesReaders) {
+  SharedMutex mu;
+  std::int64_t value = 0;  // guarded by mu (a local cannot carry GUARDED_BY)
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kIters = 2000;
+  std::atomic<bool> torn{false};
+  std::vector<Thread> workers;
+  for (int t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        WriterMutexLock lock(mu);
+        // Non-atomic two-step mutation: readers between the steps would
+        // observe an odd value.
+        ++value;
+        ++value;
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        ReaderMutexLock lock(mu);
+        if (value % 2 != 0) torn.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.Join();
+  EXPECT_FALSE(torn.load());
+  WriterMutexLock lock(mu);
+  EXPECT_EQ(value, 2 * kWriters * kIters);
+}
+
+TEST(CondVar, WaitLoopObservesNotifiedState) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (a local cannot carry GUARDED_BY)
+  bool observed = false;
+  Thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = ready;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.Join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVar, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.WaitFor(mu, std::chrono::milliseconds(1)));
+}
+
+TEST(Thread, MoveAssignmentJoinsDisplacedThread) {
+  std::atomic<int> ran{0};
+  Thread a([&] { ran.fetch_add(1); });
+  Thread b([&] { ran.fetch_add(1); });
+  // Overwriting a joinable Thread must join it first — an un-joined
+  // displaced thread would std::terminate the process.
+  a = std::move(b);
+  EXPECT_GE(ran.load(), 1);  // the displaced thread finished
+  a.Join();
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_FALSE(a.Joinable());
+}
+
+TEST(Thread, DefaultConstructedIsNotJoinable) {
+  Thread t;
+  EXPECT_FALSE(t.Joinable());
+}
+
+TEST(FirstError, FirstRecordedErrorWins) {
+  FirstError err;
+  EXPECT_FALSE(err.Failed());
+  EXPECT_EQ(err.Get(), nullptr);
+  err.Set(std::make_exception_ptr(std::runtime_error("first")));
+  err.Set(std::make_exception_ptr(std::runtime_error("second")));
+  EXPECT_TRUE(err.Failed());
+  EXPECT_THROW(
+      {
+        try {
+          err.MaybeRethrow();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "first");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(FirstError, CaptureFromCatchBlock) {
+  FirstError err;
+  try {
+    throw std::logic_error("boom");
+  } catch (...) {
+    err.Capture();
+  }
+  EXPECT_TRUE(err.Failed());
+  EXPECT_THROW(err.MaybeRethrow(), std::logic_error);
+}
+
+TEST(FirstError, MaybeRethrowIsANoOpWhenClean) {
+  FirstError err;
+  EXPECT_NO_THROW(err.MaybeRethrow());
+}
+
+TEST(FirstError, ConcurrentSettersYieldExactlyOneError) {
+  FirstError err;
+  constexpr int kThreads = 8;
+  std::vector<Thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&err, t] {
+      err.Set(std::make_exception_ptr(std::runtime_error(std::to_string(t))));
+    });
+  }
+  for (auto& w : workers) w.Join();
+  EXPECT_TRUE(err.Failed());
+  // Whichever setter won, the recorded error is stable from here on.
+  const std::exception_ptr first = err.Get();
+  ASSERT_NE(first, nullptr);
+  err.Set(std::make_exception_ptr(std::runtime_error("late")));
+  EXPECT_EQ(err.Get(), first);
+}
+
+}  // namespace
+}  // namespace cnr::util
