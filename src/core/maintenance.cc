@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/delta_log.h"
 #include "core/pipeline/executor.h"
 #include "core/recovery.h"
 #include "storage/manifest.h"
@@ -70,6 +71,21 @@ std::set<std::uint64_t> CutLiveSet(const JobSurvey& survey) {
   return live;
 }
 
+// Base checkpoint id of a delta-log object key (jobs/<job>/dlog/<base>/...),
+// or nullopt for keys that do not follow the v4 convention.
+std::optional<std::uint64_t> DeltaLogBaseOf(const std::string& key, const std::string& root) {
+  if (!key.starts_with(root)) return std::nullopt;
+  const auto slash = key.find('/', root.size());
+  if (slash == std::string::npos || slash == root.size()) return std::nullopt;
+  std::uint64_t base = 0;
+  for (std::size_t i = root.size(); i < slash; ++i) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    base = base * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return base;
+}
+
 }  // namespace
 
 JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
@@ -77,6 +93,7 @@ JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
   JobSurvey survey;
   survey.job = job;
   const auto keys = store.List(storage::Manifest::JobPrefix(job));
+  const std::string dlog_root = storage::Manifest::DeltaLogRoot(job);
 
   // Pass 1: decode every manifest; record what each one attributes to the
   // job (its own bytes measured, chunk/dense bytes as the manifest claims).
@@ -141,6 +158,26 @@ JobSurvey SurveyJob(storage::ObjectStore& store, const std::string& job,
   std::sort(survey.ids.begin(), survey.ids.end());
   std::sort(survey.cuts.begin(), survey.cuts.end(),
             [](const CutSurvey& a, const CutSurvey& b) { return a.epoch < b.epoch; });
+
+  // Pass 1b: delta-log segments (core/delta_log.h) ride their base
+  // checkpoint's lineage. Every object under dlog/<base>/ whose base is
+  // manifested is attributed to that checkpoint's footprint, so live/stale
+  // classification, quota eviction, and GC sizing treat base + log as one
+  // unit. A log whose base manifest is gone is debris — left unreferenced
+  // here, so pass 3 reports it with the orphans. Segments are sized with a
+  // Get (no stat call), like manifests: they belong to a manifested lineage,
+  // so they are measured even when measure_orphans = false.
+  for (const auto& key : keys) {
+    const auto base = DeltaLogBaseOf(key, dlog_root);
+    if (!base) continue;
+    if (!std::binary_search(survey.ids.begin(), survey.ids.end(), *base)) continue;
+    const auto blob = store.Get(key);
+    if (!blob) continue;  // raced a concurrent truncation or compaction
+    referenced.insert(key);
+    survey.objects[key] = blob->size();
+    survey.bytes_by_checkpoint[*base] += blob->size();
+    survey.dlog_bytes_by_base[*base] += blob->size();
+  }
 
   // Pass 2: classify checkpoints as live or stale. Unsharded: live is the
   // newest id's chain. With coordinated cuts: live is the newest cut's
@@ -279,9 +316,15 @@ GcReport GcStore(storage::ObjectStore& store, const GcOptions& options,
     for (const auto id : survey.ids) {
       if (kept.contains(id)) continue;
       jr.evicted.push_back(id);
-      jr.bytes_freed += survey.bytes_by_checkpoint.at(id);
+      jr.bytes_freed += survey.bytes_by_checkpoint.at(id);  // includes its delta log
       if (!options.dry_run) {
         for (const auto& key : store.List(storage::Manifest::CheckpointPrefix(job, id))) {
+          store.Delete(key);
+        }
+        // The checkpoint's delta log is one lineage unit with its base: a
+        // log without its base is unrestorable, so it goes in the same
+        // breath (and was already counted in bytes_by_checkpoint).
+        for (const auto& key : store.List(storage::Manifest::DeltaLogPrefix(job, id))) {
           store.Delete(key);
         }
       }
@@ -363,7 +406,7 @@ struct MaintenanceManager::Impl {
       util::MutexLock lock(mu);
       skip = stop;  // shutting down: consume the unit, run nothing
     }
-    if (!skip) ScrubAndRecord(*job);
+    if (!skip) ScrubAndRecord(*job, /*full=*/true);
     {
       util::MutexLock lock(mu);
       jobs[*job].queued = false;
@@ -385,15 +428,34 @@ struct MaintenanceManager::Impl {
   // changing (GC runs post-commit; eviction spares live chains), so a dirty
   // report is re-checked against the latest id and the scrub retried on the
   // new chain instead of paging falsely.
-  pipeline::ScrubReport RunScrub(const std::string& job) {
+  pipeline::ScrubReport RunScrub(const std::string& job, bool full) {
     try {
       pipeline::ScrubConfig scrub_cfg = cfg.scrub;
       if (scrub_cfg.executor == nullptr) scrub_cfg.executor = Exec();
+      // Incremental scrub: reuse the job's verdict cache while the store's
+      // manifested state is unchanged, so a steady-state re-scrub issues no
+      // Gets at all. Any mutation since the last scrub (commit, GC —
+      // everything that calls NoteStoreMutation) clears it wholesale. The
+      // epoch is sampled BEFORE the scrub runs, so a mutation landing
+      // mid-scrub invalidates whatever verdicts it raced.
+      //
+      // Scheduled scrubs (`full`) additionally clear the cache themselves:
+      // their whole point is catching *silent* rot, which by definition
+      // bumps no mutation epoch. The schedule fire is the trust boundary —
+      // it re-reads every byte and leaves fresh verdicts behind, so
+      // on-demand scrubs between fires stay zero-Get.
+      pipeline::ScrubCache* cache = ValidatedCache(job);
+      if (full) cache->Clear();
+      scrub_cfg.cache = cache;
       pipeline::ScrubReport report;
       for (int attempt = 0; attempt < 3; ++attempt) {
         const auto latest = LatestCheckpointId(*store, job);
         if (!latest) return {};
         report = pipeline::ScrubChainParallel(*store, job, *latest, scrub_cfg);
+        // Base + delta log are one lineage unit: the live checkpoint's
+        // per-iteration delta stream is verified in the same run, through
+        // the same cache (unchanged segments cost no fetch either).
+        ScrubDeltaLog(*store, job, *latest, report, cache);
         if (report.clean()) return report;
         if (LatestCheckpointId(*store, job) == latest) return report;  // genuine
       }
@@ -405,8 +467,28 @@ struct MaintenanceManager::Impl {
     }
   }
 
-  pipeline::ScrubReport ScrubAndRecord(const std::string& job) EXCLUDES(mu) {
-    pipeline::ScrubReport report = RunScrub(job);
+  // The job's incremental-scrub cache, cleared if the store's manifested
+  // state moved since it was last validated. The returned pointer stays
+  // valid for the manager's lifetime (entries are heap-held and never
+  // erased); the cache itself is internally synchronized, so concurrent
+  // scrubs of the same job (ScrubJobNow racing the schedule) share it
+  // safely — a concurrent Clear only costs hit rate, never correctness.
+  pipeline::ScrubCache* ValidatedCache(const std::string& job) EXCLUDES(mu) {
+    const std::uint64_t epoch = mutation_epoch.load(std::memory_order_acquire);
+    util::MutexLock lock(mu);
+    auto& entry = scrub_caches[job];
+    if (!entry) entry = std::make_unique<ScrubCacheEntry>();
+    if (!entry->validated || entry->epoch != epoch) {
+      entry->cache.Clear();
+      entry->epoch = epoch;
+      entry->validated = true;
+    }
+    return &entry->cache;
+  }
+
+  pipeline::ScrubReport ScrubAndRecord(const std::string& job, bool full = false)
+      EXCLUDES(mu) {
+    pipeline::ScrubReport report = RunScrub(job, full);
     if (!report.clean()) {
       CNR_LOG_WARN << "maintenance: scrub of job " << job << " found "
                    << report.issues.size() << " issue(s) — the stored chain is NOT "
@@ -416,6 +498,7 @@ struct MaintenanceManager::Impl {
     auto& stats = jobs[job].stats;  // jobs never registered still keep stats
     ++stats.scrubs_run;
     stats.scrub_issues += report.issues.size();
+    stats.scrub_cache_hits += report.cache_hits;
     stats.last_scrub_at = cfg.clock ? cfg.clock->now() : -1;
     stats.last_scrub_clean = report.clean();
     stats.last_issues = report.issues;
@@ -429,6 +512,18 @@ struct MaintenanceManager::Impl {
   mutable util::Mutex mu;  // registry, stats, schedule, stop flag
   bool stop GUARDED_BY(mu) = false;
   std::map<std::string, JobMeta> jobs GUARDED_BY(mu);
+
+  // Per-job incremental-scrub verdict caches (ValidatedCache). The map is
+  // guarded by mu; each entry is heap-held so the ScrubCache pointer handed
+  // to a running scrub stays valid outside the lock (the cache is its own
+  // synchronization domain). `epoch` is the mutation_epoch the cache was
+  // last validated against, touched only under mu.
+  struct ScrubCacheEntry {
+    pipeline::ScrubCache cache;
+    std::uint64_t epoch = 0;
+    bool validated = false;
+  };
+  std::map<std::string, std::unique_ptr<ScrubCacheEntry>> scrub_caches GUARDED_BY(mu);
 
   // Serializes evictions. Lock order: evict_mu may be held while acquiring
   // mu (PriorityOf, the stats update); NEVER acquire evict_mu under mu —
@@ -449,6 +544,11 @@ struct MaintenanceManager::Impl {
     // Evicting half a cut would tear it.
     bool is_cut = false;
     std::vector<std::uint64_t> cut_ids;
+    // The subset of this candidate's ids ({id}, or cut_ids when is_cut) that
+    // carry a delta log, per the survey — so the delete enumerates dlog/
+    // prefixes only where objects actually live, and a burst of quota trips
+    // on log-less jobs stays at one List (the checkpoint's own prefix).
+    std::vector<std::uint64_t> dlog_ids;
   };
   std::atomic<std::uint64_t> mutation_epoch{0};
   bool survey_cached GUARDED_BY(evict_mu) = false;
@@ -580,14 +680,21 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
       std::set<std::uint64_t> in_units;
       for (auto& unit : StaleCutUnits(survey)) {
         in_units.insert(unit.ids.begin(), unit.ids.end());
+        std::vector<std::uint64_t> dlog_ids;
+        for (const auto id : unit.ids) {
+          if (survey.dlog_bytes_by_base.contains(id)) dlog_ids.push_back(id);
+        }
         impl_->survey_cache.push_back({priority, job, unit.epoch, unit.bytes,
-                                       /*is_cut=*/true, std::move(unit.ids)});
+                                       /*is_cut=*/true, std::move(unit.ids),
+                                       std::move(dlog_ids)});
       }
       for (const auto id : survey.stale) {
         if (in_units.contains(id)) continue;
+        std::vector<std::uint64_t> dlog_ids;
+        if (survey.dlog_bytes_by_base.contains(id)) dlog_ids.push_back(id);
         impl_->survey_cache.push_back({priority, job, id,
                                        survey.bytes_by_checkpoint.at(id),
-                                       /*is_cut=*/false, {}});
+                                       /*is_cut=*/false, {}, std::move(dlog_ids)});
       }
     }
     std::sort(impl_->survey_cache.begin(), impl_->survey_cache.end(),
@@ -624,6 +731,16 @@ std::uint64_t MaintenanceManager::EvictForQuota(std::uint64_t needed_bytes,
     } else {
       for (const auto& key :
            impl_->store->List(storage::Manifest::CheckpointPrefix(c.job, c.id))) {
+        impl_->store->Delete(key);
+      }
+    }
+    // Checkpoint + its delta log are one lineage unit (candidate bytes
+    // already count both, via SurveyJob's attribution); dlog_ids lists
+    // exactly the bases with segments, so log-less evictions List nothing
+    // extra here.
+    for (const auto id : c.dlog_ids) {
+      for (const auto& key :
+           impl_->store->List(storage::Manifest::DeltaLogPrefix(c.job, id))) {
         impl_->store->Delete(key);
       }
     }

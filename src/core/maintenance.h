@@ -22,7 +22,8 @@
 //      seeds the AccountingStore from the store's manifests at start
 //      (reconciliation), evicts stale lineages in priority order when a
 //      checkpoint trips the shared quota (instead of failing the submit),
-//      and runs pipeline::ScrubChainParallel over each job's live chain on a
+//      and runs pipeline::ScrubChainParallel over each job's live chain —
+//      plus core::ScrubDeltaLog over the live checkpoint's delta log — on a
 //      util::SimClock-driven schedule (background self-scrub) so
 //      simulated-time tests can compress days of scrubbing into
 //      milliseconds. Scheduled scrubs run as a stage on the shared
@@ -87,7 +88,18 @@ struct JobSurvey {
   // Every object the manifests attribute to the job: key -> stored bytes
   // (chunk/dense sizes from the manifests, manifest objects measured).
   std::map<std::string, std::uint64_t> objects;
-  std::map<std::uint64_t, std::uint64_t> bytes_by_checkpoint;  // id -> bytes
+  // id -> bytes, INCLUDING the id's delta-log segments (dlog_bytes_by_base):
+  // a base checkpoint and its per-iteration delta stream are one lineage
+  // unit, so quota accounting, eviction sizing, and GC reports never split
+  // them.
+  std::map<std::uint64_t, std::uint64_t> bytes_by_checkpoint;
+  // Delta-log bytes per base checkpoint (core/delta_log.h): every object
+  // under jobs/<job>/dlog/<base>/ whose base is manifested. A delta log
+  // whose base manifest is gone is debris and surfaces in `orphans`. Segment
+  // objects are sized with a Get (the store has no stat call), like
+  // manifests — the log is part of a manifested lineage, so unlike orphans
+  // it is measured even when measure_orphans = false.
+  std::map<std::uint64_t, std::uint64_t> dlog_bytes_by_base;
   // Keys under the job's prefix referenced by NO manifest: chunks of
   // checkpoints that failed before publishing, or debris of a crashed run.
   // Orphans are measured with a Get and included in `objects`, so
@@ -191,7 +203,9 @@ using KeepResolver = std::function<std::size_t(const std::string& job)>;
 // Deletes (or, dry-run, reports) every checkpoint of every job that is not
 // on one of the kept lineages — the store-wide, report-producing sibling of
 // core::GarbageCollectJob. Deletes go through `store`, so running it over an
-// accounting view keeps occupancy truthful.
+// accounting view keeps occupancy truthful. An evicted checkpoint's
+// delta-log segments (jobs/<job>/dlog/<id>/) are deleted with it — the log
+// is useless without its base, and `bytes_freed` already counts it.
 GcReport GcStore(storage::ObjectStore& store, const GcOptions& options = {},
                  const KeepResolver& keep = {});
 
@@ -221,6 +235,10 @@ struct MaintenanceConfig {
 struct JobMaintenanceStats {
   std::uint64_t scrubs_run = 0;
   std::uint64_t scrub_issues = 0;  // cumulative across runs
+  // Cumulative chunk verdicts served from the job's incremental-scrub cache
+  // instead of a fetch+decode (pipeline::ScrubCache). A steady-state scrub
+  // over an unchanged store is all cache hits — zero store Gets.
+  std::uint64_t scrub_cache_hits = 0;
   std::uint64_t evicted_checkpoints = 0;
   std::uint64_t evicted_bytes = 0;
   util::SimTime last_scrub_at = -1;  // -1 = never scrubbed
@@ -289,8 +307,24 @@ class MaintenanceManager {
   GcReport Gc(const GcOptions& options = {});
 
   // One immediate scrub of the job's live chain through the parallel scrub
-  // kernel; also what the background schedule runs. A job with no
-  // checkpoints yields an empty, clean report.
+  // kernel, followed by the live checkpoint's delta log
+  // (core::ScrubDeltaLog) — base + segments are verified as one lineage
+  // unit; also what the background schedule runs. A job with no checkpoints
+  // yields an empty, clean report.
+  //
+  // On-demand scrubs are incremental: each job owns a pipeline::ScrubCache
+  // of per-chunk verdicts, so a repeat scrub over an unchanged store
+  // re-reports the cached verdicts without a single store Get. The cache is
+  // invalidated (wholesale) whenever NoteStoreMutation has been called since
+  // the job's last scrub — commits and GC move the mutation epoch, so a
+  // verdict can never outlive the object it judged. (Quota eviction does not
+  // bump the epoch — it consumes its own cached candidate survey — and does
+  // not need to here either: it only ever deletes stale lineages, never an
+  // object on a live chain or in its delta log, the only objects a scrub
+  // judges.) SCHEDULED scrubs, by contrast, always re-read every byte:
+  // silent bit rot bumps no epoch, and catching it is the schedule's whole
+  // job. Each schedule fire refreshes the cache, so on-demand scrubs between
+  // fires stay zero-Get.
   pipeline::ScrubReport ScrubJobNow(const std::string& job);
 
   JobMaintenanceStats job_stats(const std::string& job) const;

@@ -138,6 +138,12 @@ void GarbageCollectJob(storage::ObjectStore& store, const std::string& job,
     for (const auto& key : store.List(storage::Manifest::CheckpointPrefix(job, id))) {
       store.Delete(key);
     }
+    // An evicted base checkpoint takes its per-iteration delta log with it
+    // (core/delta_log.h): the log replays on top of the base, so without the
+    // base it is dead weight the quota would otherwise carry forever.
+    for (const auto& key : store.List(storage::Manifest::DeltaLogPrefix(job, id))) {
+      store.Delete(key);
+    }
   }
 }
 

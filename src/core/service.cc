@@ -343,7 +343,15 @@ struct ServiceImpl {
         return fn();
       } catch (const storage::QuotaExceeded&) {
         if (!cfg.evict_on_quota) throw;
-        if (maintenance->EvictForQuota(needed_bytes, job) == 0) throw;
+        if (maintenance->EvictForQuota(needed_bytes, job) == 0) {
+          // Nothing left to evict — but a CONCURRENT trip may have consumed
+          // the last candidates while freeing exactly the bytes this write
+          // needs (two store workers hitting the quota together: the first
+          // evicts, the second finds the candidate survey spent). One final
+          // attempt distinguishes "store genuinely full" from "another
+          // worker already evicted for us"; its QuotaExceeded stands.
+          return fn();
+        }
       }
     }
   }
@@ -697,6 +705,27 @@ const std::string& JobHandle::name() const { return job_->cfg.name; }
 
 std::future<WriteResult> JobHandle::SubmitRaw(CheckpointRequest request) {
   return impl_->Submit(job_, std::move(request));
+}
+
+std::unique_ptr<DeltaLog> JobHandle::OpenDeltaLog(DeltaLogConfig config) {
+  config.job = name();
+  // Scheduled compaction rides the service's maintenance clock unless the
+  // caller wired an explicit one (tests driving their own SimClock).
+  if (config.compaction_clock == nullptr) {
+    config.compaction_clock = impl_->cfg.maintenance_clock;
+  }
+  // Every durable segment changes the store's manifested footprint: tell the
+  // maintenance plane, so the quota-eviction survey and the job's
+  // incremental-scrub cache are re-validated before they are trusted again.
+  // The maintenance manager outlives every handle-opened log (the service
+  // contract: logs close before the service), so the raw pointer is safe.
+  MaintenanceManager* maintenance = impl_->maintenance.get();
+  auto user_cb = std::move(config.on_mutation);
+  config.on_mutation = [maintenance, user_cb = std::move(user_cb)] {
+    maintenance->NoteStoreMutation();
+    if (user_cb) user_cb();
+  };
+  return std::make_unique<DeltaLog>(impl_->store, impl_->exec, std::move(config));
 }
 
 SubmittedCheckpoint JobHandle::Submit(IntervalSubmission submission) {

@@ -66,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta_log.h"
 #include "core/maintenance.h"
 #include "core/pipeline/executor.h"
 #include "core/policy.h"
@@ -312,6 +313,21 @@ class JobHandle {
   // Raw path: submits a fully built request, bypassing the handle's policy,
   // numbering, and quant selection. Same admission gate and ordering rules.
   std::future<WriteResult> SubmitRaw(CheckpointRequest request);
+
+  // Opens a per-iteration delta-log stream for this job (core/delta_log.h)
+  // on the service's resources: segments encode and store on the shared
+  // StageExecutor, writes go through the retrying/accounting storage view
+  // (segment bytes count against the shared quota and show in occupancy),
+  // scheduled compaction rides the service's maintenance clock when the
+  // caller left compaction_clock null, and every sealed segment notifies
+  // the maintenance plane (NoteStoreMutation) so the eviction survey and
+  // the incremental-scrub caches never trust a stale picture — a caller-
+  // provided on_mutation still runs after that. `config.job` is forced to
+  // this handle's name. The caller picks base_checkpoint_id (normally the
+  // id of the checkpoint just committed), quantization, group-commit and
+  // compaction cadence. The returned log must be destroyed (or at least
+  // Flush()ed) before the service shuts down.
+  std::unique_ptr<DeltaLog> OpenDeltaLog(DeltaLogConfig config);
 
   // Blocks until none of THIS job's checkpoints are in flight (their futures
   // are ready by then). Other jobs are unaffected.

@@ -13,6 +13,7 @@ FaultInjectionStore::FaultInjectionStore(std::shared_ptr<ObjectStore> backing,
 void FaultInjectionStore::SetConfig(const FaultConfig& config) {
   util::MutexLock lock(mu_);
   cfg_ = config;
+  puts_since_arm_ = 0;  // re-arm the targeted fail_nth_put countdown
 }
 
 std::uint64_t FaultInjectionStore::injected_put_failures() const {
@@ -30,13 +31,34 @@ std::uint64_t FaultInjectionStore::injected_corruptions() const {
   return corruptions_;
 }
 
+std::uint64_t FaultInjectionStore::injected_torn_puts() const {
+  util::MutexLock lock(mu_);
+  return torn_puts_;
+}
+
 void FaultInjectionStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  bool tear = false;
   {
     util::MutexLock lock(mu_);
-    if (rng_.NextBool(cfg_.put_failure_probability)) {
+    if (cfg_.fail_nth_put > 0 && ++puts_since_arm_ == cfg_.fail_nth_put) {
+      cfg_.fail_nth_put = 0;  // one-shot: disarm
+      ++put_failures_;
+      if (cfg_.torn_put) {
+        ++torn_puts_;
+        tear = true;
+      } else {
+        throw StoreUnavailable("injected targeted put failure for " + key);
+      }
+    } else if (rng_.NextBool(cfg_.put_failure_probability)) {
       ++put_failures_;
       throw StoreUnavailable("injected put failure for " + key);
     }
+  }
+  if (tear) {
+    // Torn write: a truncated prefix reaches the tier, then the writer dies.
+    data.resize(data.size() / 2);
+    backing_->Put(key, std::move(data));
+    throw StoreUnavailable("injected torn put for " + key);
   }
   backing_->Put(key, std::move(data));
 }

@@ -26,6 +26,17 @@ struct FaultConfig {
   double get_failure_probability = 0.0;   // Get throws StoreUnavailable
   double read_corruption_probability = 0.0;  // Get flips one bit
   std::uint64_t seed = 1;
+
+  // Targeted crash injection (crash-consistency tests): fail exactly the
+  // Nth Put observed after this config lands (1 = the next Put), then
+  // disarm. 0 = no targeted failure. Independent of the probabilistic modes.
+  std::uint64_t fail_nth_put = 0;
+  // Shape of the targeted failure: false models a process kill before the
+  // object reached the tier (nothing written); true models a torn write —
+  // a truncated prefix of the object (half its bytes) lands in the backing
+  // store before the failure is thrown, which is what a mid-segment crash
+  // leaves behind.
+  bool torn_put = false;
 };
 
 class FaultInjectionStore : public ObjectStore {
@@ -45,6 +56,7 @@ class FaultInjectionStore : public ObjectStore {
   std::uint64_t injected_put_failures() const EXCLUDES(mu_);
   std::uint64_t injected_get_failures() const EXCLUDES(mu_);
   std::uint64_t injected_corruptions() const EXCLUDES(mu_);
+  std::uint64_t injected_torn_puts() const EXCLUDES(mu_);
 
   // Runtime adjustment (e.g. heal the store mid-test).
   void SetConfig(const FaultConfig& config) EXCLUDES(mu_);
@@ -57,6 +69,9 @@ class FaultInjectionStore : public ObjectStore {
   std::uint64_t put_failures_ GUARDED_BY(mu_) = 0;
   std::uint64_t get_failures_ GUARDED_BY(mu_) = 0;
   std::uint64_t corruptions_ GUARDED_BY(mu_) = 0;
+  std::uint64_t torn_puts_ GUARDED_BY(mu_) = 0;
+  // Puts seen since the targeted countdown was (re-)armed by SetConfig.
+  std::uint64_t puts_since_arm_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cnr::storage

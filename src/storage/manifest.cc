@@ -151,4 +151,61 @@ std::string Manifest::CutDenseKey(const std::string& job, std::uint64_t cut_epoc
   return CutPrefix(job, cut_epoch) + "dense";
 }
 
+std::string Manifest::DeltaLogRoot(const std::string& job) {
+  return JobPrefix(job) + "dlog/";
+}
+
+std::string Manifest::DeltaLogPrefix(const std::string& job, std::uint64_t base_checkpoint_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(base_checkpoint_id));
+  return DeltaLogRoot(job) + buf + "/";
+}
+
+std::string Manifest::DeltaSegmentKey(const std::string& job, std::uint64_t base_checkpoint_id,
+                                      std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(seq));
+  return DeltaLogPrefix(job, base_checkpoint_id) + "seg/" + buf;
+}
+
+std::string Manifest::DeltaCompactKey(const std::string& job, std::uint64_t base_checkpoint_id,
+                                      std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu", static_cast<unsigned long long>(seq));
+  return DeltaLogPrefix(job, base_checkpoint_id) + "compact/" + buf;
+}
+
+void DeltaSegmentHeader::Serialize(util::Writer& w) const {
+  w.Put<std::uint32_t>(kMagic);
+  w.Put<std::uint32_t>(kSegmentVersion);
+  w.Put<std::uint64_t>(base_checkpoint_id);
+  w.Put<std::uint64_t>(seq);
+  w.Put<std::uint8_t>(compacted ? 1 : 0);
+  w.Put<std::uint64_t>(first_iteration);
+  w.Put<std::uint64_t>(last_iteration);
+  w.Put<std::uint64_t>(min_row);
+  w.Put<std::uint64_t>(max_row);
+  w.Put<std::uint32_t>(num_iterations);
+}
+
+DeltaSegmentHeader DeltaSegmentHeader::Deserialize(util::Reader& r) {
+  const auto magic = r.Get<std::uint32_t>();
+  if (magic != kMagic) throw util::SerializeError("delta segment: bad magic");
+  const auto version = r.Get<std::uint32_t>();
+  if (version != kSegmentVersion) {
+    throw util::SerializeError("delta segment: unsupported version " + std::to_string(version));
+  }
+  DeltaSegmentHeader h;
+  h.base_checkpoint_id = r.Get<std::uint64_t>();
+  h.seq = r.Get<std::uint64_t>();
+  h.compacted = r.Get<std::uint8_t>() != 0;
+  h.first_iteration = r.Get<std::uint64_t>();
+  h.last_iteration = r.Get<std::uint64_t>();
+  h.min_row = r.Get<std::uint64_t>();
+  h.max_row = r.Get<std::uint64_t>();
+  h.num_iterations = r.Get<std::uint32_t>();
+  return h;
+}
+
 }  // namespace cnr::storage

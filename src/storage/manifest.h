@@ -73,8 +73,12 @@ struct ShardCutEntry {
 
 struct Manifest {
   // v1: no stage timings. v2 appends StageTimings. v3 appends the
-  // coordinated-cut fields (cut_epoch + shard_map). Decode accepts all three.
-  static constexpr std::uint32_t kFormatVersion = 3;
+  // coordinated-cut fields (cut_epoch + shard_map). v4 adds no manifest
+  // fields but versions the store layout family: v4 writers may stream
+  // per-iteration delta-log segments (DeltaSegmentHeader below) under
+  // jobs/<job>/dlog/, which recovery and maintenance must account for.
+  // Decode accepts all four.
+  static constexpr std::uint32_t kFormatVersion = 4;
 
   std::uint64_t checkpoint_id = 0;
   CheckpointKind kind = CheckpointKind::kFull;
@@ -132,6 +136,47 @@ struct Manifest {
   static std::string CutPrefix(const std::string& job, std::uint64_t cut_epoch);
   static std::string CutKey(const std::string& job, std::uint64_t cut_epoch);
   static std::string CutDenseKey(const std::string& job, std::uint64_t cut_epoch);
+
+  // Delta-log key conventions (format v4). A base checkpoint's per-iteration
+  // delta stream lives under jobs/<job>/dlog/<base>/ (sibling of ckpt/ and
+  // cut/): raw segments at seg/<seq>, compaction covers at compact/<seq>.
+  // Maintenance treats the whole prefix as part of checkpoint <base>'s
+  // lineage unit.
+  static std::string DeltaLogRoot(const std::string& job);
+  static std::string DeltaLogPrefix(const std::string& job, std::uint64_t base_checkpoint_id);
+  static std::string DeltaSegmentKey(const std::string& job, std::uint64_t base_checkpoint_id,
+                                     std::uint64_t seq);
+  static std::string DeltaCompactKey(const std::string& job, std::uint64_t base_checkpoint_id,
+                                     std::uint64_t seq);
+};
+
+// Header of one delta-log segment object (format v4; docs/MANIFEST_FORMAT.md
+// "Delta-log segments"). A segment is: this header, then `num_iterations`
+// iteration blocks of quantized row writes (core/delta_log.cc is the only
+// writer/reader of the block payload), then a trailing CRC-32C over
+// everything before it. The header is strictly sequenced — base checkpoint
+// id, seq, iteration range, global row-id range — so recovery can detect a
+// torn or out-of-place tail object and truncate the log to its last sealed
+// segment instead of replaying garbage.
+struct DeltaSegmentHeader {
+  static constexpr std::uint32_t kMagic = 0x474F4C44;  // "DLOG"
+  static constexpr std::uint32_t kSegmentVersion = 1;
+
+  std::uint64_t base_checkpoint_id = 0;
+  std::uint64_t seq = 0;            // 1-based, contiguous per base
+  bool compacted = false;           // true: cover folding raw segments <= seq
+  std::uint64_t first_iteration = 0;
+  std::uint64_t last_iteration = 0;
+  // Inclusive range of global row ids touched (table-offset + logical row);
+  // 0/0 when the segment carries no rows.
+  std::uint64_t min_row = 0;
+  std::uint64_t max_row = 0;
+  std::uint32_t num_iterations = 0;  // iteration blocks that follow
+
+  void Serialize(util::Writer& w) const;
+  // Throws util::SerializeError on bad magic/version (a torn or foreign
+  // object); field validation against the expected key is the caller's job.
+  static DeltaSegmentHeader Deserialize(util::Reader& r);
 };
 
 }  // namespace cnr::storage

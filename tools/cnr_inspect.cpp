@@ -28,11 +28,20 @@
 //       chain. Runs the parallel scrub kernel (the service's background
 //       self-scrub uses the same one). Exits 1 if the chain is damaged.
 //       (`restore [id] --scrub` is the older spelling of the same check.)
+//   cnr_inspect <store-dir> <job> dlog [base-id]  per-iteration delta logs
+//       (core/delta_log.h): with no id, one line per base checkpoint that has
+//       a delta stream; with one, every segment of that base's log — seq,
+//       cover/raw, iteration range, rows, bytes, and a CRC/placement verdict
+//       — plus the replay picture: where recovery would start (the newest
+//       valid cover), the last sealed iteration it can reach, and the torn
+//       or out-of-place tail objects truncation would drop. Exits 1 if the
+//       log is damaged.
 //
 // Works on any directory written through storage::FileStore (see
 // examples/durable_checkpoints.cpp). Read-only except `gc` without
 // --dry-run. (A job literally named "jobs" or "gc" is shadowed by the
 // subcommand; use the per-checkpoint forms for it.)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "core/delta_log.h"
 #include "core/maintenance.h"
 #include "core/pipeline/restore.h"
 #include "core/recovery.h"
@@ -353,6 +363,105 @@ int ShardsCommand(storage::ObjectStore& store, const std::string& job) {
   return 0;
 }
 
+// dlog: per-iteration delta-log view of a job (core/delta_log.h). Every
+// segment is fetched and CRC/placement-verified with the same parse the
+// scrub plane runs; the replay summary mirrors ReplayDeltaLog's choice —
+// newest valid cover as the floor, then the contiguous run of valid raw
+// segments above it — without needing a model to apply into.
+int DlogCommand(storage::ObjectStore& store, const std::string& job,
+                std::uint64_t base, bool have_base) {
+  if (!have_base) {
+    const auto bases = core::ListDeltaLogBases(store, job);
+    if (bases.empty()) {
+      std::printf("job %s: no delta logs\n", job.c_str());
+      return 0;
+    }
+    std::printf("job %s: %zu delta log(s)\n", job.c_str(), bases.size());
+    std::printf("%12s %10s %8s %12s %14s %8s\n", "base-ckpt", "segments", "covers",
+                "last-iter", "bytes", "status");
+    int rc = 0;
+    for (const auto b : bases) {
+      const auto infos = core::InspectDeltaLog(store, job, b);
+      std::size_t covers = 0, damaged = 0;
+      std::uint64_t bytes = 0, last_iter = 0;
+      for (const auto& info : infos) {
+        bytes += info.bytes;
+        if (info.compacted) ++covers;
+        if (!info.valid) ++damaged;
+        if (info.valid) last_iter = std::max(last_iter, info.header.last_iteration);
+      }
+      if (damaged > 0) rc = 1;
+      std::printf("%12llu %10zu %8zu %12llu %14llu %8s\n",
+                  static_cast<unsigned long long>(b), infos.size(), covers,
+                  static_cast<unsigned long long>(last_iter),
+                  static_cast<unsigned long long>(bytes), damaged == 0 ? "ok" : "DAMAGED");
+    }
+    return rc;
+  }
+
+  const auto infos = core::InspectDeltaLog(store, job, base);
+  if (infos.empty()) {
+    std::printf("job %s: checkpoint %llu has no delta log\n", job.c_str(),
+                static_cast<unsigned long long>(base));
+    return 0;
+  }
+  std::printf("delta log of checkpoint %llu, job %s: %zu object(s)\n",
+              static_cast<unsigned long long>(base), job.c_str(), infos.size());
+  std::printf("%8s %-6s %12s %12s %10s %12s  %s\n", "seq", "kind", "first-iter",
+              "last-iter", "rows", "bytes", "verdict");
+  for (const auto& info : infos) {
+    std::printf("%8llu %-6s %12llu %12llu %10llu %12llu  %s\n",
+                static_cast<unsigned long long>(info.seq),
+                info.compacted ? "cover" : "raw",
+                static_cast<unsigned long long>(info.header.first_iteration),
+                static_cast<unsigned long long>(info.header.last_iteration),
+                static_cast<unsigned long long>(info.rows),
+                static_cast<unsigned long long>(info.bytes),
+                info.valid ? "sealed" : info.issue.c_str());
+  }
+
+  // Replay picture: what ReplayDeltaLog would recover. The newest valid
+  // cover is the floor; above it only a contiguous run of valid raw
+  // segments counts — the first gap or torn object ends the sealed tail,
+  // and everything past it is what `--truncate`-style recovery drops.
+  std::uint64_t cover_seq = 0, last_iter = 0;
+  bool have_cover = false;
+  for (const auto& info : infos) {
+    if (info.compacted && info.valid && (!have_cover || info.seq > cover_seq)) {
+      cover_seq = info.seq;
+      last_iter = info.header.last_iteration;
+      have_cover = true;
+    }
+  }
+  std::map<std::uint64_t, const core::DeltaSegmentInfo*> raws;
+  for (const auto& info : infos) {
+    if (!info.compacted && info.seq > cover_seq) raws[info.seq] = &info;
+  }
+  std::size_t replayable = have_cover ? 1 : 0;
+  std::uint64_t next = cover_seq + 1;
+  std::vector<const core::DeltaSegmentInfo*> dropped;
+  for (const auto& [seq, info] : raws) {
+    if (seq == next && info->valid && dropped.empty()) {
+      last_iter = info->header.last_iteration;
+      ++replayable;
+      ++next;
+    } else {
+      dropped.push_back(info);
+    }
+  }
+  std::printf("replay: %zu object(s)%s, recovers through iteration %llu\n", replayable,
+              have_cover ? " (from cover)" : "", static_cast<unsigned long long>(last_iter));
+  for (const auto* info : dropped) {
+    std::printf("  beyond the sealed tail (truncation would drop): %s%s%s\n",
+                info->key.c_str(), info->valid ? "" : " — ",
+                info->valid ? "" : info->issue.c_str());
+  }
+  return std::all_of(infos.begin(), infos.end(),
+                     [](const core::DeltaSegmentInfo& i) { return i.valid; })
+             ? 0
+             : 1;
+}
+
 void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
                         std::uint64_t id) {
   const auto m = core::LoadManifest(store, job, id);
@@ -409,7 +518,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <store-dir> [jobs"
                  " | gc [--dry-run] [--keep N] [--orphans]"
-                 " | <job> [checkpoint-id | shards | scrub [checkpoint-id]"
+                 " | <job> [checkpoint-id | shards | dlog [base-id]"
+                 " | scrub [checkpoint-id]"
                  " | restore [checkpoint-id] [--scrub]]]\n",
                  argv[0]);
     return 2;
@@ -456,6 +566,13 @@ int main(int argc, char** argv) {
     if (args[1] == "shards") {
       if (args.size() != 2) return usage();
       return ShardsCommand(store, job);
+    }
+    if (args[1] == "dlog") {
+      if (args.size() > 3) return usage();
+      const bool have_base = args.size() == 3;
+      const std::uint64_t base =
+          have_base ? std::strtoull(args[2].c_str(), nullptr, 10) : 0;
+      return DlogCommand(store, job, base, have_base);
     }
     if (args[1] == "scrub" || args[1] == "restore") {
       const bool restore_form = args[1] == "restore";
