@@ -118,12 +118,26 @@ struct ServiceImpl {
       throw std::invalid_argument("CheckpointService: put_attempts < 1");
     }
 
-    accounting = std::make_shared<storage::AccountingStore>(base, cfg.shared_quota_bytes);
-    storage::RetryPolicy retry_policy;
-    retry_policy.max_attempts = cfg.put_attempts;
-    retry_policy.initial_backoff = cfg.retry_backoff;
-    retry_policy.sleep = cfg.retry_sleep;
-    store = std::make_shared<storage::RetryingStore>(accounting, retry_policy);
+    // Tiered write-back (off by default): interpose the near/far decorator
+    // between accounting and the caller's store, so stage Puts land on the
+    // near tier at device speed and the drain stage (on this executor)
+    // replicates them to the caller's store. Accounting sits ABOVE the
+    // decorator: logical occupancy and the quota see each object once; the
+    // drainer's far Puts are replication, not new logical bytes.
+    std::shared_ptr<storage::ObjectStore> stack = base;
+    if (cfg.near_store) {
+      tiered = std::make_shared<storage::TieredStore>(cfg.near_store, base, exec,
+                                                      cfg.tiered);
+      stack = tiered;
+    }
+    try {
+      accounting =
+          std::make_shared<storage::AccountingStore>(stack, cfg.shared_quota_bytes);
+      storage::RetryPolicy retry_policy;
+      retry_policy.max_attempts = cfg.put_attempts;
+      retry_policy.initial_backoff = cfg.retry_backoff;
+      retry_policy.sleep = cfg.retry_sleep;
+      store = std::make_shared<storage::RetryingStore>(accounting, retry_policy);
 
     // The write plane's stages on the shared runtime. One pool serves all of
     // them (plus the restore/scrub stages of whatever plane runs on this
@@ -151,6 +165,13 @@ struct ServiceImpl {
     // before any stage worker runs, so stats() and the quota see reality
     // from the first submit on.
     if (cfg.reconcile_on_start) maintenance->ReconcileAll();
+    } catch (...) {
+      // A throw after the tiered layer opened its drain stage would destroy
+      // the executor before the decorator's shared_ptr chain releases it —
+      // close the stage now, while the executor is alive.
+      if (tiered) tiered->Shutdown();
+      throw;
+    }
   }
 
   ~ServiceImpl() { Shutdown(); }
@@ -179,6 +200,12 @@ struct ServiceImpl {
     // plane's scrub stage closes in ~MaintenanceManager (destroyed before
     // the executor, which is destroyed before the stores — member order).
     exec.CloseStages({plan_stage, encode_stage, store_stage, commit_stage});
+    // Tiered layer last among the stage owners: with the write plane closed
+    // no new Puts arrive, so this drains the remaining backlog to the far
+    // tier and closes the drain stage while the executor is still alive.
+    // (The decorator outlives the executor through accounting's shared_ptr;
+    // its destructor's Shutdown is a no-op after this.)
+    if (tiered) tiered->Shutdown();
   }
 
   // ------------------------------------------------------------ admission --
@@ -632,6 +659,11 @@ struct ServiceImpl {
 
   ServiceConfig cfg;
   std::shared_ptr<storage::ObjectStore> base;
+  // Tiered write-back layer (null = tiering off). Declared with the stores
+  // (destroyed after the executor), which is safe ONLY because Shutdown()
+  // always closes its drain stage first — the destructor's own Shutdown is
+  // then a no-op that never touches the executor.
+  std::shared_ptr<storage::TieredStore> tiered;
   std::shared_ptr<storage::AccountingStore> accounting;
   std::shared_ptr<storage::RetryingStore> store;
   // The shared stage runtime. Declared after the stores (its drains write
@@ -902,6 +934,10 @@ ServiceStats CheckpointService::stats() const {
   ServiceStats stats;
   stats.quota_bytes = impl_->cfg.shared_quota_bytes;
   stats.executor = impl_->exec.snapshot();
+  if (impl_->tiered) {
+    stats.tiered = true;
+    stats.tier = impl_->tiered->tier_stats();
+  }
   const auto usage = impl_->accounting->UsageByJob();
   const auto maintenance = impl_->maintenance->stats_by_job();
   // Per-job stage-runtime backlog, collected before mu_ (sched_mu_ and mu_
@@ -965,6 +1001,8 @@ storage::ObjectStore& CheckpointService::store() { return *impl_->store; }
 const storage::AccountingStore& CheckpointService::accounting() const {
   return *impl_->accounting;
 }
+
+storage::TieredStore* CheckpointService::tiered_store() { return impl_->tiered.get(); }
 
 MaintenanceManager& CheckpointService::maintenance() { return *impl_->maintenance; }
 

@@ -79,6 +79,7 @@
 #include "storage/manifest.h"
 #include "storage/object_store.h"
 #include "storage/retrying_store.h"
+#include "storage/tiered_store.h"
 #include "util/sim_clock.h"
 
 namespace cnr::core {
@@ -168,6 +169,18 @@ struct ServiceConfig {
   // scrubs may run at once, so one huge chain cannot delay every other job's
   // cadence.
   std::size_t scrub_workers = 1;
+
+  // --- tiered write-back storage (storage/tiered_store.h) ---
+  // When set, the service interposes a TieredStore between the accounting
+  // view and the caller's store: commits land on this fast near tier (a
+  // FileStore on NVMe, an InMemoryStore behind a CXL-latency decorator) at
+  // device speed and an async drainer on the shared StageExecutor replicates
+  // them to the caller's store (the far tier). nullptr = tiering off (every
+  // Put goes straight to the caller's store, the pre-tiering behavior). The
+  // near store must outlive the service.
+  std::shared_ptr<storage::ObjectStore> near_store;
+  // Tier tuning (capacity, drain window, workers); used only with near_store.
+  storage::TieredStoreConfig tiered;
 };
 
 struct JobConfig {
@@ -270,6 +283,11 @@ struct ServiceStats {
   // knows about (reconciled occupancy with no open handle — a restarted
   // service reports them truthfully before anyone re-attaches).
   std::map<std::string, JobStats> jobs;
+  // Tiered write-back storage (ServiceConfig::near_store): per-tier
+  // occupancy, drain backlog, and hit counters. `tier` is meaningful only
+  // when `tiered` is true.
+  bool tiered = false;
+  storage::TierStats tier;
 };
 
 // What JobHandle::Submit decided for an interval: the id and kind are known
@@ -381,11 +399,15 @@ class CheckpointService {
   ServiceStats stats() const;
   std::size_t inflight() const;
 
-  // The decorated store the stages write through (retry + accounting); what
-  // GC and external maintenance against the same tier should use.
+  // The decorated store the stages write through (retry + accounting, and
+  // the tiered view when near_store is set); what GC and external
+  // maintenance against the same tier should use.
   storage::ObjectStore& store();
   // The accounting layer, for per-job occupancy queries.
   const storage::AccountingStore& accounting() const;
+  // The tiered write-back layer, or nullptr when ServiceConfig::near_store
+  // was not set. Exposed for FlushDrains() and tier_stats().
+  storage::TieredStore* tiered_store();
 
   // The maintenance plane: reconciliation, eviction, scheduled scrub
   // (core/maintenance.h). Owned by the service; also reachable here for

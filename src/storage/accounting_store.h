@@ -67,6 +67,9 @@ class AccountingStore : public ObjectStore {
   std::vector<std::string> List(const std::string& prefix) override;
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override {
+    return backing_->SizeOf(key);
+  }
 
   // Attributes an object that already exists in the backing store (startup
   // reconciliation): records `bytes` under `key` as if it had been written

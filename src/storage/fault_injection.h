@@ -50,6 +50,10 @@ class FaultInjectionStore : public ObjectStore {
   std::vector<std::string> List(const std::string& prefix) override;
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
+  // Metadata probe: never fault-injected (recovery scans rely on it).
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override {
+    return backing_->SizeOf(key);
+  }
 
   // Counter reads take the lock: tests poll these while injection workers
   // are still bumping them under mu_, so an unlocked read would race.

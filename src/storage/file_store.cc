@@ -5,11 +5,35 @@
 #include <stdexcept>
 #include <system_error>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace cnr::storage {
 
 namespace fs = std::filesystem;
 
-FileStore::FileStore(fs::path root) : root_(std::move(root)) {
+namespace {
+
+// Best-effort fsync of a path (file or directory). Durability hardening, not
+// a correctness gate: failures are ignored — the atomic rename still gives
+// the torn-object guarantee.
+void SyncPath(const fs::path& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+FileStore::FileStore(fs::path root, FileStoreOptions options)
+    : root_(std::move(root)), options_(options) {
   fs::create_directories(root_);
 }
 
@@ -36,7 +60,11 @@ void FileStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
               static_cast<std::streamsize>(data.size()));
     if (!out) throw std::runtime_error("FileStore: short write to " + tmp.string());
   }
+  // fsync order for machine-crash durability: data before rename, directory
+  // after — so the rename never becomes visible ahead of the bytes it names.
+  if (options_.fsync_on_put) SyncPath(tmp);
   fs::rename(tmp, path);
+  if (options_.fsync_on_put) SyncPath(path.parent_path());
   ++stats_.puts;
   stats_.bytes_written += data.size();
 }
@@ -105,6 +133,14 @@ std::uint64_t FileStore::TotalBytes() {
 StoreStats FileStore::Stats() {
   util::MutexLock lock(mu_);
   return stats_;
+}
+
+std::optional<std::uint64_t> FileStore::SizeOf(const std::string& key) {
+  ValidateKey(key);
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(key), ec);
+  if (ec) return std::nullopt;
+  return static_cast<std::uint64_t>(size);
 }
 
 }  // namespace cnr::storage

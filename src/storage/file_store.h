@@ -14,10 +14,19 @@
 
 namespace cnr::storage {
 
+struct FileStoreOptions {
+  // Fsync the temp file before the rename (and the parent directory after),
+  // so a committed Put survives a machine crash, not just a process crash.
+  // Off by default: tests and benches churn small objects where the atomic
+  // rename already gives the torn-object guarantee they need. POSIX only —
+  // silently a no-op where fsync is unavailable.
+  bool fsync_on_put = false;
+};
+
 class FileStore : public ObjectStore {
  public:
   // Creates (if needed) and uses `root` as the store directory.
-  explicit FileStore(std::filesystem::path root);
+  explicit FileStore(std::filesystem::path root, FileStoreOptions options = {});
 
   void Put(const std::string& key, std::vector<std::uint8_t> data) override;
   std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override;
@@ -26,14 +35,17 @@ class FileStore : public ObjectStore {
   std::vector<std::string> List(const std::string& prefix) override;
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override;
 
   const std::filesystem::path& root() const { return root_; }
+  const FileStoreOptions& options() const { return options_; }
 
  private:
   std::filesystem::path PathFor(const std::string& key) const;
   static void ValidateKey(const std::string& key);
 
   std::filesystem::path root_;
+  FileStoreOptions options_;
   util::Mutex mu_;  // also serializes multi-step filesystem ops
   StoreStats stats_ GUARDED_BY(mu_);
 };

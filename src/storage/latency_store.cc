@@ -1,0 +1,81 @@
+#include "storage/latency_store.h"
+
+#include <thread>
+
+namespace cnr::storage {
+
+namespace {
+
+std::chrono::microseconds TransferTime(std::size_t bytes,
+                                       std::uint64_t bytes_per_sec) {
+  if (bytes_per_sec == 0 || bytes == 0) return std::chrono::microseconds(0);
+  const double us =
+      static_cast<double>(bytes) * 1e6 / static_cast<double>(bytes_per_sec);
+  return std::chrono::microseconds(static_cast<std::int64_t>(us));
+}
+
+}  // namespace
+
+std::chrono::microseconds LatencyInjectedStore::PutDelay(std::size_t bytes) const {
+  return model_.put_latency + TransferTime(bytes, model_.write_bytes_per_sec);
+}
+
+std::chrono::microseconds LatencyInjectedStore::GetDelay(std::size_t bytes) const {
+  return model_.get_latency + TransferTime(bytes, model_.read_bytes_per_sec);
+}
+
+void LatencyInjectedStore::Put(const std::string& key,
+                               std::vector<std::uint8_t> data) {
+  const std::chrono::microseconds delay = PutDelay(data.size());
+  if (delay.count() > 0) {
+    {
+      util::MutexLock lock(mu_);
+      ++delayed_puts_;
+      injected_put_us_ += static_cast<std::uint64_t>(delay.count());
+    }
+    // Sleep outside the lock: concurrent ops overlap their injected delays,
+    // the way real in-flight transfers do.
+    std::this_thread::sleep_for(delay);
+  }
+  backing_->Put(key, std::move(data));
+}
+
+std::optional<std::vector<std::uint8_t>> LatencyInjectedStore::Get(
+    const std::string& key) {
+  // The transfer term needs the payload size before the payload arrives —
+  // probe it (a metadata stat, not a modeled transfer).
+  const std::size_t bytes =
+      static_cast<std::size_t>(backing_->SizeOf(key).value_or(0));
+  const std::chrono::microseconds delay = GetDelay(bytes);
+  if (delay.count() > 0) {
+    {
+      util::MutexLock lock(mu_);
+      ++delayed_gets_;
+      injected_get_us_ += static_cast<std::uint64_t>(delay.count());
+    }
+    std::this_thread::sleep_for(delay);
+  }
+  return backing_->Get(key);
+}
+
+std::uint64_t LatencyInjectedStore::delayed_puts() const {
+  util::MutexLock lock(mu_);
+  return delayed_puts_;
+}
+
+std::uint64_t LatencyInjectedStore::delayed_gets() const {
+  util::MutexLock lock(mu_);
+  return delayed_gets_;
+}
+
+std::chrono::microseconds LatencyInjectedStore::injected_put_time() const {
+  util::MutexLock lock(mu_);
+  return std::chrono::microseconds(static_cast<std::int64_t>(injected_put_us_));
+}
+
+std::chrono::microseconds LatencyInjectedStore::injected_get_time() const {
+  util::MutexLock lock(mu_);
+  return std::chrono::microseconds(static_cast<std::int64_t>(injected_get_us_));
+}
+
+}  // namespace cnr::storage

@@ -1,36 +1,48 @@
-// Wall-clock latency decorator over an ObjectStore.
+// Wall-clock latency + bandwidth decorator over an ObjectStore.
 //
-// Models the per-operation round-trip latency of a remote storage tier with
-// real sleeps, so pipelines that claim to hide fetch latency behind CPU work
-// can be demonstrated with honest wall-clock measurements (RateLimitedStore
-// models the same thing on a *simulated* timeline instead — use that for
-// experiments, this for live benches and examples).
+// Models a storage tier's per-operation round-trip latency AND its transfer
+// bandwidth with real sleeps, so pipelines that claim to hide fetch latency
+// behind CPU work can be demonstrated with honest wall-clock measurements,
+// and tier benches (bench/tiered_store.cpp) can model a realistic 10–100×
+// near/far gap: an NVMe-like near tier at tens of µs and GB/s against a
+// remote object store at hundreds of µs and hundreds of MB/s.
+// (RateLimitedStore models the remote link on a *simulated* timeline
+// instead — use that for experiments, this for live benches and examples.)
 #pragma once
 
 #include <chrono>
 #include <memory>
-#include <thread>
 #include <utility>
 
 #include "storage/object_store.h"
+#include "util/sync.h"
 
 namespace cnr::storage {
 
+// Wall-clock cost model of one tier. Delay per op = fixed per-op latency +
+// payload_bytes / bandwidth. A bandwidth of 0 means infinite (no size term).
+struct LatencyModel {
+  std::chrono::microseconds get_latency{0};
+  std::chrono::microseconds put_latency{0};
+  std::uint64_t read_bytes_per_sec = 0;
+  std::uint64_t write_bytes_per_sec = 0;
+};
+
 class LatencyInjectedStore : public ObjectStore {
  public:
+  LatencyInjectedStore(std::shared_ptr<ObjectStore> backing, LatencyModel model)
+      : backing_(std::move(backing)), model_(model) {}
+
+  // Back-compat: per-op latency only, infinite bandwidth.
   LatencyInjectedStore(std::shared_ptr<ObjectStore> backing,
                        std::chrono::microseconds get_latency,
-                       std::chrono::microseconds put_latency = std::chrono::microseconds(0))
-      : backing_(std::move(backing)), get_latency_(get_latency), put_latency_(put_latency) {}
+                       std::chrono::microseconds put_latency =
+                           std::chrono::microseconds(0))
+      : LatencyInjectedStore(std::move(backing),
+                             LatencyModel{get_latency, put_latency, 0, 0}) {}
 
-  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
-    if (put_latency_.count() > 0) std::this_thread::sleep_for(put_latency_);
-    backing_->Put(key, std::move(data));
-  }
-  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
-    if (get_latency_.count() > 0) std::this_thread::sleep_for(get_latency_);
-    return backing_->Get(key);
-  }
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override;
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override;
   bool Exists(const std::string& key) override { return backing_->Exists(key); }
   bool Delete(const std::string& key) override { return backing_->Delete(key); }
   std::vector<std::string> List(const std::string& prefix) override {
@@ -38,11 +50,30 @@ class LatencyInjectedStore : public ObjectStore {
   }
   std::uint64_t TotalBytes() override { return backing_->TotalBytes(); }
   StoreStats Stats() override { return backing_->Stats(); }
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override {
+    return backing_->SizeOf(key);  // metadata probe: no modeled transfer
+  }
+
+  const LatencyModel& model() const { return model_; }
+
+  // Injection counters: ops that slept and the total injected wall time.
+  std::uint64_t delayed_puts() const EXCLUDES(mu_);
+  std::uint64_t delayed_gets() const EXCLUDES(mu_);
+  std::chrono::microseconds injected_put_time() const EXCLUDES(mu_);
+  std::chrono::microseconds injected_get_time() const EXCLUDES(mu_);
 
  private:
+  std::chrono::microseconds PutDelay(std::size_t bytes) const;
+  std::chrono::microseconds GetDelay(std::size_t bytes) const;
+
   std::shared_ptr<ObjectStore> backing_;
-  std::chrono::microseconds get_latency_;
-  std::chrono::microseconds put_latency_;
+  const LatencyModel model_;
+
+  mutable util::Mutex mu_;
+  std::uint64_t delayed_puts_ GUARDED_BY(mu_) = 0;
+  std::uint64_t delayed_gets_ GUARDED_BY(mu_) = 0;
+  std::uint64_t injected_put_us_ GUARDED_BY(mu_) = 0;
+  std::uint64_t injected_get_us_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cnr::storage

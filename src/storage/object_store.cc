@@ -61,4 +61,11 @@ StoreStats InMemoryStore::Stats() {
   return stats_;
 }
 
+std::optional<std::uint64_t> InMemoryStore::SizeOf(const std::string& key) {
+  util::MutexLock lock(mu_);
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return static_cast<std::uint64_t>(it->second.size());
+}
+
 }  // namespace cnr::storage

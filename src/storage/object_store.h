@@ -58,6 +58,16 @@ class ObjectStore {
   virtual std::uint64_t TotalBytes() = 0;
 
   virtual StoreStats Stats() = 0;
+
+  // Size of the object in bytes, or nullopt if absent. A metadata probe:
+  // implementations should answer it without moving the payload (a stat, not
+  // a read — it must not count toward gets/bytes_read). The default fetches
+  // and measures, for stores that predate the probe.
+  virtual std::optional<std::uint64_t> SizeOf(const std::string& key) {
+    const auto data = Get(key);
+    if (!data) return std::nullopt;
+    return static_cast<std::uint64_t>(data->size());
+  }
 };
 
 // Thread-safe in-memory object store.
@@ -70,6 +80,7 @@ class InMemoryStore : public ObjectStore {
   std::vector<std::string> List(const std::string& prefix) override;
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override;
 
  private:
   util::Mutex mu_;

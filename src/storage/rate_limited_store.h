@@ -40,6 +40,10 @@ class RateLimitedStore : public ObjectStore {
   std::vector<std::string> List(const std::string& prefix) override;
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
+  // Metadata probe: no simulated transfer cost.
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override {
+    return backing_->SizeOf(key);
+  }
 
   const LinkConfig& config() const { return config_; }
 

@@ -52,6 +52,10 @@ class RetryingStore : public ObjectStore {
   std::vector<std::string> List(const std::string& prefix) override;
   std::uint64_t TotalBytes() override;
   StoreStats Stats() override;
+  // Metadata probe: forwarded without retry (callers treat nullopt as absent).
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override {
+    return backing_->SizeOf(key);
+  }
 
   const RetryPolicy& policy() const { return policy_; }
 

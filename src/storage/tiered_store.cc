@@ -1,0 +1,646 @@
+#include "storage/tiered_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "util/serialize.h"
+
+namespace cnr::storage {
+
+namespace {
+
+constexpr std::uint32_t kStatsMagic = 0x54494552;  // "TIER"
+constexpr std::uint32_t kStatsVersion = 1;
+
+bool IsMetaKey(const std::string& key) {
+  return std::string_view(key).starts_with(TieredStore::kMetaPrefix);
+}
+
+std::vector<std::uint8_t> MarkerPayload(std::uint64_t gen) {
+  util::Writer w(sizeof(std::uint64_t));
+  w.Put<std::uint64_t>(gen);
+  return w.TakeBytes();
+}
+
+}  // namespace
+
+TierSurvey SurveyTier(ObjectStore& tier) {
+  TierSurvey survey;
+  std::set<std::string> dirty;
+  const std::string_view dirty_prefix(TieredStore::kDirtyPrefix);
+  for (const auto& marker : tier.List(std::string(dirty_prefix))) {
+    dirty.insert(marker.substr(dirty_prefix.size()));
+  }
+  for (const auto& key : tier.List("")) {
+    if (IsMetaKey(key)) continue;
+    const std::uint64_t size = tier.SizeOf(key).value_or(0);
+    ++survey.objects;
+    survey.bytes += size;
+    if (dirty.contains(key)) {
+      ++survey.dirty_objects;
+      survey.dirty_bytes += size;
+    }
+  }
+  return survey;
+}
+
+std::optional<TierStats> DecodeShutdownCounters(
+    const std::vector<std::uint8_t>& blob) {
+  try {
+    util::Reader r(blob.data(), blob.size());
+    if (r.Get<std::uint32_t>() != kStatsMagic) return std::nullopt;
+    if (r.Get<std::uint32_t>() != kStatsVersion) return std::nullopt;
+    TierStats stats;
+    stats.near_hits = r.Get<std::uint64_t>();
+    stats.far_hits = r.Get<std::uint64_t>();
+    stats.misses = r.Get<std::uint64_t>();
+    stats.near_bytes_read = r.Get<std::uint64_t>();
+    stats.far_bytes_read = r.Get<std::uint64_t>();
+    stats.drained_objects = r.Get<std::uint64_t>();
+    stats.drained_bytes = r.Get<std::uint64_t>();
+    stats.drain_failures = r.Get<std::uint64_t>();
+    stats.evicted_objects = r.Get<std::uint64_t>();
+    stats.evicted_bytes = r.Get<std::uint64_t>();
+    return stats;
+  } catch (const util::SerializeError&) {
+    return std::nullopt;
+  }
+}
+
+std::string TieredStore::MarkerKey(const std::string& key) {
+  return std::string(kDirtyPrefix) + key;
+}
+
+void TieredStore::RejectMetaKey(const std::string& key, const char* op) {
+  if (IsMetaKey(key)) {
+    throw std::invalid_argument(std::string("TieredStore::") + op +
+                                ": key in reserved namespace: " + key);
+  }
+}
+
+TieredStore::TieredStore(std::shared_ptr<ObjectStore> near_tier,
+                         std::shared_ptr<ObjectStore> far_tier,
+                         core::pipeline::StageExecutor& exec,
+                         TieredStoreConfig config)
+    : near_(std::move(near_tier)),
+      far_(std::move(far_tier)),
+      exec_(exec),
+      cfg_(config) {
+  if (!near_ || !far_) {
+    throw std::invalid_argument("TieredStore: both tiers are required");
+  }
+  if (cfg_.drain_workers == 0) cfg_.drain_workers = 1;
+
+  // Recovery scan: rebuild the entry map from the near tier. A dirty marker
+  // with data means the drain (or the process) died mid-replication — the
+  // near copy is authoritative, re-queue it. A marker without data means the
+  // crash hit between marker and data; the Put never returned, discard it.
+  std::size_t recovered = 0;
+  {
+    util::MutexLock lock(mu_);
+    std::set<std::string> dirty;
+    const std::string_view dirty_prefix(kDirtyPrefix);
+    for (const auto& marker : near_->List(std::string(dirty_prefix))) {
+      dirty.insert(marker.substr(dirty_prefix.size()));
+    }
+    for (const auto& key : near_->List("")) {
+      if (IsMetaKey(key)) continue;
+      Entry entry;
+      entry.size = near_->SizeOf(key).value_or(0);
+      entry.gen = ++gen_seq_;
+      if (dirty.erase(key) > 0) {
+        entry.state = State::kDirty;
+        entry.queued = true;
+        drain_queue_.push_back(key);
+        ++dirty_objects_;
+        backlog_bytes_ += entry.size;
+        pending_.fetch_add(1);
+        ++recovered;
+      } else {
+        entry.state = State::kClean;
+        clean_fifo_.push_back(key);
+      }
+      near_bytes_ += entry.size;
+      entries_.emplace(key, entry);
+    }
+    for (const auto& stale : dirty) {
+      try {
+        near_->Delete(MarkerKey(stale));
+      } catch (...) {
+        // best effort: an undeletable stale marker is re-discarded next scan
+      }
+    }
+    EvictForCapacityLocked();
+  }
+
+  drain_stage_ = exec_.OpenStage(
+      core::pipeline::TunableStage("tier-drain", cfg_.drain_workers),
+      [this] { return DrainOne(); });
+  if (recovered > 0) exec_.Submit(drain_stage_, recovered);
+}
+
+TieredStore::~TieredStore() {
+  try {
+    Shutdown();
+  } catch (...) {
+    // destructor: a failed flush must not terminate; backlog stays marked
+  }
+}
+
+void TieredStore::QueueDirtyLocked(const std::string& key, Entry& entry) {
+  entry.queued = true;
+  drain_queue_.push_back(key);
+}
+
+void TieredStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
+  RejectMetaKey(key, "Put");
+  const std::uint64_t size = data.size();
+  std::uint64_t delete_snapshot = 0;
+  {
+    util::MutexLock lock(mu_);
+    if (closed_) throw StoreUnavailable("TieredStore: shut down");
+    delete_snapshot = delete_seq_;
+    const auto it = entries_.find(key);
+    const bool marker_present =
+        it != entries_.end() && it->second.state != State::kClean;
+    // Crash ordering: the dirty marker must be durable before the data write
+    // can land, so a recovery scan never mistakes a half-replicated object
+    // for clean. Marker writes are tiny near-tier metadata ops and run under
+    // mu_ (mu_ ranks above the near store's internal lock).
+    if (!marker_present) near_->Put(MarkerKey(key), MarkerPayload(gen_seq_ + 1));
+  }
+
+  try {
+    near_->Put(key, std::move(data));
+  } catch (...) {
+    // The near write failed: prior content (if any) is intact, but a marker
+    // now flags the key. If the entry is clean, re-dirty it so the marker
+    // stays truthful (re-draining the old generation is an idempotent far
+    // overwrite). If the key is absent, leave the stale marker — the next
+    // recovery scan discards markers without data.
+    std::size_t kick = 0;
+    {
+      util::MutexLock lock(mu_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.state == State::kClean) {
+        it->second.state = State::kDirty;
+        it->second.attempts = 0;
+        it->second.gen = ++gen_seq_;
+        ++dirty_objects_;
+        backlog_bytes_ += it->second.size;
+        pending_.fetch_add(1);
+        try {
+          near_->Put(MarkerKey(key), MarkerPayload(it->second.gen));
+        } catch (...) {
+          // marker already present from the first write; content irrelevant
+        }
+        if (!it->second.queued && !draining_.contains(key)) {
+          QueueDirtyLocked(key, it->second);
+          kick = 1;
+        }
+      }
+    }
+    if (kick != 0) exec_.Submit(drain_stage_, kick);
+    throw;
+  }
+
+  std::size_t kick = 0;
+  {
+    util::MutexLock lock(mu_);
+    if (tombstones_.erase(key) > 0) pending_.fetch_sub(1);
+    const auto [it, inserted] = entries_.try_emplace(key);
+    Entry& entry = it->second;
+    const std::uint64_t prior = inserted ? 0 : entry.size;
+    if (inserted || entry.state == State::kClean) {
+      entry.state = State::kDirty;
+      entry.attempts = 0;
+      ++dirty_objects_;
+      backlog_bytes_ += size;
+      pending_.fetch_add(1);
+    } else if (entry.state == State::kStuck) {
+      entry.state = State::kDirty;
+      entry.attempts = 0;
+      --stuck_objects_;
+      backlog_bytes_ += size - prior;
+      pending_.fetch_add(1);
+    } else {
+      backlog_bytes_ += size - prior;
+    }
+    entry.size = size;
+    entry.gen = ++gen_seq_;
+    near_bytes_ += size - prior;
+    ++stats_.puts;
+    stats_.bytes_written += size;
+    // A key already replicating is deferred: its completion sees the gen
+    // mismatch and re-queues, preserving strict per-key far-write order.
+    if (!entry.queued && !draining_.contains(key)) {
+      QueueDirtyLocked(key, entry);
+      kick = 1;
+    }
+    // A Delete raced the unlocked data write above and may have removed the
+    // marker this Put laid down — re-assert it.
+    if (delete_seq_ != delete_snapshot) {
+      near_->Put(MarkerKey(key), MarkerPayload(entry.gen));
+    }
+    EvictForCapacityLocked();
+  }
+  if (kick != 0) exec_.Submit(drain_stage_, kick);
+}
+
+std::optional<std::vector<std::uint8_t>> TieredStore::Get(const std::string& key) {
+  RejectMetaKey(key, "Get");
+  {
+    util::MutexLock lock(mu_);
+    if (tombstones_.contains(key)) {
+      ++stats_.gets;
+      ++misses_;
+      return std::nullopt;
+    }
+  }
+  auto data = near_->Get(key);
+  if (data) {
+    util::MutexLock lock(mu_);
+    ++stats_.gets;
+    stats_.bytes_read += data->size();
+    ++near_hits_;
+    near_bytes_read_ += data->size();
+    return data;
+  }
+  data = far_->Get(key);
+  util::MutexLock lock(mu_);
+  ++stats_.gets;
+  if (tombstones_.contains(key)) {
+    // Deleted while we were reading: the far copy is condemned debris a
+    // pending drain completion will remove — do not resurrect it.
+    ++misses_;
+    return std::nullopt;
+  }
+  if (data) {
+    stats_.bytes_read += data->size();
+    ++far_hits_;
+    far_bytes_read_ += data->size();
+  } else {
+    ++misses_;
+  }
+  return data;
+}
+
+bool TieredStore::Exists(const std::string& key) {
+  RejectMetaKey(key, "Exists");
+  {
+    util::MutexLock lock(mu_);
+    if (entries_.contains(key)) return true;
+    if (tombstones_.contains(key)) return false;
+  }
+  return far_->Exists(key);
+}
+
+bool TieredStore::Delete(const std::string& key) {
+  RejectMetaKey(key, "Delete");
+  bool existed_near = false;
+  {
+    util::MutexLock lock(mu_);
+    ++delete_seq_;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      existed_near = true;
+      Entry& entry = it->second;
+      near_bytes_ -= entry.size;
+      if (entry.state == State::kDirty) {
+        --dirty_objects_;
+        backlog_bytes_ -= entry.size;
+        pending_.fetch_sub(1);
+      } else if (entry.state == State::kStuck) {
+        --dirty_objects_;
+        --stuck_objects_;
+        backlog_bytes_ -= entry.size;
+      }
+      try {
+        near_->Delete(key);
+      } catch (...) {
+        // entry is gone either way; a leaked near file is debris, not a key
+      }
+      if (entry.state != State::kClean) {
+        try {
+          near_->Delete(MarkerKey(key));
+        } catch (...) {
+          // leftover marker without data is discarded by the recovery scan
+        }
+      }
+      entries_.erase(it);
+    }
+    // Cancel a replication in flight: the late far Put must not resurrect
+    // the key, so leave a tombstone its completion will clean up.
+    if (draining_.contains(key) && tombstones_.insert(key).second) {
+      pending_.fetch_add(1);
+    }
+  }
+  const bool existed_far = far_->Delete(key);
+  const bool existed = existed_near || existed_far;
+  if (existed) {
+    util::MutexLock lock(mu_);
+    ++stats_.deletes;
+  }
+  return existed;
+}
+
+std::vector<std::string> TieredStore::List(const std::string& prefix) {
+  std::vector<std::string> keys = far_->List(prefix);
+  std::set<std::string> dead;
+  {
+    util::MutexLock lock(mu_);
+    for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      keys.push_back(it->first);
+    }
+    dead = tombstones_;
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  if (!dead.empty()) {
+    std::erase_if(keys, [&dead](const std::string& k) { return dead.contains(k); });
+  }
+  return keys;
+}
+
+std::uint64_t TieredStore::TotalBytes() {
+  // Union occupancy, near-preferred per key: a dirty near copy counts; its
+  // stale far predecessor does not (it is about to be overwritten).
+  const std::vector<std::string> far_keys = far_->List("");
+  std::uint64_t total = 0;
+  std::vector<std::string> far_only;
+  {
+    util::MutexLock lock(mu_);
+    total = near_bytes_;
+    for (const auto& key : far_keys) {
+      if (!entries_.contains(key) && !tombstones_.contains(key)) {
+        far_only.push_back(key);
+      }
+    }
+  }
+  for (const auto& key : far_only) total += far_->SizeOf(key).value_or(0);
+  return total;
+}
+
+StoreStats TieredStore::Stats() {
+  util::MutexLock lock(mu_);
+  return stats_;
+}
+
+std::optional<std::uint64_t> TieredStore::SizeOf(const std::string& key) {
+  {
+    util::MutexLock lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second.size;
+    if (tombstones_.contains(key)) return std::nullopt;
+  }
+  return far_->SizeOf(key);
+}
+
+bool TieredStore::DrainOne() {
+  std::string key;
+  std::uint64_t gen = 0;
+  std::uint64_t size = 0;
+  bool found = false;
+  {
+    util::MutexLock lock(mu_);
+    // Abandoned shutdown (crash model): consume units without replicating.
+    if (closed_ && !cfg_.flush_on_close) return false;
+    while (!drain_queue_.empty()) {
+      const std::string front = drain_queue_.front();
+      const auto it = entries_.find(front);
+      if (it == entries_.end() || it->second.state != State::kDirty ||
+          !it->second.queued) {
+        drain_queue_.pop_front();  // stale occurrence
+        continue;
+      }
+      if (draining_.contains(front)) {
+        // Per-key order: wait for the in-flight generation; its completion
+        // re-queues this one via the gen mismatch.
+        it->second.queued = false;
+        drain_queue_.pop_front();
+        continue;
+      }
+      if (inflight_bytes_ > 0 && cfg_.max_inflight_drain_bytes > 0 &&
+          inflight_bytes_ + it->second.size > cfg_.max_inflight_drain_bytes) {
+        // Window full. The unit is consumed; every drain completion kicks a
+        // fresh one, and an empty window always admits the front object (so
+        // an object larger than the window still drains alone).
+        return false;
+      }
+      key = front;
+      gen = it->second.gen;
+      size = it->second.size;
+      found = true;
+      it->second.queued = false;
+      drain_queue_.pop_front();
+      draining_.emplace(key, gen);
+      inflight_bytes_ += size;
+      break;
+    }
+    if (!found) return false;
+  }
+
+  bool replicated = false;
+  std::optional<std::vector<std::uint8_t>> data;
+  try {
+    data = near_->Get(key);
+  } catch (...) {
+    data.reset();
+  }
+  if (data) {
+    try {
+      far_->Put(key, std::move(*data));
+      replicated = true;
+    } catch (...) {
+      // failure is the signal: FinishDrain retries or parks the object
+    }
+  }
+  FinishDrain(key, gen, size, replicated);
+  return true;
+}
+
+void TieredStore::FinishDrain(const std::string& key, std::uint64_t gen,
+                              std::uint64_t size, bool replicated) {
+  bool far_delete = false;
+  std::size_t kick = 0;
+  {
+    util::MutexLock lock(mu_);
+    draining_.erase(key);
+    inflight_bytes_ -= size;
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      // Deleted mid-drain. If the far Put landed it resurrected the key —
+      // re-delete it below; either way the tombstone's job ends here.
+      if (tombstones_.contains(key)) {
+        if (replicated) {
+          far_delete = true;
+        } else {
+          tombstones_.erase(key);
+          pending_.fetch_sub(1);
+        }
+      }
+    } else if (it->second.gen != gen) {
+      // Rewritten mid-drain; replicate the newer generation next.
+      if (it->second.state == State::kDirty && !it->second.queued) {
+        QueueDirtyLocked(key, it->second);
+      }
+    } else if (replicated) {
+      it->second.state = State::kClean;
+      it->second.attempts = 0;
+      --dirty_objects_;
+      backlog_bytes_ -= size;
+      ++drained_objects_;
+      drained_bytes_ += size;
+      pending_.fetch_sub(1);
+      // Marker removal and the clean transition are atomic with respect to a
+      // concurrent Put's marker write (both run under mu_).
+      try {
+        near_->Delete(MarkerKey(key));
+      } catch (...) {
+        // marker outliving a drained object only costs a redundant re-drain
+      }
+      clean_fifo_.push_back(key);
+      EvictForCapacityLocked();
+    } else {
+      ++drain_failures_;
+      ++it->second.attempts;
+      if (cfg_.drain_attempts > 0 && it->second.attempts >= cfg_.drain_attempts) {
+        // Parked: still dirty-marked and pinned in the near tier; a restart
+        // or a fresh Put of the key retries it.
+        it->second.state = State::kStuck;
+        ++stuck_objects_;
+        pending_.fetch_sub(1);
+      } else if (!it->second.queued) {
+        QueueDirtyLocked(key, it->second);
+      }
+    }
+    if (!drain_queue_.empty()) kick = 1;
+  }
+  if (far_delete) {
+    try {
+      far_->Delete(key);
+    } catch (...) {
+      // undeletable resurrected copy becomes orphan debris for offline GC
+    }
+    util::MutexLock lock(mu_);
+    tombstones_.erase(key);
+    pending_.fetch_sub(1);
+  }
+  if (kick != 0) exec_.Submit(drain_stage_, kick);
+}
+
+void TieredStore::EvictForCapacityLocked() {
+  if (cfg_.near_capacity_bytes == 0) return;
+  while (near_bytes_ > cfg_.near_capacity_bytes && !clean_fifo_.empty()) {
+    const std::string key = std::move(clean_fifo_.front());
+    clean_fifo_.pop_front();
+    const auto it = entries_.find(key);
+    // Stale occurrence: re-dirtied (a fresh clean slot will be pushed when
+    // it drains again) or already deleted.
+    if (it == entries_.end() || it->second.state != State::kClean) continue;
+    try {
+      near_->Delete(key);
+    } catch (...) {
+      continue;  // keep the entry truthful if the near delete failed
+    }
+    near_bytes_ -= it->second.size;
+    ++evicted_objects_;
+    evicted_bytes_ += it->second.size;
+    entries_.erase(it);
+  }
+  // Dirty/stuck objects are pinned, so the near tier may transiently exceed
+  // its capacity by the drain backlog.
+}
+
+void TieredStore::FlushDrains() {
+  {
+    util::MutexLock lock(mu_);
+    if (stage_closed_) return;
+  }
+  exec_.HelpUntil(
+      [this] { return pending_.load(std::memory_order_acquire) == 0; },
+      {drain_stage_});
+}
+
+std::vector<std::uint8_t> TieredStore::EncodeShutdownCountersLocked() const {
+  util::Writer w(96);
+  w.Put<std::uint32_t>(kStatsMagic);
+  w.Put<std::uint32_t>(kStatsVersion);
+  w.Put<std::uint64_t>(near_hits_);
+  w.Put<std::uint64_t>(far_hits_);
+  w.Put<std::uint64_t>(misses_);
+  w.Put<std::uint64_t>(near_bytes_read_);
+  w.Put<std::uint64_t>(far_bytes_read_);
+  w.Put<std::uint64_t>(drained_objects_);
+  w.Put<std::uint64_t>(drained_bytes_);
+  w.Put<std::uint64_t>(drain_failures_);
+  w.Put<std::uint64_t>(evicted_objects_);
+  w.Put<std::uint64_t>(evicted_bytes_);
+  return w.TakeBytes();
+}
+
+void TieredStore::Shutdown() {
+  bool flush = false;
+  {
+    util::MutexLock lock(mu_);
+    if (closed_ && stage_closed_) return;
+    flush = cfg_.flush_on_close && !closed_;
+    closed_ = true;
+  }
+  if (flush) {
+    FlushDrains();
+    std::vector<std::uint8_t> blob;
+    {
+      util::MutexLock lock(mu_);
+      blob = EncodeShutdownCountersLocked();
+    }
+    try {
+      near_->Put(kStatsKey, std::move(blob));
+    } catch (...) {
+      // counters are advisory; shutdown proceeds without them
+    }
+  }
+  bool close_stage = false;
+  {
+    util::MutexLock lock(mu_);
+    if (!stage_closed_) {
+      stage_closed_ = true;
+      close_stage = true;
+    }
+  }
+  if (close_stage) exec_.CloseStage(drain_stage_);
+}
+
+TierStats TieredStore::tier_stats() const {
+  // Far occupancy is recomputed live from the far store (outside mu_ — far
+  // calls are slow and take their own locks).
+  const std::uint64_t far_bytes = far_->TotalBytes();
+  const std::uint64_t far_objects = far_->List("").size();
+  TierStats stats;
+  stats.far_bytes = far_bytes;
+  stats.far_objects = far_objects;
+  util::MutexLock lock(mu_);
+  stats.near_bytes = near_bytes_;
+  stats.near_objects = entries_.size();
+  stats.dirty_objects = dirty_objects_;
+  stats.dirty_bytes = backlog_bytes_;
+  stats.draining_bytes = inflight_bytes_;
+  stats.stuck_objects = stuck_objects_;
+  stats.drained_objects = drained_objects_;
+  stats.drained_bytes = drained_bytes_;
+  stats.drain_failures = drain_failures_;
+  stats.near_hits = near_hits_;
+  stats.far_hits = far_hits_;
+  stats.misses = misses_;
+  stats.near_bytes_read = near_bytes_read_;
+  stats.far_bytes_read = far_bytes_read_;
+  stats.evicted_objects = evicted_objects_;
+  stats.evicted_bytes = evicted_bytes_;
+  return stats;
+}
+
+}  // namespace cnr::storage

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "core/checknrun.h"
 #include "data/synthetic.h"
@@ -93,6 +94,62 @@ TEST_F(FileStoreTest, EmptyObjectAllowed) {
   store.Put("empty", {});
   ASSERT_TRUE(store.Get("empty").has_value());
   EXPECT_TRUE(store.Get("empty")->empty());
+}
+
+TEST_F(FileStoreTest, SizeOfStatsWithoutReading) {
+  FileStore store(root_);
+  store.Put("a", Bytes("12345"));
+  const auto gets_before = store.Stats().gets;
+  EXPECT_EQ(*store.SizeOf("a"), 5u);
+  EXPECT_FALSE(store.SizeOf("missing").has_value());
+  EXPECT_THROW(store.SizeOf("../evil"), std::invalid_argument);
+  // SizeOf is a stat, not a read: no Get counted, no bytes_read.
+  EXPECT_EQ(store.Stats().gets, gets_before);
+  EXPECT_EQ(store.Stats().bytes_read, 0u);
+}
+
+TEST_F(FileStoreTest, FsyncOnPutRoundTripAndPersistence) {
+  FileStoreOptions opts;
+  opts.fsync_on_put = true;
+  {
+    FileStore store(root_, opts);
+    EXPECT_TRUE(store.options().fsync_on_put);
+    store.Put("synced", Bytes("durable bytes"));
+    EXPECT_EQ(*store.Get("synced"), Bytes("durable bytes"));
+    store.Put("synced", Bytes("overwritten"));  // rename over existing
+  }
+  FileStore reopened(root_);
+  EXPECT_EQ(*reopened.Get("synced"), Bytes("overwritten"));
+}
+
+// Crash-safety of the temp+rename Put: a writer that died mid-write leaves
+// only a *.tmp file, which must be invisible to every read-side operation
+// and healed by the next successful Put of the same key.
+TEST_F(FileStoreTest, CrashedWriterTempFileInvisibleAndHealed) {
+  FileStore store(root_);
+  store.Put("live", Bytes("ok"));
+
+  // Model the crash: a torn temp file next to where "victim" would land.
+  // Written directly through the filesystem — the store itself never exposes
+  // a crash window where the final path holds partial data.
+  fs::create_directories(root_ / "dir");
+  {
+    std::ofstream torn(root_ / "dir" / "victim.tmp", std::ios::binary);
+    torn << "partial";
+  }
+
+  EXPECT_FALSE(store.Get("dir/victim").has_value());
+  EXPECT_FALSE(store.Exists("dir/victim"));
+  const auto keys = store.List("");
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "live");
+  EXPECT_EQ(store.TotalBytes(), 2u);  // torn temp bytes don't count
+
+  // A retried Put of the same key replaces the debris with a complete object.
+  store.Put("dir/victim", Bytes("complete"));
+  EXPECT_EQ(*store.Get("dir/victim"), Bytes("complete"));
+  FileStore reopened(root_);
+  EXPECT_EQ(*reopened.Get("dir/victim"), Bytes("complete"));
 }
 
 // The integration that matters: a full checkpoint lifecycle against the

@@ -31,7 +31,7 @@ Rules:
      functions run on shared executor workers, and a sleeping drain stalls
      every plane sharing the pool (executor.h's deadlock-freedom rule).
      Deliberate latency injection lives in the storage decorators
-     (latency_store.h, retrying_store.cc), which run on store-facing paths.
+     (latency_store.cc, retrying_store.cc), which run on store-facing paths.
      Comments are stripped first: prose may discuss sleeping.
 
   4. manifest-version-documented: storage::Manifest::kFormatVersion (parsed
@@ -76,7 +76,7 @@ SLEEP_PATTERN = re.compile(
 )
 SLEEP_BAN_PREFIX = os.path.join("src", "core") + os.sep
 SLEEP_ALLOWED = {
-    os.path.join("src", "storage", "latency_store.h"),
+    os.path.join("src", "storage", "latency_store.cc"),
     os.path.join("src", "storage", "retrying_store.cc"),
 }
 

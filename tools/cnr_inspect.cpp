@@ -28,6 +28,13 @@
 //       chain. Runs the parallel scrub kernel (the service's background
 //       self-scrub uses the same one). Exits 1 if the chain is damaged.
 //       (`restore [id] --scrub` is the older spelling of the same check.)
+//   cnr_inspect <near-dir> tiers <far-dir>        tiered write-back view
+//       (storage::TieredStore): per-tier occupancy, dirty drain backlog
+//       (near-tier objects whose replication to the far tier has not
+//       finished), far-tier holes/extra objects, and the read-path hit
+//       counters persisted by the last clean shutdown. The occupancy
+//       numbers are the same survey the live service's stats() tracks, so
+//       stats() == survey == this output is the tier parity invariant.
 //   cnr_inspect <store-dir> <job> dlog [base-id]  per-iteration delta logs
 //       (core/delta_log.h): with no id, one line per base checkpoint that has
 //       a delta stream; with one, every segment of that base's log — seq,
@@ -39,8 +46,8 @@
 //
 // Works on any directory written through storage::FileStore (see
 // examples/durable_checkpoints.cpp). Read-only except `gc` without
-// --dry-run. (A job literally named "jobs" or "gc" is shadowed by the
-// subcommand; use the per-checkpoint forms for it.)
+// --dry-run. (A job literally named "jobs", "gc", or "tiers" is shadowed by
+// the subcommand; use the per-checkpoint forms for it.)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +64,7 @@
 #include "quant/kernels.h"
 #include "storage/file_store.h"
 #include "storage/manifest.h"
+#include "storage/tiered_store.h"
 #include "util/crc32.h"
 
 using namespace cnr;
@@ -511,6 +519,80 @@ void DescribeCheckpoint(storage::ObjectStore& store, const std::string& job,
   std::printf("  total bytes:     %llu\n", static_cast<unsigned long long>(m.TotalBytes()));
 }
 
+// `tiers`: offline view of a tiered write-back pair (storage/tiered_store.h).
+// The near dir is the store dir argument; the far dir is the operand. Prints
+// the same per-tier occupancy arithmetic the live service's stats() tracks.
+int TiersCommand(storage::FileStore& near_tier, const std::string& far_dir) {
+  storage::FileStore far_tier(far_dir);
+  const storage::TierSurvey near_survey = storage::SurveyTier(near_tier);
+  const storage::TierSurvey far_survey = storage::SurveyTier(far_tier);
+
+  std::printf("near tier (%s)\n", near_tier.root().string().c_str());
+  std::printf("  objects:       %llu\n",
+              static_cast<unsigned long long>(near_survey.objects));
+  std::printf("  bytes:         %llu\n",
+              static_cast<unsigned long long>(near_survey.bytes));
+  std::printf("  dirty backlog: %llu object(s), %llu bytes%s\n",
+              static_cast<unsigned long long>(near_survey.dirty_objects),
+              static_cast<unsigned long long>(near_survey.dirty_bytes),
+              near_survey.dirty_objects ? "  <- not yet replicated" : "");
+  std::printf("far tier (%s)\n", far_dir.c_str());
+  std::printf("  objects:       %llu\n",
+              static_cast<unsigned long long>(far_survey.objects));
+  std::printf("  bytes:         %llu\n",
+              static_cast<unsigned long long>(far_survey.bytes));
+
+  // Cross-tier delta: every near object is either dirty (drain pending) or
+  // must have a far copy — anything else is a far-tier hole, the one state
+  // the write-back protocol promises never to produce.
+  std::set<std::string> far_keys;
+  for (auto& key : far_tier.List("")) far_keys.insert(std::move(key));
+  std::uint64_t clean_without_far = 0;
+  std::set<std::string> dirty;
+  const std::string dirty_prefix = storage::TieredStore::kDirtyPrefix;
+  for (const auto& marker : near_tier.List(dirty_prefix)) {
+    dirty.insert(marker.substr(dirty_prefix.size()));
+  }
+  for (const auto& key : near_tier.List("")) {
+    if (key.starts_with(storage::TieredStore::kMetaPrefix)) continue;
+    if (!dirty.contains(key) && !far_keys.contains(key)) ++clean_without_far;
+  }
+  if (clean_without_far != 0) {
+    std::printf("  WARNING: %llu clean near object(s) missing from the far "
+                "tier (far-tier hole — should be impossible)\n",
+                static_cast<unsigned long long>(clean_without_far));
+  }
+
+  // Read-path counters survive only across a clean shutdown (the live
+  // numbers are in ServiceStats::tier).
+  const auto blob = near_tier.Get(storage::TieredStore::kStatsKey);
+  std::optional<storage::TierStats> counters;
+  if (blob) counters = storage::DecodeShutdownCounters(*blob);
+  if (counters) {
+    std::printf("read path (as of last clean shutdown)\n");
+    std::printf("  near hits:     %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(counters->near_hits),
+                static_cast<unsigned long long>(counters->near_bytes_read));
+    std::printf("  far hits:      %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(counters->far_hits),
+                static_cast<unsigned long long>(counters->far_bytes_read));
+    std::printf("  misses:        %llu\n",
+                static_cast<unsigned long long>(counters->misses));
+    std::printf("  near hit ratio: %.3f\n", counters->NearHitRatio());
+    std::printf("  drained:       %llu object(s), %llu bytes; %llu failure(s)\n",
+                static_cast<unsigned long long>(counters->drained_objects),
+                static_cast<unsigned long long>(counters->drained_bytes),
+                static_cast<unsigned long long>(counters->drain_failures));
+    std::printf("  evicted:       %llu object(s), %llu bytes\n",
+                static_cast<unsigned long long>(counters->evicted_objects),
+                static_cast<unsigned long long>(counters->evicted_bytes));
+  } else {
+    std::printf("read path: no shutdown counters (crashed or live writer; "
+                "live numbers are in ServiceStats::tier)\n");
+  }
+  return clean_without_far == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -518,6 +600,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <store-dir> [jobs"
                  " | gc [--dry-run] [--keep N] [--orphans]"
+                 " | tiers <far-dir>"
                  " | <job> [checkpoint-id | shards | dlog [base-id]"
                  " | scrub [checkpoint-id]"
                  " | restore [checkpoint-id] [--scrub]]]\n",
@@ -556,6 +639,10 @@ int main(int argc, char** argv) {
         }
       }
       return GcCommand(store, options);
+    }
+    if (args[0] == "tiers") {
+      if (args.size() != 2) return usage();
+      return TiersCommand(store, args[1]);
     }
 
     const std::string& job = args[0];
