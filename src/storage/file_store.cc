@@ -38,7 +38,11 @@ FileStore::FileStore(fs::path root, FileStoreOptions options)
 }
 
 void FileStore::ValidateKey(const std::string& key) {
-  if (key.empty() || key.front() == '/' || key.find("..") != std::string::npos) {
+  // The ".tmp" suffix is reserved for the temp+rename Put protocol: List and
+  // TotalBytes treat such files as crash debris, so a key using it would be
+  // writable yet invisible to listings, surveys, and recovery scans.
+  if (key.empty() || key.front() == '/' ||
+      key.find("..") != std::string::npos || key.ends_with(".tmp")) {
     throw std::invalid_argument("FileStore: invalid key: " + key);
   }
 }

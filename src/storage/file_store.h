@@ -5,6 +5,8 @@
 // Keys map to files under the root ('/' in keys becomes a directory level);
 // writes go through a temp-file + atomic rename so a crashed writer never
 // leaves a torn object, which preserves the manifest-last validity protocol.
+// Keys ending in ".tmp" are rejected — that suffix is the rename protocol's
+// reserved namespace, filtered from listings as crash debris.
 #pragma once
 
 #include <filesystem>

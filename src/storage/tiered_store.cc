@@ -113,6 +113,7 @@ TieredStore::TieredStore(std::shared_ptr<ObjectStore> near_tier,
       entry.gen = ++gen_seq_;
       if (dirty.erase(key) > 0) {
         entry.state = State::kDirty;
+        entry.marker = true;
         entry.queued = true;
         drain_queue_.push_back(key);
         ++dirty_objects_;
@@ -155,22 +156,31 @@ void TieredStore::QueueDirtyLocked(const std::string& key, Entry& entry) {
   drain_queue_.push_back(key);
 }
 
+void TieredStore::EndWriteLocked(const std::string& key) {
+  const auto it = writing_.find(key);
+  if (it != writing_.end() && --it->second <= 0) writing_.erase(it);
+}
+
 void TieredStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
   RejectMetaKey(key, "Put");
-  const std::uint64_t size = data.size();
+  const std::uint64_t logical_size = data.size();
   std::uint64_t delete_snapshot = 0;
+  bool wrote_marker = false;
   {
     util::MutexLock lock(mu_);
     if (closed_) throw StoreUnavailable("TieredStore: shut down");
     delete_snapshot = delete_seq_;
     const auto it = entries_.find(key);
-    const bool marker_present =
-        it != entries_.end() && it->second.state != State::kClean;
     // Crash ordering: the dirty marker must be durable before the data write
     // can land, so a recovery scan never mistakes a half-replicated object
     // for clean. Marker writes are tiny near-tier metadata ops and run under
     // mu_ (mu_ ranks above the near store's internal lock).
-    if (!marker_present) near_->Put(MarkerKey(key), MarkerPayload(gen_seq_ + 1));
+    if (it == entries_.end() || !it->second.marker) {
+      near_->Put(MarkerKey(key), MarkerPayload(gen_seq_ + 1));
+      wrote_marker = true;
+      if (it != entries_.end()) it->second.marker = true;
+    }
+    ++writing_[key];
   }
 
   try {
@@ -184,6 +194,7 @@ void TieredStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
     std::size_t kick = 0;
     {
       util::MutexLock lock(mu_);
+      EndWriteLocked(key);
       const auto it = entries_.find(key);
       if (it != entries_.end() && it->second.state == State::kClean) {
         it->second.state = State::kDirty;
@@ -192,10 +203,13 @@ void TieredStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
         ++dirty_objects_;
         backlog_bytes_ += it->second.size;
         pending_.fetch_add(1);
-        try {
-          near_->Put(MarkerKey(key), MarkerPayload(it->second.gen));
-        } catch (...) {
-          // marker already present from the first write; content irrelevant
+        if (!it->second.marker) {
+          try {
+            near_->Put(MarkerKey(key), MarkerPayload(it->second.gen));
+            it->second.marker = true;
+          } catch (...) {
+            // still unmarked; DrainOne repairs before replicating
+          }
         }
         if (!it->second.queued && !draining_.contains(key)) {
           QueueDirtyLocked(key, it->second);
@@ -210,10 +224,46 @@ void TieredStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
   std::size_t kick = 0;
   {
     util::MutexLock lock(mu_);
+    EndWriteLocked(key);
+    ++stats_.puts;
+    stats_.bytes_written += logical_size;
+    const bool delete_raced = delete_seq_ != delete_snapshot;
+    // Concurrent Puts to the same key run their data writes unlocked, so the
+    // near tier's content is last-writer-wins. Reconcile the recorded size
+    // with what actually resides so occupancy stays in parity with the
+    // survey; the generation bump below guarantees the final content is
+    // (re-)replicated whichever writer's bytes survived.
+    std::optional<std::uint64_t> resident;
+    try {
+      resident = near_->SizeOf(key);
+    } catch (...) {
+      resident = logical_size;  // stat failed; fall back to the payload size
+    }
+    if (!resident) {
+      // The data landed yet the key has no near object: a racing Delete
+      // removed it after our write, so the Delete is the later operation and
+      // the key stays dead (any in-flight far Put is caught by its
+      // tombstone). Drop the marker debris — Delete only removes the marker
+      // when it finds an entry, and a first Put of a key has none.
+      try {
+        near_->Delete(MarkerKey(key));
+      } catch (...) {
+        // marker without data is discarded by the next recovery scan
+      }
+      return;
+    }
+    const std::uint64_t size = *resident;
     if (tombstones_.erase(key) > 0) pending_.fetch_sub(1);
     const auto [it, inserted] = entries_.try_emplace(key);
     Entry& entry = it->second;
     const std::uint64_t prior = inserted ? 0 : entry.size;
+    // The marker written (or observed) before the data write may be gone: a
+    // racing Delete removes it, and a drain that completed during our data
+    // write cleans the key and deletes it (the clean->dirty transition below
+    // would then leave a dirty object a crash recovery would call clean —
+    // stale far data served after eviction). Prove it present or re-assert.
+    const bool have_marker =
+        (!inserted && entry.marker) || (wrote_marker && !delete_raced);
     if (inserted || entry.state == State::kClean) {
       entry.state = State::kDirty;
       entry.attempts = 0;
@@ -232,18 +282,25 @@ void TieredStore::Put(const std::string& key, std::vector<std::uint8_t> data) {
     entry.size = size;
     entry.gen = ++gen_seq_;
     near_bytes_ += size - prior;
-    ++stats_.puts;
-    stats_.bytes_written += size;
     // A key already replicating is deferred: its completion sees the gen
     // mismatch and re-queues, preserving strict per-key far-write order.
     if (!entry.queued && !draining_.contains(key)) {
       QueueDirtyLocked(key, entry);
       kick = 1;
     }
-    // A Delete raced the unlocked data write above and may have removed the
-    // marker this Put laid down — re-assert it.
-    if (delete_seq_ != delete_snapshot) {
-      near_->Put(MarkerKey(key), MarkerPayload(entry.gen));
+    if (have_marker) {
+      entry.marker = true;
+    } else {
+      // Must not throw past this point: the data is committed and the drain
+      // unit is queued — an escaping exception would drop the stage kick and
+      // stall the key's backlog. On failure the entry stays flagged
+      // unmarked and DrainOne repairs it before replicating.
+      try {
+        near_->Put(MarkerKey(key), MarkerPayload(entry.gen));
+        entry.marker = true;
+      } catch (...) {
+        entry.marker = false;
+      }
     }
     EvictForCapacityLocked();
   }
@@ -323,7 +380,7 @@ bool TieredStore::Delete(const std::string& key) {
       } catch (...) {
         // entry is gone either way; a leaked near file is debris, not a key
       }
-      if (entry.state != State::kClean) {
+      if (entry.marker) {
         try {
           near_->Delete(MarkerKey(key));
         } catch (...) {
@@ -431,6 +488,18 @@ bool TieredStore::DrainOne() {
         // an object larger than the window still drains alone).
         return false;
       }
+      // A swallowed marker failure in Put left this dirty entry unmarked —
+      // repair before replicating, so a crash during the far Put cannot make
+      // recovery mistake the near copy for clean.
+      if (!it->second.marker) {
+        try {
+          near_->Put(MarkerKey(front), MarkerPayload(it->second.gen));
+          it->second.marker = true;
+        } catch (...) {
+          // near tier still refusing metadata writes; drain regardless —
+          // landing the far copy is what retires the marker's job
+        }
+      }
       key = front;
       gen = it->second.gen;
       size = it->second.size;
@@ -497,11 +566,15 @@ void TieredStore::FinishDrain(const std::string& key, std::uint64_t gen,
       drained_bytes_ += size;
       pending_.fetch_sub(1);
       // Marker removal and the clean transition are atomic with respect to a
-      // concurrent Put's marker write (both run under mu_).
+      // concurrent Put's marker write (both run under mu_); a Put that
+      // skipped its marker write before this transition sees marker=false
+      // and re-asserts when it re-dirties the entry.
       try {
         near_->Delete(MarkerKey(key));
+        it->second.marker = false;
       } catch (...) {
-        // marker outliving a drained object only costs a redundant re-drain
+        // marker outliving a drained object only costs a redundant re-drain;
+        // marker stays true — it is still on disk
       }
       clean_fifo_.push_back(key);
       EvictForCapacityLocked();
@@ -542,6 +615,10 @@ void TieredStore::EvictForCapacityLocked() {
     // Stale occurrence: re-dirtied (a fresh clean slot will be pushed when
     // it drains again) or already deleted.
     if (it == entries_.end() || it->second.state != State::kClean) continue;
+    // A Put's unlocked data write is in flight: deleting the near object now
+    // would drop the new bytes before the Put re-dirties the entry. That Put
+    // always re-dirties a clean entry, so this occurrence is stale anyway.
+    if (writing_.contains(key)) continue;
     try {
       near_->Delete(key);
     } catch (...) {

@@ -33,9 +33,12 @@
 // Crash safety (the write-back contract): before an object's first near
 // write of a dirty generation, an 8-byte dirty marker lands under
 // ".tiered/dirty/<key>"; the marker is deleted only after the far copy
-// landed. Marker and data writes are ordered marker-first, so a recovery
-// scan (the constructor) finds either a fully drained object or a dirty
-// near copy — never a far-tier hole:
+// landed. Marker and data writes are ordered marker-first, and every path
+// that leaves an entry dirty re-asserts the marker if a concurrent event
+// could have removed it during the unlocked data write (a drain completing
+// and cleaning the key, or a racing Delete) — dirty always implies a marker
+// on disk. A recovery scan (the constructor) therefore finds either a fully
+// drained object or a dirty near copy — never a far-tier hole:
 //   marker, no data   -> discarded (crash between marker and data; the Put
 //                        never returned, the far tier still has the old
 //                        version if any)
@@ -209,6 +212,12 @@ class TieredStore : public ObjectStore {
   struct Entry {
     State state = State::kClean;
     bool queued = false;      // has a live occurrence in drain_queue_
+    // Whether the key's dirty marker object is on disk in the near tier.
+    // Set only after a successful marker Put under mu_, cleared when the
+    // marker is deleted — so "state != kClean implies marker" is checkable
+    // (and repairable) at every transition. A clean entry may transiently
+    // keep marker=true if a drain's marker delete failed (harmless debris).
+    bool marker = false;
     int attempts = 0;         // far Put failures of the current generation
     std::uint64_t size = 0;   // near-resident data bytes
     std::uint64_t gen = 0;    // bumped by every Put; orders replication
@@ -223,6 +232,7 @@ class TieredStore : public ObjectStore {
                    bool replicated);
 
   void QueueDirtyLocked(const std::string& key, Entry& entry) REQUIRES(mu_);
+  void EndWriteLocked(const std::string& key) REQUIRES(mu_);
   void EvictForCapacityLocked() REQUIRES(mu_);
   std::vector<std::uint8_t> EncodeShutdownCountersLocked() const REQUIRES(mu_);
 
@@ -247,6 +257,10 @@ class TieredStore : public ObjectStore {
   // Keys deleted while their replication was in flight: the far copy must be
   // re-deleted when the late Put lands, and reads must not resurrect it.
   std::set<std::string> tombstones_ GUARDED_BY(mu_);
+  // Keys with an unlocked near data write in flight (count of concurrent
+  // Puts). Eviction must not delete their near data out from under the
+  // write — a clean entry about to be re-dirtied would lose the new bytes.
+  std::map<std::string, int> writing_ GUARDED_BY(mu_);
 
   std::uint64_t gen_seq_ GUARDED_BY(mu_) = 0;
   // Bumped by every Delete. A Put snapshots it before releasing mu_ for the

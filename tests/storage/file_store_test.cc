@@ -78,6 +78,23 @@ TEST_F(FileStoreTest, RejectsTraversalKeys) {
   EXPECT_THROW(store.Get("a/../b"), std::invalid_argument);
 }
 
+// ".tmp" is the rename protocol's reserved suffix: a key using it would be
+// writable yet invisible to List/TotalBytes (and so to surveys and recovery
+// scans) — reject it everywhere instead of creating a phantom object.
+TEST_F(FileStoreTest, RejectsTmpSuffixedKeys) {
+  FileStore store(root_);
+  EXPECT_THROW(store.Put("x.tmp", Bytes("x")), std::invalid_argument);
+  EXPECT_THROW(store.Put("dir/y.tmp", Bytes("x")), std::invalid_argument);
+  EXPECT_THROW(store.Get("x.tmp"), std::invalid_argument);
+  EXPECT_THROW(store.Exists("x.tmp"), std::invalid_argument);
+  EXPECT_THROW(store.Delete("x.tmp"), std::invalid_argument);
+  EXPECT_THROW(store.SizeOf("x.tmp"), std::invalid_argument);
+  // Only the exact suffix is reserved.
+  store.Put("x.tmp.ok", Bytes("x"));
+  store.Put("tmp", Bytes("x"));
+  EXPECT_EQ(store.List("").size(), 2u);
+}
+
 TEST_F(FileStoreTest, PersistsAcrossInstances) {
   {
     FileStore store(root_);

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -71,6 +72,11 @@ class GateStore : public ObjectStore {
     open_ = true;
     cv_.notify_all();
   }
+  // Re-arms the gate: Puts arriving after this block again.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = false;
+  }
   // Blocks until `count` Puts have reached the gate.
   void AwaitPutsEntered(int count) {
     std::unique_lock<std::mutex> lock(mu_);
@@ -83,6 +89,62 @@ class GateStore : public ObjectStore {
   std::condition_variable cv_;
   bool open_ = false;
   int entered_ = 0;
+};
+
+// Near-tier decorator that can hold the *unlocked* data write of designated
+// keys mid-flight — metadata writes (dirty markers, which run under the
+// tiered store's lock) always pass straight through.
+class HoldStore : public ObjectStore {
+ public:
+  explicit HoldStore(std::shared_ptr<ObjectStore> backing)
+      : backing_(std::move(backing)) {}
+
+  void Put(const std::string& key, std::vector<std::uint8_t> data) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (held_.contains(key)) {
+        ++blocked_;
+        cv_.notify_all();
+        cv_.wait(lock, [this, &key] { return !held_.contains(key); });
+      }
+    }
+    backing_->Put(key, std::move(data));
+  }
+  std::optional<std::vector<std::uint8_t>> Get(const std::string& key) override {
+    return backing_->Get(key);
+  }
+  bool Exists(const std::string& key) override { return backing_->Exists(key); }
+  bool Delete(const std::string& key) override { return backing_->Delete(key); }
+  std::vector<std::string> List(const std::string& prefix) override {
+    return backing_->List(prefix);
+  }
+  std::uint64_t TotalBytes() override { return backing_->TotalBytes(); }
+  StoreStats Stats() override { return backing_->Stats(); }
+  std::optional<std::uint64_t> SizeOf(const std::string& key) override {
+    return backing_->SizeOf(key);
+  }
+
+  void Hold(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.insert(key);
+  }
+  void Release(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.erase(key);
+    cv_.notify_all();
+  }
+  // Blocks until `count` Puts are waiting on a held key.
+  void AwaitBlocked(int count) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, count] { return blocked_ >= count; });
+  }
+
+ private:
+  std::shared_ptr<ObjectStore> backing_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<std::string> held_;
+  int blocked_ = 0;
 };
 
 class TieredStoreTest : public ::testing::Test {
@@ -443,6 +505,90 @@ TEST_F(TieredStoreTest, MidDrainRestartKeepsOccupancyParity) {
     EXPECT_TRUE(far_inner->Exists("obj" + std::to_string(i)));
   }
   ExpectParity(recovered);
+}
+
+// The crash-safety race the marker protocol must survive: a Put whose first
+// critical section sees the key dirty (marker already on disk — no write),
+// then loses the marker while its data write runs unlocked because the
+// in-flight drain completes and the clean transition deletes it. The
+// clean->dirty transition in the Put's second critical section must re-assert
+// the marker; without it, a crash here would make recovery call the near
+// object clean while the far tier still holds the older generation — serving
+// stale data after eviction, losing an acknowledged write.
+TEST_F(TieredStoreTest, CleanTransitionDuringPutReassertsDirtyMarker) {
+  auto near_inner = std::make_shared<InMemoryStore>();
+  auto hold = std::make_shared<HoldStore>(near_inner);
+  auto far_inner = std::make_shared<InMemoryStore>();
+  auto gate = std::make_shared<GateStore>(far_inner);
+  StageExecutor exec;
+  TieredStore store(hold, gate, exec);
+  const std::string marker = std::string(TieredStore::kDirtyPrefix) + "k";
+
+  store.Put("k", Bytes("v1"));
+  gate->AwaitPutsEntered(1);  // replication of v1 in flight at the far tier
+
+  hold->Hold("k");
+  std::thread writer([&store] { store.Put("k", Bytes("v2-newer-bytes")); });
+  hold->AwaitBlocked(1);  // v2 sits in the unlocked data-write window
+
+  // Let v1's drain finish: FinishDrain cleans "k" and deletes the marker
+  // while v2's Put is mid-flight.
+  gate->Open();
+  while (store.tier_stats().dirty_objects != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(near_inner->Exists(marker));
+
+  // Re-arm the far gate so v2's own drain blocks and the dirty window below
+  // is observable, then let v2 land.
+  gate->Close();
+  hold->Release("k");
+  writer.join();
+
+  // "k" is dirty again and the marker MUST be back on disk — a crash in this
+  // state has to recover the near copy as authoritative.
+  EXPECT_EQ(store.tier_stats().dirty_objects, 1u);
+  EXPECT_TRUE(near_inner->Exists(marker));
+  ExpectParity(store);  // the survey sees the same dirty object
+
+  gate->Open();
+  store.FlushDrains();
+  EXPECT_EQ(*far_inner->Get("k"), Bytes("v2-newer-bytes"));
+  EXPECT_FALSE(near_inner->Exists(marker));
+  ExpectParity(store);
+}
+
+// Same-key Puts race their unlocked near data writes: content is
+// last-writer-wins, and the recorded size must follow the surviving content
+// so occupancy parity holds and the drainer converges the far tier onto it.
+TEST_F(TieredStoreTest, ConcurrentSameKeyPutsKeepParityAndConverge) {
+  auto near_tier = std::make_shared<InMemoryStore>();
+  auto far_tier = std::make_shared<InMemoryStore>();
+  StageExecutor exec;
+  TieredStore store(near_tier, far_tier, exec);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      // Thread-distinct sizes make a stale recorded size detectable.
+      const std::string value(8 + 16 * static_cast<std::size_t>(t),
+                              static_cast<char>('a' + t));
+      for (int i = 0; i < kIters; ++i) store.Put("hot", Bytes(value));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto content = near_tier->Get("hot");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*store.SizeOf("hot"), content->size());
+
+  store.FlushDrains();
+  EXPECT_EQ(*far_tier->Get("hot"), *near_tier->Get("hot"));
+  EXPECT_EQ(store.tier_stats().dirty_objects, 0u);
+  ExpectParity(store);
 }
 
 // Concurrent Put/Get/Delete against a live drainer; runs under TSan in CI.
